@@ -1,0 +1,96 @@
+// Ablation: active vs uniform training-pair selection at small labeling
+// budgets. The paper buys 10% of pairs uniformly; when the label budget is
+// tight, uncertainty-driven selection should stretch it further.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/active_sampling.h"
+#include "ml/splitter.h"
+
+using namespace weber;
+
+namespace {
+
+struct Cell {
+  double fp = 0.0;
+  double f = 0.0;
+};
+
+Cell Evaluate(const corpus::SyntheticData& data,
+              const core::EntityResolver& resolver, double budget_fraction,
+              bool active, uint64_t seed) {
+  extract::FeatureExtractor extractor(&data.gazetteer, {});
+  auto functions = core::MakeFunctions(core::kSubsetI10);
+  std::vector<eval::MetricReport> reports;
+  Rng master(seed);
+  for (const corpus::Block& block : data.dataset.blocks) {
+    std::vector<extract::PageInput> pages;
+    for (const auto& d : block.documents) pages.push_back({d.url, d.text});
+    auto bundles = bench::CheckResult(
+        extractor.ExtractBlock(pages, block.query), "extraction");
+    Rng rng = master.Fork(reports.size());
+
+    const int n = block.num_documents();
+    const int budget = std::max(
+        10, static_cast<int>(budget_fraction * n * (n - 1) / 2));
+    std::vector<std::pair<int, int>> pairs;
+    if (active) {
+      std::vector<graph::SimilarityMatrix> matrices;
+      for (const auto& fn : *functions) {
+        matrices.push_back(core::ComputeSimilarityMatrix(*fn, bundles));
+      }
+      pairs = bench::CheckResult(
+          core::SelectTrainingPairs(matrices, budget, &rng), "selection");
+    } else {
+      pairs = ml::SampleTrainingPairs(n, budget_fraction, &rng, 10);
+    }
+    auto resolution = bench::CheckResult(
+        resolver.ResolveExtracted(bundles, block.entity_labels, pairs, &rng),
+        "resolution");
+    reports.push_back(bench::CheckResult(
+        eval::Evaluate(block.GroundTruth(), resolution.clustering),
+        "evaluation"));
+  }
+  auto mean = bench::CheckResult(eval::MeanReport(reports), "averaging");
+  return {mean.fp_measure, mean.f_measure};
+}
+
+}  // namespace
+
+int main() {
+  corpus::SyntheticData data = bench::GenerateOrDie(corpus::Www05Config());
+  core::ResolverOptions options;  // C10 configuration
+  auto resolver = bench::CheckResult(
+      core::EntityResolver::Create(&data.gazetteer, options), "resolver");
+
+  std::cout << "== Ablation: active vs uniform training-pair selection "
+               "(WWW'05-like corpus, C10) ==\n";
+  TablePrinter table;
+  table.SetHeader({"label budget", "uniform Fp", "active Fp", "uniform F",
+                   "active F"});
+  constexpr int kSeeds = 3;
+  for (double fraction : {0.005, 0.01, 0.02, 0.05, 0.10}) {
+    Cell uniform, active;
+    for (int s = 0; s < kSeeds; ++s) {
+      Cell u = Evaluate(data, resolver, fraction, false, 0xAC7 + s * 31);
+      Cell a = Evaluate(data, resolver, fraction, true, 0xBC7 + s * 31);
+      uniform.fp += u.fp / kSeeds;
+      uniform.f += u.f / kSeeds;
+      active.fp += a.fp / kSeeds;
+      active.f += a.f / kSeeds;
+    }
+    table.AddRow({FormatDouble(fraction * 100, 1) + "% of pairs",
+                  FormatDouble(uniform.fp, 4), FormatDouble(active.fp, 4),
+                  FormatDouble(uniform.f, 4), FormatDouble(active.f, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: query-by-committee selection pays off at the "
+               "extreme low end of the budget range and matches uniform "
+               "sampling at the paper's 10% operating point. In between the "
+               "two are comparable: uncertainty sampling skews the labeled "
+               "value distribution, which costs the region models some "
+               "calibration — the exploration quota is what keeps it "
+               "competitive.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the entropy-based informativeness gate (the paper's Section VII
+// future work, implemented as an extension). Sweeps the gate threshold on
+// the standard WWW'05-like corpus and on a sparse variant where a third of
+// the pages carry almost no extractable information — the regime the paper
+// says motivates entropy metrics.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace weber;
+
+namespace {
+
+void Sweep(const char* title, const corpus::GeneratorConfig& cfg,
+           uint64_t seed) {
+  corpus::SyntheticData data = bench::GenerateOrDie(cfg);
+  core::ExperimentRunner runner = bench::MakeRunner(data, seed, /*runs=*/3);
+
+  std::cout << title << "\n";
+  TablePrinter table;
+  table.SetHeader({"gate threshold", "Fp", "F", "Rand"});
+  for (double gate : {0.0, 0.40, 0.55, 0.65, 0.80}) {
+    core::ExperimentConfig config = bench::CombinedConfig(
+        gate == 0.0 ? "off" : FormatDouble(gate, 2));
+    config.options.min_pair_informativeness = gate;
+    auto r = bench::CheckResult(runner.Run(config), "entropy sweep");
+    table.AddRow({gate == 0.0 ? "off" : FormatDouble(gate, 2),
+                  FormatDouble(r.overall.fp_measure, 4),
+                  FormatDouble(r.overall.f_measure, 4),
+                  FormatDouble(r.overall.rand_index, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation: entropy-based informativeness gate ==\n\n";
+  Sweep("standard WWW'05-like corpus:", corpus::Www05Config(), 0xE117);
+
+  // Sparse variant: far more incomplete pages.
+  corpus::GeneratorConfig sparse_cfg = corpus::Www05Config();
+  for (auto& name : sparse_cfg.names) {
+    name.sparse_page_prob = 0.35;
+    name.concept_drop_prob = std::min(1.0, name.concept_drop_prob + 0.15);
+  }
+  sparse_cfg.dataset_name = "www05-sparse-synthetic";
+  Sweep("sparse variant (35% near-empty pages):", sparse_cfg, 0xE118);
+
+  std::cout << "Expected: the gate is neutral while it only touches the "
+               "emptiest pages and costs recall once it gates ordinary "
+               "pages (links the region criteria would have made correctly "
+               "are vetoed). In this corpus sparse pages rarely *cause* "
+               "false merges — their similarities are already low — so the "
+               "gate buys no precision; its value is as a guardrail when "
+               "similarity functions misbehave on empty input.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: region construction. Sweeps the equal-width bin count and the
+// k-means cluster count of the region-accuracy criteria, and compares the
+// two schemes (Section IV-A discusses exactly this design choice: "the
+// similarity values do not have a uniform distribution ... choosing the
+// regions as equal size intervals is not the best option").
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace weber;
+
+namespace {
+
+core::ExperimentConfig SchemeConfig(const std::string& label, int bins,
+                                    int k) {
+  core::ExperimentConfig config = bench::RegionBestConfig(label, core::kSubsetI10);
+  config.options.equal_width_bins = bins;
+  config.options.kmeans_k = k;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  corpus::SyntheticData data = bench::GenerateOrDie(corpus::Www05Config());
+  core::ExperimentRunner runner = bench::MakeRunner(data, 0xAB1A7, /*runs=*/3);
+
+  std::cout << "== Ablation: region construction (WWW'05-like corpus, C10 "
+               "configuration, 3-run averages) ==\n\n";
+
+  // Sweep k-means k with bins fixed.
+  TablePrinter ktable;
+  ktable.SetHeader({"kmeans k", "Fp", "F", "Rand"});
+  for (int k : {2, 4, 8, 12, 16, 24}) {
+    auto r = bench::CheckResult(
+        runner.Run(SchemeConfig("km" + std::to_string(k), 10, k)),
+        "kmeans sweep");
+    ktable.AddRow({std::to_string(k), FormatDouble(r.overall.fp_measure, 4),
+                   FormatDouble(r.overall.f_measure, 4),
+                   FormatDouble(r.overall.rand_index, 4)});
+  }
+  std::cout << "k-means cluster count sweep (equal-width bins fixed at 10):\n";
+  ktable.Print(std::cout);
+
+  // Sweep equal-width bins with k fixed.
+  TablePrinter btable;
+  btable.SetHeader({"eq-width bins", "Fp", "F", "Rand"});
+  for (int bins : {4, 10, 20, 40}) {
+    auto r = bench::CheckResult(
+        runner.Run(SchemeConfig("eq" + std::to_string(bins), bins, 8)),
+        "bins sweep");
+    btable.AddRow({std::to_string(bins), FormatDouble(r.overall.fp_measure, 4),
+                   FormatDouble(r.overall.f_measure, 4),
+                   FormatDouble(r.overall.rand_index, 4)});
+  }
+  std::cout << "\nequal-width bin count sweep (k-means k fixed at 8):\n";
+  btable.Print(std::cout);
+
+  // Criteria-family ladder: threshold (step) < isotonic (monotone) <
+  // regions (free). Separates "better calibration" from "non-monotone
+  // expressiveness" as the source of the C-columns' gain.
+  TablePrinter ladder;
+  ladder.SetHeader({"criteria family", "Fp", "F", "Rand"});
+  {
+    core::ExperimentConfig threshold_only =
+        bench::ThresholdBestConfig("threshold", core::kSubsetI10);
+    core::ExperimentConfig isotonic = threshold_only;
+    isotonic.label = "isotonic";
+    isotonic.options.include_isotonic_criterion = true;
+    core::ExperimentConfig regions =
+        bench::RegionBestConfig("regions", core::kSubsetI10);
+    core::ExperimentConfig all = regions;
+    all.label = "all";
+    all.options.include_isotonic_criterion = true;
+    for (const auto& config : {threshold_only, isotonic, regions, all}) {
+      auto r = bench::CheckResult(runner.Run(config), "ladder run");
+      ladder.AddRow({r.label, FormatDouble(r.overall.fp_measure, 4),
+                     FormatDouble(r.overall.f_measure, 4),
+                     FormatDouble(r.overall.rand_index, 4)});
+    }
+  }
+  std::cout << "\ncriteria-family ladder (threshold ⊂ +isotonic ⊂ +regions):\n";
+  ladder.Print(std::cout);
+
+  std::cout << "\nExpected: quality is stable across a broad middle range "
+               "and degrades at the extremes (too few regions cannot express "
+               "the accuracy profile; too many overfit the training sample). "
+               "In the ladder, isotonic matches the plain threshold almost "
+               "exactly while regions jump far ahead: on this corpus "
+               "essentially the *entire* C-column gain comes from "
+               "non-monotone expressiveness (the Figure-1 dips), not from "
+               "better calibration of a monotone rule.\n";
+  return 0;
+}

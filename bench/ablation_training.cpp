@@ -1,0 +1,39 @@
+// Ablation: training-set size. The paper fixes 10% (Section V-A2) and notes
+// "the performance of the ER algorithm depends on how well the training set
+// represents the features of the complete dataset"; this sweep quantifies
+// that dependence.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace weber;
+
+int main() {
+  corpus::SyntheticData data = bench::GenerateOrDie(corpus::Www05Config());
+
+  std::cout << "== Ablation: training fraction (WWW'05-like corpus, C10 and "
+               "I10, 3-run averages) ==\n";
+  TablePrinter table;
+  table.SetHeader({"train fraction", "I10 Fp", "C10 Fp", "C10 F", "C10 Rand"});
+  for (double fraction : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    core::ExperimentRunner runner(&data.dataset, &data.gazetteer, 3, 0xAB1B8);
+    bench::CheckOk(runner.Prepare({}, fraction), "prepare");
+    auto i10 = bench::CheckResult(
+        runner.Run(bench::ThresholdBestConfig("I10", core::kSubsetI10)),
+        "I10 run");
+    auto c10 = bench::CheckResult(
+        runner.Run(bench::RegionBestConfig("C10", core::kSubsetI10)),
+        "C10 run");
+    table.AddRow({FormatDouble(fraction, 2),
+                  FormatDouble(i10.overall.fp_measure, 4),
+                  FormatDouble(c10.overall.fp_measure, 4),
+                  FormatDouble(c10.overall.f_measure, 4),
+                  FormatDouble(c10.overall.rand_index, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: quality rises with the training fraction and "
+               "flattens; the region advantage (C10 - I10) persists at 10% "
+               "(the paper's operating point).\n";
+  return 0;
+}

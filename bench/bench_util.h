@@ -1,0 +1,110 @@
+// Shared helpers for the reproduction benchmarks (one binary per paper
+// table/figure). Not part of the public library API.
+
+#ifndef WEBER_BENCH_BENCH_UTIL_H_
+#define WEBER_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/weber.h"
+
+namespace weber {
+namespace bench {
+
+/// The number of randomized runs averaged per configuration (Section V-A2).
+inline constexpr int kNumRuns = 5;
+
+/// Aborts with a message when a Status is not OK (benchmarks have no
+/// recovery path; a failure is a bug).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << " failed: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << " failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+/// Resolver configuration for a single similarity function evaluated with
+/// the plain threshold criterion (the individual bars in Figures 2-3 and the
+/// F1..F10 columns of Table III).
+inline core::ExperimentConfig SingleFunctionConfig(const std::string& name) {
+  core::ExperimentConfig config;
+  config.label = name;
+  config.options.function_names = {name};
+  config.options.use_region_criteria = false;
+  config.options.combination = core::CombinationStrategy::kBestGraph;
+  return config;
+}
+
+/// I columns of Table II: best threshold-only decision graph over a
+/// function subset.
+inline core::ExperimentConfig ThresholdBestConfig(
+    const std::string& label, const std::vector<std::string>& functions) {
+  core::ExperimentConfig config;
+  config.label = label;
+  config.options.function_names = functions;
+  config.options.use_region_criteria = false;
+  config.options.combination = core::CombinationStrategy::kBestGraph;
+  return config;
+}
+
+/// C columns of Table II: best decision graph over (functions x criteria),
+/// criteria including the region-accuracy models.
+inline core::ExperimentConfig RegionBestConfig(
+    const std::string& label, const std::vector<std::string>& functions) {
+  core::ExperimentConfig config;
+  config.label = label;
+  config.options.function_names = functions;
+  config.options.use_region_criteria = true;
+  config.options.combination = core::CombinationStrategy::kBestGraph;
+  return config;
+}
+
+/// The W column of Table II: accuracy-weighted average combination over all
+/// ten functions with region criteria.
+inline core::ExperimentConfig WeightedAverageConfig(
+    const std::string& label = "W") {
+  core::ExperimentConfig config;
+  config.label = label;
+  config.options.function_names = core::kSubsetI10;
+  config.options.use_region_criteria = true;
+  config.options.combination = core::CombinationStrategy::kWeightedAverage;
+  return config;
+}
+
+/// The paper's combined column for Figures 2-3: the full proposed technique
+/// (all functions, region criteria, best-graph selection).
+inline core::ExperimentConfig CombinedConfig(
+    const std::string& label = "Combined") {
+  return RegionBestConfig(label, core::kSubsetI10);
+}
+
+/// Generates a dataset from a preset config, aborting on error.
+inline corpus::SyntheticData GenerateOrDie(const corpus::GeneratorConfig& cfg) {
+  return CheckResult(corpus::SyntheticWebGenerator(cfg).Generate(),
+                     "corpus generation");
+}
+
+/// A prepared runner over a dataset.
+inline core::ExperimentRunner MakeRunner(const corpus::SyntheticData& data,
+                                         uint64_t seed, int runs = kNumRuns) {
+  core::ExperimentRunner runner(&data.dataset, &data.gazetteer, runs, seed);
+  CheckOk(runner.Prepare(), "runner preparation");
+  return runner;
+}
+
+}  // namespace bench
+}  // namespace weber
+
+#endif  // WEBER_BENCH_BENCH_UTIL_H_

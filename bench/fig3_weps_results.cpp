@@ -1,0 +1,50 @@
+// Reproduces Figure 3: per-function Fp / F / Rand bars on the WePS-2-like
+// corpus, with the combined technique as the final column.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace weber;
+
+int main() {
+  corpus::SyntheticData data = bench::GenerateOrDie(corpus::WepsConfig());
+  core::ExperimentRunner runner = bench::MakeRunner(data, 0xF16003);
+
+  std::vector<core::ExperimentConfig> configs;
+  for (const std::string& name : core::kSubsetI10) {
+    configs.push_back(bench::SingleFunctionConfig(name));
+  }
+  configs.push_back(bench::CombinedConfig());
+
+  auto results = bench::CheckResult(runner.RunAllParallel(configs, 8), "figure 3");
+
+  std::cout << "== Figure 3: WEPS results graph (" << runner.num_runs()
+            << "-run averages over 10 ACL'08-style names) ==\n";
+  TablePrinter table;
+  table.SetHeader({"function", "Fp-measure", "F-measure", "Rand-index"});
+  for (const auto& r : results) {
+    table.AddRow({r.label, FormatDouble(r.overall.fp_measure, 4),
+                  FormatDouble(r.overall.f_measure, 4),
+                  FormatDouble(r.overall.rand_index, 4)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nFp-measure bars:\n";
+  for (const auto& r : results) {
+    int bar = static_cast<int>(r.overall.fp_measure * 60 + 0.5);
+    std::cout << (r.label + std::string(9 - std::min<size_t>(r.label.size(), 8),
+                                        ' '))
+              << std::string(bar, r.label == "Combined" ? '#' : '=') << " "
+              << FormatDouble(r.overall.fp_measure, 4) << "\n";
+  }
+
+  const auto& combined = results.back();
+  int beaten = 0;
+  for (size_t i = 0; i + 1 < results.size(); ++i) {
+    if (combined.overall.fp_measure > results[i].overall.fp_measure) ++beaten;
+  }
+  std::cout << "\ncombined beats " << beaten << "/" << results.size() - 1
+            << " individual functions on Fp (paper: 10/10)\n";
+  return 0;
+}

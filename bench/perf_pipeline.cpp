@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks for the resolution pipeline: similarity
+// matrices, decision-criterion fitting, clustering, and end-to-end block
+// resolution.
+
+#include <benchmark/benchmark.h>
+
+#include "core/weber.h"
+#include "ml/splitter.h"
+
+namespace {
+
+using namespace weber;
+
+const corpus::SyntheticData& SharedData() {
+  static const corpus::SyntheticData data = [] {
+    auto result =
+        corpus::SyntheticWebGenerator(corpus::Www05Config()).Generate();
+    return std::move(result).ValueOrDie();
+  }();
+  return data;
+}
+
+/// Pre-extracted feature bundles of the first block.
+const std::vector<extract::FeatureBundle>& SharedBundles() {
+  static const std::vector<extract::FeatureBundle> bundles = [] {
+    const auto& data = SharedData();
+    extract::FeatureExtractor extractor(&data.gazetteer, {});
+    std::vector<extract::PageInput> pages;
+    for (const auto& d : data.dataset.blocks[0].documents) {
+      pages.push_back({d.url, d.text});
+    }
+    auto result = extractor.ExtractBlock(pages, data.dataset.blocks[0].query);
+    return std::move(result).ValueOrDie();
+  }();
+  return bundles;
+}
+
+void BM_FeatureExtractionBlock(benchmark::State& state) {
+  const auto& data = SharedData();
+  extract::FeatureExtractor extractor(&data.gazetteer, {});
+  std::vector<extract::PageInput> pages;
+  for (const auto& d : data.dataset.blocks[0].documents) {
+    pages.push_back({d.url, d.text});
+  }
+  for (auto _ : state) {
+    auto result = extractor.ExtractBlock(pages, data.dataset.blocks[0].query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * pages.size());
+}
+BENCHMARK(BM_FeatureExtractionBlock);
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  auto functions = core::MakeStandardFunctions();
+  const auto& fn = *functions[static_cast<size_t>(state.range(0))];
+  const auto& bundles = SharedBundles();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeSimilarityMatrix(fn, bundles));
+  }
+  const long long pairs =
+      static_cast<long long>(bundles.size()) * (bundles.size() - 1) / 2;
+  state.SetItemsProcessed(state.iterations() * pairs);
+  state.SetLabel(std::string(fn.name()));
+}
+BENCHMARK(BM_SimilarityMatrix)->DenseRange(0, 9);
+
+void BM_KMeansRegionFit(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<ml::LabeledSimilarity> training;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.UniformDouble();
+    training.push_back({v, v > 0.6});
+  }
+  for (auto _ : state) {
+    auto model = ml::RegionAccuracyModel::FitKMeans(
+        training, static_cast<int>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_KMeansRegionFit)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  graph::DecisionGraph g(n, 0, 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.Set(i, j, rng.Bernoulli(0.05) ? 1 : 0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::TransitiveClosure(g));
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_CorrelationClustering(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  graph::SimilarityMatrix probs(n, 0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      probs.Set(i, j, rng.UniformDouble());
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CorrelationClustering(probs));
+  }
+}
+BENCHMARK(BM_CorrelationClustering)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ResolveBlockEndToEnd(benchmark::State& state) {
+  const auto& data = SharedData();
+  auto resolver =
+      core::EntityResolver::Create(&data.gazetteer, core::ResolverOptions{});
+  Rng rng(4);
+  for (auto _ : state) {
+    auto result = resolver->ResolveBlock(data.dataset.blocks[0], &rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ResolveBlockEndToEnd);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    benchmark::DoNotOptimize(data);
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+void BM_Metrics(benchmark::State& state) {
+  const int n = 1000;
+  Rng rng(5);
+  std::vector<int> truth(n), pred(n);
+  for (int i = 0; i < n; ++i) {
+    truth[i] = rng.UniformInt(0, 30);
+    pred[i] = rng.UniformInt(0, 25);
+  }
+  auto t = graph::Clustering::FromLabels(truth);
+  auto p = graph::Clustering::FromLabels(pred);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::Evaluate(t, p));
+  }
+}
+BENCHMARK(BM_Metrics);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the text-processing substrate:
+// tokenizer, stemmer, analyzer, TF-IDF vectorization, gazetteer annotation.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "extract/gazetteer.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace weber;
+
+/// One shared corpus for all text benchmarks (generated once).
+const corpus::SyntheticData& SharedData() {
+  static const corpus::SyntheticData data = [] {
+    auto result = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    return std::move(result).ValueOrDie();
+  }();
+  return data;
+}
+
+const std::string& SampleText() {
+  return SharedData().dataset.blocks[0].documents[0].text;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  const std::string& doc = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(doc));
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  const char* words[] = {"caresses", "relational", "generalization",
+                         "disambiguating", "entities", "resolution"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStemmer::Stem(words[i++ % 6]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_Analyze(benchmark::State& state) {
+  text::Analyzer analyzer;
+  const std::string& doc = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(doc));
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_Analyze);
+
+void BM_TfIdfVectorize(benchmark::State& state) {
+  text::Analyzer analyzer;
+  text::TfIdfModel model;
+  const auto& block = SharedData().dataset.blocks[0];
+  std::vector<std::vector<std::string>> analyzed;
+  for (const auto& d : block.documents) {
+    analyzed.push_back(analyzer.Analyze(d.text));
+    model.AddDocument(analyzed.back());
+  }
+  (void)model.Finalize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Vectorize(analyzed[i++ % analyzed.size()]));
+  }
+}
+BENCHMARK(BM_TfIdfVectorize);
+
+void BM_GazetteerAnnotate(benchmark::State& state) {
+  const auto& data = SharedData();
+  const std::string& doc = SampleText();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.gazetteer.Annotate(doc));
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_GazetteerAnnotate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Reproduces Table II: I4/I7/I10 (threshold-only best graph) vs C4/C7/C10
+// (region-accuracy best graph) vs W (weighted-average combination) on both
+// datasets, for Fp-measure, F-measure and Rand index, next to the figures
+// the paper reports for itself and for related work.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/significance.h"
+
+using namespace weber;
+
+namespace {
+
+struct PaperRow {
+  const char* metric;
+  double i4, i7, i10, c4, c7, c10, w;
+  const char* related;
+};
+
+// The paper's Table II, quoted for side-by-side comparison.
+constexpr PaperRow kPaperWww[] = {
+    {"Fp", 0.8128, 0.8211, 0.8232, 0.8537, 0.8732, 0.8774, 0.8371,
+     "0.864 [20], 0.9000 [19]"},
+    {"F", 0.7654, 0.7773, 0.7822, 0.8338, 0.8376, 0.8438, 0.8168,
+     "0.8000 [17], 0.8 [19]"},
+    {"Rand", 0.8018, 0.8109, 0.8326, 0.8747, 0.8814, 0.8886, 0.8531, ""},
+};
+constexpr PaperRow kPaperWeps[] = {
+    {"Fp", 0.7270, 0.7388, 0.7682, 0.7560, 0.7659, 0.7880, 0.7785,
+     "0.791 [20], WePS: 0.7800"},
+    {"F", 0.7042, 0.7042, 0.7042, 0.7127, 0.7231, 0.7476, 0.7190, ""},
+    {"Rand", 0.7102, 0.7102, 0.7139, 0.7492, 0.7531, 0.7675, 0.7290, ""},
+};
+
+void RunDataset(const char* title, const corpus::GeneratorConfig& cfg,
+                uint64_t seed, const PaperRow* paper_rows) {
+  corpus::SyntheticData data = bench::GenerateOrDie(cfg);
+  core::ExperimentRunner runner = bench::MakeRunner(data, seed);
+
+  std::vector<core::ExperimentConfig> configs = {
+      bench::ThresholdBestConfig("I4", core::kSubsetI4),
+      bench::ThresholdBestConfig("I7", core::kSubsetI7),
+      bench::ThresholdBestConfig("I10", core::kSubsetI10),
+      bench::RegionBestConfig("C4", core::kSubsetI4),
+      bench::RegionBestConfig("C7", core::kSubsetI7),
+      bench::RegionBestConfig("C10", core::kSubsetI10),
+      bench::WeightedAverageConfig("W"),
+  };
+  auto results =
+      bench::CheckResult(runner.RunAllParallel(configs, 8), "table II experiment");
+
+  std::cout << "== Table II (" << title << ", " << runner.num_runs()
+            << "-run averages) ==\n";
+  TablePrinter table;
+  table.SetHeader({"metric", "I4", "I7", "I10", "C4", "C7", "C10", "W",
+                   "paper (same cols)", "related work"});
+  const char* metrics[] = {"Fp", "F", "Rand"};
+  for (int m = 0; m < 3; ++m) {
+    std::vector<std::string> row = {metrics[m]};
+    for (const auto& r : results) {
+      row.push_back(FormatDouble(eval::MetricByName(r.overall, metrics[m]), 4));
+    }
+    const PaperRow& p = paper_rows[m];
+    row.push_back(FormatDouble(p.i4, 2) + "/" + FormatDouble(p.i7, 2) + "/" +
+                  FormatDouble(p.i10, 2) + "/" + FormatDouble(p.c4, 2) + "/" +
+                  FormatDouble(p.c7, 2) + "/" + FormatDouble(p.c10, 2) + "/" +
+                  FormatDouble(p.w, 2));
+    row.push_back(p.related);
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  // Headline significance: C10 vs I10 on per-block Fp (paired bootstrap).
+  std::vector<double> i10_fp, c10_fp;
+  for (const auto& r : results) {
+    if (r.label == "I10") {
+      for (const auto& b : r.per_block) i10_fp.push_back(b.fp_measure);
+    }
+    if (r.label == "C10") {
+      for (const auto& b : r.per_block) c10_fp.push_back(b.fp_measure);
+    }
+  }
+  auto boot = eval::PairedBootstrap(c10_fp, i10_fp);
+  if (boot.ok()) {
+    std::cout << "C10 - I10 per-block Fp: mean "
+              << FormatDouble(boot->mean_difference, 4) << " (95% CI ["
+              << FormatDouble(boot->ci_low, 4) << ", "
+              << FormatDouble(boot->ci_high, 4) << "], one-sided p = "
+              << FormatDouble(boot->p_value, 4) << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("WWW'05-like corpus", corpus::Www05Config(), 0xAA01,
+             kPaperWww);
+  RunDataset("WePS-2-like corpus", corpus::WepsConfig(), 0xBB02, kPaperWeps);
+  std::cout << "Expected shape (paper): C* > I* column-wise; more functions "
+               "help (4 <= 7 <= 10); C10 best; W between I* and C10; WePS "
+               "below WWW'05.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Accuracy regions walkthrough: shows, for one similarity function of one
+// block, how the paper's region-accuracy machinery works — the fitted
+// threshold, the equal-width and k-means region profiles, and where the
+// region decisions differ from the threshold decisions.
+//
+//   $ ./build/examples/accuracy_regions [name] [function]
+
+#include <iostream>
+
+#include "core/decision.h"
+#include "core/weber.h"
+#include "ml/splitter.h"
+
+using namespace weber;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "cohen";
+  const std::string function = argc > 2 ? argv[2] : "F2";
+
+  auto data = corpus::SyntheticWebGenerator(corpus::Www05Config()).Generate();
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  const corpus::Block* block = nullptr;
+  for (const corpus::Block& b : data->dataset.blocks) {
+    if (b.query == name) block = &b;
+  }
+  if (block == nullptr) {
+    std::cerr << "no block named '" << name << "'\n";
+    return 1;
+  }
+
+  // Features and one similarity matrix.
+  extract::FeatureExtractor extractor(&data->gazetteer, {});
+  std::vector<extract::PageInput> pages;
+  for (const corpus::Document& d : block->documents) {
+    pages.push_back({d.url, d.text});
+  }
+  auto bundles = extractor.ExtractBlock(pages, block->query);
+  if (!bundles.ok()) {
+    std::cerr << bundles.status() << "\n";
+    return 1;
+  }
+  auto fns = core::MakeFunctions({function});
+  if (!fns.ok()) {
+    std::cerr << fns.status() << "\n";
+    return 1;
+  }
+  graph::SimilarityMatrix sims =
+      core::ComputeSimilarityMatrix(*fns->front(), *bundles);
+
+  // Training pairs (the paper's 10%).
+  Rng rng(99);
+  auto train_pairs = ml::SampleTrainingPairs(block->num_documents(), 0.10, &rng);
+  std::vector<ml::LabeledSimilarity> training;
+  for (const auto& [a, b] : train_pairs) {
+    training.push_back(
+        {sims.Get(a, b), block->entity_labels[a] == block->entity_labels[b]});
+  }
+  std::cout << "function " << function << " on block '" << name << "': "
+            << training.size() << " labeled training pairs\n\n";
+
+  // Fit all three criteria.
+  core::ThresholdCriterion threshold;
+  auto eq = core::RegionCriterion::EqualWidth(10);
+  auto km = core::RegionCriterion::KMeans(8);
+  for (core::DecisionCriterion* c :
+       std::initializer_list<core::DecisionCriterion*>{&threshold, eq.get(),
+                                                       km.get()}) {
+    if (auto st = c->Fit(training, &rng); !st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  std::cout << "threshold criterion: t* = "
+            << FormatDouble(threshold.threshold(), 4)
+            << ", train accuracy = "
+            << FormatDouble(threshold.train_accuracy(), 4) << "\n";
+  std::cout << "equal-width regions train accuracy = "
+            << FormatDouble(eq->train_accuracy(), 4) << "\n";
+  std::cout << "k-means regions train accuracy     = "
+            << FormatDouble(km->train_accuracy(), 4) << "\n\n";
+
+  // Region profile (k-means).
+  std::cout << "k-means region profile (accuracy of link existence):\n";
+  const ml::RegionAccuracyModel& model = km->model();
+  for (int r = 0; r < model.regions().num_regions(); ++r) {
+    double acc = model.region_accuracies()[r];
+    std::cout << "  center " << FormatDouble(model.regions().center(r), 3)
+              << "  samples " << model.region_sample_counts()[r] << "\t"
+              << std::string(static_cast<int>(acc * 40 + 0.5), '#') << " "
+              << FormatDouble(acc, 3)
+              << (acc >= 0.5 ? "  -> link" : "  -> no link") << "\n";
+  }
+
+  // Where do the rules disagree on the full block, and who is right?
+  long long disagreements = 0, region_right = 0, threshold_right = 0;
+  const int n = block->num_documents();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = sims.Get(i, j);
+      bool td = threshold.Decide(v);
+      bool rd = km->Decide(v);
+      if (td == rd) continue;
+      ++disagreements;
+      bool truth = block->entity_labels[i] == block->entity_labels[j];
+      if (rd == truth) ++region_right;
+      if (td == truth) ++threshold_right;
+    }
+  }
+  std::cout << "\npairs where threshold and k-means regions disagree: "
+            << disagreements << "\n";
+  if (disagreements > 0) {
+    std::cout << "  region rule correct on " << region_right
+              << ", threshold rule correct on " << threshold_right << "\n"
+              << (region_right > threshold_right
+                      ? "  -> the region model captures structure the "
+                        "threshold cannot (the paper's Section IV-A point)\n"
+                      : "  -> for this function the threshold is adequate\n");
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Extending the framework: plugging a user-defined similarity function into
+// the resolution pipeline alongside the standard ones.
+//
+// The paper's framework is deliberately open: any symmetric [0,1]-valued
+// pairwise function benefits from the same region-accuracy treatment. This
+// example defines a "document length affinity" function (pages about the
+// same person often have similar lengths — weak but non-trivial signal) and
+// measures how much the combination framework gains from it.
+//
+//   $ ./build/examples/custom_similarity
+
+#include <cmath>
+#include <iostream>
+
+#include "core/decision.h"
+#include "core/weber.h"
+#include "ml/splitter.h"
+
+using namespace weber;
+
+namespace {
+
+/// A user-defined similarity: TF-IDF mass affinity. Uses only public API.
+class LengthAffinity final : public core::SimilarityFunction {
+ public:
+  std::string_view name() const override { return "LEN"; }
+  std::string_view description() const override {
+    return "Document vector mass / ratio affinity";
+  }
+  double Compute(const extract::FeatureBundle& a,
+                 const extract::FeatureBundle& b) const override {
+    // Sparse pages have few distinct indexed terms; similar term counts
+    // give values near 1.
+    double la = static_cast<double>(a.tfidf.size());
+    double lb = static_cast<double>(b.tfidf.size());
+    if (la == 0.0 && lb == 0.0) return 1.0;
+    if (la == 0.0 || lb == 0.0) return 0.0;
+    return std::min(la, lb) / std::max(la, lb);
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  const corpus::Block& block = data->dataset.blocks[0];
+
+  // Extract features once.
+  extract::FeatureExtractor extractor(&data->gazetteer, {});
+  std::vector<extract::PageInput> pages;
+  for (const corpus::Document& d : block.documents) {
+    pages.push_back({d.url, d.text});
+  }
+  auto bundles = extractor.ExtractBlock(pages, block.query);
+  if (!bundles.ok()) {
+    std::cerr << bundles.status() << "\n";
+    return 1;
+  }
+
+  // Evaluate the custom function on its own, with the framework's decision
+  // machinery: similarity matrix -> fitted criteria -> decision graph ->
+  // transitive closure.
+  LengthAffinity custom;
+  graph::SimilarityMatrix sims =
+      core::ComputeSimilarityMatrix(custom, *bundles);
+  Rng rng(7);
+  auto train_pairs = ml::SampleTrainingPairs(block.num_documents(), 0.2, &rng);
+  std::vector<ml::LabeledSimilarity> training;
+  for (const auto& [a, b] : train_pairs) {
+    training.push_back(
+        {sims.Get(a, b), block.entity_labels[a] == block.entity_labels[b]});
+  }
+  auto criterion = core::RegionCriterion::KMeans(6);
+  if (auto st = criterion->Fit(training, &rng); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  const int n = block.num_documents();
+  graph::DecisionGraph decisions(n, 0, 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      decisions.Set(i, j, criterion->Decide(sims.Get(i, j)) ? 1 : 0);
+    }
+  }
+  auto clusters = graph::TransitiveClosure(decisions);
+  auto report = eval::Evaluate(block.GroundTruth(), clusters);
+  std::cout << "custom function '" << custom.name() << "' ("
+            << custom.description() << ") alone on block '" << block.query
+            << "':\n  Fp = " << FormatDouble(report->fp_measure, 4)
+            << "  (train accuracy of its k-means regions: "
+            << FormatDouble(criterion->train_accuracy(), 4) << ")\n\n";
+
+  // Compare the standard framework with and without strong functions, to
+  // show where a weak custom signal would matter.
+  for (auto [label, names] :
+       {std::pair<const char*, std::vector<std::string>>{
+            "standard F1..F10", core::kSubsetI10},
+        {"weak subset F2+F5", {"F2", "F5"}}}) {
+    core::ResolverOptions options;
+    options.function_names = names;
+    auto resolver = core::EntityResolver::Create(&data->gazetteer, options);
+    if (!resolver.ok()) {
+      std::cerr << resolver.status() << "\n";
+      return 1;
+    }
+    Rng block_rng(13);
+    auto resolution = resolver->ResolveBlock(block, &block_rng);
+    if (!resolution.ok()) {
+      std::cerr << resolution.status() << "\n";
+      return 1;
+    }
+    auto rep = eval::Evaluate(block.GroundTruth(), resolution->clustering);
+    std::cout << label << ": Fp = " << FormatDouble(rep->fp_measure, 4)
+              << " (chose " << resolution->chosen_source << ")\n";
+  }
+  std::cout << "\nTo register a custom function inside EntityResolver, add "
+               "it to the vector returned by MakeStandardFunctions, or drive "
+               "the pipeline manually as above — every stage is public "
+               "API.\n";
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "common/flags.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace weber {
+
+void FlagParser::AddString(const std::string& name, std::string default_value,
+                           std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.default_repr = "\"" + default_value + "\"";
+  flag.string_value = std::move(default_value);
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddInt(const std::string& name, int default_value,
+                        std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flag.default_repr = std::to_string(default_value);
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  flag.default_repr = FormatDouble(default_value, 3);
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flag.default_repr = default_value ? "true" : "false";
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& name,
+                            const std::string& value) {
+  flag->was_set = true;
+  switch (flag->type) {
+    case Type::kString:
+      flag->string_value = value;
+      return Status::OK();
+    case Type::kInt:
+      if (!ParseInt(value, &flag->int_value)) {
+        return Status::InvalidArgument("--", name, ": expected int, got '",
+                                       value, "'");
+      }
+      return Status::OK();
+    case Type::kDouble:
+      if (!ParseDouble(value, &flag->double_value)) {
+        return Status::InvalidArgument("--", name, ": expected number, got '",
+                                       value, "'");
+      }
+      return Status::OK();
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        flag->bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("--", name,
+                                       ": expected true/false, got '", value,
+                                       "'");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      // --noflag for booleans.
+      if (StartsWith(name, "no")) {
+        auto no_it = flags_.find(name.substr(2));
+        if (no_it != flags_.end() && no_it->second.type == Type::kBool &&
+            !has_value) {
+          no_it->second.bool_value = false;
+          no_it->second.was_set = true;
+          continue;
+        }
+      }
+      return Status::InvalidArgument("unknown flag --", name);
+    }
+    Flag& flag = it->second;
+
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;
+        flag.was_set = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--", name, ": missing value");
+      }
+      value = argv[++i];
+    }
+    WEBER_RETURN_NOT_OK(SetValue(&flag, name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kString);
+  return it == flags_.end() ? std::string() : it->second.string_value;
+}
+
+int FlagParser::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kInt);
+  return it == flags_.end() ? 0 : it->second.int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kDouble);
+  return it == flags_.end() ? 0.0 : it->second.double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && it->second.type == Type::kBool);
+  return it == flags_.end() ? false : it->second.bool_value;
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.was_set;
+}
+
+std::string FlagParser::Usage(const std::string& program_description) const {
+  std::string out = program_description + "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + "  (default " + flag.default_repr + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace weber

@@ -1,0 +1,76 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+//   FlagParser flags;
+//   flags.AddString("dataset", "", "path to a WEBER dataset file");
+//   flags.AddInt("runs", 5, "number of randomized runs");
+//   flags.AddBool("regions", true, "use region criteria");
+//   WEBER_RETURN_NOT_OK(flags.Parse(argc, argv));
+//   std::string path = flags.GetString("dataset");
+//
+// Accepted syntax: --name=value, --name value, --bool_flag, --nobool_flag.
+// Non-flag arguments are collected as positional arguments.
+
+#ifndef WEBER_COMMON_FLAGS_H_
+#define WEBER_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace weber {
+
+/// Declarative flag registry + parser. Not thread-safe; build, parse, read.
+class FlagParser {
+ public:
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int default_value, std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv (skipping argv[0]). Returns InvalidArgument on unknown
+  /// flags, missing values, or unparseable values.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; the flag must have been declared with the matching
+  /// type (asserted in debug builds, default-constructed otherwise).
+  std::string GetString(const std::string& name) const;
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  /// Arguments that are not flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a --help style usage block.
+  std::string Usage(const std::string& program_description) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    int int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string default_repr;
+    bool was_set = false;
+  };
+
+  Status SetValue(Flag* flag, const std::string& name,
+                  const std::string& value);
+
+  std::map<std::string, Flag> flags_;  // ordered for stable Usage output
+  std::vector<std::string> positional_;
+};
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_FLAGS_H_

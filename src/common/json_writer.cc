@@ -1,0 +1,136 @@
+#include "common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace weber {
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  if (stack_.back() && !pending_key_) {
+    assert(false && "JsonWriter: value in object without Key()");
+    return;
+  }
+  if (!stack_.back() && has_items_.back()) os_ << ",";
+  if (!stack_.back()) has_items_.back() = true;
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << "{";
+  stack_.push_back(true);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back());
+  os_ << "}";
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << "[";
+  stack_.push_back(false);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && !stack_.back());
+  os_ << "]";
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back() && !pending_key_);
+  if (has_items_.back()) os_ << ",";
+  has_items_.back() = true;
+  os_ << "\"" << Escape(key) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  os_ << "\"" << Escape(value) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(long long value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace weber

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer, for exporting experiment results and
+// resolutions to downstream analysis (plots, notebooks). Write-only — the
+// library never needs to parse JSON.
+
+#ifndef WEBER_COMMON_JSON_WRITER_H_
+#define WEBER_COMMON_JSON_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weber {
+
+/// Emits syntactically valid JSON with proper string escaping and
+/// locale-independent number formatting.
+///
+///   JsonWriter json(os);
+///   json.BeginObject();
+///   json.Key("name").String("cohen");
+///   json.Key("fp").Number(0.8774);
+///   json.Key("sizes").BeginArray();
+///   json.Number(3).Number(2);
+///   json.EndArray();
+///   json.EndObject();
+///
+/// The writer tracks nesting and inserts commas automatically. Misuse
+/// (e.g. Key at array level) is the caller's bug; assertions fire in debug
+/// builds.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(long long value);
+  JsonWriter& Number(int value) { return Number(static_cast<long long>(value)); }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void BeforeValue();
+
+  std::ostream& os_;
+  /// One entry per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  /// Whether the current container already holds a value.
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_JSON_WRITER_H_

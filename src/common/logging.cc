@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstring>
+
+namespace weber {
+
+LogLevel Logger::level_ = LogLevel::kWarning;
+
+namespace {
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void Logger::Emit(LogLevel level, const char* file, int line,
+                  const std::string& message) {
+  std::cerr << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
+            << "] " << message << "\n";
+}
+
+}  // namespace weber

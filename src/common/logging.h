@@ -1,0 +1,70 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Usage:  WEBER_LOG(INFO) << "resolved " << n << " documents";
+// Default level is WARNING so library users see nothing unless they opt in
+// via Logger::SetLevel(LogLevel::kInfo).
+
+#ifndef WEBER_COMMON_LOGGING_H_
+#define WEBER_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace weber {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logging configuration. Writes to stderr.
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void SetLevel(LogLevel level) { level_ = level; }
+
+  /// Internal: emits one formatted line.
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+/// Internal: accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define WEBER_LOG_DEBUG ::weber::LogLevel::kDebug
+#define WEBER_LOG_INFO ::weber::LogLevel::kInfo
+#define WEBER_LOG_WARNING ::weber::LogLevel::kWarning
+#define WEBER_LOG_ERROR ::weber::LogLevel::kError
+
+#define WEBER_LOG(severity)                                     \
+  if (WEBER_LOG_##severity < ::weber::Logger::level()) {        \
+  } else                                                        \
+    ::weber::LogMessage(WEBER_LOG_##severity, __FILE__, __LINE__)
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_LOGGING_H_

@@ -1,0 +1,153 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace weber {
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& s : s_) s = mixer.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = engine_.Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(UniformUint64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = UniformDouble(-1.0, 1.0);
+    v = UniformDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * mul;
+  have_spare_normal_ = true;
+  return u * mul;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int Rng::Zipf(int n, double s) {
+  assert(n >= 1);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Jacobsen). Works for s != 1; nudge s==1.
+  if (std::fabs(s - 1.0) < 1e-9) s = 1.0 + 1e-9;
+  const double oms = 1.0 - s;
+  auto h_integral = [oms](double x) { return std::pow(x, oms) / oms; };
+  auto h_integral_inv = [oms](double x) { return std::pow(oms * x, 1.0 / oms); };
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(n + 0.5);
+  for (;;) {
+    const double u = h_n + UniformDouble() * (h_x1 - h_n);
+    const double x = h_integral_inv(u);
+    int k = static_cast<int>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    if (k - x <= 0.5 ||
+        u >= h_integral(k + 0.5) - std::pow(static_cast<double>(k), -s)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+int Rng::Poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda > 60.0) {
+    int v = static_cast<int>(std::lround(Normal(lambda, std::sqrt(lambda))));
+    return v < 0 ? 0 : v;
+  }
+  const double l = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= UniformDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return -1;
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int>(i);
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  // Partial Fisher-Yates over an index array; O(n) space, O(n + k) time.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(UniformUint64(static_cast<uint64_t>(n - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork(uint64_t tag) {
+  SplitMix64 mixer(engine_.Next() ^ (tag * 0x9E3779B97F4A7C15ULL));
+  return Rng(mixer.Next());
+}
+
+}  // namespace weber

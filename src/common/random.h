@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (corpus generation, training-set
+// sampling, k-means seeding) draw from weber::Rng so experiments are exactly
+// reproducible from a seed. The engine is xoshiro256**, seeded via SplitMix64
+// (the construction recommended by its authors); both are implemented here so
+// results do not depend on the standard library's unspecified distributions.
+
+#ifndef WEBER_COMMON_RANDOM_H_
+#define WEBER_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace weber {
+
+/// SplitMix64: used for seeding and as a cheap stateless mixer.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// High-level deterministic random source with the distributions the library
+/// needs. Not thread-safe; create one per thread/experiment.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EEDULL) : engine_(seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() { return engine_.Next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling (Lemire-style) to avoid modulo bias.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double Normal();
+
+  /// Normal with the given mean and stddev.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^s. Implemented by inversion over precomputable partial sums is
+  /// avoided; uses rejection-inversion (Jacobsen) suitable for any n >= 1.
+  int Zipf(int n, double s);
+
+  /// Poisson-distributed count with the given mean (Knuth for small lambda,
+  /// normal approximation above 60).
+  int Poisson(double lambda);
+
+  /// Samples an index according to the (unnormalized, non-negative) weights.
+  /// Returns -1 if all weights are zero or the vector is empty.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement (k <= n).
+  /// Returned in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Derives an independent child generator; streams with distinct tags do
+  /// not overlap in practice.
+  Rng Fork(uint64_t tag);
+
+ private:
+  Xoshiro256 engine_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_RANDOM_H_

@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status return type (Arrow's arrow::Result idiom).
+
+#ifndef WEBER_COMMON_RESULT_H_
+#define WEBER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace weber {
+
+/// Holds either a successfully produced T or the Status describing why the
+/// value could not be produced.
+///
+///   Result<Dataset> r = Dataset::Load(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Shorthand accessors mirroring arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value if ok, otherwise the supplied default.
+  T ValueOr(T fallback) const& { return ok() ? std::get<T>(repr_) : fallback; }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define WEBER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define WEBER_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define WEBER_ASSIGN_OR_RETURN_NAME(a, b) WEBER_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define WEBER_ASSIGN_OR_RETURN(lhs, expr) \
+  WEBER_ASSIGN_OR_RETURN_IMPL(            \
+      WEBER_ASSIGN_OR_RETURN_NAME(_weber_result_, __LINE__), lhs, expr)
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_RESULT_H_

@@ -1,0 +1,144 @@
+// Status: error-signalling return type used across the WEBER library.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing exceptions. A Status is
+// cheap to copy in the OK case (single pointer-sized enum + empty string).
+
+#ifndef WEBER_COMMON_STATUS_H_
+#define WEBER_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace weber {
+
+/// Error categories. Kept deliberately small; the message carries detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: a code plus an explanatory message.
+///
+/// Typical usage:
+///
+///   Status s = collection.Load(path);
+///   if (!s.ok()) return s;  // propagate
+///
+/// Construct errors through the named factories:
+///
+///   return Status::InvalidArgument("k must be positive, got ", k);
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The explanatory message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Make(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Corruption(Args&&... args) {
+    return Make(StatusCode::kCorruption, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::string msg;
+    (AppendTo(&msg, std::forward<Args>(args)), ...);
+    return Status(code, std::move(msg));
+  }
+
+  static void AppendTo(std::string* out, std::string_view piece) {
+    out->append(piece);
+  }
+  static void AppendTo(std::string* out, const char* piece) { out->append(piece); }
+  static void AppendTo(std::string* out, const std::string& piece) {
+    out->append(piece);
+  }
+  template <typename T>
+  static void AppendTo(std::string* out, const T& value) {
+    out->append(std::to_string(value));
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status from the current function.
+#define WEBER_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::weber::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_STATUS_H_

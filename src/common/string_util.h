@@ -1,0 +1,50 @@
+// Small string helpers shared across the library.
+
+#ifndef WEBER_COMMON_STRING_UTIL_H_
+#define WEBER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weber {
+
+/// ASCII lowercasing (the library treats text as ASCII-folded UTF-8; bytes
+/// outside [A-Z] are passed through).
+std::string ToLowerAscii(std::string_view s);
+
+/// ASCII uppercasing.
+std::string ToUpperAscii(std::string_view s);
+
+/// Removes leading and trailing whitespace (space, tab, CR, LF, FF, VT).
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits on a single character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any whitespace run; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Formats a double with the given number of decimals (fixed notation).
+std::string FormatDouble(double value, int decimals);
+
+/// Parses a double; returns false on malformed input (trailing junk counts
+/// as malformed).
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses an int; returns false on malformed input.
+bool ParseInt(std::string_view s, int* out);
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_STRING_UTIL_H_

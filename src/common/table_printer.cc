@@ -1,0 +1,79 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace weber {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+  align_.assign(header_.size(), Align::kRight);
+  if (!align_.empty()) align_[0] = Align::kLeft;
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({kSeparatorMarker}); }
+
+void TablePrinter::SetAlign(size_t column, Align align) {
+  if (column < align_.size()) align_[column] = align;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  // Compute column widths.
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorMarker) continue;
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      size_t pad = width[c] - std::min(width[c], cell.size());
+      if (c > 0) os << "  ";
+      if (align_[c] == Align::kRight) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+    }
+    os << "\n";
+  };
+
+  auto print_rule = [&] {
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  };
+
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorMarker) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorMarker) continue;
+    print_row(row);
+  }
+}
+
+}  // namespace weber

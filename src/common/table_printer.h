@@ -1,0 +1,53 @@
+// Aligned fixed-width console tables, used by the benchmark harness to print
+// the paper's tables/figures as readable text.
+
+#ifndef WEBER_COMMON_TABLE_PRINTER_H_
+#define WEBER_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace weber {
+
+/// Collects rows of string cells and renders them with per-column alignment.
+///
+///   TablePrinter t;
+///   t.SetHeader({"name", "Fp", "F1"});
+///   t.AddRow({"Cohen", "0.8991", "0.8816"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Column alignment; numbers read best right-aligned.
+  enum class Align { kLeft, kRight };
+
+  void SetHeader(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Sets the alignment for a column (default: first column left, rest
+  /// right). Must be called after SetHeader.
+  void SetAlign(size_t column, Align align);
+
+  /// Renders the table. Cell widths are computed from content.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as comma-separated values (no alignment padding).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static constexpr const char* kSeparatorMarker = "\x01--";
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+// Wall-clock timer for coarse experiment timings.
+
+#ifndef WEBER_COMMON_TIMER_H_
+#define WEBER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace weber {
+
+/// Starts on construction; ElapsedSeconds/Millis read without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_TIMER_H_

@@ -1,0 +1,126 @@
+#include "core/active_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace weber {
+namespace core {
+
+namespace {
+
+/// Per-function preliminary vote: similarity above the function's own
+/// median pair value counts as a provisional "link" vote. The median is a
+/// label-free stand-in for the fitted threshold.
+std::vector<double> MedianPerFunction(
+    const std::vector<graph::SimilarityMatrix>& matrices) {
+  std::vector<double> medians;
+  medians.reserve(matrices.size());
+  for (const auto& m : matrices) {
+    std::vector<double> values = m.data();
+    if (values.empty()) {
+      medians.push_back(0.5);
+      continue;
+    }
+    size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    medians.push_back(values[mid]);
+  }
+  return medians;
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<int, int>>> SelectTrainingPairs(
+    const std::vector<graph::SimilarityMatrix>& matrices, int budget,
+    Rng* rng, const ActiveSamplingOptions& options) {
+  if (matrices.empty()) {
+    return Status::InvalidArgument("SelectTrainingPairs: no matrices");
+  }
+  const int n = matrices.front().size();
+  for (const auto& m : matrices) {
+    if (m.size() != n) {
+      return Status::InvalidArgument("SelectTrainingPairs: size mismatch");
+    }
+  }
+  if (budget < 1) {
+    return Status::InvalidArgument("SelectTrainingPairs: budget must be >= 1");
+  }
+  const size_t num_pairs = matrices.front().num_pairs();
+  if (num_pairs == 0) return std::vector<std::pair<int, int>>{};
+  budget = std::min<int>(budget, static_cast<int>(num_pairs));
+
+  // Uncertainty score per pair offset.
+  std::vector<double> score(num_pairs, 0.0);
+  if (options.strategy == ActiveStrategy::kQueryByCommittee) {
+    const std::vector<double> medians = MedianPerFunction(matrices);
+    std::vector<int> votes(num_pairs, 0);
+    for (size_t f = 0; f < matrices.size(); ++f) {
+      const auto& values = matrices[f].data();
+      for (size_t k = 0; k < num_pairs; ++k) {
+        votes[k] += values[k] > medians[f] ? 1 : 0;
+      }
+    }
+    // Disagreement is maximal when half the committee votes "link".
+    const double half = static_cast<double>(matrices.size()) / 2.0;
+    for (size_t k = 0; k < num_pairs; ++k) {
+      score[k] = half - std::fabs(votes[k] - half);
+    }
+  } else {
+    // Margin sampling on the mean similarity: closest to the global median
+    // is most ambiguous.
+    std::vector<double> mean(num_pairs, 0.0);
+    for (const auto& m : matrices) {
+      const auto& values = m.data();
+      for (size_t k = 0; k < num_pairs; ++k) mean[k] += values[k];
+    }
+    for (double& v : mean) v /= static_cast<double>(matrices.size());
+    std::vector<double> sorted = mean;
+    size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    const double median = sorted[mid];
+    for (size_t k = 0; k < num_pairs; ++k) {
+      score[k] = -std::fabs(mean[k] - median);
+    }
+  }
+
+  // Exploration quota: random pairs first, then the most uncertain rest.
+  const int explore = std::min(
+      budget,
+      static_cast<int>(std::lround(options.exploration_fraction * budget)));
+  std::vector<char> taken(num_pairs, 0);
+  std::vector<size_t> chosen;
+  chosen.reserve(budget);
+  for (int idx : rng->SampleWithoutReplacement(static_cast<int>(num_pairs),
+                                               explore)) {
+    taken[idx] = 1;
+    chosen.push_back(static_cast<size_t>(idx));
+  }
+  std::vector<size_t> order(num_pairs);
+  for (size_t k = 0; k < num_pairs; ++k) order[k] = k;
+  // Shuffle before the stable ranking so ties break randomly.
+  rng->Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return score[a] > score[b]; });
+  for (size_t k = 0; k < num_pairs && static_cast<int>(chosen.size()) < budget;
+       ++k) {
+    if (!taken[order[k]]) {
+      taken[order[k]] = 1;
+      chosen.push_back(order[k]);
+    }
+  }
+
+  // Decode offsets back to (i, j) using the canonical upper-triangle
+  // layout.
+  const graph::SimilarityMatrix& layout = matrices.front();
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(chosen.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (taken[layout.Index(i, j)]) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,53 @@
+// Active selection of training pairs. The paper samples its 10% training
+// set uniformly and notes that "the performance of the ER algorithm
+// depends on how well the training set represents the features of the
+// complete dataset" (Section V-A2). When labels are bought one pair at a
+// time (crowdsourcing, curation), uniform sampling wastes budget on pairs
+// every function already agrees about; this module picks the pairs the
+// current function pool is most *uncertain* about.
+//
+// Two classic strategies are provided:
+//   * query-by-committee: label pairs where the functions' preliminary
+//     (threshold-at-median) votes disagree the most;
+//   * margin sampling: label pairs whose mean similarity is closest to the
+//     decision boundary.
+// Both include an exploration quota of uniformly random pairs so the
+// labeled sample still covers the easy regions the region-accuracy models
+// need for calibration.
+
+#ifndef WEBER_CORE_ACTIVE_SAMPLING_H_
+#define WEBER_CORE_ACTIVE_SAMPLING_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/pair_matrix.h"
+
+namespace weber {
+namespace core {
+
+enum class ActiveStrategy : int {
+  kQueryByCommittee = 0,
+  kMarginSampling = 1,
+};
+
+struct ActiveSamplingOptions {
+  ActiveStrategy strategy = ActiveStrategy::kQueryByCommittee;
+  /// Fraction of the budget spent on uniformly random pairs (exploration).
+  double exploration_fraction = 0.3;
+};
+
+/// Selects `budget` training pairs from the n-document block described by
+/// the per-function similarity matrices. Returns (i, j) pairs with i < j,
+/// sorted. Returns InvalidArgument when matrices is empty, sizes disagree,
+/// or budget < 1; the budget is capped at the number of pairs.
+Result<std::vector<std::pair<int, int>>> SelectTrainingPairs(
+    const std::vector<graph::SimilarityMatrix>& matrices, int budget,
+    Rng* rng, const ActiveSamplingOptions& options = {});
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_ACTIVE_SAMPLING_H_

@@ -1,0 +1,231 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <list>
+#include <numeric>
+
+#include "extract/url.h"
+#include "graph/components.h"
+#include "ml/threshold.h"
+
+namespace weber {
+namespace core {
+
+namespace {
+
+text::SparseVector SumVectors(const text::SparseVector& a,
+                              const text::SparseVector& b) {
+  std::vector<text::SparseVector::Entry> entries(a.entries());
+  entries.insert(entries.end(), b.entries().begin(), b.entries().end());
+  return text::SparseVector::FromPairs(std::move(entries));
+}
+
+/// Fits the match threshold from labeled training pairs under a given
+/// pairwise score function.
+template <typename ScoreFn>
+Result<double> FitMatchThreshold(
+    const std::vector<extract::FeatureBundle>& bundles,
+    const std::vector<int>& entity_labels,
+    const std::vector<std::pair<int, int>>& training_pairs, double margin,
+    const ScoreFn& score) {
+  if (training_pairs.empty()) {
+    return Status::InvalidArgument("baseline: no training pairs");
+  }
+  std::vector<ml::LabeledSimilarity> labeled;
+  labeled.reserve(training_pairs.size());
+  for (const auto& [a, b] : training_pairs) {
+    labeled.push_back(
+        {score(bundles[a], bundles[b]), entity_labels[a] == entity_labels[b]});
+  }
+  WEBER_ASSIGN_OR_RETURN(ml::ThresholdFit fit, ml::FitOptimalThreshold(labeled));
+  return std::min(1.0, fit.threshold + margin);
+}
+
+}  // namespace
+
+extract::FeatureBundle MergeBundles(const extract::FeatureBundle& a,
+                                    const extract::FeatureBundle& b) {
+  extract::FeatureBundle merged;
+  merged.weighted_concepts = SumVectors(a.weighted_concepts, b.weighted_concepts);
+  merged.concepts = SumVectors(a.concepts, b.concepts);
+  merged.organizations = SumVectors(a.organizations, b.organizations);
+  merged.other_persons = SumVectors(a.other_persons, b.other_persons);
+  // TF-IDF: average then renormalize so the merged profile stays on the
+  // unit sphere the cosine measures expect.
+  merged.tfidf = SumVectors(a.tfidf, b.tfidf);
+  merged.tfidf.Scale(0.5);
+  merged.tfidf = merged.tfidf.Normalized();
+  merged.tfidf_dimension = std::max(a.tfidf_dimension, b.tfidf_dimension);
+  // Names/URL: keep the richer side's values (non-empty wins, a wins ties).
+  merged.most_frequent_name =
+      !a.most_frequent_name.empty() ? a.most_frequent_name
+                                    : b.most_frequent_name;
+  merged.closest_name =
+      !a.closest_name.empty() ? a.closest_name : b.closest_name;
+  merged.url = !a.url.empty() ? a.url : b.url;
+  merged.informativeness = std::max(a.informativeness, b.informativeness);
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// SwooshResolver
+// ---------------------------------------------------------------------------
+
+Result<SwooshResolver> SwooshResolver::Create(BaselineOptions options) {
+  WEBER_ASSIGN_OR_RETURN(auto functions, MakeFunctions(options.function_names));
+  if (functions.empty()) {
+    return Status::InvalidArgument("SwooshResolver: no functions");
+  }
+  return SwooshResolver(std::move(options), std::move(functions));
+}
+
+double SwooshResolver::MatchScore(const extract::FeatureBundle& a,
+                                  const extract::FeatureBundle& b) const {
+  double sum = 0.0;
+  for (const auto& fn : functions_) sum += fn->Compute(a, b);
+  return sum / static_cast<double>(functions_.size());
+}
+
+Result<graph::Clustering> SwooshResolver::Resolve(
+    const std::vector<extract::FeatureBundle>& bundles,
+    const std::vector<int>& entity_labels,
+    const std::vector<std::pair<int, int>>& training_pairs,
+    Rng* /*rng*/) const {
+  const int n = static_cast<int>(bundles.size());
+  if (n == 0) return Status::InvalidArgument("SwooshResolver: no documents");
+  if (static_cast<int>(entity_labels.size()) != n) {
+    return Status::InvalidArgument("SwooshResolver: label size mismatch");
+  }
+  if (n == 1) return graph::Clustering::Singletons(1);
+
+  WEBER_ASSIGN_OR_RETURN(
+      double threshold,
+      FitMatchThreshold(bundles, entity_labels, training_pairs,
+                        options_.threshold_margin,
+                        [this](const extract::FeatureBundle& a,
+                               const extract::FeatureBundle& b) {
+                          return MatchScore(a, b);
+                        }));
+
+  // R-Swoosh: R holds unresolved records, Rp ("R prime") resolved ones.
+  struct Record {
+    extract::FeatureBundle profile;
+    std::vector<int> members;
+  };
+  std::list<Record> pending;
+  for (int i = 0; i < n; ++i) {
+    pending.push_back({bundles[i], {i}});
+  }
+  std::list<Record> resolved;
+  while (!pending.empty()) {
+    Record current = std::move(pending.front());
+    pending.pop_front();
+    bool merged = false;
+    for (auto it = resolved.begin(); it != resolved.end(); ++it) {
+      if (MatchScore(current.profile, it->profile) >= threshold) {
+        // Merge and requeue the combined record: merging can enable new
+        // matches (the "merge closure").
+        Record combined;
+        combined.profile = MergeBundles(current.profile, it->profile);
+        combined.members = std::move(current.members);
+        combined.members.insert(combined.members.end(), it->members.begin(),
+                                it->members.end());
+        resolved.erase(it);
+        pending.push_back(std::move(combined));
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) resolved.push_back(std::move(current));
+  }
+
+  std::vector<int> labels(n, 0);
+  int cluster = 0;
+  for (const Record& record : resolved) {
+    for (int member : record.members) labels[member] = cluster;
+    ++cluster;
+  }
+  return graph::Clustering::FromLabels(labels);
+}
+
+// ---------------------------------------------------------------------------
+// SortedNeighborhoodResolver
+// ---------------------------------------------------------------------------
+
+Result<SortedNeighborhoodResolver> SortedNeighborhoodResolver::Create(
+    SortedNeighborhoodOptions options) {
+  if (options.window < 2) {
+    return Status::InvalidArgument("SortedNeighborhood: window must be >= 2");
+  }
+  WEBER_ASSIGN_OR_RETURN(auto functions, MakeFunctions(options.function_names));
+  if (functions.empty()) {
+    return Status::InvalidArgument("SortedNeighborhood: no functions");
+  }
+  return SortedNeighborhoodResolver(std::move(options), std::move(functions));
+}
+
+double SortedNeighborhoodResolver::MatchScore(
+    const extract::FeatureBundle& a, const extract::FeatureBundle& b) const {
+  double sum = 0.0;
+  for (const auto& fn : functions_) sum += fn->Compute(a, b);
+  return sum / static_cast<double>(functions_.size());
+}
+
+Result<graph::Clustering> SortedNeighborhoodResolver::Resolve(
+    const std::vector<extract::FeatureBundle>& bundles,
+    const std::vector<int>& entity_labels,
+    const std::vector<std::pair<int, int>>& training_pairs,
+    Rng* /*rng*/) const {
+  const int n = static_cast<int>(bundles.size());
+  if (n == 0) {
+    return Status::InvalidArgument("SortedNeighborhood: no documents");
+  }
+  if (static_cast<int>(entity_labels.size()) != n) {
+    return Status::InvalidArgument("SortedNeighborhood: label size mismatch");
+  }
+  if (n == 1) return graph::Clustering::Singletons(1);
+
+  WEBER_ASSIGN_OR_RETURN(
+      double threshold,
+      FitMatchThreshold(bundles, entity_labels, training_pairs,
+                        options_.threshold_margin,
+                        [this](const extract::FeatureBundle& a,
+                               const extract::FeatureBundle& b) {
+                          return MatchScore(a, b);
+                        }));
+
+  // Pass keys: dominant person name, then URL host (multi-pass SN).
+  auto name_key = [&](int i) {
+    return bundles[i].most_frequent_name.empty() ? bundles[i].closest_name
+                                                 : bundles[i].most_frequent_name;
+  };
+  auto host_key = [&](int i) {
+    auto parsed = extract::ParseUrl(bundles[i].url);
+    return parsed.ok() ? parsed->host : bundles[i].url;
+  };
+
+  std::vector<std::pair<int, int>> links;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      std::string ka = pass == 0 ? name_key(a) : host_key(a);
+      std::string kb = pass == 0 ? name_key(b) : host_key(b);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+    for (int i = 0; i < n; ++i) {
+      for (int d = 1; d < options_.window && i + d < n; ++d) {
+        int a = order[i];
+        int b = order[i + d];
+        if (MatchScore(bundles[a], bundles[b]) >= threshold) {
+          links.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  return graph::ConnectedComponents(n, links);
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,110 @@
+// Baseline entity resolution algorithms from the literature the paper
+// builds on, implemented over the same feature bundles so the benchmark can
+// compare the paper's framework against what it cites:
+//
+//   * SwooshResolver — R-Swoosh-style generic ER (Benjelloun et al., "Swoosh:
+//     a generic approach to entity resolution", VLDB J. 2009; Menestrina et
+//     al. 2006): records that match are *merged immediately* into a combined
+//     profile, and resolution iterates to a fixpoint of the match/merge
+//     closure.
+//   * SortedNeighborhoodResolver — the merge/purge method (Hernandez &
+//     Stolfo, SIGMOD 1995): sort records by a key, slide a fixed window,
+//     and link matching records inside the window; multiple passes with
+//     different keys are unioned.
+//
+// Both baselines use the same match evidence as the main framework (the
+// mean of the selected Table-I similarity functions, thresholded at a value
+// fitted on the training pairs), so differences in output quality are
+// attributable to the resolution *strategy*, not the features.
+
+#ifndef WEBER_CORE_BASELINES_H_
+#define WEBER_CORE_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/similarity_function.h"
+#include "graph/clustering.h"
+
+namespace weber {
+namespace core {
+
+struct BaselineOptions {
+  /// Functions averaged into the match score.
+  std::vector<std::string> function_names = kSubsetI10;
+  /// Extra margin added to the fitted threshold; Swoosh-style merging is
+  /// very sensitive to false merges (a bad merge poisons the merged
+  /// profile), so a conservative margin is customary.
+  double threshold_margin = 0.0;
+};
+
+/// Merges two page profiles into one combined profile (union of evidence):
+/// sparse feature vectors are summed, TF-IDF vectors averaged and
+/// re-normalized, names keep the more frequent page's values, and
+/// informativeness takes the maximum.
+extract::FeatureBundle MergeBundles(const extract::FeatureBundle& a,
+                                    const extract::FeatureBundle& b);
+
+/// R-Swoosh: match-and-merge to fixpoint.
+class SwooshResolver {
+ public:
+  static Result<SwooshResolver> Create(BaselineOptions options);
+
+  /// Resolves one block. The labeled training pairs calibrate the match
+  /// threshold (same protocol as the main framework).
+  Result<graph::Clustering> Resolve(
+      const std::vector<extract::FeatureBundle>& bundles,
+      const std::vector<int>& entity_labels,
+      const std::vector<std::pair<int, int>>& training_pairs, Rng* rng) const;
+
+ private:
+  explicit SwooshResolver(
+      BaselineOptions options,
+      std::vector<std::unique_ptr<SimilarityFunction>> functions)
+      : options_(std::move(options)), functions_(std::move(functions)) {}
+
+  double MatchScore(const extract::FeatureBundle& a,
+                    const extract::FeatureBundle& b) const;
+
+  BaselineOptions options_;
+  std::vector<std::unique_ptr<SimilarityFunction>> functions_;
+};
+
+struct SortedNeighborhoodOptions : BaselineOptions {
+  /// Window width of the sliding comparison window.
+  int window = 10;
+};
+
+/// Multi-pass sorted neighborhood (merge/purge): pass 1 keys on the page's
+/// dominant person name, pass 2 on the URL host; links from both passes are
+/// unioned and transitively closed.
+class SortedNeighborhoodResolver {
+ public:
+  static Result<SortedNeighborhoodResolver> Create(
+      SortedNeighborhoodOptions options);
+
+  Result<graph::Clustering> Resolve(
+      const std::vector<extract::FeatureBundle>& bundles,
+      const std::vector<int>& entity_labels,
+      const std::vector<std::pair<int, int>>& training_pairs, Rng* rng) const;
+
+ private:
+  explicit SortedNeighborhoodResolver(
+      SortedNeighborhoodOptions options,
+      std::vector<std::unique_ptr<SimilarityFunction>> functions)
+      : options_(std::move(options)), functions_(std::move(functions)) {}
+
+  double MatchScore(const extract::FeatureBundle& a,
+                    const extract::FeatureBundle& b) const;
+
+  SortedNeighborhoodOptions options_;
+  std::vector<std::unique_ptr<SimilarityFunction>> functions_;
+};
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_BASELINES_H_

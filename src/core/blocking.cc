@@ -1,0 +1,53 @@
+#include "core/blocking.h"
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace core {
+
+namespace {
+
+bool ContainsWholeWord(const std::string& haystack_lower,
+                       const std::string& needle_lower) {
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+  };
+  size_t pos = 0;
+  while ((pos = haystack_lower.find(needle_lower, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !is_word(haystack_lower[pos - 1]);
+    size_t end = pos + needle_lower.size();
+    bool right_ok = end >= haystack_lower.size() || !is_word(haystack_lower[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<corpus::Block>> BlockByQueryNames(
+    const std::vector<corpus::Document>& documents,
+    const std::vector<std::string>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("BlockByQueryNames: no queries");
+  }
+  std::vector<corpus::Block> blocks(queries.size());
+  std::vector<std::string> queries_lower(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    blocks[q].query = ToLowerAscii(queries[q]);
+    queries_lower[q] = blocks[q].query;
+  }
+  for (const corpus::Document& doc : documents) {
+    const std::string text_lower = ToLowerAscii(doc.text);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (ContainsWholeWord(text_lower, queries_lower[q])) {
+        blocks[q].documents.push_back(doc);
+        blocks[q].entity_labels.push_back(-1);
+      }
+    }
+  }
+  return blocks;
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,31 @@
+// Blocking: grouping documents by the ambiguous name they mention. The
+// paper's datasets arrive pre-blocked (one collection per queried name,
+// Section IV-C footnote 1); this utility builds such blocks from a flat
+// document collection, for pipelines that start from raw crawls.
+
+#ifndef WEBER_CORE_BLOCKING_H_
+#define WEBER_CORE_BLOCKING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/document.h"
+
+namespace weber {
+namespace core {
+
+/// Groups documents into one block per query name. A document joins the
+/// block of every query that occurs in its text as a whole word
+/// (case-insensitive), mirroring how search-engine result sets overlap.
+/// Documents matching no query are dropped. Entity labels are set to -1
+/// (unknown); blocks built this way are inputs for *resolution*, not
+/// *evaluation*. Returns InvalidArgument when `queries` is empty.
+Result<std::vector<corpus::Block>> BlockByQueryNames(
+    const std::vector<corpus::Document>& documents,
+    const std::vector<std::string>& queries);
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_BLOCKING_H_

@@ -1,0 +1,81 @@
+#include "core/candidate_blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace weber {
+namespace core {
+
+Result<CandidateBlockingResult> GenerateCandidatePairs(
+    const std::vector<std::string>& documents,
+    const CandidateBlockingOptions& options) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("GenerateCandidatePairs: no documents");
+  }
+  if (options.min_shared_terms < 1) {
+    return Status::InvalidArgument(
+        "GenerateCandidatePairs: min_shared_terms must be >= 1");
+  }
+  const int n = static_cast<int>(documents.size());
+
+  // Postings of distinct terms per document.
+  text::Analyzer analyzer(options.analyzer);
+  std::unordered_map<std::string, std::vector<int>> postings;
+  for (int d = 0; d < n; ++d) {
+    std::unordered_set<std::string> seen;
+    for (auto& term : analyzer.Analyze(documents[d])) {
+      if (seen.insert(term).second) postings[term].push_back(d);
+    }
+  }
+
+  const int df_cap = std::min(
+      options.max_term_doc_freq,
+      std::max(1, static_cast<int>(options.max_term_doc_fraction * n)));
+
+  CandidateBlockingResult result;
+  std::map<std::pair<int, int>, int> shared_counts;
+  for (const auto& [term, docs] : postings) {
+    if (static_cast<int>(docs.size()) < 2 ||
+        static_cast<int>(docs.size()) > df_cap) {
+      continue;
+    }
+    ++result.blocking_terms;
+    for (size_t a = 0; a < docs.size(); ++a) {
+      for (size_t b = a + 1; b < docs.size(); ++b) {
+        shared_counts[{docs[a], docs[b]}] += 1;
+      }
+    }
+  }
+  for (const auto& [pair, count] : shared_counts) {
+    if (count >= options.min_shared_terms) result.pairs.push_back(pair);
+  }
+  const double total = static_cast<double>(n) * (n - 1) / 2.0;
+  result.pair_fraction =
+      total > 0 ? static_cast<double>(result.pairs.size()) / total : 0.0;
+  return result;
+}
+
+double BlockingRecall(const std::vector<std::pair<int, int>>& candidates,
+                      const std::vector<int>& entity_labels) {
+  long long true_pairs = 0;
+  const int n = static_cast<int>(entity_labels.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (entity_labels[i] == entity_labels[j]) ++true_pairs;
+    }
+  }
+  if (true_pairs == 0) return 1.0;
+  long long covered = 0;
+  for (const auto& [a, b] : candidates) {
+    if (a >= 0 && b >= 0 && a < n && b < n &&
+        entity_labels[a] == entity_labels[b]) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(true_pairs);
+}
+
+}  // namespace core
+}  // namespace weber

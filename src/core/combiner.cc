@@ -1,0 +1,158 @@
+#include "core/combiner.h"
+
+#include <algorithm>
+
+#include "ml/threshold.h"
+
+namespace weber {
+namespace core {
+
+namespace {
+
+Status ValidateSources(const std::vector<DecisionSource>& sources) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("CombineDecisionGraphs: no sources");
+  }
+  const int n = sources.front().decisions.size();
+  for (const DecisionSource& s : sources) {
+    if (s.decisions.size() != n || s.link_probs.size() != n) {
+      return Status::InvalidArgument(
+          "CombineDecisionGraphs: source size mismatch for ",
+          s.function_name, "/", s.criterion_name);
+    }
+  }
+  return Status::OK();
+}
+
+CombinedGraph FromSource(const DecisionSource& source) {
+  CombinedGraph combined;
+  combined.decisions = source.decisions;
+  combined.link_probs = source.link_probs;
+  combined.chosen_source = source.function_name + "/" + source.criterion_name;
+  return combined;
+}
+
+}  // namespace
+
+std::string CombinationStrategyToString(CombinationStrategy s) {
+  switch (s) {
+    case CombinationStrategy::kBestGraph:
+      return "best-graph";
+    case CombinationStrategy::kWeightedAverage:
+      return "weighted-average";
+    case CombinationStrategy::kMajorityVote:
+      return "majority-vote";
+  }
+  return "unknown";
+}
+
+Result<CombinedGraph> CombineDecisionGraphs(
+    const std::vector<DecisionSource>& sources,
+    const std::vector<TrainingPair>& training, CombinationStrategy strategy) {
+  WEBER_RETURN_NOT_OK(ValidateSources(sources));
+  const int n = sources.front().decisions.size();
+  const size_t num_pairs = sources.front().decisions.num_pairs();
+
+  switch (strategy) {
+    case CombinationStrategy::kBestGraph: {
+      const DecisionSource* best = &sources.front();
+      for (const DecisionSource& s : sources) {
+        if (s.train_accuracy > best->train_accuracy) best = &s;
+      }
+      return FromSource(*best);
+    }
+
+    case CombinationStrategy::kWeightedAverage: {
+      // Per-pair weighted mean of the sources' link probabilities (the
+      // multigraph edges carry their accuracy-estimation weights, Section
+      // IV-B), followed by a decision threshold learned on the training
+      // pairs' combined values.
+      CombinedGraph combined;
+      combined.decisions = graph::DecisionGraph(n, 0, 1);
+      combined.link_probs = graph::SimilarityMatrix(n, 0.0, 1.0);
+      auto& probs = combined.link_probs.data();
+      // Every edge of the multigraph contributes its accuracy-estimation
+      // weight (the per-region link probability); sources enter the average
+      // weighted by their estimated graph quality relative to the best
+      // source, so a long tail of weak graphs cannot drown the informative
+      // ones.
+      double best_score = 0.0;
+      for (const DecisionSource& s : sources) {
+        best_score = std::max(best_score, s.train_accuracy);
+      }
+      double total_weight = 0.0;
+      for (const DecisionSource& s : sources) {
+        const double rel =
+            best_score > 0.0 ? s.train_accuracy / best_score : 1.0;
+        const double w = rel * rel * rel * rel + 0.01;
+        total_weight += w;
+        const auto& sp = s.link_probs.data();
+        for (size_t k = 0; k < num_pairs; ++k) probs[k] += w * sp[k];
+      }
+      const double inv = 1.0 / total_weight;
+      for (size_t k = 0; k < num_pairs; ++k) probs[k] *= inv;
+
+      // Optimal threshold on the combined values, learned from the training
+      // pairs (Section IV-B). Among thresholds whose training accuracy is
+      // within a small tolerance of the optimum, the highest is chosen:
+      // under transitive closure a false edge merges whole clusters, so the
+      // conservative end of the plateau is the safer decision rule.
+      double threshold = 0.5;
+      if (!training.empty()) {
+        std::vector<ml::LabeledSimilarity> labeled;
+        labeled.reserve(training.size());
+        for (const TrainingPair& t : training) {
+          labeled.push_back({probs[t.pair_offset], t.link});
+        }
+        WEBER_ASSIGN_OR_RETURN(ml::ThresholdFit fit,
+                               ml::FitOptimalThreshold(labeled));
+        threshold = fit.threshold;
+        constexpr double kTolerance = 0.005;
+        std::sort(labeled.begin(), labeled.end(),
+                  [](const ml::LabeledSimilarity& x,
+                     const ml::LabeledSimilarity& y) {
+                    return x.value < y.value;
+                  });
+        for (size_t i = labeled.size(); i-- > 0;) {
+          if (labeled[i].value < threshold) break;
+          const double candidate = labeled[i].value;
+          if (ml::ThresholdAccuracy(labeled, candidate) + kTolerance >=
+              fit.train_accuracy) {
+            threshold = candidate;
+            break;
+          }
+        }
+      }
+      combined.threshold = threshold;
+      auto& dec = combined.decisions.data();
+      for (size_t k = 0; k < num_pairs; ++k) {
+        dec[k] = probs[k] >= threshold ? 1 : 0;
+      }
+      combined.chosen_source = "weighted-average";
+      return combined;
+    }
+
+    case CombinationStrategy::kMajorityVote: {
+      CombinedGraph combined;
+      combined.decisions = graph::DecisionGraph(n, 0, 1);
+      combined.link_probs = graph::SimilarityMatrix(n, 0.0, 1.0);
+      auto& votes = combined.link_probs.data();
+      for (const DecisionSource& s : sources) {
+        const auto& sd = s.decisions.data();
+        for (size_t k = 0; k < num_pairs; ++k) votes[k] += sd[k] ? 1.0 : 0.0;
+      }
+      const double inv = 1.0 / static_cast<double>(sources.size());
+      auto& dec = combined.decisions.data();
+      for (size_t k = 0; k < num_pairs; ++k) {
+        votes[k] *= inv;
+        dec[k] = votes[k] > 0.5 ? 1 : 0;
+      }
+      combined.chosen_source = "majority-vote";
+      return combined;
+    }
+  }
+  return Status::InvalidArgument("unknown combination strategy");
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,77 @@
+// Combination of multiple decision graphs (Section IV-B). Each (similarity
+// function, decision criterion) pair yields one decision graph G_{D_j}
+// with per-edge link-probability weights; the combiner merges them into the
+// single graph G_combined.
+
+#ifndef WEBER_CORE_COMBINER_H_
+#define WEBER_CORE_COMBINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/components.h"
+#include "graph/pair_matrix.h"
+
+namespace weber {
+namespace core {
+
+/// One decision graph: the output of applying one criterion to one
+/// function's similarity matrix.
+struct DecisionSource {
+  std::string function_name;   ///< e.g. "F3"
+  std::string criterion_name;  ///< e.g. "regions-km8"
+  graph::DecisionGraph decisions;      ///< link / no-link per pair
+  graph::SimilarityMatrix link_probs;  ///< estimated P(link) per pair
+  /// Estimated decision accuracy on the training pairs.
+  double train_accuracy = 0.0;
+};
+
+/// How to merge the decision graphs.
+enum class CombinationStrategy : int {
+  /// Choose the source with the best estimated training accuracy ("a very
+  /// simple method ... chose the best one as G_combined. Interestingly,
+  /// this combination technique performed the best", Section IV-B). Used by
+  /// the paper's I*/C* columns.
+  kBestGraph = 0,
+  /// Per-pair weighted average of link probabilities, thresholded at a
+  /// value learned from the training pairs (the paper's W column).
+  kWeightedAverage = 1,
+  /// Simple majority vote of the per-source decisions (extra baseline from
+  /// the classifier-fusion literature the paper cites).
+  kMajorityVote = 2,
+};
+
+std::string CombinationStrategyToString(CombinationStrategy s);
+
+/// A labeled training pair: document indices, PairMatrix offset, label.
+struct TrainingPair {
+  int a = 0;
+  int b = 0;
+  size_t pair_offset = 0;
+  bool link = false;
+};
+
+/// The merged graph.
+struct CombinedGraph {
+  graph::DecisionGraph decisions;
+  /// Per-pair combined link probability (drives correlation clustering).
+  graph::SimilarityMatrix link_probs;
+  /// For kBestGraph: which source won ("F3/regions-km8").
+  std::string chosen_source;
+  /// For kWeightedAverage: the learned combination threshold.
+  double threshold = 0.5;
+};
+
+/// Merges sources with the requested strategy. `training` is needed by
+/// kWeightedAverage (to learn the combination threshold) and ignored
+/// otherwise. Returns InvalidArgument when `sources` is empty or their
+/// sizes disagree.
+Result<CombinedGraph> CombineDecisionGraphs(
+    const std::vector<DecisionSource>& sources,
+    const std::vector<TrainingPair>& training, CombinationStrategy strategy);
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_COMBINER_H_

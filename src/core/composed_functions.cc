@@ -1,0 +1,242 @@
+#include "core/composed_functions.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "extract/url.h"
+#include "text/person_name.h"
+#include "text/phonetic.h"
+#include "text/string_similarity.h"
+#include "text/vector_similarity.h"
+
+namespace weber {
+namespace core {
+
+namespace {
+
+using extract::FeatureBundle;
+using text::SparseVector;
+
+bool IsVectorFeature(PageFeature feature) {
+  switch (feature) {
+    case PageFeature::kWeightedConcepts:
+    case PageFeature::kConcepts:
+    case PageFeature::kOrganizations:
+    case PageFeature::kOtherPersons:
+    case PageFeature::kTfIdf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsVectorMeasure(PairMeasure measure) {
+  return static_cast<int>(measure) < 10;
+}
+
+const SparseVector& VectorOf(const FeatureBundle& fb, PageFeature feature) {
+  switch (feature) {
+    case PageFeature::kWeightedConcepts:
+      return fb.weighted_concepts;
+    case PageFeature::kConcepts:
+      return fb.concepts;
+    case PageFeature::kOrganizations:
+      return fb.organizations;
+    case PageFeature::kOtherPersons:
+      return fb.other_persons;
+    default:
+      return fb.tfidf;
+  }
+}
+
+const std::string& StringOf(const FeatureBundle& fb, PageFeature feature) {
+  switch (feature) {
+    case PageFeature::kMostFrequentName:
+      return fb.most_frequent_name;
+    case PageFeature::kClosestName:
+      return fb.closest_name;
+    default:
+      return fb.url;
+  }
+}
+
+/// A similarity function assembled from closures.
+class ComposedFunction final : public SimilarityFunction {
+ public:
+  using Body = std::function<double(const FeatureBundle&, const FeatureBundle&)>;
+
+  ComposedFunction(std::string name, std::string description, Body body)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        body_(std::move(body)) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
+    return std::clamp(body_(a, b), 0.0, 1.0);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Body body_;
+};
+
+ComposedFunction::Body VectorBody(PageFeature feature, PairMeasure measure) {
+  return [feature, measure](const FeatureBundle& a, const FeatureBundle& b) {
+    const SparseVector& va = VectorOf(a, feature);
+    const SparseVector& vb = VectorOf(b, feature);
+    switch (measure) {
+      case PairMeasure::kCosine:
+        return text::CosineSimilarity(va, vb);
+      case PairMeasure::kPearson: {
+        int dim = std::max(a.tfidf_dimension, b.tfidf_dimension);
+        dim = std::max(dim, va.UnionCount(vb));
+        return text::PearsonSimilarity(va, vb, dim);
+      }
+      case PairMeasure::kExtendedJaccard:
+        return text::ExtendedJaccardSimilarity(va, vb);
+      case PairMeasure::kJaccard:
+        return text::JaccardOverlap(va, vb);
+      case PairMeasure::kDice:
+        return text::DiceOverlap(va, vb);
+      case PairMeasure::kOverlapCoefficient:
+        return text::OverlapCoefficient(va, vb);
+      case PairMeasure::kSaturatingOverlap:
+      default:
+        return text::SaturatingOverlap(va, vb);
+    }
+  };
+}
+
+ComposedFunction::Body StringBody(PageFeature feature, PairMeasure measure) {
+  return [feature, measure](const FeatureBundle& a, const FeatureBundle& b) {
+    const std::string& sa = StringOf(a, feature);
+    const std::string& sb = StringOf(b, feature);
+    switch (measure) {
+      case PairMeasure::kUrlTiers:
+        return extract::UrlSimilarity(sa, sb);
+      case PairMeasure::kNameCompatibility:
+        return text::NameCompatibilitySimilarity(sa, sb);
+      case PairMeasure::kSoundex:
+        return text::SoundexSimilarity(sa, sb);
+      case PairMeasure::kPhoneticName:
+        return text::PhoneticNameSimilarity(sa, sb);
+      case PairMeasure::kJaroWinkler:
+        if (sa.empty() || sb.empty()) return 0.0;
+        return text::JaroWinklerSimilarity(sa, sb);
+      case PairMeasure::kLevenshtein:
+        if (sa.empty() || sb.empty()) return 0.0;
+        return text::LevenshteinSimilarity(sa, sb);
+      case PairMeasure::kNgram:
+      default:
+        if (sa.empty() || sb.empty()) return 0.0;
+        return text::NgramSimilarity(sa, sb);
+    }
+  };
+}
+
+}  // namespace
+
+std::string_view PageFeatureToString(PageFeature feature) {
+  switch (feature) {
+    case PageFeature::kWeightedConcepts:
+      return "weighted-concepts";
+    case PageFeature::kConcepts:
+      return "concepts";
+    case PageFeature::kOrganizations:
+      return "organizations";
+    case PageFeature::kOtherPersons:
+      return "other-persons";
+    case PageFeature::kTfIdf:
+      return "tfidf";
+    case PageFeature::kMostFrequentName:
+      return "most-frequent-name";
+    case PageFeature::kClosestName:
+      return "closest-name";
+    case PageFeature::kUrl:
+      return "url";
+  }
+  return "unknown";
+}
+
+std::string_view PairMeasureToString(PairMeasure measure) {
+  switch (measure) {
+    case PairMeasure::kCosine:
+      return "cosine";
+    case PairMeasure::kPearson:
+      return "pearson";
+    case PairMeasure::kExtendedJaccard:
+      return "extended-jaccard";
+    case PairMeasure::kJaccard:
+      return "jaccard";
+    case PairMeasure::kDice:
+      return "dice";
+    case PairMeasure::kOverlapCoefficient:
+      return "overlap-coefficient";
+    case PairMeasure::kSaturatingOverlap:
+      return "saturating-overlap";
+    case PairMeasure::kJaroWinkler:
+      return "jaro-winkler";
+    case PairMeasure::kLevenshtein:
+      return "levenshtein";
+    case PairMeasure::kNgram:
+      return "ngram";
+    case PairMeasure::kNameCompatibility:
+      return "name-compatibility";
+    case PairMeasure::kUrlTiers:
+      return "url-tiers";
+    case PairMeasure::kSoundex:
+      return "soundex";
+    case PairMeasure::kPhoneticName:
+      return "phonetic-name";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<SimilarityFunction>> ComposeFunction(
+    PageFeature feature, PairMeasure measure, std::string name) {
+  const bool vector_feature = IsVectorFeature(feature);
+  if (vector_feature != IsVectorMeasure(measure)) {
+    return Status::InvalidArgument(
+        "ComposeFunction: measure '", std::string(PairMeasureToString(measure)),
+        "' does not apply to feature '",
+        std::string(PageFeatureToString(feature)), "'");
+  }
+  std::string description = std::string(PageFeatureToString(feature)) + " / " +
+                            std::string(PairMeasureToString(measure));
+  ComposedFunction::Body body = vector_feature ? VectorBody(feature, measure)
+                                               : StringBody(feature, measure);
+  return std::unique_ptr<SimilarityFunction>(std::make_unique<ComposedFunction>(
+      std::move(name), std::move(description), std::move(body)));
+}
+
+std::vector<std::unique_ptr<SimilarityFunction>> MakeExtendedFunctions() {
+  std::vector<std::unique_ptr<SimilarityFunction>> fns =
+      MakeStandardFunctions();
+  struct Extra {
+    PageFeature feature;
+    PairMeasure measure;
+    const char* name;
+  };
+  const Extra extras[] = {
+      {PageFeature::kClosestName, PairMeasure::kNameCompatibility, "F11"},
+      {PageFeature::kMostFrequentName, PairMeasure::kNameCompatibility, "F12"},
+      {PageFeature::kConcepts, PairMeasure::kJaccard, "F13"},
+      {PageFeature::kOrganizations, PairMeasure::kDice, "F14"},
+      {PageFeature::kTfIdf, PairMeasure::kJaccard, "F15"},
+      {PageFeature::kUrl, PairMeasure::kJaroWinkler, "F16"},
+  };
+  for (const Extra& e : extras) {
+    fns.push_back(
+        std::move(ComposeFunction(e.feature, e.measure, e.name)).ValueOrDie());
+  }
+  return fns;
+}
+
+const std::vector<std::string> kSubsetExtended16 = {
+    "F1", "F2",  "F3",  "F4",  "F5",  "F6",  "F7",  "F8",
+    "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16"};
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,80 @@
+// Composable similarity functions: the generalization of Table I's design
+// space. The paper builds each function as (page feature) x (similarity
+// measure); this module lets users compose any valid combination, and
+// defines an extended function set (F11..F16) beyond the paper's ten —
+// used by the extended-function benchmark to ask whether the combination
+// framework keeps improving as the function pool grows.
+
+#ifndef WEBER_CORE_COMPOSED_FUNCTIONS_H_
+#define WEBER_CORE_COMPOSED_FUNCTIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/similarity_function.h"
+
+namespace weber {
+namespace core {
+
+/// The page features a composed function can read from a FeatureBundle.
+enum class PageFeature : int {
+  kWeightedConcepts = 0,  ///< sparse vector
+  kConcepts = 1,          ///< sparse incidence vector
+  kOrganizations = 2,     ///< sparse incidence vector
+  kOtherPersons = 3,      ///< sparse incidence vector
+  kTfIdf = 4,             ///< sparse vector
+  kMostFrequentName = 5,  ///< string
+  kClosestName = 6,       ///< string
+  kUrl = 7,               ///< string
+};
+
+/// Pairwise measures. Vector measures apply to vector features, string
+/// measures to string features; ComposeFunction rejects invalid pairings.
+enum class PairMeasure : int {
+  // Vector measures.
+  kCosine = 0,
+  kPearson = 1,
+  kExtendedJaccard = 2,
+  kJaccard = 3,
+  kDice = 4,
+  kOverlapCoefficient = 5,
+  kSaturatingOverlap = 6,
+  // String measures.
+  kJaroWinkler = 10,
+  kLevenshtein = 11,
+  kNgram = 12,
+  kNameCompatibility = 13,  ///< structured person-name comparison
+  kUrlTiers = 14,           ///< the domain-aware URL tier measure
+  kSoundex = 15,            ///< phonetic code equality
+  kPhoneticName = 16,       ///< phonetic last name + first-initial agreement
+};
+
+std::string_view PageFeatureToString(PageFeature feature);
+std::string_view PairMeasureToString(PairMeasure measure);
+
+/// Builds a similarity function computing measure(feature(a), feature(b)).
+/// `name` is the identifier reported by SimilarityFunction::name().
+/// Returns InvalidArgument for a feature/measure type mismatch (e.g.
+/// cosine over a URL).
+Result<std::unique_ptr<SimilarityFunction>> ComposeFunction(
+    PageFeature feature, PairMeasure measure, std::string name);
+
+/// The extended set: the paper's F1..F10 plus six composed functions.
+///
+///   F11  closest name        x structured name compatibility
+///   F12  most frequent name  x structured name compatibility
+///   F13  concepts            x Jaccard
+///   F14  organizations       x Dice
+///   F15  TF-IDF terms        x Jaccard over term ids (term overlap)
+///   F16  URL                 x Jaro-Winkler of the raw strings
+///
+std::vector<std::unique_ptr<SimilarityFunction>> MakeExtendedFunctions();
+
+/// Names of the extended set ("F1".."F16"), for ResolverOptions.
+extern const std::vector<std::string> kSubsetExtended16;
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_COMPOSED_FUNCTIONS_H_

@@ -1,0 +1,155 @@
+#include "core/decision.h"
+
+#include <algorithm>
+
+namespace weber {
+namespace core {
+
+Status ThresholdCriterion::Fit(
+    const std::vector<ml::LabeledSimilarity>& training, Rng* /*rng*/) {
+  WEBER_ASSIGN_OR_RETURN(fit_, ml::FitOptimalThreshold(training));
+  // Calibrate the two-sided link rates.
+  int above = 0, above_links = 0, below = 0, below_links = 0;
+  for (const ml::LabeledSimilarity& s : training) {
+    if (s.value >= fit_.threshold) {
+      ++above;
+      above_links += s.link ? 1 : 0;
+    } else {
+      ++below;
+      below_links += s.link ? 1 : 0;
+    }
+  }
+  link_rate_above_ = above > 0 ? static_cast<double>(above_links) / above : 1.0;
+  link_rate_below_ = below > 0 ? static_cast<double>(below_links) / below : 0.0;
+  return Status::OK();
+}
+
+std::unique_ptr<RegionCriterion> RegionCriterion::EqualWidth(int bins) {
+  return std::unique_ptr<RegionCriterion>(
+      new RegionCriterion(ml::RegionScheme::kEqualWidth, bins,
+                          "regions-eq" + std::to_string(bins)));
+}
+
+std::unique_ptr<RegionCriterion> RegionCriterion::KMeans(int k) {
+  return std::unique_ptr<RegionCriterion>(
+      new RegionCriterion(ml::RegionScheme::kKMeans, k,
+                          "regions-km" + std::to_string(k)));
+}
+
+Status RegionCriterion::Fit(const std::vector<ml::LabeledSimilarity>& training,
+                            Rng* rng) {
+  Result<ml::RegionAccuracyModel> fitted =
+      scheme_ == ml::RegionScheme::kEqualWidth
+          ? ml::RegionAccuracyModel::FitEqualWidth(training, param_)
+          : ml::RegionAccuracyModel::FitKMeans(training, param_, rng);
+  if (!fitted.ok()) return fitted.status();
+  model_ = std::make_unique<ml::RegionAccuracyModel>(std::move(*fitted));
+  int correct = 0;
+  for (const ml::LabeledSimilarity& s : training) {
+    if (model_->Decide(s.value) == s.link) ++correct;
+  }
+  train_accuracy_ = training.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) / training.size();
+  return Status::OK();
+}
+
+Status IsotonicCriterion::Fit(
+    const std::vector<ml::LabeledSimilarity>& training, Rng* /*rng*/) {
+  WEBER_ASSIGN_OR_RETURN(ml::IsotonicModel fitted,
+                         ml::IsotonicModel::Fit(training));
+  model_ = std::make_unique<ml::IsotonicModel>(std::move(fitted));
+  int correct = 0;
+  for (const ml::LabeledSimilarity& s : training) {
+    if (Decide(s.value) == s.link) ++correct;
+  }
+  train_accuracy_ = training.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) / training.size();
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<DecisionCriterion>> MakeStandardCriteria(
+    int equal_width_bins, int kmeans_k) {
+  std::vector<std::unique_ptr<DecisionCriterion>> criteria;
+  criteria.push_back(std::make_unique<ThresholdCriterion>());
+  criteria.push_back(RegionCriterion::EqualWidth(equal_width_bins));
+  criteria.push_back(RegionCriterion::KMeans(kmeans_k));
+  return criteria;
+}
+
+std::vector<std::unique_ptr<DecisionCriterion>> MakeThresholdOnlyCriteria() {
+  std::vector<std::unique_ptr<DecisionCriterion>> criteria;
+  criteria.push_back(std::make_unique<ThresholdCriterion>());
+  return criteria;
+}
+
+std::vector<CriterionFactory> MakeStandardCriterionFactories(
+    int equal_width_bins, int kmeans_k) {
+  return {
+      [] { return std::unique_ptr<DecisionCriterion>(
+               std::make_unique<ThresholdCriterion>()); },
+      [equal_width_bins] {
+        return std::unique_ptr<DecisionCriterion>(
+            RegionCriterion::EqualWidth(equal_width_bins));
+      },
+      [kmeans_k] {
+        return std::unique_ptr<DecisionCriterion>(
+            RegionCriterion::KMeans(kmeans_k));
+      },
+  };
+}
+
+std::vector<CriterionFactory> MakeThresholdOnlyCriterionFactories() {
+  return {[] {
+    return std::unique_ptr<DecisionCriterion>(
+        std::make_unique<ThresholdCriterion>());
+  }};
+}
+
+Result<double> CrossValidatedAccuracy(
+    const CriterionFactory& factory,
+    const std::vector<ml::LabeledSimilarity>& training, int folds,
+    Rng* rng) {
+  if (training.empty()) {
+    return Status::InvalidArgument("CrossValidatedAccuracy: empty sample");
+  }
+  folds = std::max(2, folds);
+  if (static_cast<int>(training.size()) < 2 * folds) {
+    // Too small to hold anything out; fall back to in-sample accuracy.
+    auto criterion = factory();
+    WEBER_RETURN_NOT_OK(criterion->Fit(training, rng));
+    return criterion->train_accuracy();
+  }
+  std::vector<int> order(training.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng->Shuffle(&order);
+
+  int correct = 0, total = 0;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<ml::LabeledSimilarity> fit_part, held_out;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (static_cast<int>(i) % folds == f) {
+        held_out.push_back(training[order[i]]);
+      } else {
+        fit_part.push_back(training[order[i]]);
+      }
+    }
+    if (fit_part.empty() || held_out.empty()) continue;
+    auto criterion = factory();
+    WEBER_RETURN_NOT_OK(criterion->Fit(fit_part, rng));
+    for (const ml::LabeledSimilarity& s : held_out) {
+      if (criterion->Decide(s.value) == s.link) ++correct;
+      ++total;
+    }
+  }
+  if (total == 0) {
+    auto criterion = factory();
+    WEBER_RETURN_NOT_OK(criterion->Fit(training, rng));
+    return criterion->train_accuracy();
+  }
+  return static_cast<double>(correct) / total;
+}
+
+}  // namespace core
+}  // namespace weber

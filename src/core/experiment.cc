@@ -1,0 +1,182 @@
+#include "core/experiment.h"
+
+#include <atomic>
+#include <ostream>
+#include <thread>
+
+#include "common/json_writer.h"
+#include "ml/splitter.h"
+
+namespace weber {
+namespace core {
+
+Status ExperimentRunner::Prepare(
+    const extract::FeatureExtractorOptions& extractor_options,
+    double train_fraction, int min_train_pairs) {
+  if (dataset_ == nullptr || gazetteer_ == nullptr) {
+    return Status::InvalidArgument("ExperimentRunner: null dataset/gazetteer");
+  }
+  if (num_runs_ < 1) {
+    return Status::InvalidArgument("ExperimentRunner: num_runs must be >= 1");
+  }
+  extract::FeatureExtractor extractor(gazetteer_, extractor_options);
+  block_bundles_.clear();
+  block_bundles_.reserve(dataset_->blocks.size());
+  for (const corpus::Block& block : dataset_->blocks) {
+    std::vector<extract::PageInput> pages;
+    pages.reserve(block.documents.size());
+    for (const corpus::Document& d : block.documents) {
+      pages.push_back({d.url, d.text});
+    }
+    WEBER_ASSIGN_OR_RETURN(auto bundles,
+                           extractor.ExtractBlock(pages, block.query));
+    block_bundles_.push_back(std::move(bundles));
+  }
+
+  // Fix the training samples: one Rng stream per (run, block).
+  Rng master(seed_);
+  training_pairs_.assign(num_runs_, {});
+  for (int run = 0; run < num_runs_; ++run) {
+    training_pairs_[run].reserve(dataset_->blocks.size());
+    for (size_t b = 0; b < dataset_->blocks.size(); ++b) {
+      Rng rng = master.Fork(run * 1000 + b);
+      training_pairs_[run].push_back(ml::SampleTrainingPairs(
+          dataset_->blocks[b].num_documents(), train_fraction, &rng,
+          min_train_pairs));
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Result<ExperimentResult> ExperimentRunner::Run(
+    const ExperimentConfig& config) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition("ExperimentRunner: call Prepare() first");
+  }
+  WEBER_ASSIGN_OR_RETURN(EntityResolver resolver,
+                         EntityResolver::Create(gazetteer_, config.options));
+
+  ExperimentResult result;
+  result.label = config.label;
+  result.per_block.reserve(dataset_->blocks.size());
+
+  Rng master(seed_ ^ 0xABCDEF12345ULL);
+  for (size_t b = 0; b < dataset_->blocks.size(); ++b) {
+    const corpus::Block& block = dataset_->blocks[b];
+    std::vector<eval::MetricReport> run_reports;
+    run_reports.reserve(num_runs_);
+    for (int run = 0; run < num_runs_; ++run) {
+      Rng rng = master.Fork(run * 7919 + b * 13);
+      WEBER_ASSIGN_OR_RETURN(
+          BlockResolution resolution,
+          resolver.ResolveExtracted(block_bundles_[b], block.entity_labels,
+                                    training_pairs_[run][b], &rng));
+      WEBER_ASSIGN_OR_RETURN(
+          eval::MetricReport report,
+          eval::Evaluate(block.GroundTruth(), resolution.clustering));
+      run_reports.push_back(report);
+    }
+    WEBER_ASSIGN_OR_RETURN(eval::MetricReport block_mean,
+                           eval::MeanReport(run_reports));
+    result.per_block.push_back(block_mean);
+  }
+  WEBER_ASSIGN_OR_RETURN(result.overall, eval::MeanReport(result.per_block));
+  return result;
+}
+
+Result<std::vector<ExperimentResult>> ExperimentRunner::RunAll(
+    const std::vector<ExperimentConfig>& configs) const {
+  std::vector<ExperimentResult> results;
+  results.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) {
+    WEBER_ASSIGN_OR_RETURN(ExperimentResult r, Run(config));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Result<std::vector<ExperimentResult>> ExperimentRunner::RunAllParallel(
+    const std::vector<ExperimentConfig>& configs, int num_threads) const {
+  if (!prepared_) {
+    return Status::FailedPrecondition("ExperimentRunner: call Prepare() first");
+  }
+  if (num_threads <= 1 || configs.size() <= 1) return RunAll(configs);
+
+  // One configuration per task; a shared atomic index hands out work.
+  // Run() only reads the prepared state, so concurrent calls are safe.
+  std::vector<Result<ExperimentResult>> slots(
+      configs.size(), Result<ExperimentResult>(Status::Internal("unset")));
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      slots[i] = Run(configs[i]);
+    }
+  };
+  std::vector<std::thread> threads;
+  const int n = std::min<int>(num_threads, static_cast<int>(configs.size()));
+  threads.reserve(n);
+  for (int t = 0; t < n; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  std::vector<ExperimentResult> results;
+  results.reserve(configs.size());
+  for (auto& slot : slots) {
+    if (!slot.ok()) return slot.status();
+    results.push_back(std::move(slot).ValueOrDie());
+  }
+  return results;
+}
+
+Status WriteExperimentJson(const corpus::Dataset& dataset, int num_runs,
+                           const std::vector<ExperimentResult>& results,
+                           std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("dataset").String(dataset.name);
+  json.Key("runs").Number(num_runs);
+  json.Key("configs").BeginArray();
+  for (const ExperimentResult& r : results) {
+    if (r.per_block.size() != static_cast<size_t>(dataset.num_blocks())) {
+      return Status::InvalidArgument(
+          "WriteExperimentJson: result '", r.label,
+          "' does not align with the dataset's blocks");
+    }
+    json.BeginObject();
+    json.Key("label").String(r.label);
+    auto write_report = [&json](const eval::MetricReport& m) {
+      json.BeginObject();
+      json.Key("fp").Number(m.fp_measure);
+      json.Key("f").Number(m.f_measure);
+      json.Key("rand").Number(m.rand_index);
+      json.Key("precision").Number(m.precision);
+      json.Key("recall").Number(m.recall);
+      json.Key("purity").Number(m.purity);
+      json.Key("inverse_purity").Number(m.inverse_purity);
+      json.Key("bcubed_f").Number(m.bcubed_f);
+      json.EndObject();
+    };
+    json.Key("overall");
+    write_report(r.overall);
+    json.Key("per_block").BeginArray();
+    for (size_t b = 0; b < r.per_block.size(); ++b) {
+      json.BeginObject();
+      json.Key("name").String(dataset.blocks[b].query);
+      json.Key("metrics");
+      write_report(r.per_block[b]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << "\n";
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,98 @@
+// ExperimentRunner: the paper's evaluation protocol (Section V-A2) — for
+// each configuration, resolve every block over R independent runs (each run
+// re-samples the 10% training documents) and report averaged metrics.
+//
+// Feature extraction and the training-document samples are shared across
+// configurations so that columns of the same table (I4 vs C4 vs W, ...) are
+// compared on identical inputs and splits.
+
+#ifndef WEBER_CORE_EXPERIMENT_H_
+#define WEBER_CORE_EXPERIMENT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/resolver.h"
+#include "corpus/document.h"
+#include "eval/metrics.h"
+#include "extract/gazetteer.h"
+
+namespace weber {
+namespace core {
+
+/// One table column: a label plus resolver configuration.
+struct ExperimentConfig {
+  std::string label;
+  ResolverOptions options;
+};
+
+/// Averaged results of one configuration.
+struct ExperimentResult {
+  std::string label;
+  /// Mean over blocks of the per-block run-averages (macro average).
+  eval::MetricReport overall;
+  /// Per-block run-averaged reports, aligned with the dataset's blocks.
+  std::vector<eval::MetricReport> per_block;
+};
+
+/// Shares extraction and training splits across configurations.
+class ExperimentRunner {
+ public:
+  /// The dataset and gazetteer must outlive the runner.
+  ExperimentRunner(const corpus::Dataset* dataset,
+                   const extract::Gazetteer* gazetteer, int num_runs,
+                   uint64_t seed)
+      : dataset_(dataset),
+        gazetteer_(gazetteer),
+        num_runs_(num_runs),
+        seed_(seed) {}
+
+  /// Extracts features for every block and fixes the per-(run, block)
+  /// training pair samples. Must be called before Run.
+  Status Prepare(const extract::FeatureExtractorOptions& extractor_options = {},
+                 double train_fraction = 0.10, int min_train_pairs = 10);
+
+  /// Evaluates one configuration. The configuration's own train_fraction /
+  /// extractor settings are ignored in favour of the shared Prepare state.
+  Result<ExperimentResult> Run(const ExperimentConfig& config) const;
+
+  /// Evaluates several configurations (table columns) in one call.
+  Result<std::vector<ExperimentResult>> RunAll(
+      const std::vector<ExperimentConfig>& configs) const;
+
+  /// As RunAll, but resolves different configurations on worker threads
+  /// (block-level work inside a configuration stays single-threaded, so
+  /// results are bit-identical to RunAll).
+  Result<std::vector<ExperimentResult>> RunAllParallel(
+      const std::vector<ExperimentConfig>& configs, int num_threads) const;
+
+  int num_runs() const { return num_runs_; }
+  bool prepared() const { return prepared_; }
+
+ private:
+  const corpus::Dataset* dataset_;
+  const extract::Gazetteer* gazetteer_;
+  int num_runs_;
+  uint64_t seed_;
+
+  bool prepared_ = false;
+  std::vector<std::vector<extract::FeatureBundle>> block_bundles_;
+  /// training_pairs_[run][block] = sampled labeled training pairs.
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> training_pairs_;
+};
+
+/// Serializes experiment results as JSON:
+///   {"dataset": "...", "runs": R, "configs": [{"label": "...",
+///    "overall": {...}, "per_block": [{"name": "...", "fp": ...}, ...]}]}
+/// for downstream plotting/analysis.
+Status WriteExperimentJson(const corpus::Dataset& dataset, int num_runs,
+                           const std::vector<ExperimentResult>& results,
+                           std::ostream& os);
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_EXPERIMENT_H_

@@ -1,0 +1,106 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "ml/threshold.h"
+
+namespace weber {
+namespace core {
+
+Result<IncrementalResolver> IncrementalResolver::Create(
+    IncrementalOptions options) {
+  WEBER_ASSIGN_OR_RETURN(auto functions, MakeFunctions(options.function_names));
+  if (functions.empty()) {
+    return Status::InvalidArgument("IncrementalResolver: no functions");
+  }
+  return IncrementalResolver(std::move(options), std::move(functions));
+}
+
+double IncrementalResolver::MatchScore(const extract::FeatureBundle& a,
+                                       const extract::FeatureBundle& b) const {
+  double sum = 0.0;
+  for (const auto& fn : functions_) sum += fn->Compute(a, b);
+  return sum / static_cast<double>(functions_.size());
+}
+
+double IncrementalResolver::ClusterScore(const extract::FeatureBundle& bundle,
+                                         const std::vector<int>& members) const {
+  double best = 0.0, sum = 0.0;
+  for (int member : members) {
+    double score = MatchScore(bundle, documents_[member]);
+    best = std::max(best, score);
+    sum += score;
+  }
+  if (members.empty()) return 0.0;
+  return options_.assignment == IncrementalOptions::Assignment::kBestMax
+             ? best
+             : sum / static_cast<double>(members.size());
+}
+
+Status IncrementalResolver::CalibrateThreshold(
+    const std::vector<extract::FeatureBundle>& bundles,
+    const std::vector<int>& entity_labels,
+    const std::vector<std::pair<int, int>>& training_pairs) {
+  if (bundles.size() != entity_labels.size()) {
+    return Status::InvalidArgument(
+        "CalibrateThreshold: bundle/label size mismatch");
+  }
+  if (training_pairs.empty()) {
+    return Status::InvalidArgument("CalibrateThreshold: no training pairs");
+  }
+  std::vector<ml::LabeledSimilarity> labeled;
+  labeled.reserve(training_pairs.size());
+  const int n = static_cast<int>(bundles.size());
+  for (const auto& [a, b] : training_pairs) {
+    if (a < 0 || b < 0 || a >= n || b >= n) {
+      return Status::InvalidArgument("CalibrateThreshold: bad pair (", a, ", ",
+                                     b, ")");
+    }
+    labeled.push_back({MatchScore(bundles[a], bundles[b]),
+                       entity_labels[a] == entity_labels[b]});
+  }
+  WEBER_ASSIGN_OR_RETURN(ml::ThresholdFit fit, ml::FitOptimalThreshold(labeled));
+  threshold_ = fit.threshold;
+  calibrated_ = true;
+  Reset();
+  return Status::OK();
+}
+
+int IncrementalResolver::Add(extract::FeatureBundle bundle) {
+  if (!calibrated_) return -1;
+  const int doc = next_document_++;
+  documents_.push_back(std::move(bundle));
+
+  int best_cluster = -1;
+  double best_score = threshold_;  // must reach the calibrated threshold
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    double score = ClusterScore(documents_[doc], clusters_[c]);
+    if (score >= best_score) {
+      best_score = score;
+      best_cluster = static_cast<int>(c);
+    }
+  }
+  if (best_cluster < 0) {
+    clusters_.push_back({doc});
+    return static_cast<int>(clusters_.size()) - 1;
+  }
+  clusters_[best_cluster].push_back(doc);
+  return best_cluster;
+}
+
+graph::Clustering IncrementalResolver::CurrentClustering() const {
+  std::vector<int> labels(next_document_, 0);
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    for (int doc : clusters_[c]) labels[doc] = static_cast<int>(c);
+  }
+  return graph::Clustering::FromLabels(labels);
+}
+
+void IncrementalResolver::Reset() {
+  documents_.clear();
+  clusters_.clear();
+  next_document_ = 0;
+}
+
+}  // namespace core
+}  // namespace weber

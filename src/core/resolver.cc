@@ -1,0 +1,307 @@
+#include "core/resolver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/decision.h"
+#include "ml/splitter.h"
+
+namespace weber {
+namespace core {
+
+namespace {
+
+/// Labeled training pair with its similarity value under one function.
+struct LabeledPair {
+  int a;
+  int b;
+  bool link;
+};
+
+/// Cross-validated *graph-level* quality of one decision criterion for one
+/// similarity matrix: the paper's acc(G^i_{Dj}) estimated without the
+/// winner's curse. For each fold, a fresh criterion is fitted on the fold
+/// complement, the full decision graph is built and transitively closed
+/// (closure uses no labels — it is transductive structure), and the
+/// held-out pairs are scored. The score is the F1 of the link class, which
+/// — unlike raw pair accuracy under heavy class imbalance — tracks the
+/// clustering quality the graph will deliver.
+Result<double> CvGraphScore(const CriterionFactory& factory,
+                            const graph::SimilarityMatrix& sims,
+                            const std::vector<LabeledPair>& training,
+                            int folds, Rng* rng) {
+  if (training.empty()) {
+    return Status::InvalidArgument("CvGraphScore: empty training sample");
+  }
+  folds = std::max(2, folds);
+  const int n = sims.size();
+
+  std::vector<int> order(training.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng->Shuffle(&order);
+  const bool tiny = static_cast<int>(training.size()) < 2 * folds;
+
+  long long tp = 0, fp = 0, fn = 0, tn = 0;
+  const int fold_count = tiny ? 1 : folds;
+  for (int f = 0; f < fold_count; ++f) {
+    std::vector<ml::LabeledSimilarity> fit_part;
+    std::vector<const LabeledPair*> held_out;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const LabeledPair& p = training[order[i]];
+      const bool in_fold = !tiny && static_cast<int>(i) % folds == f;
+      if (in_fold) {
+        held_out.push_back(&p);
+      } else {
+        fit_part.push_back({sims.Get(p.a, p.b), p.link});
+      }
+    }
+    if (tiny) {
+      // Degenerate sample: score in-sample (still post-closure).
+      for (const LabeledPair& p : training) held_out.push_back(&p);
+    }
+    if (fit_part.empty() || held_out.empty()) continue;
+
+    std::unique_ptr<DecisionCriterion> criterion = factory();
+    WEBER_RETURN_NOT_OK(criterion->Fit(fit_part, rng));
+    graph::DecisionGraph decisions(n, 0, 1);
+    auto& dec = decisions.data();
+    const auto& values = sims.data();
+    for (size_t k = 0; k < values.size(); ++k) {
+      dec[k] = criterion->Decide(values[k]) ? 1 : 0;
+    }
+    graph::Clustering closed = graph::TransitiveClosure(decisions);
+    for (const LabeledPair* p : held_out) {
+      const bool predicted = closed.SameCluster(p->a, p->b);
+      if (predicted && p->link) ++tp;
+      else if (predicted && !p->link) ++fp;
+      else if (!predicted && p->link) ++fn;
+      else ++tn;
+    }
+  }
+  if (tp + fp + fn == 0) return 1.0;  // no links anywhere: vacuously perfect
+  return 2.0 * tp / static_cast<double>(2 * tp + fp + fn);
+}
+
+}  // namespace
+
+std::string ClusteringAlgorithmToString(ClusteringAlgorithm a) {
+  switch (a) {
+    case ClusteringAlgorithm::kTransitiveClosure:
+      return "transitive-closure";
+    case ClusteringAlgorithm::kCorrelationClustering:
+      return "correlation-clustering";
+    case ClusteringAlgorithm::kAgglomerative:
+      return "agglomerative";
+  }
+  return "unknown";
+}
+
+Result<EntityResolver> EntityResolver::Create(
+    const extract::Gazetteer* gazetteer, ResolverOptions options) {
+  if (gazetteer == nullptr) {
+    return Status::InvalidArgument("EntityResolver: null gazetteer");
+  }
+  if (options.train_fraction <= 0.0 || options.train_fraction > 1.0) {
+    return Status::InvalidArgument("EntityResolver: train_fraction must be in"
+                                   " (0, 1], got ", options.train_fraction);
+  }
+  WEBER_ASSIGN_OR_RETURN(auto functions,
+                         MakeFunctions(options.function_names));
+  if (functions.empty()) {
+    return Status::InvalidArgument("EntityResolver: no similarity functions");
+  }
+  return EntityResolver(gazetteer, std::move(options), std::move(functions));
+}
+
+Result<BlockResolution> EntityResolver::ResolveBlock(
+    const corpus::Block& block, Rng* rng) const {
+  if (block.documents.empty()) {
+    return Status::InvalidArgument("ResolveBlock: empty block");
+  }
+  if (block.entity_labels.size() != block.documents.size()) {
+    return Status::InvalidArgument(
+        "ResolveBlock: labels/documents size mismatch in block '",
+        block.query, "'");
+  }
+  // Blocking already happened upstream (documents grouped per name); extract
+  // features for this block.
+  std::vector<extract::PageInput> pages;
+  pages.reserve(block.documents.size());
+  for (const corpus::Document& d : block.documents) {
+    pages.push_back({d.url, d.text});
+  }
+  WEBER_ASSIGN_OR_RETURN(auto bundles,
+                         extractor_.ExtractBlock(pages, block.query));
+
+  // Training sample (Section V-A2): 10% of the block's pairs, or all pairs
+  // among 10% of its documents, per options.
+  std::vector<std::pair<int, int>> training_pairs;
+  if (options_.train_sampling == ResolverOptions::TrainSampling::kPairs) {
+    training_pairs = ml::SampleTrainingPairs(
+        block.num_documents(), options_.train_fraction, rng,
+        options_.min_train_size);
+  } else {
+    training_pairs = ml::PairsAmong(ml::SampleTrainingDocuments(
+        block.num_documents(), options_.train_fraction, rng,
+        options_.min_train_size));
+  }
+
+  return ResolveExtracted(bundles, block.entity_labels, training_pairs, rng);
+}
+
+Result<BlockResolution> EntityResolver::ResolveExtracted(
+    const std::vector<extract::FeatureBundle>& bundles,
+    const std::vector<int>& entity_labels,
+    const std::vector<std::pair<int, int>>& training_pairs, Rng* rng) const {
+  const int n = static_cast<int>(bundles.size());
+  if (n == 0) return Status::InvalidArgument("ResolveExtracted: no documents");
+  if (static_cast<int>(entity_labels.size()) != n) {
+    return Status::InvalidArgument("ResolveExtracted: label size mismatch");
+  }
+  for (const auto& [a, b] : training_pairs) {
+    if (a < 0 || b < 0 || a >= n || b >= n || a == b) {
+      return Status::InvalidArgument("ResolveExtracted: bad training pair (",
+                                     a, ", ", b, ")");
+    }
+  }
+
+  BlockResolution resolution;
+  resolution.training_pairs = training_pairs;
+
+  // Trivial blocks: nothing to pair up.
+  if (n == 1) {
+    resolution.clustering = graph::Clustering::Singletons(1);
+    return resolution;
+  }
+
+  const std::vector<std::pair<int, int>>& train_pairs = training_pairs;
+
+  // --- Step 1: complete weighted graph per function. ---
+  std::vector<graph::SimilarityMatrix> matrices;
+  matrices.reserve(functions_.size());
+  for (const auto& fn : functions_) {
+    matrices.push_back(ComputeSimilarityMatrix(*fn, bundles));
+  }
+
+  // --- Steps 2-4: fit criteria per function, build decision graphs with
+  // accuracy estimates. ---
+  std::vector<DecisionSource> sources;
+  std::vector<TrainingPair> training_offsets;
+  training_offsets.reserve(train_pairs.size());
+  if (!train_pairs.empty()) {
+    const graph::SimilarityMatrix& any = matrices.front();
+    for (const auto& [a, b] : train_pairs) {
+      training_offsets.push_back(
+          {a, b, any.Index(a, b), entity_labels[a] == entity_labels[b]});
+    }
+  }
+
+  // Informativeness gate (optional extension): pairs with too little page
+  // evidence cannot carry positive decisions.
+  std::vector<char> pair_gated;
+  if (options_.min_pair_informativeness > 0.0) {
+    pair_gated.assign(matrices.front().num_pairs(), 0);
+    const graph::SimilarityMatrix& layout = matrices.front();
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double evidence = std::sqrt(bundles[i].informativeness *
+                                    bundles[j].informativeness);
+        if (evidence < options_.min_pair_informativeness) {
+          pair_gated[layout.Index(i, j)] = 1;
+        }
+      }
+    }
+  }
+
+  for (size_t f = 0; f < functions_.size(); ++f) {
+    const graph::SimilarityMatrix& sims = matrices[f];
+
+    std::vector<ml::LabeledSimilarity> training;
+    training.reserve(train_pairs.size());
+    for (const auto& [a, b] : train_pairs) {
+      training.push_back(
+          {sims.Get(a, b), entity_labels[a] == entity_labels[b]});
+    }
+
+    std::vector<CriterionFactory> factories =
+        options_.use_region_criteria
+            ? MakeStandardCriterionFactories(options_.equal_width_bins,
+                                             options_.kmeans_k)
+            : MakeThresholdOnlyCriterionFactories();
+    if (options_.include_isotonic_criterion) {
+      factories.push_back([] {
+        return std::unique_ptr<DecisionCriterion>(
+            std::make_unique<IsotonicCriterion>());
+      });
+    }
+
+    std::vector<LabeledPair> labeled_pairs;
+    labeled_pairs.reserve(train_pairs.size());
+    for (const auto& [a, b] : train_pairs) {
+      labeled_pairs.push_back({a, b, entity_labels[a] == entity_labels[b]});
+    }
+
+    for (const CriterionFactory& factory : factories) {
+      std::unique_ptr<DecisionCriterion> criterion = factory();
+      WEBER_RETURN_NOT_OK(criterion->Fit(training, rng));
+      // Rank decision graphs by cross-validated post-closure F1, not
+      // in-sample pair accuracy: with up to 30 competing graphs, in-sample
+      // ranking suffers a strong winner's curse, and raw pair accuracy is
+      // swamped by the negative class.
+      WEBER_ASSIGN_OR_RETURN(
+          double graph_score,
+          CvGraphScore(factory, sims, labeled_pairs, /*folds=*/3, rng));
+      DecisionSource source;
+      source.function_name = std::string(functions_[f]->name());
+      source.criterion_name = criterion->name();
+      source.train_accuracy = graph_score;
+      source.decisions = graph::DecisionGraph(n, 0, 1);
+      source.link_probs = graph::SimilarityMatrix(n, 0.0, 1.0);
+      const auto& values = sims.data();
+      auto& dec = source.decisions.data();
+      auto& probs = source.link_probs.data();
+      for (size_t k = 0; k < values.size(); ++k) {
+        dec[k] = criterion->Decide(values[k]) ? 1 : 0;
+        probs[k] = criterion->LinkProbability(values[k]);
+        if (!pair_gated.empty() && pair_gated[k]) {
+          dec[k] = 0;
+          probs[k] = std::min(probs[k], 0.49);
+        }
+      }
+      resolution.sources.push_back({source.function_name,
+                                    source.criterion_name,
+                                    source.train_accuracy,
+                                    graph::CountEdges(source.decisions)});
+      sources.push_back(std::move(source));
+    }
+  }
+
+  // --- Step 5: combine. ---
+  WEBER_ASSIGN_OR_RETURN(
+      CombinedGraph combined,
+      CombineDecisionGraphs(sources, training_offsets, options_.combination));
+  resolution.chosen_source = combined.chosen_source;
+
+  // --- Step 6: cluster. ---
+  switch (options_.clustering) {
+    case ClusteringAlgorithm::kTransitiveClosure:
+      resolution.clustering = graph::TransitiveClosure(combined.decisions);
+      break;
+    case ClusteringAlgorithm::kCorrelationClustering: {
+      graph::CorrelationClusteringOptions cc = options_.correlation_options;
+      cc.seed = rng->NextUint64();
+      resolution.clustering =
+          graph::CorrelationClustering(combined.link_probs, cc);
+      break;
+    }
+    case ClusteringAlgorithm::kAgglomerative:
+      resolution.clustering = graph::AgglomerativeClustering(
+          combined.link_probs, options_.agglomerative_options);
+      break;
+  }
+  return resolution;
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,49 @@
+// Umbrella header: include everything a typical WEBER user needs.
+//
+//   #include "core/weber.h"
+//
+//   auto data = weber::corpus::SyntheticWebGenerator(
+//       weber::corpus::Www05Config()).Generate();
+//   auto resolver = weber::core::EntityResolver::Create(
+//       &data->gazetteer, weber::core::ResolverOptions{});
+//   auto resolution = resolver->ResolveBlock(data->dataset.blocks[0], &rng);
+
+#ifndef WEBER_CORE_WEBER_H_
+#define WEBER_CORE_WEBER_H_
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/active_sampling.h"
+#include "core/baselines.h"
+#include "core/candidate_blocking.h"
+#include "core/composed_functions.h"
+#include "core/blocking.h"
+#include "core/combiner.h"
+#include "core/decision.h"
+#include "core/experiment.h"
+#include "core/incremental.h"
+#include "core/resolver.h"
+#include "core/similarity_function.h"
+#include "corpus/dataset_io.h"
+#include "corpus/document.h"
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "corpus/resolution_io.h"
+#include "corpus/stats.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+#include "eval/significance.h"
+#include "extract/feature_extractor.h"
+#include "extract/gazetteer.h"
+#include "graph/agglomerative.h"
+#include "graph/clustering.h"
+#include "graph/components.h"
+#include "graph/correlation_clustering.h"
+
+#endif  // WEBER_CORE_WEBER_H_

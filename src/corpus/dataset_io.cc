@@ -1,0 +1,195 @@
+#include "corpus/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace corpus {
+
+namespace {
+
+int CountLines(const std::string& text) {
+  if (text.empty()) return 0;
+  int lines = 1;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+Status ParseError(int line_no, std::string_view what) {
+  return Status::Corruption("dataset parse error at line ", line_no, ": ",
+                            std::string(what));
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, std::ostream& os) {
+  os << "#dataset " << dataset.name << "\n";
+  for (const Block& block : dataset.blocks) {
+    if (block.entity_labels.size() != block.documents.size()) {
+      return Status::InvalidArgument(
+          "block '", block.query,
+          "': entity_labels size does not match documents size");
+    }
+    os << "#block " << block.query << " " << block.num_documents() << "\n";
+    for (int i = 0; i < block.num_documents(); ++i) {
+      const Document& d = block.documents[i];
+      os << "#doc " << d.id << " " << block.entity_labels[i] << "\n";
+      os << "#url " << d.url << "\n";
+      os << "#text " << CountLines(d.text) << "\n";
+      if (!d.text.empty()) {
+        os << d.text;
+        if (d.text.back() != '\n') os << "\n";
+      }
+    }
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: ", path);
+  return SaveDataset(dataset, out);
+}
+
+Result<Dataset> LoadDataset(std::istream& is) {
+  Dataset dataset;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+
+  auto next_line = [&]() -> bool {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  while (next_line()) {
+    std::string_view view = TrimWhitespace(line);
+    if (view.empty()) continue;
+    if (StartsWith(view, "#dataset ")) {
+      dataset.name = std::string(TrimWhitespace(view.substr(9)));
+      saw_header = true;
+    } else if (StartsWith(view, "#block ")) {
+      if (!saw_header) return ParseError(line_no, "#block before #dataset");
+      auto parts = SplitWhitespace(view.substr(7));
+      if (parts.size() != 2) return ParseError(line_no, "malformed #block");
+      Block block;
+      block.query = parts[0];
+      int declared_docs = 0;
+      if (!ParseInt(parts[1], &declared_docs) || declared_docs < 0) {
+        return ParseError(line_no, "bad document count");
+      }
+      for (int d = 0; d < declared_docs; ++d) {
+        if (!next_line()) return ParseError(line_no, "unexpected EOF in block");
+        std::string_view doc_line = TrimWhitespace(line);
+        if (!StartsWith(doc_line, "#doc ")) {
+          return ParseError(line_no, "expected #doc");
+        }
+        auto doc_parts = SplitWhitespace(doc_line.substr(5));
+        if (doc_parts.size() != 2) return ParseError(line_no, "malformed #doc");
+        Document doc;
+        doc.id = doc_parts[0];
+        int label = 0;
+        if (!ParseInt(doc_parts[1], &label)) {
+          return ParseError(line_no, "bad entity label");
+        }
+        if (!next_line()) return ParseError(line_no, "unexpected EOF after #doc");
+        std::string_view url_line = TrimWhitespace(line);
+        if (!StartsWith(url_line, "#url ")) {
+          return ParseError(line_no, "expected #url");
+        }
+        doc.url = std::string(TrimWhitespace(url_line.substr(5)));
+        if (!next_line()) return ParseError(line_no, "unexpected EOF after #url");
+        std::string_view text_line = TrimWhitespace(line);
+        if (!StartsWith(text_line, "#text ")) {
+          return ParseError(line_no, "expected #text");
+        }
+        int text_lines = 0;
+        if (!ParseInt(text_line.substr(6), &text_lines) || text_lines < 0) {
+          return ParseError(line_no, "bad text line count");
+        }
+        std::string text;
+        for (int t = 0; t < text_lines; ++t) {
+          if (!next_line()) return ParseError(line_no, "unexpected EOF in text");
+          text += line;
+          if (t + 1 < text_lines) text += '\n';
+        }
+        doc.text = std::move(text);
+        block.documents.push_back(std::move(doc));
+        block.entity_labels.push_back(label);
+      }
+      dataset.blocks.push_back(std::move(block));
+    } else {
+      return ParseError(line_no, "unrecognized directive");
+    }
+  }
+  if (!saw_header) return Status::Corruption("missing #dataset header");
+  return dataset;
+}
+
+Result<Dataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: ", path);
+  return LoadDataset(in);
+}
+
+Status SaveGazetteer(const extract::Gazetteer& gazetteer, std::ostream& os) {
+  os << "#gazetteer " << gazetteer.size() << "\n";
+  for (int i = 0; i < gazetteer.size(); ++i) {
+    const extract::GazetteerEntry& e = gazetteer.entry(i);
+    os << EntityTypeToString(e.type) << "\t" << FormatDouble(e.weight, 6)
+       << "\t" << e.surface << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Result<extract::Gazetteer> LoadGazetteer(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return Status::Corruption("empty gazetteer");
+  std::string_view header = TrimWhitespace(line);
+  if (!StartsWith(header, "#gazetteer ")) {
+    return Status::Corruption("missing #gazetteer header");
+  }
+  int count = 0;
+  if (!ParseInt(header.substr(11), &count) || count < 0) {
+    return Status::Corruption("bad gazetteer count");
+  }
+  extract::Gazetteer gazetteer;
+  for (int i = 0; i < count; ++i) {
+    if (!std::getline(is, line)) {
+      return Status::Corruption("unexpected EOF in gazetteer at entry ", i);
+    }
+    auto fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::Corruption("malformed gazetteer entry at ", i);
+    }
+    extract::EntityType type;
+    if (fields[0] == "person") {
+      type = extract::EntityType::kPerson;
+    } else if (fields[0] == "organization") {
+      type = extract::EntityType::kOrganization;
+    } else if (fields[0] == "location") {
+      type = extract::EntityType::kLocation;
+    } else if (fields[0] == "concept") {
+      type = extract::EntityType::kConcept;
+    } else {
+      return Status::Corruption("unknown entity type: ", fields[0]);
+    }
+    double weight = 1.0;
+    if (!ParseDouble(fields[1], &weight)) {
+      return Status::Corruption("bad gazetteer weight at ", i);
+    }
+    gazetteer.Add(fields[2], type, weight);
+  }
+  gazetteer.Build();
+  return gazetteer;
+}
+
+}  // namespace corpus
+}  // namespace weber

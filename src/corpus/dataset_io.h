@@ -1,0 +1,45 @@
+// Line-oriented text serialization of datasets and gazetteers, so generated
+// corpora can be inspected, versioned, and re-loaded without regeneration.
+
+#ifndef WEBER_CORPUS_DATASET_IO_H_
+#define WEBER_CORPUS_DATASET_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "corpus/document.h"
+#include "extract/gazetteer.h"
+
+namespace weber {
+namespace corpus {
+
+/// Writes a dataset in the WEBER text format:
+///
+///   #dataset <name>
+///   #block <query> <num_docs>
+///   #doc <id> <entity_label>
+///   #url <url>
+///   #text <num_lines>
+///   <text lines...>
+///
+/// Text is stored verbatim with an explicit line count, so no escaping is
+/// required.
+Status SaveDataset(const Dataset& dataset, std::ostream& os);
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path);
+
+/// Parses the WEBER text format. Malformed input yields Corruption with the
+/// offending line number.
+Result<Dataset> LoadDataset(std::istream& is);
+Result<Dataset> LoadDatasetFromFile(const std::string& path);
+
+/// Gazetteer serialization: one "type<TAB>weight<TAB>surface" line per
+/// entry, preceded by "#gazetteer <count>".
+Status SaveGazetteer(const extract::Gazetteer& gazetteer, std::ostream& os);
+Result<extract::Gazetteer> LoadGazetteer(std::istream& is);
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_DATASET_IO_H_

@@ -1,0 +1,64 @@
+// Document / Block / Dataset: the data model of the entity resolution task
+// (Section II). A dataset holds one block per ambiguous person name; each
+// block holds the Web pages returned for that name, plus the ground-truth
+// partition (which pages refer to the same real person).
+
+#ifndef WEBER_CORPUS_DOCUMENT_H_
+#define WEBER_CORPUS_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/clustering.h"
+
+namespace weber {
+namespace corpus {
+
+/// One Web page.
+struct Document {
+  std::string id;    ///< Stable identifier, e.g. "cohen/017".
+  std::string url;   ///< Page URL.
+  std::string text;  ///< Page text content (markup already stripped).
+};
+
+/// All pages retrieved for one ambiguous person name, with labels.
+struct Block {
+  /// The ambiguous name the block is organized around (the search query),
+  /// e.g. "cohen". Doubles as the blocking key (Section IV-C, footnote 1).
+  std::string query;
+
+  std::vector<Document> documents;
+
+  /// Ground-truth entity label per document (parallel to `documents`).
+  /// Labels are arbitrary ints; equal label = same real-world person.
+  std::vector<int> entity_labels;
+
+  int num_documents() const { return static_cast<int>(documents.size()); }
+
+  /// Ground truth as a canonical Clustering.
+  graph::Clustering GroundTruth() const {
+    return graph::Clustering::FromLabels(entity_labels);
+  }
+
+  /// Number of distinct persons in the block.
+  int NumEntities() const { return GroundTruth().num_clusters(); }
+};
+
+/// A collection of blocks (one evaluation dataset).
+struct Dataset {
+  std::string name;  ///< e.g. "www05-synthetic"
+  std::vector<Block> blocks;
+
+  int num_blocks() const { return static_cast<int>(blocks.size()); }
+
+  int TotalDocuments() const {
+    int total = 0;
+    for (const Block& b : blocks) total += b.num_documents();
+    return total;
+  }
+};
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_DOCUMENT_H_

@@ -1,0 +1,174 @@
+// SyntheticWebGenerator: builds labeled Web-people-search corpora with the
+// statistical structure of the paper's WWW'05 and WePS-2 datasets (which are
+// not redistributable): per ambiguous name, a block of pages generated from
+// hidden personas, with heterogeneous and partially missing features —
+// exactly the regime that motivates the paper's region-accuracy machinery.
+//
+// Hidden universe model:
+//   * A global topic space; each topic owns concept phrases and content
+//     words.
+//   * Each ambiguous name has K personas; a persona has a first name,
+//     1-2 topics, a few organizations, associates (other people), home
+//     locations and a home Web domain.
+//   * Each page is rendered from one persona: body text mixes function
+//     words, persona-topic words and background noise; concept phrases,
+//     organization/associate/location mentions and the persona's name are
+//     embedded subject to per-name dropout probabilities; the URL lives on
+//     the persona's home domain or on a shared hosting domain.
+//   * "Sparse" pages (the paper's incomplete-information pages) drop most
+//     features.
+//
+// The generator also produces the matching Gazetteer — the dictionary an
+// NER service like OpenCalais would have of this universe's entities.
+
+#ifndef WEBER_CORPUS_GENERATOR_H_
+#define WEBER_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "corpus/document.h"
+#include "extract/gazetteer.h"
+
+namespace weber {
+namespace corpus {
+
+/// Per-ambiguous-name generation parameters. The per-name reliability knobs
+/// are what make different similarity functions win for different names
+/// (the paper's Table III heterogeneity).
+struct NameSpec {
+  /// The ambiguous last name; the block's search query.
+  std::string last_name;
+
+  int num_documents = 100;
+
+  /// Number of distinct real-world persons carrying the name (2..61 in
+  /// WWW'05).
+  int num_entities = 5;
+
+  /// Zipf skew of entity sizes: higher = one dominant person plus many
+  /// near-singletons.
+  double cluster_skew = 1.1;
+
+  /// Probability that a page lives on its persona's home domain (F2's
+  /// signal quality).
+  double url_home_prob = 0.55;
+
+  /// Probability that a given persona organization is mentioned on a page
+  /// (F5's signal quality).
+  double org_mention_prob = 0.55;
+
+  /// Probability that a given associate is mentioned (F6's signal quality).
+  double associate_mention_prob = 0.45;
+
+  /// Probability that a page carries no concept phrases at all (hurts
+  /// F1/F4).
+  double concept_drop_prob = 0.12;
+
+  /// Probability that a page is sparse: short text, most features dropped.
+  double sparse_page_prob = 0.15;
+
+  /// Fraction of off-topic (noise) words/concepts mixed into the page.
+  double topic_noise = 0.25;
+
+  /// Probability that two personas of this name share their primary topic
+  /// (inherently confusable persons).
+  double topic_collision_prob = 0.15;
+
+  /// Probability that a full-name mention is rendered in its initial form
+  /// ("a cohen" instead of "adam cohen"); degrades F3/F7 the way imperfect
+  /// extraction does on real pages.
+  double name_variant_prob = 0.30;
+
+  /// Probability that a page mentions a globally famous person (shared
+  /// across all personas); pollutes F6's "other persons" overlap.
+  double celebrity_mention_prob = 0.25;
+
+  /// Probability that a page carries Web boilerplate concepts ("curriculum
+  /// vitae", "photo gallery", ...). Two boilerplate-heavy pages share
+  /// several concepts regardless of who they are about, which makes the
+  /// *high* end of F4's overlap range unreliable — the non-monotone
+  /// accuracy structure of Figure 1 that region criteria exploit and a
+  /// single threshold cannot.
+  double boilerplate_prob = 0.30;
+};
+
+struct GeneratorConfig {
+  std::string dataset_name = "synthetic";
+  std::vector<NameSpec> names;
+  uint64_t seed = 0x5EEDULL;
+
+  // ---- Universe scale ----
+  int num_topics = 64;
+  int concepts_per_topic = 20;
+  int words_per_topic = 100;
+  int num_background_words = 600;
+  int num_organizations = 160;
+  int num_locations = 64;
+  /// Shared hosting domains; fewer domains = more cross-person URL
+  /// collisions (pages of different people on the same host), which makes
+  /// F2's value-to-link relationship non-monotone.
+  int num_hosting_domains = 4;
+  /// Globally famous people mentioned across unrelated pages.
+  int num_celebrities = 24;
+  /// Generic Web concepts shared across all pages (low gazetteer weight, so
+  /// the *weighted* concept function F1 resists them while the raw overlap
+  /// count F4 does not).
+  int num_generic_concepts = 12;
+  /// Zipf skew of organization popularity: personas draw their affiliations
+  /// from this distribution, so popular organizations are shared across
+  /// unrelated personas (F5 cross-overlap noise).
+  double org_popularity_skew = 0.85;
+
+  // ---- Persona scale ----
+  int min_orgs_per_persona = 1;
+  int max_orgs_per_persona = 3;
+  int min_associates_per_persona = 2;
+  int max_associates_per_persona = 6;
+
+  // ---- Page scale ----
+  int min_words_per_page = 70;
+  int max_words_per_page = 220;
+  /// Probability of emitting a function word at each body-text position.
+  double function_word_rate = 0.35;
+  /// Zipf exponent for word/concept choice within a topic.
+  double zipf_exponent = 1.05;
+};
+
+/// A generated corpus plus its entity dictionary and hidden truth metadata.
+struct SyntheticData {
+  Dataset dataset;
+  extract::Gazetteer gazetteer;
+
+  /// Full names of each block's personas: persona_names[block][entity].
+  std::vector<std::vector<std::string>> persona_names;
+};
+
+/// Deterministic corpus generator; one Generate() call per corpus.
+class SyntheticWebGenerator {
+ public:
+  explicit SyntheticWebGenerator(GeneratorConfig config)
+      : config_(std::move(config)) {}
+
+  /// Builds the corpus. Returns InvalidArgument for inconsistent
+  /// configurations (no names, more entities than documents, ...).
+  Result<SyntheticData> Generate() const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Splits `total` into `parts` positive integers with Zipf-skewed sizes
+  /// (descending). Exposed for tests.
+  static std::vector<int> SkewedPartition(int total, int parts, double skew,
+                                          Rng* rng);
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_GENERATOR_H_

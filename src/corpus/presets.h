@@ -1,0 +1,32 @@
+// Dataset presets matching the statistics of the paper's two evaluation
+// corpora (Section V-A1).
+
+#ifndef WEBER_CORPUS_PRESETS_H_
+#define WEBER_CORPUS_PRESETS_H_
+
+#include <cstdint>
+
+#include "corpus/generator.h"
+
+namespace weber {
+namespace corpus {
+
+/// WWW'05-like corpus (Bekkerman & McCallum): the paper's 12 ambiguous
+/// surnames, ~100 pages per name, per-name cluster counts spanning the
+/// published 2..61 range, and per-name feature-reliability profiles chosen
+/// so that different similarity functions dominate for different names.
+GeneratorConfig Www05Config(uint64_t seed = 0x77705ULL);
+
+/// WePS-2-like corpus: 10 ACL'08-style ambiguous names, 150 pages per name,
+/// noisier pages than WWW'05 (the paper reports systematically lower scores
+/// on WePS).
+GeneratorConfig WepsConfig(uint64_t seed = 0x3E952ULL);
+
+/// A small smoke-test corpus (3 names, 30 docs each) for tests and the
+/// quickstart example.
+GeneratorConfig TinyConfig(uint64_t seed = 0x714FULL);
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_PRESETS_H_

@@ -1,0 +1,119 @@
+#include "corpus/resolution_io.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace corpus {
+
+Status SaveResolutions(const std::vector<BlockResolutionRecord>& resolutions,
+                       std::ostream& os) {
+  for (const BlockResolutionRecord& r : resolutions) {
+    if (static_cast<int>(r.document_ids.size()) != r.clustering.num_items()) {
+      return Status::InvalidArgument(
+          "resolution for '", r.query,
+          "': document id count does not match clustering size");
+    }
+    os << "#resolution " << r.query << " " << r.document_ids.size() << "\n";
+    for (size_t i = 0; i < r.document_ids.size(); ++i) {
+      os << r.document_ids[i] << "\t" << r.clustering.label(static_cast<int>(i))
+         << "\n";
+    }
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveResolutionsToFile(
+    const std::vector<BlockResolutionRecord>& resolutions,
+    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: ", path);
+  return SaveResolutions(resolutions, out);
+}
+
+Result<std::vector<BlockResolutionRecord>> LoadResolutions(std::istream& is) {
+  std::vector<BlockResolutionRecord> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view view = TrimWhitespace(line);
+    if (view.empty()) continue;
+    if (!StartsWith(view, "#resolution ")) {
+      return Status::Corruption("expected #resolution at line ", line_no);
+    }
+    auto parts = SplitWhitespace(view.substr(12));
+    if (parts.size() != 2) {
+      return Status::Corruption("malformed #resolution at line ", line_no);
+    }
+    BlockResolutionRecord record;
+    record.query = parts[0];
+    int count = 0;
+    if (!ParseInt(parts[1], &count) || count < 0) {
+      return Status::Corruption("bad document count at line ", line_no);
+    }
+    std::vector<int> labels;
+    labels.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      if (!std::getline(is, line)) {
+        return Status::Corruption("unexpected EOF in resolution '",
+                                  record.query, "'");
+      }
+      ++line_no;
+      auto fields = Split(line, '\t');
+      if (fields.size() != 2) {
+        return Status::Corruption("malformed resolution row at line ", line_no);
+      }
+      int label = 0;
+      if (!ParseInt(fields[1], &label)) {
+        return Status::Corruption("bad cluster label at line ", line_no);
+      }
+      record.document_ids.push_back(fields[0]);
+      labels.push_back(label);
+    }
+    record.clustering = graph::Clustering::FromLabels(labels);
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<std::vector<BlockResolutionRecord>> LoadResolutionsFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: ", path);
+  return LoadResolutions(in);
+}
+
+Result<graph::Clustering> AlignResolution(
+    const Block& block, const BlockResolutionRecord& record) {
+  if (static_cast<int>(record.document_ids.size()) != block.num_documents()) {
+    return Status::InvalidArgument(
+        "resolution for '", record.query, "' covers ",
+        record.document_ids.size(), " documents, block has ",
+        block.num_documents());
+  }
+  std::unordered_map<std::string, int> position;
+  for (size_t i = 0; i < record.document_ids.size(); ++i) {
+    if (!position.emplace(record.document_ids[i], static_cast<int>(i)).second) {
+      return Status::InvalidArgument("duplicate document id '",
+                                     record.document_ids[i],
+                                     "' in resolution");
+    }
+  }
+  std::vector<int> labels(block.num_documents());
+  for (int d = 0; d < block.num_documents(); ++d) {
+    auto it = position.find(block.documents[d].id);
+    if (it == position.end()) {
+      return Status::InvalidArgument("resolution is missing document '",
+                                     block.documents[d].id, "'");
+    }
+    labels[d] = record.clustering.label(it->second);
+  }
+  return graph::Clustering::FromLabels(labels);
+}
+
+}  // namespace corpus
+}  // namespace weber

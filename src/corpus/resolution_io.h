@@ -1,0 +1,50 @@
+// Serialization of resolution outputs (one clustering per block), so the
+// CLI can split resolution and evaluation into separate steps — the shape
+// of the WePS evaluation campaign (participants submit clusterings, the
+// organizers score them).
+
+#ifndef WEBER_CORPUS_RESOLUTION_IO_H_
+#define WEBER_CORPUS_RESOLUTION_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/document.h"
+#include "graph/clustering.h"
+
+namespace weber {
+namespace corpus {
+
+/// One block's resolved clustering, keyed by document ids.
+struct BlockResolutionRecord {
+  std::string query;
+  std::vector<std::string> document_ids;
+  graph::Clustering clustering;
+};
+
+/// Format:
+///   #resolution <query> <num_docs>
+///   <doc_id>\t<cluster_label>
+Status SaveResolutions(const std::vector<BlockResolutionRecord>& resolutions,
+                       std::ostream& os);
+Status SaveResolutionsToFile(
+    const std::vector<BlockResolutionRecord>& resolutions,
+    const std::string& path);
+
+Result<std::vector<BlockResolutionRecord>> LoadResolutions(std::istream& is);
+Result<std::vector<BlockResolutionRecord>> LoadResolutionsFromFile(
+    const std::string& path);
+
+/// Aligns a loaded resolution with a dataset block (documents matched by
+/// id, order-independent) and returns the clustering reindexed to the
+/// block's document order. Returns InvalidArgument when ids do not match
+/// the block exactly.
+Result<graph::Clustering> AlignResolution(const Block& block,
+                                          const BlockResolutionRecord& record);
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_RESOLUTION_IO_H_

@@ -1,0 +1,96 @@
+#include "corpus/stats.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace weber {
+namespace corpus {
+
+BlockStats ComputeBlockStats(const Block& block) {
+  BlockStats stats;
+  stats.query = block.query;
+  stats.num_documents = block.num_documents();
+
+  std::unordered_map<int, int> sizes;
+  for (int label : block.entity_labels) sizes[label] += 1;
+  stats.num_entities = static_cast<int>(sizes.size());
+  for (const auto& [label, size] : sizes) {
+    stats.cluster_sizes.push_back(size);
+    if (size == 1) stats.singleton_clusters += 1;
+  }
+  std::sort(stats.cluster_sizes.rbegin(), stats.cluster_sizes.rend());
+  stats.largest_cluster =
+      stats.cluster_sizes.empty() ? 0 : stats.cluster_sizes.front();
+
+  long long intra = 0;
+  for (int s : stats.cluster_sizes) {
+    intra += static_cast<long long>(s) * (s - 1) / 2;
+  }
+  long long total = static_cast<long long>(stats.num_documents) *
+                    (stats.num_documents - 1) / 2;
+  stats.link_rate =
+      total > 0 ? static_cast<double>(intra) / static_cast<double>(total) : 0.0;
+
+  double tokens = 0.0, distinct = 0.0;
+  for (const Document& d : block.documents) {
+    std::vector<std::string> toks = SplitWhitespace(d.text);
+    tokens += static_cast<double>(toks.size());
+    std::unordered_set<std::string> unique(toks.begin(), toks.end());
+    distinct += static_cast<double>(unique.size());
+  }
+  if (stats.num_documents > 0) {
+    stats.mean_tokens_per_document = tokens / stats.num_documents;
+    stats.mean_distinct_tokens = distinct / stats.num_documents;
+  }
+  return stats;
+}
+
+DatasetStats ComputeDatasetStats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.name = dataset.name;
+  stats.num_blocks = dataset.num_blocks();
+  stats.min_entities = dataset.num_blocks() > 0 ? 1 << 30 : 0;
+  double entity_sum = 0.0, link_sum = 0.0;
+  for (const Block& block : dataset.blocks) {
+    BlockStats b = ComputeBlockStats(block);
+    stats.total_documents += b.num_documents;
+    stats.min_entities = std::min(stats.min_entities, b.num_entities);
+    stats.max_entities = std::max(stats.max_entities, b.num_entities);
+    entity_sum += b.num_entities;
+    link_sum += b.link_rate;
+    stats.blocks.push_back(std::move(b));
+  }
+  if (stats.num_blocks > 0) {
+    stats.mean_entities = entity_sum / stats.num_blocks;
+    stats.mean_link_rate = link_sum / stats.num_blocks;
+  }
+  return stats;
+}
+
+void PrintDatasetStats(const DatasetStats& stats, std::ostream& os) {
+  os << "dataset '" << stats.name << "': " << stats.num_blocks << " blocks, "
+     << stats.total_documents << " documents, entities per name "
+     << stats.min_entities << ".." << stats.max_entities << " (mean "
+     << FormatDouble(stats.mean_entities, 1) << "), mean link rate "
+     << FormatDouble(stats.mean_link_rate, 3) << "\n";
+  TablePrinter table;
+  table.SetHeader({"name", "docs", "entities", "largest", "singletons",
+                   "link rate", "tokens/doc"});
+  for (const BlockStats& b : stats.blocks) {
+    table.AddRow({b.query, std::to_string(b.num_documents),
+                  std::to_string(b.num_entities),
+                  std::to_string(b.largest_cluster),
+                  std::to_string(b.singleton_clusters),
+                  FormatDouble(b.link_rate, 3),
+                  FormatDouble(b.mean_tokens_per_document, 1)});
+  }
+  table.Print(os);
+}
+
+}  // namespace corpus
+}  // namespace weber

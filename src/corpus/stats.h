@@ -1,0 +1,60 @@
+// Dataset statistics: the per-name profile tables the paper's Section V-A1
+// describes its corpora with (documents per name, number of clusters,
+// cluster size distribution), plus text-level statistics useful when
+// calibrating the synthetic generator against a target corpus.
+
+#ifndef WEBER_CORPUS_STATS_H_
+#define WEBER_CORPUS_STATS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace weber {
+namespace corpus {
+
+/// Statistics of one block.
+struct BlockStats {
+  std::string query;
+  int num_documents = 0;
+  int num_entities = 0;
+  int largest_cluster = 0;
+  int singleton_clusters = 0;
+  /// Cluster sizes, descending.
+  std::vector<int> cluster_sizes;
+  /// Fraction of document pairs that are true links (class balance of the
+  /// pairwise decision problem).
+  double link_rate = 0.0;
+  /// Mean page length in whitespace tokens.
+  double mean_tokens_per_document = 0.0;
+  /// Mean distinct whitespace tokens per page.
+  double mean_distinct_tokens = 0.0;
+};
+
+/// Statistics of a whole dataset.
+struct DatasetStats {
+  std::string name;
+  int num_blocks = 0;
+  int total_documents = 0;
+  int min_entities = 0;
+  int max_entities = 0;
+  double mean_entities = 0.0;
+  double mean_link_rate = 0.0;
+  std::vector<BlockStats> blocks;
+};
+
+/// Computes per-block statistics.
+BlockStats ComputeBlockStats(const Block& block);
+
+/// Computes dataset-level statistics.
+DatasetStats ComputeDatasetStats(const Dataset& dataset);
+
+/// Renders the statistics as an aligned table (one row per block).
+void PrintDatasetStats(const DatasetStats& stats, std::ostream& os);
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_STATS_H_

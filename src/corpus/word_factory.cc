@@ -1,0 +1,162 @@
+#include "corpus/word_factory.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace weber {
+namespace corpus {
+
+namespace {
+
+constexpr std::array<const char*, 24> kOnsets = {
+    "b", "br", "c", "cr", "d", "dr", "f", "g", "gr", "h", "k", "l",
+    "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z"};
+constexpr std::array<const char*, 12> kNuclei = {
+    "a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "oa", "ou", "ue"};
+constexpr std::array<const char*, 14> kCodas = {
+    "", "l", "m", "n", "nd", "r", "rn", "s", "st", "t", "th", "x", "ck", "sh"};
+
+constexpr std::array<const char*, 64> kFirstNames = {
+    "adam",    "alice",  "andrew", "anna",   "arthur", "brian",  "carla",
+    "carol",   "claire", "daniel", "david",  "diana",  "edward", "elena",
+    "emily",   "eric",   "frank",  "george", "grace",  "hannah", "harold",
+    "helen",   "henry",  "irene",  "jack",   "james",  "janet",  "jason",
+    "john",    "julia",  "karen",  "kevin",  "laura",  "leon",   "linda",
+    "louis",   "lucy",   "maria",  "mark",   "martin", "mary",   "michael",
+    "nancy",   "nina",   "oliver", "oscar",  "paul",   "peter",  "philip",
+    "rachel",  "ralph",  "robert", "rosa",   "ruth",   "samuel", "sarah",
+    "simon",   "sophia", "steven", "thomas", "victor", "walter", "wendy",
+    "william"};
+
+constexpr std::array<const char*, 48> kLastNames = {
+    "anderson", "baker",    "bennett", "brooks",   "campbell", "carter",
+    "clark",    "collins",  "cooper",  "edwards",  "evans",    "fisher",
+    "foster",   "garcia",   "gray",    "griffin",  "hall",     "harris",
+    "hayes",    "henderson", "hughes", "jenkins",  "johnson",  "jordan",
+    "kelly",    "kennedy",  "lambert", "lawrence", "marshall", "mason",
+    "meyer",    "morgan",   "murphy",  "nelson",   "parker",   "patterson",
+    "peterson", "reed",     "reynolds", "richards", "russell", "sanders",
+    "stewart",  "sullivan", "turner",  "walker",   "watson",   "wright"};
+
+constexpr std::array<const char*, 12> kOrgSuffixes = {
+    "institute",  "labs",       "university", "systems", "group",  "college",
+    "foundation", "consulting", "networks",   "center",  "society", "corp"};
+
+constexpr std::array<const char*, 10> kLocationSuffixes = {
+    "ville", "burg", "field", "ford", "haven", "port", "ton", "dale", "wood",
+    "bridge"};
+
+constexpr std::array<const char*, 5> kTlds = {"edu", "org", "com", "net", "io"};
+
+constexpr std::array<const char*, 8> kHostingNames = {
+    "hostral", "webhome", "pageland", "netfolio", "sitenest", "webgarden",
+    "freepage", "homestead"};
+
+// Deterministic per-index mixing so neighbouring indices do not produce
+// near-identical words.
+uint64_t Mix(uint64_t kind, uint64_t index) {
+  SplitMix64 mixer(kind * 0x9E3779B97F4A7C15ULL + index + 1);
+  return mixer.Next();
+}
+
+std::string Syllable(uint64_t bits) {
+  std::string s;
+  s += kOnsets[bits % kOnsets.size()];
+  bits /= kOnsets.size();
+  s += kNuclei[bits % kNuclei.size()];
+  bits /= kNuclei.size();
+  s += kCodas[bits % kCodas.size()];
+  return s;
+}
+
+std::string PseudoWord(uint64_t kind, int index) {
+  uint64_t bits = Mix(kind, static_cast<uint64_t>(index));
+  // Two or three syllables; always append the index in base-26 letters when
+  // collisions would otherwise be possible (cheap uniqueness guarantee).
+  std::string w = Syllable(bits);
+  w += Syllable(bits >> 24);
+  if (bits & 1) w += Syllable(bits >> 40);
+  // Uniqueness suffix, letters only so tokenization keeps it one token.
+  int n = index;
+  std::string suffix;
+  do {
+    suffix += static_cast<char>('a' + n % 26);
+    n /= 26;
+  } while (n > 0);
+  return w + suffix;
+}
+
+std::string PoolName(const char* const* pool, size_t pool_size, int index) {
+  std::string base = pool[index % pool_size];
+  int round = index / static_cast<int>(pool_size);
+  if (round > 0) base += std::to_string(round + 1);
+  return base;
+}
+
+}  // namespace
+
+std::string WordFactory::Word(int index) { return PseudoWord(1, index); }
+
+std::string WordFactory::FirstName(int index) {
+  return PoolName(kFirstNames.data(), kFirstNames.size(), index);
+}
+
+std::string WordFactory::LastName(int index) {
+  return PoolName(kLastNames.data(), kLastNames.size(), index);
+}
+
+std::string WordFactory::ConceptPhrase(int index) {
+  uint64_t bits = Mix(2, static_cast<uint64_t>(index));
+  std::string phrase = Word(static_cast<int>(bits % 5000) + 100000 + index * 3);
+  phrase += " ";
+  phrase += Word(static_cast<int>((bits >> 20) % 5000) + 200000 + index * 3);
+  if (bits & 4) {
+    phrase += " ";
+    phrase += Word(static_cast<int>((bits >> 40) % 5000) + 300000 + index * 3);
+  }
+  return phrase;
+}
+
+std::string WordFactory::Organization(int index) {
+  uint64_t bits = Mix(3, static_cast<uint64_t>(index));
+  std::string name = PseudoWord(4, index);
+  name += " ";
+  name += kOrgSuffixes[bits % kOrgSuffixes.size()];
+  return name;
+}
+
+std::string WordFactory::Location(int index) {
+  uint64_t bits = Mix(5, static_cast<uint64_t>(index));
+  std::string name = Syllable(bits);
+  name += Syllable(bits >> 24);
+  name += kLocationSuffixes[(bits >> 48) % kLocationSuffixes.size()];
+  int n = index;
+  std::string suffix;
+  do {
+    suffix += static_cast<char>('a' + n % 26);
+    n /= 26;
+  } while (n > 0);
+  return name + suffix;
+}
+
+std::string WordFactory::Domain(int index) {
+  uint64_t bits = Mix(6, static_cast<uint64_t>(index));
+  return PseudoWord(7, index) + "." + kTlds[bits % kTlds.size()];
+}
+
+std::string WordFactory::HostingDomain(int index) {
+  return std::string(kHostingNames[index % kHostingNames.size()]) + ".com";
+}
+
+const std::vector<std::string>& WordFactory::FunctionWords() {
+  static const std::vector<std::string> kWords = {
+      "the",  "of",   "and",  "a",    "in",   "to",   "is",    "was",
+      "for",  "with", "on",   "as",   "by",   "at",   "from",  "that",
+      "this", "it",   "an",   "be",   "are",  "or",   "which", "their",
+      "has",  "had",  "also", "more", "other", "into", "about", "after"};
+  return kWords;
+}
+
+}  // namespace corpus
+}  // namespace weber

@@ -1,0 +1,54 @@
+// WordFactory: deterministic pools of pseudo-English words, person names,
+// organization names, location names and Web domains used by the synthetic
+// corpus generator. Every pool is a pure function of (kind, index), so two
+// generators with the same configuration produce byte-identical corpora.
+
+#ifndef WEBER_CORPUS_WORD_FACTORY_H_
+#define WEBER_CORPUS_WORD_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+namespace weber {
+namespace corpus {
+
+/// Stateless generators for the synthetic universe's vocabulary.
+class WordFactory {
+ public:
+  /// The i-th pseudo-English content word ("velonar", "kestrim", ...).
+  /// Distinct indices yield distinct words.
+  static std::string Word(int index);
+
+  /// The i-th first name, cycling through a fixed pool of common first
+  /// names with a numeric suffix beyond the pool ("anna", "anna2", ...).
+  static std::string FirstName(int index);
+
+  /// The i-th last name (same cycling scheme).
+  static std::string LastName(int index);
+
+  /// The i-th multi-word concept phrase ("statistical relational learning"
+  /// style: 2-3 content words).
+  static std::string ConceptPhrase(int index);
+
+  /// The i-th organization name ("velonar institute", "kestrim labs", ...).
+  static std::string Organization(int index);
+
+  /// The i-th location name.
+  static std::string Location(int index);
+
+  /// The i-th Web domain ("velonar.edu", "kestrim.org", ...).
+  static std::string Domain(int index);
+
+  /// The i-th shared hosting domain ("pages.hostral.com", ...), used for
+  /// pages that do not live on a persona's home domain.
+  static std::string HostingDomain(int index);
+
+  /// A few function words used to pad sentences so stopword removal has
+  /// realistic work to do.
+  static const std::vector<std::string>& FunctionWords();
+};
+
+}  // namespace corpus
+}  // namespace weber
+
+#endif  // WEBER_CORPUS_WORD_FACTORY_H_

@@ -1,0 +1,53 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace weber {
+namespace eval {
+
+Result<CalibrationReport> EvaluateCalibration(
+    const std::vector<LabeledProbability>& predictions, int bins) {
+  if (predictions.empty()) {
+    return Status::InvalidArgument("EvaluateCalibration: empty sample");
+  }
+  if (bins < 1) {
+    return Status::InvalidArgument("EvaluateCalibration: bins must be >= 1");
+  }
+  CalibrationReport report;
+
+  std::vector<double> sum_pred(bins, 0.0);
+  std::vector<int> positives(bins, 0);
+  std::vector<int> counts(bins, 0);
+
+  const double n = static_cast<double>(predictions.size());
+  for (const LabeledProbability& p : predictions) {
+    const double prob = std::clamp(p.probability, 0.0, 1.0);
+    const double y = p.outcome ? 1.0 : 0.0;
+    report.brier_score += (prob - y) * (prob - y);
+    const double safe = std::clamp(prob, 1e-6, 1.0 - 1e-6);
+    report.log_loss -= y * std::log(safe) + (1.0 - y) * std::log(1.0 - safe);
+
+    int bin = std::min(bins - 1, static_cast<int>(prob * bins));
+    sum_pred[bin] += prob;
+    positives[bin] += p.outcome ? 1 : 0;
+    counts[bin] += 1;
+  }
+  report.brier_score /= n;
+  report.log_loss /= n;
+
+  for (int b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    ReliabilityBin bin;
+    bin.count = counts[b];
+    bin.mean_predicted = sum_pred[b] / counts[b];
+    bin.observed_rate = static_cast<double>(positives[b]) / counts[b];
+    report.expected_calibration_error +=
+        (counts[b] / n) * std::fabs(bin.mean_predicted - bin.observed_rate);
+    report.reliability.push_back(bin);
+  }
+  return report;
+}
+
+}  // namespace eval
+}  // namespace weber

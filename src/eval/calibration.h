@@ -1,0 +1,51 @@
+// Probability calibration metrics for link-probability estimates. The
+// paper treats per-region accuracies as "estimations of the probability of
+// a link" (Section IV-B); this module measures how good those estimates
+// are as probabilities: Brier score, log loss, expected calibration error,
+// and a reliability table.
+
+#ifndef WEBER_EVAL_CALIBRATION_H_
+#define WEBER_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace weber {
+namespace eval {
+
+/// One predicted link probability with its outcome.
+struct LabeledProbability {
+  double probability = 0.0;
+  bool outcome = false;
+};
+
+/// One reliability-diagram bin.
+struct ReliabilityBin {
+  double mean_predicted = 0.0;  ///< average predicted probability in the bin
+  double observed_rate = 0.0;   ///< empirical positive rate in the bin
+  int count = 0;
+};
+
+struct CalibrationReport {
+  /// Mean squared error of the probabilities (lower is better; 0.25 is the
+  /// score of always predicting 0.5).
+  double brier_score = 0.0;
+  /// Negative mean log-likelihood (probabilities clamped to [1e-6, 1-1e-6]).
+  double log_loss = 0.0;
+  /// Expected calibration error: count-weighted mean |predicted - observed|
+  /// over the bins.
+  double expected_calibration_error = 0.0;
+  /// Equal-width probability bins with at least one sample.
+  std::vector<ReliabilityBin> reliability;
+};
+
+/// Computes all calibration metrics. Returns InvalidArgument for an empty
+/// sample or bins < 1.
+Result<CalibrationReport> EvaluateCalibration(
+    const std::vector<LabeledProbability>& predictions, int bins = 10);
+
+}  // namespace eval
+}  // namespace weber
+
+#endif  // WEBER_EVAL_CALIBRATION_H_

@@ -1,0 +1,149 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace weber {
+namespace eval {
+
+namespace {
+
+double SafeDiv(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+double Harmonic(double a, double b) {
+  return (a + b) > 0.0 ? 2.0 * a * b / (a + b) : 0.0;
+}
+
+}  // namespace
+
+Result<MetricReport> Evaluate(const graph::Clustering& truth,
+                              const graph::Clustering& predicted) {
+  const int n = truth.num_items();
+  if (n == 0) return Status::InvalidArgument("Evaluate: empty clustering");
+  if (predicted.num_items() != n) {
+    return Status::InvalidArgument("Evaluate: item count mismatch (",
+                                   n, " vs ", predicted.num_items(), ")");
+  }
+
+  MetricReport r;
+
+  // ---- Pairwise counts via the contingency table (O(n + K*L)). ----
+  // overlap[t][p] = number of items with truth label t and predicted p.
+  std::vector<std::unordered_map<int, long long>> overlap(truth.num_clusters());
+  std::vector<long long> truth_sizes(truth.num_clusters(), 0);
+  std::vector<long long> pred_sizes(predicted.num_clusters(), 0);
+  for (int i = 0; i < n; ++i) {
+    overlap[truth.label(i)][predicted.label(i)] += 1;
+    truth_sizes[truth.label(i)] += 1;
+    pred_sizes[predicted.label(i)] += 1;
+  }
+  long long same_both = 0;  // pairs co-clustered in both
+  for (const auto& row : overlap) {
+    for (const auto& [p, c] : row) same_both += c * (c - 1) / 2;
+  }
+  const long long same_truth = truth.NumIntraPairs();
+  const long long same_pred = predicted.NumIntraPairs();
+  const long long total_pairs = static_cast<long long>(n) * (n - 1) / 2;
+
+  r.true_positives = same_both;
+  r.false_positives = same_pred - same_both;
+  r.false_negatives = same_truth - same_both;
+  r.true_negatives = total_pairs - same_pred - same_truth + same_both;
+
+  r.precision = SafeDiv(static_cast<double>(r.true_positives),
+                        static_cast<double>(same_pred));
+  r.recall = SafeDiv(static_cast<double>(r.true_positives),
+                     static_cast<double>(same_truth));
+  // Degenerate blocks (all singletons in truth or prediction) count as
+  // perfect on the empty side, matching standard WePS scoring practice.
+  if (same_pred == 0) r.precision = 1.0;
+  if (same_truth == 0) r.recall = 1.0;
+  r.f_measure = Harmonic(r.precision, r.recall);
+
+  r.rand_index = SafeDiv(
+      static_cast<double>(r.true_positives + r.true_negatives),
+      static_cast<double>(total_pairs > 0 ? total_pairs : 1));
+  if (total_pairs == 0) r.rand_index = 1.0;
+
+  // ---- Purity / inverse purity ----
+  std::vector<long long> pred_max(predicted.num_clusters(), 0);
+  std::vector<long long> truth_max(truth.num_clusters(), 0);
+  for (int t = 0; t < truth.num_clusters(); ++t) {
+    for (const auto& [p, c] : overlap[t]) {
+      pred_max[p] = std::max(pred_max[p], c);
+      truth_max[t] = std::max(truth_max[t], c);
+    }
+  }
+  long long purity_hits = 0;
+  for (long long m : pred_max) purity_hits += m;
+  long long inverse_hits = 0;
+  for (long long m : truth_max) inverse_hits += m;
+  r.purity = static_cast<double>(purity_hits) / n;
+  r.inverse_purity = static_cast<double>(inverse_hits) / n;
+  r.fp_measure = Harmonic(r.purity, r.inverse_purity);
+
+  // ---- B-cubed ----
+  // For each item i: P_i = |C(i) ∩ T(i)| / |C(i)|, R_i = same / |T(i)|,
+  // computable from the contingency table: the item's overlap cell.
+  double bp = 0.0, br = 0.0;
+  for (int i = 0; i < n; ++i) {
+    long long cell = overlap[truth.label(i)][predicted.label(i)];
+    bp += static_cast<double>(cell) / pred_sizes[predicted.label(i)];
+    br += static_cast<double>(cell) / truth_sizes[truth.label(i)];
+  }
+  r.bcubed_precision = bp / n;
+  r.bcubed_recall = br / n;
+  r.bcubed_f = Harmonic(r.bcubed_precision, r.bcubed_recall);
+
+  return r;
+}
+
+Result<MetricReport> MeanReport(const std::vector<MetricReport>& reports) {
+  if (reports.empty()) {
+    return Status::InvalidArgument("MeanReport: no reports");
+  }
+  MetricReport mean;
+  for (const MetricReport& r : reports) {
+    mean.true_positives += r.true_positives;
+    mean.false_positives += r.false_positives;
+    mean.false_negatives += r.false_negatives;
+    mean.true_negatives += r.true_negatives;
+    mean.precision += r.precision;
+    mean.recall += r.recall;
+    mean.f_measure += r.f_measure;
+    mean.purity += r.purity;
+    mean.inverse_purity += r.inverse_purity;
+    mean.fp_measure += r.fp_measure;
+    mean.rand_index += r.rand_index;
+    mean.bcubed_precision += r.bcubed_precision;
+    mean.bcubed_recall += r.bcubed_recall;
+    mean.bcubed_f += r.bcubed_f;
+  }
+  const double k = static_cast<double>(reports.size());
+  mean.precision /= k;
+  mean.recall /= k;
+  mean.f_measure /= k;
+  mean.purity /= k;
+  mean.inverse_purity /= k;
+  mean.fp_measure /= k;
+  mean.rand_index /= k;
+  mean.bcubed_precision /= k;
+  mean.bcubed_recall /= k;
+  mean.bcubed_f /= k;
+  return mean;
+}
+
+double MetricByName(const MetricReport& report, const std::string& name) {
+  if (name == "Fp" || name == "fp") return report.fp_measure;
+  if (name == "F" || name == "f") return report.f_measure;
+  if (name == "Rand" || name == "rand") return report.rand_index;
+  if (name == "P" || name == "precision") return report.precision;
+  if (name == "R" || name == "recall") return report.recall;
+  if (name == "purity") return report.purity;
+  if (name == "inverse_purity") return report.inverse_purity;
+  if (name == "B3F" || name == "bcubed_f") return report.bcubed_f;
+  return 0.0;
+}
+
+}  // namespace eval
+}  // namespace weber

@@ -1,0 +1,57 @@
+// Clustering quality metrics used in the paper's evaluation (Section V-A3):
+// pairwise precision / recall / F-measure, purity / inverse purity and
+// their harmonic mean (the Fp-measure), the Rand index, plus B-cubed
+// precision / recall / F as an extra diagnostic.
+
+#ifndef WEBER_EVAL_METRICS_H_
+#define WEBER_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/clustering.h"
+
+namespace weber {
+namespace eval {
+
+/// All metrics for one (truth, prediction) pair.
+struct MetricReport {
+  // Pairwise counts over all unordered document pairs.
+  long long true_positives = 0;   ///< same cluster in both
+  long long false_positives = 0;  ///< same in prediction, split in truth
+  long long false_negatives = 0;  ///< split in prediction, same in truth
+  long long true_negatives = 0;   ///< split in both
+
+  double precision = 0.0;  ///< pairwise
+  double recall = 0.0;     ///< pairwise
+  double f_measure = 0.0;  ///< pairwise F1
+
+  double purity = 0.0;
+  double inverse_purity = 0.0;
+  double fp_measure = 0.0;  ///< harmonic mean of purity and inverse purity
+
+  double rand_index = 0.0;
+
+  double bcubed_precision = 0.0;
+  double bcubed_recall = 0.0;
+  double bcubed_f = 0.0;
+};
+
+/// Computes every metric. Returns InvalidArgument when the two clusterings
+/// cover different numbers of items or are empty.
+Result<MetricReport> Evaluate(const graph::Clustering& truth,
+                              const graph::Clustering& predicted);
+
+/// Element-wise arithmetic mean of reports (macro-average across blocks or
+/// runs). Returns InvalidArgument on empty input. Pair counts are summed.
+Result<MetricReport> MeanReport(const std::vector<MetricReport>& reports);
+
+/// Convenience accessors for the three headline metrics by name
+/// ("Fp", "F", "Rand"); used by the benchmark tables.
+double MetricByName(const MetricReport& report, const std::string& name);
+
+}  // namespace eval
+}  // namespace weber
+
+#endif  // WEBER_EVAL_METRICS_H_

@@ -1,0 +1,53 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+
+namespace weber {
+namespace eval {
+
+Result<BootstrapResult> PairedBootstrap(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        const BootstrapOptions& options) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("PairedBootstrap: size mismatch (",
+                                   a.size(), " vs ", b.size(), ")");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument(
+        "PairedBootstrap: need at least 2 paired observations");
+  }
+  const int n = static_cast<int>(a.size());
+  std::vector<double> diff(n);
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    diff[i] = a[i] - b[i];
+    mean += diff[i];
+  }
+  mean /= n;
+
+  Rng rng(options.seed);
+  const int resamples = std::max(100, options.resamples);
+  std::vector<double> means;
+  means.reserve(resamples);
+  int not_better = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      sum += diff[rng.UniformUint64(static_cast<uint64_t>(n))];
+    }
+    double m = sum / n;
+    means.push_back(m);
+    if (m <= 0.0) ++not_better;
+  }
+  std::sort(means.begin(), means.end());
+
+  BootstrapResult result;
+  result.mean_difference = mean;
+  result.p_value = static_cast<double>(not_better) / resamples;
+  result.ci_low = means[static_cast<size_t>(0.025 * (resamples - 1))];
+  result.ci_high = means[static_cast<size_t>(0.975 * (resamples - 1))];
+  return result;
+}
+
+}  // namespace eval
+}  // namespace weber

@@ -1,0 +1,43 @@
+// Paired bootstrap significance testing for comparing two entity resolution
+// configurations over the same blocks. The paper reports 5-run averages
+// without significance; this module adds the standard paired-bootstrap test
+// so "C10 > I10" can be stated with a p-value.
+
+#ifndef WEBER_EVAL_SIGNIFICANCE_H_
+#define WEBER_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace weber {
+namespace eval {
+
+struct BootstrapOptions {
+  int resamples = 10000;
+  uint64_t seed = 0xB007ULL;
+};
+
+struct BootstrapResult {
+  /// Mean of a - b over the paired observations.
+  double mean_difference = 0.0;
+  /// Fraction of bootstrap resamples where mean(a) <= mean(b): the
+  /// one-sided p-value for "a is better than b".
+  double p_value = 1.0;
+  /// 95% percentile bootstrap confidence interval of the difference.
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+
+/// Paired bootstrap over per-block scores. `a` and `b` must be the same
+/// length (one score per block, e.g. per-block Fp of two configurations).
+/// Returns InvalidArgument on size mismatch or fewer than 2 observations.
+Result<BootstrapResult> PairedBootstrap(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        const BootstrapOptions& options = {});
+
+}  // namespace eval
+}  // namespace weber
+
+#endif  // WEBER_EVAL_SIGNIFICANCE_H_

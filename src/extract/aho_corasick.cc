@@ -1,0 +1,106 @@
+#include "extract/aho_corasick.h"
+
+#include <cassert>
+#include <deque>
+
+namespace weber {
+namespace extract {
+
+namespace {
+inline bool IsWordChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+}  // namespace
+
+int AhoCorasick::AddPattern(std::string_view pattern) {
+  if (pattern.empty()) return -1;
+  built_ = false;
+  int node = 0;
+  for (unsigned char c : pattern) {
+    auto it = nodes_[node].next.find(c);
+    if (it == nodes_[node].next.end()) {
+      int child = static_cast<int>(nodes_.size());
+      nodes_[node].next.emplace(c, child);
+      nodes_.emplace_back();
+      node = child;
+    } else {
+      node = it->second;
+    }
+  }
+  int id = static_cast<int>(pattern_lengths_.size());
+  pattern_lengths_.push_back(static_cast<int>(pattern.size()));
+  nodes_[node].outputs.push_back(id);
+  return id;
+}
+
+void AhoCorasick::Build() {
+  if (built_) return;
+  std::deque<int> queue;
+  nodes_[0].fail = 0;
+  nodes_[0].output_link = -1;
+  for (auto& [c, child] : nodes_[0].next) {
+    nodes_[child].fail = 0;
+    nodes_[child].output_link = -1;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (auto& [c, child] : nodes_[node].next) {
+      // Follow failure links to find the longest proper suffix with an edge
+      // labelled c.
+      int f = nodes_[node].fail;
+      while (f != 0 && !nodes_[f].next.count(c)) f = nodes_[f].fail;
+      auto it = nodes_[f].next.find(c);
+      int target = (it != nodes_[f].next.end() && it->second != child)
+                       ? it->second
+                       : 0;
+      nodes_[child].fail = target;
+      nodes_[child].output_link =
+          nodes_[target].outputs.empty() ? nodes_[target].output_link : target;
+      queue.push_back(child);
+    }
+  }
+  built_ = true;
+}
+
+std::vector<Match> AhoCorasick::FindAll(std::string_view text) const {
+  assert(built_);
+  std::vector<Match> matches;
+  int node = 0;
+  for (int i = 0; i < static_cast<int>(text.size()); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    while (node != 0 && !nodes_[node].next.count(c)) node = nodes_[node].fail;
+    auto it = nodes_[node].next.find(c);
+    node = (it != nodes_[node].next.end()) ? it->second : 0;
+    // Emit outputs at this node, then along the output-link chain (which by
+    // construction only visits suffix nodes that carry outputs).
+    for (int out = node; out != -1; out = nodes_[out].output_link) {
+      for (int pid : nodes_[out].outputs) {
+        int len = pattern_lengths_[pid];
+        matches.push_back({pid, i - len + 1, i + 1});
+      }
+    }
+  }
+  return matches;
+}
+
+std::vector<Match> AhoCorasick::FindAllWholeWords(std::string_view text) const {
+  std::vector<Match> all = FindAll(text);
+  std::vector<Match> filtered;
+  filtered.reserve(all.size());
+  for (const Match& m : all) {
+    bool left_ok =
+        m.begin == 0 ||
+        !IsWordChar(static_cast<unsigned char>(text[m.begin - 1]));
+    bool right_ok =
+        m.end == static_cast<int>(text.size()) ||
+        !IsWordChar(static_cast<unsigned char>(text[m.end]));
+    if (left_ok && right_ok) filtered.push_back(m);
+  }
+  return filtered;
+}
+
+}  // namespace extract
+}  // namespace weber

@@ -1,0 +1,66 @@
+// Aho-Corasick multi-pattern string matcher. Powers the dictionary-based
+// entity extractors: all gazetteer phrases are located in a single pass over
+// the page text.
+
+#ifndef WEBER_EXTRACT_AHO_CORASICK_H_
+#define WEBER_EXTRACT_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace weber {
+namespace extract {
+
+/// One located occurrence of a pattern.
+struct Match {
+  int pattern_id = -1;  ///< Index of the pattern as passed to AddPattern.
+  int begin = 0;        ///< Byte offset of the first character.
+  int end = 0;          ///< Byte offset one past the last character.
+  bool operator==(const Match&) const = default;
+};
+
+/// Case-sensitive Aho-Corasick automaton. Build with AddPattern + Build,
+/// then call FindAll on any number of texts. Callers wanting
+/// case-insensitive matching lowercase both patterns and text (the
+/// Gazetteer does this).
+class AhoCorasick {
+ public:
+  /// Registers a pattern; returns its pattern id (dense, starting at 0).
+  /// Empty patterns are rejected with id -1.
+  int AddPattern(std::string_view pattern);
+
+  /// Builds failure links. Must be called after the last AddPattern and
+  /// before FindAll. Idempotent.
+  void Build();
+
+  /// Reports every occurrence of every pattern in `text`, in increasing
+  /// order of end offset. Overlapping matches are all reported.
+  std::vector<Match> FindAll(std::string_view text) const;
+
+  /// As FindAll, but only matches delimited by non-word characters (or text
+  /// boundaries) on both sides are reported, so "art" does not match inside
+  /// "cartel". Word characters are ASCII alphanumerics.
+  std::vector<Match> FindAllWholeWords(std::string_view text) const;
+
+  int num_patterns() const { return static_cast<int>(pattern_lengths_.size()); }
+
+ private:
+  struct Node {
+    std::unordered_map<unsigned char, int> next;
+    int fail = 0;
+    int output_link = -1;              // nearest suffix node with outputs
+    std::vector<int> outputs;          // pattern ids ending at this node
+  };
+
+  std::vector<Node> nodes_{Node{}};
+  std::vector<int> pattern_lengths_;
+  bool built_ = false;
+};
+
+}  // namespace extract
+}  // namespace weber
+
+#endif  // WEBER_EXTRACT_AHO_CORASICK_H_

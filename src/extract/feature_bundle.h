@@ -1,0 +1,62 @@
+// FeatureBundle: everything the ten similarity functions need to know about
+// one Web page, produced by the FeatureExtractor preprocessing step
+// (Section III: "the input to the similarity functions is the extracted
+// information and not the pages themselves").
+
+#ifndef WEBER_EXTRACT_FEATURE_BUNDLE_H_
+#define WEBER_EXTRACT_FEATURE_BUNDLE_H_
+
+#include <string>
+
+#include "text/sparse_vector.h"
+
+namespace weber {
+namespace extract {
+
+/// Extracted representation of one page. Sparse vectors over concept /
+/// organization / person features use gazetteer entry ids; the TF-IDF vector
+/// uses the block's word vocabulary ids.
+struct FeatureBundle {
+  /// Weighted concept vector: gazetteer weight x occurrence count (F1).
+  text::SparseVector weighted_concepts;
+
+  /// Binary concept incidence vector (F4).
+  text::SparseVector concepts;
+
+  /// Binary organization incidence vector (F5).
+  text::SparseVector organizations;
+
+  /// Binary incidence vector of person names other than the queried person
+  /// (F6).
+  text::SparseVector other_persons;
+
+  /// Surface form of the most frequent person name on the page (F3); empty
+  /// when the page mentions no person.
+  std::string most_frequent_name;
+
+  /// Surface form of the person name closest to an occurrence of the search
+  /// keyword (F7); empty when absent.
+  std::string closest_name;
+
+  /// The page URL (F2).
+  std::string url;
+
+  /// TF-IDF weighted word vector, fitted per block (F8, F9, F10).
+  text::SparseVector tfidf;
+
+  /// Word-vocabulary size of the block's TF-IDF model; the ambient dimension
+  /// for Pearson correlation (F9).
+  int tfidf_dimension = 0;
+
+  /// Entropy-based page informativeness in [0, 1] (the paper's future-work
+  /// extension): how much evidence this page offers the similarity
+  /// functions. Combines feature-family presence with the normalized
+  /// entropy of the page's TF-IDF weight distribution. A sparse page with
+  /// no extracted entities scores near 0; a rich page near 1.
+  double informativeness = 0.0;
+};
+
+}  // namespace extract
+}  // namespace weber
+
+#endif  // WEBER_EXTRACT_FEATURE_BUNDLE_H_

@@ -1,0 +1,216 @@
+#include "extract/feature_extractor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "ml/entropy.h"
+#include "text/tfidf.h"
+
+namespace weber {
+namespace extract {
+
+namespace {
+
+/// Byte offsets of whole-word, case-insensitive occurrences of `needle` in
+/// `haystack_lower` (already lowercased).
+std::vector<int> FindKeywordOffsets(const std::string& haystack_lower,
+                                    const std::string& needle_lower) {
+  std::vector<int> offsets;
+  if (needle_lower.empty()) return offsets;
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+  };
+  size_t pos = 0;
+  for (;;) {
+    pos = haystack_lower.find(needle_lower, pos);
+    if (pos == std::string::npos) break;
+    bool left_ok = pos == 0 || !is_word(haystack_lower[pos - 1]);
+    size_t end = pos + needle_lower.size();
+    bool right_ok = end >= haystack_lower.size() || !is_word(haystack_lower[end]);
+    if (left_ok && right_ok) offsets.push_back(static_cast<int>(pos));
+    pos += 1;
+  }
+  return offsets;
+}
+
+/// Distance between a mention span and the nearest keyword occurrence;
+/// 0 when the keyword lies inside the mention span.
+int SpanDistance(const EntityMention& m, const std::vector<int>& keyword_offsets,
+                 int keyword_len) {
+  int best = std::numeric_limits<int>::max();
+  for (int off : keyword_offsets) {
+    int kw_end = off + keyword_len;
+    int d;
+    if (off >= m.begin && kw_end <= m.end) {
+      d = 0;
+    } else if (kw_end <= m.begin) {
+      d = m.begin - kw_end;
+    } else if (off >= m.end) {
+      d = off - m.end;
+    } else {
+      d = 0;  // partial overlap
+    }
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const Gazetteer* gazetteer,
+                                   FeatureExtractorOptions options)
+    : gazetteer_(gazetteer),
+      options_(options),
+      analyzer_(options.analyzer) {}
+
+Result<std::vector<FeatureBundle>> FeatureExtractor::ExtractBlock(
+    const std::vector<PageInput>& pages, const std::string& query_name) const {
+  if (pages.empty()) {
+    return Status::InvalidArgument("ExtractBlock: empty block");
+  }
+  const std::string query_lower = ToLowerAscii(query_name);
+
+  // Pass 1: analyze text, annotate entities, fit the block TF-IDF model.
+  text::TfIdfModel tfidf;
+  std::vector<std::vector<std::string>> analyzed(pages.size());
+  std::vector<std::vector<EntityMention>> mentions(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    analyzed[i] = analyzer_.Analyze(pages[i].text);
+    tfidf.AddDocument(analyzed[i]);
+    mentions[i] = gazetteer_->Annotate(pages[i].text);
+  }
+  WEBER_RETURN_NOT_OK(tfidf.Finalize());
+
+  // Block-level concept document frequency, for boilerplate suppression.
+  std::unordered_map<int, int> concept_df;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    std::unordered_set<int> seen;
+    for (const EntityMention& m : mentions[i]) {
+      if (gazetteer_->entry(m.entry_id).type == EntityType::kConcept &&
+          seen.insert(m.entry_id).second) {
+        concept_df[m.entry_id] += 1;
+      }
+    }
+  }
+  const bool suppress =
+      static_cast<int>(pages.size()) >= options_.min_block_size_for_suppression;
+  const double max_df =
+      suppress
+          ? options_.max_concept_block_frequency *
+                static_cast<double>(pages.size())
+          : static_cast<double>(pages.size());  // nothing exceeds this
+
+  // Pass 2: assemble bundles.
+  std::vector<FeatureBundle> bundles(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    FeatureBundle& fb = bundles[i];
+    fb.url = pages[i].url;
+    fb.tfidf = tfidf.Vectorize(analyzed[i]);
+    fb.tfidf_dimension = tfidf.vocabulary_size();
+
+    std::unordered_map<text::TermId, double> weighted_concepts;
+    std::unordered_map<text::TermId, double> concepts;
+    std::unordered_map<text::TermId, double> organizations;
+    std::unordered_map<text::TermId, double> other_persons;
+    std::unordered_map<int, int> person_counts;
+
+    const std::string text_lower = ToLowerAscii(pages[i].text);
+    const std::vector<int> keyword_offsets =
+        FindKeywordOffsets(text_lower, query_lower);
+
+    int best_distance = std::numeric_limits<int>::max();
+    int closest_entry = -1;
+
+    for (const EntityMention& m : mentions[i]) {
+      const GazetteerEntry& e = gazetteer_->entry(m.entry_id);
+      const text::TermId id = static_cast<text::TermId>(m.entry_id);
+      switch (e.type) {
+        case EntityType::kConcept:
+          if (concept_df[m.entry_id] <= max_df) {
+            weighted_concepts[id] += e.weight;
+            concepts[id] = 1.0;
+          }
+          break;
+        case EntityType::kOrganization:
+          organizations[id] = 1.0;
+          break;
+        case EntityType::kPerson: {
+          person_counts[m.entry_id] += 1;
+          const bool is_query_person =
+              e.surface.find(query_lower) != std::string::npos;
+          if (!is_query_person) other_persons[id] = 1.0;
+          if (!keyword_offsets.empty()) {
+            int d = SpanDistance(m, keyword_offsets,
+                                 static_cast<int>(query_lower.size()));
+            if (d < best_distance ||
+                (d == best_distance && closest_entry >= 0 &&
+                 e.surface.size() >
+                     gazetteer_->entry(closest_entry).surface.size())) {
+              best_distance = d;
+              closest_entry = m.entry_id;
+            }
+          }
+          break;
+        }
+        case EntityType::kLocation:
+          // Locations feed the concept overlap signal at unit weight; the
+          // paper folds "other types of entities, such as organizations and
+          // locations" into its feature set.
+          concepts[id] = 1.0;
+          weighted_concepts[id] += 0.5 * e.weight;
+          break;
+      }
+    }
+
+    fb.weighted_concepts = text::SparseVector::FromMap(weighted_concepts);
+    fb.concepts = text::SparseVector::FromMap(concepts);
+    fb.organizations = text::SparseVector::FromMap(organizations);
+    fb.other_persons = text::SparseVector::FromMap(other_persons);
+
+    // Most frequent person name (ties: lexicographically smallest surface,
+    // for determinism).
+    int best_count = 0;
+    for (const auto& [entry_id, count] : person_counts) {
+      const std::string& surface = gazetteer_->entry(entry_id).surface;
+      if (count > best_count ||
+          (count == best_count && !fb.most_frequent_name.empty() &&
+           surface < fb.most_frequent_name)) {
+        best_count = count;
+        fb.most_frequent_name = surface;
+      }
+    }
+    if (closest_entry >= 0) {
+      fb.closest_name = gazetteer_->entry(closest_entry).surface;
+    }
+
+    // Entropy-based informativeness: feature-family presence (does the page
+    // offer each kind of evidence at all?) blended with the diversity of
+    // its term distribution.
+    double presence = 0.0;
+    presence += fb.most_frequent_name.empty() ? 0.0 : 1.0;
+    presence += fb.concepts.empty() ? 0.0 : 1.0;
+    presence += fb.organizations.empty() ? 0.0 : 1.0;
+    presence += fb.other_persons.empty() ? 0.0 : 1.0;
+    presence += fb.tfidf.empty() ? 0.0 : 1.0;
+    presence /= 5.0;
+    // Content volume via perplexity: the effective number of distinct terms
+    // on the page. A boilerplate stub with a handful of terms scores near
+    // zero even though its weight distribution is flat; a full page
+    // saturates around kReferencePerplexity.
+    constexpr double kReferencePerplexity = 50.0;
+    std::vector<double> term_weights;
+    term_weights.reserve(fb.tfidf.size());
+    for (const auto& e : fb.tfidf.entries()) term_weights.push_back(e.weight);
+    const double volume = std::min(
+        1.0, ml::Perplexity(term_weights) / kReferencePerplexity);
+    fb.informativeness = 0.5 * presence + 0.5 * volume;
+  }
+  return bundles;
+}
+
+}  // namespace extract
+}  // namespace weber

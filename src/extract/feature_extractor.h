@@ -1,0 +1,60 @@
+// FeatureExtractor: turns raw pages of one block (all pages sharing an
+// ambiguous person name) into FeatureBundles.
+
+#ifndef WEBER_EXTRACT_FEATURE_EXTRACTOR_H_
+#define WEBER_EXTRACT_FEATURE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "extract/feature_bundle.h"
+#include "extract/gazetteer.h"
+#include "text/analyzer.h"
+
+namespace weber {
+namespace extract {
+
+/// Raw input for one page.
+struct PageInput {
+  std::string url;
+  std::string text;
+};
+
+struct FeatureExtractorOptions {
+  text::AnalyzerOptions analyzer;
+  /// Concepts occurring on at least this fraction of the block's pages are
+  /// treated as boilerplate and dropped from concept features (they carry no
+  /// disambiguation signal).
+  double max_concept_block_frequency = 0.9;
+
+  /// Boilerplate suppression needs a meaningful block-frequency estimate;
+  /// blocks smaller than this skip it entirely.
+  int min_block_size_for_suppression = 5;
+};
+
+/// Stateless orchestrator. TF-IDF statistics are fitted per block, so
+/// feature extraction is a two-pass operation over the block's pages.
+class FeatureExtractor {
+ public:
+  /// The gazetteer must outlive the extractor and be Build()-ready.
+  FeatureExtractor(const Gazetteer* gazetteer,
+                   FeatureExtractorOptions options = {});
+
+  /// Extracts features for all pages of a block. `query_name` is the
+  /// ambiguous person name the block is organized around (lowercase
+  /// expected; used for F6's "other persons" and F7's keyword proximity).
+  /// Returns InvalidArgument for an empty block.
+  Result<std::vector<FeatureBundle>> ExtractBlock(
+      const std::vector<PageInput>& pages, const std::string& query_name) const;
+
+ private:
+  const Gazetteer* gazetteer_;
+  FeatureExtractorOptions options_;
+  text::Analyzer analyzer_;
+};
+
+}  // namespace extract
+}  // namespace weber
+
+#endif  // WEBER_EXTRACT_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,101 @@
+#include "extract/gazetteer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace extract {
+
+std::string_view EntityTypeToString(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "person";
+    case EntityType::kOrganization:
+      return "organization";
+    case EntityType::kLocation:
+      return "location";
+    case EntityType::kConcept:
+      return "concept";
+  }
+  return "unknown";
+}
+
+int Gazetteer::Add(std::string_view surface, EntityType type, double weight) {
+  built_ = false;
+  std::string lower = ToLowerAscii(surface);
+  std::string key = std::string(EntityTypeToString(type)) + "|" + lower;
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    entries_[it->second].weight = std::max(entries_[it->second].weight, weight);
+    return it->second;
+  }
+  int id = static_cast<int>(entries_.size());
+  entries_.push_back({std::move(lower), type, weight});
+  by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+void Gazetteer::Build() {
+  matcher_ = AhoCorasick();
+  pattern_to_entry_.clear();
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    int pid = matcher_.AddPattern(entries_[i].surface);
+    if (pid >= 0) {
+      assert(pid == static_cast<int>(pattern_to_entry_.size()));
+      pattern_to_entry_.push_back(i);
+    }
+  }
+  matcher_.Build();
+  built_ = true;
+}
+
+std::vector<EntityMention> Gazetteer::Annotate(std::string_view text) const {
+  assert(built_);
+  std::string lower = ToLowerAscii(text);
+  std::vector<Match> matches = matcher_.FindAllWholeWords(lower);
+
+  // Leftmost-longest resolution per entity type: sort by (type, begin,
+  // -length) and drop matches starting inside the previously kept span.
+  std::vector<EntityMention> mentions;
+  mentions.reserve(matches.size());
+  for (const Match& m : matches) {
+    mentions.push_back({pattern_to_entry_[m.pattern_id], m.begin, m.end});
+  }
+  std::sort(mentions.begin(), mentions.end(),
+            [this](const EntityMention& a, const EntityMention& b) {
+              EntityType ta = entries_[a.entry_id].type;
+              EntityType tb = entries_[b.entry_id].type;
+              if (ta != tb) return static_cast<int>(ta) < static_cast<int>(tb);
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end > b.end;  // longer first
+            });
+  std::vector<EntityMention> kept;
+  kept.reserve(mentions.size());
+  EntityType current_type = EntityType::kPerson;
+  int covered_until = -1;
+  bool first = true;
+  for (const EntityMention& m : mentions) {
+    EntityType t = entries_[m.entry_id].type;
+    if (first || t != current_type) {
+      current_type = t;
+      covered_until = -1;
+      first = false;
+    }
+    if (m.begin >= covered_until) {
+      kept.push_back(m);
+      covered_until = m.end;
+    }
+  }
+  // Restore document order.
+  std::sort(kept.begin(), kept.end(),
+            [](const EntityMention& a, const EntityMention& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  return kept;
+}
+
+}  // namespace extract
+}  // namespace weber

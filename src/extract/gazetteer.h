@@ -1,0 +1,77 @@
+// Gazetteer: typed dictionary of known entity surface forms. The
+// dictionary-based named-entity recognizer the paper relies on ("we apply
+// (dictionary-based) named entity recognition techniques", Section III).
+
+#ifndef WEBER_EXTRACT_GAZETTEER_H_
+#define WEBER_EXTRACT_GAZETTEER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/aho_corasick.h"
+
+namespace weber {
+namespace extract {
+
+/// The entity types the similarity functions consume.
+enum class EntityType : int {
+  kPerson = 0,
+  kOrganization = 1,
+  kLocation = 2,
+  kConcept = 3,
+};
+
+constexpr int kNumEntityTypes = 4;
+
+std::string_view EntityTypeToString(EntityType type);
+
+/// One dictionary entry.
+struct GazetteerEntry {
+  std::string surface;  ///< Surface form as it appears in text (lowercased).
+  EntityType type = EntityType::kConcept;
+  /// Salience weight; concepts carry Wikipedia-style relevance weights
+  /// consumed by F1, other types typically 1.0.
+  double weight = 1.0;
+};
+
+/// One recognized mention in a page.
+struct EntityMention {
+  int entry_id = -1;  ///< Index into the gazetteer's entries().
+  int begin = 0;      ///< Byte offset in the (lowercased) text.
+  int end = 0;
+};
+
+/// Immutable after Build(): add all entries first.
+class Gazetteer {
+ public:
+  /// Adds an entry (surface form is lowercased internally). Duplicate
+  /// surfaces of the same type are collapsed, keeping the max weight.
+  /// Returns the entry id.
+  int Add(std::string_view surface, EntityType type, double weight = 1.0);
+
+  /// Prepares the matcher. Must be called before Annotate.
+  void Build();
+
+  /// Finds all whole-word dictionary mentions in `text` (matching is
+  /// case-insensitive). When mentions of the same type overlap, only the
+  /// longest is kept (leftmost-longest resolution per type).
+  std::vector<EntityMention> Annotate(std::string_view text) const;
+
+  const GazetteerEntry& entry(int id) const { return entries_[id]; }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  std::vector<GazetteerEntry> entries_;
+  // Maps "type|surface" to entry id for dedup.
+  std::unordered_map<std::string, int> by_key_;
+  AhoCorasick matcher_;
+  std::vector<int> pattern_to_entry_;
+  bool built_ = false;
+};
+
+}  // namespace extract
+}  // namespace weber
+
+#endif  // WEBER_EXTRACT_GAZETTEER_H_

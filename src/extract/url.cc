@@ -1,0 +1,110 @@
+#include "extract/url.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/string_util.h"
+#include "text/string_similarity.h"
+
+namespace weber {
+namespace extract {
+
+namespace {
+
+// Common second-level public suffixes under which registrable domains sit
+// one label deeper ("example.co.uk"). Approximation of the public suffix
+// list, sufficient for similarity purposes.
+constexpr std::array<std::string_view, 12> kSecondLevelSuffixes = {
+    "co.uk", "ac.uk", "org.uk", "gov.uk", "co.jp", "ac.jp",
+    "com.au", "net.au", "org.au", "co.in", "ac.in", "com.br",
+};
+
+}  // namespace
+
+Result<ParsedUrl> ParseUrl(std::string_view url) {
+  std::string_view rest = TrimWhitespace(url);
+  if (rest.empty()) return Status::InvalidArgument("empty URL");
+
+  ParsedUrl out;
+  size_t scheme_end = rest.find("://");
+  if (scheme_end != std::string_view::npos) {
+    out.scheme = ToLowerAscii(rest.substr(0, scheme_end));
+    rest = rest.substr(scheme_end + 3);
+  } else {
+    out.scheme = "http";
+  }
+
+  size_t path_start = rest.find_first_of("/?#");
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  std::string_view path_etc =
+      path_start == std::string_view::npos ? "" : rest.substr(path_start);
+
+  // Strip userinfo.
+  size_t at = authority.rfind('@');
+  if (at != std::string_view::npos) authority = authority.substr(at + 1);
+
+  // Split host:port.
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    int port = 0;
+    if (ParseInt(authority.substr(colon + 1), &port)) {
+      out.port = port;
+      authority = authority.substr(0, colon);
+    }
+  }
+  if (authority.empty()) return Status::InvalidArgument("URL has no host: ", std::string(url));
+  out.host = ToLowerAscii(authority);
+  out.registrable_domain = RegistrableDomain(out.host);
+
+  // Path: drop query/fragment.
+  size_t qf = path_etc.find_first_of("?#");
+  std::string_view path = qf == std::string_view::npos ? path_etc : path_etc.substr(0, qf);
+  out.path = path.empty() ? "/" : std::string(path);
+  return out;
+}
+
+std::string RegistrableDomain(std::string_view host) {
+  std::string lower = ToLowerAscii(host);
+  std::vector<std::string> labels = Split(lower, '.');
+  // Drop empty labels from leading/trailing dots.
+  labels.erase(std::remove_if(labels.begin(), labels.end(),
+                              [](const std::string& l) { return l.empty(); }),
+               labels.end());
+  if (labels.size() <= 2) return Join(labels, ".");
+  std::string last_two = labels[labels.size() - 2] + "." + labels.back();
+  for (std::string_view suffix : kSecondLevelSuffixes) {
+    if (last_two == suffix) {
+      return labels[labels.size() - 3] + "." + last_two;
+    }
+  }
+  return last_two;
+}
+
+double UrlSimilarity(std::string_view url_a, std::string_view url_b) {
+  Result<ParsedUrl> ra = ParseUrl(url_a);
+  Result<ParsedUrl> rb = ParseUrl(url_b);
+  if (!ra.ok() || !rb.ok()) return 0.0;
+  const ParsedUrl& a = *ra;
+  const ParsedUrl& b = *rb;
+
+  if (a.host == b.host) {
+    if (a.path == b.path) return 1.0;
+    // Shared leading directory (beyond the root slash)?
+    std::vector<std::string> pa = Split(a.path, '/');
+    std::vector<std::string> pb = Split(b.path, '/');
+    // Split("/x/y", '/') -> {"", "x", "y"}; index 1 is the first directory.
+    if (pa.size() > 1 && pb.size() > 1 && !pa[1].empty() && pa[1] == pb[1]) {
+      return 0.9;
+    }
+    return 0.8;
+  }
+  if (!a.registrable_domain.empty() &&
+      a.registrable_domain == b.registrable_domain) {
+    return 0.6;
+  }
+  return 0.4 * text::JaroWinklerSimilarity(a.host, b.host);
+}
+
+}  // namespace extract
+}  // namespace weber

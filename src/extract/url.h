@@ -1,0 +1,48 @@
+// URL parsing and URL similarity (feature for F2).
+
+#ifndef WEBER_EXTRACT_URL_H_
+#define WEBER_EXTRACT_URL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace weber {
+namespace extract {
+
+/// Decomposed URL. Only the pieces the similarity functions need.
+struct ParsedUrl {
+  std::string scheme;             ///< "http", "https", ... (lowercased)
+  std::string host;               ///< "people.epfl.ch" (lowercased)
+  std::string registrable_domain; ///< "epfl.ch" — host minus subdomains
+  std::string path;               ///< "/~yerva/index.html" (never empty: "/")
+  int port = 0;                   ///< 0 when absent
+
+  bool operator==(const ParsedUrl&) const = default;
+};
+
+/// Parses an absolute URL. Accepts scheme-less inputs ("www.epfl.ch/x") by
+/// assuming http. Returns InvalidArgument for empty or host-less inputs.
+Result<ParsedUrl> ParseUrl(std::string_view url);
+
+/// Approximates the registrable domain of a host: the last two labels, or
+/// the last three when the second-to-last is a well-known second-level
+/// public suffix ("co.uk", "ac.jp", ...).
+std::string RegistrableDomain(std::string_view host);
+
+/// URL similarity in [0, 1] (the measure behind F2):
+///   1.0              same host, same path
+///   0.9              same host, paths share a directory prefix
+///   0.8              same host
+///   0.6              same registrable domain, different host
+///   otherwise        character-level similarity of the hosts, scaled to
+///                    [0, 0.4] so cross-domain pages never look like strong
+///                    matches.
+/// Unparseable URLs compare at 0.
+double UrlSimilarity(std::string_view url_a, std::string_view url_b);
+
+}  // namespace extract
+}  // namespace weber
+
+#endif  // WEBER_EXTRACT_URL_H_

@@ -1,0 +1,94 @@
+#include "graph/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace weber {
+namespace graph {
+
+std::string_view LinkageToString(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Lance-Williams style cluster-similarity update for the three linkages,
+/// maintained on a dense cluster-by-cluster matrix with cluster sizes.
+double Combine(Linkage linkage, double sim_a, double sim_b, int size_a,
+               int size_b) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::max(sim_a, sim_b);
+    case Linkage::kComplete:
+      return std::min(sim_a, sim_b);
+    case Linkage::kAverage:
+      return (sim_a * size_a + sim_b * size_b) /
+             static_cast<double>(size_a + size_b);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Clustering AgglomerativeClustering(const SimilarityMatrix& similarities,
+                                   const AgglomerativeOptions& options) {
+  const int n = similarities.size();
+  if (n == 0) return Clustering::FromLabels({});
+  if (n == 1) return Clustering::Singletons(1);
+
+  // Active cluster list: each active cluster has a representative slot in a
+  // dense similarity table; merged clusters are deactivated.
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) sim[i][j] = similarities.Get(i, j);
+    }
+  }
+  std::vector<bool> active(n, true);
+  std::vector<int> size(n, 1);
+  std::vector<int> member_of(n);
+  for (int i = 0; i < n; ++i) member_of[i] = i;
+
+  for (int round = 0; round < n - 1; ++round) {
+    // Find the best active pair.
+    double best = -std::numeric_limits<double>::infinity();
+    int ba = -1, bb = -1;
+    for (int a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (int b = a + 1; b < n; ++b) {
+        if (!active[b]) continue;
+        if (sim[a][b] > best) {
+          best = sim[a][b];
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    if (ba < 0 || best < options.stop_threshold) break;
+
+    // Merge bb into ba.
+    for (int c = 0; c < n; ++c) {
+      if (!active[c] || c == ba || c == bb) continue;
+      sim[ba][c] = sim[c][ba] =
+          Combine(options.linkage, sim[ba][c], sim[bb][c], size[ba], size[bb]);
+    }
+    size[ba] += size[bb];
+    active[bb] = false;
+    for (int i = 0; i < n; ++i) {
+      if (member_of[i] == bb) member_of[i] = ba;
+    }
+  }
+  return Clustering::FromLabels(member_of);
+}
+
+}  // namespace graph
+}  // namespace weber

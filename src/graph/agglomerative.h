@@ -1,0 +1,44 @@
+// Hierarchical agglomerative clustering over a pairwise similarity /
+// link-probability matrix — one of the "several other clustering
+// techniques" the paper experimented with for the final step of Algorithm 1
+// (Section IV-C), and the classic alternative to transitive closure: it
+// stops merging when no remaining pair of clusters is similar enough,
+// instead of chaining through weak links.
+
+#ifndef WEBER_GRAPH_AGGLOMERATIVE_H_
+#define WEBER_GRAPH_AGGLOMERATIVE_H_
+
+#include <string_view>
+
+#include "graph/clustering.h"
+#include "graph/pair_matrix.h"
+
+namespace weber {
+namespace graph {
+
+/// How the similarity of two clusters is derived from item similarities.
+enum class Linkage : int {
+  kSingle = 0,    ///< max over cross pairs (chains like transitive closure)
+  kComplete = 1,  ///< min over cross pairs (most conservative)
+  kAverage = 2,   ///< mean over cross pairs (UPGMA)
+};
+
+std::string_view LinkageToString(Linkage linkage);
+
+struct AgglomerativeOptions {
+  Linkage linkage = Linkage::kAverage;
+  /// Merging stops when the best cluster-pair similarity drops below this.
+  double stop_threshold = 0.5;
+};
+
+/// Bottom-up clustering: start from singletons, repeatedly merge the most
+/// similar pair of clusters until the best similarity falls below the stop
+/// threshold. O(n^3) time, O(n^2) space — ample for Web-people-search
+/// blocks (n <= a few hundred).
+Clustering AgglomerativeClustering(const SimilarityMatrix& similarities,
+                                   const AgglomerativeOptions& options = {});
+
+}  // namespace graph
+}  // namespace weber
+
+#endif  // WEBER_GRAPH_AGGLOMERATIVE_H_

@@ -1,0 +1,52 @@
+#include "graph/clustering.h"
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace weber {
+namespace graph {
+
+Clustering Clustering::FromLabels(const std::vector<int>& labels) {
+  Clustering c;
+  c.labels_.resize(labels.size());
+  std::unordered_map<int, int> canonical;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] =
+        canonical.emplace(labels[i], static_cast<int>(canonical.size()));
+    c.labels_[i] = it->second;
+  }
+  c.num_clusters_ = static_cast<int>(canonical.size());
+  return c;
+}
+
+Clustering Clustering::Singletons(int n) {
+  Clustering c;
+  c.labels_.resize(n);
+  for (int i = 0; i < n; ++i) c.labels_[i] = i;
+  c.num_clusters_ = n;
+  return c;
+}
+
+Clustering Clustering::OneCluster(int n) {
+  Clustering c;
+  c.labels_.assign(n, 0);
+  c.num_clusters_ = n > 0 ? 1 : 0;
+  return c;
+}
+
+std::vector<std::vector<int>> Clustering::Groups() const {
+  std::vector<std::vector<int>> groups(num_clusters_);
+  for (int i = 0; i < num_items(); ++i) groups[labels_[i]].push_back(i);
+  return groups;
+}
+
+long long Clustering::NumIntraPairs() const {
+  std::vector<long long> sizes(num_clusters_, 0);
+  for (int label : labels_) sizes[label] += 1;
+  long long pairs = 0;
+  for (long long s : sizes) pairs += s * (s - 1) / 2;
+  return pairs;
+}
+
+}  // namespace graph
+}  // namespace weber

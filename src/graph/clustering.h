@@ -1,0 +1,57 @@
+// Clustering: a partition of n items, the output type of entity resolution
+// and the input type of the evaluation metrics.
+
+#ifndef WEBER_GRAPH_CLUSTERING_H_
+#define WEBER_GRAPH_CLUSTERING_H_
+
+#include <vector>
+
+namespace weber {
+namespace graph {
+
+/// Partition of items 0..n-1 into clusters, stored as a label per item.
+/// Labels are canonicalized to 0..k-1 in order of first appearance.
+class Clustering {
+ public:
+  Clustering() = default;
+
+  /// Builds from arbitrary integer labels (canonicalized).
+  static Clustering FromLabels(const std::vector<int>& labels);
+
+  /// The all-singletons partition of n items.
+  static Clustering Singletons(int n);
+
+  /// The single-cluster partition of n items.
+  static Clustering OneCluster(int n);
+
+  int num_items() const { return static_cast<int>(labels_.size()); }
+  int num_clusters() const { return num_clusters_; }
+
+  /// Canonical label of an item.
+  int label(int item) const { return labels_[item]; }
+
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Items grouped by cluster, clusters ordered by canonical label, items
+  /// ascending within each cluster.
+  std::vector<std::vector<int>> Groups() const;
+
+  /// True iff items a and b share a cluster.
+  bool SameCluster(int a, int b) const { return labels_[a] == labels_[b]; }
+
+  /// Number of unordered co-clustered pairs.
+  long long NumIntraPairs() const;
+
+  bool operator==(const Clustering& other) const {
+    return labels_ == other.labels_;
+  }
+
+ private:
+  std::vector<int> labels_;
+  int num_clusters_ = 0;
+};
+
+}  // namespace graph
+}  // namespace weber
+
+#endif  // WEBER_GRAPH_CLUSTERING_H_

@@ -1,0 +1,37 @@
+#include "graph/components.h"
+
+#include "graph/union_find.h"
+
+namespace weber {
+namespace graph {
+
+Clustering ConnectedComponents(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  UnionFind uf(n);
+  for (const auto& [a, b] : edges) uf.Union(a, b);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = uf.Find(i);
+  return Clustering::FromLabels(labels);
+}
+
+Clustering TransitiveClosure(const DecisionGraph& g) {
+  const int n = g.size();
+  UnionFind uf(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (g.Get(i, j)) uf.Union(i, j);
+    }
+  }
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = uf.Find(i);
+  return Clustering::FromLabels(labels);
+}
+
+long long CountEdges(const DecisionGraph& g) {
+  long long count = 0;
+  for (char v : g.data()) count += (v != 0);
+  return count;
+}
+
+}  // namespace graph
+}  // namespace weber

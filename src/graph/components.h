@@ -1,0 +1,32 @@
+// Connected components / transitive closure over decision graphs.
+
+#ifndef WEBER_GRAPH_COMPONENTS_H_
+#define WEBER_GRAPH_COMPONENTS_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/clustering.h"
+#include "graph/pair_matrix.h"
+
+namespace weber {
+namespace graph {
+
+/// An undirected decision graph over n nodes: a boolean per pair ("these two
+/// pages are the same person").
+using DecisionGraph = PairMatrix<char>;
+
+/// Connected components of an explicit edge list over n nodes.
+Clustering ConnectedComponents(int n, const std::vector<std::pair<int, int>>& edges);
+
+/// Connected components of a decision graph, i.e. the transitive closure
+/// clustering the paper applies as its final step (Section IV-C).
+Clustering TransitiveClosure(const DecisionGraph& g);
+
+/// Counts the edges set in a decision graph.
+long long CountEdges(const DecisionGraph& g);
+
+}  // namespace graph
+}  // namespace weber
+
+#endif  // WEBER_GRAPH_COMPONENTS_H_

@@ -1,0 +1,122 @@
+#include "graph/correlation_clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace weber {
+namespace graph {
+
+namespace {
+
+/// One pass of CC-Pivot: repeatedly pick a random unclustered pivot and
+/// absorb its positive unclustered neighbours.
+std::vector<int> PivotPass(const SimilarityMatrix& p, double threshold,
+                           Rng* rng) {
+  const int n = p.size();
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<int> labels(n, -1);
+  int next_label = 0;
+  for (int pivot : order) {
+    if (labels[pivot] != -1) continue;
+    labels[pivot] = next_label;
+    for (int j = 0; j < n; ++j) {
+      if (labels[j] == -1 && p.Get(pivot, j) > threshold) {
+        labels[j] = next_label;
+      }
+    }
+    ++next_label;
+  }
+  return labels;
+}
+
+/// Greedy best-move local search: for each node, the gain of moving it to
+/// each existing cluster (or a fresh singleton) is evaluated; the best
+/// strictly-improving move is applied. Runs until a round makes no move or
+/// the round budget is exhausted.
+void LocalSearch(const SimilarityMatrix& p, double threshold, int rounds,
+                 std::vector<int>* labels) {
+  const int n = p.size();
+  for (int round = 0; round < rounds; ++round) {
+    bool moved = false;
+    for (int v = 0; v < n; ++v) {
+      // Affinity of v toward each cluster: sum over members u of
+      // (p(v,u) - threshold). Moving v to the cluster with the highest
+      // positive affinity minimizes v's disagreement contribution.
+      std::unordered_map<int, double> affinity;
+      for (int u = 0; u < n; ++u) {
+        if (u == v) continue;
+        affinity[(*labels)[u]] += p.Get(v, u) - threshold;
+      }
+      int best_cluster = -1;  // -1 = fresh singleton, affinity 0
+      double best_affinity = 0.0;
+      for (const auto& [cluster, a] : affinity) {
+        if (a > best_affinity + 1e-12 ||
+            (a >= best_affinity - 1e-12 && cluster == (*labels)[v])) {
+          best_affinity = a;
+          best_cluster = cluster;
+        }
+      }
+      int target = best_cluster;
+      if (target == -1) {
+        // Best move is a fresh singleton. If v is already alone in its
+        // cluster (no other node shares its label), that is a no-op.
+        if (affinity.find((*labels)[v]) == affinity.end()) continue;
+        target = n + v;  // a label not currently in use
+      }
+      if (target != (*labels)[v]) {
+        (*labels)[v] = target;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+double CorrelationCost(const SimilarityMatrix& probabilities,
+                       const Clustering& clustering,
+                       double positive_threshold) {
+  const int n = probabilities.size();
+  double cost = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double p = probabilities.Get(i, j);
+      const bool together = clustering.SameCluster(i, j);
+      const bool positive = p > positive_threshold;
+      if (together != positive) cost += std::abs(p - positive_threshold);
+    }
+  }
+  return cost;
+}
+
+Clustering CorrelationClustering(const SimilarityMatrix& probabilities,
+                                 const CorrelationClusteringOptions& options) {
+  const int n = probabilities.size();
+  if (n == 0) return Clustering::FromLabels({});
+  Rng rng(options.seed);
+
+  Clustering best = Clustering::Singletons(n);
+  double best_cost = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, options.pivot_restarts);
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<int> labels =
+        PivotPass(probabilities, options.positive_threshold, &rng);
+    LocalSearch(probabilities, options.positive_threshold,
+                options.local_search_rounds, &labels);
+    Clustering c = Clustering::FromLabels(labels);
+    double cost = CorrelationCost(probabilities, c, options.positive_threshold);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace graph
+}  // namespace weber

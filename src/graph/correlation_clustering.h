@@ -1,0 +1,43 @@
+// Correlation clustering (Bansal, Blum, Chawla, Machine Learning 2004) —
+// the alternative final clustering step the paper experimented with
+// (Section IV-C). Minimizes disagreements: a "+" pair split across clusters
+// or a "-" pair kept together each costs its confidence weight.
+
+#ifndef WEBER_GRAPH_CORRELATION_CLUSTERING_H_
+#define WEBER_GRAPH_CORRELATION_CLUSTERING_H_
+
+#include "common/random.h"
+#include "graph/clustering.h"
+#include "graph/pair_matrix.h"
+
+namespace weber {
+namespace graph {
+
+struct CorrelationClusteringOptions {
+  /// Number of random-pivot restarts; the lowest-cost run wins.
+  int pivot_restarts = 8;
+  /// Rounds of best-move local search after pivoting (0 disables).
+  int local_search_rounds = 4;
+  /// Link probabilities above this are "+" edges, below are "-" edges; the
+  /// margin |p - 0.5| is the edge confidence weight.
+  double positive_threshold = 0.5;
+  uint64_t seed = 0xC0FFEEULL;
+};
+
+/// Disagreement cost of a clustering against link probabilities: for each
+/// pair, cost |p - threshold| is paid when the clustering contradicts the
+/// edge sign.
+double CorrelationCost(const SimilarityMatrix& probabilities,
+                       const Clustering& clustering,
+                       double positive_threshold = 0.5);
+
+/// Approximate minimum-disagreement clustering via randomized Pivot
+/// (CC-Pivot, 3-approximation in expectation on unweighted graphs) plus
+/// greedy single-node move local search.
+Clustering CorrelationClustering(const SimilarityMatrix& probabilities,
+                                 const CorrelationClusteringOptions& options = {});
+
+}  // namespace graph
+}  // namespace weber
+
+#endif  // WEBER_GRAPH_CORRELATION_CLUSTERING_H_

@@ -1,0 +1,71 @@
+// PairMatrix: dense symmetric matrix over item pairs. Blocks in Web people
+// search hold at most a few hundred pages, so a dense representation of the
+// complete weighted graph G_w^{fi} (Section IV-C) is both simplest and
+// fastest.
+
+#ifndef WEBER_GRAPH_PAIR_MATRIX_H_
+#define WEBER_GRAPH_PAIR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace weber {
+namespace graph {
+
+/// Symmetric n x n matrix storing the strict upper triangle; the diagonal is
+/// implicitly `diagonal_value` (1.0 for similarity matrices).
+template <typename T>
+class PairMatrix {
+ public:
+  PairMatrix() = default;
+
+  explicit PairMatrix(int n, T init = T(), T diagonal_value = T(1))
+      : n_(n),
+        diagonal_(diagonal_value),
+        data_(static_cast<size_t>(n) * (n - 1) / 2, init) {
+    assert(n >= 0);
+  }
+
+  int size() const { return n_; }
+
+  /// Number of stored (unordered, off-diagonal) pairs.
+  size_t num_pairs() const { return data_.size(); }
+
+  T Get(int i, int j) const {
+    if (i == j) return diagonal_;
+    return data_[Index(i, j)];
+  }
+
+  void Set(int i, int j, T value) {
+    assert(i != j);
+    data_[Index(i, j)] = value;
+  }
+
+  /// Raw pair storage, ordered by Index(i, j): pair (i, j), i < j, lives at
+  /// offset i*n - i*(i+1)/2 + (j - i - 1).
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+  /// Linear offset of the unordered pair {i, j}, i != j.
+  size_t Index(int i, int j) const {
+    assert(i != j && i >= 0 && j >= 0 && i < n_ && j < n_);
+    if (i > j) std::swap(i, j);
+    return static_cast<size_t>(i) * n_ - static_cast<size_t>(i) * (i + 1) / 2 +
+           (j - i - 1);
+  }
+
+ private:
+  int n_ = 0;
+  T diagonal_ = T(1);
+  std::vector<T> data_;
+};
+
+/// Similarity / link-probability matrices.
+using SimilarityMatrix = PairMatrix<double>;
+
+}  // namespace graph
+}  // namespace weber
+
+#endif  // WEBER_GRAPH_PAIR_MATRIX_H_

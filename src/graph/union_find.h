@@ -1,0 +1,54 @@
+// Disjoint-set forest with path compression and union by size.
+
+#ifndef WEBER_GRAPH_UNION_FIND_H_
+#define WEBER_GRAPH_UNION_FIND_H_
+
+#include <numeric>
+#include <vector>
+
+namespace weber {
+namespace graph {
+
+/// Classic union-find over n elements (0..n-1).
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of x's set (with path compression).
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Size of x's set.
+  int SetSize(int x) { return size_[Find(x)]; }
+
+  int num_elements() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace graph
+}  // namespace weber
+
+#endif  // WEBER_GRAPH_UNION_FIND_H_

@@ -1,0 +1,37 @@
+#include "ml/entropy.h"
+
+#include <cmath>
+
+namespace weber {
+namespace ml {
+
+double ShannonEntropy(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    double p = w / total;
+    entropy -= p * std::log2(p);
+  }
+  return entropy < 0.0 ? 0.0 : entropy;
+}
+
+double NormalizedEntropy(const std::vector<double>& weights) {
+  int positive = 0;
+  for (double w : weights) {
+    if (w > 0.0) ++positive;
+  }
+  if (positive < 2) return 0.0;
+  return ShannonEntropy(weights) / std::log2(static_cast<double>(positive));
+}
+
+double Perplexity(const std::vector<double>& weights) {
+  return std::exp2(ShannonEntropy(weights));
+}
+
+}  // namespace ml
+}  // namespace weber

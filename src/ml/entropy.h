@@ -1,0 +1,35 @@
+// Entropy-based informativeness metrics — the paper's stated future work
+// (Section VII: "address the effect of incomplete information available in
+// the Web pages on the accuracy of the similarity functions, by considering
+// entropy based metrics, similar to [29]").
+//
+// The idea: a near-empty page gives the similarity functions almost nothing
+// to work with, so decisions on pairs involving such pages are close to
+// guesses. Quantifying page information content lets the resolver treat
+// those decisions with appropriate caution.
+
+#ifndef WEBER_ML_ENTROPY_H_
+#define WEBER_ML_ENTROPY_H_
+
+#include <vector>
+
+namespace weber {
+namespace ml {
+
+/// Shannon entropy (in bits) of a discrete distribution. Non-positive
+/// entries are ignored; the input need not be normalized (it is normalized
+/// internally). Returns 0 for empty or degenerate input.
+double ShannonEntropy(const std::vector<double>& weights);
+
+/// Entropy normalized by the maximum log2(k) over the k positive entries,
+/// in [0, 1]. 1 = uniform (maximally diverse), 0 = concentrated on one
+/// entry (or fewer than two positive entries).
+double NormalizedEntropy(const std::vector<double>& weights);
+
+/// Perplexity: 2^entropy, the "effective number of distinct items".
+double Perplexity(const std::vector<double>& weights);
+
+}  // namespace ml
+}  // namespace weber
+
+#endif  // WEBER_ML_ENTROPY_H_

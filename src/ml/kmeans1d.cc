@@ -1,0 +1,107 @@
+#include "ml/kmeans1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace weber {
+namespace ml {
+
+namespace {
+
+std::vector<double> KMeansPlusPlusSeed(const std::vector<double>& values,
+                                       int k, Rng* rng) {
+  std::vector<double> centers;
+  centers.reserve(k);
+  centers.push_back(values[rng->UniformUint64(values.size())]);
+  std::vector<double> d2(values.size());
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : centers) {
+        best = std::min(best, (values[i] - c) * (values[i] - c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) break;  // all points coincide with some center
+    int pick = rng->Categorical(d2);
+    if (pick < 0) break;
+    centers.push_back(values[pick]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+int NearestCenter(const std::vector<double>& centers, double value) {
+  // Binary search over ascending centers, then compare the two candidates.
+  auto it = std::lower_bound(centers.begin(), centers.end(), value);
+  if (it == centers.begin()) return 0;
+  if (it == centers.end()) return static_cast<int>(centers.size()) - 1;
+  int hi = static_cast<int>(it - centers.begin());
+  int lo = hi - 1;
+  return (value - centers[lo]) <= (centers[hi] - value) ? lo : hi;
+}
+
+Result<KMeans1DResult> KMeans1D(const std::vector<double>& values, int k,
+                                Rng* rng, const KMeans1DOptions& options) {
+  if (k < 1) return Status::InvalidArgument("KMeans1D: k must be >= 1, got ", k);
+  if (values.empty()) return Status::InvalidArgument("KMeans1D: empty input");
+
+  // Cap k at the number of distinct values; more clusters than distinct
+  // values would leave empty clusters forever.
+  std::set<double> distinct(values.begin(), values.end());
+  k = std::min<int>(k, static_cast<int>(distinct.size()));
+
+  KMeans1DResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    std::vector<double> centers = KMeansPlusPlusSeed(values, k, rng);
+    std::sort(centers.begin(), centers.end());
+    centers.erase(std::unique(centers.begin(), centers.end()), centers.end());
+
+    int iter = 0;
+    for (; iter < options.max_iterations; ++iter) {
+      // Assignment + update in one pass: accumulate per-center sums.
+      std::vector<double> sum(centers.size(), 0.0);
+      std::vector<int> count(centers.size(), 0);
+      for (double v : values) {
+        int c = NearestCenter(centers, v);
+        sum[c] += v;
+        count[c] += 1;
+      }
+      double max_shift = 0.0;
+      std::vector<double> updated;
+      updated.reserve(centers.size());
+      for (size_t c = 0; c < centers.size(); ++c) {
+        if (count[c] == 0) continue;  // drop empty cluster
+        double nc = sum[c] / count[c];
+        max_shift = std::max(max_shift, std::fabs(nc - centers[c]));
+        updated.push_back(nc);
+      }
+      std::sort(updated.begin(), updated.end());
+      updated.erase(std::unique(updated.begin(), updated.end()), updated.end());
+      centers = std::move(updated);
+      if (max_shift <= options.tolerance) break;
+    }
+
+    double inertia = 0.0;
+    for (double v : values) {
+      double c = centers[NearestCenter(centers, v)];
+      inertia += (v - c) * (v - c);
+    }
+    if (inertia < best.inertia) {
+      best.centers = centers;
+      best.inertia = inertia;
+      best.iterations = iter;
+    }
+  }
+  return best;
+}
+
+}  // namespace ml
+}  // namespace weber

@@ -1,0 +1,61 @@
+#include "ml/splitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace weber {
+namespace ml {
+
+std::vector<int> SampleTrainingDocuments(int n, double fraction, Rng* rng,
+                                         int minimum) {
+  if (n <= 0) return {};
+  int k = static_cast<int>(std::ceil(fraction * n));
+  k = std::clamp(k, std::min(minimum, n), n);
+  std::vector<int> sample = rng->SampleWithoutReplacement(n, k);
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+std::vector<std::pair<int, int>> SampleTrainingPairs(int n, double fraction,
+                                                     Rng* rng, int minimum) {
+  if (n < 2) return {};
+  const long long total = static_cast<long long>(n) * (n - 1) / 2;
+  long long k = static_cast<long long>(std::ceil(fraction * total));
+  k = std::clamp<long long>(k, std::min<long long>(minimum, total), total);
+  // Sample pair offsets without replacement, then decode offset -> (i, j)
+  // with i < j using the row-major upper-triangle layout.
+  std::vector<int> offsets =
+      rng->SampleWithoutReplacement(static_cast<int>(total),
+                                    static_cast<int>(k));
+  std::sort(offsets.begin(), offsets.end());
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(offsets.size());
+  int i = 0;
+  long long row_start = 0;           // offset of pair (i, i+1)
+  long long row_len = n - 1;         // pairs in row i
+  for (int offset : offsets) {
+    while (offset >= row_start + row_len) {
+      row_start += row_len;
+      ++i;
+      row_len = n - 1 - i;
+    }
+    int j = i + 1 + static_cast<int>(offset - row_start);
+    pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+std::vector<std::pair<int, int>> PairsAmong(const std::vector<int>& docs) {
+  std::vector<std::pair<int, int>> pairs;
+  const size_t n = docs.size();
+  if (n >= 2) pairs.reserve(n * (n - 1) / 2);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      pairs.emplace_back(docs[a], docs[b]);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace ml
+}  // namespace weber

@@ -1,0 +1,38 @@
+// Training-set sampling (Section V-A2: "we use 10% of the complete dataset
+// as the training set ... on each run we randomly choose the training subset
+// from the complete dataset").
+
+#ifndef WEBER_ML_SPLITTER_H_
+#define WEBER_ML_SPLITTER_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace weber {
+namespace ml {
+
+/// Samples a training subset of the documents of one block.
+///
+/// Returns the sorted indices of ceil(fraction * n) randomly chosen
+/// documents, with a floor of `minimum` (clamped to n). Labeled training
+/// *pairs* are all pairs among the returned documents.
+std::vector<int> SampleTrainingDocuments(int n, double fraction, Rng* rng,
+                                         int minimum = 2);
+
+/// All unordered pairs (i, j), i < j, over the given document indices.
+std::vector<std::pair<int, int>> PairsAmong(const std::vector<int>& docs);
+
+/// Samples a training subset of the block's document *pairs* directly:
+/// ceil(fraction * n*(n-1)/2) distinct unordered pairs, uniformly without
+/// replacement, with a floor of `minimum` (clamped to the pair count).
+/// This is the paper's "10% of the complete dataset" protocol when the
+/// dataset is read as the set of pairwise decisions.
+std::vector<std::pair<int, int>> SampleTrainingPairs(int n, double fraction,
+                                                     Rng* rng,
+                                                     int minimum = 10);
+
+}  // namespace ml
+}  // namespace weber
+
+#endif  // WEBER_ML_SPLITTER_H_

@@ -1,0 +1,21 @@
+#include "text/analyzer.h"
+
+namespace weber {
+namespace text {
+
+std::vector<std::string> Analyzer::Analyze(std::string_view raw_text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(raw_text);
+  std::vector<std::string> terms;
+  terms.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (options_.remove_stopwords && stopwords_.Contains(token)) continue;
+    std::string term =
+        options_.stem ? PorterStemmer::Stem(token) : std::move(token);
+    if (static_cast<int>(term.size()) < options_.min_term_length) continue;
+    terms.push_back(std::move(term));
+  }
+  return terms;
+}
+
+}  // namespace text
+}  // namespace weber

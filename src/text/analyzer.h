@@ -1,0 +1,57 @@
+// Analyzer: the tokenize -> stopword-filter -> stem pipeline, mirroring a
+// Lucene analyzer chain.
+
+#ifndef WEBER_TEXT_ANALYZER_H_
+#define WEBER_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace weber {
+namespace text {
+
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  /// Drop stopwords (using the default English set unless a custom set is
+  /// installed via the Analyzer constructor).
+  bool remove_stopwords = true;
+  /// Apply the Porter stemmer to surviving tokens.
+  bool stem = true;
+  /// Drop tokens shorter than this *after* stemming.
+  int min_term_length = 2;
+};
+
+/// Turns raw text into index terms.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {})
+      : options_(options),
+        stopwords_(options.remove_stopwords ? StopwordSet::DefaultEnglish()
+                                            : StopwordSet::Empty()),
+        tokenizer_(options.tokenizer) {}
+
+  Analyzer(AnalyzerOptions options, StopwordSet stopwords)
+      : options_(options),
+        stopwords_(std::move(stopwords)),
+        tokenizer_(options.tokenizer) {}
+
+  /// Full pipeline: tokenize, drop stopwords, stem, drop short terms.
+  std::vector<std::string> Analyze(std::string_view raw_text) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  StopwordSet stopwords_;
+  Tokenizer tokenizer_;
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_ANALYZER_H_

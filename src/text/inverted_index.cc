@@ -1,0 +1,101 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace weber {
+namespace text {
+
+DocId InvertedIndex::AddDocument(std::string_view raw_text) {
+  return AddAnalyzedDocument(analyzer_.Analyze(raw_text));
+}
+
+DocId InvertedIndex::AddAnalyzedDocument(
+    const std::vector<std::string>& terms) {
+  finalized_ = false;
+  DocId doc = static_cast<DocId>(doc_lengths_.size());
+  std::unordered_map<TermId, int> tf;
+  for (const auto& t : terms) tf[vocab_.GetOrAdd(t)] += 1;
+  for (const auto& [term, freq] : tf) {
+    if (static_cast<size_t>(term) >= postings_.size()) {
+      postings_.resize(term + 1);
+    }
+    postings_[term].push_back({doc, freq});
+  }
+  doc_lengths_.push_back(static_cast<int>(terms.size()));
+  return doc;
+}
+
+Status InvertedIndex::Finalize() {
+  if (doc_lengths_.empty()) {
+    return Status::FailedPrecondition("InvertedIndex: empty index");
+  }
+  const double n = static_cast<double>(doc_lengths_.size());
+  idf_.assign(postings_.size(), 0.0);
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    if (!postings_[t].empty()) {
+      idf_[t] = std::log((1.0 + n) / (1.0 + postings_[t].size())) + 1.0;
+    }
+  }
+  // Build per-document lnc vectors (log tf, no idf on documents, cosine
+  // normalized) from the postings.
+  std::vector<std::vector<SparseVector::Entry>> per_doc(doc_lengths_.size());
+  for (size_t t = 0; t < postings_.size(); ++t) {
+    for (const Posting& p : postings_[t]) {
+      double w = 1.0 + std::log(static_cast<double>(p.term_freq));
+      per_doc[p.doc].push_back({static_cast<TermId>(t), w});
+    }
+  }
+  doc_vectors_.clear();
+  doc_vectors_.reserve(per_doc.size());
+  for (auto& entries : per_doc) {
+    doc_vectors_.push_back(
+        SparseVector::FromPairs(std::move(entries)).Normalized());
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<SearchHit>> InvertedIndex::Search(std::string_view query,
+                                                     int k) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("InvertedIndex: call Finalize() first");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive, got ", k);
+
+  // Query vector: ltc (log tf * idf, normalized implicitly via scoring).
+  std::unordered_map<TermId, int> qtf;
+  for (const auto& t : analyzer_.Analyze(query)) {
+    TermId id = vocab_.Lookup(t);
+    if (id >= 0) qtf[id] += 1;
+  }
+  std::vector<double> scores(doc_lengths_.size(), 0.0);
+  for (const auto& [term, freq] : qtf) {
+    const double qw = (1.0 + std::log(static_cast<double>(freq))) * idf_[term];
+    for (const Posting& p : postings_[term]) {
+      scores[p.doc] += qw * doc_vectors_[p.doc].GetWeight(term);
+    }
+  }
+  std::vector<SearchHit> hits;
+  for (size_t d = 0; d < scores.size(); ++d) {
+    if (scores[d] > 0.0) {
+      hits.push_back({static_cast<DocId>(d), scores[d]});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (static_cast<int>(hits.size()) > k) hits.resize(k);
+  return hits;
+}
+
+int InvertedIndex::DocumentFrequency(std::string_view term) const {
+  TermId id = vocab_.Lookup(term);
+  if (id < 0 || static_cast<size_t>(id) >= postings_.size()) return 0;
+  return static_cast<int>(postings_[id].size());
+}
+
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,85 @@
+// Inverted index with TF-IDF ranked retrieval — a compact Lucene-like search
+// core. The ER pipeline itself compares documents pairwise within blocks, but
+// the index powers candidate retrieval in the examples and can serve as a
+// blocking accelerator for large collections.
+
+#ifndef WEBER_TEXT_INVERTED_INDEX_H_
+#define WEBER_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "text/analyzer.h"
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace weber {
+namespace text {
+
+/// Internal document handle assigned by the index (dense, starting at 0).
+using DocId = int32_t;
+
+/// One ranked search hit.
+struct SearchHit {
+  DocId doc = -1;
+  double score = 0.0;
+  bool operator==(const SearchHit&) const = default;
+};
+
+/// In-memory inverted index over analyzed documents with cosine/TF-IDF
+/// ranking (lnc.ltc scheme). Build phase: Add all documents, then Finalize.
+/// Query phase: Search / TopK.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(AnalyzerOptions analyzer_options = {})
+      : analyzer_(analyzer_options) {}
+
+  /// Analyzes and indexes one document; returns its DocId.
+  DocId AddDocument(std::string_view raw_text);
+
+  /// Indexes a pre-analyzed term list; returns its DocId.
+  DocId AddAnalyzedDocument(const std::vector<std::string>& terms);
+
+  /// Computes idf values and document norms. Must be called before queries.
+  Status Finalize();
+
+  /// Ranked retrieval of the top `k` documents for a free-text query.
+  /// Returns FailedPrecondition if the index is not finalized.
+  Result<std::vector<SearchHit>> Search(std::string_view query, int k) const;
+
+  /// Number of indexed documents.
+  int num_documents() const { return static_cast<int>(doc_lengths_.size()); }
+
+  /// Number of distinct terms.
+  int num_terms() const { return vocab_.size(); }
+
+  /// Document frequency of a term (0 if unknown).
+  int DocumentFrequency(std::string_view term) const;
+
+  /// The TF-IDF vector of an indexed document (valid after Finalize).
+  const SparseVector& DocumentVector(DocId doc) const {
+    return doc_vectors_[doc];
+  }
+
+ private:
+  struct Posting {
+    DocId doc;
+    int term_freq;
+  };
+
+  Analyzer analyzer_;
+  Vocabulary vocab_;
+  std::vector<std::vector<Posting>> postings_;  // by TermId
+  std::vector<int> doc_lengths_;                // token count per doc
+  std::vector<double> idf_;                     // by TermId, after Finalize
+  std::vector<SparseVector> doc_vectors_;       // normalized, after Finalize
+  bool finalized_ = false;
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_INVERTED_INDEX_H_

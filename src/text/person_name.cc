@@ -1,0 +1,86 @@
+#include "text/person_name.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace text {
+
+namespace {
+
+/// Strips a trailing dot from an initial token ("a." -> "a").
+std::string StripDot(std::string token) {
+  if (!token.empty() && token.back() == '.') token.pop_back();
+  return token;
+}
+
+bool IsInitial(const std::string& token) { return token.size() == 1; }
+
+}  // namespace
+
+PersonName ParsePersonName(std::string_view raw) {
+  PersonName name;
+  std::vector<std::string> tokens = SplitWhitespace(ToLowerAscii(raw));
+  for (auto& t : tokens) t = StripDot(std::move(t));
+  tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                              [](const std::string& t) { return t.empty(); }),
+               tokens.end());
+  if (tokens.empty()) return name;
+  name.last = tokens.back();
+  if (tokens.size() >= 2) {
+    name.first = tokens.front();
+    name.first_is_initial = IsInitial(name.first);
+  }
+  if (tokens.size() >= 3) {
+    std::vector<std::string> middle(tokens.begin() + 1, tokens.end() - 1);
+    name.middle = Join(middle, " ");
+  }
+  return name;
+}
+
+NameCompatibility CompareNames(const PersonName& a, const PersonName& b) {
+  if (a.last.empty() || b.last.empty() || a.last != b.last) {
+    return NameCompatibility::kDifferent;
+  }
+  if (a.first.empty() || b.first.empty()) {
+    return NameCompatibility::kLastNameOnly;
+  }
+  if (a.first == b.first && !a.first_is_initial) {
+    return NameCompatibility::kSameName;
+  }
+  if (a.first == b.first && a.first_is_initial) {
+    // Two matching initials: consistent, but weaker than full names.
+    return NameCompatibility::kInitialMatch;
+  }
+  // One side an initial, the other a full first name starting with it.
+  if (a.first_is_initial != b.first_is_initial) {
+    const std::string& initial = a.first_is_initial ? a.first : b.first;
+    const std::string& full = a.first_is_initial ? b.first : a.first;
+    if (!full.empty() && full.front() == initial.front()) {
+      return NameCompatibility::kInitialMatch;
+    }
+  }
+  return NameCompatibility::kDifferent;
+}
+
+double NameCompatibilitySimilarity(std::string_view a, std::string_view b) {
+  PersonName pa = ParsePersonName(a);
+  PersonName pb = ParsePersonName(b);
+  if (pa.last.empty() || pb.last.empty() || pa.last != pb.last) return 0.0;
+  switch (CompareNames(pa, pb)) {
+    case NameCompatibility::kSameName:
+      return 1.0;
+    case NameCompatibility::kInitialMatch:
+      return 0.8;
+    case NameCompatibility::kLastNameOnly:
+      return 0.5;
+    case NameCompatibility::kDifferent:
+      return 0.05;  // same last name, contradictory firsts
+  }
+  return 0.0;
+}
+
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,53 @@
+// Structured person-name handling: parsing surface forms into components
+// and comparing names the way Web people search needs — "a cohen" is
+// *compatible* with "adam cohen" (initial matches) but not with
+// "brian cohen", which plain string similarity cannot express.
+
+#ifndef WEBER_TEXT_PERSON_NAME_H_
+#define WEBER_TEXT_PERSON_NAME_H_
+
+#include <string>
+#include <string_view>
+
+namespace weber {
+namespace text {
+
+/// A parsed person name. Supports the forms that occur on Web pages:
+/// "adam cohen", "a cohen", "adam b cohen", "cohen".
+struct PersonName {
+  std::string first;        ///< empty for bare last names; may be an initial
+  std::string middle;       ///< optional middle token(s), joined by spaces
+  std::string last;         ///< never empty for a parsed name
+  bool first_is_initial = false;  ///< first is a single letter
+
+  bool operator==(const PersonName&) const = default;
+};
+
+/// Parses a (lowercase or mixed-case) name string. The final token is the
+/// last name; a single-token input is a bare last name. Dots after
+/// initials are tolerated ("a. cohen"). Returns a PersonName with empty
+/// `last` for empty/whitespace input.
+PersonName ParsePersonName(std::string_view raw);
+
+/// Name compatibility classes, ordered by strength.
+enum class NameCompatibility : int {
+  kDifferent = 0,    ///< different last names, or contradictory firsts
+  kLastNameOnly = 1, ///< same last name, at least one side has no first
+  kInitialMatch = 2, ///< same last name, initial compatible with full first
+  kSameName = 3,     ///< same last name and same (full) first name
+};
+
+/// Structural comparison of two names.
+NameCompatibility CompareNames(const PersonName& a, const PersonName& b);
+
+/// Compatibility folded into a similarity score in [0, 1], designed to be
+/// *correctly non-monotone-resistant*: contradictory first names score
+/// 0.05 even though their string similarity would be high.
+///   kSameName -> 1.0, kInitialMatch -> 0.8, kLastNameOnly -> 0.5,
+///   kDifferent (same last, different first) -> 0.05, different last -> 0.
+double NameCompatibilitySimilarity(std::string_view a, std::string_view b);
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_PERSON_NAME_H_

@@ -1,0 +1,126 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+#include "text/person_name.h"
+
+namespace weber {
+namespace text {
+
+namespace {
+
+/// Soundex digit classes; 0 = vowel/ignored (a e i o u y h w).
+char SoundexClass(char c) {
+  switch (c) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k': case 'q': case 's': case 'x':
+    case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+/// Refined-Soundex classes (finer consonant grouping).
+char RefinedClass(char c) {
+  switch (c) {
+    case 'b': case 'p':
+      return '1';
+    case 'f': case 'v':
+      return '2';
+    case 'c': case 'k': case 's':
+      return '3';
+    case 'g': case 'j':
+      return '4';
+    case 'q': case 'x': case 'z':
+      return '5';
+    case 'd': case 't':
+      return '6';
+    case 'l':
+      return '7';
+    case 'm': case 'n':
+      return '8';
+    case 'r':
+      return '9';
+    default:
+      return '0';
+  }
+}
+
+std::string LettersOnlyLower(std::string_view word) {
+  std::string out;
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  std::string letters = LettersOnlyLower(word);
+  if (letters.empty()) return "";
+  std::string code;
+  code += static_cast<char>(std::toupper(static_cast<unsigned char>(letters[0])));
+  char previous = SoundexClass(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    // h and w do not reset the previous class (classic Soundex rule);
+    // vowels do.
+    if (c == 'h' || c == 'w') continue;
+    char cls = SoundexClass(c);
+    if (cls == '0') {
+      previous = '0';
+      continue;
+    }
+    if (cls != previous) code += cls;
+    previous = cls;
+  }
+  while (code.size() < 4) code += '0';
+  return code;
+}
+
+std::string RefinedSoundex(std::string_view word) {
+  std::string letters = LettersOnlyLower(word);
+  if (letters.empty()) return "";
+  std::string code;
+  code += static_cast<char>(std::toupper(static_cast<unsigned char>(letters[0])));
+  char previous = '\0';
+  for (char c : letters) {
+    char cls = RefinedClass(c);
+    if (cls != previous) code += cls;
+    previous = cls;
+  }
+  return code;
+}
+
+double SoundexSimilarity(std::string_view a, std::string_view b) {
+  std::string ca = Soundex(a);
+  std::string cb = Soundex(b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  return ca == cb ? 1.0 : 0.0;
+}
+
+double PhoneticNameSimilarity(std::string_view a, std::string_view b) {
+  PersonName pa = ParsePersonName(a);
+  PersonName pb = ParsePersonName(b);
+  if (pa.last.empty() || pb.last.empty()) return 0.0;
+  if (Soundex(pa.last) != Soundex(pb.last)) return 0.0;
+  if (pa.first.empty() || pb.first.empty()) return 0.7;
+  if (pa.first.front() == pb.first.front()) return 1.0;
+  return 0.2;
+}
+
+}  // namespace text
+}  // namespace weber

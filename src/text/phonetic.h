@@ -1,0 +1,41 @@
+// Phonetic codes for person-name matching: American Soundex and a
+// refined-Soundex variant. Web pages misspell names ("Kaelbling" /
+// "Kelbling"); phonetic equality catches what edit distance treats as a
+// real difference and vice versa. Used as an additional string measure in
+// the composable function space.
+
+#ifndef WEBER_TEXT_PHONETIC_H_
+#define WEBER_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace weber {
+namespace text {
+
+/// American Soundex: first letter + three digits ("robert" -> "R163").
+/// Non-alphabetic characters are ignored; an empty/non-alphabetic input
+/// yields an empty code.
+std::string Soundex(std::string_view word);
+
+/// Refined Soundex (Boyce/pure consonant-class string, no length cap,
+/// vowels collapsed): better discrimination for longer names
+/// ("robert" -> "R196"-style digit string without padding).
+std::string RefinedSoundex(std::string_view word);
+
+/// 1.0 when the Soundex codes of the two words match, 0.0 otherwise
+/// (empty codes never match).
+double SoundexSimilarity(std::string_view a, std::string_view b);
+
+/// Phonetic similarity of full person names: last names compared by
+/// Soundex, first names by initial compatibility. Returns a [0, 1] score:
+///   1.0  last names phonetically equal and first initials agree
+///   0.7  last names phonetically equal, first names unknown on a side
+///   0.2  last names phonetically equal, contradicting first initials
+///   0.0  otherwise
+double PhoneticNameSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_PHONETIC_H_

@@ -1,0 +1,325 @@
+#include "text/porter_stemmer.h"
+
+namespace weber {
+namespace text {
+
+namespace {
+
+// Working buffer view: the algorithm mutates a std::string in place and
+// tracks the end of the relevant region with `k` (index of last char).
+struct Ctx {
+  std::string b;
+  int k = 0;   // offset of the last character of the current word
+  int j = 0;   // general-purpose offset set by EndsWith
+
+  bool IsConsonant(int i) const {
+    switch (b[i]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant-vowel sequences between 0 and j:
+  // <c><v>       -> 0
+  // <c>vc<v>     -> 1
+  // <c>vcvc<v>   -> 2 ...
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True iff 0..j contains a vowel.
+  bool HasVowelInStem() const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True iff chars at i-1, i are a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b[i] != b[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  // True iff i-2, i-1, i are consonant-vowel-consonant and the final
+  // consonant is not w, x or y ("cvc" test used for -e restoration).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char ch = b[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True iff the word ends with `s`; sets j to the offset before the suffix.
+  bool EndsWith(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > k + 1) return false;
+    if (b.compare(k - len + 1, len, s) != 0) return false;
+    j = k - len;
+    return true;
+  }
+
+  // Replaces the suffix (after EndsWith set j) with `s` and updates k.
+  void SetTo(std::string_view s) {
+    b.replace(j + 1, b.size() - j - 1, s);
+    k = j + static_cast<int>(s.size());
+    b.resize(k + 1);
+  }
+
+  // Replaces the suffix with s if the measure of the stem is > 0.
+  void ReplaceIfM(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+};
+
+// Step 1a: plurals. caresses->caress, ponies->poni, ties->ti, cats->cat.
+void Step1a(Ctx* c) {
+  if (c->b[c->k] != 's') return;
+  if (c->EndsWith("sses")) {
+    c->k -= 2;
+    c->b.resize(c->k + 1);
+  } else if (c->EndsWith("ies")) {
+    c->SetTo("i");
+  } else if (c->b[c->k - 1] != 's') {
+    c->k -= 1;
+    c->b.resize(c->k + 1);
+  }
+}
+
+// Step 1b: -ed / -ing. feed->feed, agreed->agree, plastered->plaster,
+// motoring->motor. With cleanup of -at/-bl/-iz and double consonants.
+void Step1b(Ctx* c) {
+  bool cleanup = false;
+  if (c->EndsWith("eed")) {
+    if (c->Measure() > 0) {
+      c->k -= 1;
+      c->b.resize(c->k + 1);
+    }
+  } else if (c->EndsWith("ed")) {
+    if (c->HasVowelInStem()) {
+      c->k = c->j;
+      c->b.resize(c->k + 1);
+      cleanup = true;
+    }
+  } else if (c->EndsWith("ing")) {
+    if (c->HasVowelInStem()) {
+      c->k = c->j;
+      c->b.resize(c->k + 1);
+      cleanup = true;
+    }
+  }
+  if (!cleanup) return;
+  if (c->EndsWith("at")) {
+    c->SetTo("ate");
+  } else if (c->EndsWith("bl")) {
+    c->SetTo("ble");
+  } else if (c->EndsWith("iz")) {
+    c->SetTo("ize");
+  } else if (c->DoubleConsonant(c->k)) {
+    char ch = c->b[c->k];
+    if (ch != 'l' && ch != 's' && ch != 'z') {
+      c->k -= 1;
+      c->b.resize(c->k + 1);
+    }
+  } else if (c->Measure() == 1 && c->Cvc(c->k)) {
+    c->j = c->k;
+    c->SetTo("e");
+  }
+}
+
+// Step 1c: y -> i when there is another vowel in the stem.
+void Step1c(Ctx* c) {
+  if (c->EndsWith("y") && c->HasVowelInStem()) c->b[c->k] = 'i';
+}
+
+// Step 2: double/triple suffixes mapped to single ones, when m > 0.
+void Step2(Ctx* c) {
+  switch (c->b[c->k - 1]) {
+    case 'a':
+      if (c->EndsWith("ational")) { c->ReplaceIfM("ate"); return; }
+      if (c->EndsWith("tional")) { c->ReplaceIfM("tion"); return; }
+      break;
+    case 'c':
+      if (c->EndsWith("enci")) { c->ReplaceIfM("ence"); return; }
+      if (c->EndsWith("anci")) { c->ReplaceIfM("ance"); return; }
+      break;
+    case 'e':
+      if (c->EndsWith("izer")) { c->ReplaceIfM("ize"); return; }
+      break;
+    case 'l':
+      // The published improvement: -abli handled as -able via "bli"->"ble".
+      if (c->EndsWith("bli")) { c->ReplaceIfM("ble"); return; }
+      if (c->EndsWith("alli")) { c->ReplaceIfM("al"); return; }
+      if (c->EndsWith("entli")) { c->ReplaceIfM("ent"); return; }
+      if (c->EndsWith("eli")) { c->ReplaceIfM("e"); return; }
+      if (c->EndsWith("ousli")) { c->ReplaceIfM("ous"); return; }
+      break;
+    case 'o':
+      if (c->EndsWith("ization")) { c->ReplaceIfM("ize"); return; }
+      if (c->EndsWith("ation")) { c->ReplaceIfM("ate"); return; }
+      if (c->EndsWith("ator")) { c->ReplaceIfM("ate"); return; }
+      break;
+    case 's':
+      if (c->EndsWith("alism")) { c->ReplaceIfM("al"); return; }
+      if (c->EndsWith("iveness")) { c->ReplaceIfM("ive"); return; }
+      if (c->EndsWith("fulness")) { c->ReplaceIfM("ful"); return; }
+      if (c->EndsWith("ousness")) { c->ReplaceIfM("ous"); return; }
+      break;
+    case 't':
+      if (c->EndsWith("aliti")) { c->ReplaceIfM("al"); return; }
+      if (c->EndsWith("iviti")) { c->ReplaceIfM("ive"); return; }
+      if (c->EndsWith("biliti")) { c->ReplaceIfM("ble"); return; }
+      break;
+    case 'g':
+      if (c->EndsWith("logi")) { c->ReplaceIfM("log"); return; }
+      break;
+    default:
+      break;
+  }
+}
+
+// Step 3: -icate, -ful, -ness etc.
+void Step3(Ctx* c) {
+  switch (c->b[c->k]) {
+    case 'e':
+      if (c->EndsWith("icate")) { c->ReplaceIfM("ic"); return; }
+      if (c->EndsWith("ative")) { c->ReplaceIfM(""); return; }
+      if (c->EndsWith("alize")) { c->ReplaceIfM("al"); return; }
+      break;
+    case 'i':
+      if (c->EndsWith("iciti")) { c->ReplaceIfM("ic"); return; }
+      break;
+    case 'l':
+      if (c->EndsWith("ical")) { c->ReplaceIfM("ic"); return; }
+      if (c->EndsWith("ful")) { c->ReplaceIfM(""); return; }
+      break;
+    case 's':
+      if (c->EndsWith("ness")) { c->ReplaceIfM(""); return; }
+      break;
+    default:
+      break;
+  }
+}
+
+// Step 4: -ant, -ence etc. removed when m > 1.
+void Step4(Ctx* c) {
+  switch (c->b[c->k - 1]) {
+    case 'a':
+      if (c->EndsWith("al")) break;
+      return;
+    case 'c':
+      if (c->EndsWith("ance")) break;
+      if (c->EndsWith("ence")) break;
+      return;
+    case 'e':
+      if (c->EndsWith("er")) break;
+      return;
+    case 'i':
+      if (c->EndsWith("ic")) break;
+      return;
+    case 'l':
+      if (c->EndsWith("able")) break;
+      if (c->EndsWith("ible")) break;
+      return;
+    case 'n':
+      if (c->EndsWith("ant")) break;
+      if (c->EndsWith("ement")) break;
+      if (c->EndsWith("ment")) break;
+      if (c->EndsWith("ent")) break;
+      return;
+    case 'o':
+      if (c->EndsWith("ion") && c->j >= 0 &&
+          (c->b[c->j] == 's' || c->b[c->j] == 't')) {
+        break;
+      }
+      if (c->EndsWith("ou")) break;  // for -ous
+      return;
+    case 's':
+      if (c->EndsWith("ism")) break;
+      return;
+    case 't':
+      if (c->EndsWith("ate")) break;
+      if (c->EndsWith("iti")) break;
+      return;
+    case 'u':
+      if (c->EndsWith("ous")) break;
+      return;
+    case 'v':
+      if (c->EndsWith("ive")) break;
+      return;
+    case 'z':
+      if (c->EndsWith("ize")) break;
+      return;
+    default:
+      return;
+  }
+  if (c->Measure() > 1) {
+    c->k = c->j;
+    c->b.resize(c->k + 1);
+  }
+}
+
+// Step 5: remove final -e when m > 1 (or m == 1 and not *o); -ll -> -l when
+// m > 1.
+void Step5(Ctx* c) {
+  c->j = c->k;
+  if (c->b[c->k] == 'e') {
+    int m = c->Measure();
+    if (m > 1 || (m == 1 && !c->Cvc(c->k - 1))) {
+      c->k -= 1;
+      c->b.resize(c->k + 1);
+    }
+  }
+  if (c->b[c->k] == 'l' && c->DoubleConsonant(c->k) && c->Measure() > 1) {
+    c->k -= 1;
+    c->b.resize(c->k + 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  Ctx c;
+  c.b = std::string(word);
+  c.k = static_cast<int>(c.b.size()) - 1;
+  Step1a(&c);
+  if (c.k > 0) Step1b(&c);
+  if (c.k > 0) Step1c(&c);
+  if (c.k > 0) Step2(&c);
+  if (c.k > 0) Step3(&c);
+  if (c.k > 0) Step4(&c);
+  if (c.k > 0) Step5(&c);
+  return c.b;
+}
+
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,26 @@
+// Porter stemming algorithm (M. F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). Used to normalize word tokens before
+// TF-IDF weighting, mirroring what Lucene's EnglishAnalyzer does.
+
+#ifndef WEBER_TEXT_PORTER_STEMMER_H_
+#define WEBER_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace weber {
+namespace text {
+
+/// Stateless Porter stemmer for lowercase ASCII words.
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`. Input is expected lowercase; words shorter
+  /// than 3 characters are returned unchanged (per the original algorithm's
+  /// convention).
+  static std::string Stem(std::string_view word);
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,110 @@
+#include "text/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace weber {
+namespace text {
+
+SparseVector SparseVector::FromPairs(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  SparseVector v;
+  v.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!v.entries_.empty() && v.entries_.back().id == e.id) {
+      v.entries_.back().weight += e.weight;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  return v;
+}
+
+SparseVector SparseVector::FromMap(
+    const std::unordered_map<TermId, double>& m) {
+  std::vector<Entry> entries;
+  entries.reserve(m.size());
+  for (const auto& [id, w] : m) entries.push_back({id, w});
+  return FromPairs(std::move(entries));
+}
+
+SparseVector SparseVector::FromCounts(const std::vector<TermId>& ids) {
+  std::vector<Entry> entries;
+  entries.reserve(ids.size());
+  for (TermId id : ids) entries.push_back({id, 1.0});
+  return FromPairs(std::move(entries));
+}
+
+double SparseVector::GetWeight(TermId id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, TermId target) { return e.id < target; });
+  if (it != entries_.end() && it->id == id) return it->weight;
+  return 0.0;
+}
+
+double SparseVector::Sum() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.weight;
+  return s;
+}
+
+double SparseVector::Norm() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.weight * e.weight;
+  return std::sqrt(s);
+}
+
+SparseVector SparseVector::Normalized() const {
+  double n = Norm();
+  SparseVector out = *this;
+  if (n > 0.0) out.Scale(1.0 / n);
+  return out;
+}
+
+void SparseVector::Scale(double factor) {
+  for (Entry& e : entries_) e.weight *= factor;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].id < other.entries_[j].id) {
+      ++i;
+    } else if (entries_[i].id > other.entries_[j].id) {
+      ++j;
+    } else {
+      dot += entries_[i].weight * other.entries_[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+int SparseVector::OverlapCount(const SparseVector& other) const {
+  int count = 0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].id < other.entries_[j].id) {
+      ++i;
+    } else if (entries_[i].id > other.entries_[j].id) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+int SparseVector::UnionCount(const SparseVector& other) const {
+  return static_cast<int>(entries_.size() + other.entries_.size()) -
+         OverlapCount(other);
+}
+
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,80 @@
+// SparseVector: sorted (id, weight) pairs; the document-vector representation
+// used throughout the similarity functions.
+
+#ifndef WEBER_TEXT_SPARSE_VECTOR_H_
+#define WEBER_TEXT_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace weber {
+namespace text {
+
+/// Term/concept id; ids are assigned by a Vocabulary or TfIdfModel.
+using TermId = int32_t;
+
+/// Sparse non-negative-id vector with entries sorted by id. Weights may be
+/// any double (Pearson correlation needs signed intermediate values), though
+/// document vectors are non-negative in practice.
+class SparseVector {
+ public:
+  struct Entry {
+    TermId id;
+    double weight;
+    bool operator==(const Entry&) const = default;
+  };
+
+  SparseVector() = default;
+
+  /// Builds from possibly-unsorted, possibly-duplicated pairs; duplicate ids
+  /// have their weights summed.
+  static SparseVector FromPairs(std::vector<Entry> entries);
+
+  /// Builds from an id->weight map.
+  static SparseVector FromMap(const std::unordered_map<TermId, double>& m);
+
+  /// Counts occurrences of each id in `ids` (term-frequency vector).
+  static SparseVector FromCounts(const std::vector<TermId>& ids);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Weight for `id`, or 0 if absent. O(log n).
+  double GetWeight(TermId id) const;
+
+  /// Sum of weights.
+  double Sum() const;
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Returns a copy scaled to unit Euclidean norm (zero vector unchanged).
+  SparseVector Normalized() const;
+
+  /// Multiplies all weights in place.
+  void Scale(double factor);
+
+  /// Dot product with another sparse vector. O(n + m).
+  double Dot(const SparseVector& other) const;
+
+  /// Number of ids present in both vectors.
+  int OverlapCount(const SparseVector& other) const;
+
+  /// Number of distinct ids present in either vector.
+  int UnionCount(const SparseVector& other) const;
+
+  bool operator==(const SparseVector& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;  // sorted by id, unique ids
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_SPARSE_VECTOR_H_

@@ -1,0 +1,43 @@
+// English stopword filtering.
+
+#ifndef WEBER_TEXT_STOPWORDS_H_
+#define WEBER_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace weber {
+namespace text {
+
+/// A set of stopwords. The default set is a standard English list (the
+/// classic SMART-derived list trimmed to the high-frequency core), matching
+/// what Lucene's StandardAnalyzer removes plus common Web boilerplate terms.
+class StopwordSet {
+ public:
+  /// Builds the default English stopword set.
+  static StopwordSet DefaultEnglish();
+
+  /// Builds an empty set (no filtering).
+  static StopwordSet Empty() { return StopwordSet(); }
+
+  /// Builds a set from explicit words (expected lowercase).
+  static StopwordSet FromWords(const std::vector<std::string>& words);
+
+  bool Contains(std::string_view word) const {
+    return words_.count(std::string(word)) > 0;
+  }
+
+  void Add(std::string_view word) { words_.insert(std::string(word)); }
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_STOPWORDS_H_

@@ -1,0 +1,38 @@
+// Character-level string similarity measures, used by the name- and
+// URL-based similarity functions (F2, F3, F7).
+//
+// All similarities return values in [0, 1]; 1 means identical.
+
+#ifndef WEBER_TEXT_STRING_SIMILARITY_H_
+#define WEBER_TEXT_STRING_SIMILARITY_H_
+
+#include <string_view>
+
+namespace weber {
+namespace text {
+
+/// Levenshtein edit distance (unit costs). O(|a| * |b|) time, O(min) space.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(|a|, |b|); 1 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity (matching window + transpositions).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by common-prefix length (up to 4 chars) with
+/// the standard scaling factor p = 0.1. The de-facto standard for person
+/// name matching.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character n-grams (default bigrams). Strings
+/// shorter than n fall back to exact match (1 or 0).
+double NgramSimilarity(std::string_view a, std::string_view b, int n = 2);
+
+/// Length of the longest common substring divided by the shorter length.
+double LongestCommonSubstringRatio(std::string_view a, std::string_view b);
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_STRING_SIMILARITY_H_

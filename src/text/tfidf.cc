@@ -1,0 +1,74 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace weber {
+namespace text {
+
+void TfIdfModel::AddDocument(const std::vector<std::string>& terms) {
+  finalized_ = false;
+  std::unordered_set<TermId> seen;
+  for (const auto& t : terms) {
+    TermId id = vocab_.GetOrAdd(t);
+    if (static_cast<size_t>(id) >= doc_freq_.size()) doc_freq_.resize(id + 1, 0);
+    if (seen.insert(id).second) doc_freq_[id] += 1;
+  }
+  ++num_docs_;
+}
+
+Status TfIdfModel::Finalize() {
+  if (num_docs_ == 0) {
+    return Status::FailedPrecondition("TfIdfModel: no documents added");
+  }
+  idf_.assign(doc_freq_.size(), 0.0);
+  for (size_t i = 0; i < doc_freq_.size(); ++i) {
+    int df = doc_freq_[i];
+    if (df < options_.min_doc_freq) {
+      idf_[i] = 0.0;
+      continue;
+    }
+    if (options_.smooth_idf) {
+      idf_[i] = std::log((1.0 + num_docs_) / (1.0 + df)) + 1.0;
+    } else {
+      idf_[i] = std::log(static_cast<double>(num_docs_) / df);
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+SparseVector TfIdfModel::Vectorize(
+    const std::vector<std::string>& terms) const {
+  std::unordered_map<TermId, double> tf;
+  for (const auto& t : terms) {
+    TermId id = vocab_.Lookup(t);
+    if (id < 0) continue;
+    tf[id] += 1.0;
+  }
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(tf.size());
+  for (const auto& [id, count] : tf) {
+    double idf = finalized_ && static_cast<size_t>(id) < idf_.size()
+                     ? idf_[id]
+                     : 0.0;
+    if (idf <= 0.0) continue;
+    double weight = options_.sublinear_tf ? 1.0 + std::log(count) : count;
+    entries.push_back({id, weight * idf});
+  }
+  SparseVector v = SparseVector::FromPairs(std::move(entries));
+  if (options_.l2_normalize) v = v.Normalized();
+  return v;
+}
+
+double TfIdfModel::Idf(std::string_view term) const {
+  TermId id = vocab_.Lookup(term);
+  if (id < 0 || !finalized_ || static_cast<size_t>(id) >= idf_.size()) {
+    return 0.0;
+  }
+  return idf_[id];
+}
+
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,68 @@
+// TF-IDF weighting model over a document collection (the "Lucene document
+// vector" substitute used by similarity functions F8/F9/F10).
+
+#ifndef WEBER_TEXT_TFIDF_H_
+#define WEBER_TEXT_TFIDF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace weber {
+namespace text {
+
+struct TfIdfOptions {
+  /// Use 1 + log(tf) instead of raw tf (the "l" in ltc weighting).
+  bool sublinear_tf = true;
+  /// Smooth idf: log((1 + N) / (1 + df)) + 1; avoids zero weights for terms
+  /// present in every document and division issues on tiny collections.
+  bool smooth_idf = true;
+  /// L2-normalize the produced vectors (the "c" in ltc).
+  bool l2_normalize = true;
+  /// Ignore terms that occur in fewer than this many documents.
+  int min_doc_freq = 1;
+};
+
+/// Fitted TF-IDF statistics: per-term document frequency over a training
+/// collection. Fit once per document block, then vectorize each document.
+class TfIdfModel {
+ public:
+  explicit TfIdfModel(TfIdfOptions options = {}) : options_(options) {}
+
+  /// Accumulates document-frequency counts from one document's term list
+  /// (duplicates within the document count once).
+  void AddDocument(const std::vector<std::string>& terms);
+
+  /// Finalizes idf weights. Must be called after the last AddDocument and
+  /// before Vectorize. Returns FailedPrecondition if no documents were added.
+  Status Finalize();
+
+  /// Converts a term list into a TF-IDF weighted sparse vector. Unknown
+  /// terms (never seen during fitting) are ignored. Must be finalized.
+  SparseVector Vectorize(const std::vector<std::string>& terms) const;
+
+  int num_documents() const { return num_docs_; }
+  int vocabulary_size() const { return vocab_.size(); }
+  bool finalized() const { return finalized_; }
+
+  /// Idf weight for a term; 0 for unknown terms. Must be finalized.
+  double Idf(std::string_view term) const;
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+ private:
+  TfIdfOptions options_;
+  Vocabulary vocab_;
+  std::vector<int> doc_freq_;   // by TermId
+  std::vector<double> idf_;     // by TermId, valid after Finalize
+  int num_docs_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_TFIDF_H_

@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace weber {
+namespace text {
+
+namespace {
+
+inline bool IsWordChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+inline bool IsJoiner(unsigned char c) { return c == '\'' || c == '-'; }
+
+inline bool IsDigitsOnly(std::string_view t) {
+  for (char c : t) {
+    if (c < '0' || c > '9') return false;
+  }
+  return !t.empty();
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view s) const {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    while (i < n && !IsWordChar(static_cast<unsigned char>(s[i]))) ++i;
+    if (i >= n) break;
+    size_t start = i;
+    while (i < n) {
+      unsigned char c = static_cast<unsigned char>(s[i]);
+      if (IsWordChar(c)) {
+        ++i;
+      } else if (IsJoiner(c) && i + 1 < n &&
+                 IsWordChar(static_cast<unsigned char>(s[i + 1]))) {
+        // Joiner must be surrounded by word chars to stay inside the token.
+        ++i;
+      } else {
+        break;
+      }
+    }
+    std::string_view raw = s.substr(start, i - start);
+    if (static_cast<int>(raw.size()) < options_.min_token_length) continue;
+    if (!options_.keep_numbers && IsDigitsOnly(raw)) continue;
+    if (static_cast<int>(raw.size()) > options_.max_token_length) {
+      raw = raw.substr(0, options_.max_token_length);
+    }
+    std::string token(raw);
+    if (options_.lowercase) {
+      for (char& c : token) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace weber

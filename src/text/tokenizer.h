@@ -1,0 +1,45 @@
+// Word tokenizer for Web page text.
+
+#ifndef WEBER_TEXT_TOKENIZER_H_
+#define WEBER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace weber {
+namespace text {
+
+struct TokenizerOptions {
+  /// Lowercase tokens (ASCII fold).
+  bool lowercase = true;
+  /// Keep digits-only tokens ("2010"). Mixed alnum tokens are always kept.
+  bool keep_numbers = true;
+  /// Minimum token length; shorter tokens are dropped.
+  int min_token_length = 1;
+  /// Maximum token length; longer tokens are truncated (defensive bound
+  /// against pathological inputs such as base64 blobs on Web pages).
+  int max_token_length = 64;
+};
+
+/// Splits raw text into word tokens. A token is a maximal run of ASCII
+/// letters/digits plus embedded apostrophes and hyphens ("o'brien",
+/// "entity-resolution"); all other bytes separate tokens. Non-ASCII bytes are
+/// treated as separators (the corpus layer ASCII-folds upstream).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `s` and returns the tokens in order of appearance.
+  std::vector<std::string> Tokenize(std::string_view s) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_TOKENIZER_H_

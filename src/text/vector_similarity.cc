@@ -1,0 +1,72 @@
+#include "text/vector_similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace weber {
+namespace text {
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double na = a.Norm();
+  double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double cos = a.Dot(b) / (na * nb);
+  return std::clamp(cos, 0.0, 1.0);
+}
+
+double PearsonSimilarity(const SparseVector& a, const SparseVector& b,
+                         int dimension) {
+  assert(dimension >= a.UnionCount(b));
+  if (dimension <= 1) return 0.5;
+  const double n = static_cast<double>(dimension);
+  const double mean_a = a.Sum() / n;
+  const double mean_b = b.Sum() / n;
+  // cov = sum((a_i - ma)(b_i - mb)) = dot(a,b) - n*ma*mb  (zeros included)
+  const double cov = a.Dot(b) - n * mean_a * mean_b;
+  double var_a = -n * mean_a * mean_a;
+  for (const auto& e : a.entries()) var_a += e.weight * e.weight;
+  double var_b = -n * mean_b * mean_b;
+  for (const auto& e : b.entries()) var_b += e.weight * e.weight;
+  if (var_a <= 1e-15 || var_b <= 1e-15) return 0.5;
+  double r = cov / std::sqrt(var_a * var_b);
+  r = std::clamp(r, -1.0, 1.0);
+  return (r + 1.0) / 2.0;
+}
+
+double ExtendedJaccardSimilarity(const SparseVector& a,
+                                 const SparseVector& b) {
+  const double dot = a.Dot(b);
+  const double na2 = a.Norm() * a.Norm();
+  const double nb2 = b.Norm() * b.Norm();
+  const double denom = na2 + nb2 - dot;
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(dot / denom, 0.0, 1.0);
+}
+
+double JaccardOverlap(const SparseVector& a, const SparseVector& b) {
+  int uni = a.UnionCount(b);
+  if (uni == 0) return 0.0;
+  return static_cast<double>(a.OverlapCount(b)) / uni;
+}
+
+double DiceOverlap(const SparseVector& a, const SparseVector& b) {
+  size_t total = a.size() + b.size();
+  if (total == 0) return 0.0;
+  return 2.0 * a.OverlapCount(b) / static_cast<double>(total);
+}
+
+double OverlapCoefficient(const SparseVector& a, const SparseVector& b) {
+  size_t m = std::min(a.size(), b.size());
+  if (m == 0) return 0.0;
+  return static_cast<double>(a.OverlapCount(b)) / static_cast<double>(m);
+}
+
+double SaturatingOverlap(const SparseVector& a, const SparseVector& b,
+                         double damping) {
+  double n = a.OverlapCount(b);
+  return n / (n + damping);
+}
+
+}  // namespace text
+}  // namespace weber

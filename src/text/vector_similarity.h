@@ -1,0 +1,47 @@
+// Vector-space similarity measures over SparseVector document vectors.
+//
+// All measures return values in [0, 1] (Pearson correlation is affinely
+// rescaled from [-1, 1]); the entity-resolution framework requires that
+// range (Section III of the paper).
+
+#ifndef WEBER_TEXT_VECTOR_SIMILARITY_H_
+#define WEBER_TEXT_VECTOR_SIMILARITY_H_
+
+#include "text/sparse_vector.h"
+
+namespace weber {
+namespace text {
+
+/// Cosine similarity: dot(a,b) / (|a||b|). 0 if either vector is empty.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Pearson correlation across `dimension` coordinates (absent ids count as
+/// zeros), rescaled to [0, 1] via (r + 1) / 2. `dimension` must be at least
+/// the union size of the two vectors; typically the vocabulary size.
+/// Returns 0.5 (i.e. r = 0) for degenerate inputs (constant vectors).
+double PearsonSimilarity(const SparseVector& a, const SparseVector& b,
+                         int dimension);
+
+/// Extended Jaccard (Tanimoto) coefficient:
+/// dot(a,b) / (|a|^2 + |b|^2 - dot(a,b)). 0 if both vectors are empty.
+double ExtendedJaccardSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Set-based Jaccard over the ids (weights ignored): |A∩B| / |A∪B|.
+double JaccardOverlap(const SparseVector& a, const SparseVector& b);
+
+/// Dice coefficient over ids: 2|A∩B| / (|A| + |B|).
+double DiceOverlap(const SparseVector& a, const SparseVector& b);
+
+/// Overlap coefficient over ids: |A∩B| / min(|A|, |B|). 0 if either empty.
+double OverlapCoefficient(const SparseVector& a, const SparseVector& b);
+
+/// The paper's "number of overlapping items" measure, squashed into [0, 1]:
+/// n / (n + damping). `damping` controls how quickly counts saturate
+/// (default 2: one shared item -> 0.33, four -> 0.67).
+double SaturatingOverlap(const SparseVector& a, const SparseVector& b,
+                         double damping = 2.0);
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_VECTOR_SIMILARITY_H_

@@ -1,0 +1,40 @@
+#include "text/vocabulary.h"
+
+namespace weber {
+namespace text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<TermId> Vocabulary::GetOrAddAll(
+    const std::vector<std::string>& terms) {
+  std::vector<TermId> ids;
+  ids.reserve(terms.size());
+  for (const auto& t : terms) ids.push_back(GetOrAdd(t));
+  return ids;
+}
+
+std::vector<TermId> Vocabulary::LookupAll(
+    const std::vector<std::string>& terms) const {
+  std::vector<TermId> ids;
+  ids.reserve(terms.size());
+  for (const auto& t : terms) {
+    TermId id = Lookup(t);
+    if (id >= 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace text
+}  // namespace weber

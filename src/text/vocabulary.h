@@ -1,0 +1,44 @@
+// Vocabulary: bidirectional term <-> TermId mapping.
+
+#ifndef WEBER_TEXT_VOCABULARY_H_
+#define WEBER_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/sparse_vector.h"
+
+namespace weber {
+namespace text {
+
+/// Append-only term dictionary. Ids are dense and start at 0.
+class Vocabulary {
+ public:
+  /// Returns the id for `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term`, or -1 if unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// The term for an id; id must be valid.
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  int size() const { return static_cast<int>(terms_.size()); }
+
+  /// Interns every term in `terms` and returns their ids in order.
+  std::vector<TermId> GetOrAddAll(const std::vector<std::string>& terms);
+
+  /// Looks up every term; unknown terms are skipped.
+  std::vector<TermId> LookupAll(const std::vector<std::string>& terms) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_VOCABULARY_H_

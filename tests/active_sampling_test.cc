@@ -1,0 +1,125 @@
+#include "core/active_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace weber {
+namespace core {
+namespace {
+
+graph::SimilarityMatrix Matrix(int n, double value) {
+  return graph::SimilarityMatrix(n, value, 1.0);
+}
+
+TEST(ActiveSamplingTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(SelectTrainingPairs({}, 5, &rng).ok());
+  EXPECT_FALSE(SelectTrainingPairs({Matrix(4, 0.5)}, 0, &rng).ok());
+  EXPECT_FALSE(
+      SelectTrainingPairs({Matrix(4, 0.5), Matrix(5, 0.5)}, 3, &rng).ok());
+}
+
+TEST(ActiveSamplingTest, BudgetIsRespectedAndPairsValid) {
+  Rng rng(2);
+  const int n = 10;  // 45 pairs
+  auto pairs = SelectTrainingPairs({Matrix(n, 0.5)}, 12, &rng);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 12u);
+  std::set<std::pair<int, int>> unique(pairs->begin(), pairs->end());
+  EXPECT_EQ(unique.size(), 12u);
+  for (const auto& [a, b] : *pairs) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, n);
+  }
+}
+
+TEST(ActiveSamplingTest, BudgetCappedAtPairCount) {
+  Rng rng(3);
+  auto pairs = SelectTrainingPairs({Matrix(4, 0.5)}, 100, &rng);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 6u);
+}
+
+TEST(ActiveSamplingTest, SingleDocumentBlockYieldsNothing) {
+  Rng rng(4);
+  auto pairs = SelectTrainingPairs({Matrix(1, 0.5)}, 5, &rng);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(ActiveSamplingTest, CommitteeDisagreementIsPrioritized) {
+  // Two functions; they agree on every pair except (0,1) where one says
+  // high and the other low. With no exploration, (0,1) must be chosen
+  // first.
+  const int n = 6;
+  graph::SimilarityMatrix a(n, 0.1, 1.0);
+  graph::SimilarityMatrix b(n, 0.1, 1.0);
+  a.Set(0, 1, 0.9);  // b stays low: disagreement
+  // Give both functions some high pairs so the medians split the values.
+  a.Set(2, 3, 0.9);
+  b.Set(2, 3, 0.9);
+  a.Set(4, 5, 0.9);
+  b.Set(4, 5, 0.9);
+  ActiveSamplingOptions options;
+  options.exploration_fraction = 0.0;
+  Rng rng(5);
+  auto pairs = SelectTrainingPairs({a, b}, 1, &rng, options);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0], std::make_pair(0, 1));
+}
+
+TEST(ActiveSamplingTest, MarginSamplingPicksBoundaryPairs) {
+  const int n = 8;
+  graph::SimilarityMatrix m(n, 0.0, 1.0);
+  // Most pairs at extremes; (2,5) sits exactly at the median-ish middle.
+  int toggle = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      m.Set(i, j, (toggle++ % 2 == 0) ? 0.05 : 0.95);
+    }
+  }
+  m.Set(2, 5, 0.5);
+  ActiveSamplingOptions options;
+  options.strategy = ActiveStrategy::kMarginSampling;
+  options.exploration_fraction = 0.0;
+  Rng rng(6);
+  auto pairs = SelectTrainingPairs({m}, 1, &rng, options);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  // The chosen pair's value must be the one nearest the median of values.
+  EXPECT_EQ((*pairs)[0], std::make_pair(2, 5));
+}
+
+TEST(ActiveSamplingTest, ExplorationQuotaAddsRandomPairs) {
+  const int n = 12;
+  graph::SimilarityMatrix m(n, 0.5, 1.0);  // all pairs identical: no signal
+  ActiveSamplingOptions options;
+  options.exploration_fraction = 1.0;  // pure random
+  Rng rng_a(7), rng_b(8);
+  auto first = SelectTrainingPairs({m}, 10, &rng_a, options);
+  auto second = SelectTrainingPairs({m}, 10, &rng_b, options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->size(), 10u);
+  EXPECT_NE(*first, *second);  // different seeds pick different pairs
+}
+
+TEST(ActiveSamplingTest, DeterministicForFixedSeed) {
+  const int n = 15;
+  Rng noise(9);
+  graph::SimilarityMatrix m(n, 0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) m.Set(i, j, noise.UniformDouble());
+  }
+  Rng rng_a(10), rng_b(10);
+  auto first = SelectTrainingPairs({m}, 20, &rng_a);
+  auto second = SelectTrainingPairs({m}, 20, &rng_b);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,125 @@
+#include "graph/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/components.h"
+
+namespace weber {
+namespace graph {
+namespace {
+
+SimilarityMatrix Planted(const std::vector<int>& labels, double p_in,
+                         double p_out) {
+  const int n = static_cast<int>(labels.size());
+  SimilarityMatrix m(n, 0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      m.Set(i, j, labels[i] == labels[j] ? p_in : p_out);
+    }
+  }
+  return m;
+}
+
+TEST(AgglomerativeTest, TrivialSizes) {
+  EXPECT_EQ(AgglomerativeClustering(SimilarityMatrix(0)).num_items(), 0);
+  Clustering one = AgglomerativeClustering(SimilarityMatrix(1, 0.0, 1.0));
+  EXPECT_EQ(one.num_items(), 1);
+}
+
+TEST(AgglomerativeTest, RecoversPlantedClusters) {
+  std::vector<int> labels = {0, 0, 0, 1, 1, 2, 2, 2};
+  SimilarityMatrix m = Planted(labels, 0.9, 0.1);
+  for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                          Linkage::kAverage}) {
+    AgglomerativeOptions options;
+    options.linkage = linkage;
+    EXPECT_EQ(AgglomerativeClustering(m, options),
+              Clustering::FromLabels(labels))
+        << LinkageToString(linkage);
+  }
+}
+
+TEST(AgglomerativeTest, StopThresholdControlsGranularity) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  SimilarityMatrix m = Planted(labels, 0.8, 0.4);
+  AgglomerativeOptions fine;
+  fine.stop_threshold = 0.9;  // nothing reaches 0.9 -> all singletons
+  EXPECT_EQ(AgglomerativeClustering(m, fine).num_clusters(), 4);
+  AgglomerativeOptions coarse;
+  coarse.stop_threshold = 0.3;  // everything merges
+  EXPECT_EQ(AgglomerativeClustering(m, coarse).num_clusters(), 1);
+  AgglomerativeOptions balanced;
+  balanced.stop_threshold = 0.6;
+  EXPECT_EQ(AgglomerativeClustering(m, balanced),
+            Clustering::FromLabels(labels));
+}
+
+TEST(AgglomerativeTest, CompleteLinkageResistsChaining) {
+  // A chain: 0-1 strong, 1-2 strong, but 0-2 weak. Single linkage merges
+  // all three; complete linkage refuses the final merge.
+  SimilarityMatrix m(3, 0.0, 1.0);
+  m.Set(0, 1, 0.9);
+  m.Set(1, 2, 0.9);
+  m.Set(0, 2, 0.1);
+  AgglomerativeOptions single;
+  single.linkage = Linkage::kSingle;
+  single.stop_threshold = 0.5;
+  EXPECT_EQ(AgglomerativeClustering(m, single).num_clusters(), 1);
+  AgglomerativeOptions complete;
+  complete.linkage = Linkage::kComplete;
+  complete.stop_threshold = 0.5;
+  EXPECT_EQ(AgglomerativeClustering(m, complete).num_clusters(), 2);
+}
+
+TEST(AgglomerativeTest, AverageLinkageWeighsClusterSizes) {
+  // Cluster {0,1} at 0.9; candidate 2 with sim 0.8 to 0 and 0.2 to 1:
+  // average = 0.5, which a 0.6 threshold rejects but 0.45 accepts.
+  SimilarityMatrix m(3, 0.0, 1.0);
+  m.Set(0, 1, 0.9);
+  m.Set(0, 2, 0.8);
+  m.Set(1, 2, 0.2);
+  AgglomerativeOptions strict;
+  strict.stop_threshold = 0.6;
+  EXPECT_EQ(AgglomerativeClustering(m, strict).num_clusters(), 2);
+  AgglomerativeOptions loose;
+  loose.stop_threshold = 0.45;
+  EXPECT_EQ(AgglomerativeClustering(m, loose).num_clusters(), 1);
+}
+
+TEST(AgglomerativeTest, SingleLinkageMatchesTransitiveClosureAtThreshold) {
+  // Property: single-linkage with stop threshold t produces exactly the
+  // connected components of the "similarity >= t" graph.
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 25;
+    SimilarityMatrix m(n, 0.0, 1.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        m.Set(i, j, rng.UniformDouble());
+      }
+    }
+    AgglomerativeOptions options;
+    options.linkage = Linkage::kSingle;
+    options.stop_threshold = 0.7;
+    Clustering agg = AgglomerativeClustering(m, options);
+
+    DecisionGraph g(n, 0, 1);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (m.Get(i, j) >= 0.7) g.Set(i, j, 1);
+      }
+    }
+    EXPECT_EQ(agg, TransitiveClosure(g));
+  }
+}
+
+TEST(LinkageNamesTest, Stable) {
+  EXPECT_EQ(LinkageToString(Linkage::kSingle), "single");
+  EXPECT_EQ(LinkageToString(Linkage::kComplete), "complete");
+  EXPECT_EQ(LinkageToString(Linkage::kAverage), "average");
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace weber

@@ -1,0 +1,150 @@
+#include "extract/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/random.h"
+
+namespace weber {
+namespace extract {
+namespace {
+
+TEST(AhoCorasickTest, FindsSinglePattern) {
+  AhoCorasick ac;
+  int id = ac.AddPattern("abc");
+  ac.Build();
+  auto matches = ac.FindAll("xxabcxxabc");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (Match{id, 2, 5}));
+  EXPECT_EQ(matches[1], (Match{id, 7, 10}));
+}
+
+TEST(AhoCorasickTest, ReportsOverlappingMatches) {
+  AhoCorasick ac;
+  int a = ac.AddPattern("ab");
+  int b = ac.AddPattern("abc");
+  int c = ac.AddPattern("bc");
+  ac.Build();
+  auto matches = ac.FindAll("abc");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (Match{a, 0, 2}));
+  // bc and abc both end at offset 3.
+  EXPECT_TRUE((matches[1] == Match{c, 1, 3} && matches[2] == Match{b, 0, 3}) ||
+              (matches[1] == Match{b, 0, 3} && matches[2] == Match{c, 1, 3}));
+}
+
+TEST(AhoCorasickTest, SuffixPatternViaFailureLinks) {
+  AhoCorasick ac;
+  ac.AddPattern("bananas");
+  int nas = ac.AddPattern("nas");
+  ac.Build();
+  auto matches = ac.FindAll("bananas");
+  // "nas" must be found even though the automaton is deep in "bananas".
+  bool found = false;
+  for (const Match& m : matches) {
+    if (m.pattern_id == nas) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AhoCorasickTest, EmptyPatternRejected) {
+  AhoCorasick ac;
+  EXPECT_EQ(ac.AddPattern(""), -1);
+  ac.AddPattern("x");
+  ac.Build();
+  EXPECT_EQ(ac.num_patterns(), 1);
+}
+
+TEST(AhoCorasickTest, NoMatchesInUnrelatedText) {
+  AhoCorasick ac;
+  ac.AddPattern("needle");
+  ac.Build();
+  EXPECT_TRUE(ac.FindAll("haystack without it").empty());
+  EXPECT_TRUE(ac.FindAll("").empty());
+}
+
+TEST(AhoCorasickTest, WholeWordFiltering) {
+  AhoCorasick ac;
+  int art = ac.AddPattern("art");
+  ac.Build();
+  EXPECT_TRUE(ac.FindAllWholeWords("cartel").empty());
+  EXPECT_TRUE(ac.FindAllWholeWords("artist").empty());
+  EXPECT_TRUE(ac.FindAllWholeWords("mart").empty());
+  auto matches = ac.FindAllWholeWords("the art of war; art!");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].pattern_id, art);
+}
+
+TEST(AhoCorasickTest, WholeWordMultiWordPhrases) {
+  AhoCorasick ac;
+  ac.AddPattern("new york");
+  ac.Build();
+  EXPECT_EQ(ac.FindAllWholeWords("in new york city").size(), 1u);
+  EXPECT_TRUE(ac.FindAllWholeWords("renew yorker").empty());
+}
+
+TEST(AhoCorasickTest, DuplicatePatternsGetDistinctIds) {
+  AhoCorasick ac;
+  int first = ac.AddPattern("dup");
+  int second = ac.AddPattern("dup");
+  ac.Build();
+  EXPECT_NE(first, second);
+  auto matches = ac.FindAll("dup");
+  EXPECT_EQ(matches.size(), 2u);  // both ids reported
+}
+
+// Property: matches agree with a naive scan, over random patterns and text.
+class AhoCorasickProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AhoCorasickProperty, AgreesWithNaiveSearch) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    // Small alphabet to force overlaps and shared prefixes.
+    auto random_string = [&](int max_len) {
+      int len = rng.UniformInt(1, max_len);
+      std::string s;
+      for (int i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.UniformInt(0, 2));
+      }
+      return s;
+    };
+    std::vector<std::string> patterns;
+    AhoCorasick ac;
+    int n_patterns = rng.UniformInt(1, 8);
+    for (int p = 0; p < n_patterns; ++p) {
+      patterns.push_back(random_string(4));
+      ac.AddPattern(patterns.back());
+    }
+    ac.Build();
+    std::string text = random_string(60);
+
+    std::vector<Match> expected;
+    for (int p = 0; p < n_patterns; ++p) {
+      const std::string& pat = patterns[p];
+      for (size_t pos = 0; pos + pat.size() <= text.size(); ++pos) {
+        if (text.compare(pos, pat.size(), pat) == 0) {
+          expected.push_back({p, static_cast<int>(pos),
+                              static_cast<int>(pos + pat.size())});
+        }
+      }
+    }
+    std::vector<Match> actual = ac.FindAll(text);
+    auto key = [](const Match& m) {
+      return std::tuple<int, int, int>(m.pattern_id, m.begin, m.end);
+    };
+    std::sort(expected.begin(), expected.end(),
+              [&](const Match& x, const Match& y) { return key(x) < key(y); });
+    std::sort(actual.begin(), actual.end(),
+              [&](const Match& x, const Match& y) { return key(x) < key(y); });
+    EXPECT_EQ(actual, expected) << "text=" << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhoCorasickProperty,
+                         ::testing::Values(5, 55, 555, 5555, 55555));
+
+}  // namespace
+}  // namespace extract
+}  // namespace weber

@@ -1,0 +1,73 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace text {
+namespace {
+
+TEST(StopwordSetTest, DefaultEnglishContainsCoreWords) {
+  StopwordSet set = StopwordSet::DefaultEnglish();
+  for (const char* w : {"the", "and", "of", "is", "was", "their", "www"}) {
+    EXPECT_TRUE(set.Contains(w)) << w;
+  }
+  EXPECT_FALSE(set.Contains("entity"));
+  EXPECT_FALSE(set.Contains("cohen"));
+  EXPECT_GT(set.size(), 150u);
+}
+
+TEST(StopwordSetTest, EmptyAndCustomSets) {
+  EXPECT_EQ(StopwordSet::Empty().size(), 0u);
+  StopwordSet custom = StopwordSet::FromWords({"foo", "bar"});
+  EXPECT_TRUE(custom.Contains("foo"));
+  EXPECT_FALSE(custom.Contains("baz"));
+}
+
+TEST(AnalyzerTest, FullPipelineDropsStopwordsAndStems) {
+  Analyzer analyzer;
+  auto terms = analyzer.Analyze("The entities were connected by the resolver");
+  // "the", "were", "by" dropped; remaining tokens stemmed.
+  EXPECT_EQ(terms, (std::vector<std::string>{"entiti", "connect", "resolv"}));
+}
+
+TEST(AnalyzerTest, StemmingCanBeDisabled) {
+  AnalyzerOptions options;
+  options.stem = false;
+  Analyzer analyzer(options);
+  auto terms = analyzer.Analyze("connected entities");
+  EXPECT_EQ(terms, (std::vector<std::string>{"connected", "entities"}));
+}
+
+TEST(AnalyzerTest, StopwordRemovalCanBeDisabled) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  Analyzer analyzer(options);
+  auto terms = analyzer.Analyze("the cat");
+  EXPECT_EQ(terms, (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(AnalyzerTest, MinTermLengthAppliesAfterStemming) {
+  AnalyzerOptions options;
+  options.min_term_length = 5;
+  Analyzer analyzer(options);
+  // "ties" stems to "ti" (2 chars) -> dropped at 5; "relational" -> "relat".
+  auto terms = analyzer.Analyze("ties relational");
+  EXPECT_EQ(terms, (std::vector<std::string>{"relat"}));
+}
+
+TEST(AnalyzerTest, CustomStopwords) {
+  Analyzer analyzer(AnalyzerOptions{}, StopwordSet::FromWords({"weber"}));
+  auto terms = analyzer.Analyze("weber resolves weber entities");
+  EXPECT_EQ(terms, (std::vector<std::string>{"resolv", "entiti"}));
+}
+
+TEST(AnalyzerTest, EmptyInput) {
+  Analyzer analyzer;
+  EXPECT_TRUE(analyzer.Analyze("").empty());
+  EXPECT_TRUE(analyzer.Analyze("the of and").empty());
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

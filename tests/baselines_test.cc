@@ -1,0 +1,162 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/splitter.h"
+
+namespace weber {
+namespace core {
+namespace {
+
+using extract::FeatureBundle;
+using text::SparseVector;
+
+/// Two well-separated planted entities over TF-IDF and names.
+std::vector<FeatureBundle> PlantedBundles(std::vector<int>* labels) {
+  std::vector<FeatureBundle> bundles(10);
+  labels->resize(10);
+  for (int i = 0; i < 10; ++i) {
+    int entity = i < 5 ? 0 : 1;
+    (*labels)[i] = entity;
+    int base = entity == 0 ? 0 : 20;
+    bundles[i].tfidf = SparseVector::FromPairs(
+        {{base, 0.7}, {base + 1, 0.5}, {base + 2 + (i % 3), 0.5}});
+    bundles[i].tfidf = bundles[i].tfidf.Normalized();
+    bundles[i].tfidf_dimension = 40;
+    bundles[i].most_frequent_name = entity == 0 ? "alice x" : "bob x";
+    bundles[i].closest_name = bundles[i].most_frequent_name;
+    bundles[i].url = entity == 0 ? "http://a.edu/x/p.html"
+                                 : "http://b.org/y/q.html";
+    bundles[i].organizations =
+        SparseVector::FromPairs({{100 + entity, 1.0}});
+    bundles[i].informativeness = 0.8;
+  }
+  return bundles;
+}
+
+TEST(MergeBundlesTest, UnionsEvidence) {
+  FeatureBundle a, b;
+  a.concepts = SparseVector::FromPairs({{1, 1.0}});
+  b.concepts = SparseVector::FromPairs({{2, 1.0}});
+  a.most_frequent_name = "alice";
+  b.most_frequent_name = "bob";
+  b.closest_name = "bob";
+  a.url = "";
+  b.url = "http://x.com";
+  a.informativeness = 0.2;
+  b.informativeness = 0.7;
+  a.tfidf = SparseVector::FromPairs({{0, 1.0}});
+  b.tfidf = SparseVector::FromPairs({{1, 1.0}});
+  FeatureBundle merged = MergeBundles(a, b);
+  EXPECT_EQ(merged.concepts.size(), 2u);
+  EXPECT_EQ(merged.most_frequent_name, "alice");  // a wins when non-empty
+  EXPECT_EQ(merged.closest_name, "bob");          // a empty, b wins
+  EXPECT_EQ(merged.url, "http://x.com");
+  EXPECT_DOUBLE_EQ(merged.informativeness, 0.7);
+  EXPECT_NEAR(merged.tfidf.Norm(), 1.0, 1e-9);  // renormalized
+}
+
+TEST(SwooshTest, CreateValidates) {
+  BaselineOptions bad;
+  bad.function_names = {"F99"};
+  EXPECT_FALSE(SwooshResolver::Create(bad).ok());
+  EXPECT_TRUE(SwooshResolver::Create({}).ok());
+}
+
+TEST(SwooshTest, ResolvesPlantedEntities) {
+  std::vector<int> labels;
+  auto bundles = PlantedBundles(&labels);
+  auto resolver = SwooshResolver::Create({});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(1);
+  auto pairs = ml::SampleTrainingPairs(10, 0.5, &rng);
+  auto clustering = resolver->Resolve(bundles, labels, pairs, &rng);
+  ASSERT_TRUE(clustering.ok()) << clustering.status();
+  EXPECT_EQ(*clustering, graph::Clustering::FromLabels(labels));
+}
+
+TEST(SwooshTest, RejectsDegenerateInput) {
+  auto resolver = SwooshResolver::Create({});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(2);
+  EXPECT_FALSE(resolver->Resolve({}, {}, {}, &rng).ok());
+  std::vector<int> labels;
+  auto bundles = PlantedBundles(&labels);
+  labels.pop_back();
+  EXPECT_FALSE(resolver->Resolve(bundles, labels, {{0, 1}}, &rng).ok());
+}
+
+TEST(SwooshTest, NoTrainingPairsRejected) {
+  std::vector<int> labels;
+  auto bundles = PlantedBundles(&labels);
+  auto resolver = SwooshResolver::Create({});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(3);
+  EXPECT_FALSE(resolver->Resolve(bundles, labels, {}, &rng).ok());
+}
+
+TEST(SwooshTest, SingleDocumentIsTrivial) {
+  auto resolver = SwooshResolver::Create({});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(4);
+  std::vector<FeatureBundle> one(1);
+  auto clustering = resolver->Resolve(one, {0}, {}, &rng);
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->num_clusters(), 1);
+}
+
+TEST(SortedNeighborhoodTest, CreateValidates) {
+  SortedNeighborhoodOptions bad;
+  bad.window = 1;
+  EXPECT_FALSE(SortedNeighborhoodResolver::Create(bad).ok());
+  SortedNeighborhoodOptions bad_fn;
+  bad_fn.function_names = {"nope"};
+  EXPECT_FALSE(SortedNeighborhoodResolver::Create(bad_fn).ok());
+  EXPECT_TRUE(SortedNeighborhoodResolver::Create({}).ok());
+}
+
+TEST(SortedNeighborhoodTest, ResolvesPlantedEntities) {
+  std::vector<int> labels;
+  auto bundles = PlantedBundles(&labels);
+  SortedNeighborhoodOptions options;
+  options.window = 6;
+  auto resolver = SortedNeighborhoodResolver::Create(options);
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(5);
+  auto pairs = ml::SampleTrainingPairs(10, 0.5, &rng);
+  auto clustering = resolver->Resolve(bundles, labels, pairs, &rng);
+  ASSERT_TRUE(clustering.ok()) << clustering.status();
+  EXPECT_EQ(*clustering, graph::Clustering::FromLabels(labels));
+}
+
+TEST(SortedNeighborhoodTest, SmallWindowMissesDistantMatches) {
+  // With 5 same-entity docs adjacent under the name sort, a window of 2
+  // still links them transitively — but if the sort keys interleave the
+  // entities, small windows lose recall. Construct interleaving keys.
+  std::vector<int> labels;
+  auto bundles = PlantedBundles(&labels);
+  // Same most_frequent_name for everyone: name pass gives no useful order;
+  // url hosts also shared.
+  for (int i = 0; i < 10; ++i) {
+    bundles[i].most_frequent_name = "x" + std::to_string(i % 5);  // interleave
+    bundles[i].closest_name = bundles[i].most_frequent_name;
+    bundles[i].url = "http://h" + std::to_string(i % 5) + ".com/a";
+  }
+  SortedNeighborhoodOptions tiny;
+  tiny.window = 2;
+  auto resolver = SortedNeighborhoodResolver::Create(tiny);
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(6);
+  auto pairs = ml::SampleTrainingPairs(10, 0.5, &rng);
+  auto clustering = resolver->Resolve(bundles, labels, pairs, &rng);
+  ASSERT_TRUE(clustering.ok());
+  // The interleaved keys put cross-entity docs adjacent: a window of 2
+  // cannot see all same-entity pairs directly; recall depends on the
+  // transitive closure of what it did link. The result must still be a
+  // valid partition of all 10 docs.
+  EXPECT_EQ(clustering->num_items(), 10);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

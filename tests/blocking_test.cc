@@ -1,0 +1,64 @@
+#include "core/blocking.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace core {
+namespace {
+
+corpus::Document Doc(const std::string& id, const std::string& text) {
+  return {id, "http://x.com/" + id, text};
+}
+
+TEST(BlockingTest, EmptyQueriesRejected) {
+  EXPECT_EQ(BlockByQueryNames({}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BlockingTest, GroupsByWholeWordMention) {
+  std::vector<corpus::Document> docs = {
+      Doc("1", "a page about alice cohen and her work"),
+      Doc("2", "bob ng published a paper"),
+      Doc("3", "nothing relevant here"),
+      Doc("4", "cohen met ng at a conference"),
+  };
+  auto blocks = BlockByQueryNames(docs, {"cohen", "ng"});
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[0].query, "cohen");
+  ASSERT_EQ((*blocks)[0].num_documents(), 2);
+  EXPECT_EQ((*blocks)[0].documents[0].id, "1");
+  EXPECT_EQ((*blocks)[0].documents[1].id, "4");
+  ASSERT_EQ((*blocks)[1].num_documents(), 2);
+  EXPECT_EQ((*blocks)[1].documents[0].id, "2");
+  EXPECT_EQ((*blocks)[1].documents[1].id, "4");  // doc 4 joins both blocks
+}
+
+TEST(BlockingTest, SubstringsDoNotMatch) {
+  std::vector<corpus::Document> docs = {
+      Doc("1", "strange things"),          // contains "ng" inside words only
+      Doc("2", "the king sang songs"),
+  };
+  auto blocks = BlockByQueryNames(docs, {"ng"});
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ((*blocks)[0].num_documents(), 0);
+}
+
+TEST(BlockingTest, MatchingIsCaseInsensitive) {
+  std::vector<corpus::Document> docs = {Doc("1", "Interview with COHEN.")};
+  auto blocks = BlockByQueryNames(docs, {"Cohen"});
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ((*blocks)[0].num_documents(), 1);
+  EXPECT_EQ((*blocks)[0].query, "cohen");
+}
+
+TEST(BlockingTest, LabelsAreUnknown) {
+  std::vector<corpus::Document> docs = {Doc("1", "cohen here")};
+  auto blocks = BlockByQueryNames(docs, {"cohen"});
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ((*blocks)[0].entity_labels, (std::vector<int>{-1}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,92 @@
+#include "eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace weber {
+namespace eval {
+namespace {
+
+TEST(CalibrationTest, RejectsBadInput) {
+  EXPECT_FALSE(EvaluateCalibration({}).ok());
+  EXPECT_FALSE(EvaluateCalibration({{0.5, true}}, 0).ok());
+}
+
+TEST(CalibrationTest, PerfectPredictionsScoreZero) {
+  std::vector<LabeledProbability> preds = {
+      {1.0, true}, {1.0, true}, {0.0, false}, {0.0, false}};
+  auto r = EvaluateCalibration(preds);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->brier_score, 0.0, 1e-12);
+  EXPECT_NEAR(r->expected_calibration_error, 0.0, 1e-12);
+  EXPECT_LT(r->log_loss, 1e-5);
+}
+
+TEST(CalibrationTest, ConstantHalfPredictionsScoreQuarterBrier) {
+  std::vector<LabeledProbability> preds;
+  for (int i = 0; i < 100; ++i) preds.push_back({0.5, i % 2 == 0});
+  auto r = EvaluateCalibration(preds);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->brier_score, 0.25, 1e-12);
+  EXPECT_NEAR(r->log_loss, std::log(2.0), 1e-9);
+  // 0.5 predicted, 0.5 observed: perfectly calibrated albeit useless.
+  EXPECT_NEAR(r->expected_calibration_error, 0.0, 1e-12);
+}
+
+TEST(CalibrationTest, ConfidentlyWrongIsPenalized) {
+  std::vector<LabeledProbability> preds = {{0.99, false}, {0.01, true}};
+  auto r = EvaluateCalibration(preds);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->brier_score, 0.9);
+  EXPECT_GT(r->log_loss, 4.0);
+  EXPECT_GT(r->expected_calibration_error, 0.9);
+}
+
+TEST(CalibrationTest, ReliabilityBinsTrackObservedRates) {
+  std::vector<LabeledProbability> preds;
+  // Bin [0.2, 0.3): predicted 0.25, observed 0.25 (1 of 4).
+  for (int i = 0; i < 4; ++i) preds.push_back({0.25, i == 0});
+  // Bin [0.8, 0.9): predicted 0.85, observed 0.5 (miscalibrated).
+  for (int i = 0; i < 4; ++i) preds.push_back({0.85, i < 2});
+  auto r = EvaluateCalibration(preds, 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->reliability.size(), 2u);
+  EXPECT_NEAR(r->reliability[0].mean_predicted, 0.25, 1e-12);
+  EXPECT_NEAR(r->reliability[0].observed_rate, 0.25, 1e-12);
+  EXPECT_EQ(r->reliability[0].count, 4);
+  EXPECT_NEAR(r->reliability[1].mean_predicted, 0.85, 1e-12);
+  EXPECT_NEAR(r->reliability[1].observed_rate, 0.50, 1e-12);
+  // ECE = 0.5 * |0.25-0.25| + 0.5 * |0.85-0.5| = 0.175.
+  EXPECT_NEAR(r->expected_calibration_error, 0.175, 1e-12);
+}
+
+TEST(CalibrationTest, ProbabilityOneLandsInTopBin) {
+  std::vector<LabeledProbability> preds = {{1.0, true}, {0.97, true}};
+  auto r = EvaluateCalibration(preds, 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->reliability.size(), 1u);
+  EXPECT_EQ(r->reliability[0].count, 2);
+}
+
+TEST(CalibrationTest, WellCalibratedNoisePassesEceCheck) {
+  // Predictions drawn so that P(outcome) == predicted probability: ECE
+  // must be small.
+  Rng rng(99);
+  std::vector<LabeledProbability> preds;
+  for (int i = 0; i < 20000; ++i) {
+    double p = rng.UniformDouble();
+    preds.push_back({p, rng.Bernoulli(p)});
+  }
+  auto r = EvaluateCalibration(preds, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->expected_calibration_error, 0.02);
+  // Brier of a perfectly calibrated uniform predictor: E[p(1-p)] = 1/6.
+  EXPECT_NEAR(r->brier_score, 1.0 / 6.0, 0.01);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace weber

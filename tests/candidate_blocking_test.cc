@@ -1,0 +1,101 @@
+#include "core/candidate_blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+
+namespace weber {
+namespace core {
+namespace {
+
+TEST(CandidateBlockingTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateCandidatePairs({}).ok());
+  CandidateBlockingOptions bad;
+  bad.min_shared_terms = 0;
+  EXPECT_FALSE(GenerateCandidatePairs({"a"}, bad).ok());
+}
+
+TEST(CandidateBlockingTest, PairsDocumentsSharingRareTerms) {
+  CandidateBlockingOptions options;
+  options.min_shared_terms = 2;
+  options.max_term_doc_fraction = 0.8;
+  std::vector<std::string> docs = {
+      "quantum entanglement research laboratory",   // 0
+      "quantum entanglement experiments ongoing",   // 1
+      "cooking recipes with fresh tomatoes",        // 2
+      "fresh tomatoes and cooking techniques",      // 3
+  };
+  auto result = GenerateCandidatePairs(docs, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // (0,1) share quantum+entanglement; (2,3) share cooking+fresh+tomatoes.
+  EXPECT_EQ(result->pairs, (std::vector<std::pair<int, int>>{{0, 1}, {2, 3}}));
+  EXPECT_GT(result->blocking_terms, 3);
+  EXPECT_NEAR(result->pair_fraction, 2.0 / 6.0, 1e-12);
+}
+
+TEST(CandidateBlockingTest, CommonTermsAreNotBlockingKeys) {
+  CandidateBlockingOptions options;
+  options.min_shared_terms = 1;
+  options.max_term_doc_fraction = 0.5;  // terms on > 2 of 4 docs skipped
+  std::vector<std::string> docs = {
+      "shared background shared background alpha",
+      "shared background beta",
+      "shared background gamma",
+      "shared background delta",
+  };
+  auto result = GenerateCandidatePairs(docs, options);
+  ASSERT_TRUE(result.ok());
+  // "shared"/"background" appear on all 4 docs -> excluded; the unique
+  // terms pair nothing.
+  EXPECT_TRUE(result->pairs.empty());
+}
+
+TEST(CandidateBlockingTest, MinSharedTermsFilters) {
+  std::vector<std::string> docs = {
+      "alpha beta unrelated",
+      "alpha gamma different",
+  };
+  CandidateBlockingOptions one;
+  one.min_shared_terms = 1;
+  one.max_term_doc_fraction = 1.0;
+  auto r1 = GenerateCandidatePairs(docs, one);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->pairs.size(), 1u);  // share "alpha"
+  CandidateBlockingOptions two = one;
+  two.min_shared_terms = 2;
+  auto r2 = GenerateCandidatePairs(docs, two);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->pairs.empty());
+}
+
+TEST(BlockingRecallTest, CountsCoveredTruePairs) {
+  std::vector<int> labels = {0, 0, 0, 1};  // true pairs: (0,1),(0,2),(1,2)
+  EXPECT_DOUBLE_EQ(BlockingRecall({{0, 1}, {0, 2}, {1, 2}}, labels), 1.0);
+  EXPECT_NEAR(BlockingRecall({{0, 1}, {2, 3}}, labels), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BlockingRecall({}, labels), 0.0);
+  // No true pairs at all: vacuous full recall.
+  EXPECT_DOUBLE_EQ(BlockingRecall({}, {0, 1, 2}), 1.0);
+}
+
+TEST(CandidateBlockingTest, HighRecallOnSyntheticBlock) {
+  // End-to-end sanity: on a generated block, token blocking with modest
+  // settings must retain nearly all true pairs while pruning the space.
+  auto data =
+      corpus::SyntheticWebGenerator(corpus::TinyConfig(0xB10C)).Generate();
+  ASSERT_TRUE(data.ok());
+  const corpus::Block& block = data->dataset.blocks[0];
+  std::vector<std::string> texts;
+  for (const auto& d : block.documents) texts.push_back(d.text);
+  CandidateBlockingOptions options;
+  options.min_shared_terms = 2;
+  options.max_term_doc_fraction = 0.5;
+  auto result = GenerateCandidatePairs(texts, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(BlockingRecall(result->pairs, block.entity_labels), 0.9);
+  EXPECT_LT(result->pair_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

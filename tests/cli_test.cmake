@@ -1,0 +1,62 @@
+# End-to-end test of the weber CLI: generate -> stats -> resolve ->
+# evaluate -> experiment, all through the shipped binary. Invoked by ctest
+# with -DWEBER_BIN=<path> -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+if(NOT EXISTS "${WORK_DIR}/dataset.txt" OR NOT EXISTS "${WORK_DIR}/gazetteer.txt")
+  message(FATAL_ERROR "generate did not produce the expected files")
+endif()
+
+run(${WEBER_BIN} stats --dataset=${WORK_DIR}/dataset.txt)
+if(NOT LAST_OUTPUT MATCHES "3 blocks")
+  message(FATAL_ERROR "stats output unexpected:\n${LAST_OUTPUT}")
+endif()
+
+run(${WEBER_BIN} resolve --dataset=${WORK_DIR}/dataset.txt
+    --gazetteer=${WORK_DIR}/gazetteer.txt --out=${WORK_DIR}/resolution.txt)
+if(NOT LAST_OUTPUT MATCHES "MEAN  Fp=")
+  message(FATAL_ERROR "resolve output unexpected:\n${LAST_OUTPUT}")
+endif()
+
+run(${WEBER_BIN} evaluate --dataset=${WORK_DIR}/dataset.txt
+    --resolution=${WORK_DIR}/resolution.txt)
+if(NOT LAST_OUTPUT MATCHES "MEAN")
+  message(FATAL_ERROR "evaluate output unexpected:\n${LAST_OUTPUT}")
+endif()
+
+run(${WEBER_BIN} experiment --dataset=${WORK_DIR}/dataset.txt
+    --gazetteer=${WORK_DIR}/gazetteer.txt --runs=1 --threads=2
+    --json=${WORK_DIR}/results.json)
+if(NOT LAST_OUTPUT MATCHES "C10")
+  message(FATAL_ERROR "experiment output unexpected:\n${LAST_OUTPUT}")
+endif()
+file(READ "${WORK_DIR}/results.json" json)
+if(NOT json MATCHES "\"label\":\"C10\"")
+  message(FATAL_ERROR "experiment JSON unexpected:\n${json}")
+endif()
+
+# Unknown flags / subcommands must fail loudly.
+execute_process(COMMAND ${WEBER_BIN} bogus RESULT_VARIABLE rc OUTPUT_QUIET
+                ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand did not fail")
+endif()
+execute_process(COMMAND ${WEBER_BIN} stats --no-such-flag=1
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag did not fail")
+endif()
+
+message(STATUS "weber CLI end-to-end test passed")

@@ -1,0 +1,61 @@
+#include "graph/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace graph {
+namespace {
+
+TEST(ClusteringTest, FromLabelsCanonicalizes) {
+  Clustering c = Clustering::FromLabels({7, 3, 7, 9, 3});
+  EXPECT_EQ(c.num_items(), 5);
+  EXPECT_EQ(c.num_clusters(), 3);
+  // Canonical labels by first appearance: 7->0, 3->1, 9->2.
+  EXPECT_EQ(c.labels(), (std::vector<int>{0, 1, 0, 2, 1}));
+}
+
+TEST(ClusteringTest, SingletonsAndOneCluster) {
+  Clustering s = Clustering::Singletons(4);
+  EXPECT_EQ(s.num_clusters(), 4);
+  EXPECT_FALSE(s.SameCluster(0, 1));
+  EXPECT_EQ(s.NumIntraPairs(), 0);
+
+  Clustering o = Clustering::OneCluster(4);
+  EXPECT_EQ(o.num_clusters(), 1);
+  EXPECT_TRUE(o.SameCluster(0, 3));
+  EXPECT_EQ(o.NumIntraPairs(), 6);
+}
+
+TEST(ClusteringTest, EmptyClustering) {
+  Clustering c = Clustering::FromLabels({});
+  EXPECT_EQ(c.num_items(), 0);
+  EXPECT_EQ(c.num_clusters(), 0);
+  EXPECT_EQ(Clustering::OneCluster(0).num_clusters(), 0);
+}
+
+TEST(ClusteringTest, GroupsPartitionTheItems) {
+  Clustering c = Clustering::FromLabels({1, 2, 1, 3, 2, 1});
+  auto groups = c.Groups();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 2, 5}));
+  EXPECT_EQ(groups[1], (std::vector<int>{1, 4}));
+  EXPECT_EQ(groups[2], (std::vector<int>{3}));
+}
+
+TEST(ClusteringTest, NumIntraPairsMatchesDefinition) {
+  // Sizes 3, 2, 1 -> 3 + 1 + 0 = 4.
+  Clustering c = Clustering::FromLabels({0, 0, 0, 1, 1, 2});
+  EXPECT_EQ(c.NumIntraPairs(), 4);
+}
+
+TEST(ClusteringTest, EqualityIsCanonical) {
+  // Different raw labels, same partition -> equal after canonicalization.
+  EXPECT_EQ(Clustering::FromLabels({5, 5, 9}),
+            Clustering::FromLabels({1, 1, 0}));
+  EXPECT_NE(Clustering::FromLabels({0, 1, 1}),
+            Clustering::FromLabels({0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace weber

@@ -1,0 +1,156 @@
+#include "core/combiner.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace core {
+namespace {
+
+/// A 4-node source whose decision graph links the given pairs at the given
+/// probability (probability `low` elsewhere).
+DecisionSource MakeSource(const std::string& fn, const std::string& crit,
+                          double accuracy,
+                          const std::vector<std::pair<int, int>>& links,
+                          double p_link = 0.9, double p_nolink = 0.1) {
+  DecisionSource s;
+  s.function_name = fn;
+  s.criterion_name = crit;
+  s.train_accuracy = accuracy;
+  s.decisions = graph::DecisionGraph(4, 0, 1);
+  s.link_probs = graph::SimilarityMatrix(4, p_nolink, 1.0);
+  for (const auto& [a, b] : links) {
+    s.decisions.Set(a, b, 1);
+    s.link_probs.Set(a, b, p_link);
+  }
+  return s;
+}
+
+TEST(CombinerTest, EmptySourcesRejected) {
+  auto r = CombineDecisionGraphs({}, {}, CombinationStrategy::kBestGraph);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CombinerTest, SizeMismatchRejected) {
+  DecisionSource a = MakeSource("F1", "t", 0.9, {});
+  DecisionSource b = MakeSource("F2", "t", 0.8, {});
+  b.decisions = graph::DecisionGraph(5, 0, 1);
+  b.link_probs = graph::SimilarityMatrix(5, 0.0, 1.0);
+  auto r = CombineDecisionGraphs({a, b}, {}, CombinationStrategy::kBestGraph);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BestGraphTest, PicksHighestEstimatedAccuracy) {
+  auto r = CombineDecisionGraphs(
+      {MakeSource("F1", "threshold", 0.70, {{0, 1}}),
+       MakeSource("F3", "regions-km8", 0.95, {{2, 3}}),
+       MakeSource("F2", "threshold", 0.80, {{0, 2}})},
+      {}, CombinationStrategy::kBestGraph);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->chosen_source, "F3/regions-km8");
+  EXPECT_EQ(r->decisions.Get(2, 3), 1);
+  EXPECT_EQ(r->decisions.Get(0, 1), 0);
+}
+
+TEST(BestGraphTest, SingleSourcePassesThrough) {
+  auto r = CombineDecisionGraphs({MakeSource("F5", "threshold", 0.5, {{1, 2}})},
+                                 {}, CombinationStrategy::kBestGraph);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->chosen_source, "F5/threshold");
+  EXPECT_EQ(r->decisions.Get(1, 2), 1);
+}
+
+TEST(WeightedAverageTest, AgreementProducesConfidentEdges) {
+  // Three equally-good sources agree on (0,1) and disagree elsewhere.
+  std::vector<DecisionSource> sources = {
+      MakeSource("F1", "t", 0.9, {{0, 1}}),
+      MakeSource("F2", "t", 0.9, {{0, 1}, {2, 3}}),
+      MakeSource("F3", "t", 0.9, {{0, 1}}),
+  };
+  // Training pairs: (0,1) is a link, (0,2) and (2,3) are not.
+  graph::SimilarityMatrix probe(4);
+  std::vector<TrainingPair> training = {
+      {0, 1, probe.Index(0, 1), true},
+      {0, 2, probe.Index(0, 2), false},
+      {2, 3, probe.Index(2, 3), false},
+  };
+  auto r = CombineDecisionGraphs(sources, training,
+                                 CombinationStrategy::kWeightedAverage);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decisions.Get(0, 1), 1);
+  EXPECT_EQ(r->decisions.Get(2, 3), 0);  // only one source voted for it
+  // Combined probability of the unanimous edge is the agreed 0.9.
+  EXPECT_NEAR(r->link_probs.Get(0, 1), 0.9, 1e-9);
+  EXPECT_LT(r->link_probs.Get(2, 3), 0.5);
+}
+
+TEST(WeightedAverageTest, WeakSourcesAreDownweighted) {
+  // One excellent source says link; many useless ones say otherwise with
+  // high claimed probabilities but low estimated accuracy.
+  std::vector<DecisionSource> sources = {
+      MakeSource("F1", "t", 0.95, {{0, 1}}, 0.95, 0.05),
+  };
+  for (int i = 0; i < 6; ++i) {
+    sources.push_back(
+        MakeSource("N" + std::to_string(i), "t", 0.15, {{2, 3}}, 0.9, 0.4));
+  }
+  graph::SimilarityMatrix probe(4);
+  std::vector<TrainingPair> training = {
+      {0, 1, probe.Index(0, 1), true},
+      {1, 2, probe.Index(1, 2), false},
+  };
+  auto r = CombineDecisionGraphs(sources, training,
+                                 CombinationStrategy::kWeightedAverage);
+  ASSERT_TRUE(r.ok());
+  // The good source's edge must carry more combined probability than the
+  // noise floor.
+  EXPECT_GT(r->link_probs.Get(0, 1), r->link_probs.Get(1, 3));
+}
+
+TEST(WeightedAverageTest, WorksWithoutTrainingPairs) {
+  auto r = CombineDecisionGraphs({MakeSource("F1", "t", 0.9, {{0, 1}})}, {},
+                                 CombinationStrategy::kWeightedAverage);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->threshold, 0.5);  // default when unlearnable
+  EXPECT_EQ(r->decisions.Get(0, 1), 1);
+}
+
+TEST(MajorityVoteTest, StrictMajorityWins) {
+  std::vector<DecisionSource> sources = {
+      MakeSource("F1", "t", 0.9, {{0, 1}, {1, 2}}),
+      MakeSource("F2", "t", 0.9, {{0, 1}}),
+      MakeSource("F3", "t", 0.9, {{0, 1}, {2, 3}}),
+  };
+  auto r =
+      CombineDecisionGraphs(sources, {}, CombinationStrategy::kMajorityVote);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decisions.Get(0, 1), 1);  // 3/3
+  EXPECT_EQ(r->decisions.Get(1, 2), 0);  // 1/3
+  EXPECT_EQ(r->decisions.Get(2, 3), 0);  // 1/3
+  EXPECT_EQ(r->chosen_source, "majority-vote");
+  EXPECT_NEAR(r->link_probs.Get(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(r->link_probs.Get(1, 2), 1.0 / 3, 1e-9);
+}
+
+TEST(MajorityVoteTest, ExactTieIsNoLink) {
+  std::vector<DecisionSource> sources = {
+      MakeSource("F1", "t", 0.9, {{0, 1}}),
+      MakeSource("F2", "t", 0.9, {}),
+  };
+  auto r =
+      CombineDecisionGraphs(sources, {}, CombinationStrategy::kMajorityVote);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decisions.Get(0, 1), 0);  // 1/2 is not a strict majority
+}
+
+TEST(StrategyNamesTest, Stable) {
+  EXPECT_EQ(CombinationStrategyToString(CombinationStrategy::kBestGraph),
+            "best-graph");
+  EXPECT_EQ(CombinationStrategyToString(CombinationStrategy::kWeightedAverage),
+            "weighted-average");
+  EXPECT_EQ(CombinationStrategyToString(CombinationStrategy::kMajorityVote),
+            "majority-vote");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,73 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace graph {
+namespace {
+
+TEST(ConnectedComponentsTest, NoEdgesAllSingletons) {
+  Clustering c = ConnectedComponents(4, {});
+  EXPECT_EQ(c.num_clusters(), 4);
+}
+
+TEST(ConnectedComponentsTest, ChainMerges) {
+  Clustering c = ConnectedComponents(5, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(c.num_clusters(), 2);
+  EXPECT_TRUE(c.SameCluster(0, 2));
+  EXPECT_TRUE(c.SameCluster(3, 4));
+  EXPECT_FALSE(c.SameCluster(2, 3));
+}
+
+TEST(TransitiveClosureTest, ClosesDecisionGraph) {
+  DecisionGraph g(6, 0, 1);
+  g.Set(0, 1, 1);
+  g.Set(1, 2, 1);
+  g.Set(4, 5, 1);
+  Clustering c = TransitiveClosure(g);
+  EXPECT_EQ(c.num_clusters(), 3);  // {0,1,2}, {3}, {4,5}
+  EXPECT_TRUE(c.SameCluster(0, 2));
+  EXPECT_FALSE(c.SameCluster(0, 3));
+  EXPECT_TRUE(c.SameCluster(4, 5));
+}
+
+TEST(TransitiveClosureTest, EmptyGraphYieldsSingletons) {
+  DecisionGraph g(3, 0, 1);
+  EXPECT_EQ(TransitiveClosure(g).num_clusters(), 3);
+}
+
+TEST(TransitiveClosureTest, CompleteGraphYieldsOneCluster) {
+  const int n = 7;
+  DecisionGraph g(n, 1, 1);
+  EXPECT_EQ(TransitiveClosure(g).num_clusters(), 1);
+}
+
+TEST(TransitiveClosureTest, ResultIsACliquePartitionOfTheClosure) {
+  // The paper's entity-graph property (Section II): the output is a union
+  // of disjoint cliques — i.e. the closure is idempotent.
+  DecisionGraph g(8, 0, 1);
+  g.Set(0, 3, 1);
+  g.Set(3, 5, 1);
+  g.Set(1, 2, 1);
+  Clustering once = TransitiveClosure(g);
+  // Rebuild a decision graph from the clustering and close again.
+  DecisionGraph closed(8, 0, 1);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      if (once.SameCluster(i, j)) closed.Set(i, j, 1);
+    }
+  }
+  EXPECT_EQ(TransitiveClosure(closed), once);
+}
+
+TEST(CountEdgesTest, CountsSetPairs) {
+  DecisionGraph g(4, 0, 1);
+  EXPECT_EQ(CountEdges(g), 0);
+  g.Set(0, 1, 1);
+  g.Set(2, 3, 1);
+  EXPECT_EQ(CountEdges(g), 2);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace weber

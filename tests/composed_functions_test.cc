@@ -1,0 +1,147 @@
+#include "core/composed_functions.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace core {
+namespace {
+
+using extract::FeatureBundle;
+using text::SparseVector;
+
+FeatureBundle Bundle() {
+  FeatureBundle fb;
+  fb.concepts = SparseVector::FromPairs({{0, 1.0}, {1, 1.0}});
+  fb.organizations = SparseVector::FromPairs({{5, 1.0}});
+  fb.tfidf = SparseVector::FromPairs({{0, 0.6}, {1, 0.8}});
+  fb.tfidf_dimension = 20;
+  fb.most_frequent_name = "adam cohen";
+  fb.closest_name = "a cohen";
+  fb.url = "http://www.x.edu/a/b.html";
+  return fb;
+}
+
+TEST(ComposeFunctionTest, RejectsTypeMismatches) {
+  EXPECT_FALSE(
+      ComposeFunction(PageFeature::kUrl, PairMeasure::kCosine, "bad").ok());
+  EXPECT_FALSE(ComposeFunction(PageFeature::kConcepts,
+                               PairMeasure::kJaroWinkler, "bad")
+                   .ok());
+  EXPECT_FALSE(ComposeFunction(PageFeature::kTfIdf,
+                               PairMeasure::kNameCompatibility, "bad")
+                   .ok());
+}
+
+TEST(ComposeFunctionTest, VectorComposition) {
+  auto fn = ComposeFunction(PageFeature::kConcepts, PairMeasure::kJaccard,
+                            "CJ");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ((*fn)->name(), "CJ");
+  EXPECT_EQ((*fn)->description(), "concepts / jaccard");
+  FeatureBundle a = Bundle();
+  FeatureBundle b = Bundle();
+  b.concepts = SparseVector::FromPairs({{1, 1.0}, {2, 1.0}});
+  // |{0,1} ∩ {1,2}| / |{0,1,2}| = 1/3.
+  EXPECT_NEAR((*fn)->Compute(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ComposeFunctionTest, StringComposition) {
+  auto fn = ComposeFunction(PageFeature::kMostFrequentName,
+                            PairMeasure::kNameCompatibility, "NC");
+  ASSERT_TRUE(fn.ok());
+  FeatureBundle a = Bundle();
+  FeatureBundle b = Bundle();
+  b.most_frequent_name = "a cohen";
+  EXPECT_NEAR((*fn)->Compute(a, b), 0.8, 1e-12);  // initial match
+  b.most_frequent_name = "brian cohen";
+  EXPECT_NEAR((*fn)->Compute(a, b), 0.05, 1e-12);  // contradiction
+}
+
+TEST(ComposeFunctionTest, EmptyStringsScoreZeroForStringMeasures) {
+  auto fn = ComposeFunction(PageFeature::kClosestName,
+                            PairMeasure::kJaroWinkler, "JW");
+  ASSERT_TRUE(fn.ok());
+  FeatureBundle a = Bundle();
+  FeatureBundle empty;
+  EXPECT_DOUBLE_EQ((*fn)->Compute(a, empty), 0.0);
+}
+
+TEST(ComposeFunctionTest, AllValidCombinationsStayBounded) {
+  FeatureBundle a = Bundle();
+  FeatureBundle b = Bundle();
+  b.concepts = SparseVector::FromPairs({{9, 1.0}});
+  b.tfidf = SparseVector::FromPairs({{7, 1.0}});
+  b.closest_name = "zed quark";
+  for (PageFeature feature :
+       {PageFeature::kWeightedConcepts, PageFeature::kConcepts,
+        PageFeature::kOrganizations, PageFeature::kOtherPersons,
+        PageFeature::kTfIdf}) {
+    for (PairMeasure measure :
+         {PairMeasure::kCosine, PairMeasure::kPearson,
+          PairMeasure::kExtendedJaccard, PairMeasure::kJaccard,
+          PairMeasure::kDice, PairMeasure::kOverlapCoefficient,
+          PairMeasure::kSaturatingOverlap}) {
+      auto fn = ComposeFunction(feature, measure, "X");
+      ASSERT_TRUE(fn.ok());
+      double v = (*fn)->Compute(a, b);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, (*fn)->Compute(b, a));
+    }
+  }
+  for (PageFeature feature :
+       {PageFeature::kMostFrequentName, PageFeature::kClosestName,
+        PageFeature::kUrl}) {
+    for (PairMeasure measure :
+         {PairMeasure::kJaroWinkler, PairMeasure::kLevenshtein,
+          PairMeasure::kNgram, PairMeasure::kNameCompatibility,
+          PairMeasure::kUrlTiers}) {
+      auto fn = ComposeFunction(feature, measure, "Y");
+      ASSERT_TRUE(fn.ok());
+      double v = (*fn)->Compute(a, b);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ExtendedFunctionsTest, SixteenFunctions) {
+  auto fns = MakeExtendedFunctions();
+  ASSERT_EQ(fns.size(), 16u);
+  EXPECT_EQ(fns[10]->name(), "F11");
+  EXPECT_EQ(fns[15]->name(), "F16");
+  EXPECT_EQ(kSubsetExtended16.size(), 16u);
+}
+
+TEST(ExtendedFunctionsTest, SelectableThroughMakeFunctions) {
+  auto fns = MakeFunctions({"F11", "F16"});
+  ASSERT_TRUE(fns.ok());
+  EXPECT_EQ((*fns)[0]->name(), "F11");
+  EXPECT_EQ((*fns)[1]->name(), "F16");
+  ASSERT_TRUE(MakeFunctions(kSubsetExtended16).ok());
+}
+
+TEST(ExtendedFunctionsTest, F11UsesStructuredComparison) {
+  auto fns = MakeFunctions({"F7", "F11"});
+  ASSERT_TRUE(fns.ok());
+  FeatureBundle a = Bundle();
+  FeatureBundle b = Bundle();
+  a.closest_name = "adam cohen";
+  b.closest_name = "brian cohen";
+  // F7 (Jaro-Winkler) sees high string similarity; F11 sees a
+  // contradiction.
+  EXPECT_GT((*fns)[0]->Compute(a, b), 0.5);
+  EXPECT_LT((*fns)[1]->Compute(a, b), 0.1);
+}
+
+TEST(EnumNamesTest, Stable) {
+  EXPECT_EQ(PageFeatureToString(PageFeature::kTfIdf), "tfidf");
+  EXPECT_EQ(PageFeatureToString(PageFeature::kUrl), "url");
+  EXPECT_EQ(PairMeasureToString(PairMeasure::kCosine), "cosine");
+  EXPECT_EQ(PairMeasureToString(PairMeasure::kNameCompatibility),
+            "name-compatibility");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

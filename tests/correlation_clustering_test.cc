@@ -1,0 +1,131 @@
+#include "graph/correlation_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace graph {
+namespace {
+
+/// Builds a probability matrix with planted clusters: within-cluster pairs
+/// get probability `p_in`, cross pairs `p_out`.
+SimilarityMatrix Planted(const std::vector<int>& labels, double p_in,
+                         double p_out) {
+  const int n = static_cast<int>(labels.size());
+  SimilarityMatrix m(n, 0.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      m.Set(i, j, labels[i] == labels[j] ? p_in : p_out);
+    }
+  }
+  return m;
+}
+
+TEST(CorrelationCostTest, PerfectClusteringHasZeroCost) {
+  std::vector<int> labels = {0, 0, 1, 1, 2};
+  SimilarityMatrix m = Planted(labels, 0.9, 0.1);
+  EXPECT_DOUBLE_EQ(CorrelationCost(m, Clustering::FromLabels(labels)), 0.0);
+}
+
+TEST(CorrelationCostTest, WrongClusteringPaysMargins) {
+  // Two items with p = 0.9 split apart: cost |0.9 - 0.5| = 0.4.
+  SimilarityMatrix m(2, 0.0, 1.0);
+  m.Set(0, 1, 0.9);
+  EXPECT_DOUBLE_EQ(CorrelationCost(m, Clustering::Singletons(2)), 0.4);
+  EXPECT_DOUBLE_EQ(CorrelationCost(m, Clustering::OneCluster(2)), 0.0);
+  // And merged at p = 0.2: cost 0.3.
+  m.Set(0, 1, 0.2);
+  EXPECT_NEAR(CorrelationCost(m, Clustering::OneCluster(2)), 0.3, 1e-12);
+}
+
+TEST(CorrelationClusteringTest, RecoversCleanPlantedClusters) {
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1, 2, 2, 2, 2};
+  SimilarityMatrix m = Planted(labels, 0.95, 0.05);
+  Clustering found = CorrelationClustering(m);
+  EXPECT_EQ(found, Clustering::FromLabels(labels));
+}
+
+TEST(CorrelationClusteringTest, HandlesEmptyAndSingle) {
+  EXPECT_EQ(CorrelationClustering(SimilarityMatrix(0)).num_items(), 0);
+  Clustering one = CorrelationClustering(SimilarityMatrix(1, 0.0, 1.0));
+  EXPECT_EQ(one.num_items(), 1);
+  EXPECT_EQ(one.num_clusters(), 1);
+}
+
+TEST(CorrelationClusteringTest, AllNegativeYieldsSingletons) {
+  SimilarityMatrix m(6, 0.1, 1.0);
+  EXPECT_EQ(CorrelationClustering(m).num_clusters(), 6);
+}
+
+TEST(CorrelationClusteringTest, AllPositiveYieldsOneCluster) {
+  SimilarityMatrix m(6, 0.9, 1.0);
+  EXPECT_EQ(CorrelationClustering(m).num_clusters(), 1);
+}
+
+TEST(CorrelationClusteringTest, DeterministicForFixedSeed) {
+  Rng noise(5);
+  SimilarityMatrix m(20, 0.0, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = i + 1; j < 20; ++j) {
+      m.Set(i, j, noise.UniformDouble());
+    }
+  }
+  CorrelationClusteringOptions options;
+  options.seed = 99;
+  EXPECT_EQ(CorrelationClustering(m, options),
+            CorrelationClustering(m, options));
+}
+
+TEST(CorrelationClusteringTest, LocalSearchDoesNotHurt) {
+  // With local search on, the final cost must be <= the pivot-only cost for
+  // the same seed budget.
+  Rng noise(11);
+  SimilarityMatrix m(30, 0.0, 1.0);
+  std::vector<int> planted(30);
+  for (int i = 0; i < 30; ++i) planted[i] = i / 6;
+  for (int i = 0; i < 30; ++i) {
+    for (int j = i + 1; j < 30; ++j) {
+      double base = planted[i] == planted[j] ? 0.8 : 0.2;
+      m.Set(i, j, base + noise.UniformDouble(-0.15, 0.15));
+    }
+  }
+  CorrelationClusteringOptions no_ls;
+  no_ls.local_search_rounds = 0;
+  no_ls.pivot_restarts = 4;
+  CorrelationClusteringOptions with_ls = no_ls;
+  with_ls.local_search_rounds = 4;
+  double cost_no_ls = CorrelationCost(m, CorrelationClustering(m, no_ls));
+  double cost_ls = CorrelationCost(m, CorrelationClustering(m, with_ls));
+  EXPECT_LE(cost_ls, cost_no_ls + 1e-9);
+}
+
+TEST(CorrelationClusteringTest, NoisyPlantedClustersMostlyRecovered) {
+  Rng noise(13);
+  std::vector<int> planted(24);
+  for (int i = 0; i < 24; ++i) planted[i] = i / 8;
+  SimilarityMatrix m(24, 0.0, 1.0);
+  for (int i = 0; i < 24; ++i) {
+    for (int j = i + 1; j < 24; ++j) {
+      double base = planted[i] == planted[j] ? 0.75 : 0.25;
+      m.Set(i, j, base + noise.UniformDouble(-0.2, 0.2));
+    }
+  }
+  Clustering found = CorrelationClustering(m);
+  // The planted partition costs little; the found one must cost no more
+  // than 1.5x the planted cost (loose bound; typically it matches).
+  double planted_cost = CorrelationCost(m, Clustering::FromLabels(planted));
+  EXPECT_LE(CorrelationCost(m, found), planted_cost * 1.5 + 1e-9);
+}
+
+TEST(CorrelationClusteringTest, CustomPositiveThreshold) {
+  SimilarityMatrix m(4, 0.4, 1.0);  // all pairs at 0.4
+  CorrelationClusteringOptions strict;
+  strict.positive_threshold = 0.3;  // 0.4 now counts as positive
+  EXPECT_EQ(CorrelationClustering(m, strict).num_clusters(), 1);
+  CorrelationClusteringOptions loose;
+  loose.positive_threshold = 0.5;
+  EXPECT_EQ(CorrelationClustering(m, loose).num_clusters(), 4);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace weber

@@ -1,0 +1,154 @@
+#include "corpus/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace weber {
+namespace corpus {
+namespace {
+
+Dataset MakeSample() {
+  Dataset d;
+  d.name = "sample";
+  Block block;
+  block.query = "cohen";
+  block.documents.push_back(
+      {"cohen/0", "http://a.com/x", "first page text\nsecond line"});
+  block.documents.push_back({"cohen/1", "http://b.com/y", "single line"});
+  block.documents.push_back({"cohen/2", "http://c.com/z", ""});
+  block.entity_labels = {0, 1, 0};
+  d.blocks.push_back(block);
+  Block other;
+  other.query = "ng";
+  other.documents.push_back({"ng/0", "http://d.com", "about ng"});
+  other.entity_labels = {5};
+  d.blocks.push_back(other);
+  return d;
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  Dataset original = MakeSample();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveDataset(original, ss).ok());
+  auto loaded = LoadDataset(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name, "sample");
+  ASSERT_EQ(loaded->num_blocks(), 2);
+  const Block& b0 = loaded->blocks[0];
+  EXPECT_EQ(b0.query, "cohen");
+  ASSERT_EQ(b0.num_documents(), 3);
+  EXPECT_EQ(b0.documents[0].id, "cohen/0");
+  EXPECT_EQ(b0.documents[0].url, "http://a.com/x");
+  EXPECT_EQ(b0.documents[0].text, "first page text\nsecond line");
+  EXPECT_EQ(b0.documents[2].text, "");
+  EXPECT_EQ(b0.entity_labels, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(loaded->blocks[1].entity_labels, (std::vector<int>{5}));
+}
+
+TEST(DatasetIoTest, SaveRejectsInconsistentBlock) {
+  Dataset d;
+  d.name = "broken";
+  Block block;
+  block.query = "x";
+  block.documents.push_back({"x/0", "u", "t"});
+  // entity_labels missing.
+  d.blocks.push_back(block);
+  std::stringstream ss;
+  EXPECT_EQ(SaveDataset(d, ss).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, LoadRejectsMissingHeader) {
+  std::stringstream ss("#block x 0\n");
+  auto loaded = LoadDataset(ss);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, LoadRejectsTruncatedBlock) {
+  std::stringstream ss(
+      "#dataset t\n#block q 2\n#doc q/0 0\n#url u\n#text 0\n");
+  auto loaded = LoadDataset(ss);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, LoadRejectsBadLabel) {
+  std::stringstream ss("#dataset t\n#block q 1\n#doc q/0 notanint\n");
+  EXPECT_EQ(LoadDataset(ss).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, LoadRejectsUnknownDirective) {
+  std::stringstream ss("#dataset t\n#bogus\n");
+  EXPECT_EQ(LoadDataset(ss).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, LoadRejectsWrongTextLineCount) {
+  std::stringstream ss(
+      "#dataset t\n#block q 1\n#doc q/0 0\n#url u\n#text 3\nonly one line\n");
+  EXPECT_EQ(LoadDataset(ss).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  Dataset d;
+  d.name = "empty";
+  std::stringstream ss;
+  ASSERT_TRUE(SaveDataset(d, ss).ok());
+  auto loaded = LoadDataset(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, "empty");
+  EXPECT_EQ(loaded->num_blocks(), 0);
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  Dataset original = MakeSample();
+  std::string path = ::testing::TempDir() + "/weber_dataset_io_test.txt";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+  auto loaded = LoadDatasetFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalDocuments(), original.TotalDocuments());
+}
+
+TEST(DatasetIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadDatasetFromFile("/nonexistent/definitely/missing").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(GazetteerIoTest, RoundTrip) {
+  extract::Gazetteer g;
+  g.Add("alice cohen", extract::EntityType::kPerson);
+  g.Add("epfl", extract::EntityType::kOrganization, 1.25);
+  g.Add("machine learning", extract::EntityType::kConcept, 0.75);
+  g.Add("zurich", extract::EntityType::kLocation);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveGazetteer(g, ss).ok());
+  auto loaded = LoadGazetteer(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 4);
+  EXPECT_EQ(loaded->entry(1).surface, "epfl");
+  EXPECT_EQ(loaded->entry(1).type, extract::EntityType::kOrganization);
+  EXPECT_NEAR(loaded->entry(1).weight, 1.25, 1e-9);
+  // Loaded gazetteer is ready to annotate.
+  EXPECT_EQ(loaded->Annotate("alice cohen went to zurich").size(), 2u);
+}
+
+TEST(GazetteerIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream ss("nonsense");
+    EXPECT_EQ(LoadGazetteer(ss).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream ss("#gazetteer 1\nbadline-without-tabs\n");
+    EXPECT_EQ(LoadGazetteer(ss).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream ss("#gazetteer 2\nperson\t1.0\tok name\n");
+    EXPECT_EQ(LoadGazetteer(ss).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream ss("#gazetteer 1\nmartian\t1.0\tname\n");
+    EXPECT_EQ(LoadGazetteer(ss).status().code(), StatusCode::kCorruption);
+  }
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace weber

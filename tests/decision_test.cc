@@ -1,0 +1,156 @@
+#include "core/decision.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace core {
+namespace {
+
+std::vector<ml::LabeledSimilarity> SeparableTraining() {
+  std::vector<ml::LabeledSimilarity> t;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back({0.1 + 0.01 * i, false});
+    t.push_back({0.7 + 0.01 * i, true});
+  }
+  return t;
+}
+
+/// Non-monotone profile: links live in the middle band only.
+std::vector<ml::LabeledSimilarity> MidBandTraining() {
+  std::vector<ml::LabeledSimilarity> t;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back({0.15, false});
+    t.push_back({0.55, true});
+    t.push_back({0.85, false});
+  }
+  return t;
+}
+
+TEST(ThresholdCriterionTest, FitAndDecide) {
+  ThresholdCriterion c;
+  Rng rng(1);
+  ASSERT_TRUE(c.Fit(SeparableTraining(), &rng).ok());
+  EXPECT_DOUBLE_EQ(c.train_accuracy(), 1.0);
+  EXPECT_FALSE(c.Decide(0.2));
+  EXPECT_TRUE(c.Decide(0.8));
+  EXPECT_GT(c.threshold(), 0.29);
+  EXPECT_LE(c.threshold(), 0.7);
+}
+
+TEST(ThresholdCriterionTest, LinkProbabilityIsCalibrated) {
+  // Above threshold: 80% links; below: 10% links.
+  std::vector<ml::LabeledSimilarity> training;
+  for (int i = 0; i < 10; ++i) {
+    training.push_back({0.2, i == 0});              // 1/10 links below
+    training.push_back({0.8, i < 8});               // 8/10 links above
+  }
+  ThresholdCriterion c;
+  Rng rng(2);
+  ASSERT_TRUE(c.Fit(training, &rng).ok());
+  EXPECT_NEAR(c.LinkProbability(0.9), 0.8, 1e-9);
+  EXPECT_NEAR(c.LinkProbability(0.1), 0.1, 1e-9);
+}
+
+TEST(ThresholdCriterionTest, EmptyTrainingRejected) {
+  ThresholdCriterion c;
+  Rng rng(3);
+  EXPECT_FALSE(c.Fit({}, &rng).ok());
+}
+
+TEST(RegionCriterionTest, EqualWidthCapturesMidBand) {
+  auto c = RegionCriterion::EqualWidth(10);
+  Rng rng(4);
+  ASSERT_TRUE(c->Fit(MidBandTraining(), &rng).ok());
+  EXPECT_FALSE(c->Decide(0.15));
+  EXPECT_TRUE(c->Decide(0.55));
+  EXPECT_FALSE(c->Decide(0.85));
+  EXPECT_DOUBLE_EQ(c->train_accuracy(), 1.0);
+  EXPECT_EQ(c->name(), "regions-eq10");
+}
+
+TEST(RegionCriterionTest, ThresholdCannotCaptureMidBand) {
+  // The contrast that motivates the paper: on the same data the threshold
+  // rule must misclassify one of the bands.
+  ThresholdCriterion t;
+  Rng rng(5);
+  ASSERT_TRUE(t.Fit(MidBandTraining(), &rng).ok());
+  EXPECT_LT(t.train_accuracy(), 1.0);
+}
+
+TEST(RegionCriterionTest, KMeansVariant) {
+  auto c = RegionCriterion::KMeans(6);
+  Rng rng(6);
+  ASSERT_TRUE(c->Fit(MidBandTraining(), &rng).ok());
+  EXPECT_TRUE(c->Decide(0.55));
+  EXPECT_FALSE(c->Decide(0.15));
+  EXPECT_EQ(c->name(), "regions-km6");
+  EXPECT_EQ(c->model().regions().num_regions(), 3);  // 3 distinct values
+}
+
+TEST(RegionCriterionTest, LinkProbabilityEqualsRegionRate) {
+  auto c = RegionCriterion::EqualWidth(2);
+  std::vector<ml::LabeledSimilarity> training = {
+      {0.2, true}, {0.3, false}, {0.3, false}, {0.4, false},
+      {0.8, true}, {0.9, true},  {0.7, false}, {0.85, true},
+  };
+  Rng rng(7);
+  ASSERT_TRUE(c->Fit(training, &rng).ok());
+  EXPECT_NEAR(c->LinkProbability(0.1), 0.25, 1e-9);
+  EXPECT_NEAR(c->LinkProbability(0.9), 0.75, 1e-9);
+}
+
+TEST(CriteriaFactoriesTest, StandardFamilyHasThreeMembers) {
+  auto criteria = MakeStandardCriteria(10, 8);
+  ASSERT_EQ(criteria.size(), 3u);
+  EXPECT_EQ(criteria[0]->name(), "threshold");
+  EXPECT_EQ(criteria[1]->name(), "regions-eq10");
+  EXPECT_EQ(criteria[2]->name(), "regions-km8");
+  EXPECT_EQ(MakeThresholdOnlyCriteria().size(), 1u);
+
+  auto factories = MakeStandardCriterionFactories(10, 8);
+  ASSERT_EQ(factories.size(), 3u);
+  EXPECT_EQ(factories[1]()->name(), "regions-eq10");
+  EXPECT_EQ(MakeThresholdOnlyCriterionFactories().size(), 1u);
+}
+
+TEST(CrossValidatedAccuracyTest, SeparableDataScoresHigh) {
+  Rng rng(8);
+  auto factory = MakeThresholdOnlyCriterionFactories()[0];
+  auto acc = CrossValidatedAccuracy(factory, SeparableTraining(), 3, &rng);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(CrossValidatedAccuracyTest, RandomLabelsScoreNearChance) {
+  Rng rng(9);
+  std::vector<ml::LabeledSimilarity> noise;
+  for (int i = 0; i < 300; ++i) {
+    noise.push_back({rng.UniformDouble(), rng.Bernoulli(0.5)});
+  }
+  auto factory = MakeStandardCriterionFactories(10, 8)[1];  // eq regions
+  auto acc = CrossValidatedAccuracy(factory, noise, 3, &rng);
+  ASSERT_TRUE(acc.ok());
+  // In-sample a 10-region model could look much better than chance; CV
+  // must not.
+  EXPECT_LT(*acc, 0.62);
+  EXPECT_GT(*acc, 0.38);
+}
+
+TEST(CrossValidatedAccuracyTest, TinySampleFallsBackToInSample) {
+  Rng rng(10);
+  std::vector<ml::LabeledSimilarity> tiny = {{0.1, false}, {0.9, true}};
+  auto factory = MakeThresholdOnlyCriterionFactories()[0];
+  auto acc = CrossValidatedAccuracy(factory, tiny, 3, &rng);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(CrossValidatedAccuracyTest, EmptySampleRejected) {
+  Rng rng(11);
+  auto factory = MakeThresholdOnlyCriterionFactories()[0];
+  EXPECT_FALSE(CrossValidatedAccuracy(factory, {}, 3, &rng).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

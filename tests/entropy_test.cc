@@ -1,0 +1,58 @@
+#include "ml/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace weber {
+namespace ml {
+namespace {
+
+TEST(EntropyTest, UniformDistribution) {
+  EXPECT_NEAR(ShannonEntropy({1.0, 1.0, 1.0, 1.0}), 2.0, 1e-12);
+  EXPECT_NEAR(ShannonEntropy({0.25, 0.25, 0.25, 0.25}), 2.0, 1e-12);
+}
+
+TEST(EntropyTest, DegenerateDistribution) {
+  EXPECT_DOUBLE_EQ(ShannonEntropy({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({1.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ShannonEntropy({-1.0, -2.0}), 0.0);  // ignores negatives
+}
+
+TEST(EntropyTest, UnnormalizedInputIsNormalized) {
+  EXPECT_NEAR(ShannonEntropy({10.0, 10.0}), 1.0, 1e-12);
+  EXPECT_NEAR(ShannonEntropy({0.001, 0.001}), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, KnownSkewedValue) {
+  // p = (0.75, 0.25): H = -(0.75 log2 0.75 + 0.25 log2 0.25) = 0.811278.
+  EXPECT_NEAR(ShannonEntropy({3.0, 1.0}), 0.811278, 1e-5);
+}
+
+TEST(NormalizedEntropyTest, RangeAndEndpoints) {
+  EXPECT_DOUBLE_EQ(NormalizedEntropy({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEntropy({}), 0.0);
+  EXPECT_NEAR(NormalizedEntropy({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  double skewed = NormalizedEntropy({9.0, 1.0});
+  EXPECT_GT(skewed, 0.0);
+  EXPECT_LT(skewed, 1.0);
+}
+
+TEST(NormalizedEntropyTest, IgnoresZeroEntriesInDenominator) {
+  // {1,1,0,0} has 2 positive entries -> normalized by log2(2) = 1.
+  EXPECT_NEAR(NormalizedEntropy({1.0, 1.0, 0.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(PerplexityTest, EffectiveItemCount) {
+  EXPECT_NEAR(Perplexity({1.0, 1.0, 1.0, 1.0}), 4.0, 1e-9);
+  EXPECT_NEAR(Perplexity({1.0}), 1.0, 1e-9);
+  double skewed = Perplexity({8.0, 1.0, 1.0});
+  EXPECT_GT(skewed, 1.0);
+  EXPECT_LT(skewed, 3.0);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace weber

@@ -1,0 +1,119 @@
+// Tests for the experiment JSON export and the parallel runner.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+
+namespace weber {
+namespace core {
+namespace {
+
+class ExperimentJsonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result =
+        corpus::SyntheticWebGenerator(corpus::TinyConfig(0x9)).Generate();
+    ASSERT_TRUE(result.ok());
+    data_ = new corpus::SyntheticData(std::move(result).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static corpus::SyntheticData* data_;
+};
+
+corpus::SyntheticData* ExperimentJsonTest::data_ = nullptr;
+
+TEST_F(ExperimentJsonTest, ParallelMatchesSerialExactly) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 2, 0xF00);
+  ASSERT_TRUE(runner.Prepare().ok());
+  std::vector<ExperimentConfig> configs(3);
+  configs[0].label = "C10";
+  configs[1].label = "I10";
+  configs[1].options.use_region_criteria = false;
+  configs[2].label = "W";
+  configs[2].options.combination = CombinationStrategy::kWeightedAverage;
+
+  auto serial = runner.RunAll(configs);
+  auto parallel = runner.RunAllParallel(configs, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].label, (*parallel)[i].label);
+    EXPECT_DOUBLE_EQ((*serial)[i].overall.fp_measure,
+                     (*parallel)[i].overall.fp_measure);
+    EXPECT_DOUBLE_EQ((*serial)[i].overall.rand_index,
+                     (*parallel)[i].overall.rand_index);
+  }
+}
+
+TEST_F(ExperimentJsonTest, ParallelWithOneThreadFallsBackToSerial) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 1, 0xF01);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig config;
+  config.label = "x";
+  auto r = runner.RunAllParallel({config}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(ExperimentJsonTest, ParallelPropagatesErrors) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 1, 0xF02);
+  ASSERT_TRUE(runner.Prepare().ok());
+  std::vector<ExperimentConfig> configs(2);
+  configs[0].label = "good";
+  configs[1].label = "bad";
+  configs[1].options.function_names = {"F77"};
+  EXPECT_EQ(runner.RunAllParallel(configs, 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExperimentJsonTest, ParallelRequiresPrepare) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 1, 0xF03);
+  ExperimentConfig config;
+  EXPECT_EQ(runner.RunAllParallel({config}, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExperimentJsonTest, JsonExportContainsEveryBlockAndConfig) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 1, 0xF04);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig config;
+  config.label = "C10";
+  auto results = runner.RunAll({config});
+  ASSERT_TRUE(results.ok());
+  std::ostringstream os;
+  ASSERT_TRUE(WriteExperimentJson(data_->dataset, 1, *results, os).ok());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"dataset\":\"tiny-synthetic\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"C10\""), std::string::npos);
+  for (const corpus::Block& block : data_->dataset.blocks) {
+    EXPECT_NE(json.find("\"name\":\"" + block.query + "\""),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"fp\":"), std::string::npos);
+  // Well-formed bracket balance (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(ExperimentJsonTest, JsonExportRejectsMisalignedResults) {
+  ExperimentResult bogus;
+  bogus.label = "x";
+  bogus.per_block.resize(1);  // dataset has 3 blocks
+  std::ostringstream os;
+  EXPECT_EQ(WriteExperimentJson(data_->dataset, 1, {bogus}, os).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,109 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+
+namespace weber {
+namespace core {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result =
+        corpus::SyntheticWebGenerator(corpus::TinyConfig(0x777)).Generate();
+    ASSERT_TRUE(result.ok()) << result.status();
+    data_ = new corpus::SyntheticData(std::move(result).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static corpus::SyntheticData* data_;
+};
+
+corpus::SyntheticData* ExperimentTest::data_ = nullptr;
+
+TEST_F(ExperimentTest, RunBeforePrepareFails) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 2, 1);
+  ExperimentConfig config;
+  config.label = "x";
+  EXPECT_EQ(runner.Run(config).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExperimentTest, PrepareValidates) {
+  ExperimentRunner null_runner(nullptr, &data_->gazetteer, 2, 1);
+  EXPECT_FALSE(null_runner.Prepare().ok());
+  ExperimentRunner zero_runs(&data_->dataset, &data_->gazetteer, 0, 1);
+  EXPECT_FALSE(zero_runs.Prepare().ok());
+}
+
+TEST_F(ExperimentTest, RunProducesPerBlockAndOverall) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 2, 42);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig config;
+  config.label = "C-tiny";
+  auto result = runner.Run(config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->label, "C-tiny");
+  EXPECT_EQ(result->per_block.size(), 3u);
+  EXPECT_GT(result->overall.fp_measure, 0.0);
+  EXPECT_LE(result->overall.fp_measure, 1.0);
+}
+
+TEST_F(ExperimentTest, RunIsDeterministic) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 2, 42);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig config;
+  config.label = "det";
+  auto a = runner.Run(config);
+  auto b = runner.Run(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->overall.fp_measure, b->overall.fp_measure);
+  EXPECT_DOUBLE_EQ(a->overall.rand_index, b->overall.rand_index);
+}
+
+TEST_F(ExperimentTest, ConfigsShareTrainingSplits) {
+  // Two configurations run on the same runner must see the same splits:
+  // a config identical in behaviour yields identical numbers.
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 2, 43);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig a, b;
+  a.label = "a";
+  b.label = "b";
+  // Different label, same options.
+  auto ra = runner.Run(a);
+  auto rb = runner.Run(b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->overall.fp_measure, rb->overall.fp_measure);
+}
+
+TEST_F(ExperimentTest, RunAllEvaluatesEveryConfig) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 2, 44);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig i10, c10;
+  i10.label = "I10";
+  i10.options.use_region_criteria = false;
+  c10.label = "C10";
+  auto results = runner.RunAll({i10, c10});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].label, "I10");
+  EXPECT_EQ((*results)[1].label, "C10");
+}
+
+TEST_F(ExperimentTest, InvalidConfigSurfacesStatus) {
+  ExperimentRunner runner(&data_->dataset, &data_->gazetteer, 1, 45);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ExperimentConfig bad;
+  bad.label = "bad";
+  bad.options.function_names = {"F77"};
+  EXPECT_EQ(runner.Run(bad).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

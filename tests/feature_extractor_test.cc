@@ -1,0 +1,140 @@
+#include "extract/feature_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace extract {
+namespace {
+
+class FeatureExtractorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = gazetteer_.Add("alice cohen", EntityType::kPerson);
+    bob_ = gazetteer_.Add("bob cohen", EntityType::kPerson);
+    carol_ = gazetteer_.Add("carol smith", EntityType::kPerson);
+    bare_ = gazetteer_.Add("cohen", EntityType::kPerson);
+    epfl_ = gazetteer_.Add("epfl", EntityType::kOrganization);
+    ml_ = gazetteer_.Add("machine learning", EntityType::kConcept, 2.0);
+    db_ = gazetteer_.Add("databases", EntityType::kConcept, 1.0);
+    zurich_ = gazetteer_.Add("zurich", EntityType::kLocation);
+    gazetteer_.Build();
+  }
+
+  std::vector<FeatureBundle> Extract(std::vector<PageInput> pages) {
+    auto result = extractor().ExtractBlock(pages, "cohen");
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).ValueOrDie();
+  }
+
+  FeatureExtractor extractor() { return FeatureExtractor(&gazetteer_, {}); }
+
+  Gazetteer gazetteer_;
+  int alice_ = 0, bob_ = 0, carol_ = 0, bare_ = 0, epfl_ = 0, ml_ = 0,
+      db_ = 0, zurich_ = 0;
+};
+
+TEST_F(FeatureExtractorTest, EmptyBlockRejected) {
+  auto result = extractor().ExtractBlock({}, "cohen");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FeatureExtractorTest, MostFrequentNameIsTheDominantMention) {
+  auto bundles = Extract({{"http://x.com/a",
+                           "alice cohen wrote this. alice cohen works at "
+                           "epfl. bob cohen visited once."}});
+  EXPECT_EQ(bundles[0].most_frequent_name, "alice cohen");
+}
+
+TEST_F(FeatureExtractorTest, ClosestNameIsNearTheKeyword) {
+  // "bob cohen" contains the keyword; "carol smith" is far from it.
+  auto bundles = Extract(
+      {{"http://x.com/a", "carol smith met someone. later bob cohen arrived"}});
+  EXPECT_EQ(bundles[0].closest_name, "bob cohen");
+}
+
+TEST_F(FeatureExtractorTest, OtherPersonsExcludeTheQueriedPerson) {
+  auto bundles = Extract(
+      {{"http://x.com/a", "alice cohen and carol smith run a lab"}});
+  const auto& others = bundles[0].other_persons;
+  EXPECT_DOUBLE_EQ(others.GetWeight(carol_), 1.0);
+  EXPECT_DOUBLE_EQ(others.GetWeight(alice_), 0.0);
+  EXPECT_DOUBLE_EQ(others.GetWeight(bare_), 0.0);
+}
+
+TEST_F(FeatureExtractorTest, OrganizationsAndConceptsAreSeparated) {
+  auto bundles = Extract({{"http://x.com/a",
+                           "alice cohen of epfl studies machine learning and "
+                           "databases in zurich"}});
+  EXPECT_DOUBLE_EQ(bundles[0].organizations.GetWeight(epfl_), 1.0);
+  EXPECT_DOUBLE_EQ(bundles[0].concepts.GetWeight(ml_), 1.0);
+  EXPECT_DOUBLE_EQ(bundles[0].concepts.GetWeight(db_), 1.0);
+  // Locations contribute to the concept incidence vector.
+  EXPECT_DOUBLE_EQ(bundles[0].concepts.GetWeight(zurich_), 1.0);
+  // But not to organizations.
+  EXPECT_DOUBLE_EQ(bundles[0].organizations.GetWeight(zurich_), 0.0);
+}
+
+TEST_F(FeatureExtractorTest, WeightedConceptsUseGazetteerWeights) {
+  auto bundles = Extract({{"http://x.com/a",
+                           "machine learning and databases and machine "
+                           "learning again"}});
+  // ml weight 2.0, mentioned twice -> 4.0; db weight 1.0 once -> 1.0.
+  EXPECT_DOUBLE_EQ(bundles[0].weighted_concepts.GetWeight(ml_), 4.0);
+  EXPECT_DOUBLE_EQ(bundles[0].weighted_concepts.GetWeight(db_), 1.0);
+}
+
+TEST_F(FeatureExtractorTest, PagesWithoutPersonsHaveEmptyNameFeatures) {
+  auto bundles = Extract({{"http://x.com/a", "nothing but databases here"}});
+  EXPECT_TRUE(bundles[0].most_frequent_name.empty());
+  EXPECT_TRUE(bundles[0].closest_name.empty());
+}
+
+TEST_F(FeatureExtractorTest, TfIdfVectorsFittedPerBlock) {
+  auto bundles = Extract({
+      {"http://x.com/a", "machine learning research papers about learning"},
+      {"http://x.com/b", "databases systems research"},
+  });
+  ASSERT_EQ(bundles.size(), 2u);
+  EXPECT_FALSE(bundles[0].tfidf.empty());
+  EXPECT_FALSE(bundles[1].tfidf.empty());
+  EXPECT_GT(bundles[0].tfidf_dimension, 0);
+  EXPECT_EQ(bundles[0].tfidf_dimension, bundles[1].tfidf_dimension);
+  EXPECT_NEAR(bundles[0].tfidf.Norm(), 1.0, 1e-9);
+}
+
+TEST_F(FeatureExtractorTest, UrlIsPassedThrough) {
+  auto bundles = Extract({{"http://host.org/page", "alice cohen"}});
+  EXPECT_EQ(bundles[0].url, "http://host.org/page");
+}
+
+TEST_F(FeatureExtractorTest, BoilerplateConceptsAreSuppressed) {
+  // A concept on (almost) every page of the block carries no signal; with
+  // max_concept_block_frequency = 0.5 it must be dropped.
+  FeatureExtractorOptions options;
+  options.max_concept_block_frequency = 0.5;
+  options.min_block_size_for_suppression = 2;
+  FeatureExtractor fx(&gazetteer_, options);
+  std::vector<PageInput> pages = {
+      {"u1", "machine learning everywhere"},
+      {"u2", "machine learning here too"},
+      {"u3", "machine learning and databases"},
+  };
+  auto result = fx.ExtractBlock(pages, "cohen");
+  ASSERT_TRUE(result.ok());
+  // "machine learning" on 3/3 pages > 0.5 -> suppressed everywhere;
+  // "databases" on 1/3 pages -> kept.
+  EXPECT_DOUBLE_EQ((*result)[2].concepts.GetWeight(ml_), 0.0);
+  EXPECT_DOUBLE_EQ((*result)[2].concepts.GetWeight(db_), 1.0);
+}
+
+TEST_F(FeatureExtractorTest, KeywordInsideMentionHasDistanceZeroPriority) {
+  // Both names are near a keyword occurrence, but "bob cohen" *contains*
+  // one; it must win over carol smith adjacent to a bare "cohen".
+  auto bundles = Extract({{"http://x.com/a",
+                           "carol smith cohen then later bob cohen again"}});
+  EXPECT_EQ(bundles[0].closest_name, "bob cohen");
+}
+
+}  // namespace
+}  // namespace extract
+}  // namespace weber

@@ -1,0 +1,108 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flags_.AddString("name", "default", "a string");
+    flags_.AddInt("count", 5, "an int");
+    flags_.AddDouble("rate", 0.5, "a double");
+    flags_.AddBool("verbose", false, "a bool");
+  }
+  FlagParser flags_;
+};
+
+TEST_F(FlagsTest, DefaultsApplyWithoutArguments) {
+  auto argv = Argv({});
+  ASSERT_TRUE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags_.GetString("name"), "default");
+  EXPECT_EQ(flags_.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(flags_.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags_.GetBool("verbose"));
+  EXPECT_FALSE(flags_.WasSet("name"));
+}
+
+TEST_F(FlagsTest, EqualsSyntax) {
+  auto argv = Argv({"--name=weber", "--count=9", "--rate=0.25",
+                    "--verbose=true"});
+  ASSERT_TRUE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags_.GetString("name"), "weber");
+  EXPECT_EQ(flags_.GetInt("count"), 9);
+  EXPECT_DOUBLE_EQ(flags_.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(flags_.GetBool("verbose"));
+  EXPECT_TRUE(flags_.WasSet("count"));
+}
+
+TEST_F(FlagsTest, SpaceSeparatedValues) {
+  auto argv = Argv({"--name", "x", "--count", "3"});
+  ASSERT_TRUE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags_.GetString("name"), "x");
+  EXPECT_EQ(flags_.GetInt("count"), 3);
+}
+
+TEST_F(FlagsTest, BareAndNoBooleanForms) {
+  {
+    auto argv = Argv({"--verbose"});
+    ASSERT_TRUE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+    EXPECT_TRUE(flags_.GetBool("verbose"));
+  }
+  {
+    auto argv = Argv({"--noverbose"});
+    ASSERT_TRUE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+    EXPECT_FALSE(flags_.GetBool("verbose"));
+  }
+}
+
+TEST_F(FlagsTest, PositionalArgumentsCollected) {
+  auto argv = Argv({"first", "--count=1", "second"});
+  ASSERT_TRUE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags_.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST_F(FlagsTest, UnknownFlagRejected) {
+  auto argv = Argv({"--bogus=1"});
+  EXPECT_EQ(flags_.Parse(static_cast<int>(argv.size()), argv.data()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FlagsTest, MalformedValuesRejected) {
+  {
+    auto argv = Argv({"--count=abc"});
+    EXPECT_FALSE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    auto argv = Argv({"--rate=x"});
+    EXPECT_FALSE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+  {
+    auto argv = Argv({"--verbose=maybe"});
+    EXPECT_FALSE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  }
+}
+
+TEST_F(FlagsTest, MissingTrailingValueRejected) {
+  auto argv = Argv({"--name"});
+  EXPECT_FALSE(flags_.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST_F(FlagsTest, UsageListsAllFlags) {
+  std::string usage = flags_.Usage("test program");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a double"), std::string::npos);
+  EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace weber

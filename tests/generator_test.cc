@@ -1,0 +1,201 @@
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "corpus/presets.h"
+#include "extract/url.h"
+
+namespace weber {
+namespace corpus {
+namespace {
+
+TEST(SkewedPartitionTest, SumsToTotalWithPositiveParts) {
+  Rng rng(1);
+  for (int total : {10, 97, 150}) {
+    for (int parts : {1, 2, 7, 10}) {
+      auto sizes = SyntheticWebGenerator::SkewedPartition(total, parts, 1.2,
+                                                          &rng);
+      ASSERT_EQ(static_cast<int>(sizes.size()), std::min(parts, total));
+      EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), total);
+      for (int s : sizes) EXPECT_GE(s, 1);
+    }
+  }
+}
+
+TEST(SkewedPartitionTest, SizesAreDescending) {
+  Rng rng(2);
+  auto sizes = SyntheticWebGenerator::SkewedPartition(100, 8, 1.4, &rng);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(SkewedPartitionTest, MorePartsThanTotalIsClamped) {
+  Rng rng(3);
+  auto sizes = SyntheticWebGenerator::SkewedPartition(5, 20, 1.0, &rng);
+  EXPECT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 5);
+}
+
+TEST(SkewedPartitionTest, HigherSkewConcentratesMass) {
+  Rng rng(4);
+  auto flat = SyntheticWebGenerator::SkewedPartition(100, 10, 0.2, &rng);
+  auto skewed = SyntheticWebGenerator::SkewedPartition(100, 10, 2.5, &rng);
+  EXPECT_GT(skewed[0], flat[0]);
+}
+
+TEST(GeneratorTest, RejectsEmptyConfig) {
+  GeneratorConfig cfg;
+  auto result = SyntheticWebGenerator(cfg).Generate();
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorTest, RejectsMoreEntitiesThanDocuments) {
+  GeneratorConfig cfg;
+  NameSpec spec;
+  spec.last_name = "x";
+  spec.num_documents = 3;
+  spec.num_entities = 10;
+  cfg.names = {spec};
+  auto result = SyntheticWebGenerator(cfg).Generate();
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+class GeneratedCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = SyntheticWebGenerator(TinyConfig(0xABCD)).Generate();
+    ASSERT_TRUE(result.ok()) << result.status();
+    data_ = new SyntheticData(std::move(result).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static SyntheticData* data_;
+};
+
+SyntheticData* GeneratedCorpusTest::data_ = nullptr;
+
+TEST_F(GeneratedCorpusTest, BlockShapeMatchesConfig) {
+  const auto& dataset = data_->dataset;
+  ASSERT_EQ(dataset.num_blocks(), 3);
+  EXPECT_EQ(dataset.blocks[0].query, "cohen");
+  EXPECT_EQ(dataset.blocks[0].num_documents(), 30);
+  EXPECT_EQ(dataset.blocks[0].NumEntities(), 3);
+  EXPECT_EQ(dataset.blocks[1].NumEntities(), 4);
+  EXPECT_EQ(dataset.blocks[2].NumEntities(), 2);
+}
+
+TEST_F(GeneratedCorpusTest, LabelsAreParallelAndDense) {
+  for (const Block& block : data_->dataset.blocks) {
+    ASSERT_EQ(block.entity_labels.size(), block.documents.size());
+    std::set<int> labels(block.entity_labels.begin(),
+                         block.entity_labels.end());
+    // Every entity id in [0, K) appears at least once.
+    EXPECT_EQ(static_cast<int>(labels.size()), block.NumEntities());
+    EXPECT_EQ(*labels.begin(), 0);
+    EXPECT_EQ(*labels.rbegin(), block.NumEntities() - 1);
+  }
+}
+
+TEST_F(GeneratedCorpusTest, PagesMentionTheirQueryName) {
+  const Block& block = data_->dataset.blocks[0];
+  int mentioning = 0;
+  for (const Document& d : block.documents) {
+    if (d.text.find(block.query) != std::string::npos) ++mentioning;
+  }
+  // Every page is about a persona carrying the name; the name (full or
+  // bare) must appear on effectively all pages.
+  EXPECT_GE(mentioning, block.num_documents() - 1);
+}
+
+TEST_F(GeneratedCorpusTest, UrlsParse) {
+  for (const Block& block : data_->dataset.blocks) {
+    for (const Document& d : block.documents) {
+      EXPECT_TRUE(extract::ParseUrl(d.url).ok()) << d.url;
+    }
+  }
+}
+
+TEST_F(GeneratedCorpusTest, GazetteerKnowsPersonaNames) {
+  ASSERT_EQ(data_->persona_names.size(), 3u);
+  for (const auto& block_names : data_->persona_names) {
+    for (const std::string& name : block_names) {
+      auto mentions = data_->gazetteer.Annotate(name);
+      ASSERT_FALSE(mentions.empty()) << name;
+      EXPECT_EQ(data_->gazetteer.entry(mentions[0].entry_id).type,
+                extract::EntityType::kPerson);
+    }
+  }
+}
+
+TEST_F(GeneratedCorpusTest, DocumentIdsAreUnique) {
+  std::set<std::string> ids;
+  for (const Block& block : data_->dataset.blocks) {
+    for (const Document& d : block.documents) {
+      EXPECT_TRUE(ids.insert(d.id).second) << "duplicate id " << d.id;
+    }
+  }
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameCorpus) {
+  auto a = SyntheticWebGenerator(TinyConfig(7)).Generate();
+  auto b = SyntheticWebGenerator(TinyConfig(7)).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->dataset.num_blocks(), b->dataset.num_blocks());
+  for (int i = 0; i < a->dataset.num_blocks(); ++i) {
+    const Block& ba = a->dataset.blocks[i];
+    const Block& bb = b->dataset.blocks[i];
+    ASSERT_EQ(ba.num_documents(), bb.num_documents());
+    EXPECT_EQ(ba.entity_labels, bb.entity_labels);
+    for (int d = 0; d < ba.num_documents(); ++d) {
+      EXPECT_EQ(ba.documents[d].text, bb.documents[d].text);
+      EXPECT_EQ(ba.documents[d].url, bb.documents[d].url);
+    }
+  }
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  auto a = SyntheticWebGenerator(TinyConfig(7)).Generate();
+  auto b = SyntheticWebGenerator(TinyConfig(8)).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->dataset.blocks[0].documents[0].text,
+            b->dataset.blocks[0].documents[0].text);
+}
+
+TEST(GeneratorPresetsTest, Www05HasTwelvePaperNames) {
+  GeneratorConfig cfg = Www05Config();
+  ASSERT_EQ(cfg.names.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& spec : cfg.names) names.insert(spec.last_name);
+  for (const char* expected :
+       {"cheyer", "cohen", "hardt", "israel", "kaelbling", "mark", "mccallum",
+        "mitchell", "mulford", "ng", "pereira", "voss"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+  // Entity counts span the published 2..61 range.
+  int min_e = 1000, max_e = 0;
+  for (const auto& spec : cfg.names) {
+    min_e = std::min(min_e, spec.num_entities);
+    max_e = std::max(max_e, spec.num_entities);
+  }
+  EXPECT_LE(min_e, 3);
+  EXPECT_GE(max_e, 40);
+}
+
+TEST(GeneratorPresetsTest, WepsHasTenNamesOf150Docs) {
+  GeneratorConfig cfg = WepsConfig();
+  ASSERT_EQ(cfg.names.size(), 10u);
+  for (const auto& spec : cfg.names) {
+    EXPECT_EQ(spec.num_documents, 150);
+  }
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace weber

@@ -1,0 +1,122 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "ml/splitter.h"
+
+namespace weber {
+namespace core {
+namespace {
+
+using extract::FeatureBundle;
+using text::SparseVector;
+
+std::vector<FeatureBundle> PlantedStream(std::vector<int>* labels) {
+  // Three entities, four docs each, interleaved arrival order.
+  std::vector<FeatureBundle> bundles(12);
+  labels->resize(12);
+  for (int i = 0; i < 12; ++i) {
+    int entity = i % 3;
+    (*labels)[i] = entity;
+    int base = entity * 10;
+    bundles[i].tfidf = SparseVector::FromPairs(
+        {{base, 0.7}, {base + 1, 0.6}, {base + 2 + (i % 2), 0.4}});
+    bundles[i].tfidf = bundles[i].tfidf.Normalized();
+    bundles[i].tfidf_dimension = 40;
+    bundles[i].most_frequent_name =
+        std::string(1, static_cast<char>('a' + entity)) + "lice x";
+    bundles[i].closest_name = bundles[i].most_frequent_name;
+    bundles[i].url = "http://e" + std::to_string(entity) + ".edu/x/p.html";
+  }
+  return bundles;
+}
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bundles_ = PlantedStream(&labels_);
+    auto created = IncrementalResolver::Create({});
+    ASSERT_TRUE(created.ok());
+    resolver_ = std::make_unique<IncrementalResolver>(
+        std::move(created).ValueOrDie());
+    Rng rng(1);
+    auto pairs = ml::SampleTrainingPairs(12, 0.6, &rng);
+    ASSERT_TRUE(resolver_->CalibrateThreshold(bundles_, labels_, pairs).ok());
+  }
+  std::vector<FeatureBundle> bundles_;
+  std::vector<int> labels_;
+  std::unique_ptr<IncrementalResolver> resolver_;
+};
+
+TEST_F(IncrementalTest, UncalibratedAddFails) {
+  auto fresh = IncrementalResolver::Create({});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->calibrated());
+  EXPECT_EQ(fresh->Add(bundles_[0]), -1);
+}
+
+TEST_F(IncrementalTest, CalibrationValidates) {
+  auto fresh = IncrementalResolver::Create({});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->CalibrateThreshold(bundles_, labels_, {}).ok());
+  EXPECT_FALSE(
+      fresh->CalibrateThreshold(bundles_, labels_, {{0, 99}}).ok());
+  std::vector<int> short_labels = labels_;
+  short_labels.pop_back();
+  EXPECT_FALSE(
+      fresh->CalibrateThreshold(bundles_, short_labels, {{0, 1}}).ok());
+}
+
+TEST_F(IncrementalTest, StreamingRecoversPlantedEntities) {
+  for (const auto& b : bundles_) resolver_->Add(b);
+  EXPECT_EQ(resolver_->num_documents(), 12);
+  EXPECT_EQ(resolver_->CurrentClustering(),
+            graph::Clustering::FromLabels(labels_));
+}
+
+TEST_F(IncrementalTest, FirstDocumentOpensCluster) {
+  EXPECT_EQ(resolver_->Add(bundles_[0]), 0);
+  EXPECT_EQ(resolver_->num_documents(), 1);
+  EXPECT_EQ(resolver_->CurrentClustering().num_clusters(), 1);
+}
+
+TEST_F(IncrementalTest, AssignmentReturnsClusterIndex) {
+  int c0 = resolver_->Add(bundles_[0]);  // entity 0
+  int c1 = resolver_->Add(bundles_[1]);  // entity 1 -> new cluster
+  int c2 = resolver_->Add(bundles_[3]);  // entity 0 again -> joins c0
+  EXPECT_NE(c0, c1);
+  EXPECT_EQ(c2, c0);
+}
+
+TEST_F(IncrementalTest, ResetKeepsCalibration) {
+  resolver_->Add(bundles_[0]);
+  resolver_->Reset();
+  EXPECT_EQ(resolver_->num_documents(), 0);
+  EXPECT_TRUE(resolver_->calibrated());
+  for (const auto& b : bundles_) resolver_->Add(b);
+  EXPECT_EQ(resolver_->CurrentClustering().num_clusters(), 3);
+}
+
+TEST_F(IncrementalTest, MaxLinkageVariantAlsoWorks) {
+  IncrementalOptions options;
+  options.assignment = IncrementalOptions::Assignment::kBestMax;
+  auto created = IncrementalResolver::Create(options);
+  ASSERT_TRUE(created.ok());
+  Rng rng(2);
+  auto pairs = ml::SampleTrainingPairs(12, 0.6, &rng);
+  ASSERT_TRUE(created->CalibrateThreshold(bundles_, labels_, pairs).ok());
+  for (const auto& b : bundles_) created->Add(b);
+  EXPECT_EQ(created->CurrentClustering(),
+            graph::Clustering::FromLabels(labels_));
+}
+
+TEST(IncrementalCreateTest, RejectsUnknownFunctions) {
+  IncrementalOptions bad;
+  bad.function_names = {"F77"};
+  EXPECT_FALSE(IncrementalResolver::Create(bad).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

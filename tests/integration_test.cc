@@ -1,0 +1,157 @@
+// End-to-end integration tests: the paper's headline claims, asserted as
+// quality gates on the full pipeline with fixed seeds. These mirror the
+// benchmark binaries but run fewer repetitions.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/weber.h"
+
+namespace weber {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto www = corpus::SyntheticWebGenerator(corpus::Www05Config()).Generate();
+    ASSERT_TRUE(www.ok()) << www.status();
+    www_ = new corpus::SyntheticData(std::move(www).ValueOrDie());
+
+    runner_ = new core::ExperimentRunner(&www_->dataset, &www_->gazetteer,
+                                         /*num_runs=*/2, /*seed=*/0x17);
+    ASSERT_TRUE(runner_->Prepare().ok());
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+    delete www_;
+    www_ = nullptr;
+  }
+
+  static core::ExperimentResult Run(const std::string& label,
+                                    bool regions,
+                                    core::CombinationStrategy combo =
+                                        core::CombinationStrategy::kBestGraph) {
+    core::ExperimentConfig config;
+    config.label = label;
+    config.options.use_region_criteria = regions;
+    config.options.combination = combo;
+    auto result = runner_->Run(config);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).ValueOrDie();
+  }
+
+  static corpus::SyntheticData* www_;
+  static core::ExperimentRunner* runner_;
+};
+
+corpus::SyntheticData* IntegrationTest::www_ = nullptr;
+core::ExperimentRunner* IntegrationTest::runner_ = nullptr;
+
+TEST_F(IntegrationTest, RegionCriteriaBeatThresholdOnly) {
+  // The paper's central claim (Table II: C10 > I10 on every metric).
+  core::ExperimentResult i10 = Run("I10", /*regions=*/false);
+  core::ExperimentResult c10 = Run("C10", /*regions=*/true);
+  EXPECT_GT(c10.overall.fp_measure, i10.overall.fp_measure);
+  EXPECT_GT(c10.overall.f_measure, i10.overall.f_measure);
+  EXPECT_GT(c10.overall.rand_index, i10.overall.rand_index);
+}
+
+TEST_F(IntegrationTest, AbsoluteQualityIsInThePaperBallpark) {
+  core::ExperimentResult c10 = Run("C10", /*regions=*/true);
+  // Paper: 0.8774 Fp on WWW'05. Different corpus, same regime.
+  EXPECT_GT(c10.overall.fp_measure, 0.80);
+  EXPECT_GT(c10.overall.f_measure, 0.70);
+  core::ExperimentResult i10 = Run("I10", /*regions=*/false);
+  // Paper: 0.8232; ours must at least clear a loose floor.
+  EXPECT_GT(i10.overall.fp_measure, 0.72);
+}
+
+TEST_F(IntegrationTest, WeightedAverageLandsBetweenIAndC) {
+  core::ExperimentResult i10 = Run("I10", /*regions=*/false);
+  core::ExperimentResult c10 = Run("C10", /*regions=*/true);
+  core::ExperimentResult w =
+      Run("W", /*regions=*/true, core::CombinationStrategy::kWeightedAverage);
+  EXPECT_GT(w.overall.fp_measure, i10.overall.fp_measure - 0.02);
+  EXPECT_LT(w.overall.fp_measure, c10.overall.fp_measure + 0.03);
+}
+
+TEST_F(IntegrationTest, CombinedBeatsEveryIndividualFunction) {
+  // Figure 2's headline: the black combined bar tops all ten.
+  core::ExperimentResult combined = Run("combined", /*regions=*/true);
+  for (const std::string& name : core::kSubsetI10) {
+    core::ExperimentConfig config;
+    config.label = name;
+    config.options.function_names = {name};
+    config.options.use_region_criteria = false;
+    auto result = runner_->Run(config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(combined.overall.fp_measure, result->overall.fp_measure)
+        << "combined must beat " << name;
+  }
+}
+
+TEST_F(IntegrationTest, MoreFunctionsDoNotHurt) {
+  // Table II row shape: I4 <= I7 <= I10 (within tolerance), same for C.
+  auto run_subset = [&](const std::string& label,
+                        const std::vector<std::string>& fns, bool regions) {
+    core::ExperimentConfig config;
+    config.label = label;
+    config.options.function_names = fns;
+    config.options.use_region_criteria = regions;
+    auto result = runner_->Run(config);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).ValueOrDie().overall.fp_measure;
+  };
+  double i4 = run_subset("I4", core::kSubsetI4, false);
+  double i10 = run_subset("I10", core::kSubsetI10, false);
+  EXPECT_GT(i10, i4 - 0.02);
+  double c4 = run_subset("C4", core::kSubsetI4, true);
+  double c10 = run_subset("C10", core::kSubsetI10, true);
+  EXPECT_GT(c10, c4 - 0.02);
+}
+
+TEST_F(IntegrationTest, PerNameWinnersRotate) {
+  // Table III's observation: no single function is best for every name.
+  std::vector<core::ExperimentResult> singles;
+  for (const char* name : {"F2", "F5", "F7", "F8"}) {
+    core::ExperimentConfig config;
+    config.label = name;
+    config.options.function_names = {name};
+    config.options.use_region_criteria = false;
+    auto result = runner_->Run(config);
+    ASSERT_TRUE(result.ok());
+    singles.push_back(std::move(result).ValueOrDie());
+  }
+  std::set<size_t> winners;
+  for (size_t block = 0; block < www_->dataset.blocks.size(); ++block) {
+    size_t best = 0;
+    for (size_t f = 1; f < singles.size(); ++f) {
+      if (singles[f].per_block[block].fp_measure >
+          singles[best].per_block[block].fp_measure) {
+        best = f;
+      }
+    }
+    winners.insert(best);
+  }
+  EXPECT_GE(winners.size(), 2u) << "a single function dominated every name";
+}
+
+TEST_F(IntegrationTest, WepsIsHarderThanWww) {
+  auto weps_data =
+      corpus::SyntheticWebGenerator(corpus::WepsConfig()).Generate();
+  ASSERT_TRUE(weps_data.ok());
+  core::ExperimentRunner weps_runner(&weps_data->dataset,
+                                     &weps_data->gazetteer, 1, 0x18);
+  ASSERT_TRUE(weps_runner.Prepare().ok());
+  core::ExperimentConfig c10;
+  c10.label = "C10";
+  auto weps = weps_runner.Run(c10);
+  ASSERT_TRUE(weps.ok());
+  core::ExperimentResult www_c10 = Run("C10", /*regions=*/true);
+  EXPECT_LT(weps->overall.fp_measure, www_c10.overall.fp_measure + 0.02);
+}
+
+}  // namespace
+}  // namespace weber

@@ -1,0 +1,105 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace text {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_graph_ = index_.AddDocument("graph clustering of entity graphs");
+    doc_web_ = index_.AddDocument("web people search on web documents");
+    doc_cook_ = index_.AddDocument("cooking recipes for the oven");
+    ASSERT_TRUE(index_.Finalize().ok());
+  }
+
+  InvertedIndex index_;
+  DocId doc_graph_ = -1;
+  DocId doc_web_ = -1;
+  DocId doc_cook_ = -1;
+};
+
+TEST_F(InvertedIndexTest, CountsDocumentsAndTerms) {
+  EXPECT_EQ(index_.num_documents(), 3);
+  EXPECT_GT(index_.num_terms(), 5);
+}
+
+TEST_F(InvertedIndexTest, SearchRanksTopicalDocumentFirst) {
+  auto hits = index_.Search("entity graph clustering", 3);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].doc, doc_graph_);
+}
+
+TEST_F(InvertedIndexTest, SearchRespectsK) {
+  auto hits = index_.Search("web graph oven", 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(InvertedIndexTest, NoMatchesYieldsEmpty) {
+  auto hits = index_.Search("zebra quantum", 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(InvertedIndexTest, ScoresAreSortedDescending) {
+  auto hits = index_.Search("web graph cooking", 10);
+  ASSERT_TRUE(hits.ok());
+  for (size_t i = 1; i < hits->size(); ++i) {
+    EXPECT_GE((*hits)[i - 1].score, (*hits)[i].score);
+  }
+}
+
+TEST_F(InvertedIndexTest, DocumentFrequency) {
+  // "web" appears (stemmed) in one document... "web" is a stopword in the
+  // default set, so query via a contentful term instead.
+  EXPECT_EQ(index_.DocumentFrequency("graph"), 1);
+  EXPECT_EQ(index_.DocumentFrequency("absent"), 0);
+}
+
+TEST_F(InvertedIndexTest, DocumentVectorsAreNormalized) {
+  for (DocId d = 0; d < index_.num_documents(); ++d) {
+    EXPECT_NEAR(index_.DocumentVector(d).Norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(InvertedIndexErrorsTest, SearchBeforeFinalizeFails) {
+  InvertedIndex index;
+  index.AddDocument("something");
+  auto hits = index.Search("something", 1);
+  EXPECT_EQ(hits.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InvertedIndexErrorsTest, FinalizeEmptyIndexFails) {
+  InvertedIndex index;
+  EXPECT_EQ(index.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InvertedIndexErrorsTest, NonPositiveKIsRejected) {
+  InvertedIndex index;
+  index.AddDocument("something here");
+  ASSERT_TRUE(index.Finalize().ok());
+  EXPECT_EQ(index.Search("something", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InvertedIndexIncrementalTest, AddAfterFinalizeRequiresRefinalize) {
+  InvertedIndex index;
+  index.AddDocument("first document text");
+  ASSERT_TRUE(index.Finalize().ok());
+  index.AddDocument("second document text");
+  // Index dropped back to unfinalized state.
+  EXPECT_EQ(index.Search("document", 5).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(index.Finalize().ok());
+  auto hits = index.Search("document", 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

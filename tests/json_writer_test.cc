@@ -1,0 +1,90 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace weber {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("name").String("cohen");
+  json.Key("fp").Number(0.8774);
+  json.Key("n").Number(100);
+  json.Key("ok").Bool(true);
+  json.Key("missing").Null();
+  json.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"cohen\",\"fp\":0.8774,\"n\":100,\"ok\":true,"
+            "\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("sizes").BeginArray();
+  json.Number(3).Number(2).Number(1);
+  json.EndArray();
+  json.Key("inner").BeginObject();
+  json.Key("x").Number(1);
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(os.str(), "{\"sizes\":[3,2,1],\"inner\":{\"x\":1}}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginArray();
+  json.BeginObject().Key("a").Number(1).EndObject();
+  json.BeginObject().Key("b").Number(2).EndObject();
+  json.EndArray();
+  EXPECT_EQ(os.str(), "[{\"a\":1},{\"b\":2}]");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::Escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("empty_array").BeginArray().EndArray();
+  json.Key("empty_object").BeginObject().EndObject();
+  json.EndObject();
+  EXPECT_EQ(os.str(), "{\"empty_array\":[],\"empty_object\":{}}");
+}
+
+TEST(JsonWriterTest, NumbersAreLocaleIndependentAndPrecise) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginArray();
+  json.Number(0.5);
+  json.Number(-1.25);
+  json.Number(1e-9);
+  json.EndArray();
+  EXPECT_EQ(os.str(), "[0.5,-1.25,1e-09]");
+}
+
+}  // namespace
+}  // namespace weber

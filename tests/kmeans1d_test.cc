@@ -1,0 +1,115 @@
+#include "ml/kmeans1d.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace weber {
+namespace ml {
+namespace {
+
+TEST(NearestCenterTest, PicksClosest) {
+  std::vector<double> centers = {0.1, 0.5, 0.9};
+  EXPECT_EQ(NearestCenter(centers, 0.0), 0);
+  EXPECT_EQ(NearestCenter(centers, 0.12), 0);
+  EXPECT_EQ(NearestCenter(centers, 0.31), 1);
+  EXPECT_EQ(NearestCenter(centers, 0.71), 2);
+  EXPECT_EQ(NearestCenter(centers, 1.0), 2);
+}
+
+TEST(NearestCenterTest, TiesBreakLow) {
+  std::vector<double> centers = {0.2, 0.4};
+  EXPECT_EQ(NearestCenter(centers, 0.3), 0);
+}
+
+TEST(NearestCenterTest, SingleCenter) {
+  EXPECT_EQ(NearestCenter({0.5}, -3.0), 0);
+  EXPECT_EQ(NearestCenter({0.5}, 3.0), 0);
+}
+
+TEST(KMeans1DTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(KMeans1D({}, 2, &rng).ok());
+  EXPECT_FALSE(KMeans1D({1.0}, 0, &rng).ok());
+}
+
+TEST(KMeans1DTest, RecoversWellSeparatedClusters) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(0.1 + rng.UniformDouble(-0.02, 0.02));
+    values.push_back(0.5 + rng.UniformDouble(-0.02, 0.02));
+    values.push_back(0.9 + rng.UniformDouble(-0.02, 0.02));
+  }
+  auto result = KMeans1D(values, 3, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centers.size(), 3u);
+  EXPECT_NEAR(result->centers[0], 0.1, 0.03);
+  EXPECT_NEAR(result->centers[1], 0.5, 0.03);
+  EXPECT_NEAR(result->centers[2], 0.9, 0.03);
+}
+
+TEST(KMeans1DTest, CentersAreAscending) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.UniformDouble());
+  auto result = KMeans1D(values, 8, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::is_sorted(result->centers.begin(), result->centers.end()));
+}
+
+TEST(KMeans1DTest, KCappedAtDistinctValues) {
+  Rng rng(4);
+  std::vector<double> values = {0.2, 0.2, 0.2, 0.8, 0.8};
+  auto result = KMeans1D(values, 10, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centers.size(), 2u);
+  EXPECT_NEAR(result->centers[0], 0.2, 1e-9);
+  EXPECT_NEAR(result->centers[1], 0.8, 1e-9);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans1DTest, AllIdenticalValues) {
+  Rng rng(5);
+  std::vector<double> values(20, 0.5);
+  auto result = KMeans1D(values, 4, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centers.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->centers[0], 0.5);
+}
+
+TEST(KMeans1DTest, KOneGivesMean) {
+  Rng rng(6);
+  std::vector<double> values = {0.0, 0.5, 1.0};
+  auto result = KMeans1D(values, 1, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centers.size(), 1u);
+  EXPECT_NEAR(result->centers[0], 0.5, 1e-9);
+}
+
+TEST(KMeans1DTest, InertiaIsSumOfSquaredResiduals) {
+  Rng rng(7);
+  std::vector<double> values = {0.0, 0.2, 0.8, 1.0};
+  auto result = KMeans1D(values, 2, &rng);
+  ASSERT_TRUE(result.ok());
+  // Optimal: centers {0.1, 0.9}, inertia 4 * 0.01 = 0.04.
+  ASSERT_EQ(result->centers.size(), 2u);
+  EXPECT_NEAR(result->inertia, 0.04, 1e-9);
+}
+
+TEST(KMeans1DTest, MoreClustersNeverIncreaseInertia) {
+  Rng rng(8);
+  std::vector<double> values;
+  for (int i = 0; i < 150; ++i) values.push_back(rng.UniformDouble());
+  double prev = 1e18;
+  for (int k : {1, 2, 4, 8}) {
+    auto result = KMeans1D(values, k, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev + 1e-9) << "k=" << k;
+    prev = result->inertia;
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace weber

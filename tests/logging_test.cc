@@ -1,0 +1,79 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace weber {
+namespace {
+
+/// Captures std::cerr for the lifetime of the object.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_level_ = Logger::level(); }
+  void TearDown() override { Logger::SetLevel(previous_level_); }
+  LogLevel previous_level_;
+};
+
+TEST_F(LoggingTest, DefaultLevelSuppressesInfo) {
+  Logger::SetLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  WEBER_LOG(INFO) << "invisible";
+  WEBER_LOG(DEBUG) << "also invisible";
+  EXPECT_EQ(capture.str(), "");
+}
+
+TEST_F(LoggingTest, WarningAndErrorPassAtDefaultLevel) {
+  Logger::SetLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  WEBER_LOG(WARNING) << "watch out";
+  WEBER_LOG(ERROR) << "boom " << 42;
+  std::string out = capture.str();
+  EXPECT_NE(out.find("watch out"), std::string::npos);
+  EXPECT_NE(out.find("boom 42"), std::string::npos);
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("[E "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LoweringTheLevelEnablesDebug) {
+  Logger::SetLevel(LogLevel::kDebug);
+  CerrCapture capture;
+  WEBER_LOG(DEBUG) << "now visible";
+  EXPECT_NE(capture.str().find("now visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::SetLevel(LogLevel::kOff);
+  CerrCapture capture;
+  WEBER_LOG(ERROR) << "even errors";
+  EXPECT_EQ(capture.str(), "");
+}
+
+TEST_F(LoggingTest, StreamedExpressionsNotEvaluatedWhenSuppressed) {
+  Logger::SetLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  WEBER_LOG(DEBUG) << count();
+  EXPECT_EQ(evaluations, 0);  // short-circuited by the level check
+  CerrCapture capture;
+  WEBER_LOG(ERROR) << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace weber

@@ -1,0 +1,177 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace weber {
+namespace eval {
+namespace {
+
+using graph::Clustering;
+
+TEST(MetricsTest, PerfectPredictionScoresOneEverywhere) {
+  Clustering truth = Clustering::FromLabels({0, 0, 1, 1, 2});
+  auto r = Evaluate(truth, truth);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->precision, 1.0);
+  EXPECT_DOUBLE_EQ(r->recall, 1.0);
+  EXPECT_DOUBLE_EQ(r->f_measure, 1.0);
+  EXPECT_DOUBLE_EQ(r->purity, 1.0);
+  EXPECT_DOUBLE_EQ(r->inverse_purity, 1.0);
+  EXPECT_DOUBLE_EQ(r->fp_measure, 1.0);
+  EXPECT_DOUBLE_EQ(r->rand_index, 1.0);
+  EXPECT_DOUBLE_EQ(r->bcubed_f, 1.0);
+  EXPECT_EQ(r->false_positives, 0);
+  EXPECT_EQ(r->false_negatives, 0);
+}
+
+TEST(MetricsTest, SizeMismatchRejected) {
+  auto r = Evaluate(Clustering::FromLabels({0, 1}),
+                    Clustering::FromLabels({0, 1, 2}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsTest, EmptyRejected) {
+  auto r = Evaluate(Clustering::FromLabels({}), Clustering::FromLabels({}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsTest, AllSingletonsPredictionOnMergedTruth) {
+  // truth: one cluster of 4; prediction: singletons.
+  Clustering truth = Clustering::OneCluster(4);
+  Clustering pred = Clustering::Singletons(4);
+  auto r = Evaluate(truth, pred);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->true_positives, 0);
+  EXPECT_EQ(r->false_negatives, 6);
+  EXPECT_DOUBLE_EQ(r->precision, 1.0);  // vacuous precision
+  EXPECT_DOUBLE_EQ(r->recall, 0.0);
+  EXPECT_DOUBLE_EQ(r->f_measure, 0.0);
+  EXPECT_DOUBLE_EQ(r->purity, 1.0);
+  EXPECT_DOUBLE_EQ(r->inverse_purity, 0.25);
+  EXPECT_NEAR(r->fp_measure, 2 * 1.0 * 0.25 / 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(r->rand_index, 0.0);
+}
+
+TEST(MetricsTest, OneClusterPredictionOnSingletonTruth) {
+  Clustering truth = Clustering::Singletons(4);
+  Clustering pred = Clustering::OneCluster(4);
+  auto r = Evaluate(truth, pred);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->precision, 0.0);
+  EXPECT_DOUBLE_EQ(r->recall, 1.0);  // vacuous recall
+  EXPECT_DOUBLE_EQ(r->purity, 0.25);
+  EXPECT_DOUBLE_EQ(r->inverse_purity, 1.0);
+  EXPECT_DOUBLE_EQ(r->rand_index, 0.0);
+}
+
+TEST(MetricsTest, HandComputedContingencyExample) {
+  // truth:      {0,1,2} {3,4} ; prediction: {0,1} {2,3} {4}
+  Clustering truth = Clustering::FromLabels({0, 0, 0, 1, 1});
+  Clustering pred = Clustering::FromLabels({0, 0, 1, 1, 2});
+  auto r = Evaluate(truth, pred);
+  ASSERT_TRUE(r.ok());
+  // Pairs: total 10. same_truth = 3 + 1 = 4. same_pred = 1 + 1 = 2.
+  // same_both: (0,1) co-clustered in both = 1.
+  EXPECT_EQ(r->true_positives, 1);
+  EXPECT_EQ(r->false_positives, 1);   // (2,3)
+  EXPECT_EQ(r->false_negatives, 3);   // (0,2),(1,2),(3,4)
+  EXPECT_EQ(r->true_negatives, 5);
+  EXPECT_DOUBLE_EQ(r->precision, 0.5);
+  EXPECT_DOUBLE_EQ(r->recall, 0.25);
+  EXPECT_NEAR(r->f_measure, 2 * 0.5 * 0.25 / 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(r->rand_index, 0.6);
+  // purity: best-overlap per predicted cluster: {0,1}->2, {2,3}->1, {4}->1
+  // => 4/5. inverse purity: per truth cluster: {0,1,2}->2, {3,4}->1 => 3/5.
+  EXPECT_DOUBLE_EQ(r->purity, 0.8);
+  EXPECT_DOUBLE_EQ(r->inverse_purity, 0.6);
+  EXPECT_NEAR(r->fp_measure, 2 * 0.8 * 0.6 / 1.4, 1e-12);
+  // B-cubed precision: items 0,1: 2/2; item 2: 1/2; item 3: 1/2; item 4: 1.
+  EXPECT_NEAR(r->bcubed_precision, (1 + 1 + 0.5 + 0.5 + 1) / 5.0, 1e-12);
+  // B-cubed recall: items 0,1: 2/3; item 2: 1/3; item 3: 1/2; item 4: 1/2.
+  EXPECT_NEAR(r->bcubed_recall, (2.0 / 3 + 2.0 / 3 + 1.0 / 3 + 0.5 + 0.5) / 5,
+              1e-12);
+}
+
+TEST(MetricsTest, SingleItemIsPerfect) {
+  auto r = Evaluate(Clustering::FromLabels({0}), Clustering::FromLabels({0}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->rand_index, 1.0);
+  EXPECT_DOUBLE_EQ(r->fp_measure, 1.0);
+}
+
+TEST(MetricsTest, MetricByNameLookup) {
+  MetricReport r;
+  r.fp_measure = 0.1;
+  r.f_measure = 0.2;
+  r.rand_index = 0.3;
+  r.bcubed_f = 0.4;
+  EXPECT_DOUBLE_EQ(MetricByName(r, "Fp"), 0.1);
+  EXPECT_DOUBLE_EQ(MetricByName(r, "F"), 0.2);
+  EXPECT_DOUBLE_EQ(MetricByName(r, "Rand"), 0.3);
+  EXPECT_DOUBLE_EQ(MetricByName(r, "B3F"), 0.4);
+  EXPECT_DOUBLE_EQ(MetricByName(r, "unknown"), 0.0);
+}
+
+TEST(MetricsTest, MeanReportAverages) {
+  MetricReport a, b;
+  a.fp_measure = 0.4;
+  b.fp_measure = 0.8;
+  a.true_positives = 3;
+  b.true_positives = 5;
+  auto mean = MeanReport({a, b});
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean->fp_measure, 0.6);
+  EXPECT_EQ(mean->true_positives, 8);  // counts are summed
+  EXPECT_FALSE(MeanReport({}).ok());
+}
+
+// Property suite: bounds and identities over random clusterings.
+class MetricsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsProperty, BoundsAndConsistency) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = rng.UniformInt(1, 60);
+    std::vector<int> t(n), p(n);
+    for (int i = 0; i < n; ++i) {
+      t[i] = rng.UniformInt(0, 8);
+      p[i] = rng.UniformInt(0, 8);
+    }
+    auto truth = Clustering::FromLabels(t);
+    auto pred = Clustering::FromLabels(p);
+    auto r = Evaluate(truth, pred);
+    ASSERT_TRUE(r.ok());
+    for (double m : {r->precision, r->recall, r->f_measure, r->purity,
+                     r->inverse_purity, r->fp_measure, r->rand_index,
+                     r->bcubed_precision, r->bcubed_recall, r->bcubed_f}) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+    // Pair counts tile the pair universe.
+    EXPECT_EQ(r->true_positives + r->false_positives + r->false_negatives +
+                  r->true_negatives,
+              static_cast<long long>(n) * (n - 1) / 2);
+    // Purity is symmetric to inverse purity under truth<->prediction swap.
+    auto swapped = Evaluate(pred, truth);
+    ASSERT_TRUE(swapped.ok());
+    EXPECT_DOUBLE_EQ(r->purity, swapped->inverse_purity);
+    EXPECT_DOUBLE_EQ(r->inverse_purity, swapped->purity);
+    EXPECT_DOUBLE_EQ(r->fp_measure, swapped->fp_measure);
+    EXPECT_DOUBLE_EQ(r->rand_index, swapped->rand_index);
+    // Fp is the harmonic mean of purity and inverse purity.
+    double hm = (r->purity + r->inverse_purity) > 0
+                    ? 2 * r->purity * r->inverse_purity /
+                          (r->purity + r->inverse_purity)
+                    : 0.0;
+    EXPECT_NEAR(r->fp_measure, hm, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace eval
+}  // namespace weber

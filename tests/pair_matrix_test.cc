@@ -1,0 +1,80 @@
+#include "graph/pair_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.h"
+
+namespace weber {
+namespace graph {
+namespace {
+
+TEST(PairMatrixTest, DiagonalIsImplicit) {
+  SimilarityMatrix m(4, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1), 0.0);  // init value
+}
+
+TEST(PairMatrixTest, SetGetIsSymmetric) {
+  SimilarityMatrix m(5, 0.0, 1.0);
+  m.Set(1, 3, 0.42);
+  EXPECT_DOUBLE_EQ(m.Get(1, 3), 0.42);
+  EXPECT_DOUBLE_EQ(m.Get(3, 1), 0.42);
+  m.Set(4, 0, 0.9);
+  EXPECT_DOUBLE_EQ(m.Get(0, 4), 0.9);
+}
+
+TEST(PairMatrixTest, StorageSizeIsTriangular) {
+  EXPECT_EQ(SimilarityMatrix(0).num_pairs(), 0u);
+  EXPECT_EQ(SimilarityMatrix(1).num_pairs(), 0u);
+  EXPECT_EQ(SimilarityMatrix(2).num_pairs(), 1u);
+  EXPECT_EQ(SimilarityMatrix(10).num_pairs(), 45u);
+}
+
+TEST(PairMatrixTest, IndexIsABijectionOverPairs) {
+  const int n = 17;
+  SimilarityMatrix m(n);
+  std::set<size_t> seen;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      size_t idx = m.Index(i, j);
+      EXPECT_LT(idx, m.num_pairs());
+      EXPECT_TRUE(seen.insert(idx).second) << i << "," << j;
+      EXPECT_EQ(m.Index(j, i), idx);  // unordered
+    }
+  }
+  EXPECT_EQ(seen.size(), m.num_pairs());
+}
+
+TEST(PairMatrixTest, IndexLayoutIsRowMajorUpperTriangle) {
+  SimilarityMatrix m(4);
+  // (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5
+  EXPECT_EQ(m.Index(0, 1), 0u);
+  EXPECT_EQ(m.Index(0, 3), 2u);
+  EXPECT_EQ(m.Index(1, 2), 3u);
+  EXPECT_EQ(m.Index(2, 3), 5u);
+}
+
+TEST(PairMatrixTest, CharSpecialization) {
+  DecisionGraph g(3, 0, 1);
+  EXPECT_EQ(g.Get(1, 1), 1);  // diagonal: a node matches itself
+  EXPECT_EQ(g.Get(0, 1), 0);
+  g.Set(0, 1, 1);
+  EXPECT_EQ(g.Get(1, 0), 1);
+}
+
+TEST(PairMatrixTest, DataGivesDirectPairAccess) {
+  SimilarityMatrix m(3);
+  m.Set(0, 1, 0.1);
+  m.Set(0, 2, 0.2);
+  m.Set(1, 2, 0.3);
+  ASSERT_EQ(m.data().size(), 3u);
+  EXPECT_DOUBLE_EQ(m.data()[m.Index(0, 1)], 0.1);
+  EXPECT_DOUBLE_EQ(m.data()[m.Index(1, 2)], 0.3);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace weber

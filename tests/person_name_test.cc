@@ -1,0 +1,84 @@
+#include "text/person_name.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace text {
+namespace {
+
+TEST(ParsePersonNameTest, FullName) {
+  PersonName n = ParsePersonName("Adam Cohen");
+  EXPECT_EQ(n.first, "adam");
+  EXPECT_EQ(n.last, "cohen");
+  EXPECT_EQ(n.middle, "");
+  EXPECT_FALSE(n.first_is_initial);
+}
+
+TEST(ParsePersonNameTest, InitialForms) {
+  PersonName n = ParsePersonName("a cohen");
+  EXPECT_EQ(n.first, "a");
+  EXPECT_TRUE(n.first_is_initial);
+  PersonName dotted = ParsePersonName("A. Cohen");
+  EXPECT_EQ(dotted.first, "a");
+  EXPECT_TRUE(dotted.first_is_initial);
+}
+
+TEST(ParsePersonNameTest, MiddleNames) {
+  PersonName n = ParsePersonName("william w cohen");
+  EXPECT_EQ(n.first, "william");
+  EXPECT_EQ(n.middle, "w");
+  EXPECT_EQ(n.last, "cohen");
+}
+
+TEST(ParsePersonNameTest, BareLastName) {
+  PersonName n = ParsePersonName("cohen");
+  EXPECT_EQ(n.first, "");
+  EXPECT_EQ(n.last, "cohen");
+  EXPECT_FALSE(n.first_is_initial);
+}
+
+TEST(ParsePersonNameTest, EmptyInput) {
+  EXPECT_EQ(ParsePersonName("").last, "");
+  EXPECT_EQ(ParsePersonName("   ").last, "");
+}
+
+TEST(CompareNamesTest, FullMatrix) {
+  auto cmp = [](const char* a, const char* b) {
+    return CompareNames(ParsePersonName(a), ParsePersonName(b));
+  };
+  EXPECT_EQ(cmp("adam cohen", "adam cohen"), NameCompatibility::kSameName);
+  EXPECT_EQ(cmp("adam cohen", "a cohen"), NameCompatibility::kInitialMatch);
+  EXPECT_EQ(cmp("a cohen", "adam cohen"), NameCompatibility::kInitialMatch);
+  EXPECT_EQ(cmp("a cohen", "a cohen"), NameCompatibility::kInitialMatch);
+  EXPECT_EQ(cmp("adam cohen", "cohen"), NameCompatibility::kLastNameOnly);
+  EXPECT_EQ(cmp("cohen", "cohen"), NameCompatibility::kLastNameOnly);
+  EXPECT_EQ(cmp("adam cohen", "brian cohen"), NameCompatibility::kDifferent);
+  EXPECT_EQ(cmp("b cohen", "adam cohen"), NameCompatibility::kDifferent);
+  EXPECT_EQ(cmp("adam cohen", "adam ng"), NameCompatibility::kDifferent);
+  EXPECT_EQ(cmp("", "cohen"), NameCompatibility::kDifferent);
+}
+
+TEST(NameCompatibilitySimilarityTest, ScoresOrdered) {
+  double same = NameCompatibilitySimilarity("adam cohen", "adam cohen");
+  double initial = NameCompatibilitySimilarity("adam cohen", "a cohen");
+  double bare = NameCompatibilitySimilarity("adam cohen", "cohen");
+  double contra = NameCompatibilitySimilarity("adam cohen", "brian cohen");
+  double different = NameCompatibilitySimilarity("adam cohen", "adam ng");
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_GT(same, initial);
+  EXPECT_GT(initial, bare);
+  EXPECT_GT(bare, contra);
+  EXPECT_GT(contra, different);
+  EXPECT_DOUBLE_EQ(different, 0.0);
+}
+
+TEST(NameCompatibilitySimilarityTest, BeatsStringSimilarityOnContradiction) {
+  // The whole point: "adam cohen" vs "brian cohen" are *different people*
+  // (0.05 here), even though plain edit/Jaro similarity of the strings is
+  // high. Structured comparison encodes that.
+  EXPECT_LT(NameCompatibilitySimilarity("adam cohen", "brian cohen"), 0.1);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,66 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace text {
+namespace {
+
+TEST(SoundexTest, CanonicalExamples) {
+  // The classic reference set.
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // h does not separate s and c
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, PaddingAndCase) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("lee"), "L000");
+  EXPECT_EQ(Soundex("A"), "A000");
+}
+
+TEST(SoundexTest, NonAlphabeticHandling) {
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBrien"));
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, MisspellingsCollide) {
+  EXPECT_EQ(Soundex("kaelbling"), Soundex("kelbling"));
+  EXPECT_EQ(Soundex("pereira"), Soundex("perreira"));
+  EXPECT_EQ(Soundex("mccallum"), Soundex("macallum"));
+}
+
+TEST(RefinedSoundexTest, FinerThanSoundex) {
+  // c/k/s vs d/t separate in the refined classes where plain Soundex
+  // collapses them to one digit-class pattern.
+  EXPECT_NE(RefinedSoundex("robert"), RefinedSoundex("ronald"));
+  EXPECT_EQ(RefinedSoundex(""), "");
+  EXPECT_EQ(RefinedSoundex("braz"), RefinedSoundex("broz"));
+  // b and p share a refined class: robert/rupert collide in both schemes.
+  EXPECT_EQ(RefinedSoundex("robert"), RefinedSoundex("rupert"));
+}
+
+TEST(SoundexSimilarityTest, BinaryOutcome) {
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "rupert"), 1.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("robert", "cohen"), 0.0);
+  EXPECT_DOUBLE_EQ(SoundexSimilarity("", "cohen"), 0.0);
+}
+
+TEST(PhoneticNameSimilarityTest, Scores) {
+  EXPECT_DOUBLE_EQ(PhoneticNameSimilarity("adam kaelbling", "adam kelbling"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(PhoneticNameSimilarity("kaelbling", "adam kelbling"), 0.7);
+  EXPECT_DOUBLE_EQ(PhoneticNameSimilarity("brian kaelbling", "adam kelbling"),
+                   0.2);
+  EXPECT_DOUBLE_EQ(PhoneticNameSimilarity("adam cohen", "adam ng"), 0.0);
+  EXPECT_DOUBLE_EQ(PhoneticNameSimilarity("", "adam ng"), 0.0);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,235 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace weber {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234), b(1234);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, UniformDoubleStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit in 1000 draws
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(17);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndFavorsLowRanks) {
+  Rng rng(31);
+  const int n = 20;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    int r = rng.Zipf(n, 1.1);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, n);
+    counts[r] += 1;
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[n - 1] * 3);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(37);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Zipf(1, 1.0), 0);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambda) {
+  Rng rng(41);
+  for (double lambda : {0.5, 3.0, 20.0, 80.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(43);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, CategoricalHonorsWeights) {
+  Rng rng(47);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    int pick = rng.Categorical(weights);
+    ASSERT_GE(pick, 0);
+    ASSERT_LT(pick, 3);
+    counts[pick] += 1;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, CategoricalDegenerateInputs) {
+  Rng rng(53);
+  EXPECT_EQ(rng.Categorical({}), -1);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0}), -1);
+  EXPECT_EQ(rng.Categorical({0.0, 5.0, 0.0}), 1);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleHandlesEmptyAndSingle) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(67);
+  std::vector<int> sample = rng.SampleWithoutReplacement(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullAndEmpty) {
+  Rng rng(71);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  auto all = rng.SampleWithoutReplacement(10, 10);
+  std::sort(all.begin(), all.end());
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng parent(101);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+// Property sweep: distribution outputs stay in their documented ranges for
+// many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, AllDistributionsRespectRanges) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+    double d = rng.UniformDouble(2.0, 5.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 5.0);
+    int z = rng.Zipf(9, 1.3);
+    EXPECT_GE(z, 0);
+    EXPECT_LT(z, 9);
+    EXPECT_GE(rng.Poisson(2.5), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 0xDEADBEEF, 0xFFFFFFFFull,
+                                           42, 1000003));
+
+}  // namespace
+}  // namespace weber

@@ -1,0 +1,111 @@
+#include "corpus/resolution_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace weber {
+namespace corpus {
+namespace {
+
+BlockResolutionRecord MakeRecord() {
+  BlockResolutionRecord r;
+  r.query = "cohen";
+  r.document_ids = {"cohen/0", "cohen/1", "cohen/2"};
+  r.clustering = graph::Clustering::FromLabels({0, 1, 0});
+  return r;
+}
+
+TEST(ResolutionIoTest, RoundTrip) {
+  std::stringstream ss;
+  ASSERT_TRUE(SaveResolutions({MakeRecord()}, ss).ok());
+  auto loaded = LoadResolutions(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].query, "cohen");
+  EXPECT_EQ((*loaded)[0].document_ids,
+            (std::vector<std::string>{"cohen/0", "cohen/1", "cohen/2"}));
+  EXPECT_EQ((*loaded)[0].clustering, graph::Clustering::FromLabels({0, 1, 0}));
+}
+
+TEST(ResolutionIoTest, MultipleBlocks) {
+  BlockResolutionRecord a = MakeRecord();
+  BlockResolutionRecord b = MakeRecord();
+  b.query = "ng";
+  b.document_ids = {"ng/0"};
+  b.clustering = graph::Clustering::Singletons(1);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveResolutions({a, b}, ss).ok());
+  auto loaded = LoadResolutions(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].query, "ng");
+}
+
+TEST(ResolutionIoTest, SaveRejectsInconsistentRecord) {
+  BlockResolutionRecord r = MakeRecord();
+  r.document_ids.pop_back();
+  std::stringstream ss;
+  EXPECT_EQ(SaveResolutions({r}, ss).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResolutionIoTest, LoadRejectsMalformedInput) {
+  {
+    std::stringstream ss("garbage\n");
+    EXPECT_EQ(LoadResolutions(ss).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream ss("#resolution cohen 2\ncohen/0\t0\n");
+    EXPECT_EQ(LoadResolutions(ss).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream ss("#resolution cohen 1\nno-tab-here\n");
+    EXPECT_EQ(LoadResolutions(ss).status().code(), StatusCode::kCorruption);
+  }
+  {
+    std::stringstream ss("#resolution cohen 1\ncohen/0\tnotanint\n");
+    EXPECT_EQ(LoadResolutions(ss).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(AlignResolutionTest, ReordersById) {
+  Block block;
+  block.query = "cohen";
+  block.documents = {{"cohen/2", "u", "t"}, {"cohen/0", "u", "t"},
+                     {"cohen/1", "u", "t"}};
+  block.entity_labels = {0, 0, 1};
+  // Record lists documents in a different order.
+  BlockResolutionRecord record = MakeRecord();  // ids 0,1,2; labels 0,1,0
+  auto aligned = AlignResolution(block, record);
+  ASSERT_TRUE(aligned.ok()) << aligned.status();
+  // block order is (2, 0, 1) -> labels (0, 0, 1) under record {0:0,1:1,2:0}.
+  EXPECT_EQ(*aligned, graph::Clustering::FromLabels({0, 0, 1}));
+}
+
+TEST(AlignResolutionTest, RejectsMismatches) {
+  Block block;
+  block.query = "cohen";
+  block.documents = {{"cohen/0", "u", "t"}, {"cohen/9", "u", "t"},
+                     {"cohen/2", "u", "t"}};
+  block.entity_labels = {0, 1, 2};
+  EXPECT_FALSE(AlignResolution(block, MakeRecord()).ok());  // missing cohen/9
+
+  Block short_block;
+  short_block.query = "cohen";
+  short_block.documents = {{"cohen/0", "u", "t"}};
+  short_block.entity_labels = {0};
+  EXPECT_FALSE(AlignResolution(short_block, MakeRecord()).ok());
+
+  BlockResolutionRecord dup = MakeRecord();
+  dup.document_ids[1] = "cohen/0";  // duplicate id
+  Block block2;
+  block2.query = "cohen";
+  block2.documents = {{"cohen/0", "u", "t"}, {"cohen/1", "u", "t"},
+                      {"cohen/2", "u", "t"}};
+  block2.entity_labels = {0, 1, 2};
+  EXPECT_FALSE(AlignResolution(block2, dup).ok());
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace weber

@@ -1,0 +1,211 @@
+#include "core/resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "eval/metrics.h"
+#include "ml/splitter.h"
+
+namespace weber {
+namespace core {
+namespace {
+
+/// Shared tiny corpus for resolver tests.
+class ResolverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result =
+        corpus::SyntheticWebGenerator(corpus::TinyConfig(0x1234)).Generate();
+    ASSERT_TRUE(result.ok()) << result.status();
+    data_ = new corpus::SyntheticData(std::move(result).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static corpus::SyntheticData* data_;
+};
+
+corpus::SyntheticData* ResolverTest::data_ = nullptr;
+
+TEST_F(ResolverTest, CreateValidatesArguments) {
+  EXPECT_FALSE(EntityResolver::Create(nullptr, {}).ok());
+
+  ResolverOptions bad_fraction;
+  bad_fraction.train_fraction = 0.0;
+  EXPECT_FALSE(EntityResolver::Create(&data_->gazetteer, bad_fraction).ok());
+
+  ResolverOptions bad_fn;
+  bad_fn.function_names = {"F1", "nope"};
+  EXPECT_EQ(EntityResolver::Create(&data_->gazetteer, bad_fn).status().code(),
+            StatusCode::kNotFound);
+
+  ResolverOptions none;
+  none.function_names = {};
+  EXPECT_FALSE(EntityResolver::Create(&data_->gazetteer, none).ok());
+}
+
+TEST_F(ResolverTest, ResolveBlockProducesFullClustering) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(1);
+  const corpus::Block& block = data_->dataset.blocks[0];
+  auto r = resolver->ResolveBlock(block, &rng);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->clustering.num_items(), block.num_documents());
+  EXPECT_GE(r->clustering.num_clusters(), 1);
+  EXPECT_FALSE(r->chosen_source.empty());
+  EXPECT_FALSE(r->training_pairs.empty());
+  // 10 functions x 3 criteria.
+  EXPECT_EQ(r->sources.size(), 30u);
+}
+
+TEST_F(ResolverTest, ThresholdOnlyModeHasOneCriterionPerFunction) {
+  ResolverOptions options;
+  options.use_region_criteria = false;
+  options.function_names = kSubsetI4;
+  auto resolver = EntityResolver::Create(&data_->gazetteer, options);
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(2);
+  auto r = resolver->ResolveBlock(data_->dataset.blocks[0], &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sources.size(), 4u);
+  for (const auto& s : r->sources) {
+    EXPECT_EQ(s.criterion_name, "threshold");
+  }
+}
+
+TEST_F(ResolverTest, EmptyBlockRejected) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(3);
+  corpus::Block empty;
+  empty.query = "nobody";
+  EXPECT_EQ(resolver->ResolveBlock(empty, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResolverTest, LabelMismatchRejected) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(4);
+  corpus::Block broken = data_->dataset.blocks[0];
+  broken.entity_labels.pop_back();
+  EXPECT_EQ(resolver->ResolveBlock(broken, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ResolverTest, BadTrainingPairsRejected) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(5);
+  std::vector<extract::FeatureBundle> bundles(3);
+  std::vector<int> labels = {0, 0, 1};
+  EXPECT_FALSE(
+      resolver->ResolveExtracted(bundles, labels, {{0, 3}}, &rng).ok());
+  EXPECT_FALSE(
+      resolver->ResolveExtracted(bundles, labels, {{1, 1}}, &rng).ok());
+  EXPECT_FALSE(
+      resolver->ResolveExtracted(bundles, labels, {{-1, 2}}, &rng).ok());
+}
+
+TEST_F(ResolverTest, SingleDocumentBlockIsTrivial) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(6);
+  corpus::Block tiny;
+  tiny.query = "cohen";
+  tiny.documents.push_back(data_->dataset.blocks[0].documents[0]);
+  tiny.entity_labels = {0};
+  auto r = resolver->ResolveBlock(tiny, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->clustering.num_items(), 1);
+  EXPECT_EQ(r->clustering.num_clusters(), 1);
+}
+
+TEST_F(ResolverTest, DeterministicGivenSameSeed) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng_a(7), rng_b(7);
+  auto a = resolver->ResolveBlock(data_->dataset.blocks[1], &rng_a);
+  auto b = resolver->ResolveBlock(data_->dataset.blocks[1], &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->clustering, b->clustering);
+  EXPECT_EQ(a->chosen_source, b->chosen_source);
+}
+
+TEST_F(ResolverTest, PlantedSeparableBlockIsResolvedPerfectly) {
+  // Hand-built bundles where F8 separates the two entities perfectly; any
+  // sane configuration must recover the ground truth.
+  using text::SparseVector;
+  std::vector<extract::FeatureBundle> bundles(8);
+  std::vector<int> labels(8);
+  for (int i = 0; i < 8; ++i) {
+    labels[i] = i < 4 ? 0 : 1;
+    // Entity 0 lives on terms {0,1}; entity 1 on terms {5,6}.
+    int base = labels[i] == 0 ? 0 : 5;
+    bundles[i].tfidf =
+        SparseVector::FromPairs({{base, 0.8}, {base + 1, 0.6}});
+    bundles[i].tfidf_dimension = 10;
+    bundles[i].most_frequent_name = labels[i] == 0 ? "alice x" : "bob x";
+    bundles[i].closest_name = bundles[i].most_frequent_name;
+    bundles[i].url = labels[i] == 0 ? "http://a.edu/x/p.html"
+                                    : "http://b.edu/x/p.html";
+  }
+  ResolverOptions options;
+  options.function_names = {"F3", "F8"};
+  auto resolver = EntityResolver::Create(&data_->gazetteer, options);
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(8);
+  auto pairs = ml::SampleTrainingPairs(8, 0.5, &rng);
+  auto r = resolver->ResolveExtracted(bundles, labels, pairs, &rng);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->clustering, graph::Clustering::FromLabels(labels));
+}
+
+TEST_F(ResolverTest, CorrelationClusteringPathWorks) {
+  ResolverOptions options;
+  options.clustering = ClusteringAlgorithm::kCorrelationClustering;
+  options.combination = CombinationStrategy::kWeightedAverage;
+  auto resolver = EntityResolver::Create(&data_->gazetteer, options);
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(9);
+  auto r = resolver->ResolveBlock(data_->dataset.blocks[0], &rng);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->clustering.num_items(),
+            data_->dataset.blocks[0].num_documents());
+}
+
+TEST_F(ResolverTest, SourceDiagnosticsAreConsistent) {
+  auto resolver = EntityResolver::Create(&data_->gazetteer, {});
+  ASSERT_TRUE(resolver.ok());
+  Rng rng(10);
+  auto r = resolver->ResolveBlock(data_->dataset.blocks[2], &rng);
+  ASSERT_TRUE(r.ok());
+  for (const auto& s : r->sources) {
+    EXPECT_GE(s.train_accuracy, 0.0);
+    EXPECT_LE(s.train_accuracy, 1.0);
+    EXPECT_GE(s.num_edges, 0);
+  }
+  // The chosen source must be one of the reported sources.
+  bool found = false;
+  for (const auto& s : r->sources) {
+    if (s.function_name + "/" + s.criterion_name == r->chosen_source) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClusteringAlgorithmNamesTest, Stable) {
+  EXPECT_EQ(ClusteringAlgorithmToString(ClusteringAlgorithm::kTransitiveClosure),
+            "transitive-closure");
+  EXPECT_EQ(
+      ClusteringAlgorithmToString(ClusteringAlgorithm::kCorrelationClustering),
+      "correlation-clustering");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,183 @@
+// Fuzz-style robustness tests: random and adversarial bytes through every
+// parsing/processing entry point. Nothing may crash; failures must arrive
+// as Status, and outputs must respect their documented invariants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/random.h"
+#include "corpus/dataset_io.h"
+#include "corpus/resolution_io.h"
+#include "extract/feature_extractor.h"
+#include "extract/url.h"
+#include "text/analyzer.h"
+#include "text/person_name.h"
+#include "text/phonetic.h"
+#include "text/string_similarity.h"
+#include "text/tokenizer.h"
+
+namespace weber {
+namespace {
+
+std::string RandomBytes(Rng* rng, int max_len) {
+  int len = rng->UniformInt(0, max_len);
+  std::string s;
+  s.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    s += static_cast<char>(rng->UniformInt(1, 255));  // no NULs in text APIs
+  }
+  return s;
+}
+
+std::string RandomAsciiish(Rng* rng, int max_len) {
+  int len = rng->UniformInt(0, max_len);
+  std::string s;
+  const char* alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .,;:-'\"\n\t#@/\\()[]{}";
+  for (int i = 0; i < len; ++i) {
+    s += alphabet[rng->UniformUint64(58)];
+  }
+  return s;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobustnessTest, TextPipelineNeverMisbehaves) {
+  Rng rng(GetParam());
+  text::Tokenizer tokenizer;
+  text::Analyzer analyzer;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes =
+        trial % 2 == 0 ? RandomBytes(&rng, 400) : RandomAsciiish(&rng, 400);
+    for (const std::string& token : tokenizer.Tokenize(bytes)) {
+      EXPECT_FALSE(token.empty());
+      EXPECT_LE(token.size(), 64u);
+    }
+    for (const std::string& term : analyzer.Analyze(bytes)) {
+      EXPECT_GE(term.size(), 2u);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, StringMeasuresStayBoundedOnGarbage) {
+  Rng rng(GetParam() ^ 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a = RandomBytes(&rng, 60);
+    std::string b = RandomBytes(&rng, 60);
+    for (double v :
+         {text::LevenshteinSimilarity(a, b), text::JaroSimilarity(a, b),
+          text::JaroWinklerSimilarity(a, b), text::NgramSimilarity(a, b),
+          text::LongestCommonSubstringRatio(a, b),
+          text::NameCompatibilitySimilarity(a, b),
+          text::PhoneticNameSimilarity(a, b)}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    std::string sx = text::Soundex(a);
+    EXPECT_TRUE(sx.empty() || sx.size() == 4u);
+  }
+}
+
+TEST_P(RobustnessTest, UrlParserNeverCrashes) {
+  Rng rng(GetParam() ^ 2);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string url = RandomAsciiish(&rng, 80);
+    auto parsed = extract::ParseUrl(url);
+    if (parsed.ok()) {
+      EXPECT_FALSE(parsed->host.empty());
+      EXPECT_FALSE(parsed->path.empty());
+    }
+    double sim = extract::UrlSimilarity(url, RandomAsciiish(&rng, 80));
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST_P(RobustnessTest, DatasetLoaderRejectsGarbageGracefully) {
+  Rng rng(GetParam() ^ 3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::stringstream ss(RandomAsciiish(&rng, 500));
+    auto loaded = corpus::LoadDataset(ss);
+    // Either a parse error or an (unlikely) valid tiny dataset; never UB.
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, DatasetLoaderSurvivesMutatedValidInput) {
+  Rng rng(GetParam() ^ 4);
+  // Start from a valid serialization and corrupt single bytes.
+  corpus::Dataset dataset;
+  dataset.name = "mutate";
+  corpus::Block block;
+  block.query = "q";
+  block.documents.push_back({"q/0", "http://x.com", "some text\nmore text"});
+  block.documents.push_back({"q/1", "http://y.com", "other"});
+  block.entity_labels = {0, 1};
+  dataset.blocks.push_back(block);
+  std::stringstream base;
+  ASSERT_TRUE(corpus::SaveDataset(dataset, base).ok());
+  const std::string original = base.str();
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = original;
+    int pos = rng.UniformInt(0, static_cast<int>(mutated.size()) - 1);
+    mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    std::stringstream ss(mutated);
+    auto loaded = corpus::LoadDataset(ss);  // must not crash
+    if (loaded.ok()) {
+      EXPECT_LE(loaded->num_blocks(), 2);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, ResolutionLoaderSurvivesGarbage) {
+  Rng rng(GetParam() ^ 5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::stringstream ss(RandomAsciiish(&rng, 300));
+    auto loaded = corpus::LoadResolutions(ss);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, FeatureExtractionOnGarbagePages) {
+  Rng rng(GetParam() ^ 6);
+  extract::Gazetteer gazetteer;
+  gazetteer.Add("alice cohen", extract::EntityType::kPerson);
+  gazetteer.Add("acme corp", extract::EntityType::kOrganization);
+  gazetteer.Add("entity resolution", extract::EntityType::kConcept, 1.5);
+  gazetteer.Build();
+  extract::FeatureExtractor extractor(&gazetteer, {});
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<extract::PageInput> pages;
+    int n = rng.UniformInt(1, 5);
+    for (int i = 0; i < n; ++i) {
+      pages.push_back({RandomAsciiish(&rng, 40), RandomBytes(&rng, 300)});
+    }
+    auto bundles = extractor.ExtractBlock(pages, "cohen");
+    ASSERT_TRUE(bundles.ok()) << bundles.status();
+    for (const auto& fb : *bundles) {
+      EXPECT_GE(fb.informativeness, 0.0);
+      EXPECT_LE(fb.informativeness, 1.0);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, PersonNameParserOnGarbage) {
+  Rng rng(GetParam() ^ 7);
+  for (int trial = 0; trial < 300; ++trial) {
+    text::PersonName name = text::ParsePersonName(RandomBytes(&rng, 50));
+    if (!name.first.empty()) EXPECT_FALSE(name.last.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         ::testing::Values(0xF1, 0xF2, 0xF3));
+
+}  // namespace
+}  // namespace weber

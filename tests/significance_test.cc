@@ -1,0 +1,61 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace eval {
+namespace {
+
+TEST(PairedBootstrapTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedBootstrap({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({1.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({}, {}).ok());
+}
+
+TEST(PairedBootstrapTest, ClearImprovementIsSignificant) {
+  // a beats b on every block by a consistent margin.
+  std::vector<double> a = {0.85, 0.88, 0.90, 0.86, 0.83, 0.87, 0.89, 0.84};
+  std::vector<double> b = {0.80, 0.81, 0.84, 0.79, 0.78, 0.83, 0.82, 0.80};
+  auto r = PairedBootstrap(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->mean_difference, 0.05625, 1e-9);
+  EXPECT_LT(r->p_value, 0.01);
+  EXPECT_GT(r->ci_low, 0.0);
+  EXPECT_LT(r->ci_low, r->ci_high);
+}
+
+TEST(PairedBootstrapTest, NoDifferenceIsNotSignificant) {
+  std::vector<double> a = {0.8, 0.7, 0.9, 0.6, 0.75, 0.85};
+  std::vector<double> b = {0.7, 0.8, 0.6, 0.9, 0.85, 0.75};  // permuted
+  auto r = PairedBootstrap(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->mean_difference, 0.0, 1e-9);
+  EXPECT_GT(r->p_value, 0.10);
+  EXPECT_LE(r->ci_low, 0.0);
+  EXPECT_GE(r->ci_high, 0.0);
+}
+
+TEST(PairedBootstrapTest, ConsistentDegradationHasHighPValue) {
+  std::vector<double> a = {0.70, 0.71, 0.69, 0.72};
+  std::vector<double> b = {0.80, 0.81, 0.79, 0.82};
+  auto r = PairedBootstrap(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->mean_difference, 0.0);
+  EXPECT_GT(r->p_value, 0.99);
+}
+
+TEST(PairedBootstrapTest, DeterministicForFixedSeed) {
+  std::vector<double> a = {0.8, 0.85, 0.9, 0.7};
+  std::vector<double> b = {0.78, 0.84, 0.86, 0.72};
+  BootstrapOptions options;
+  options.seed = 7;
+  auto r1 = PairedBootstrap(a, b, options);
+  auto r2 = PairedBootstrap(a, b, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->p_value, r2->p_value);
+  EXPECT_DOUBLE_EQ(r1->ci_low, r2->ci_low);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace weber

@@ -1,0 +1,175 @@
+#include "core/similarity_function.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace core {
+namespace {
+
+using extract::FeatureBundle;
+using text::SparseVector;
+
+FeatureBundle MakeBundle() {
+  FeatureBundle fb;
+  fb.url = "http://www.velonar.edu/cohen/a.html";
+  fb.most_frequent_name = "alice cohen";
+  fb.closest_name = "alice cohen";
+  fb.weighted_concepts = SparseVector::FromPairs({{0, 2.0}, {1, 1.0}});
+  fb.concepts = SparseVector::FromPairs({{0, 1.0}, {1, 1.0}});
+  fb.organizations = SparseVector::FromPairs({{10, 1.0}});
+  fb.other_persons = SparseVector::FromPairs({{20, 1.0}, {21, 1.0}});
+  fb.tfidf = SparseVector::FromPairs({{0, 0.6}, {1, 0.8}});
+  fb.tfidf_dimension = 50;
+  return fb;
+}
+
+class StandardFunctionsTest : public ::testing::Test {
+ protected:
+  std::vector<std::unique_ptr<SimilarityFunction>> fns_ =
+      MakeStandardFunctions();
+
+  const SimilarityFunction& Fn(const std::string& name) {
+    for (const auto& f : fns_) {
+      if (f->name() == name) return *f;
+    }
+    ADD_FAILURE() << "missing " << name;
+    return *fns_.front();
+  }
+};
+
+TEST_F(StandardFunctionsTest, TenFunctionsInOrder) {
+  ASSERT_EQ(fns_.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fns_[i]->name(), "F" + std::to_string(i + 1));
+    EXPECT_FALSE(fns_[i]->description().empty());
+  }
+}
+
+TEST_F(StandardFunctionsTest, SelfSimilarityIsMaximal) {
+  FeatureBundle fb = MakeBundle();
+  // Self-similarity is 1 for every function except the saturating-overlap
+  // ones (F4, F5, F6), which approach 1 from below.
+  EXPECT_NEAR(Fn("F1").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_NEAR(Fn("F2").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_NEAR(Fn("F3").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_NEAR(Fn("F7").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_NEAR(Fn("F8").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_NEAR(Fn("F9").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_NEAR(Fn("F10").Compute(fb, fb), 1.0, 1e-9);
+  EXPECT_GT(Fn("F4").Compute(fb, fb), 0.4);
+  EXPECT_GT(Fn("F5").Compute(fb, fb), 0.3);
+  EXPECT_GT(Fn("F6").Compute(fb, fb), 0.5);
+}
+
+TEST_F(StandardFunctionsTest, AllFunctionsSymmetricAndBounded) {
+  FeatureBundle a = MakeBundle();
+  FeatureBundle b = MakeBundle();
+  b.url = "http://hostral.com/x/b.html";
+  b.most_frequent_name = "bob cohen";
+  b.closest_name = "b cohen";
+  b.weighted_concepts = SparseVector::FromPairs({{1, 0.5}, {2, 2.0}});
+  b.concepts = SparseVector::FromPairs({{1, 1.0}, {2, 1.0}});
+  b.organizations = SparseVector::FromPairs({{10, 1.0}, {11, 1.0}});
+  b.other_persons = SparseVector::FromPairs({{21, 1.0}});
+  b.tfidf = SparseVector::FromPairs({{1, 1.0}});
+  b.tfidf_dimension = 50;
+  for (const auto& fn : fns_) {
+    double ab = fn->Compute(a, b);
+    double ba = fn->Compute(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba) << fn->name();
+    EXPECT_GE(ab, 0.0) << fn->name();
+    EXPECT_LE(ab, 1.0) << fn->name();
+  }
+}
+
+TEST_F(StandardFunctionsTest, EmptyBundlesAreSafe) {
+  FeatureBundle empty;
+  FeatureBundle full = MakeBundle();
+  for (const auto& fn : fns_) {
+    double v1 = fn->Compute(empty, empty);
+    double v2 = fn->Compute(empty, full);
+    EXPECT_GE(v1, 0.0) << fn->name();
+    EXPECT_LE(v1, 1.0) << fn->name();
+    EXPECT_GE(v2, 0.0) << fn->name();
+    EXPECT_LE(v2, 1.0) << fn->name();
+  }
+}
+
+TEST_F(StandardFunctionsTest, F3AndF7EmptyNamesScoreZero) {
+  FeatureBundle named = MakeBundle();
+  FeatureBundle unnamed = MakeBundle();
+  unnamed.most_frequent_name.clear();
+  unnamed.closest_name.clear();
+  EXPECT_DOUBLE_EQ(Fn("F3").Compute(named, unnamed), 0.0);
+  EXPECT_DOUBLE_EQ(Fn("F7").Compute(named, unnamed), 0.0);
+}
+
+TEST_F(StandardFunctionsTest, F2DistinguishesUrlTiers) {
+  FeatureBundle same_host = MakeBundle();
+  FeatureBundle same_domain = MakeBundle();
+  same_domain.url = "http://people.velonar.edu/cohen/b.html";
+  FeatureBundle other = MakeBundle();
+  other.url = "http://unrelated.org/z.html";
+  FeatureBundle base = MakeBundle();
+  EXPECT_GT(Fn("F2").Compute(base, same_host),
+            Fn("F2").Compute(base, same_domain));
+  EXPECT_GT(Fn("F2").Compute(base, same_domain),
+            Fn("F2").Compute(base, other));
+}
+
+TEST_F(StandardFunctionsTest, F4CountsConceptOverlapNotWeights) {
+  FeatureBundle a = MakeBundle();
+  FeatureBundle b = MakeBundle();
+  // Same incidence, wildly different weights: F4 identical, F1 differs.
+  b.weighted_concepts = SparseVector::FromPairs({{0, 100.0}, {1, 0.01}});
+  EXPECT_DOUBLE_EQ(Fn("F4").Compute(a, b), Fn("F4").Compute(a, a));
+  EXPECT_LT(Fn("F1").Compute(a, b), Fn("F1").Compute(a, a));
+}
+
+TEST_F(StandardFunctionsTest, F9UsesAmbientDimension) {
+  FeatureBundle a = MakeBundle();
+  FeatureBundle b = MakeBundle();
+  b.tfidf = SparseVector::FromPairs({{2, 1.0}});
+  // Disjoint vectors: with a large ambient dimension both look like rare
+  // spikes, so correlation is near zero -> rescaled near 0.5.
+  double sim = Fn("F9").Compute(a, b);
+  EXPECT_GT(sim, 0.3);
+  EXPECT_LT(sim, 0.55);
+}
+
+TEST(ComputeSimilarityMatrixTest, FillsAllPairs) {
+  auto fns = MakeStandardFunctions();
+  std::vector<FeatureBundle> bundles(3, MakeBundle());
+  bundles[2].most_frequent_name = "someone else";
+  graph::SimilarityMatrix m = ComputeSimilarityMatrix(*fns[2], bundles);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_NEAR(m.Get(0, 1), 1.0, 1e-9);  // identical bundles
+  EXPECT_LT(m.Get(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 1), 1.0);  // diagonal
+}
+
+TEST(MakeFunctionsTest, SelectsByName) {
+  auto fns = MakeFunctions({"F3", "F7"});
+  ASSERT_TRUE(fns.ok());
+  ASSERT_EQ(fns->size(), 2u);
+  EXPECT_EQ((*fns)[0]->name(), "F3");
+  EXPECT_EQ((*fns)[1]->name(), "F7");
+}
+
+TEST(MakeFunctionsTest, UnknownNameIsNotFound) {
+  EXPECT_EQ(MakeFunctions({"F3", "F99"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MakeFunctionsTest, PaperSubsets) {
+  EXPECT_EQ(kSubsetI4, (std::vector<std::string>{"F4", "F5", "F7", "F9"}));
+  EXPECT_EQ(kSubsetI7.size(), 7u);
+  EXPECT_EQ(kSubsetI10.size(), 10u);
+  ASSERT_TRUE(MakeFunctions(kSubsetI4).ok());
+  ASSERT_TRUE(MakeFunctions(kSubsetI7).ok());
+  ASSERT_TRUE(MakeFunctions(kSubsetI10).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,139 @@
+#include "text/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace weber {
+namespace text {
+namespace {
+
+TEST(SparseVectorTest, FromPairsSortsAndMergesDuplicates) {
+  SparseVector v = SparseVector::FromPairs({{5, 1.0}, {2, 2.0}, {5, 3.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].id, 2);
+  EXPECT_DOUBLE_EQ(v.entries()[0].weight, 2.0);
+  EXPECT_EQ(v.entries()[1].id, 5);
+  EXPECT_DOUBLE_EQ(v.entries()[1].weight, 4.0);
+}
+
+TEST(SparseVectorTest, FromCountsCountsOccurrences) {
+  SparseVector v = SparseVector::FromCounts({3, 1, 3, 3, 1});
+  EXPECT_DOUBLE_EQ(v.GetWeight(1), 2.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(3), 3.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(2), 0.0);
+}
+
+TEST(SparseVectorTest, FromMapMatchesFromPairs) {
+  std::unordered_map<TermId, double> m = {{1, 0.5}, {9, 2.5}};
+  SparseVector a = SparseVector::FromMap(m);
+  SparseVector b = SparseVector::FromPairs({{9, 2.5}, {1, 0.5}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(SparseVectorTest, EmptyVectorBasics) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.Norm(), 0.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(v.Dot(v), 0.0);
+  EXPECT_EQ(v.OverlapCount(v), 0);
+  EXPECT_EQ(v.UnionCount(v), 0);
+}
+
+TEST(SparseVectorTest, DotProductOfDisjointIsZero) {
+  SparseVector a = SparseVector::FromPairs({{1, 1.0}, {3, 2.0}});
+  SparseVector b = SparseVector::FromPairs({{2, 5.0}, {4, 5.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_EQ(a.OverlapCount(b), 0);
+  EXPECT_EQ(a.UnionCount(b), 4);
+}
+
+TEST(SparseVectorTest, DotProductKnownValue) {
+  SparseVector a = SparseVector::FromPairs({{1, 2.0}, {2, 3.0}});
+  SparseVector b = SparseVector::FromPairs({{2, 4.0}, {3, 5.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 12.0);
+  EXPECT_EQ(a.OverlapCount(b), 1);
+  EXPECT_EQ(a.UnionCount(b), 3);
+}
+
+TEST(SparseVectorTest, NormAndNormalize) {
+  SparseVector v = SparseVector::FromPairs({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  SparseVector unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit.GetWeight(0), 0.6, 1e-12);
+  EXPECT_NEAR(unit.GetWeight(1), 0.8, 1e-12);
+}
+
+TEST(SparseVectorTest, NormalizeZeroVectorIsNoop) {
+  SparseVector v;
+  EXPECT_EQ(v.Normalized(), v);
+}
+
+TEST(SparseVectorTest, ScaleMultipliesWeights) {
+  SparseVector v = SparseVector::FromPairs({{0, 1.0}, {7, -2.0}});
+  v.Scale(3.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(0), 3.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(7), -6.0);
+}
+
+TEST(SparseVectorTest, GetWeightBinarySearch) {
+  SparseVector v = SparseVector::FromCounts({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(v.GetWeight(10), 1.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(50), 1.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(35), 0.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.GetWeight(99), 0.0);
+}
+
+// Property suite over random vectors.
+class SparseVectorProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static SparseVector RandomVector(Rng* rng, int max_id, int entries) {
+    std::vector<SparseVector::Entry> e;
+    for (int i = 0; i < entries; ++i) {
+      e.push_back({static_cast<TermId>(rng->UniformInt(0, max_id)),
+                   rng->UniformDouble(0.1, 5.0)});
+    }
+    return SparseVector::FromPairs(std::move(e));
+  }
+};
+
+TEST_P(SparseVectorProperty, DotIsSymmetricAndCauchySchwarzHolds) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    SparseVector a = RandomVector(&rng, 40, 15);
+    SparseVector b = RandomVector(&rng, 40, 15);
+    EXPECT_DOUBLE_EQ(a.Dot(b), b.Dot(a));
+    EXPECT_LE(std::abs(a.Dot(b)), a.Norm() * b.Norm() + 1e-9);
+  }
+}
+
+TEST_P(SparseVectorProperty, UnionOverlapInclusionExclusion) {
+  Rng rng(GetParam() ^ 0x55);
+  for (int trial = 0; trial < 50; ++trial) {
+    SparseVector a = RandomVector(&rng, 30, 10);
+    SparseVector b = RandomVector(&rng, 30, 10);
+    EXPECT_EQ(a.UnionCount(b) + a.OverlapCount(b),
+              static_cast<int>(a.size() + b.size()));
+    EXPECT_EQ(a.OverlapCount(b), b.OverlapCount(a));
+  }
+}
+
+TEST_P(SparseVectorProperty, EntriesAreSortedUnique) {
+  Rng rng(GetParam() ^ 0xAA);
+  SparseVector v = RandomVector(&rng, 20, 60);
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LT(v.entries()[i - 1].id, v.entries()[i].id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVectorProperty,
+                         ::testing::Values(1, 7, 99, 12345));
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

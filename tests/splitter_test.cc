@@ -1,0 +1,103 @@
+#include "ml/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace weber {
+namespace ml {
+namespace {
+
+TEST(SampleTrainingDocumentsTest, TenPercentWithFloor) {
+  Rng rng(1);
+  auto sample = SampleTrainingDocuments(100, 0.10, &rng, 4);
+  EXPECT_EQ(sample.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+
+  auto floored = SampleTrainingDocuments(20, 0.10, &rng, 4);
+  EXPECT_EQ(floored.size(), 4u);
+}
+
+TEST(SampleTrainingDocumentsTest, EdgeCases) {
+  Rng rng(2);
+  EXPECT_TRUE(SampleTrainingDocuments(0, 0.1, &rng).empty());
+  EXPECT_EQ(SampleTrainingDocuments(3, 0.1, &rng, 10).size(), 3u);  // clamp
+  EXPECT_EQ(SampleTrainingDocuments(5, 1.0, &rng, 1).size(), 5u);
+}
+
+TEST(PairsAmongTest, AllUnorderedPairs) {
+  auto pairs = PairsAmong({2, 5, 9});
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(2, 5));
+  EXPECT_EQ(pairs[1], std::make_pair(2, 9));
+  EXPECT_EQ(pairs[2], std::make_pair(5, 9));
+  EXPECT_TRUE(PairsAmong({7}).empty());
+  EXPECT_TRUE(PairsAmong({}).empty());
+}
+
+TEST(SampleTrainingPairsTest, SizeAndDistinctness) {
+  Rng rng(3);
+  const int n = 30;  // 435 pairs
+  auto pairs = SampleTrainingPairs(n, 0.10, &rng, 10);
+  EXPECT_EQ(pairs.size(), 44u);  // ceil(43.5)
+  std::set<std::pair<int, int>> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), pairs.size());
+  for (const auto& [a, b] : pairs) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, n);
+  }
+}
+
+TEST(SampleTrainingPairsTest, MinimumFloor) {
+  Rng rng(4);
+  auto pairs = SampleTrainingPairs(6, 0.01, &rng, 10);  // 15 total pairs
+  EXPECT_EQ(pairs.size(), 10u);
+}
+
+TEST(SampleTrainingPairsTest, FullFraction) {
+  Rng rng(5);
+  const int n = 8;
+  auto pairs = SampleTrainingPairs(n, 1.0, &rng);
+  EXPECT_EQ(pairs.size(), 28u);
+  std::set<std::pair<int, int>> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), 28u);
+}
+
+TEST(SampleTrainingPairsTest, TinyBlocks) {
+  Rng rng(6);
+  EXPECT_TRUE(SampleTrainingPairs(0, 0.5, &rng).empty());
+  EXPECT_TRUE(SampleTrainingPairs(1, 0.5, &rng).empty());
+  auto two = SampleTrainingPairs(2, 0.5, &rng);
+  ASSERT_EQ(two.size(), 1u);
+  EXPECT_EQ(two[0], std::make_pair(0, 1));
+}
+
+TEST(SampleTrainingPairsTest, OffsetDecodingCoversAllPairsUniformly) {
+  // Statistical check: over many samples, every pair of a small block is
+  // drawn with roughly equal frequency (offset decode is not biased).
+  Rng rng(7);
+  const int n = 6;  // 15 pairs
+  std::map<std::pair<int, int>, int> counts;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto& p : SampleTrainingPairs(n, 0.2, &rng, 3)) {
+      counts[p] += 1;
+    }
+  }
+  ASSERT_EQ(counts.size(), 15u);  // every pair seen
+  int min_count = 1 << 30, max_count = 0;
+  for (const auto& [p, c] : counts) {
+    min_count = std::min(min_count, c);
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(min_count, max_count / 2);  // no pair is systematically starved
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace weber

@@ -1,0 +1,81 @@
+#include "corpus/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace weber {
+namespace corpus {
+namespace {
+
+Block MakeBlock() {
+  Block block;
+  block.query = "cohen";
+  for (int i = 0; i < 6; ++i) {
+    block.documents.push_back(
+        {"cohen/" + std::to_string(i), "http://x.com/" + std::to_string(i),
+         "one two three two"});
+  }
+  // Clusters: {0,1,2}, {3,4}, {5}.
+  block.entity_labels = {0, 0, 0, 1, 1, 2};
+  return block;
+}
+
+TEST(BlockStatsTest, ClusterShape) {
+  BlockStats stats = ComputeBlockStats(MakeBlock());
+  EXPECT_EQ(stats.query, "cohen");
+  EXPECT_EQ(stats.num_documents, 6);
+  EXPECT_EQ(stats.num_entities, 3);
+  EXPECT_EQ(stats.largest_cluster, 3);
+  EXPECT_EQ(stats.singleton_clusters, 1);
+  EXPECT_EQ(stats.cluster_sizes, (std::vector<int>{3, 2, 1}));
+  // Intra pairs: 3 + 1 = 4 of 15.
+  EXPECT_NEAR(stats.link_rate, 4.0 / 15.0, 1e-12);
+}
+
+TEST(BlockStatsTest, TokenCounts) {
+  BlockStats stats = ComputeBlockStats(MakeBlock());
+  EXPECT_NEAR(stats.mean_tokens_per_document, 4.0, 1e-12);
+  EXPECT_NEAR(stats.mean_distinct_tokens, 3.0, 1e-12);
+}
+
+TEST(BlockStatsTest, EmptyBlock) {
+  Block empty;
+  empty.query = "x";
+  BlockStats stats = ComputeBlockStats(empty);
+  EXPECT_EQ(stats.num_documents, 0);
+  EXPECT_EQ(stats.num_entities, 0);
+  EXPECT_DOUBLE_EQ(stats.link_rate, 0.0);
+}
+
+TEST(DatasetStatsTest, Aggregation) {
+  Dataset dataset;
+  dataset.name = "d";
+  dataset.blocks.push_back(MakeBlock());
+  Block other = MakeBlock();
+  other.query = "ng";
+  other.entity_labels = {0, 1, 2, 3, 4, 5};  // all singletons
+  dataset.blocks.push_back(other);
+  DatasetStats stats = ComputeDatasetStats(dataset);
+  EXPECT_EQ(stats.num_blocks, 2);
+  EXPECT_EQ(stats.total_documents, 12);
+  EXPECT_EQ(stats.min_entities, 3);
+  EXPECT_EQ(stats.max_entities, 6);
+  EXPECT_NEAR(stats.mean_entities, 4.5, 1e-12);
+  EXPECT_NEAR(stats.mean_link_rate, (4.0 / 15.0 + 0.0) / 2, 1e-12);
+}
+
+TEST(DatasetStatsTest, PrintRendersEveryBlock) {
+  Dataset dataset;
+  dataset.name = "render";
+  dataset.blocks.push_back(MakeBlock());
+  std::ostringstream os;
+  PrintDatasetStats(ComputeDatasetStats(dataset), os);
+  EXPECT_NE(os.str().find("render"), std::string::npos);
+  EXPECT_NE(os.str().find("cohen"), std::string::npos);
+  EXPECT_NE(os.str().find("link rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace weber

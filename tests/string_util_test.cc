@@ -1,0 +1,107 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace {
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("Hello World"), "hello world");
+  EXPECT_EQ(ToLowerAscii("ABC123xyz"), "abc123xyz");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  // Non-ASCII bytes pass through untouched.
+  EXPECT_EQ(ToLowerAscii("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(StringUtilTest, ToUpperAscii) {
+  EXPECT_EQ(ToUpperAscii("weber"), "WEBER");
+  EXPECT_EQ(ToUpperAscii("a1b2"), "A1B2");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\r\na b\n"), "a b");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc\n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string original = "x|yy|zzz";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("#dataset foo", "#dataset "));
+  EXPECT_FALSE(StartsWith("#data", "#dataset"));
+  EXPECT_TRUE(EndsWith("page.html", ".html"));
+  EXPECT_FALSE(EndsWith("html", "page.html"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping scan
+  EXPECT_EQ(ReplaceAll("none", "x", "y"), "none");
+  EXPECT_EQ(ReplaceAll("abc", "", "y"), "abc");  // empty pattern is a no-op
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.87739, 4), "0.8774");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsValid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseDouble("  -1.25e2 ", &v));
+  EXPECT_DOUBLE_EQ(v, -125.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsJunk) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringUtilTest, ParseIntAcceptsValid) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(StringUtilTest, ParseIntRejectsJunk) {
+  int v = 0;
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("4.2", &v));
+  EXPECT_FALSE(ParseInt("12abc", &v));
+  EXPECT_FALSE(ParseInt("99999999999999999999", &v));  // overflow
+}
+
+}  // namespace
+}  // namespace weber

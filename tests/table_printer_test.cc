@@ -1,0 +1,74 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace weber {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t;
+  t.SetHeader({"name", "Fp"});
+  t.AddRow({"cohen", "0.8991"});
+  t.AddRow({"ng", "0.88"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  // Header present, rule under header, right-aligned numeric column.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("cohen  0.8991"), std::string::npos);
+  EXPECT_NE(out.find("ng       0.88"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorProducesRule) {
+  TablePrinter t;
+  t.SetHeader({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::ostringstream os;
+  t.Print(os);
+  // Two rules: one under the header, one for the separator.
+  std::string out = os.str();
+  size_t first = out.find('-');
+  ASSERT_NE(first, std::string::npos);
+  size_t second = out.find('-', out.find('\n', first));
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(TablePrinterTest, LeftAlignOption) {
+  TablePrinter t;
+  t.SetHeader({"k", "v"});
+  t.SetAlign(1, TablePrinter::Align::kLeft);
+  t.AddRow({"key", "x"});
+  t.AddRow({"k2", "longer"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("key  x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutputSkipsSeparatorsAndPadding) {
+  TablePrinter t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddSeparator();
+  t.AddRow({"3", "4"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace weber

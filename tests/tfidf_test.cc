@@ -1,0 +1,134 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/vector_similarity.h"
+
+namespace weber {
+namespace text {
+namespace {
+
+TEST(VocabularyTest, InterningAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.term(1), "beta");
+}
+
+TEST(VocabularyTest, LookupUnknownIsMinusOne) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("x");
+  EXPECT_EQ(vocab.Lookup("x"), 0);
+  EXPECT_EQ(vocab.Lookup("y"), -1);
+}
+
+TEST(VocabularyTest, BulkOperations) {
+  Vocabulary vocab;
+  auto ids = vocab.GetOrAddAll({"a", "b", "a", "c"});
+  EXPECT_EQ(ids, (std::vector<TermId>{0, 1, 0, 2}));
+  auto looked = vocab.LookupAll({"c", "missing", "a"});
+  EXPECT_EQ(looked, (std::vector<TermId>{2, 0}));  // unknown skipped
+}
+
+TEST(TfIdfTest, FinalizeRequiresDocuments) {
+  TfIdfModel model;
+  EXPECT_EQ(model.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TfIdfTest, RareTermsOutweighCommonTerms) {
+  TfIdfModel model;
+  // "common" in every doc, "rare" in one.
+  model.AddDocument({"common", "rare"});
+  model.AddDocument({"common", "x"});
+  model.AddDocument({"common", "y"});
+  model.AddDocument({"common", "z"});
+  ASSERT_TRUE(model.Finalize().ok());
+  EXPECT_GT(model.Idf("rare"), model.Idf("common"));
+}
+
+TEST(TfIdfTest, VectorizeIsL2NormalizedByDefault) {
+  TfIdfModel model;
+  model.AddDocument({"a", "b"});
+  model.AddDocument({"a", "c"});
+  ASSERT_TRUE(model.Finalize().ok());
+  SparseVector v = model.Vectorize({"a", "b", "b"});
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, UnknownTermsIgnoredAtVectorizeTime) {
+  TfIdfModel model;
+  model.AddDocument({"a"});
+  model.AddDocument({"b"});
+  ASSERT_TRUE(model.Finalize().ok());
+  SparseVector v = model.Vectorize({"never-seen", "also-new"});
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(TfIdfTest, IdfOfUnknownTermIsZero) {
+  TfIdfModel model;
+  model.AddDocument({"a"});
+  ASSERT_TRUE(model.Finalize().ok());
+  EXPECT_DOUBLE_EQ(model.Idf("missing"), 0.0);
+}
+
+TEST(TfIdfTest, SublinearTfDampsRepetition) {
+  TfIdfOptions options;
+  options.l2_normalize = false;
+  TfIdfModel model(options);
+  model.AddDocument({"a", "b"});
+  model.AddDocument({"c"});
+  ASSERT_TRUE(model.Finalize().ok());
+  double once = model.Vectorize({"a"}).GetWeight(0);
+  double tenx = model
+                    .Vectorize({"a", "a", "a", "a", "a", "a", "a", "a", "a",
+                                "a"})
+                    .GetWeight(0);
+  EXPECT_GT(tenx, once);
+  EXPECT_LT(tenx, 10.0 * once);  // sublinear
+  EXPECT_NEAR(tenx / once, 1.0 + std::log(10.0), 1e-9);
+}
+
+TEST(TfIdfTest, MinDocFreqFiltersHapaxes) {
+  TfIdfOptions options;
+  options.min_doc_freq = 2;
+  TfIdfModel model(options);
+  model.AddDocument({"shared", "solo1"});
+  model.AddDocument({"shared", "solo2"});
+  ASSERT_TRUE(model.Finalize().ok());
+  SparseVector v = model.Vectorize({"shared", "solo1"});
+  EXPECT_EQ(v.size(), 1u);  // solo1 filtered out
+}
+
+TEST(TfIdfTest, DocumentFrequencyCountsOncePerDocument) {
+  TfIdfModel model;
+  model.AddDocument({"dup", "dup", "dup"});
+  model.AddDocument({"dup"});
+  model.AddDocument({"other"});
+  ASSERT_TRUE(model.Finalize().ok());
+  // df(dup) = 2 of 3: idf = log(4/3)+1; df(other) = 1: idf = log(2)+1.
+  EXPECT_NEAR(model.Idf("dup"), std::log(4.0 / 3.0) + 1.0, 1e-12);
+  EXPECT_NEAR(model.Idf("other"), std::log(2.0) + 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, SimilarDocumentsScoreHigherThanDissimilar) {
+  TfIdfModel model;
+  std::vector<std::vector<std::string>> docs = {
+      {"graph", "cluster", "entiti"},
+      {"graph", "cluster", "vertex"},
+      {"cook", "recip", "oven"},
+  };
+  for (const auto& d : docs) model.AddDocument(d);
+  ASSERT_TRUE(model.Finalize().ok());
+  auto v0 = model.Vectorize(docs[0]);
+  auto v1 = model.Vectorize(docs[1]);
+  auto v2 = model.Vectorize(docs[2]);
+  EXPECT_GT(CosineSimilarity(v0, v1), CosineSimilarity(v0, v2));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,89 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace weber {
+namespace text {
+namespace {
+
+TEST(TokenizerTest, BasicSplitting) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello, world!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("MiXeD CaSe"),
+            (std::vector<std::string>{"mixed", "case"}));
+}
+
+TEST(TokenizerTest, CanPreserveCase) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("MiXeD"), (std::vector<std::string>{"MiXeD"}));
+}
+
+TEST(TokenizerTest, KeepsInternalApostropheAndHyphen) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("o'brien's entity-resolution"),
+            (std::vector<std::string>{"o'brien's", "entity-resolution"}));
+}
+
+TEST(TokenizerTest, LeadingTrailingJoinersAreSeparators) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("-abc- 'def'"),
+            (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(TokenizerTest, NumbersKeptByDefault) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("icde 2010"),
+            (std::vector<std::string>{"icde", "2010"}));
+}
+
+TEST(TokenizerTest, NumbersCanBeDropped) {
+  TokenizerOptions options;
+  options.keep_numbers = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("icde 2010 x86"),
+            (std::vector<std::string>{"icde", "x86"}));
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("a an the cat"),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, MaxLengthTruncates) {
+  TokenizerOptions options;
+  options.max_token_length = 4;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("abcdefgh"), (std::vector<std::string>{"abcd"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesSeparate) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("caf\xc3\xa9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize(" .,;!? \n\t").empty());
+}
+
+TEST(TokenizerTest, UrlsSplitIntoComponents) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("http://www.epfl.ch/~yerva"),
+            (std::vector<std::string>{"http", "www", "epfl", "ch", "yerva"}));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

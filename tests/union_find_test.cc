@@ -1,0 +1,77 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace weber {
+namespace graph {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_elements(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.SetSize(i), 1);
+    for (int j = i + 1; j < 5; ++j) {
+      EXPECT_FALSE(uf.Connected(i, j));
+    }
+  }
+}
+
+TEST(UnionFindTest, UnionConnectsAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already connected
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(1), 3);
+  EXPECT_FALSE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, TransitivityChain) {
+  UnionFind uf(100);
+  for (int i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_TRUE(uf.Connected(0, 99));
+  EXPECT_EQ(uf.SetSize(50), 100);
+}
+
+TEST(UnionFindTest, FindIsIdempotentRepresentative) {
+  UnionFind uf(10);
+  uf.Union(3, 7);
+  uf.Union(7, 9);
+  int root = uf.Find(3);
+  EXPECT_EQ(uf.Find(7), root);
+  EXPECT_EQ(uf.Find(9), root);
+  EXPECT_EQ(uf.Find(root), root);
+}
+
+TEST(UnionFindTest, MatchesNaivePartitionOnRandomOperations) {
+  Rng rng(77);
+  const int n = 40;
+  UnionFind uf(n);
+  // Naive reference: label array with full relabeling on merge.
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = i;
+  for (int op = 0; op < 200; ++op) {
+    int a = rng.UniformInt(0, n - 1);
+    int b = rng.UniformInt(0, n - 1);
+    uf.Union(a, b);
+    int from = labels[b], to = labels[a];
+    for (int& l : labels) {
+      if (l == from) l = to;
+    }
+    // Spot-check equivalences.
+    for (int check = 0; check < 10; ++check) {
+      int x = rng.UniformInt(0, n - 1);
+      int y = rng.UniformInt(0, n - 1);
+      EXPECT_EQ(uf.Connected(x, y), labels[x] == labels[y]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace weber

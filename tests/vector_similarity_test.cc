@@ -1,0 +1,174 @@
+#include "text/vector_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace weber {
+namespace text {
+namespace {
+
+SparseVector V(std::vector<SparseVector::Entry> e) {
+  return SparseVector::FromPairs(std::move(e));
+}
+
+TEST(CosineTest, IdenticalVectorsScoreOne) {
+  SparseVector a = V({{0, 1.0}, {1, 2.0}});
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectorsScoreZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity(V({{0, 1.0}}), V({{1, 1.0}})), 0.0);
+}
+
+TEST(CosineTest, ScaleInvariant) {
+  SparseVector a = V({{0, 1.0}, {1, 2.0}});
+  SparseVector b = V({{0, 0.5}, {1, 3.0}});
+  SparseVector b_scaled = b;
+  b_scaled.Scale(7.0);
+  EXPECT_NEAR(CosineSimilarity(a, b), CosineSimilarity(a, b_scaled), 1e-12);
+}
+
+TEST(CosineTest, KnownValue) {
+  // cos([1,1],[1,0]) = 1/sqrt(2)
+  EXPECT_NEAR(CosineSimilarity(V({{0, 1.0}, {1, 1.0}}), V({{0, 1.0}})),
+              1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CosineTest, EmptyVectorScoresZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity(SparseVector(), V({{0, 1.0}})), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(SparseVector(), SparseVector()), 0.0);
+}
+
+TEST(PearsonTest, IdenticalNonConstantVectorsScoreOne) {
+  SparseVector a = V({{0, 1.0}, {1, 2.0}});
+  EXPECT_NEAR(PearsonSimilarity(a, a, 10), 1.0, 1e-9);
+}
+
+TEST(PearsonTest, PerfectlyAntiCorrelatedScoreZero) {
+  // Over dimension 2: a=[1,0], b=[0,1] -> r = -1 -> rescaled 0.
+  EXPECT_NEAR(PearsonSimilarity(V({{0, 1.0}}), V({{1, 1.0}}), 2), 0.0, 1e-9);
+}
+
+TEST(PearsonTest, DegenerateConstantVectorScoresHalf) {
+  // A vector that is constant across the dimension has zero variance.
+  SparseVector constant = V({{0, 1.0}, {1, 1.0}});
+  SparseVector other = V({{0, 2.0}});
+  EXPECT_DOUBLE_EQ(PearsonSimilarity(constant, other, 2), 0.5);
+}
+
+TEST(PearsonTest, EmptyVectorsScoreHalf) {
+  EXPECT_DOUBLE_EQ(PearsonSimilarity(SparseVector(), SparseVector(), 100),
+                   0.5);
+}
+
+TEST(PearsonTest, MatchesDenseReferenceComputation) {
+  // a = [1, 2, 0, 0], b = [2, 1, 1, 0] over dimension 4.
+  SparseVector a = V({{0, 1.0}, {1, 2.0}});
+  SparseVector b = V({{0, 2.0}, {1, 1.0}, {2, 1.0}});
+  const double ma = 3.0 / 4, mb = 4.0 / 4;
+  double cov = (1 - ma) * (2 - mb) + (2 - ma) * (1 - mb) +
+               (0 - ma) * (1 - mb) + (0 - ma) * (0 - mb);
+  double va = (1 - ma) * (1 - ma) + (2 - ma) * (2 - ma) + 2 * ma * ma;
+  double vb = (2 - mb) * (2 - mb) + 2 * (1 - mb) * (1 - mb) + mb * mb;
+  double expected = (cov / std::sqrt(va * vb) + 1.0) / 2.0;
+  EXPECT_NEAR(PearsonSimilarity(a, b, 4), expected, 1e-12);
+}
+
+TEST(ExtendedJaccardTest, IdenticalVectorsScoreOne) {
+  SparseVector a = V({{0, 1.5}, {2, 2.5}});
+  EXPECT_NEAR(ExtendedJaccardSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(ExtendedJaccardTest, DisjointVectorsScoreZero) {
+  EXPECT_DOUBLE_EQ(ExtendedJaccardSimilarity(V({{0, 1.0}}), V({{1, 1.0}})),
+                   0.0);
+}
+
+TEST(ExtendedJaccardTest, KnownValue) {
+  // a=[1,0], b=[1,1]: dot=1, |a|^2=1, |b|^2=2 -> 1/(1+2-1) = 0.5
+  EXPECT_NEAR(ExtendedJaccardSimilarity(V({{0, 1.0}}), V({{0, 1.0}, {1, 1.0}})),
+              0.5, 1e-12);
+}
+
+TEST(ExtendedJaccardTest, BothEmptyScoreZero) {
+  EXPECT_DOUBLE_EQ(ExtendedJaccardSimilarity(SparseVector(), SparseVector()),
+                   0.0);
+}
+
+TEST(SetOverlapTest, JaccardDiceOverlapKnownValues) {
+  SparseVector a = V({{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  SparseVector b = V({{2, 1.0}, {3, 1.0}});
+  EXPECT_NEAR(JaccardOverlap(a, b), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(DiceOverlap(a, b), 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(OverlapCoefficient(a, b), 1.0 / 2.0, 1e-12);
+}
+
+TEST(SetOverlapTest, EmptyInputs) {
+  SparseVector empty;
+  SparseVector a = V({{0, 1.0}});
+  EXPECT_DOUBLE_EQ(JaccardOverlap(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(DiceOverlap(empty, a), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(empty, a), 0.0);
+}
+
+TEST(SaturatingOverlapTest, GrowsWithOverlapAndSaturates) {
+  SparseVector a = V({{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}});
+  EXPECT_DOUBLE_EQ(SaturatingOverlap(a, V({{9, 1.0}})), 0.0);
+  double one = SaturatingOverlap(a, V({{0, 1.0}}));
+  double two = SaturatingOverlap(a, V({{0, 1.0}, {1, 1.0}}));
+  double four = SaturatingOverlap(a, a);
+  EXPECT_LT(one, two);
+  EXPECT_LT(two, four);
+  EXPECT_LT(four, 1.0);
+  EXPECT_NEAR(one, 1.0 / 3.0, 1e-12);  // damping 2: 1/(1+2)
+}
+
+// Property: every measure stays in [0, 1] and is symmetric, for random
+// non-negative vectors.
+class VectorSimilarityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VectorSimilarityProperty, BoundsAndSymmetry) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<SparseVector::Entry> ea, eb;
+    int na = rng.UniformInt(0, 12), nb = rng.UniformInt(0, 12);
+    for (int i = 0; i < na; ++i) {
+      ea.push_back({static_cast<TermId>(rng.UniformInt(0, 25)),
+                    rng.UniformDouble(0.01, 4.0)});
+    }
+    for (int i = 0; i < nb; ++i) {
+      eb.push_back({static_cast<TermId>(rng.UniformInt(0, 25)),
+                    rng.UniformDouble(0.01, 4.0)});
+    }
+    SparseVector a = SparseVector::FromPairs(std::move(ea));
+    SparseVector b = SparseVector::FromPairs(std::move(eb));
+    int dim = 26;
+
+    const double measures[] = {
+        CosineSimilarity(a, b),          PearsonSimilarity(a, b, dim),
+        ExtendedJaccardSimilarity(a, b), JaccardOverlap(a, b),
+        DiceOverlap(a, b),               OverlapCoefficient(a, b),
+        SaturatingOverlap(a, b),
+    };
+    for (double m : measures) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), CosineSimilarity(b, a));
+    EXPECT_DOUBLE_EQ(PearsonSimilarity(a, b, dim),
+                     PearsonSimilarity(b, a, dim));
+    EXPECT_DOUBLE_EQ(ExtendedJaccardSimilarity(a, b),
+                     ExtendedJaccardSimilarity(b, a));
+    EXPECT_DOUBLE_EQ(SaturatingOverlap(a, b), SaturatingOverlap(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorSimilarityProperty,
+                         ::testing::Values(3, 17, 2024, 777));
+
+}  // namespace
+}  // namespace text
+}  // namespace weber

@@ -1,0 +1,94 @@
+#include "corpus/word_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace weber {
+namespace corpus {
+namespace {
+
+TEST(WordFactoryTest, WordsAreDistinctAcrossIndices) {
+  std::set<std::string> words;
+  for (int i = 0; i < 5000; ++i) words.insert(WordFactory::Word(i));
+  EXPECT_EQ(words.size(), 5000u);
+}
+
+TEST(WordFactoryTest, WordsAreDeterministic) {
+  EXPECT_EQ(WordFactory::Word(123), WordFactory::Word(123));
+  EXPECT_NE(WordFactory::Word(123), WordFactory::Word(124));
+}
+
+TEST(WordFactoryTest, WordsAreLowercaseAlphabetic) {
+  for (int i = 0; i < 200; ++i) {
+    for (char c : WordFactory::Word(i)) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << WordFactory::Word(i);
+    }
+  }
+}
+
+TEST(WordFactoryTest, FirstNamesCycleWithSuffix) {
+  std::string base = WordFactory::FirstName(0);
+  std::string cycled = WordFactory::FirstName(64);
+  EXPECT_EQ(cycled, base + "2");
+  EXPECT_NE(WordFactory::FirstName(0), WordFactory::FirstName(1));
+}
+
+TEST(WordFactoryTest, LastNamesAreDistinctWithinPool) {
+  std::set<std::string> names;
+  for (int i = 0; i < 48; ++i) names.insert(WordFactory::LastName(i));
+  EXPECT_EQ(names.size(), 48u);
+}
+
+TEST(WordFactoryTest, ConceptPhrasesAreMultiWord) {
+  for (int i = 0; i < 50; ++i) {
+    std::string phrase = WordFactory::ConceptPhrase(i);
+    EXPECT_NE(phrase.find(' '), std::string::npos) << phrase;
+  }
+}
+
+TEST(WordFactoryTest, ConceptPhrasesAreDistinct) {
+  std::set<std::string> phrases;
+  for (int i = 0; i < 2000; ++i) phrases.insert(WordFactory::ConceptPhrase(i));
+  EXPECT_EQ(phrases.size(), 2000u);
+}
+
+TEST(WordFactoryTest, OrganizationsHaveSuffix) {
+  std::set<std::string> orgs;
+  for (int i = 0; i < 300; ++i) {
+    std::string org = WordFactory::Organization(i);
+    EXPECT_NE(org.find(' '), std::string::npos) << org;
+    orgs.insert(org);
+  }
+  EXPECT_EQ(orgs.size(), 300u);
+}
+
+TEST(WordFactoryTest, LocationsAreDistinct) {
+  std::set<std::string> locs;
+  for (int i = 0; i < 300; ++i) locs.insert(WordFactory::Location(i));
+  EXPECT_EQ(locs.size(), 300u);
+}
+
+TEST(WordFactoryTest, DomainsLookLikeDomains) {
+  for (int i = 0; i < 100; ++i) {
+    std::string domain = WordFactory::Domain(i);
+    EXPECT_NE(domain.find('.'), std::string::npos) << domain;
+  }
+}
+
+TEST(WordFactoryTest, HostingDomainsCycleThroughSmallPool) {
+  std::set<std::string> hosts;
+  for (int i = 0; i < 100; ++i) hosts.insert(WordFactory::HostingDomain(i));
+  EXPECT_LE(hosts.size(), 8u);
+  EXPECT_EQ(WordFactory::HostingDomain(0), WordFactory::HostingDomain(8));
+}
+
+TEST(WordFactoryTest, FunctionWordsAreStopwordLike) {
+  const auto& words = WordFactory::FunctionWords();
+  EXPECT_GT(words.size(), 20u);
+  EXPECT_NE(std::find(words.begin(), words.end(), "the"), words.end());
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace weber

@@ -1,0 +1,56 @@
+// Inspection tool: per-(function x criterion) cross-validated scores,
+// all-pairs generalization accuracy and post-closure Fp for every block.
+// Usage: inspect_criteria [weps]
+
+#include <iostream>
+#include "core/weber.h"
+#include "ml/splitter.h"
+#include "core/decision.h"
+using namespace weber;
+
+int main(int argc, char** argv) {
+  auto cfg = corpus::Www05Config();
+  if (argc > 1 && std::string(argv[1]) == "weps") cfg = corpus::WepsConfig();
+  auto data = corpus::SyntheticWebGenerator(cfg).Generate();
+  auto fns = core::MakeStandardFunctions();
+  extract::FeatureExtractor fx(&data->gazetteer, {});
+  Rng master(123);
+  for (size_t b = 0; b < data->dataset.blocks.size(); ++b) {
+    const auto& block = data->dataset.blocks[b];
+    std::vector<extract::PageInput> pages;
+    for (const auto& d : block.documents) pages.push_back({d.url, d.text});
+    auto bundles = *fx.ExtractBlock(pages, block.query);
+    int n = block.num_documents();
+    Rng rng = master.Fork(b);
+    auto tp = ml::SampleTrainingPairs(n, 0.10, &rng, 10);
+    std::cout << block.query << " (n=" << n << ", K=" << block.NumEntities() << ")\n";
+    auto factories = core::MakeStandardCriterionFactories(10, 8);
+    for (const auto& fn : fns) {
+      auto sims = core::ComputeSimilarityMatrix(*fn, bundles);
+      std::vector<ml::LabeledSimilarity> training;
+      for (auto& [i, j] : tp) training.push_back({sims.Get(i,j), block.entity_labels[i]==block.entity_labels[j]});
+      std::cout << "  " << fn->name() << ":";
+      for (auto& factory : factories) {
+        auto crit = factory();
+        (void)crit->Fit(training, &rng);
+        double cv = *core::CrossValidatedAccuracy(factory, training, 3, &rng);
+        // all-pairs accuracy + Fp via transitive closure
+        graph::DecisionGraph dg(n, 0, 1);
+        long long correct = 0, total = 0;
+        for (int i = 0; i < n; ++i) for (int j = i+1; j < n; ++j) {
+          bool dec = crit->Decide(sims.Get(i,j));
+          dg.Set(i, j, dec ? 1 : 0);
+          bool truth = block.entity_labels[i]==block.entity_labels[j];
+          correct += (dec==truth); total++;
+        }
+        auto clus = graph::TransitiveClosure(dg);
+        auto rep = *eval::Evaluate(block.GroundTruth(), clus);
+        std::cout << "  " << crit->name() << " cv=" << FormatDouble(cv,3)
+                  << " gen=" << FormatDouble((double)correct/total,3)
+                  << " Fp=" << FormatDouble(rep.fp_measure,3);
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

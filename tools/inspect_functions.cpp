@@ -1,0 +1,37 @@
+// Inspection tool: per-function within/cross-entity similarity gaps on
+// the first blocks of a corpus preset. Usage: inspect_functions [weps]
+
+#include <iostream>
+#include "core/weber.h"
+using namespace weber;
+
+int main(int argc, char** argv) {
+  auto cfg = corpus::Www05Config();
+  if (argc > 1 && std::string(argv[1]) == "weps") cfg = corpus::WepsConfig();
+  auto data = corpus::SyntheticWebGenerator(cfg).Generate();
+  if (!data.ok()) { std::cerr << data.status() << "\n"; return 1; }
+  auto fns = core::MakeStandardFunctions();
+  extract::FeatureExtractor fx(&data->gazetteer, {});
+  for (size_t b = 0; b < data->dataset.blocks.size(); ++b) {
+    const auto& block = data->dataset.blocks[b];
+    std::vector<extract::PageInput> pages;
+    for (const auto& d : block.documents) pages.push_back({d.url, d.text});
+    auto bundles = fx.ExtractBlock(pages, block.query);
+    if (!bundles.ok()) { std::cerr << bundles.status() << "\n"; return 1; }
+    std::cout << block.query << " (n=" << block.num_documents() << ", K=" << block.NumEntities() << ")\n";
+    int n = block.num_documents();
+    for (const auto& fn : fns) {
+      double sum_in = 0, sum_out = 0; int cin = 0, cout_ = 0;
+      for (int i = 0; i < n; ++i) for (int j = i+1; j < n; ++j) {
+        double v = fn->Compute((*bundles)[i], (*bundles)[j]);
+        if (block.entity_labels[i] == block.entity_labels[j]) { sum_in += v; cin++; }
+        else { sum_out += v; cout_++; }
+      }
+      std::cout << "  " << fn->name() << ": within=" << FormatDouble(cin? sum_in/cin:0,3)
+                << " cross=" << FormatDouble(cout_? sum_out/cout_:0,3)
+                << " gap=" << FormatDouble((cin?sum_in/cin:0)-(cout_?sum_out/cout_:0),3) << "\n";
+    }
+    if (b >= 2) break;  // first 3 blocks only
+  }
+  return 0;
+}
