@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_active.dir/ablation_active.cpp.o"
+  "CMakeFiles/ablation_active.dir/ablation_active.cpp.o.d"
+  "ablation_active"
+  "ablation_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

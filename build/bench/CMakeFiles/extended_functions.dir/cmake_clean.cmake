@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_functions.dir/extended_functions.cpp.o"
+  "CMakeFiles/extended_functions.dir/extended_functions.cpp.o.d"
+  "extended_functions"
+  "extended_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_accuracy_regions.dir/fig1_accuracy_regions.cpp.o"
+  "CMakeFiles/fig1_accuracy_regions.dir/fig1_accuracy_regions.cpp.o.d"
+  "fig1_accuracy_regions"
+  "fig1_accuracy_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_accuracy_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

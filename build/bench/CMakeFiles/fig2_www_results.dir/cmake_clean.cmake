@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_www_results.dir/fig2_www_results.cpp.o"
+  "CMakeFiles/fig2_www_results.dir/fig2_www_results.cpp.o.d"
+  "fig2_www_results"
+  "fig2_www_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_www_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

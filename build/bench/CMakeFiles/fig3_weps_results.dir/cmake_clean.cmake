@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_weps_results.dir/fig3_weps_results.cpp.o"
+  "CMakeFiles/fig3_weps_results.dir/fig3_weps_results.cpp.o.d"
+  "fig3_weps_results"
+  "fig3_weps_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_weps_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

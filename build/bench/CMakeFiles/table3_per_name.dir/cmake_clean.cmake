@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_per_name.dir/table3_per_name.cpp.o"
+  "CMakeFiles/table3_per_name.dir/table3_per_name.cpp.o.d"
+  "table3_per_name"
+  "table3_per_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_per_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

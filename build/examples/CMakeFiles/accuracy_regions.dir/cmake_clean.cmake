@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_regions.dir/accuracy_regions.cpp.o"
+  "CMakeFiles/accuracy_regions.dir/accuracy_regions.cpp.o.d"
+  "accuracy_regions"
+  "accuracy_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

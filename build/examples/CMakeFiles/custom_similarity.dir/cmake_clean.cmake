@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_similarity.dir/custom_similarity.cpp.o"
+  "CMakeFiles/custom_similarity.dir/custom_similarity.cpp.o.d"
+  "custom_similarity"
+  "custom_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

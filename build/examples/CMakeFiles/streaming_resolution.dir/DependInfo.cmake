@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/streaming_resolution.cpp" "examples/CMakeFiles/streaming_resolution.dir/streaming_resolution.cpp.o" "gcc" "examples/CMakeFiles/streaming_resolution.dir/streaming_resolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/weber_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/weber_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/weber_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/weber_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/weber_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/weber_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/weber_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/weber_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_resolution.dir/streaming_resolution.cpp.o"
+  "CMakeFiles/streaming_resolution.dir/streaming_resolution.cpp.o.d"
+  "streaming_resolution"
+  "streaming_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

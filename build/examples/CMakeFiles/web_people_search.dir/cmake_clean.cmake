@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_people_search.dir/web_people_search.cpp.o"
+  "CMakeFiles/web_people_search.dir/web_people_search.cpp.o.d"
+  "web_people_search"
+  "web_people_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_people_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

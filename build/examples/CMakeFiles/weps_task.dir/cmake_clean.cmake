@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weps_task.dir/weps_task.cpp.o"
+  "CMakeFiles/weps_task.dir/weps_task.cpp.o.d"
+  "weps_task"
+  "weps_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weps_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

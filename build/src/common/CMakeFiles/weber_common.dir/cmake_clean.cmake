@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_common.dir/flags.cc.o"
+  "CMakeFiles/weber_common.dir/flags.cc.o.d"
+  "CMakeFiles/weber_common.dir/json_writer.cc.o"
+  "CMakeFiles/weber_common.dir/json_writer.cc.o.d"
+  "CMakeFiles/weber_common.dir/logging.cc.o"
+  "CMakeFiles/weber_common.dir/logging.cc.o.d"
+  "CMakeFiles/weber_common.dir/random.cc.o"
+  "CMakeFiles/weber_common.dir/random.cc.o.d"
+  "CMakeFiles/weber_common.dir/status.cc.o"
+  "CMakeFiles/weber_common.dir/status.cc.o.d"
+  "CMakeFiles/weber_common.dir/string_util.cc.o"
+  "CMakeFiles/weber_common.dir/string_util.cc.o.d"
+  "CMakeFiles/weber_common.dir/table_printer.cc.o"
+  "CMakeFiles/weber_common.dir/table_printer.cc.o.d"
+  "libweber_common.a"
+  "libweber_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_sampling.cc" "src/core/CMakeFiles/weber_core.dir/active_sampling.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/active_sampling.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/weber_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/blocking.cc" "src/core/CMakeFiles/weber_core.dir/blocking.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/blocking.cc.o.d"
+  "/root/repo/src/core/candidate_blocking.cc" "src/core/CMakeFiles/weber_core.dir/candidate_blocking.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/candidate_blocking.cc.o.d"
+  "/root/repo/src/core/combiner.cc" "src/core/CMakeFiles/weber_core.dir/combiner.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/combiner.cc.o.d"
+  "/root/repo/src/core/composed_functions.cc" "src/core/CMakeFiles/weber_core.dir/composed_functions.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/composed_functions.cc.o.d"
+  "/root/repo/src/core/decision.cc" "src/core/CMakeFiles/weber_core.dir/decision.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/decision.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/weber_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/weber_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/resolver.cc" "src/core/CMakeFiles/weber_core.dir/resolver.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/resolver.cc.o.d"
+  "/root/repo/src/core/standard_functions.cc" "src/core/CMakeFiles/weber_core.dir/standard_functions.cc.o" "gcc" "src/core/CMakeFiles/weber_core.dir/standard_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/weber_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/weber_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/weber_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/weber_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/weber_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/weber_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/weber_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

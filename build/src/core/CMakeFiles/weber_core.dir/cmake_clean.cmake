@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_core.dir/active_sampling.cc.o"
+  "CMakeFiles/weber_core.dir/active_sampling.cc.o.d"
+  "CMakeFiles/weber_core.dir/baselines.cc.o"
+  "CMakeFiles/weber_core.dir/baselines.cc.o.d"
+  "CMakeFiles/weber_core.dir/blocking.cc.o"
+  "CMakeFiles/weber_core.dir/blocking.cc.o.d"
+  "CMakeFiles/weber_core.dir/candidate_blocking.cc.o"
+  "CMakeFiles/weber_core.dir/candidate_blocking.cc.o.d"
+  "CMakeFiles/weber_core.dir/combiner.cc.o"
+  "CMakeFiles/weber_core.dir/combiner.cc.o.d"
+  "CMakeFiles/weber_core.dir/composed_functions.cc.o"
+  "CMakeFiles/weber_core.dir/composed_functions.cc.o.d"
+  "CMakeFiles/weber_core.dir/decision.cc.o"
+  "CMakeFiles/weber_core.dir/decision.cc.o.d"
+  "CMakeFiles/weber_core.dir/experiment.cc.o"
+  "CMakeFiles/weber_core.dir/experiment.cc.o.d"
+  "CMakeFiles/weber_core.dir/incremental.cc.o"
+  "CMakeFiles/weber_core.dir/incremental.cc.o.d"
+  "CMakeFiles/weber_core.dir/resolver.cc.o"
+  "CMakeFiles/weber_core.dir/resolver.cc.o.d"
+  "CMakeFiles/weber_core.dir/standard_functions.cc.o"
+  "CMakeFiles/weber_core.dir/standard_functions.cc.o.d"
+  "libweber_core.a"
+  "libweber_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/dataset_io.cc" "src/corpus/CMakeFiles/weber_corpus.dir/dataset_io.cc.o" "gcc" "src/corpus/CMakeFiles/weber_corpus.dir/dataset_io.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/weber_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/weber_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/presets.cc" "src/corpus/CMakeFiles/weber_corpus.dir/presets.cc.o" "gcc" "src/corpus/CMakeFiles/weber_corpus.dir/presets.cc.o.d"
+  "/root/repo/src/corpus/resolution_io.cc" "src/corpus/CMakeFiles/weber_corpus.dir/resolution_io.cc.o" "gcc" "src/corpus/CMakeFiles/weber_corpus.dir/resolution_io.cc.o.d"
+  "/root/repo/src/corpus/stats.cc" "src/corpus/CMakeFiles/weber_corpus.dir/stats.cc.o" "gcc" "src/corpus/CMakeFiles/weber_corpus.dir/stats.cc.o.d"
+  "/root/repo/src/corpus/word_factory.cc" "src/corpus/CMakeFiles/weber_corpus.dir/word_factory.cc.o" "gcc" "src/corpus/CMakeFiles/weber_corpus.dir/word_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/weber_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/weber_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/weber_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/weber_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/weber_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

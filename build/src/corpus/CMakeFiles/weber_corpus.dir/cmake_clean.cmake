@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_corpus.dir/dataset_io.cc.o"
+  "CMakeFiles/weber_corpus.dir/dataset_io.cc.o.d"
+  "CMakeFiles/weber_corpus.dir/generator.cc.o"
+  "CMakeFiles/weber_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/weber_corpus.dir/presets.cc.o"
+  "CMakeFiles/weber_corpus.dir/presets.cc.o.d"
+  "CMakeFiles/weber_corpus.dir/resolution_io.cc.o"
+  "CMakeFiles/weber_corpus.dir/resolution_io.cc.o.d"
+  "CMakeFiles/weber_corpus.dir/stats.cc.o"
+  "CMakeFiles/weber_corpus.dir/stats.cc.o.d"
+  "CMakeFiles/weber_corpus.dir/word_factory.cc.o"
+  "CMakeFiles/weber_corpus.dir/word_factory.cc.o.d"
+  "libweber_corpus.a"
+  "libweber_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

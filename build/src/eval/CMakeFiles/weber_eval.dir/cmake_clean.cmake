@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_eval.dir/calibration.cc.o"
+  "CMakeFiles/weber_eval.dir/calibration.cc.o.d"
+  "CMakeFiles/weber_eval.dir/metrics.cc.o"
+  "CMakeFiles/weber_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/weber_eval.dir/significance.cc.o"
+  "CMakeFiles/weber_eval.dir/significance.cc.o.d"
+  "libweber_eval.a"
+  "libweber_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/aho_corasick.cc" "src/extract/CMakeFiles/weber_extract.dir/aho_corasick.cc.o" "gcc" "src/extract/CMakeFiles/weber_extract.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/extract/feature_extractor.cc" "src/extract/CMakeFiles/weber_extract.dir/feature_extractor.cc.o" "gcc" "src/extract/CMakeFiles/weber_extract.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/extract/gazetteer.cc" "src/extract/CMakeFiles/weber_extract.dir/gazetteer.cc.o" "gcc" "src/extract/CMakeFiles/weber_extract.dir/gazetteer.cc.o.d"
+  "/root/repo/src/extract/url.cc" "src/extract/CMakeFiles/weber_extract.dir/url.cc.o" "gcc" "src/extract/CMakeFiles/weber_extract.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/weber_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/weber_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/weber_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_extract.dir/aho_corasick.cc.o"
+  "CMakeFiles/weber_extract.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/weber_extract.dir/feature_extractor.cc.o"
+  "CMakeFiles/weber_extract.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/weber_extract.dir/gazetteer.cc.o"
+  "CMakeFiles/weber_extract.dir/gazetteer.cc.o.d"
+  "CMakeFiles/weber_extract.dir/url.cc.o"
+  "CMakeFiles/weber_extract.dir/url.cc.o.d"
+  "libweber_extract.a"
+  "libweber_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

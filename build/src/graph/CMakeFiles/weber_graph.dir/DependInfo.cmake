@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/agglomerative.cc" "src/graph/CMakeFiles/weber_graph.dir/agglomerative.cc.o" "gcc" "src/graph/CMakeFiles/weber_graph.dir/agglomerative.cc.o.d"
+  "/root/repo/src/graph/clustering.cc" "src/graph/CMakeFiles/weber_graph.dir/clustering.cc.o" "gcc" "src/graph/CMakeFiles/weber_graph.dir/clustering.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/weber_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/weber_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/correlation_clustering.cc" "src/graph/CMakeFiles/weber_graph.dir/correlation_clustering.cc.o" "gcc" "src/graph/CMakeFiles/weber_graph.dir/correlation_clustering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/weber_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

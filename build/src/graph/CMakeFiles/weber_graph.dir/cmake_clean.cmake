@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_graph.dir/agglomerative.cc.o"
+  "CMakeFiles/weber_graph.dir/agglomerative.cc.o.d"
+  "CMakeFiles/weber_graph.dir/clustering.cc.o"
+  "CMakeFiles/weber_graph.dir/clustering.cc.o.d"
+  "CMakeFiles/weber_graph.dir/components.cc.o"
+  "CMakeFiles/weber_graph.dir/components.cc.o.d"
+  "CMakeFiles/weber_graph.dir/correlation_clustering.cc.o"
+  "CMakeFiles/weber_graph.dir/correlation_clustering.cc.o.d"
+  "libweber_graph.a"
+  "libweber_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/entropy.cc" "src/ml/CMakeFiles/weber_ml.dir/entropy.cc.o" "gcc" "src/ml/CMakeFiles/weber_ml.dir/entropy.cc.o.d"
+  "/root/repo/src/ml/isotonic.cc" "src/ml/CMakeFiles/weber_ml.dir/isotonic.cc.o" "gcc" "src/ml/CMakeFiles/weber_ml.dir/isotonic.cc.o.d"
+  "/root/repo/src/ml/kmeans1d.cc" "src/ml/CMakeFiles/weber_ml.dir/kmeans1d.cc.o" "gcc" "src/ml/CMakeFiles/weber_ml.dir/kmeans1d.cc.o.d"
+  "/root/repo/src/ml/region_model.cc" "src/ml/CMakeFiles/weber_ml.dir/region_model.cc.o" "gcc" "src/ml/CMakeFiles/weber_ml.dir/region_model.cc.o.d"
+  "/root/repo/src/ml/splitter.cc" "src/ml/CMakeFiles/weber_ml.dir/splitter.cc.o" "gcc" "src/ml/CMakeFiles/weber_ml.dir/splitter.cc.o.d"
+  "/root/repo/src/ml/threshold.cc" "src/ml/CMakeFiles/weber_ml.dir/threshold.cc.o" "gcc" "src/ml/CMakeFiles/weber_ml.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/weber_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_ml.dir/entropy.cc.o"
+  "CMakeFiles/weber_ml.dir/entropy.cc.o.d"
+  "CMakeFiles/weber_ml.dir/isotonic.cc.o"
+  "CMakeFiles/weber_ml.dir/isotonic.cc.o.d"
+  "CMakeFiles/weber_ml.dir/kmeans1d.cc.o"
+  "CMakeFiles/weber_ml.dir/kmeans1d.cc.o.d"
+  "CMakeFiles/weber_ml.dir/region_model.cc.o"
+  "CMakeFiles/weber_ml.dir/region_model.cc.o.d"
+  "CMakeFiles/weber_ml.dir/splitter.cc.o"
+  "CMakeFiles/weber_ml.dir/splitter.cc.o.d"
+  "CMakeFiles/weber_ml.dir/threshold.cc.o"
+  "CMakeFiles/weber_ml.dir/threshold.cc.o.d"
+  "libweber_ml.a"
+  "libweber_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_text.dir/analyzer.cc.o"
+  "CMakeFiles/weber_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/weber_text.dir/inverted_index.cc.o"
+  "CMakeFiles/weber_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/weber_text.dir/person_name.cc.o"
+  "CMakeFiles/weber_text.dir/person_name.cc.o.d"
+  "CMakeFiles/weber_text.dir/phonetic.cc.o"
+  "CMakeFiles/weber_text.dir/phonetic.cc.o.d"
+  "CMakeFiles/weber_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/weber_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/weber_text.dir/sparse_vector.cc.o"
+  "CMakeFiles/weber_text.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/weber_text.dir/stopwords.cc.o"
+  "CMakeFiles/weber_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/weber_text.dir/string_similarity.cc.o"
+  "CMakeFiles/weber_text.dir/string_similarity.cc.o.d"
+  "CMakeFiles/weber_text.dir/tfidf.cc.o"
+  "CMakeFiles/weber_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/weber_text.dir/tokenizer.cc.o"
+  "CMakeFiles/weber_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/weber_text.dir/vector_similarity.cc.o"
+  "CMakeFiles/weber_text.dir/vector_similarity.cc.o.d"
+  "CMakeFiles/weber_text.dir/vocabulary.cc.o"
+  "CMakeFiles/weber_text.dir/vocabulary.cc.o.d"
+  "libweber_text.a"
+  "libweber_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

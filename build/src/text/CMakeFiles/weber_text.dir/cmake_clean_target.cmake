@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libweber_text.a"
+)

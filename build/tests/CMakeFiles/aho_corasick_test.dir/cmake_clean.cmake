@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aho_corasick_test.dir/aho_corasick_test.cc.o"
+  "CMakeFiles/aho_corasick_test.dir/aho_corasick_test.cc.o.d"
+  "aho_corasick_test"
+  "aho_corasick_test.pdb"
+  "aho_corasick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aho_corasick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

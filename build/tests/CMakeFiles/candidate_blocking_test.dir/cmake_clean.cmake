@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_blocking_test.dir/candidate_blocking_test.cc.o"
+  "CMakeFiles/candidate_blocking_test.dir/candidate_blocking_test.cc.o.d"
+  "candidate_blocking_test"
+  "candidate_blocking_test.pdb"
+  "candidate_blocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiner_test.dir/combiner_test.cc.o"
+  "CMakeFiles/combiner_test.dir/combiner_test.cc.o.d"
+  "combiner_test"
+  "combiner_test.pdb"
+  "combiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composed_functions_test.dir/composed_functions_test.cc.o"
+  "CMakeFiles/composed_functions_test.dir/composed_functions_test.cc.o.d"
+  "composed_functions_test"
+  "composed_functions_test.pdb"
+  "composed_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composed_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_json_test.dir/experiment_json_test.cc.o"
+  "CMakeFiles/experiment_json_test.dir/experiment_json_test.cc.o.d"
+  "experiment_json_test"
+  "experiment_json_test.pdb"
+  "experiment_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans1d_test.dir/kmeans1d_test.cc.o"
+  "CMakeFiles/kmeans1d_test.dir/kmeans1d_test.cc.o.d"
+  "kmeans1d_test"
+  "kmeans1d_test.pdb"
+  "kmeans1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

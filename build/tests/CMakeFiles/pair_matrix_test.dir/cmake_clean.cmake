@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_matrix_test.dir/pair_matrix_test.cc.o"
+  "CMakeFiles/pair_matrix_test.dir/pair_matrix_test.cc.o.d"
+  "pair_matrix_test"
+  "pair_matrix_test.pdb"
+  "pair_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

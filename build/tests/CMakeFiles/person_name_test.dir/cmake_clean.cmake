@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/person_name_test.dir/person_name_test.cc.o"
+  "CMakeFiles/person_name_test.dir/person_name_test.cc.o.d"
+  "person_name_test"
+  "person_name_test.pdb"
+  "person_name_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/person_name_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

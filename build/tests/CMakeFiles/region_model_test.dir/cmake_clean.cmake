@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_model_test.dir/region_model_test.cc.o"
+  "CMakeFiles/region_model_test.dir/region_model_test.cc.o.d"
+  "region_model_test"
+  "region_model_test.pdb"
+  "region_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolution_io_test.dir/resolution_io_test.cc.o"
+  "CMakeFiles/resolution_io_test.dir/resolution_io_test.cc.o.d"
+  "resolution_io_test"
+  "resolution_io_test.pdb"
+  "resolution_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolution_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

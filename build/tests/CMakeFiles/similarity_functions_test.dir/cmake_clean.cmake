@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_functions_test.dir/similarity_functions_test.cc.o"
+  "CMakeFiles/similarity_functions_test.dir/similarity_functions_test.cc.o.d"
+  "similarity_functions_test"
+  "similarity_functions_test.pdb"
+  "similarity_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

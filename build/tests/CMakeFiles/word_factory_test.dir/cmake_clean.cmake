@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_factory_test.dir/word_factory_test.cc.o"
+  "CMakeFiles/word_factory_test.dir/word_factory_test.cc.o.d"
+  "word_factory_test"
+  "word_factory_test.pdb"
+  "word_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_criteria.dir/inspect_criteria.cpp.o"
+  "CMakeFiles/inspect_criteria.dir/inspect_criteria.cpp.o.d"
+  "inspect_criteria"
+  "inspect_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weber_cli.dir/weber_cli.cpp.o"
+  "CMakeFiles/weber_cli.dir/weber_cli.cpp.o.d"
+  "weber"
+  "weber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weber_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
