@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the test suite in a normal
+# build, then again with AddressSanitizer + UBSan (WEBER_SANITIZE).
+#
+# Usage: scripts/check.sh [--normal-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+MODE="${1:-all}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$MODE" != "--sanitize-only" ]]; then
+  echo "==> normal build"
+  run_suite build
+fi
+
+if [[ "$MODE" != "--normal-only" ]]; then
+  echo "==> sanitized build (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,209 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace faults {
+
+namespace {
+
+/// SplitMix64 step (duplicated from random.h to keep this file free of the
+/// Rng class; fault streams must not share state with experiment streams).
+uint64_t NextState(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double NextDouble(uint64_t* state) {
+  return (NextState(state) >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a; only needs to decorrelate per-point streams.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState state;
+  state.config = config;
+  state.rng_state = seed_ ^ HashName(point);
+  state.triggers = 0;
+  points_[point] = state;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+  any_armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+long long FaultInjector::TriggerCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> FaultInjector::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) names.push_back(name);
+  return names;
+}
+
+bool FaultInjector::Roll(const char* point, FaultConfig* fired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  if (state.config.max_triggers > 0 &&
+      state.triggers >= state.config.max_triggers) {
+    return false;
+  }
+  if (NextDouble(&state.rng_state) >= state.config.probability) return false;
+  ++state.triggers;
+  *fired = state.config;
+  return true;
+}
+
+Status FaultInjector::CheckFail(const char* point) {
+  FaultConfig fired;
+  if (!Roll(point, &fired)) return Status::OK();
+  switch (fired.kind) {
+    case FaultKind::kError:
+      return Status(fired.code, std::string("injected fault at ") + point);
+    case FaultKind::kLatency:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          fired.param));
+      return Status::OK();
+    default:
+      // Value-corruption kinds do not apply to a fail-check site.
+      return Status::OK();
+  }
+}
+
+bool FaultInjector::CheckCorrupt(const char* point, double* value) {
+  FaultConfig fired;
+  if (!Roll(point, &fired)) return false;
+  switch (fired.kind) {
+    case FaultKind::kNaN:
+      *value = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    case FaultKind::kPosInf:
+      *value = std::numeric_limits<double>::infinity();
+      return true;
+    case FaultKind::kNegInf:
+      *value = -std::numeric_limits<double>::infinity();
+      return true;
+    case FaultKind::kOutOfRange:
+      *value = fired.param;
+      return true;
+    case FaultKind::kLatency:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          fired.param));
+      return false;
+    default:
+      return false;
+  }
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  for (std::string_view entry : Split(spec, ';')) {
+    entry = TrimWhitespace(entry);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry '", std::string(entry),
+                                     "' is not point=kind[:prob[:param[:max]]]");
+    }
+    std::string point(TrimWhitespace(entry.substr(0, eq)));
+    auto fields = Split(entry.substr(eq + 1), ':');
+    if (fields.empty()) {
+      return Status::InvalidArgument("fault spec entry for '", point,
+                                     "' has no kind");
+    }
+    FaultConfig config;
+    std::string kind(TrimWhitespace(fields[0]));
+    if (kind == "error" || kind == "ioerror") {
+      config.kind = FaultKind::kError;
+      config.code = StatusCode::kIOError;
+    } else if (kind == "corruption") {
+      config.kind = FaultKind::kError;
+      config.code = StatusCode::kCorruption;
+    } else if (kind == "nan") {
+      config.kind = FaultKind::kNaN;
+    } else if (kind == "posinf") {
+      config.kind = FaultKind::kPosInf;
+    } else if (kind == "neginf") {
+      config.kind = FaultKind::kNegInf;
+    } else if (kind == "oor") {
+      config.kind = FaultKind::kOutOfRange;
+    } else if (kind == "latency") {
+      config.kind = FaultKind::kLatency;
+      config.param = 1.0;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault kind '", kind,
+          "' (error | ioerror | corruption | nan | posinf | neginf | oor |"
+          " latency)");
+    }
+    if (fields.size() > 1 && !TrimWhitespace(fields[1]).empty()) {
+      if (!ParseDouble(fields[1], &config.probability) ||
+          config.probability < 0.0 || config.probability > 1.0) {
+        return Status::InvalidArgument("bad fault probability '", fields[1],
+                                       "' for '", point, "'");
+      }
+    }
+    if (fields.size() > 2 && !TrimWhitespace(fields[2]).empty()) {
+      if (!ParseDouble(fields[2], &config.param)) {
+        return Status::InvalidArgument("bad fault param '", fields[2],
+                                       "' for '", point, "'");
+      }
+    }
+    if (fields.size() > 3 && !TrimWhitespace(fields[3]).empty()) {
+      if (!ParseInt(fields[3], &config.max_triggers) ||
+          config.max_triggers < 0) {
+        return Status::InvalidArgument("bad fault max_triggers '", fields[3],
+                                       "' for '", point, "'");
+      }
+    }
+    if (fields.size() > 4) {
+      return Status::InvalidArgument("too many fields in fault spec for '",
+                                     point, "'");
+    }
+    Arm(point, config);
+  }
+  return Status::OK();
+}
+
+}  // namespace faults
+}  // namespace weber

@@ -1,0 +1,147 @@
+// Deterministic fault injection for chaos testing (RocksDB SyncPoint style).
+//
+// Production code declares named fault points at the places where the real
+// world misbehaves (I/O, similarity computation, model fitting, clustering):
+//
+//   WEBER_RETURN_NOT_OK(faults::MaybeFail("dataset_io.read"));
+//   double v = fn.Compute(a, b);
+//   faults::MaybeCorrupt("similarity.compute", &v);
+//
+// Fault points are disarmed by default and compile down to a single relaxed
+// atomic load on the hot path. Tests (or the CLI via --faults / the
+// WEBER_FAULTS environment variable) arm them with a kind, a probability and
+// an optional parameter; the trigger sequence is driven by a seedable
+// SplitMix64 stream per point, so chaos runs are exactly reproducible.
+//
+// Standard fault points wired into the library:
+//   dataset_io.read     LoadDatasetFromFile (transient I/O errors, retries)
+//   similarity.compute  raw similarity values (NaN / ±Inf / out-of-range)
+//   resolver.train      decision-criterion fitting inside ResolveBlock
+//   clustering.run      the final clustering step of Algorithm 1
+
+#ifndef WEBER_COMMON_FAULT_INJECTION_H_
+#define WEBER_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace weber {
+namespace faults {
+
+/// What an armed fault point does when it triggers.
+enum class FaultKind : int {
+  kError = 0,       ///< return a Status (code configurable, default IOError)
+  kNaN = 1,         ///< corrupt a value to quiet NaN
+  kPosInf = 2,      ///< corrupt a value to +infinity
+  kNegInf = 3,      ///< corrupt a value to -infinity
+  kOutOfRange = 4,  ///< corrupt a value to `param` (default 2.0, outside [0,1])
+  kLatency = 5,     ///< sleep `param` milliseconds, then succeed
+};
+
+struct FaultConfig {
+  FaultKind kind = FaultKind::kError;
+  /// Per-check trigger probability in [0, 1].
+  double probability = 1.0;
+  /// kOutOfRange: the injected value. kLatency: the delay in milliseconds.
+  double param = 2.0;
+  /// Status code returned by kError faults.
+  StatusCode code = StatusCode::kIOError;
+  /// Stop firing after this many triggers (0 = unlimited). Models transient
+  /// failures: arm with max_triggers=2 and a retry loop recovers on try 3.
+  int max_triggers = 0;
+};
+
+/// Process-wide fault-point registry. All methods are thread-safe; the
+/// armed-point table is mutex-protected and the disarmed fast path is one
+/// relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms (or re-arms) a named fault point. Resets its trigger counter and
+  /// reseeds its RNG stream from the current seed.
+  void Arm(const std::string& point, FaultConfig config);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Sets the base seed for all points' trigger streams. Affects points
+  /// armed after the call; re-arm to reseed existing points.
+  void Seed(uint64_t seed);
+
+  /// Arms fault points from a spec string:
+  ///
+  ///   point=kind[:probability[:param[:max_triggers]]](;point=...)*
+  ///
+  /// with kind in {error, ioerror, corruption, nan, posinf, neginf, oor,
+  /// latency} ("ioerror"/"corruption" are kError with that status code).
+  /// Example: "similarity.compute=nan:0.05;dataset_io.read=error:1:0:2".
+  Status ArmFromSpec(const std::string& spec);
+
+  /// True iff at least one point is armed (the hot-path gate).
+  bool AnyArmed() const { return any_armed_.load(std::memory_order_relaxed); }
+
+  /// How often the point has triggered since it was (re)armed.
+  long long TriggerCount(const std::string& point) const;
+
+  /// Names of currently armed points (diagnostics).
+  std::vector<std::string> ArmedPoints() const;
+
+  // Slow paths; use the free functions below.
+  Status CheckFail(const char* point);
+  bool CheckCorrupt(const char* point, double* value);
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    FaultConfig config;
+    uint64_t rng_state = 0;
+    long long triggers = 0;
+  };
+
+  /// Rolls the point's dice under the lock; returns the config if it fired.
+  bool Roll(const char* point, FaultConfig* fired);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+  uint64_t seed_ = 0x5EEDFA17ULL;
+  std::atomic<bool> any_armed_{false};
+};
+
+/// Returns a non-OK Status when the named point is armed with kError and
+/// triggers; sleeps and returns OK for kLatency. OK (and near-free) when
+/// nothing is armed.
+inline Status MaybeFail(const char* point) {
+  FaultInjector& fi = FaultInjector::Instance();
+  if (!fi.AnyArmed()) return Status::OK();
+  return fi.CheckFail(point);
+}
+
+/// Corrupts `*value` (NaN / ±Inf / out-of-range) when the named point is
+/// armed with a value-kind fault and triggers. Returns true iff corrupted.
+inline bool MaybeCorrupt(const char* point, double* value) {
+  FaultInjector& fi = FaultInjector::Instance();
+  if (!fi.AnyArmed()) return false;
+  return fi.CheckCorrupt(point, value);
+}
+
+/// Test helper: disarms every fault point on destruction, so a failing test
+/// cannot leak armed faults into the rest of the suite.
+class ScopedFaultClearance {
+ public:
+  ScopedFaultClearance() = default;
+  ~ScopedFaultClearance() { FaultInjector::Instance().DisarmAll(); }
+  ScopedFaultClearance(const ScopedFaultClearance&) = delete;
+  ScopedFaultClearance& operator=(const ScopedFaultClearance&) = delete;
+};
+
+}  // namespace faults
+}  // namespace weber
+
+#endif  // WEBER_COMMON_FAULT_INJECTION_H_

@@ -28,6 +28,32 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+int ExitCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kIOError:
+      return 3;
+    case StatusCode::kCorruption:
+      return 4;
+    case StatusCode::kNotFound:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kOutOfRange:
+      return 7;
+    case StatusCode::kAlreadyExists:
+      return 8;
+    case StatusCode::kNotImplemented:
+      return 9;
+    case StatusCode::kInternal:
+      return 10;
+  }
+  return 1;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));

@@ -32,6 +32,13 @@ enum class StatusCode : int {
 /// "InvalidArgument", ...).
 std::string_view StatusCodeToString(StatusCode code);
 
+/// Stable process exit code for a status code, so scripted CLI callers can
+/// branch on the failure class: 0=OK, 2=InvalidArgument, 3=IOError,
+/// 4=Corruption, 5=NotFound, 6=FailedPrecondition, 7=OutOfRange,
+/// 8=AlreadyExists, 9=NotImplemented, 10=Internal. (1 is reserved for
+/// failures outside the Status taxonomy.)
+int ExitCodeForStatus(StatusCode code);
+
 /// Outcome of an operation: a code plus an explanatory message.
 ///
 /// Typical usage:

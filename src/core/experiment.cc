@@ -72,6 +72,7 @@ Result<ExperimentResult> ExperimentRunner::Run(
           BlockResolution resolution,
           resolver.ResolveExtracted(block_bundles_[b], block.entity_labels,
                                     training_pairs_[run][b], &rng));
+      result.health.Merge(resolution.health);
       WEBER_ASSIGN_OR_RETURN(
           eval::MetricReport report,
           eval::Evaluate(block.GroundTruth(), resolution.clustering));
@@ -160,6 +161,20 @@ Status WriteExperimentJson(const corpus::Dataset& dataset, int num_runs,
     };
     json.Key("overall");
     write_report(r.overall);
+    json.Key("health");
+    json.BeginObject();
+    json.Key("value_violations").Number(r.health.value_violations);
+    json.Key("asymmetry_violations").Number(r.health.asymmetry_violations);
+    json.Key("quarantined_functions").Number(r.health.quarantined_functions);
+    json.Key("skipped_criteria").Number(r.health.skipped_criteria);
+    json.Key("degraded_blocks").Number(r.health.degraded_blocks);
+    json.Key("deadline_hits").Number(r.health.deadline_hits);
+    json.Key("budget_hits").Number(r.health.budget_hits);
+    json.Key("skipped_pairs").Number(r.health.skipped_pairs);
+    json.Key("clustering_fallbacks").Number(r.health.clustering_fallbacks);
+    json.Key("retried_loads").Number(r.health.retried_loads);
+    json.Key("skipped_blocks").Number(r.health.skipped_blocks);
+    json.EndObject();
     json.Key("per_block").BeginArray();
     for (size_t b = 0; b < r.per_block.size(); ++b) {
       json.BeginObject();

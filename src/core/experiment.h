@@ -36,6 +36,10 @@ struct ExperimentResult {
   eval::MetricReport overall;
   /// Per-block run-averaged reports, aligned with the dataset's blocks.
   std::vector<eval::MetricReport> per_block;
+  /// Summed degradation counters over every (run, block) resolution of this
+  /// configuration; all-zero for a clean run. Serialized into the
+  /// experiment JSON.
+  RunHealth health;
 };
 
 /// Shares extraction and training splits across configurations.

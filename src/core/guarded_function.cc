@@ -1,0 +1,43 @@
+#include "core/guarded_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fault_injection.h"
+
+namespace weber {
+namespace core {
+
+double GuardedSimilarityFunction::Compute(const extract::FeatureBundle& a,
+                                          const extract::FeatureBundle& b) const {
+  ++calls_;
+  double raw = inner_->Compute(a, b);
+  faults::MaybeCorrupt("similarity.compute", &raw);
+
+  double value = raw;
+  if (!std::isfinite(value)) {
+    ++counters_.non_finite;
+    value = 0.0;
+  } else if (value < 0.0 || value > 1.0) {
+    ++counters_.out_of_range;
+    value = std::clamp(value, 0.0, 1.0);
+  } else if (options_.symmetry_check_interval > 0 &&
+             calls_ % options_.symmetry_check_interval == 0) {
+    // Spot-check symmetry on healthy values only: a corrupted value already
+    // counted above, and comparing against it would double-report.
+    double reversed = inner_->Compute(b, a);
+    if (!std::isfinite(reversed) ||
+        std::abs(reversed - raw) > options_.symmetry_tolerance) {
+      ++counters_.asymmetry;
+    }
+  }
+
+  if (!quarantined_ && options_.quarantine_threshold > 0 &&
+      counters_.total() >= options_.quarantine_threshold) {
+    quarantined_ = true;
+  }
+  return value;
+}
+
+}  // namespace core
+}  // namespace weber

@@ -1,0 +1,90 @@
+// GuardedSimilarityFunction: runtime enforcement of the SimilarityFunction
+// contract (symmetric, finite, in [0,1] — similarity_function.h).
+//
+// The paper's Algorithm 1 assumes well-behaved f_i; in production a single
+// buggy or numerically unstable function (NaN from a 0/0 cosine, an
+// unnormalized overlap count, an asymmetric heuristic) must not poison the
+// whole block. The guard decorates a function and
+//
+//   * clamps non-finite and out-of-range values into [0,1] (NaN -> 0),
+//   * spot-checks symmetry every Nth call by evaluating the reversed pair,
+//   * counts violations per kind, and
+//   * quarantines the function once violations reach a threshold; the
+//     resolver then drops its decision graphs and continues with the
+//     remaining functions.
+//
+// The guard also hosts the `similarity.compute` fault point, so chaos tests
+// can inject NaN/Inf/out-of-range values between the inner function and the
+// contract check.
+//
+// Guards accumulate state in Compute() and are therefore NOT thread-safe:
+// create one set of guards per resolve call (EntityResolver does this), not
+// one shared set per process.
+
+#ifndef WEBER_CORE_GUARDED_FUNCTION_H_
+#define WEBER_CORE_GUARDED_FUNCTION_H_
+
+#include <string>
+
+#include "core/similarity_function.h"
+
+namespace weber {
+namespace core {
+
+struct GuardOptions {
+  /// Violations (of any kind) after which the function is quarantined.
+  /// 0 disables quarantine (violations are still clamped and counted).
+  int quarantine_threshold = 8;
+  /// Every Nth Compute() also evaluates the reversed pair and compares.
+  /// 0 disables the spot-check. The check is pure recomputation — it draws
+  /// no randomness and never alters the returned value, so enabling it
+  /// cannot perturb resolution results.
+  int symmetry_check_interval = 64;
+  /// Maximum |Compute(a,b) - Compute(b,a)| before the pair counts as an
+  /// asymmetry violation.
+  double symmetry_tolerance = 1e-9;
+};
+
+struct ViolationCounters {
+  long long non_finite = 0;    ///< NaN or ±Inf results
+  long long out_of_range = 0;  ///< finite but outside [0,1]
+  long long asymmetry = 0;     ///< failed symmetry spot-checks
+
+  long long total() const { return non_finite + out_of_range + asymmetry; }
+};
+
+/// Contract-enforcing decorator. Does not own the inner function.
+class GuardedSimilarityFunction final : public SimilarityFunction {
+ public:
+  GuardedSimilarityFunction(const SimilarityFunction* inner,
+                            GuardOptions options)
+      : inner_(inner), options_(options) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  std::string_view description() const override {
+    return inner_->description();
+  }
+
+  /// The inner value, validated and clamped into [0,1]. Keeps computing
+  /// (and clamping) after quarantine so an already-running matrix pass
+  /// stays well-defined; callers decide what to do with a quarantined
+  /// function's output.
+  double Compute(const extract::FeatureBundle& a,
+                 const extract::FeatureBundle& b) const override;
+
+  bool quarantined() const { return quarantined_; }
+  const ViolationCounters& violations() const { return counters_; }
+  long long calls() const { return calls_; }
+
+ private:
+  const SimilarityFunction* inner_;
+  GuardOptions options_;
+  mutable ViolationCounters counters_;
+  mutable long long calls_ = 0;
+  mutable bool quarantined_ = false;
+};
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_GUARDED_FUNCTION_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/timer.h"
 #include "core/decision.h"
 #include "ml/splitter.h"
 
@@ -99,6 +101,15 @@ std::string ClusteringAlgorithmToString(ClusteringAlgorithm a) {
 
 Result<EntityResolver> EntityResolver::Create(
     const extract::Gazetteer* gazetteer, ResolverOptions options) {
+  WEBER_ASSIGN_OR_RETURN(auto functions,
+                         MakeFunctions(options.function_names));
+  return CreateWithFunctions(gazetteer, std::move(options),
+                             std::move(functions));
+}
+
+Result<EntityResolver> EntityResolver::CreateWithFunctions(
+    const extract::Gazetteer* gazetteer, ResolverOptions options,
+    std::vector<std::unique_ptr<SimilarityFunction>> functions) {
   if (gazetteer == nullptr) {
     return Status::InvalidArgument("EntityResolver: null gazetteer");
   }
@@ -106,10 +117,20 @@ Result<EntityResolver> EntityResolver::Create(
     return Status::InvalidArgument("EntityResolver: train_fraction must be in"
                                    " (0, 1], got ", options.train_fraction);
   }
-  WEBER_ASSIGN_OR_RETURN(auto functions,
-                         MakeFunctions(options.function_names));
   if (functions.empty()) {
     return Status::InvalidArgument("EntityResolver: no similarity functions");
+  }
+  for (const auto& fn : functions) {
+    if (fn == nullptr) {
+      return Status::InvalidArgument("EntityResolver: null similarity function");
+    }
+  }
+  if (options.deadline_ms < 0.0) {
+    return Status::InvalidArgument("EntityResolver: deadline_ms must be >= 0");
+  }
+  if (options.max_pair_budget < 0) {
+    return Status::InvalidArgument(
+        "EntityResolver: max_pair_budget must be >= 0");
   }
   return EntityResolver(gazetteer, std::move(options), std::move(functions));
 }
@@ -176,12 +197,72 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
   }
 
   const std::vector<std::pair<int, int>>& train_pairs = training_pairs;
+  RunHealth& health = resolution.health;
 
-  // --- Step 1: complete weighted graph per function. ---
-  std::vector<graph::SimilarityMatrix> matrices;
-  matrices.reserve(functions_.size());
-  for (const auto& fn : functions_) {
-    matrices.push_back(ComputeSimilarityMatrix(*fn, bundles));
+  WallTimer timer;
+  auto deadline_exceeded = [&]() {
+    return options_.deadline_ms > 0.0 &&
+           timer.ElapsedMillis() > options_.deadline_ms;
+  };
+
+  // Per-call guards: quarantine state is per block, so one poisoned block
+  // cannot blacklist a function for the rest of the run, and concurrent
+  // ResolveExtracted calls on the same resolver stay thread-compatible.
+  std::vector<GuardedSimilarityFunction> guards;
+  if (options_.guard_functions) {
+    guards.reserve(functions_.size());
+    for (const auto& fn : functions_) {
+      guards.emplace_back(fn.get(), options_.guard);
+    }
+  }
+
+  // --- Step 1: complete weighted graph per function, under the pair budget
+  // and deadline. ---
+  const long long pairs_per_matrix =
+      static_cast<long long>(n) * (n - 1) / 2;
+  long long pairs_spent = 0;
+  std::vector<graph::SimilarityMatrix> matrices(functions_.size());
+  std::vector<char> computed(functions_.size(), 0);
+  std::vector<char> quarantined(functions_.size(), 0);
+  for (size_t f = 0; f < functions_.size(); ++f) {
+    if (options_.max_pair_budget > 0 &&
+        pairs_spent + pairs_per_matrix > options_.max_pair_budget) {
+      if (health.budget_hits == 0) health.budget_hits = 1;
+      health.skipped_pairs += pairs_per_matrix;
+      continue;
+    }
+    if (deadline_exceeded()) {
+      if (health.deadline_hits == 0) health.deadline_hits = 1;
+      health.skipped_pairs += pairs_per_matrix;
+      continue;
+    }
+    const SimilarityFunction& fn =
+        options_.guard_functions ? static_cast<const SimilarityFunction&>(
+                                       guards[f])
+                                 : *functions_[f];
+    matrices[f] = ComputeSimilarityMatrix(fn, bundles);
+    computed[f] = 1;
+    pairs_spent += pairs_per_matrix;
+    if (options_.guard_functions && guards[f].quarantined()) {
+      quarantined[f] = 1;
+      ++health.quarantined_functions;
+    }
+  }
+  if (options_.guard_functions) {
+    for (const GuardedSimilarityFunction& g : guards) {
+      health.value_violations +=
+          g.violations().non_finite + g.violations().out_of_range;
+      health.asymmetry_violations += g.violations().asymmetry;
+    }
+  }
+
+  // Layout helper for pair offsets (all matrices share the same indexing).
+  const graph::SimilarityMatrix* layout = nullptr;
+  for (size_t f = 0; f < matrices.size(); ++f) {
+    if (computed[f]) {
+      layout = &matrices[f];
+      break;
+    }
   }
 
   // --- Steps 2-4: fit criteria per function, build decision graphs with
@@ -189,32 +270,46 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
   std::vector<DecisionSource> sources;
   std::vector<TrainingPair> training_offsets;
   training_offsets.reserve(train_pairs.size());
-  if (!train_pairs.empty()) {
-    const graph::SimilarityMatrix& any = matrices.front();
+  if (!train_pairs.empty() && layout != nullptr) {
     for (const auto& [a, b] : train_pairs) {
       training_offsets.push_back(
-          {a, b, any.Index(a, b), entity_labels[a] == entity_labels[b]});
+          {a, b, layout->Index(a, b), entity_labels[a] == entity_labels[b]});
     }
   }
 
   // Informativeness gate (optional extension): pairs with too little page
   // evidence cannot carry positive decisions.
   std::vector<char> pair_gated;
-  if (options_.min_pair_informativeness > 0.0) {
-    pair_gated.assign(matrices.front().num_pairs(), 0);
-    const graph::SimilarityMatrix& layout = matrices.front();
+  if (options_.min_pair_informativeness > 0.0 && layout != nullptr) {
+    pair_gated.assign(layout->num_pairs(), 0);
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) {
         double evidence = std::sqrt(bundles[i].informativeness *
                                     bundles[j].informativeness);
         if (evidence < options_.min_pair_informativeness) {
-          pair_gated[layout.Index(i, j)] = 1;
+          pair_gated[layout->Index(i, j)] = 1;
         }
       }
     }
   }
 
+  // First fitting failure, preserved so a clean-but-unfittable run (e.g. an
+  // empty training sample) still surfaces the underlying error instead of
+  // silently degrading.
+  Status first_fit_error = Status::OK();
+  long long fault_skips = 0;
+
   for (size_t f = 0; f < functions_.size(); ++f) {
+    if (!computed[f]) continue;
+    // A quarantined function's values are untrustworthy end to end: drop
+    // its decision graphs and continue with the remaining functions. The
+    // RNG stream then matches a run that omitted the function, so the
+    // resolution is identical to never having included it.
+    if (quarantined[f]) continue;
+    if (deadline_exceeded()) {
+      if (health.deadline_hits == 0) health.deadline_hits = 1;
+      break;
+    }
     const graph::SimilarityMatrix& sims = matrices[f];
 
     std::vector<ml::LabeledSimilarity> training;
@@ -243,19 +338,32 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
     }
 
     for (const CriterionFactory& factory : factories) {
+      if (Status fault = faults::MaybeFail("resolver.train"); !fault.ok()) {
+        ++health.skipped_criteria;
+        ++fault_skips;
+        continue;
+      }
       std::unique_ptr<DecisionCriterion> criterion = factory();
-      WEBER_RETURN_NOT_OK(criterion->Fit(training, rng));
+      if (Status fit = criterion->Fit(training, rng); !fit.ok()) {
+        if (first_fit_error.ok()) first_fit_error = fit;
+        ++health.skipped_criteria;
+        continue;
+      }
       // Rank decision graphs by cross-validated post-closure F1, not
       // in-sample pair accuracy: with up to 30 competing graphs, in-sample
       // ranking suffers a strong winner's curse, and raw pair accuracy is
       // swamped by the negative class.
-      WEBER_ASSIGN_OR_RETURN(
-          double graph_score,
-          CvGraphScore(factory, sims, labeled_pairs, /*folds=*/3, rng));
+      Result<double> graph_score =
+          CvGraphScore(factory, sims, labeled_pairs, /*folds=*/3, rng);
+      if (!graph_score.ok()) {
+        if (first_fit_error.ok()) first_fit_error = graph_score.status();
+        ++health.skipped_criteria;
+        continue;
+      }
       DecisionSource source;
       source.function_name = std::string(functions_[f]->name());
       source.criterion_name = criterion->name();
-      source.train_accuracy = graph_score;
+      source.train_accuracy = *graph_score;
       source.decisions = graph::DecisionGraph(n, 0, 1);
       source.link_probs = graph::SimilarityMatrix(n, 0.0, 1.0);
       const auto& values = sims.data();
@@ -277,28 +385,91 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
     }
   }
 
-  // --- Step 5: combine. ---
-  WEBER_ASSIGN_OR_RETURN(
-      CombinedGraph combined,
-      CombineDecisionGraphs(sources, training_offsets, options_.combination));
-  resolution.chosen_source = combined.chosen_source;
+  bool used_fallback = false;
+  if (sources.empty()) {
+    // No usable decision graph. If fitting failed on otherwise healthy
+    // inputs (no quarantine, no deadline/budget cut, no injected faults),
+    // keep the strict contract and report the error.
+    const bool degraded_cause = health.quarantined_functions > 0 ||
+                                health.deadline_hits > 0 ||
+                                health.budget_hits > 0 || fault_skips > 0;
+    if (!first_fit_error.ok() && !degraded_cause) return first_fit_error;
 
-  // --- Step 6: cluster. ---
-  switch (options_.clustering) {
-    case ClusteringAlgorithm::kTransitiveClosure:
-      resolution.clustering = graph::TransitiveClosure(combined.decisions);
-      break;
-    case ClusteringAlgorithm::kCorrelationClustering: {
-      graph::CorrelationClusteringOptions cc = options_.correlation_options;
-      cc.seed = rng->NextUint64();
-      resolution.clustering =
-          graph::CorrelationClustering(combined.link_probs, cc);
-      break;
+    // Graceful degradation: plain-threshold baseline over the mean of the
+    // computed (guarded, clamped) matrices; singletons when even that is
+    // impossible. Never fail the block for a recoverable cause.
+    used_fallback = true;
+    resolution.clustering = graph::Clustering::Singletons(n);
+    resolution.chosen_source = "fallback/singletons";
+    if (layout != nullptr && !train_pairs.empty()) {
+      graph::SimilarityMatrix mean(n, 0.0, 1.0);
+      int used = 0;
+      for (size_t f = 0; f < matrices.size(); ++f) {
+        if (!computed[f]) continue;
+        const auto& values = matrices[f].data();
+        auto& acc = mean.data();
+        for (size_t k = 0; k < values.size(); ++k) acc[k] += values[k];
+        ++used;
+      }
+      if (used > 0) {
+        for (double& v : mean.data()) v /= used;
+        std::vector<ml::LabeledSimilarity> training;
+        training.reserve(train_pairs.size());
+        for (const auto& [a, b] : train_pairs) {
+          training.push_back(
+              {mean.Get(a, b), entity_labels[a] == entity_labels[b]});
+        }
+        ThresholdCriterion threshold;
+        if (threshold.Fit(training, rng).ok()) {
+          graph::DecisionGraph decisions(n, 0, 1);
+          const auto& values = mean.data();
+          auto& dec = decisions.data();
+          for (size_t k = 0; k < values.size(); ++k) {
+            dec[k] = threshold.Decide(values[k]) ? 1 : 0;
+            if (!pair_gated.empty() && pair_gated[k]) dec[k] = 0;
+          }
+          resolution.clustering = graph::TransitiveClosure(decisions);
+          resolution.chosen_source = "fallback/threshold";
+        }
+      }
     }
-    case ClusteringAlgorithm::kAgglomerative:
-      resolution.clustering = graph::AgglomerativeClustering(
-          combined.link_probs, options_.agglomerative_options);
-      break;
+  } else {
+    // --- Step 5: combine. ---
+    WEBER_ASSIGN_OR_RETURN(
+        CombinedGraph combined,
+        CombineDecisionGraphs(sources, training_offsets, options_.combination));
+    resolution.chosen_source = combined.chosen_source;
+
+    // --- Step 6: cluster. ---
+    if (Status fault = faults::MaybeFail("clustering.run"); !fault.ok()) {
+      // The robust default: transitive closure needs no parameters and
+      // cannot fail, so a broken clustering backend degrades to the
+      // paper's baseline clustering instead of failing the block.
+      ++health.clustering_fallbacks;
+      resolution.clustering = graph::TransitiveClosure(combined.decisions);
+    } else {
+      switch (options_.clustering) {
+        case ClusteringAlgorithm::kTransitiveClosure:
+          resolution.clustering = graph::TransitiveClosure(combined.decisions);
+          break;
+        case ClusteringAlgorithm::kCorrelationClustering: {
+          graph::CorrelationClusteringOptions cc = options_.correlation_options;
+          cc.seed = rng->NextUint64();
+          resolution.clustering =
+              graph::CorrelationClustering(combined.link_probs, cc);
+          break;
+        }
+        case ClusteringAlgorithm::kAgglomerative:
+          resolution.clustering = graph::AgglomerativeClustering(
+              combined.link_probs, options_.agglomerative_options);
+          break;
+      }
+    }
+  }
+
+  if (used_fallback || health.deadline_hits > 0 || health.budget_hits > 0 ||
+      health.clustering_fallbacks > 0) {
+    health.degraded_blocks = 1;
   }
   return resolution;
 }

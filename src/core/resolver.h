@@ -17,6 +17,8 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "core/combiner.h"
+#include "core/guarded_function.h"
+#include "core/run_health.h"
 #include "core/similarity_function.h"
 #include "corpus/document.h"
 #include "extract/feature_extractor.h"
@@ -83,6 +85,29 @@ struct ResolverOptions {
   int min_train_size = 10;
 
   extract::FeatureExtractorOptions extractor;
+
+  // --- Robustness (hardening substrate; see DESIGN.md "Failure model"). ---
+
+  /// Wrap every similarity function in a GuardedSimilarityFunction that
+  /// clamps non-finite / out-of-range values, spot-checks symmetry and
+  /// quarantines repeat offenders. The guard is value-transparent for
+  /// contract-abiding functions, so disabling it only removes the safety
+  /// net (it never changes results of well-behaved runs).
+  bool guard_functions = true;
+  GuardOptions guard;
+
+  /// Soft wall-clock deadline for one ResolveExtracted call, checked
+  /// cooperatively between similarity matrices and decision criteria. When
+  /// exceeded, the block resolves from the sources computed so far (or the
+  /// threshold fallback) and is marked degraded. 0 disables.
+  double deadline_ms = 0.0;
+
+  /// Maximum pairwise similarity evaluations per block across all
+  /// functions. Protects against one pathologically large block starving
+  /// the rest of a run. When the next function's matrix would exceed the
+  /// budget, remaining functions are skipped and the block is marked
+  /// degraded. 0 disables.
+  long long max_pair_budget = 0;
 };
 
 /// Diagnostics for one (function, criterion) decision graph.
@@ -105,6 +130,13 @@ struct BlockResolution {
 
   /// The labeled pairs used for training in this run.
   std::vector<std::pair<int, int>> training_pairs;
+
+  /// Degradation diagnostics for this block (all-zero on a clean run).
+  /// `health.degraded_blocks` is 1 when the result is partial: a deadline
+  /// or pair budget was hit, all functions were quarantined (threshold
+  /// fallback), or the configured clustering failed and transitive closure
+  /// substituted.
+  RunHealth health;
 };
 
 /// Per-block entity resolver. Construct once (feature extraction config +
@@ -116,6 +148,13 @@ class EntityResolver {
   /// failure.
   static Result<EntityResolver> Create(const extract::Gazetteer* gazetteer,
                                        ResolverOptions options);
+
+  /// As Create, but with an explicit function set instead of resolving
+  /// `options.function_names` through the registry. Lets callers (and chaos
+  /// tests) inject custom — including deliberately misbehaving — functions.
+  static Result<EntityResolver> CreateWithFunctions(
+      const extract::Gazetteer* gazetteer, ResolverOptions options,
+      std::vector<std::unique_ptr<SimilarityFunction>> functions);
 
   /// Runs Algorithm 1 on one labeled block. `rng` drives the training
   /// sample and k-means seeding; pass a differently-seeded Rng per run to

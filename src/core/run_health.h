@@ -1,0 +1,70 @@
+// RunHealth: diagnostics counters describing how much a resolution run had
+// to degrade to complete. All-zero means the run was pristine; nonzero
+// fields record recovered faults (clamped similarity values, quarantined
+// functions, skipped criteria, deadline/budget cuts, corrupt blocks skipped
+// by lenient loading, retried loads). Threaded through BlockResolution and
+// ExperimentResult and serialized into the experiment JSON so operators can
+// alert on degradation instead of discovering it in the output quality.
+
+#ifndef WEBER_CORE_RUN_HEALTH_H_
+#define WEBER_CORE_RUN_HEALTH_H_
+
+namespace weber {
+namespace core {
+
+struct RunHealth {
+  /// Similarity values clamped by the guard (NaN / ±Inf / outside [0,1]).
+  long long value_violations = 0;
+  /// Symmetry spot-checks that found Compute(a,b) != Compute(b,a).
+  long long asymmetry_violations = 0;
+  /// Similarity functions quarantined after repeated contract violations.
+  long long quarantined_functions = 0;
+  /// Decision-criterion fits skipped because fitting failed.
+  long long skipped_criteria = 0;
+  /// Blocks whose result is partial: deadline/budget hit, all functions
+  /// quarantined (threshold fallback), or clustering fallback.
+  long long degraded_blocks = 0;
+  /// Blocks that hit ResolverOptions::deadline_ms.
+  long long deadline_hits = 0;
+  /// Blocks that hit ResolverOptions::max_pair_budget.
+  long long budget_hits = 0;
+  /// Pairwise similarity evaluations skipped by deadline/budget cuts.
+  long long skipped_pairs = 0;
+  /// Configured clustering algorithm failed; fell back to transitive
+  /// closure.
+  long long clustering_fallbacks = 0;
+  /// Dataset load attempts retried on transient I/O errors.
+  long long retried_loads = 0;
+  /// Corrupt blocks skipped by lenient dataset loading.
+  long long skipped_blocks = 0;
+
+  long long TotalViolations() const {
+    return value_violations + asymmetry_violations;
+  }
+
+  bool AnyDegradation() const {
+    return TotalViolations() + quarantined_functions + skipped_criteria +
+               degraded_blocks + deadline_hits + budget_hits + skipped_pairs +
+               clustering_fallbacks + retried_loads + skipped_blocks >
+           0;
+  }
+
+  void Merge(const RunHealth& other) {
+    value_violations += other.value_violations;
+    asymmetry_violations += other.asymmetry_violations;
+    quarantined_functions += other.quarantined_functions;
+    skipped_criteria += other.skipped_criteria;
+    degraded_blocks += other.degraded_blocks;
+    deadline_hits += other.deadline_hits;
+    budget_hits += other.budget_hits;
+    skipped_pairs += other.skipped_pairs;
+    clustering_fallbacks += other.clustering_fallbacks;
+    retried_loads += other.retried_loads;
+    skipped_blocks += other.skipped_blocks;
+  }
+};
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_RUN_HEALTH_H_

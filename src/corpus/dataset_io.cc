@@ -1,14 +1,24 @@
 #include "corpus/dataset_io.h"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace weber {
 namespace corpus {
 
 namespace {
+
+/// Plausibility bounds for serialized counts: a corrupt or hostile header
+/// must be rejected before any memory is reserved for it. Three orders of
+/// magnitude above anything the generator or the paper's corpora produce.
+constexpr int kMaxDocumentsPerBlock = 1000000;
+constexpr int kMaxTextLinesPerDocument = 10000000;
 
 int CountLines(const std::string& text) {
   if (text.empty()) return 0;
@@ -57,10 +67,18 @@ Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> LoadDataset(std::istream& is) {
+  return LoadDataset(is, LoadOptions{}, nullptr);
+}
+
+Result<Dataset> LoadDataset(std::istream& is, const LoadOptions& options,
+                            LoadReport* report) {
   Dataset dataset;
   std::string line;
   int line_no = 0;
   bool saw_header = false;
+  // True when `line` already holds the next unconsumed directive (set after
+  // a lenient skip scans forward to the next #block).
+  bool have_line = false;
 
   auto next_line = [&]() -> bool {
     if (!std::getline(is, line)) return false;
@@ -68,7 +86,72 @@ Result<Dataset> LoadDataset(std::istream& is) {
     return true;
   };
 
-  while (next_line()) {
+  // Reads one block body (after its #block header) into `block`.
+  auto parse_block = [&](int declared_docs, Block* block) -> Status {
+    block->documents.reserve(
+        static_cast<size_t>(std::min(declared_docs, 65536)));
+    block->entity_labels.reserve(
+        static_cast<size_t>(std::min(declared_docs, 65536)));
+    for (int d = 0; d < declared_docs; ++d) {
+      if (!next_line()) return ParseError(line_no, "unexpected EOF in block");
+      std::string_view doc_line = TrimWhitespace(line);
+      if (!StartsWith(doc_line, "#doc ")) {
+        return ParseError(line_no, "expected #doc");
+      }
+      auto doc_parts = SplitWhitespace(doc_line.substr(5));
+      if (doc_parts.size() != 2) return ParseError(line_no, "malformed #doc");
+      Document doc;
+      doc.id = doc_parts[0];
+      int label = 0;
+      if (!ParseInt(doc_parts[1], &label)) {
+        return ParseError(line_no, "bad entity label");
+      }
+      if (!next_line()) return ParseError(line_no, "unexpected EOF after #doc");
+      std::string_view url_line = TrimWhitespace(line);
+      if (!StartsWith(url_line, "#url ")) {
+        return ParseError(line_no, "expected #url");
+      }
+      doc.url = std::string(TrimWhitespace(url_line.substr(5)));
+      if (!next_line()) return ParseError(line_no, "unexpected EOF after #url");
+      std::string_view text_line = TrimWhitespace(line);
+      if (!StartsWith(text_line, "#text ")) {
+        return ParseError(line_no, "expected #text");
+      }
+      int text_lines = 0;
+      if (!ParseInt(text_line.substr(6), &text_lines) || text_lines < 0 ||
+          text_lines > kMaxTextLinesPerDocument) {
+        return ParseError(line_no, "bad text line count");
+      }
+      std::string text;
+      for (int t = 0; t < text_lines; ++t) {
+        if (!next_line()) return ParseError(line_no, "unexpected EOF in text");
+        text += line;
+        if (t + 1 < text_lines) text += '\n';
+      }
+      doc.text = std::move(text);
+      block->documents.push_back(std::move(doc));
+      block->entity_labels.push_back(label);
+    }
+    return Status::OK();
+  };
+
+  // Lenient recovery: record the error, then scan forward to the next
+  // #block directive (left in `line` for the main loop) or EOF.
+  auto skip_block = [&](const std::string& query, const Status& error) {
+    if (report != nullptr) {
+      ++report->blocks_skipped;
+      report->block_errors.push_back({query, line_no, error});
+    }
+    while (next_line()) {
+      if (StartsWith(TrimWhitespace(line), "#block ")) {
+        have_line = true;
+        return;
+      }
+    }
+  };
+
+  while (have_line || next_line()) {
+    have_line = false;
     std::string_view view = TrimWhitespace(line);
     if (view.empty()) continue;
     if (StartsWith(view, "#dataset ")) {
@@ -77,55 +160,37 @@ Result<Dataset> LoadDataset(std::istream& is) {
     } else if (StartsWith(view, "#block ")) {
       if (!saw_header) return ParseError(line_no, "#block before #dataset");
       auto parts = SplitWhitespace(view.substr(7));
-      if (parts.size() != 2) return ParseError(line_no, "malformed #block");
       Block block;
-      block.query = parts[0];
       int declared_docs = 0;
-      if (!ParseInt(parts[1], &declared_docs) || declared_docs < 0) {
-        return ParseError(line_no, "bad document count");
+      Status header = Status::OK();
+      if (parts.size() != 2) {
+        header = ParseError(line_no, "malformed #block");
+      } else {
+        block.query = parts[0];
+        if (!ParseInt(parts[1], &declared_docs) || declared_docs < 0) {
+          header = ParseError(line_no, "bad document count");
+        } else if (declared_docs > kMaxDocumentsPerBlock) {
+          header = ParseError(line_no, "implausible document count");
+        }
       }
-      for (int d = 0; d < declared_docs; ++d) {
-        if (!next_line()) return ParseError(line_no, "unexpected EOF in block");
-        std::string_view doc_line = TrimWhitespace(line);
-        if (!StartsWith(doc_line, "#doc ")) {
-          return ParseError(line_no, "expected #doc");
-        }
-        auto doc_parts = SplitWhitespace(doc_line.substr(5));
-        if (doc_parts.size() != 2) return ParseError(line_no, "malformed #doc");
-        Document doc;
-        doc.id = doc_parts[0];
-        int label = 0;
-        if (!ParseInt(doc_parts[1], &label)) {
-          return ParseError(line_no, "bad entity label");
-        }
-        if (!next_line()) return ParseError(line_no, "unexpected EOF after #doc");
-        std::string_view url_line = TrimWhitespace(line);
-        if (!StartsWith(url_line, "#url ")) {
-          return ParseError(line_no, "expected #url");
-        }
-        doc.url = std::string(TrimWhitespace(url_line.substr(5)));
-        if (!next_line()) return ParseError(line_no, "unexpected EOF after #url");
-        std::string_view text_line = TrimWhitespace(line);
-        if (!StartsWith(text_line, "#text ")) {
-          return ParseError(line_no, "expected #text");
-        }
-        int text_lines = 0;
-        if (!ParseInt(text_line.substr(6), &text_lines) || text_lines < 0) {
-          return ParseError(line_no, "bad text line count");
-        }
-        std::string text;
-        for (int t = 0; t < text_lines; ++t) {
-          if (!next_line()) return ParseError(line_no, "unexpected EOF in text");
-          text += line;
-          if (t + 1 < text_lines) text += '\n';
-        }
-        doc.text = std::move(text);
-        block.documents.push_back(std::move(doc));
-        block.entity_labels.push_back(label);
+      if (!header.ok()) {
+        if (!options.lenient) return header;
+        skip_block(block.query, header);
+        continue;
+      }
+      if (Status body = parse_block(declared_docs, &block); !body.ok()) {
+        if (!options.lenient) return body;
+        skip_block(block.query, body);
+        continue;
       }
       dataset.blocks.push_back(std::move(block));
+      if (report != nullptr) ++report->blocks_loaded;
     } else {
-      return ParseError(line_no, "unrecognized directive");
+      if (!options.lenient) {
+        return ParseError(line_no, "unrecognized directive");
+      }
+      // Lenient: stray top-level lines are usually debris from a block the
+      // parser already gave up on; drop them and keep scanning.
     }
   }
   if (!saw_header) return Status::Corruption("missing #dataset header");
@@ -133,9 +198,33 @@ Result<Dataset> LoadDataset(std::istream& is) {
 }
 
 Result<Dataset> LoadDatasetFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for reading: ", path);
-  return LoadDataset(in);
+  return LoadDatasetFromFile(path, LoadOptions{}, nullptr);
+}
+
+Result<Dataset> LoadDatasetFromFile(const std::string& path,
+                                    const LoadOptions& options,
+                                    LoadReport* report) {
+  const int max_retries = std::max(0, options.max_retries);
+  for (int attempt = 0;; ++attempt) {
+    Result<Dataset> result = [&]() -> Result<Dataset> {
+      WEBER_RETURN_NOT_OK(faults::MaybeFail("dataset_io.read"));
+      std::ifstream in(path);
+      if (!in) return Status::IOError("cannot open for reading: ", path);
+      return LoadDataset(in, options, report);
+    }();
+    // Only transient I/O failures are worth retrying; Corruption is a
+    // property of the bytes and will not go away.
+    if (result.ok() || result.status().code() != StatusCode::kIOError ||
+        attempt >= max_retries) {
+      return result;
+    }
+    if (report != nullptr) ++report->retries;
+    const int backoff = std::min(
+        std::max(0, options.retry_backoff_ms) * (1 << attempt), 1000);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+  }
 }
 
 Status SaveGazetteer(const extract::Gazetteer& gazetteer, std::ostream& os) {

@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -29,10 +30,50 @@ namespace corpus {
 Status SaveDataset(const Dataset& dataset, std::ostream& os);
 Status SaveDatasetToFile(const Dataset& dataset, const std::string& path);
 
+/// Dataset loading behavior.
+struct LoadOptions {
+  /// Strict (default): any malformed line fails the whole file with
+  /// Corruption. Lenient: a corrupt block is skipped — the parser records
+  /// the error, scans forward to the next `#block` directive and keeps
+  /// going — so one bad block does not discard an otherwise usable file.
+  bool lenient = false;
+
+  /// LoadDatasetFromFile only: retry transient IOError failures (open
+  /// failures, injected `dataset_io.read` faults) up to this many extra
+  /// attempts with bounded exponential backoff. Corruption is never
+  /// retried; re-reading a malformed file cannot fix it.
+  int max_retries = 0;
+
+  /// Base backoff before the first retry; doubles per attempt, capped at
+  /// one second.
+  int retry_backoff_ms = 10;
+};
+
+/// One skipped block (lenient mode).
+struct BlockLoadError {
+  std::string query;  ///< May be empty when the #block header itself failed.
+  int line_no = 0;
+  Status status;
+};
+
+/// What loading had to tolerate; all-zero/empty for a clean strict load.
+struct LoadReport {
+  int blocks_loaded = 0;
+  int blocks_skipped = 0;
+  int retries = 0;
+  std::vector<BlockLoadError> block_errors;
+};
+
 /// Parses the WEBER text format. Malformed input yields Corruption with the
-/// offending line number.
+/// offending line number (strict mode) or a per-block LoadReport entry
+/// (lenient mode). `report` may be null.
 Result<Dataset> LoadDataset(std::istream& is);
+Result<Dataset> LoadDataset(std::istream& is, const LoadOptions& options,
+                            LoadReport* report);
 Result<Dataset> LoadDatasetFromFile(const std::string& path);
+Result<Dataset> LoadDatasetFromFile(const std::string& path,
+                                    const LoadOptions& options,
+                                    LoadReport* report);
 
 /// Gazetteer serialization: one "type<TAB>weight<TAB>surface" line per
 /// entry, preceded by "#gazetteer <count>".

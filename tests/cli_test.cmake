@@ -59,4 +59,36 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "unknown flag did not fail")
 endif()
 
+# StatusCode-specific exit codes (scriptable failure triage): a missing
+# dataset is IOError -> exit 3, a corrupt one is Corruption -> exit 4, and
+# the error report goes to stderr, not stdout.
+execute_process(COMMAND ${WEBER_BIN} stats --dataset=${WORK_DIR}/no_such_file
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "missing dataset should exit 3 (IOError), got ${rc}")
+endif()
+if(NOT err MATCHES "IOError")
+  message(FATAL_ERROR "missing-dataset error not on stderr:\n${err}")
+endif()
+file(WRITE "${WORK_DIR}/corrupt.txt" "#dataset x\n#bogus\n")
+execute_process(COMMAND ${WEBER_BIN} stats --dataset=${WORK_DIR}/corrupt.txt
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR "corrupt dataset should exit 4 (Corruption), got ${rc}")
+endif()
+
+# Fault injection is reachable from the CLI and the run degrades instead of
+# dying: resolve with every resolution fault point armed.
+execute_process(COMMAND ${WEBER_BIN} resolve --dataset=${WORK_DIR}/dataset.txt
+                --gazetteer=${WORK_DIR}/gazetteer.txt
+                "--faults=similarity.compute=nan:0.2;resolver.train=error:0.3;clustering.run=error:0.5"
+                --fault_seed=7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos resolve failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "health:")
+  message(FATAL_ERROR "chaos resolve did not report degraded health:\n${err}")
+endif()
+
 message(STATUS "weber CLI end-to-end test passed")

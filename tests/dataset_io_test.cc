@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+
+#include "common/fault_injection.h"
 
 namespace weber {
 namespace corpus {
@@ -110,6 +113,111 @@ TEST(DatasetIoTest, FileRoundTrip) {
 TEST(DatasetIoTest, MissingFileIsIOError) {
   EXPECT_EQ(LoadDatasetFromFile("/nonexistent/definitely/missing").status().code(),
             StatusCode::kIOError);
+}
+
+TEST(DatasetIoTest, RejectsImplausibleHeaderCounts) {
+  // Negative and absurd counts must fail fast with Corruption instead of
+  // attempting a giant reserve.
+  for (const char* header : {"#block q -3\n", "#block q 2000000000\n",
+                             "#block q 987654321987654321\n"}) {
+    std::stringstream ss(std::string("#dataset t\n") + header);
+    auto loaded = LoadDataset(ss);
+    ASSERT_FALSE(loaded.ok()) << header;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << header;
+  }
+  {
+    // Same for the per-document text line count.
+    std::stringstream ss(
+        "#dataset t\n#block q 1\n#doc q/0 0\n#url u\n#text 99999999999\n");
+    EXPECT_EQ(LoadDataset(ss).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(DatasetIoTest, LenientModeSkipsCorruptMiddleBlock) {
+  std::stringstream ss(
+      "#dataset t\n"
+      "#block good1 1\n#doc good1/0 0\n#url u1\n#text 1\nhello\n"
+      "#block broken 2\n#doc broken/0 notanint\n"
+      "#block good2 1\n#doc good2/0 4\n#url u2\n#text 0\n");
+  LoadOptions options;
+  options.lenient = true;
+  LoadReport report;
+  auto loaded = LoadDataset(ss, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_blocks(), 2);
+  EXPECT_EQ(loaded->blocks[0].query, "good1");
+  EXPECT_EQ(loaded->blocks[1].query, "good2");
+  EXPECT_EQ(loaded->blocks[1].entity_labels, (std::vector<int>{4}));
+  EXPECT_EQ(report.blocks_loaded, 2);
+  EXPECT_EQ(report.blocks_skipped, 1);
+  ASSERT_EQ(report.block_errors.size(), 1u);
+  EXPECT_EQ(report.block_errors[0].query, "broken");
+  EXPECT_EQ(report.block_errors[0].status.code(), StatusCode::kCorruption);
+
+  // The same input fails outright in strict mode.
+  std::stringstream strict(ss.str());
+  EXPECT_EQ(LoadDataset(strict).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, LenientModeStillFailsWhenHeaderIsMissing) {
+  std::stringstream ss("#block q 0\n");
+  LoadOptions options;
+  options.lenient = true;
+  EXPECT_EQ(LoadDataset(ss, options, nullptr).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetIoTest, RetryRecoversFromTransientIOErrors) {
+  faults::ScopedFaultClearance clearance;
+  Dataset original = MakeSample();
+  std::string path = ::testing::TempDir() + "/weber_dataset_retry_test.txt";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+
+  // Fail the first two read attempts; the third succeeds.
+  ASSERT_TRUE(faults::FaultInjector::Instance()
+                  .ArmFromSpec("dataset_io.read=ioerror:1:0:2")
+                  .ok());
+  LoadOptions options;
+  options.max_retries = 3;
+  options.retry_backoff_ms = 1;
+  LoadReport report;
+  auto loaded = LoadDatasetFromFile(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(report.retries, 2);
+  EXPECT_EQ(loaded->TotalDocuments(), original.TotalDocuments());
+}
+
+TEST(DatasetIoTest, RetriesExhaustedSurfaceTheIOError) {
+  faults::ScopedFaultClearance clearance;
+  Dataset original = MakeSample();
+  std::string path = ::testing::TempDir() + "/weber_dataset_retry_test2.txt";
+  ASSERT_TRUE(SaveDatasetToFile(original, path).ok());
+
+  ASSERT_TRUE(faults::FaultInjector::Instance()
+                  .ArmFromSpec("dataset_io.read=ioerror")
+                  .ok());
+  LoadOptions options;
+  options.max_retries = 2;
+  options.retry_backoff_ms = 1;
+  LoadReport report;
+  auto loaded = LoadDatasetFromFile(path, options, &report);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(report.retries, 2);
+}
+
+TEST(DatasetIoTest, CorruptionIsNeverRetried) {
+  std::string path = ::testing::TempDir() + "/weber_dataset_corrupt_test.txt";
+  {
+    std::ofstream out(path);
+    out << "#dataset t\n#bogus\n";
+  }
+  LoadOptions options;
+  options.max_retries = 5;
+  options.retry_backoff_ms = 1;
+  LoadReport report;
+  auto loaded = LoadDatasetFromFile(path, options, &report);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(report.retries, 0);
 }
 
 TEST(GazetteerIoTest, RoundTrip) {

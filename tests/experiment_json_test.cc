@@ -98,6 +98,18 @@ TEST_F(ExperimentJsonTest, JsonExportContainsEveryBlockAndConfig) {
               std::string::npos);
   }
   EXPECT_NE(json.find("\"fp\":"), std::string::npos);
+  // RunHealth diagnostics are part of every config object; a clean run
+  // reports all-zero counters.
+  EXPECT_NE(json.find("\"health\":"), std::string::npos);
+  for (const char* key :
+       {"\"value_violations\":", "\"asymmetry_violations\":",
+        "\"quarantined_functions\":", "\"skipped_criteria\":",
+        "\"degraded_blocks\":", "\"deadline_hits\":", "\"budget_hits\":",
+        "\"skipped_pairs\":", "\"clustering_fallbacks\":",
+        "\"retried_loads\":", "\"skipped_blocks\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"value_violations\":0"), std::string::npos);
   // Well-formed bracket balance (cheap structural sanity).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));

@@ -1,0 +1,172 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace weber {
+namespace faults {
+namespace {
+
+TEST(FaultInjectionTest, DisarmedIsNoOp) {
+  ScopedFaultClearance clearance;
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_FALSE(FaultInjector::Instance().AnyArmed());
+  EXPECT_TRUE(MaybeFail("dataset_io.read").ok());
+  double v = 0.5;
+  EXPECT_FALSE(MaybeCorrupt("similarity.compute", &v));
+  EXPECT_EQ(v, 0.5);
+}
+
+TEST(FaultInjectionTest, ArmedErrorFiresWithConfiguredCode) {
+  ScopedFaultClearance clearance;
+  FaultConfig config;
+  config.kind = FaultKind::kError;
+  config.code = StatusCode::kCorruption;
+  FaultInjector::Instance().Arm("p.test", config);
+  EXPECT_TRUE(FaultInjector::Instance().AnyArmed());
+  Status s = MaybeFail("p.test");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  // Unarmed points stay healthy while another point is armed.
+  EXPECT_TRUE(MaybeFail("p.other").ok());
+  EXPECT_EQ(FaultInjector::Instance().TriggerCount("p.test"), 1);
+}
+
+TEST(FaultInjectionTest, DisarmRestoresPoint) {
+  ScopedFaultClearance clearance;
+  FaultInjector::Instance().Arm("p.test", {});
+  FaultInjector::Instance().Disarm("p.test");
+  EXPECT_FALSE(FaultInjector::Instance().AnyArmed());
+  EXPECT_TRUE(MaybeFail("p.test").ok());
+}
+
+TEST(FaultInjectionTest, MaxTriggersModelsTransientFailures) {
+  ScopedFaultClearance clearance;
+  FaultConfig config;
+  config.max_triggers = 2;
+  FaultInjector::Instance().Arm("p.transient", config);
+  EXPECT_FALSE(MaybeFail("p.transient").ok());
+  EXPECT_FALSE(MaybeFail("p.transient").ok());
+  // Third and later attempts succeed: a retry loop recovers.
+  EXPECT_TRUE(MaybeFail("p.transient").ok());
+  EXPECT_TRUE(MaybeFail("p.transient").ok());
+  EXPECT_EQ(FaultInjector::Instance().TriggerCount("p.transient"), 2);
+}
+
+TEST(FaultInjectionTest, CorruptionKindsProduceTheirValues) {
+  ScopedFaultClearance clearance;
+  FaultInjector& fi = FaultInjector::Instance();
+  double v = 0.5;
+
+  FaultConfig nan_config;
+  nan_config.kind = FaultKind::kNaN;
+  fi.Arm("p.val", nan_config);
+  ASSERT_TRUE(MaybeCorrupt("p.val", &v));
+  EXPECT_TRUE(std::isnan(v));
+
+  v = 0.5;
+  FaultConfig pos_config;
+  pos_config.kind = FaultKind::kPosInf;
+  fi.Arm("p.val", pos_config);
+  ASSERT_TRUE(MaybeCorrupt("p.val", &v));
+  EXPECT_TRUE(std::isinf(v) && v > 0);
+
+  v = 0.5;
+  FaultConfig neg_config;
+  neg_config.kind = FaultKind::kNegInf;
+  fi.Arm("p.val", neg_config);
+  ASSERT_TRUE(MaybeCorrupt("p.val", &v));
+  EXPECT_TRUE(std::isinf(v) && v < 0);
+
+  v = 0.5;
+  FaultConfig oor_config;
+  oor_config.kind = FaultKind::kOutOfRange;
+  oor_config.param = 7.25;
+  fi.Arm("p.val", oor_config);
+  ASSERT_TRUE(MaybeCorrupt("p.val", &v));
+  EXPECT_EQ(v, 7.25);
+
+  // Error-kind points never corrupt values.
+  v = 0.5;
+  fi.Arm("p.val", {});
+  EXPECT_FALSE(MaybeCorrupt("p.val", &v));
+  EXPECT_EQ(v, 0.5);
+}
+
+TEST(FaultInjectionTest, ProbabilisticTriggeringIsDeterministicUnderSeed) {
+  ScopedFaultClearance clearance;
+  FaultInjector& fi = FaultInjector::Instance();
+  FaultConfig config;
+  config.probability = 0.3;
+
+  auto trace = [&](uint64_t seed) {
+    fi.Seed(seed);
+    fi.Arm("p.prob", config);  // re-arm reseeds the stream
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(!MaybeFail("p.prob").ok());
+    return fired;
+  };
+
+  std::vector<bool> a = trace(42);
+  std::vector<bool> b = trace(42);
+  std::vector<bool> c = trace(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  int hits = 0;
+  for (bool f : a) hits += f;
+  // ~60 expected; wide tolerance, the point is "some but not all".
+  EXPECT_GT(hits, 20);
+  EXPECT_LT(hits, 120);
+}
+
+TEST(FaultInjectionTest, LatencyFaultSleepsThenSucceeds) {
+  ScopedFaultClearance clearance;
+  FaultConfig config;
+  config.kind = FaultKind::kLatency;
+  config.param = 20.0;  // ms
+  FaultInjector::Instance().Arm("p.slow", config);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(MaybeFail("p.slow").ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 15);
+}
+
+TEST(FaultInjectionTest, ArmFromSpecParsesEveryKind) {
+  ScopedFaultClearance clearance;
+  FaultInjector& fi = FaultInjector::Instance();
+  ASSERT_TRUE(fi.ArmFromSpec("a=error;b=ioerror:0.5;c=corruption;d=nan:0.1;"
+                             "e=posinf;f=neginf;g=oor:1:3.5;h=latency:1:5;"
+                             "i=error:1:0:2")
+                  .ok());
+  EXPECT_EQ(fi.ArmedPoints().size(), 9u);
+  EXPECT_EQ(MaybeFail("a").code(), StatusCode::kIOError);
+  EXPECT_EQ(MaybeFail("c").code(), StatusCode::kCorruption);
+  double v = 0.0;
+  ASSERT_TRUE(MaybeCorrupt("g", &v));
+  EXPECT_EQ(v, 3.5);
+  // i: max_triggers=2.
+  EXPECT_FALSE(MaybeFail("i").ok());
+  EXPECT_FALSE(MaybeFail("i").ok());
+  EXPECT_TRUE(MaybeFail("i").ok());
+}
+
+TEST(FaultInjectionTest, ArmFromSpecRejectsMalformedSpecs) {
+  ScopedFaultClearance clearance;
+  FaultInjector& fi = FaultInjector::Instance();
+  for (const char* spec :
+       {"nokind", "p=", "p=martian", "p=nan:2.0", "p=nan:-0.1",
+        "p=error:1:0:-3", "p=error:1:0:2:extra", "=error"}) {
+    EXPECT_FALSE(fi.ArmFromSpec(spec).ok()) << spec;
+  }
+  // Empty spec arms nothing but is not an error (flag default).
+  EXPECT_TRUE(fi.ArmFromSpec("").ok());
+}
+
+}  // namespace
+}  // namespace faults
+}  // namespace weber

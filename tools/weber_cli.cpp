@@ -8,11 +8,13 @@
 // `resolve` also prints metrics directly when the dataset carries ground
 // truth, so the resolve/evaluate split is optional.
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <system_error>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "core/weber.h"
 #include "corpus/resolution_io.h"
@@ -22,9 +24,61 @@ using namespace weber;
 
 namespace {
 
+/// Failures exit with a per-StatusCode code (2=InvalidArgument, 3=IOError,
+/// 4=Corruption, ...; see ExitCodeForStatus) so scripts can branch on the
+/// failure class.
 int Fail(const Status& status) {
   std::cerr << "error: " << status << "\n";
-  return 1;
+  return ExitCodeForStatus(status.code());
+}
+
+/// Shared dataset-loading flags (lenient mode + transient-error retries).
+void AddLoadFlags(FlagParser* flags) {
+  flags->AddBool("lenient", false,
+                 "skip corrupt dataset blocks instead of failing the file");
+  flags->AddInt("load_retries", 0,
+                "retries for transient dataset I/O errors");
+}
+
+Result<corpus::Dataset> LoadDatasetWithFlags(const FlagParser& flags) {
+  corpus::LoadOptions options;
+  options.lenient = flags.GetBool("lenient");
+  options.max_retries = flags.GetInt("load_retries");
+  corpus::LoadReport report;
+  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"),
+                                             options, &report);
+  if (report.retries > 0) {
+    std::cerr << "warning: dataset load needed " << report.retries
+              << " retr" << (report.retries == 1 ? "y" : "ies") << "\n";
+  }
+  for (const corpus::BlockLoadError& e : report.block_errors) {
+    std::cerr << "warning: skipped block '" << e.query << "' (line "
+              << e.line_no << "): " << e.status << "\n";
+  }
+  return dataset;
+}
+
+/// Arms fault points from --faults / WEBER_FAULTS (chaos testing).
+Status ArmFaultsFromFlags(const FlagParser& flags) {
+  faults::FaultInjector& injector = faults::FaultInjector::Instance();
+  if (flags.WasSet("fault_seed")) {
+    injector.Seed(static_cast<uint64_t>(flags.GetInt("fault_seed")));
+  }
+  std::string spec = flags.GetString("faults");
+  if (spec.empty()) {
+    if (const char* env = std::getenv("WEBER_FAULTS")) spec = env;
+  }
+  if (spec.empty()) return Status::OK();
+  WEBER_RETURN_NOT_OK(injector.ArmFromSpec(spec));
+  std::cerr << "fault injection armed: " << spec << "\n";
+  return Status::OK();
+}
+
+void AddFaultFlags(FlagParser* flags) {
+  flags->AddString("faults", "",
+                   "fault spec point=kind[:prob[:param[:max]]];... "
+                   "(or WEBER_FAULTS env)");
+  flags->AddInt("fault_seed", 0, "seed for fault trigger streams");
 }
 
 Result<corpus::GeneratorConfig> PresetByName(const std::string& preset) {
@@ -78,8 +132,9 @@ int CmdGenerate(int argc, const char* const* argv) {
 int CmdStats(int argc, const char* const* argv) {
   FlagParser flags;
   flags.AddString("dataset", "", "path to a WEBER dataset file");
+  AddLoadFlags(&flags);
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
-  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
+  auto dataset = LoadDatasetWithFlags(flags);
   if (!dataset.ok()) return Fail(dataset.status());
   corpus::PrintDatasetStats(corpus::ComputeDatasetStats(*dataset), std::cout);
   return 0;
@@ -120,6 +175,8 @@ Result<core::ResolverOptions> OptionsFromFlags(const FlagParser& flags) {
   }
   options.train_fraction = flags.GetDouble("train_fraction");
   options.min_pair_informativeness = flags.GetDouble("min_informativeness");
+  options.deadline_ms = flags.GetDouble("deadline_ms");
+  options.max_pair_budget = flags.GetInt("max_pairs");
   return options;
 }
 
@@ -136,10 +193,17 @@ int CmdResolve(int argc, const char* const* argv) {
   flags.AddDouble("train_fraction", 0.10, "labeled training pair fraction");
   flags.AddDouble("min_informativeness", 0.0,
                   "entropy gate threshold (0 disables)");
+  flags.AddDouble("deadline_ms", 0.0,
+                  "per-block resolution deadline in ms (0 disables)");
+  flags.AddInt("max_pairs", 0,
+               "per-block pairwise-similarity budget (0 disables)");
   flags.AddInt("seed", 1, "random seed");
+  AddLoadFlags(&flags);
+  AddFaultFlags(&flags);
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (auto st = ArmFaultsFromFlags(flags); !st.ok()) return Fail(st);
 
-  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
+  auto dataset = LoadDatasetWithFlags(flags);
   if (!dataset.ok()) return Fail(dataset.status());
   std::ifstream gz(flags.GetString("gazetteer"));
   if (!gz) {
@@ -156,10 +220,12 @@ int CmdResolve(int argc, const char* const* argv) {
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   std::vector<corpus::BlockResolutionRecord> records;
   std::vector<eval::MetricReport> reports;
+  core::RunHealth health;
   bool have_truth = true;
   for (const corpus::Block& block : dataset->blocks) {
     auto resolution = resolver->ResolveBlock(block, &rng);
     if (!resolution.ok()) return Fail(resolution.status());
+    health.Merge(resolution->health);
     corpus::BlockResolutionRecord record;
     record.query = block.query;
     for (const corpus::Document& d : block.documents) {
@@ -168,6 +234,7 @@ int CmdResolve(int argc, const char* const* argv) {
     record.clustering = resolution->clustering;
     std::cout << block.query << ": " << resolution->clustering.num_clusters()
               << " clusters (chose " << resolution->chosen_source << ")";
+    if (resolution->health.degraded_blocks > 0) std::cout << " [degraded]";
     for (int label : block.entity_labels) {
       if (label < 0) have_truth = false;
     }
@@ -188,6 +255,13 @@ int CmdResolve(int argc, const char* const* argv) {
                 << "  Rand=" << FormatDouble(mean->rand_index, 4) << "\n";
     }
   }
+  if (health.AnyDegradation()) {
+    std::cerr << "health: " << health.TotalViolations()
+              << " value violations, " << health.quarantined_functions
+              << " quarantined functions, " << health.skipped_criteria
+              << " skipped criteria, " << health.degraded_blocks
+              << " degraded blocks\n";
+  }
   const std::string out = flags.GetString("out");
   if (!out.empty()) {
     if (auto st = corpus::SaveResolutionsToFile(records, out); !st.ok()) {
@@ -202,9 +276,10 @@ int CmdEvaluate(int argc, const char* const* argv) {
   FlagParser flags;
   flags.AddString("dataset", "", "path to the labeled dataset");
   flags.AddString("resolution", "", "path to a resolution file");
+  AddLoadFlags(&flags);
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
 
-  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
+  auto dataset = LoadDatasetWithFlags(flags);
   if (!dataset.ok()) return Fail(dataset.status());
   auto resolutions =
       corpus::LoadResolutionsFromFile(flags.GetString("resolution"));
@@ -252,9 +327,12 @@ int CmdExperiment(int argc, const char* const* argv) {
   flags.AddDouble("train_fraction", 0.10, "labeled training pair fraction");
   flags.AddString("json", "", "also write results as JSON to this path");
   flags.AddInt("seed", 0x717, "experiment seed");
+  AddLoadFlags(&flags);
+  AddFaultFlags(&flags);
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (auto st = ArmFaultsFromFlags(flags); !st.ok()) return Fail(st);
 
-  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
+  auto dataset = LoadDatasetWithFlags(flags);
   if (!dataset.ok()) return Fail(dataset.status());
   std::ifstream gz(flags.GetString("gazetteer"));
   if (!gz) {
@@ -303,6 +381,15 @@ int CmdExperiment(int argc, const char* const* argv) {
                   FormatDouble(r.overall.bcubed_f, 4)});
   }
   table.Print(std::cout);
+  for (const auto& r : *results) {
+    if (r.health.AnyDegradation()) {
+      std::cerr << "health[" << r.label << "]: "
+                << r.health.TotalViolations() << " violations, "
+                << r.health.quarantined_functions << " quarantined, "
+                << r.health.skipped_criteria << " skipped criteria, "
+                << r.health.degraded_blocks << " degraded blocks\n";
+    }
+  }
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
