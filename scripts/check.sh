@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 check: configure, build, and run the test suite in a normal
-# build, then again with AddressSanitizer + UBSan (WEBER_SANITIZE).
+# build, then again with AddressSanitizer + UBSan, then run the
+# concurrency-heavy serving/executor tests under ThreadSanitizer
+# (all via WEBER_SANITIZE).
 #
-# Usage: scripts/check.sh [--normal-only|--sanitize-only]
+# Usage: scripts/check.sh [--normal-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,21 +12,35 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 MODE="${1:-all}"
 
+# The concurrent subsystems exercised under TSan: the serving layer
+# (service, server, cache, batcher), the shared executor pool, and the
+# incremental resolver the serving hot path drives.
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental'
+
 run_suite() {
   local dir="$1"; shift
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$JOBS"
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-if [[ "$MODE" != "--sanitize-only" ]]; then
+if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   echo "==> normal build"
   run_suite build
+  ctest --test-dir build --output-on-failure -j "$JOBS"
 fi
 
-if [[ "$MODE" != "--normal-only" ]]; then
+if [[ "$MODE" != "--normal-only" && "$MODE" != "--tsan-only" ]]; then
   echo "==> sanitized build (address;undefined)"
   run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$MODE" != "--normal-only" && "$MODE" != "--sanitize-only" ]]; then
+  echo "==> thread-sanitized build (serve + executor tests)"
+  run_suite build-tsan -DWEBER_SANITIZE=thread
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R "$TSAN_FILTER"
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,76 @@
+#include "common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace weber {
+
+Executor::Executor(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<void> Executor::Submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> done = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(wrapped));
+  }
+  work_available_.notify_one();
+  return done;
+}
+
+void Executor::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  // A shared index hands out iterations; the caller participates so the
+  // loop completes even when every worker is busy elsewhere.
+  auto next = std::make_shared<std::atomic<int>>(0);
+  auto run = [next, n, &fn] {
+    for (;;) {
+      int i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::future<void>> joined;
+  const int helpers = std::min<int>(num_threads(), n) - 1;
+  joined.reserve(helpers);
+  for (int t = 0; t < helpers; ++t) joined.push_back(Submit(run));
+  run();
+  for (auto& f : joined) f.wait();
+}
+
+int Executor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace weber

@@ -1,0 +1,63 @@
+// Executor: a fixed-size worker pool with a shared task queue, the one
+// thread-spawning primitive of the library. Experiment fan-out and the
+// serving subsystem's background compactions both run on it, so thread
+// creation happens once per pool instead of once per unit of work.
+
+#ifndef WEBER_COMMON_EXECUTOR_H_
+#define WEBER_COMMON_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace weber {
+
+/// Fixed worker threads draining a FIFO task queue. Submit is thread-safe
+/// and may be called from inside a task (tasks must not *wait* on tasks
+/// scheduled behind them, or the pool can deadlock at low thread counts).
+///
+///   Executor pool(4);
+///   auto done = pool.Submit([] { ... });
+///   done.wait();
+///
+/// The destructor finishes every task already submitted, then joins.
+class Executor {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit Executor(int num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues a task; the future resolves when it has run. Tasks must not
+  /// throw (the library communicates failure via Status, not exceptions).
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until all
+  /// calls return. The calling thread also works, so this is safe to call
+  /// even when the pool's workers are busy or `num_threads` is 1.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks waiting in the queue (diagnostics; racy by nature).
+  int QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_EXECUTOR_H_

@@ -18,6 +18,10 @@
 //   similarity.compute  raw similarity values (NaN / ±Inf / out-of-range)
 //   resolver.train      decision-criterion fitting inside ResolveBlock
 //   clustering.run      the final clustering step of Algorithm 1
+//   serve.assign        ResolutionService document assignment (hot path)
+//   serve.compact       background batch re-resolution; a triggered fault
+//                       aborts publication and the shard keeps serving the
+//                       previous snapshot
 
 #ifndef WEBER_COMMON_FAULT_INJECTION_H_
 #define WEBER_COMMON_FAULT_INJECTION_H_

@@ -1,9 +1,8 @@
 #include "core/experiment.h"
 
-#include <atomic>
 #include <ostream>
-#include <thread>
 
+#include "common/executor.h"
 #include "common/json_writer.h"
 #include "ml/splitter.h"
 
@@ -104,23 +103,13 @@ Result<std::vector<ExperimentResult>> ExperimentRunner::RunAllParallel(
   }
   if (num_threads <= 1 || configs.size() <= 1) return RunAll(configs);
 
-  // One configuration per task; a shared atomic index hands out work.
-  // Run() only reads the prepared state, so concurrent calls are safe.
+  // One configuration per pool iteration. Run() only reads the prepared
+  // state, so concurrent calls are safe.
   std::vector<Result<ExperimentResult>> slots(
       configs.size(), Result<ExperimentResult>(Status::Internal("unset")));
-  std::atomic<size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      size_t i = next.fetch_add(1);
-      if (i >= configs.size()) return;
-      slots[i] = Run(configs[i]);
-    }
-  };
-  std::vector<std::thread> threads;
-  const int n = std::min<int>(num_threads, static_cast<int>(configs.size()));
-  threads.reserve(n);
-  for (int t = 0; t < n; ++t) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
+  Executor pool(std::min<int>(num_threads, static_cast<int>(configs.size())));
+  pool.ParallelFor(static_cast<int>(configs.size()),
+                   [&](int i) { slots[i] = Run(configs[i]); });
 
   std::vector<ExperimentResult> results;
   results.reserve(configs.size());
@@ -162,19 +151,7 @@ Status WriteExperimentJson(const corpus::Dataset& dataset, int num_runs,
     json.Key("overall");
     write_report(r.overall);
     json.Key("health");
-    json.BeginObject();
-    json.Key("value_violations").Number(r.health.value_violations);
-    json.Key("asymmetry_violations").Number(r.health.asymmetry_violations);
-    json.Key("quarantined_functions").Number(r.health.quarantined_functions);
-    json.Key("skipped_criteria").Number(r.health.skipped_criteria);
-    json.Key("degraded_blocks").Number(r.health.degraded_blocks);
-    json.Key("deadline_hits").Number(r.health.deadline_hits);
-    json.Key("budget_hits").Number(r.health.budget_hits);
-    json.Key("skipped_pairs").Number(r.health.skipped_pairs);
-    json.Key("clustering_fallbacks").Number(r.health.clustering_fallbacks);
-    json.Key("retried_loads").Number(r.health.retried_loads);
-    json.Key("skipped_blocks").Number(r.health.skipped_blocks);
-    json.EndObject();
+    WriteRunHealthJson(json, r.health);
     json.Key("per_block").BeginArray();
     for (size_t b = 0; b < r.per_block.size(); ++b) {
       json.BeginObject();

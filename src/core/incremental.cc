@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/components.h"
 #include "ml/threshold.h"
 
 namespace weber {
@@ -23,11 +24,29 @@ double IncrementalResolver::MatchScore(const extract::FeatureBundle& a,
   return sum / static_cast<double>(functions_.size());
 }
 
-double IncrementalResolver::ClusterScore(const extract::FeatureBundle& bundle,
+double IncrementalResolver::MatchScoreIndexed(int a, int b) const {
+  if (score_cache_ == nullptr) {
+    return MatchScore(documents_[a], documents_[b]);
+  }
+  // Cache keys are unordered pairs; similarity functions are symmetric.
+  const int lo = std::min(a, b), hi = std::max(a, b);
+  double sum = 0.0;
+  for (size_t f = 0; f < functions_.size(); ++f) {
+    double value;
+    if (!score_cache_->Lookup(static_cast<int>(f), lo, hi, &value)) {
+      value = functions_[f]->Compute(documents_[lo], documents_[hi]);
+      score_cache_->Insert(static_cast<int>(f), lo, hi, value);
+    }
+    sum += value;
+  }
+  return sum / static_cast<double>(functions_.size());
+}
+
+double IncrementalResolver::ClusterScore(int doc,
                                          const std::vector<int>& members) const {
   double best = 0.0, sum = 0.0;
   for (int member : members) {
-    double score = MatchScore(bundle, documents_[member]);
+    double score = MatchScoreIndexed(doc, member);
     best = std::max(best, score);
     sum += score;
   }
@@ -74,7 +93,7 @@ int IncrementalResolver::Add(extract::FeatureBundle bundle) {
   int best_cluster = -1;
   double best_score = threshold_;  // must reach the calibrated threshold
   for (size_t c = 0; c < clusters_.size(); ++c) {
-    double score = ClusterScore(documents_[doc], clusters_[c]);
+    double score = ClusterScore(doc, clusters_[c]);
     if (score >= best_score) {
       best_score = score;
       best_cluster = static_cast<int>(c);
@@ -86,6 +105,46 @@ int IncrementalResolver::Add(extract::FeatureBundle bundle) {
   }
   clusters_[best_cluster].push_back(doc);
   return best_cluster;
+}
+
+Result<graph::Clustering> IncrementalResolver::BatchResolve() const {
+  if (!calibrated_) {
+    return Status::FailedPrecondition("BatchResolve: not calibrated");
+  }
+  const int n = next_document_;
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (MatchScoreIndexed(a, b) >= threshold_) edges.push_back({a, b});
+    }
+  }
+  return graph::ConnectedComponents(n, edges);
+}
+
+Status IncrementalResolver::AdoptPartition(
+    const std::vector<std::vector<int>>& clusters) {
+  std::vector<char> seen(next_document_, 0);
+  int covered = 0;
+  for (const auto& members : clusters) {
+    if (members.empty()) {
+      return Status::InvalidArgument("AdoptPartition: empty cluster");
+    }
+    for (int doc : members) {
+      if (doc < 0 || doc >= next_document_ || seen[doc]) {
+        return Status::InvalidArgument("AdoptPartition: clusters must ",
+                                       "partition the added documents (bad ",
+                                       "or repeated index ", doc, ")");
+      }
+      seen[doc] = 1;
+      ++covered;
+    }
+  }
+  if (covered != next_document_) {
+    return Status::InvalidArgument("AdoptPartition: ", covered, " of ",
+                                   next_document_, " documents covered");
+  }
+  clusters_ = clusters;
+  return Status::OK();
 }
 
 graph::Clustering IncrementalResolver::CurrentClustering() const {

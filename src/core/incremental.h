@@ -18,6 +18,20 @@
 namespace weber {
 namespace core {
 
+/// Memo for per-function pair scores, keyed by the arrival indices of the
+/// two documents within one resolver. Lets a serving layer (see
+/// serve::SimilarityCache) share similarity work between the hot assignment
+/// path and background batch re-resolution. Implementations must be
+/// thread-safe when the resolver is driven from multiple threads.
+class PairScoreCache {
+ public:
+  virtual ~PairScoreCache() = default;
+
+  /// Returns true and fills `*value` when (function, a, b) is cached.
+  virtual bool Lookup(int function_index, int a, int b, double* value) = 0;
+  virtual void Insert(int function_index, int a, int b, double value) = 0;
+};
+
 struct IncrementalOptions {
   /// Functions averaged into the match score.
   std::vector<std::string> function_names = kSubsetI10;
@@ -56,6 +70,25 @@ class IncrementalResolver {
   /// The partition of all documents Added so far, in arrival order.
   graph::Clustering CurrentClustering() const;
 
+  /// Full batch re-resolution of every document Added so far: links every
+  /// pair whose match score reaches the calibrated threshold and takes the
+  /// transitive closure (the paper's default clustering step). Unlike the
+  /// greedy Add path, the result is invariant to arrival order, which is
+  /// what makes it a fixed point for concurrent serving: any interleaving
+  /// of the same document set batch-resolves to the same partition.
+  Result<graph::Clustering> BatchResolve() const;
+
+  /// Replaces the current partition with an externally computed one (e.g.
+  /// the published result of BatchResolve) over the same documents. The
+  /// clusters must partition exactly the arrival indices [0, num_documents).
+  Status AdoptPartition(const std::vector<std::vector<int>>& clusters);
+
+  /// Installs a pair-score memo consulted (and filled) by every indexed
+  /// match-score computation. Not owned; pass nullptr to detach. The cache
+  /// keys are arrival indices, so it must be cleared or swapped when the
+  /// resolver is Reset.
+  void set_score_cache(PairScoreCache* cache) { score_cache_ = cache; }
+
   /// Document indices (arrival order) per cluster.
   const std::vector<std::vector<int>>& clusters() const { return clusters_; }
 
@@ -74,11 +107,12 @@ class IncrementalResolver {
 
   double MatchScore(const extract::FeatureBundle& a,
                     const extract::FeatureBundle& b) const;
-  double ClusterScore(const extract::FeatureBundle& bundle,
-                      const std::vector<int>& members) const;
+  double MatchScoreIndexed(int a, int b) const;
+  double ClusterScore(int doc, const std::vector<int>& members) const;
 
   IncrementalOptions options_;
   std::vector<std::unique_ptr<SimilarityFunction>> functions_;
+  PairScoreCache* score_cache_ = nullptr;
   double threshold_ = 0.5;
   bool calibrated_ = false;
 

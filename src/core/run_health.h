@@ -9,6 +9,8 @@
 #ifndef WEBER_CORE_RUN_HEALTH_H_
 #define WEBER_CORE_RUN_HEALTH_H_
 
+#include "common/json_writer.h"
+
 namespace weber {
 namespace core {
 
@@ -63,6 +65,24 @@ struct RunHealth {
     skipped_blocks += other.skipped_blocks;
   }
 };
+
+/// Serializes the counters as one JSON object — the canonical "health"
+/// shape shared by the experiment JSON and the serving stats export.
+inline void WriteRunHealthJson(JsonWriter& json, const RunHealth& health) {
+  json.BeginObject();
+  json.Key("value_violations").Number(health.value_violations);
+  json.Key("asymmetry_violations").Number(health.asymmetry_violations);
+  json.Key("quarantined_functions").Number(health.quarantined_functions);
+  json.Key("skipped_criteria").Number(health.skipped_criteria);
+  json.Key("degraded_blocks").Number(health.degraded_blocks);
+  json.Key("deadline_hits").Number(health.deadline_hits);
+  json.Key("budget_hits").Number(health.budget_hits);
+  json.Key("skipped_pairs").Number(health.skipped_pairs);
+  json.Key("clustering_fallbacks").Number(health.clustering_fallbacks);
+  json.Key("retried_loads").Number(health.retried_loads);
+  json.Key("skipped_blocks").Number(health.skipped_blocks);
+  json.EndObject();
+}
 
 }  // namespace core
 }  // namespace weber

@@ -1,0 +1,133 @@
+// MicroBatcher: groups individually submitted requests into small batches
+// for amortized processing (one lock acquisition / one cache-warm scoring
+// pass per batch instead of per request).
+//
+// A background flusher thread dispatches the pending batch as soon as it
+// reaches `max_batch_size`, or `max_delay_ms` after the batch's first
+// request arrived — the standard size-or-deadline micro-batching policy.
+// Submission order is preserved within and across batches.
+
+#ifndef WEBER_SERVE_BATCHER_H_
+#define WEBER_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace weber {
+namespace serve {
+
+struct BatcherOptions {
+  size_t max_batch_size = 16;
+  double max_delay_ms = 2.0;
+};
+
+/// Single-consumer micro-batcher. The flush callback runs on the batcher's
+/// own thread; it must not call Submit on the same batcher.
+template <typename Request>
+class MicroBatcher {
+ public:
+  using FlushFn = std::function<void(std::vector<Request>)>;
+
+  MicroBatcher(BatcherOptions options, FlushFn flush)
+      : options_(options), flush_(std::move(flush)) {
+    if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+
+  /// Flushes whatever is pending, then stops the flusher.
+  ~MicroBatcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutting_down_ = true;
+    }
+    wake_.notify_all();
+    flusher_.join();
+  }
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one request (thread-safe).
+  void Submit(Request request) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) batch_started_ = Clock::now();
+      pending_.push_back(std::move(request));
+    }
+    wake_.notify_all();
+  }
+
+  long long batches_flushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_flushed_;
+  }
+  long long requests_flushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return requests_flushed_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void FlusherLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (pending_.empty()) {
+        if (shutting_down_) return;
+        wake_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
+        continue;
+      }
+      // A batch is open: dispatch on size, deadline, or shutdown.
+      const auto deadline =
+          batch_started_ + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   options_.max_delay_ms));
+      if (pending_.size() < options_.max_batch_size && !shutting_down_ &&
+          wake_.wait_until(lock, deadline, [this] {
+            return shutting_down_ || pending_.size() >= options_.max_batch_size;
+          })) {
+        if (shutting_down_ && pending_.empty()) return;
+      }
+      std::vector<Request> batch;
+      if (pending_.size() > options_.max_batch_size) {
+        batch.assign(std::make_move_iterator(pending_.begin()),
+                     std::make_move_iterator(pending_.begin() +
+                                             options_.max_batch_size));
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + options_.max_batch_size);
+        batch_started_ = Clock::now();
+      } else {
+        batch.swap(pending_);
+      }
+      batches_flushed_ += 1;
+      requests_flushed_ += static_cast<long long>(batch.size());
+      lock.unlock();
+      flush_(std::move(batch));
+      lock.lock();
+    }
+  }
+
+  BatcherOptions options_;
+  FlushFn flush_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::vector<Request> pending_;
+  Clock::time_point batch_started_{};
+  bool shutting_down_ = false;
+  long long batches_flushed_ = 0;
+  long long requests_flushed_ = 0;
+
+  std::thread flusher_;  // last member: started after state is ready
+};
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_BATCHER_H_

@@ -1,0 +1,93 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace weber {
+namespace serve {
+
+namespace {
+
+Result<int> ParseDoc(const std::string& token) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size() || value < 0) {
+    return Status::InvalidArgument("bad document id '", token, "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  const std::vector<std::string> tokens = SplitWhitespace(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  const std::string& verb = tokens[0];
+  Request request;
+  auto need = [&](size_t n) -> Status {
+    if (tokens.size() != n) {
+      return Status::InvalidArgument("'", verb, "' expects ", n - 1,
+                                     " argument(s), got ", tokens.size() - 1);
+    }
+    return Status::OK();
+  };
+  if (verb == "assign" || verb == "query") {
+    WEBER_RETURN_NOT_OK(need(3));
+    request.op =
+        verb == "assign" ? Request::Op::kAssign : Request::Op::kQuery;
+    request.block = tokens[1];
+    WEBER_ASSIGN_OR_RETURN(request.doc, ParseDoc(tokens[2]));
+    return request;
+  }
+  if (verb == "compact") {
+    if (tokens.size() == 1) {
+      request.op = Request::Op::kCompactAll;
+      return request;
+    }
+    WEBER_RETURN_NOT_OK(need(2));
+    request.op = Request::Op::kCompact;
+    request.block = tokens[1];
+    return request;
+  }
+  if (verb == "dump") {
+    WEBER_RETURN_NOT_OK(need(2));
+    request.op = Request::Op::kDump;
+    request.block = tokens[1];
+    return request;
+  }
+  if (verb == "stats") {
+    WEBER_RETURN_NOT_OK(need(1));
+    request.op = Request::Op::kStats;
+    return request;
+  }
+  if (verb == "ping") {
+    WEBER_RETURN_NOT_OK(need(1));
+    request.op = Request::Op::kPing;
+    return request;
+  }
+  if (verb == "quit") {
+    WEBER_RETURN_NOT_OK(need(1));
+    request.op = Request::Op::kQuit;
+    return request;
+  }
+  return Status::InvalidArgument("unknown request '", verb, "'");
+}
+
+std::string FormatError(const Status& status) {
+  std::string message = status.message();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  std::string out = "err ";
+  out += StatusCodeToString(status.code());
+  out += ' ';
+  out += message;
+  return out;
+}
+
+}  // namespace serve
+}  // namespace weber

@@ -1,0 +1,64 @@
+// Newline-delimited request/response protocol of weber_serve.
+//
+// Requests (one per line, space-separated tokens; block names contain no
+// whitespace by construction):
+//
+//   assign <block> <doc>    add block document <doc> to the live partition
+//   query <block> <doc>     resolve the document against the snapshot
+//   compact <block>         batch re-resolve the shard, swap the snapshot
+//   compact                 compact every shard
+//   dump <block>            snapshot partition as doc:label pairs
+//   stats                   service stats as one-line JSON
+//   ping                    liveness check
+//   quit                    close the connection / stop the stdio loop
+//
+// Responses (one line per request):
+//
+//   ok [fields...]          assign/query: "ok <cluster> <version>";
+//                           compact: "ok <version>"; dump: "ok <n>
+//                           <doc>:<label> ..."; stats: "ok <json>"
+//   err <code> <message>    <code> is the StatusCode name; message has
+//                           newlines stripped
+//
+// The grammar is line-oriented on purpose: it works identically over
+// stdin/stdout and a TCP byte stream, and a load generator can pipeline
+// requests without framing logic.
+
+#ifndef WEBER_SERVE_PROTOCOL_H_
+#define WEBER_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace weber {
+namespace serve {
+
+struct Request {
+  enum class Op {
+    kAssign,
+    kQuery,
+    kCompact,
+    kCompactAll,
+    kDump,
+    kStats,
+    kPing,
+    kQuit,
+  };
+
+  Op op = Op::kPing;
+  std::string block;
+  int doc = -1;
+};
+
+/// Parses one request line. Returns InvalidArgument for unknown verbs,
+/// missing arguments, or a non-numeric document id.
+Result<Request> ParseRequest(const std::string& line);
+
+/// Formats an error response ("err <code> <message>", single line).
+std::string FormatError(const Status& status);
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_PROTOCOL_H_

@@ -1,0 +1,615 @@
+#include "serve/resolution_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/json_writer.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "extract/feature_extractor.h"
+#include "graph/components.h"
+#include "ml/splitter.h"
+
+namespace weber {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// Internal types
+
+/// Reservoir of latency samples; thread-safe, bounded memory.
+class ResolutionService::LatencyRecorder {
+ public:
+  void Record(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    total_ms_ += ms;
+    if (samples_.size() < kReservoirSize) {
+      samples_.push_back(ms);
+    } else {
+      // Vitter's algorithm R: replace a random slot with probability k/n.
+      rng_state_ += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = rng_state_;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      z ^= z >> 31;
+      uint64_t slot = z % static_cast<uint64_t>(count_);
+      if (slot < kReservoirSize) samples_[slot] = ms;
+    }
+  }
+
+  EndpointLatency Summary() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    EndpointLatency out;
+    out.count = count_;
+    if (count_ == 0) return out;
+    out.mean_ms = total_ms_ / static_cast<double>(count_);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&sorted](double p) {
+      size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+      return sorted[idx];
+    };
+    out.p50_ms = pct(0.50);
+    out.p95_ms = pct(0.95);
+    out.p99_ms = pct(0.99);
+    return out;
+  }
+
+ private:
+  static constexpr size_t kReservoirSize = 1 << 14;
+
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  long long count_ = 0;
+  double total_ms_ = 0.0;
+  uint64_t rng_state_ = 0x5A17ED1ULL;
+};
+
+/// PairScoreCache adapter handed to a shard's IncrementalResolver:
+/// translates arrival indices to canonical document ids and keys the shared
+/// SimilarityCache. Only called under the shard lock (the resolver is
+/// single-writer), so reading arrival_canonical is safe.
+class ResolutionService::ShardScoreCache : public core::PairScoreCache {
+ public:
+  ShardScoreCache(Shard* shard, SimilarityCache* cache)
+      : shard_(shard), cache_(cache) {}
+
+  bool Lookup(int function_index, int a, int b, double* value) override;
+  void Insert(int function_index, int a, int b, double value) override;
+
+ private:
+  CacheKey KeyFor(int function_index, int a, int b) const;
+
+  Shard* shard_;
+  SimilarityCache* cache_;
+};
+
+struct ResolutionService::Shard {
+  std::string name;
+  uint32_t id = 0;
+
+  /// Canonical block documents (immutable after Create).
+  std::vector<extract::FeatureBundle> bundles;
+  std::vector<int> entity_labels;
+
+  /// Guards the live resolver and arrival bookkeeping (the write path).
+  mutable std::mutex mu;
+  std::unique_ptr<core::IncrementalResolver> resolver;
+  std::unique_ptr<ShardScoreCache> score_cache;
+  /// Arrival index -> canonical document id.
+  std::vector<int> arrival_canonical;
+  /// Canonical document id -> assigned yet?
+  std::vector<char> assigned;
+
+  /// RCU-published read view; never null (starts at the empty snapshot).
+  std::atomic<std::shared_ptr<const ResolverSnapshot>> snapshot;
+
+  uint64_t next_version = 1;  // guarded by mu
+  std::atomic<int> assigns_since_compact{0};
+  std::atomic<bool> compaction_inflight{false};
+};
+
+struct ResolutionService::PendingAssign {
+  Shard* shard = nullptr;
+  int doc = -1;
+  std::promise<Result<AssignResult>> promise;
+};
+
+CacheKey ResolutionService::ShardScoreCache::KeyFor(int function_index, int a,
+                                                    int b) const {
+  const int ca = shard_->arrival_canonical[a];
+  const int cb = shard_->arrival_canonical[b];
+  CacheKey key;
+  key.shard = shard_->id;
+  key.function = static_cast<uint32_t>(function_index);
+  key.a = static_cast<uint32_t>(std::min(ca, cb));
+  key.b = static_cast<uint32_t>(std::max(ca, cb));
+  return key;
+}
+
+bool ResolutionService::ShardScoreCache::Lookup(int function_index, int a,
+                                                int b, double* value) {
+  return cache_->Lookup(KeyFor(function_index, a, b), value);
+}
+
+void ResolutionService::ShardScoreCache::Insert(int function_index, int a,
+                                                int b, double value) {
+  cache_->Insert(KeyFor(function_index, a, b), value);
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+ResolutionService::ResolutionService(ServiceOptions options)
+    : options_(std::move(options)),
+      assign_latency_(std::make_unique<LatencyRecorder>()),
+      query_latency_(std::make_unique<LatencyRecorder>()),
+      compact_latency_(std::make_unique<LatencyRecorder>()) {}
+
+ResolutionService::~ResolutionService() {
+  // Members tear down in reverse declaration order: the batcher flushes and
+  // stops first, then the compaction pool drains, then shards die.
+}
+
+Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
+    const corpus::Dataset& dataset, const extract::Gazetteer* gazetteer,
+    ServiceOptions options) {
+  if (gazetteer == nullptr) {
+    return Status::InvalidArgument("ResolutionService: null gazetteer");
+  }
+  if (dataset.blocks.empty()) {
+    return Status::InvalidArgument("ResolutionService: empty dataset");
+  }
+  auto service =
+      std::unique_ptr<ResolutionService>(new ResolutionService(options));
+  WEBER_ASSIGN_OR_RETURN(
+      service->functions_,
+      core::MakeFunctions(options.incremental.function_names));
+  service->cache_ = std::make_unique<SimilarityCache>(options.cache);
+
+  extract::FeatureExtractor extractor(gazetteer);
+  Rng calibration_rng(options.calibration_seed);
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    const corpus::Block& block = dataset.blocks[b];
+    auto shard = std::make_unique<Shard>();
+    shard->name = block.query;
+    shard->id = static_cast<uint32_t>(b);
+    std::vector<extract::PageInput> pages;
+    pages.reserve(block.documents.size());
+    for (const corpus::Document& d : block.documents) {
+      pages.push_back({d.url, d.text});
+    }
+    WEBER_ASSIGN_OR_RETURN(shard->bundles,
+                           extractor.ExtractBlock(pages, block.query));
+    shard->entity_labels = block.entity_labels;
+    for (int label : block.entity_labels) {
+      if (label < 0) {
+        return Status::InvalidArgument(
+            "ResolutionService: block '", block.query,
+            "' lacks ground-truth labels (needed for threshold calibration)");
+      }
+    }
+    shard->assigned.assign(shard->bundles.size(), 0);
+
+    WEBER_ASSIGN_OR_RETURN(auto resolver, core::IncrementalResolver::Create(
+                                              options.incremental));
+    shard->resolver =
+        std::make_unique<core::IncrementalResolver>(std::move(resolver));
+    Rng rng = calibration_rng.Fork(b);
+    auto pairs = ml::SampleTrainingPairs(block.num_documents(),
+                                         options.train_fraction, &rng);
+    WEBER_RETURN_NOT_OK(shard->resolver->CalibrateThreshold(
+        shard->bundles, shard->entity_labels, pairs));
+
+    shard->score_cache =
+        std::make_unique<ShardScoreCache>(shard.get(), service->cache_.get());
+    shard->resolver->set_score_cache(shard->score_cache.get());
+
+    auto empty = std::make_shared<ResolverSnapshot>();
+    empty->version = 0;
+    empty->threshold = shard->resolver->threshold();
+    shard->snapshot.store(std::move(empty));
+
+    service->shard_index_[block.query] =
+        static_cast<int>(service->shards_.size());
+    service->block_names_.push_back(block.query);
+    service->shards_.push_back(std::move(shard));
+  }
+
+  service->compaction_pool_ =
+      std::make_unique<Executor>(options.compaction_threads);
+  ResolutionService* raw = service.get();
+  service->batcher_ = std::make_unique<MicroBatcher<PendingAssign>>(
+      options.batcher, [raw](std::vector<PendingAssign> batch) {
+        raw->ProcessAssignBatch(std::move(batch));
+      });
+  return service;
+}
+
+Result<ResolutionService::Shard*> ResolutionService::FindShard(
+    const std::string& block) const {
+  auto it = shard_index_.find(block);
+  if (it == shard_index_.end()) {
+    return Status::NotFound("no shard for block '", block, "'");
+  }
+  return shards_[it->second].get();
+}
+
+Result<int> ResolutionService::BlockSize(const std::string& block) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  return static_cast<int>(shard->bundles.size());
+}
+
+Result<double> ResolutionService::ShardThreshold(
+    const std::string& block) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  return shard->resolver->threshold();
+}
+
+// ---------------------------------------------------------------------------
+// Assignment (hot write path)
+
+Result<AssignResult> ResolutionService::AssignLocked(Shard* shard, int doc) {
+  if (doc < 0 || doc >= static_cast<int>(shard->bundles.size())) {
+    return Status::InvalidArgument("Assign: document ", doc,
+                                   " out of range for block '", shard->name,
+                                   "'");
+  }
+  if (Status st = faults::MaybeFail("serve.assign"); !st.ok()) {
+    failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  AssignResult result;
+  result.snapshot_version =
+      shard->snapshot.load(std::memory_order_acquire)->version;
+  if (shard->assigned[doc]) {
+    // Idempotent repeat: report the document's current live cluster.
+    int arrival = -1;
+    for (size_t i = 0; i < shard->arrival_canonical.size(); ++i) {
+      if (shard->arrival_canonical[i] == doc) {
+        arrival = static_cast<int>(i);
+        break;
+      }
+    }
+    const auto& clusters = shard->resolver->clusters();
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      for (int member : clusters[c]) {
+        if (member == arrival) {
+          result.cluster = static_cast<int>(c);
+          return result;
+        }
+      }
+    }
+    return Status::Internal("Assign: assigned document missing from partition");
+  }
+  shard->assigned[doc] = 1;
+  shard->arrival_canonical.push_back(doc);
+  result.cluster = shard->resolver->Add(shard->bundles[doc]);
+  if (result.cluster < 0) {
+    return Status::FailedPrecondition("Assign: shard '", shard->name,
+                                      "' is not calibrated");
+  }
+  assigns_.fetch_add(1, std::memory_order_relaxed);
+  shard->assigns_since_compact.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<AssignResult> ResolutionService::Assign(const std::string& block,
+                                               int doc) {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  WallTimer timer;
+  Result<AssignResult> result = Status::Internal("unset");
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    result = AssignLocked(shard, doc);
+  }
+  assign_latency_->Record(timer.ElapsedMillis());
+  if (result.ok() && options_.compact_every > 0 &&
+      shard->assigns_since_compact.load(std::memory_order_relaxed) >=
+          options_.compact_every) {
+    (void)CompactInBackground(block);
+  }
+  return result;
+}
+
+std::future<Result<AssignResult>> ResolutionService::AssignAsync(
+    const std::string& block, int doc) {
+  PendingAssign pending;
+  pending.doc = doc;
+  std::future<Result<AssignResult>> future = pending.promise.get_future();
+  auto shard = FindShard(block);
+  if (!shard.ok()) {
+    pending.promise.set_value(shard.status());
+    return future;
+  }
+  pending.shard = *shard;
+  batcher_->Submit(std::move(pending));
+  return future;
+}
+
+void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
+  // Group by shard, preserving submission order within each group, so one
+  // lock acquisition covers a run of same-shard requests.
+  std::vector<Shard*> maybe_compact;
+  size_t i = 0;
+  while (i < batch.size()) {
+    Shard* shard = batch[i].shard;
+    size_t j = i;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      WallTimer timer;
+      for (j = i; j < batch.size(); ++j) {
+        if (batch[j].shard != shard) continue;
+        batch[j].promise.set_value(AssignLocked(shard, batch[j].doc));
+        batch[j].shard = nullptr;  // mark handled
+      }
+      assign_latency_->Record(timer.ElapsedMillis());
+    }
+    if (options_.compact_every > 0 &&
+        shard->assigns_since_compact.load(std::memory_order_relaxed) >=
+            options_.compact_every) {
+      maybe_compact.push_back(shard);
+    }
+    while (i < batch.size() && batch[i].shard == nullptr) ++i;
+  }
+  for (Shard* shard : maybe_compact) {
+    (void)CompactInBackground(shard->name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query (lock-free read path)
+
+double ResolutionService::ScorePairCached(const Shard& shard, int canon_a,
+                                          int canon_b) const {
+  CacheKey key;
+  key.shard = shard.id;
+  key.a = static_cast<uint32_t>(std::min(canon_a, canon_b));
+  key.b = static_cast<uint32_t>(std::max(canon_a, canon_b));
+  double sum = 0.0;
+  const extract::FeatureBundle& a = shard.bundles[key.a];
+  const extract::FeatureBundle& b = shard.bundles[key.b];
+  for (size_t f = 0; f < functions_.size(); ++f) {
+    key.function = static_cast<uint32_t>(f);
+    double value;
+    if (!cache_->Lookup(key, &value)) {
+      value = functions_[f]->Compute(a, b);
+      cache_->Insert(key, value);
+    }
+    sum += value;
+  }
+  return sum / static_cast<double>(functions_.size());
+}
+
+Result<QueryResult> ResolutionService::Query(const std::string& block,
+                                             int doc) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  if (doc < 0 || doc >= static_cast<int>(shard->bundles.size())) {
+    return Status::InvalidArgument("Query: document ", doc,
+                                   " out of range for block '", block, "'");
+  }
+  WallTimer timer;
+  std::shared_ptr<const ResolverSnapshot> snap =
+      shard->snapshot.load(std::memory_order_acquire);
+  QueryResult result;
+  result.snapshot_version = snap->version;
+  const bool best_max = options_.incremental.assignment ==
+                        core::IncrementalOptions::Assignment::kBestMax;
+  // A document the snapshot already contains resolves to its published
+  // label: membership can come from transitive closure, where the mean
+  // similarity to the full cluster may sit below the link threshold.
+  int own_cluster = -1;
+  for (int pos = 0; pos < snap->num_documents(); ++pos) {
+    if (snap->canonical_ids[pos] == doc) {
+      own_cluster = snap->clustering.label(pos);
+      break;
+    }
+  }
+  double best_score = snap->threshold;
+  for (size_t c = 0; c < snap->clusters.size(); ++c) {
+    if (own_cluster >= 0 && static_cast<int>(c) != own_cluster) continue;
+    const std::vector<int>& members = snap->clusters[c];
+    if (members.empty()) continue;
+    double agg = 0.0;
+    for (int member : members) {
+      double s = ScorePairCached(*shard, doc, snap->canonical_ids[member]);
+      agg = best_max ? std::max(agg, s) : agg + s;
+    }
+    if (!best_max) agg /= static_cast<double>(members.size());
+    if (own_cluster >= 0 || agg >= best_score) {
+      best_score = agg;
+      result.cluster = static_cast<int>(c);
+      result.score = agg;
+    }
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  query_latency_->Record(timer.ElapsedMillis());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Compaction (background batch re-resolution + snapshot swap)
+
+Status ResolutionService::CompactShard(Shard* shard) {
+  WallTimer timer;
+  // Phase 1 — copy the live arrival state under the lock. Bundles are
+  // immutable, so only the id mapping and threshold need the lock.
+  std::vector<int> canonical;
+  double threshold;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    canonical = shard->arrival_canonical;
+    threshold = shard->resolver->threshold();
+  }
+  const int n = static_cast<int>(canonical.size());
+
+  // Phase 2 — batch re-resolution outside any lock: score every pair
+  // (cache-backed), link at the calibrated threshold, transitive closure.
+  // Identical semantics to IncrementalResolver::BatchResolve, and
+  // order-invariant, so any arrival interleaving converges here.
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (ScorePairCached(*shard, canonical[a], canonical[b]) >= threshold) {
+        edges.push_back({a, b});
+      }
+    }
+  }
+
+  // The chaos hook sits after the expensive work and before publication:
+  // a failing compaction has cost time but must not have changed what the
+  // shard serves.
+  if (Status st = faults::MaybeFail("serve.compact"); !st.ok()) {
+    failed_compactions_.fetch_add(1, std::memory_order_relaxed);
+    compact_latency_->Record(timer.ElapsedMillis());
+    return st;
+  }
+
+  auto snapshot = std::make_shared<ResolverSnapshot>();
+  snapshot->clustering = graph::ConnectedComponents(n, edges);
+  snapshot->clusters = snapshot->clustering.Groups();
+  snapshot->canonical_ids = canonical;
+  snapshot->threshold = threshold;
+  snapshot->documents.reserve(n);
+  for (int id : canonical) snapshot->documents.push_back(shard->bundles[id]);
+
+  // Phase 3 — publish. If no new documents arrived meanwhile, the live
+  // greedy partition also adopts the batch result, so subsequent greedy
+  // assignments extend the compacted partition instead of the drifted one.
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    snapshot->version = shard->next_version++;
+    if (shard->resolver->num_documents() == n) {
+      (void)shard->resolver->AdoptPartition(snapshot->clusters);
+      shard->assigns_since_compact.store(0, std::memory_order_relaxed);
+    }
+    shard->snapshot.store(snapshot, std::memory_order_release);
+  }
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  compact_latency_->Record(timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status ResolutionService::Compact(const std::string& block) {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  return CompactShard(shard);
+}
+
+Status ResolutionService::CompactAll() {
+  for (const auto& shard : shards_) {
+    WEBER_RETURN_NOT_OK(CompactShard(shard.get()));
+  }
+  return Status::OK();
+}
+
+Status ResolutionService::CompactInBackground(const std::string& block) {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  bool expected = false;
+  if (!shard->compaction_inflight.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // already scheduled or running
+  }
+  compaction_pool_->Submit([this, shard] {
+    (void)CompactShard(shard);
+    shard->compaction_inflight.store(false);
+  });
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+Result<std::shared_ptr<const ResolverSnapshot>> ResolutionService::Snapshot(
+    const std::string& block) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  return shard->snapshot.load(std::memory_order_acquire);
+}
+
+Result<std::vector<int>> ResolutionService::DumpPartition(
+    const std::string& block) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  std::shared_ptr<const ResolverSnapshot> snap =
+      shard->snapshot.load(std::memory_order_acquire);
+  std::vector<int> labels(shard->bundles.size(), -1);
+  for (int pos = 0; pos < snap->num_documents(); ++pos) {
+    labels[snap->canonical_ids[pos]] = snap->clustering.label(pos);
+  }
+  return labels;
+}
+
+ServiceStats ResolutionService::Stats() const {
+  ServiceStats stats;
+  stats.assign = assign_latency_->Summary();
+  stats.query = query_latency_->Summary();
+  stats.compact = compact_latency_->Summary();
+  stats.cache = cache_->Stats();
+  stats.assigns = assigns_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.failed_compactions =
+      failed_compactions_.load(std::memory_order_relaxed);
+  stats.failed_assigns = failed_assigns_.load(std::memory_order_relaxed);
+  stats.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  stats.batches_flushed = batcher_->batches_flushed();
+  stats.batched_requests = batcher_->requests_flushed();
+  stats.health.degraded_blocks = stats.failed_compactions;
+  return stats;
+}
+
+void ResolutionService::WriteStatsJson(std::ostream& os) const {
+  const ServiceStats stats = Stats();
+  JsonWriter json(os);
+  json.BeginObject();
+  auto endpoint = [&json](const char* name, const EndpointLatency& e) {
+    json.Key(name).BeginObject();
+    json.Key("count").Number(e.count);
+    json.Key("mean_ms").Number(e.mean_ms);
+    json.Key("p50_ms").Number(e.p50_ms);
+    json.Key("p95_ms").Number(e.p95_ms);
+    json.Key("p99_ms").Number(e.p99_ms);
+    json.EndObject();
+  };
+  json.Key("endpoints").BeginObject();
+  endpoint("assign", stats.assign);
+  endpoint("query", stats.query);
+  endpoint("compact", stats.compact);
+  json.EndObject();
+  json.Key("cache").BeginObject();
+  json.Key("hits").Number(stats.cache.hits);
+  json.Key("misses").Number(stats.cache.misses);
+  json.Key("evictions").Number(stats.cache.evictions);
+  json.Key("entries").Number(stats.cache.entries);
+  json.Key("hit_rate").Number(stats.cache.HitRate());
+  json.EndObject();
+  json.Key("counters").BeginObject();
+  json.Key("assigns").Number(stats.assigns);
+  json.Key("queries").Number(stats.queries);
+  json.Key("compactions").Number(stats.compactions);
+  json.Key("failed_compactions").Number(stats.failed_compactions);
+  json.Key("failed_assigns").Number(stats.failed_assigns);
+  json.Key("snapshot_swaps").Number(stats.snapshot_swaps);
+  json.Key("batches_flushed").Number(stats.batches_flushed);
+  json.Key("batched_requests").Number(stats.batched_requests);
+  json.EndObject();
+  json.Key("shards").BeginArray();
+  for (const auto& shard : shards_) {
+    std::shared_ptr<const ResolverSnapshot> snap =
+        shard->snapshot.load(std::memory_order_acquire);
+    json.BeginObject();
+    json.Key("name").String(shard->name);
+    json.Key("documents").Number(static_cast<int>(shard->bundles.size()));
+    json.Key("served").Number(snap->num_documents());
+    json.Key("clusters").Number(snap->clustering.num_clusters());
+    json.Key("snapshot_version").Number(
+        static_cast<long long>(snap->version));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("health");
+  core::WriteRunHealthJson(json, stats.health);
+  json.EndObject();
+}
+
+}  // namespace serve
+}  // namespace weber

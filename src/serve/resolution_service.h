@@ -1,0 +1,213 @@
+// ResolutionService: a concurrent "which person is this page?" serving
+// layer over the corpus of one deployment.
+//
+// Architecture (see DESIGN.md, "Serving architecture"):
+//   * One shard per ambiguous name (the paper's blocking key). A shard owns
+//     a mutex-protected IncrementalResolver for the hot assignment path and
+//     an immutable ResolverSnapshot published RCU-style for the read path.
+//   * Assign adds an arriving document to its shard's live partition via
+//     greedy incremental resolution (cheap, order-dependent).
+//   * Compaction batch re-resolves the shard — every pair scored against
+//     the calibrated threshold, transitive closure — and atomically swaps
+//     the result in as the new snapshot. Batch resolution is invariant to
+//     arrival order, so concurrent interleavings converge to the same
+//     partition once quiesced and compacted. Compactions run on a shared
+//     common/Executor pool; queries never block on them.
+//   * All pair scores (assignment, query, compaction) are memoized in a
+//     sharded LRU SimilarityCache keyed by (shard, function, doc pair).
+//   * AssignAsync goes through a MicroBatcher (max_batch_size /
+//     max_delay_ms) that groups requests per shard: one lock acquisition
+//     and one cache-warm scoring pass per batch.
+//
+// Fault points `serve.assign` and `serve.compact` (weber::faults) let chaos
+// tests fail either path deterministically; a failed compaction never
+// swaps, so the shard keeps serving the previous snapshot.
+
+#ifndef WEBER_SERVE_RESOLUTION_SERVICE_H_
+#define WEBER_SERVE_RESOLUTION_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/result.h"
+#include "core/incremental.h"
+#include "core/run_health.h"
+#include "corpus/document.h"
+#include "extract/gazetteer.h"
+#include "serve/batcher.h"
+#include "serve/similarity_cache.h"
+#include "serve/snapshot.h"
+
+namespace weber {
+namespace serve {
+
+struct ServiceOptions {
+  /// Functions + linkage for the per-shard incremental resolvers.
+  core::IncrementalOptions incremental;
+
+  /// Workers of the background compaction pool.
+  int compaction_threads = 1;
+
+  SimilarityCache::Options cache;
+  BatcherOptions batcher;
+
+  /// Auto-compact a shard after this many assignments since its last
+  /// compaction (0 = compact only on request).
+  int compact_every = 0;
+
+  /// Seed for the per-shard threshold calibration sample.
+  uint64_t calibration_seed = 0x5E21EULL;
+
+  /// Fraction of each block's pairs labeled for calibration.
+  double train_fraction = 0.10;
+};
+
+struct AssignResult {
+  /// Live-partition cluster index the document joined.
+  int cluster = -1;
+  /// Version of the shard's published snapshot at assignment time.
+  uint64_t snapshot_version = 0;
+};
+
+struct QueryResult {
+  /// Snapshot cluster label the page resolves to, or -1 when no cluster
+  /// reaches the threshold (unknown person / empty snapshot).
+  int cluster = -1;
+  double score = 0.0;
+  uint64_t snapshot_version = 0;
+};
+
+/// Latency summary of one endpoint, computed from a reservoir of samples.
+struct EndpointLatency {
+  long long count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct ServiceStats {
+  EndpointLatency assign;
+  EndpointLatency query;
+  EndpointLatency compact;
+  CacheStats cache;
+
+  long long assigns = 0;
+  long long queries = 0;
+  long long compactions = 0;
+  long long failed_compactions = 0;
+  long long failed_assigns = 0;
+  long long snapshot_swaps = 0;
+  long long batches_flushed = 0;
+  long long batched_requests = 0;
+
+  /// Degradation ledger in the library's standard shape; failed
+  /// compactions count as degraded blocks (the shard serves stale data).
+  core::RunHealth health;
+};
+
+/// Thread-safe resolution service over a labeled corpus. Create extracts
+/// features for every block and calibrates one match threshold per shard
+/// from the block's labeled pairs; afterwards Assign/Query/Compact may be
+/// called concurrently from any number of threads.
+class ResolutionService {
+ public:
+  static Result<std::unique_ptr<ResolutionService>> Create(
+      const corpus::Dataset& dataset, const extract::Gazetteer* gazetteer,
+      ServiceOptions options);
+
+  ~ResolutionService();
+
+  ResolutionService(const ResolutionService&) = delete;
+  ResolutionService& operator=(const ResolutionService&) = delete;
+
+  /// Adds block document `doc` to its shard's live partition (hot path).
+  /// Idempotent: re-assigning a document returns its current cluster.
+  Result<AssignResult> Assign(const std::string& block, int doc);
+
+  /// As Assign, but micro-batched: requests are grouped per shard and
+  /// processed under one lock acquisition per group.
+  std::future<Result<AssignResult>> AssignAsync(const std::string& block,
+                                                int doc);
+
+  /// Resolves the page against the shard's published snapshot. Lock-free
+  /// with respect to writers and compactions.
+  Result<QueryResult> Query(const std::string& block, int doc) const;
+
+  /// Synchronously batch re-resolves the shard and publishes the result as
+  /// a new snapshot. On failure the previous snapshot remains published.
+  Status Compact(const std::string& block);
+
+  /// Compacts every shard (synchronously, on the calling thread).
+  Status CompactAll();
+
+  /// Schedules a background compaction on the pool (no-op when one is
+  /// already in flight for the shard).
+  Status CompactInBackground(const std::string& block);
+
+  /// The shard's current snapshot (never null; version 0 = empty).
+  Result<std::shared_ptr<const ResolverSnapshot>> Snapshot(
+      const std::string& block) const;
+
+  /// Snapshot partition as a label per canonical block document;
+  /// -1 for documents not in the snapshot.
+  Result<std::vector<int>> DumpPartition(const std::string& block) const;
+
+  ServiceStats Stats() const;
+
+  /// Emits the stats as a single-line JSON object (RunHealth fields
+  /// included, same shape as the experiment JSON's "health").
+  void WriteStatsJson(std::ostream& os) const;
+
+  const std::vector<std::string>& block_names() const { return block_names_; }
+  Result<int> BlockSize(const std::string& block) const;
+  Result<double> ShardThreshold(const std::string& block) const;
+
+ private:
+  struct Shard;
+  struct PendingAssign;
+  class ShardScoreCache;
+  class LatencyRecorder;
+
+  ResolutionService(ServiceOptions options);
+
+  Result<Shard*> FindShard(const std::string& block) const;
+  Result<AssignResult> AssignLocked(Shard* shard, int doc);
+  Status CompactShard(Shard* shard);
+  void ProcessAssignBatch(std::vector<PendingAssign> batch);
+  double ScorePairCached(const Shard& shard, int canon_a, int canon_b) const;
+
+  ServiceOptions options_;
+  std::vector<std::unique_ptr<core::SimilarityFunction>> functions_;
+  std::vector<std::string> block_names_;
+  std::unordered_map<std::string, int> shard_index_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<SimilarityCache> cache_;
+
+  std::atomic<long long> assigns_{0};
+  mutable std::atomic<long long> queries_{0};
+  std::atomic<long long> compactions_{0};
+  std::atomic<long long> failed_compactions_{0};
+  std::atomic<long long> failed_assigns_{0};
+  std::atomic<long long> snapshot_swaps_{0};
+
+  std::unique_ptr<LatencyRecorder> assign_latency_;
+  std::unique_ptr<LatencyRecorder> query_latency_;
+  std::unique_ptr<LatencyRecorder> compact_latency_;
+
+  // Declared after the state they operate on so they stop first.
+  std::unique_ptr<Executor> compaction_pool_;
+  std::unique_ptr<MicroBatcher<PendingAssign>> batcher_;
+};
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_RESOLUTION_SERVICE_H_

@@ -1,0 +1,284 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+#include "serve/protocol.h"
+
+namespace weber {
+namespace serve {
+
+namespace {
+
+std::string FormatOk(uint64_t version, int cluster) {
+  std::string out = "ok ";
+  out += std::to_string(cluster);
+  out += ' ';
+  out += std::to_string(version);
+  return out;
+}
+
+}  // namespace
+
+LineServer::~LineServer() { StopTcp(); }
+
+std::string LineServer::HandleLine(const std::string& line, bool* quit) {
+  *quit = false;
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) return FormatError(parsed.status());
+  const Request& request = parsed.ValueOrDie();
+  switch (request.op) {
+    case Request::Op::kAssign: {
+      Result<AssignResult> result = service_->Assign(request.block,
+                                                     request.doc);
+      if (!result.ok()) return FormatError(result.status());
+      return FormatOk(result.ValueOrDie().snapshot_version, result.ValueOrDie().cluster);
+    }
+    case Request::Op::kQuery: {
+      Result<QueryResult> result = service_->Query(request.block, request.doc);
+      if (!result.ok()) return FormatError(result.status());
+      return FormatOk(result.ValueOrDie().snapshot_version, result.ValueOrDie().cluster);
+    }
+    case Request::Op::kCompact: {
+      Status status = service_->Compact(request.block);
+      if (!status.ok()) return FormatError(status);
+      auto snapshot = service_->Snapshot(request.block);
+      if (!snapshot.ok()) return FormatError(snapshot.status());
+      return "ok " + std::to_string(snapshot.ValueOrDie()->version);
+    }
+    case Request::Op::kCompactAll: {
+      Status status = service_->CompactAll();
+      if (!status.ok()) return FormatError(status);
+      return "ok " + std::to_string(service_->block_names().size());
+    }
+    case Request::Op::kDump: {
+      Result<std::vector<int>> labels = service_->DumpPartition(request.block);
+      if (!labels.ok()) return FormatError(labels.status());
+      std::string out = "ok ";
+      out += std::to_string(labels.ValueOrDie().size());
+      for (size_t i = 0; i < labels.ValueOrDie().size(); ++i) {
+        out += ' ';
+        out += std::to_string(i);
+        out += ':';
+        out += std::to_string(labels.ValueOrDie()[i]);
+      }
+      return out;
+    }
+    case Request::Op::kStats: {
+      std::ostringstream os;
+      service_->WriteStatsJson(os);
+      return "ok " + os.str();
+    }
+    case Request::Op::kPing:
+      return "ok";
+    case Request::Op::kQuit:
+      *quit = true;
+      return "ok";
+  }
+  return FormatError(Status::Internal("unhandled request op"));
+}
+
+Status LineServer::ServeStdio(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (TrimWhitespace(line).empty()) continue;
+    bool quit = false;
+    out << HandleLine(line, &quit) << '\n';
+    out.flush();
+    if (quit) break;
+  }
+  return Status::OK();
+}
+
+Status LineServer::StartTcp(int port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("TCP server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): ", std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind(127.0.0.1:", port, "): ", error);
+  }
+  if (::listen(fd, 64) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen(): ", error);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname(): ", error);
+  }
+  listen_fd_ = fd;
+  tcp_port_ = ntohs(addr.sin_port);
+  stopping_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void LineServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // Listener closed or broken; nothing sensible to retry.
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(conn);
+      break;
+    }
+    conn_fds_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void LineServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit && !stopping_.load(std::memory_order_acquire)) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TrimWhitespace(line).empty()) continue;
+    std::string response = HandleLine(line, &quit);
+    response += '\n';
+    size_t sent = 0;
+    while (sent < response.size()) {
+      ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) {
+        quit = true;
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void LineServer::StopTcp() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept(); shutting the connections down
+  // unblocks recv() in the handler threads.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+    handlers.swap(conn_threads_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_ = -1;
+  tcp_port_ = -1;
+}
+
+void LineServer::WaitTcp() {
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+Status LineConnection::Connect(const std::string& host, int port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): ", std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address '", host, "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect(", host, ":", port, "): ", error);
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LineConnection::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string payload = line;
+  payload += '\n';
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    ssize_t n = ::send(fd_, payload.data() + sent, payload.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IOError("send(): ", std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineConnection::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char chunk[4096];
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IOError("connection closed");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineConnection::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace serve
+}  // namespace weber

@@ -1,0 +1,107 @@
+// LineServer: drives a ResolutionService with the newline-delimited
+// protocol (serve/protocol.h) over stdin/stdout and/or a POSIX TCP socket.
+//
+// The TCP listener accepts on 127.0.0.1 and spawns one handler thread per
+// connection; all connections share the one ResolutionService, which is the
+// point — concurrent clients exercise the service's locking, batching and
+// snapshot machinery. LineConnection is the matching buffered client used
+// by weber_loadgen and the tests.
+
+#ifndef WEBER_SERVE_SERVER_H_
+#define WEBER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/resolution_service.h"
+
+namespace weber {
+namespace serve {
+
+class LineServer {
+ public:
+  /// The service must outlive the server.
+  explicit LineServer(ResolutionService* service) : service_(service) {}
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Handles one request line and returns the response line (without the
+  /// trailing newline). Sets `*quit` when the request asks to close.
+  std::string HandleLine(const std::string& line, bool* quit);
+
+  /// Serves until EOF or a `quit` request. Blank lines are ignored.
+  Status ServeStdio(std::istream& in, std::ostream& out);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
+  /// acceptor thread and returns. Serves until StopTcp().
+  Status StartTcp(int port);
+
+  /// The bound port (valid after StartTcp succeeded).
+  int tcp_port() const { return tcp_port_; }
+
+  /// Closes the listener and every open connection, then joins all handler
+  /// threads. Safe to call twice; called by the destructor.
+  void StopTcp();
+
+  /// Blocks until StopTcp() is called from another thread.
+  void WaitTcp();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ResolutionService* service_;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int tcp_port_ = -1;
+  std::thread acceptor_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Buffered line-oriented TCP client for the protocol.
+class LineConnection {
+ public:
+  LineConnection() = default;
+  ~LineConnection() { Close(); }
+
+  LineConnection(const LineConnection&) = delete;
+  LineConnection& operator=(const LineConnection&) = delete;
+
+  Status Connect(const std::string& host, int port);
+
+  /// Writes `line` plus a newline.
+  Status SendLine(const std::string& line);
+
+  /// Reads up to the next newline (stripped). IOError on EOF.
+  Result<std::string> ReadLine();
+
+  /// Round-trip helper.
+  Result<std::string> Call(const std::string& line) {
+    WEBER_RETURN_NOT_OK(SendLine(line));
+    return ReadLine();
+  }
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_SERVER_H_

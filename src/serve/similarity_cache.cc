@@ -1,0 +1,82 @@
+#include "serve/similarity_cache.h"
+
+#include <algorithm>
+
+namespace weber {
+namespace serve {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(int n) {
+  size_t p = 1;
+  while (p < static_cast<size_t>(n)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SimilarityCache::SimilarityCache() : SimilarityCache(Options{}) {}
+
+SimilarityCache::SimilarityCache(Options options)
+    : capacity_(std::max<size_t>(1, options.capacity)) {
+  const size_t stripes =
+      RoundUpPowerOfTwo(std::clamp(options.num_shards, 1, 256));
+  stripe_mask_ = stripes - 1;
+  per_stripe_capacity_ = std::max<size_t>(1, capacity_ / stripes);
+  stripes_ = std::vector<Stripe>(stripes);
+}
+
+bool SimilarityCache::Lookup(const CacheKey& key, double* value) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  *value = it->second->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SimilarityCache::Insert(const CacheKey& key, double value) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
+    it->second->value = value;
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+    return;
+  }
+  stripe.lru.push_front({key, value});
+  stripe.index[key] = stripe.lru.begin();
+  if (stripe.index.size() > per_stripe_capacity_) {
+    stripe.index.erase(stripe.lru.back().key);
+    stripe.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SimilarityCache::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.lru.clear();
+    stripe.index.clear();
+  }
+}
+
+CacheStats SimilarityCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stats.entries += static_cast<long long>(stripe.index.size());
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace weber

@@ -1,0 +1,118 @@
+// SimilarityCache: a sharded LRU memo of per-function pair similarities.
+//
+// The serving layer scores the same document pairs again and again — the
+// greedy assignment path when a shard grows, queries against snapshot
+// clusters, and every background batch re-resolution recomputes the full
+// pairwise matrix. All of them key their scores here as
+// (shard, function, unordered doc pair), so one computation serves every
+// consumer. Shard count bounds lock contention; capacity bounds memory via
+// per-shard LRU eviction. Hit/miss/eviction counters feed the service's
+// exported stats.
+
+#ifndef WEBER_SERVE_SIMILARITY_CACHE_H_
+#define WEBER_SERVE_SIMILARITY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace weber {
+namespace serve {
+
+/// Identifies one cached similarity value. `a` and `b` are canonical
+/// document ids within `shard` with a <= b (callers normalize; similarity
+/// functions are symmetric).
+struct CacheKey {
+  uint32_t shard = 0;
+  uint32_t function = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  bool operator==(const CacheKey& other) const = default;
+};
+
+struct CacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long evictions = 0;
+  long long entries = 0;
+
+  double HitRate() const {
+    const long long total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe sharded LRU cache. Keys hash to a fixed lock-striped shard;
+/// each shard maintains its own recency list, so eviction is LRU per stripe
+/// (the standard sharded-cache approximation of global LRU).
+class SimilarityCache {
+ public:
+  struct Options {
+    /// Total entries across all stripes (floor of 1 per stripe).
+    size_t capacity = 1 << 20;
+    /// Lock stripes; rounded up to a power of two, clamped to [1, 256].
+    int num_shards = 16;
+  };
+
+  SimilarityCache();
+  explicit SimilarityCache(Options options);
+
+  /// Returns true and fills `*value` on a hit; records a miss otherwise.
+  bool Lookup(const CacheKey& key, double* value);
+
+  /// Inserts or refreshes the value, evicting the stripe's LRU entry when
+  /// over capacity.
+  void Insert(const CacheKey& key, double value);
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+  CacheStats Stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    double value;
+  };
+
+  struct KeyHash {
+    size_t operator()(const CacheKey& k) const {
+      // SplitMix64 finalizer over the packed key: cheap and well mixed.
+      uint64_t x = (static_cast<uint64_t>(k.shard) << 32) ^ k.function;
+      x ^= (static_cast<uint64_t>(k.a) << 32) | k.b;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Stripe& StripeFor(const CacheKey& key) {
+    return stripes_[KeyHash{}(key)&stripe_mask_];
+  }
+
+  size_t capacity_;
+  size_t per_stripe_capacity_;
+  size_t stripe_mask_;
+  std::vector<Stripe> stripes_;
+
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_SIMILARITY_CACHE_H_

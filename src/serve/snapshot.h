@@ -1,0 +1,55 @@
+// ResolverSnapshot: an immutable, self-contained view of one shard's
+// resolved partition, published by background compaction and read lock-free
+// by the query path.
+//
+// Concurrency protocol (RCU-style): a shard holds a
+// std::shared_ptr<const ResolverSnapshot> that is swapped atomically when a
+// compaction finishes. Readers atomically load the pointer once and then
+// work exclusively on that immutable object — a swap during an active query
+// can never tear it, and the old snapshot stays alive until its last reader
+// drops the reference. A failed compaction simply never swaps, so the shard
+// keeps serving the previous snapshot (degraded, never empty).
+
+#ifndef WEBER_SERVE_SNAPSHOT_H_
+#define WEBER_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/feature_bundle.h"
+#include "graph/clustering.h"
+
+namespace weber {
+namespace serve {
+
+/// Immutable after publication. Holds copies (not references) of everything
+/// a query needs, so reads never touch mutable shard state.
+struct ResolverSnapshot {
+  /// Monotonically increasing per shard; 0 is the empty pre-compaction
+  /// snapshot.
+  uint64_t version = 0;
+
+  /// The batch-resolved partition of `documents` (by position).
+  graph::Clustering clustering;
+
+  /// Cluster members as document positions, grouped by canonical label.
+  std::vector<std::vector<int>> clusters;
+
+  /// Extracted features per document position (copied at compaction time).
+  std::vector<extract::FeatureBundle> documents;
+
+  /// Canonical (corpus) document id per position, for cache keying and for
+  /// dumping partitions in arrival-order-independent form.
+  std::vector<int> canonical_ids;
+
+  /// The calibrated match threshold the partition was resolved with; the
+  /// query path reuses it as the "resolves to this person" bar.
+  double threshold = 0.0;
+
+  int num_documents() const { return static_cast<int>(documents.size()); }
+};
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_SNAPSHOT_H_

@@ -1,0 +1,141 @@
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace weber {
+namespace serve {
+namespace {
+
+/// Collects flushed batches and lets tests wait for a request count.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::vector<int>> batches;
+  int total = 0;
+
+  void Flush(std::vector<int> batch) {
+    std::lock_guard<std::mutex> lock(mu);
+    total += static_cast<int>(batch.size());
+    batches.push_back(std::move(batch));
+    cv.notify_all();
+  }
+
+  bool WaitForTotal(int n, int timeout_ms = 5000) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return total >= n; });
+  }
+};
+
+TEST(MicroBatcherTest, SizeTriggeredFlush) {
+  Collector collector;
+  BatcherOptions options;
+  options.max_batch_size = 4;
+  options.max_delay_ms = 10000.0;  // deadline effectively off
+  MicroBatcher<int> batcher(options,
+                            [&](std::vector<int> b) { collector.Flush(std::move(b)); });
+  for (int i = 0; i < 8; ++i) batcher.Submit(i);
+  ASSERT_TRUE(collector.WaitForTotal(8));
+  std::lock_guard<std::mutex> lock(collector.mu);
+  // Order preserved across batches; each batch at most max_batch_size.
+  std::vector<int> flat;
+  for (const auto& batch : collector.batches) {
+    EXPECT_LE(batch.size(), 4u);
+    flat.insert(flat.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(flat, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(MicroBatcherTest, DeadlineTriggeredFlush) {
+  Collector collector;
+  BatcherOptions options;
+  options.max_batch_size = 1000;  // size trigger effectively off
+  options.max_delay_ms = 5.0;
+  MicroBatcher<int> batcher(options,
+                            [&](std::vector<int> b) { collector.Flush(std::move(b)); });
+  batcher.Submit(42);
+  // Nothing reaches the size trigger; only the deadline can flush this.
+  ASSERT_TRUE(collector.WaitForTotal(1));
+  std::lock_guard<std::mutex> lock(collector.mu);
+  ASSERT_EQ(collector.batches.size(), 1u);
+  EXPECT_EQ(collector.batches[0], (std::vector<int>{42}));
+}
+
+TEST(MicroBatcherTest, DestructorFlushesPending) {
+  Collector collector;
+  {
+    BatcherOptions options;
+    options.max_batch_size = 1000;
+    options.max_delay_ms = 60000.0;
+    MicroBatcher<int> batcher(options, [&](std::vector<int> b) {
+      collector.Flush(std::move(b));
+    });
+    for (int i = 0; i < 5; ++i) batcher.Submit(i);
+  }
+  std::lock_guard<std::mutex> lock(collector.mu);
+  EXPECT_EQ(collector.total, 5);
+}
+
+TEST(MicroBatcherTest, CountersTrackFlushes) {
+  Collector collector;
+  BatcherOptions options;
+  options.max_batch_size = 2;
+  options.max_delay_ms = 10000.0;
+  MicroBatcher<int> batcher(options,
+                            [&](std::vector<int> b) { collector.Flush(std::move(b)); });
+  for (int i = 0; i < 6; ++i) batcher.Submit(i);
+  ASSERT_TRUE(collector.WaitForTotal(6));
+  EXPECT_EQ(batcher.requests_flushed(), 6);
+  EXPECT_GE(batcher.batches_flushed(), 3);
+}
+
+TEST(MicroBatcherTest, ConcurrentSubmittersLoseNothing) {
+  Collector collector;
+  BatcherOptions options;
+  options.max_batch_size = 8;
+  options.max_delay_ms = 1.0;
+  {
+    MicroBatcher<int> batcher(options, [&](std::vector<int> b) {
+      collector.Flush(std::move(b));
+    });
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 100; ++i) batcher.Submit(t * 100 + i);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  std::lock_guard<std::mutex> lock(collector.mu);
+  EXPECT_EQ(collector.total, 400);
+  std::vector<bool> seen(400, false);
+  for (const auto& batch : collector.batches) {
+    for (int v : batch) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 400);
+      EXPECT_FALSE(seen[v]) << "duplicate " << v;
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(MicroBatcherTest, ZeroBatchSizeClampsToOne) {
+  Collector collector;
+  BatcherOptions options;
+  options.max_batch_size = 0;
+  options.max_delay_ms = 10000.0;
+  MicroBatcher<int> batcher(options,
+                            [&](std::vector<int> b) { collector.Flush(std::move(b)); });
+  batcher.Submit(7);
+  ASSERT_TRUE(collector.WaitForTotal(1));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

@@ -1,0 +1,91 @@
+#include "common/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace weber {
+namespace {
+
+TEST(ExecutorTest, SubmitRunsEveryTask) {
+  Executor pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ExecutorTest, SingleThreadStillWorks) {
+  Executor pool(1);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryIndexExactlyOnce) {
+  Executor pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(257, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < 257; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, ParallelForZeroAndOne) {
+  Executor pool(2);
+  pool.ParallelFor(0, [&](int) { FAIL() << "no indices to visit"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ExecutorTest, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    Executor pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }
+  // The destructor joins only after the queue is empty.
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ExecutorTest, TasksSubmittedFromTasksComplete) {
+  Executor pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> inner(4);
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back(pool.Submit([&, i] {
+      inner[i] = pool.Submit([&] { count.fetch_add(1); });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  for (auto& f : inner) f.get();
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ExecutorTest, ClampsThreadCount) {
+  Executor pool(0);  // clamped to at least one worker
+  std::atomic<int> count{0};
+  pool.Submit([&] { count.fetch_add(1); }).get();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace weber

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "eval/metrics.h"
 #include "ml/splitter.h"
 
@@ -109,6 +112,128 @@ TEST_F(IncrementalTest, MaxLinkageVariantAlsoWorks) {
   for (const auto& b : bundles_) created->Add(b);
   EXPECT_EQ(created->CurrentClustering(),
             graph::Clustering::FromLabels(labels_));
+}
+
+TEST_F(IncrementalTest, SameArrivalOrderIsBitIdentical) {
+  // Determinism contract the serving layer relies on: two resolvers fed the
+  // same stream in the same order produce identical labels at every step.
+  auto created = IncrementalResolver::Create({});
+  ASSERT_TRUE(created.ok());
+  auto twin = std::make_unique<IncrementalResolver>(
+      std::move(created).ValueOrDie());
+  Rng rng(1);
+  auto pairs = ml::SampleTrainingPairs(12, 0.6, &rng);
+  ASSERT_TRUE(twin->CalibrateThreshold(bundles_, labels_, pairs).ok());
+  ASSERT_DOUBLE_EQ(twin->threshold(), resolver_->threshold());
+  for (const auto& b : bundles_) {
+    EXPECT_EQ(resolver_->Add(b), twin->Add(b));
+    EXPECT_EQ(resolver_->CurrentClustering().labels(),
+              twin->CurrentClustering().labels());
+  }
+}
+
+TEST_F(IncrementalTest, BatchResolveIsArrivalOrderInvariant) {
+  for (const auto& b : bundles_) resolver_->Add(b);
+  auto forward = resolver_->BatchResolve();
+  ASSERT_TRUE(forward.ok());
+
+  auto created = IncrementalResolver::Create({});
+  ASSERT_TRUE(created.ok());
+  auto reversed = std::make_unique<IncrementalResolver>(
+      std::move(created).ValueOrDie());
+  Rng rng(1);
+  auto pairs = ml::SampleTrainingPairs(12, 0.6, &rng);
+  ASSERT_TRUE(reversed->CalibrateThreshold(bundles_, labels_, pairs).ok());
+  std::vector<int> docs_reversed;
+  for (int i = 11; i >= 0; --i) {
+    reversed->Add(bundles_[i]);
+    docs_reversed.push_back(i);
+  }
+  auto backward = reversed->BatchResolve();
+  ASSERT_TRUE(backward.ok());
+
+  // Translate the reversed partition back to canonical document ids before
+  // comparing: position p in `backward` is document docs_reversed[p].
+  std::vector<int> canonical(12, -1);
+  for (int p = 0; p < 12; ++p) {
+    canonical[docs_reversed[p]] = backward->label(p);
+  }
+  EXPECT_EQ(graph::Clustering::FromLabels(canonical), *forward);
+}
+
+TEST_F(IncrementalTest, BatchResolveRecoversPlantedEntities) {
+  for (const auto& b : bundles_) resolver_->Add(b);
+  auto batch = resolver_->BatchResolve();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, graph::Clustering::FromLabels(labels_));
+}
+
+TEST_F(IncrementalTest, AdoptPartitionReplacesClusters) {
+  for (const auto& b : bundles_) resolver_->Add(b);
+  auto batch = resolver_->BatchResolve();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(resolver_->AdoptPartition(batch->Groups()).ok());
+  EXPECT_EQ(resolver_->CurrentClustering(), *batch);
+}
+
+TEST_F(IncrementalTest, AdoptPartitionValidatesCoverage) {
+  for (const auto& b : bundles_) resolver_->Add(b);
+  // Missing a document.
+  EXPECT_FALSE(resolver_->AdoptPartition({{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}})
+                   .ok());
+  // Document out of range.
+  EXPECT_FALSE(
+      resolver_->AdoptPartition(
+                    {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12}})
+          .ok());
+  // Duplicate document.
+  EXPECT_FALSE(
+      resolver_->AdoptPartition(
+                    {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {10, 11}})
+          .ok());
+  // Exact cover is accepted.
+  EXPECT_TRUE(
+      resolver_->AdoptPartition(
+                   {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}})
+          .ok());
+}
+
+TEST_F(IncrementalTest, ScoreCacheObservesAndServesPairScores) {
+  /// Counting cache: verifies the resolver consults and fills it.
+  class CountingCache : public PairScoreCache {
+   public:
+    bool Lookup(int function_index, int a, int b, double* value) override {
+      ++lookups;
+      auto it = store.find(KeyOf(function_index, a, b));
+      if (it == store.end()) return false;
+      ++hits;
+      *value = it->second;
+      return true;
+    }
+    void Insert(int function_index, int a, int b, double value) override {
+      store[KeyOf(function_index, a, b)] = value;
+    }
+    static long long KeyOf(int f, int a, int b) {
+      return (static_cast<long long>(f) << 40) |
+             (static_cast<long long>(std::min(a, b)) << 20) |
+             static_cast<long long>(std::max(a, b));
+    }
+    std::map<long long, double> store;
+    long long lookups = 0;
+    long long hits = 0;
+  };
+
+  CountingCache cache;
+  resolver_->set_score_cache(&cache);
+  for (const auto& b : bundles_) resolver_->Add(b);
+  EXPECT_GT(cache.lookups, 0);
+  EXPECT_FALSE(cache.store.empty());
+  // A full batch resolve re-scores every pair: now everything hits.
+  const long long hits_before = cache.hits;
+  auto batch = resolver_->BatchResolve();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_GT(cache.hits, hits_before);
+  resolver_->set_score_cache(nullptr);
 }
 
 TEST(IncrementalCreateTest, RejectsUnknownFunctions) {

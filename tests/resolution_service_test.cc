@@ -1,0 +1,388 @@
+// ResolutionService tests: hot-path assignment, RCU snapshot publication,
+// chaos behaviour of failed compactions, and the multi-writer/multi-reader
+// convergence guarantee (batch re-resolution is arrival-order invariant).
+
+#include "serve/resolution_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "graph/clustering.h"
+
+namespace weber {
+namespace serve {
+namespace {
+
+class ResolutionServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new corpus::SyntheticData(std::move(data).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static std::unique_ptr<ResolutionService> MakeService(
+      ServiceOptions options = {}) {
+    auto service = ResolutionService::Create(data_->dataset,
+                                             &data_->gazetteer, options);
+    EXPECT_TRUE(service.ok()) << service.status();
+    return std::move(service).ValueOrDie();
+  }
+
+  static const corpus::Block& Block(int i) { return data_->dataset.blocks[i]; }
+
+  /// Assigns every document of every block in canonical order, then
+  /// compacts — the single-threaded reference state.
+  static void FillSequentially(ResolutionService* service) {
+    for (const corpus::Block& block : data_->dataset.blocks) {
+      for (int d = 0; d < block.num_documents(); ++d) {
+        auto r = service->Assign(block.query, d);
+        ASSERT_TRUE(r.ok()) << r.status();
+      }
+    }
+    ASSERT_TRUE(service->CompactAll().ok());
+  }
+
+  static corpus::SyntheticData* data_;
+};
+
+corpus::SyntheticData* ResolutionServiceTest::data_ = nullptr;
+
+TEST_F(ResolutionServiceTest, CreateExposesOneShardPerBlock) {
+  auto service = MakeService();
+  ASSERT_EQ(service->block_names().size(), data_->dataset.blocks.size());
+  for (const corpus::Block& block : data_->dataset.blocks) {
+    auto size = service->BlockSize(block.query);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, block.num_documents());
+    auto threshold = service->ShardThreshold(block.query);
+    ASSERT_TRUE(threshold.ok());
+    EXPECT_GT(*threshold, 0.0);
+    EXPECT_LT(*threshold, 1.0);
+  }
+}
+
+TEST_F(ResolutionServiceTest, UnknownBlockIsNotFound) {
+  auto service = MakeService();
+  EXPECT_FALSE(service->Assign("nonesuch", 0).ok());
+  EXPECT_FALSE(service->Query("nonesuch", 0).ok());
+  EXPECT_FALSE(service->Compact("nonesuch").ok());
+  EXPECT_FALSE(service->DumpPartition("nonesuch").ok());
+}
+
+TEST_F(ResolutionServiceTest, AssignRejectsOutOfRangeDocument) {
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  EXPECT_FALSE(service->Assign(block, -1).ok());
+  EXPECT_FALSE(service->Assign(block, Block(0).num_documents()).ok());
+}
+
+TEST_F(ResolutionServiceTest, AssignIsIdempotent) {
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  auto first = service->Assign(block, 0);
+  ASSERT_TRUE(first.ok());
+  auto again = service->Assign(block, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->cluster, first->cluster);
+  EXPECT_EQ(service->Stats().assigns, 1);  // the repeat is not a new assign
+}
+
+TEST_F(ResolutionServiceTest, QueryAgainstEmptySnapshotIsUnknown) {
+  auto service = MakeService();
+  auto result = service->Query(Block(0).query, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cluster, -1);
+  EXPECT_EQ(result->snapshot_version, 0u);
+}
+
+TEST_F(ResolutionServiceTest, CompactPublishesMonotoneVersions) {
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  for (int d = 0; d < 5; ++d) {
+    ASSERT_TRUE(service->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(service->Compact(block).ok());
+  auto snap1 = service->Snapshot(block);
+  ASSERT_TRUE(snap1.ok());
+  EXPECT_EQ((*snap1)->version, 1u);
+  EXPECT_EQ((*snap1)->num_documents(), 5);
+  ASSERT_TRUE(service->Compact(block).ok());
+  auto snap2 = service->Snapshot(block);
+  ASSERT_TRUE(snap2.ok());
+  EXPECT_EQ((*snap2)->version, 2u);
+}
+
+TEST_F(ResolutionServiceTest, QueryResolvesAssignedDocumentAfterCompact) {
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    ASSERT_TRUE(service->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(service->Compact(block).ok());
+  auto dump = service->DumpPartition(block);
+  ASSERT_TRUE(dump.ok());
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    auto q = service->Query(block, d);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->snapshot_version, 1u);
+    // A document the snapshot contains must resolve to its own cluster.
+    EXPECT_EQ(q->cluster, (*dump)[d]);
+  }
+}
+
+TEST_F(ResolutionServiceTest, ShuffledArrivalConvergesAfterCompaction) {
+  auto reference = MakeService();
+  FillSequentially(reference.get());
+
+  auto shuffled = MakeService();
+  Rng rng(0xD1CE);
+  for (const corpus::Block& block : data_->dataset.blocks) {
+    std::vector<int> order(block.num_documents());
+    for (int d = 0; d < block.num_documents(); ++d) order[d] = d;
+    rng.Shuffle(&order);
+    for (int d : order) {
+      ASSERT_TRUE(shuffled->Assign(block.query, d).ok());
+    }
+  }
+  ASSERT_TRUE(shuffled->CompactAll().ok());
+
+  for (const corpus::Block& block : data_->dataset.blocks) {
+    auto a = reference->DumpPartition(block.query);
+    auto b = shuffled->DumpPartition(block.query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(graph::Clustering::FromLabels(*a),
+              graph::Clustering::FromLabels(*b))
+        << "shard " << block.query;
+  }
+}
+
+TEST_F(ResolutionServiceTest, ConcurrentWritersAndReadersConverge) {
+  auto reference = MakeService();
+  FillSequentially(reference.get());
+
+  auto service = MakeService();
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<int> assign_failures{0};
+
+  std::vector<std::thread> threads;
+  // Writers: each handles the arithmetic slice d ≡ w (mod kWriters) of
+  // every block, so all documents are assigned exactly once overall.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (const corpus::Block& block : data_->dataset.blocks) {
+        for (int d = w; d < block.num_documents(); d += kWriters) {
+          if (!service->Assign(block.query, d).ok()) {
+            assign_failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Readers: hammer Query concurrently; results only need to be valid.
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(100 + r);
+      while (!stop_readers.load()) {
+        const corpus::Block& block =
+            Block(static_cast<int>(rng.UniformUint64(
+                data_->dataset.blocks.size())));
+        int doc = static_cast<int>(
+            rng.UniformUint64(static_cast<uint64_t>(block.num_documents())));
+        auto q = service->Query(block.query, doc);
+        ASSERT_TRUE(q.ok()) << q.status();
+        ASSERT_GE(q->cluster, -1);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop_readers.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  ASSERT_EQ(assign_failures.load(), 0);
+
+  // Quiesced: every document present. Compaction must reach the reference
+  // partition regardless of the interleaving the writers produced.
+  ASSERT_TRUE(service->CompactAll().ok());
+  for (const corpus::Block& block : data_->dataset.blocks) {
+    auto got = service->DumpPartition(block.query);
+    auto want = reference->DumpPartition(block.query);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(graph::Clustering::FromLabels(*got),
+              graph::Clustering::FromLabels(*want))
+        << "shard " << block.query;
+  }
+}
+
+TEST_F(ResolutionServiceTest, FailedCompactionKeepsServingPreviousSnapshot) {
+  faults::ScopedFaultClearance clearance;
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  for (int d = 0; d < 6; ++d) ASSERT_TRUE(service->Assign(block, d).ok());
+  ASSERT_TRUE(service->Compact(block).ok());
+  auto before = service->Snapshot(block);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->version, 1u);
+
+  // More documents arrive, then compaction starts failing.
+  for (int d = 6; d < 10; ++d) ASSERT_TRUE(service->Assign(block, d).ok());
+  faults::FaultInjector::Instance().ArmFromSpec("serve.compact=error");
+  EXPECT_FALSE(service->Compact(block).ok());
+
+  // The previous snapshot is still what readers see, verbatim.
+  auto after = service->Snapshot(block);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->get(), before->get());
+  EXPECT_EQ((*after)->version, 1u);
+  auto q = service->Query(block, 0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->snapshot_version, 1u);
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.failed_compactions, 1);
+  EXPECT_EQ(stats.health.degraded_blocks, 1);
+  EXPECT_TRUE(stats.health.AnyDegradation());
+
+  // Recovery: disarm, compact again, the new documents get served.
+  faults::FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(service->Compact(block).ok());
+  auto recovered = service->Snapshot(block);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->num_documents(), 10);
+}
+
+TEST_F(ResolutionServiceTest, AssignFaultIsCountedAndRecoverable) {
+  faults::ScopedFaultClearance clearance;
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  // max_triggers=1: the first assignment fails, the next succeeds.
+  faults::FaultInjector::Instance().ArmFromSpec("serve.assign=error:1:0:1");
+  EXPECT_FALSE(service->Assign(block, 0).ok());
+  auto retry = service->Assign(block, 0);
+  ASSERT_TRUE(retry.ok());
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.failed_assigns, 1);
+  EXPECT_EQ(stats.assigns, 1);
+}
+
+TEST_F(ResolutionServiceTest, AssignAsyncGoesThroughTheBatcher) {
+  ServiceOptions options;
+  options.batcher.max_batch_size = 8;
+  options.batcher.max_delay_ms = 1.0;
+  auto service = MakeService(options);
+  const std::string& block = Block(0).query;
+  std::vector<std::future<Result<AssignResult>>> futures;
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    futures.push_back(service->AssignAsync(block, d));
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_GE(r->cluster, 0);
+  }
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.batched_requests, Block(0).num_documents());
+  EXPECT_GE(stats.batches_flushed, 1);
+  // Async and sync assignment agree on the resulting live partition.
+  auto reference = MakeService();
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    ASSERT_TRUE(reference->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(service->Compact(block).ok());
+  ASSERT_TRUE(reference->Compact(block).ok());
+  auto got = service->DumpPartition(block);
+  auto want = reference->DumpPartition(block);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(graph::Clustering::FromLabels(*got),
+            graph::Clustering::FromLabels(*want));
+}
+
+TEST_F(ResolutionServiceTest, AssignAsyncUnknownBlockFailsFast) {
+  auto service = MakeService();
+  auto r = service->AssignAsync("nonesuch", 0).get();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(ResolutionServiceTest, AutoCompactionTriggersInBackground) {
+  ServiceOptions options;
+  options.compact_every = 4;
+  auto service = MakeService(options);
+  const std::string& block = Block(0).query;
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    ASSERT_TRUE(service->Assign(block, d).ok());
+  }
+  // Background compactions race with this check; poll with a generous
+  // deadline (sanitized builds on a loaded machine schedule the pool
+  // thread late — normally the first few tries suffice).
+  uint64_t version = 0;
+  for (int tries = 0; tries < 4000 && version == 0; ++tries) {
+    auto snap = service->Snapshot(block);
+    ASSERT_TRUE(snap.ok());
+    version = (*snap)->version;
+    if (version == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_GT(version, 0u);
+  EXPECT_GT(service->Stats().compactions, 0);
+}
+
+TEST_F(ResolutionServiceTest, CacheServesRepeatedScores) {
+  auto service = MakeService();
+  FillSequentially(service.get());
+  const CacheStats after_fill = service->Stats().cache;
+  // Compacting again recomputes every pairwise score; all of them must now
+  // come from the cache.
+  ASSERT_TRUE(service->CompactAll().ok());
+  const CacheStats again = service->Stats().cache;
+  EXPECT_GT(again.hits, after_fill.hits);
+  EXPECT_EQ(again.misses, after_fill.misses);
+}
+
+TEST_F(ResolutionServiceTest, StatsJsonHasTheExpectedShape) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->Assign(Block(0).query, 0).ok());
+  ASSERT_TRUE(service->Compact(Block(0).query).ok());
+  std::ostringstream os;
+  service->WriteStatsJson(os);
+  const std::string json = os.str();
+  for (const char* key :
+       {"\"endpoints\"", "\"assign\"", "\"query\"", "\"compact\"",
+        "\"cache\"", "\"hit_rate\"", "\"counters\"", "\"snapshot_swaps\"",
+        "\"shards\"", "\"health\"", "\"degraded_blocks\"", "\"p99_ms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "stats JSON must be one line";
+}
+
+TEST_F(ResolutionServiceTest, CreateRejectsBadInputs) {
+  corpus::Dataset empty;
+  EXPECT_FALSE(ResolutionService::Create(empty, &data_->gazetteer, {}).ok());
+  EXPECT_FALSE(
+      ResolutionService::Create(data_->dataset, nullptr, {}).ok());
+  corpus::Dataset unlabeled = data_->dataset;
+  for (auto& label : unlabeled.blocks[0].entity_labels) label = -1;
+  EXPECT_FALSE(
+      ResolutionService::Create(unlabeled, &data_->gazetteer, {}).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

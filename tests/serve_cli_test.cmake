@@ -1,0 +1,123 @@
+# End-to-end smoke test of the weber_serve binary: --help, then a real
+# request/response round-trip over the stdio protocol against a generated
+# corpus. Invoked by ctest with -DWEBER_BIN=<weber> -DSERVE_BIN=<weber_serve>
+# -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# --help must exit 0 and document the serving flags.
+run(${SERVE_BIN} --help)
+foreach(flag dataset gazetteer port compact_every max_batch_size)
+  if(NOT LAST_OUTPUT MATCHES "--${flag}")
+    message(FATAL_ERROR "--help does not mention --${flag}:\n${LAST_OUTPUT}")
+  endif()
+endforeach()
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+# One scripted session over stdin/stdout: liveness, assignment, compaction,
+# snapshot read-back, stats, quit.
+file(WRITE "${WORK_DIR}/session.txt" "\
+ping
+assign cohen 0
+assign cohen 1
+compact cohen
+query cohen 0
+dump cohen
+stats
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+  INPUT_FILE ${WORK_DIR}/session.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve session failed (${rc}):\n${out}\n${err}")
+endif()
+
+string(REPLACE "\n" ";" lines "${out}")
+list(GET lines 0 l_ping)
+list(GET lines 1 l_assign0)
+list(GET lines 3 l_compact)
+list(GET lines 4 l_query)
+list(GET lines 5 l_dump)
+list(GET lines 6 l_stats)
+list(GET lines 7 l_quit)
+if(NOT l_ping STREQUAL "ok")
+  message(FATAL_ERROR "ping response unexpected: ${l_ping}")
+endif()
+if(NOT l_assign0 MATCHES "^ok [0-9]+ [0-9]+$")
+  message(FATAL_ERROR "assign response unexpected: ${l_assign0}")
+endif()
+if(NOT l_compact MATCHES "^ok 1$")
+  message(FATAL_ERROR "compact response unexpected: ${l_compact}")
+endif()
+if(NOT l_query MATCHES "^ok (-?[0-9]+) 1$")
+  message(FATAL_ERROR "query response unexpected: ${l_query}")
+endif()
+if(NOT l_dump MATCHES "^ok 30 0:")
+  message(FATAL_ERROR "dump response unexpected: ${l_dump}")
+endif()
+if(NOT l_stats MATCHES "^ok \\{.*\"assigns\":2.*\\}$")
+  message(FATAL_ERROR "stats response unexpected: ${l_stats}")
+endif()
+if(NOT l_quit STREQUAL "ok")
+  message(FATAL_ERROR "quit response unexpected: ${l_quit}")
+endif()
+
+# A bad request must produce an err line, not kill the server.
+file(WRITE "${WORK_DIR}/bad.txt" "\
+assign nonesuch 0
+ping
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+  INPUT_FILE ${WORK_DIR}/bad.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bad-request session failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "err NotFound")
+  message(FATAL_ERROR "bad request did not produce err NotFound:\n${out}")
+endif()
+
+# Chaos: with serve.compact armed, compaction reports an error but the
+# server keeps serving (ping and quit still answer).
+file(WRITE "${WORK_DIR}/chaos.txt" "\
+assign cohen 0
+compact cohen
+ping
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+          "--faults=serve.compact=error"
+  INPUT_FILE ${WORK_DIR}/chaos.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos session failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "err ")
+  message(FATAL_ERROR "armed compaction fault did not surface:\n${out}")
+endif()
+string(REPLACE "\n" ";" chaos_lines "${out}")
+list(GET chaos_lines 2 chaos_ping)
+if(NOT chaos_ping STREQUAL "ok")
+  message(FATAL_ERROR "server did not survive the failed compaction: ${out}")
+endif()
+
+message(STATUS "weber_serve smoke test passed")

@@ -1,0 +1,216 @@
+// Protocol grammar tests plus LineServer dispatch, including a real TCP
+// round-trip on an ephemeral loopback port.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+namespace weber {
+namespace serve {
+namespace {
+
+TEST(ParseRequestTest, ParsesEveryVerb) {
+  auto assign = ParseRequest("assign cohen 3");
+  ASSERT_TRUE(assign.ok());
+  EXPECT_EQ(assign->op, Request::Op::kAssign);
+  EXPECT_EQ(assign->block, "cohen");
+  EXPECT_EQ(assign->doc, 3);
+
+  auto query = ParseRequest("query baker 0");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->op, Request::Op::kQuery);
+
+  auto compact = ParseRequest("compact cohen");
+  ASSERT_TRUE(compact.ok());
+  EXPECT_EQ(compact->op, Request::Op::kCompact);
+  EXPECT_EQ(compact->block, "cohen");
+
+  auto compact_all = ParseRequest("compact");
+  ASSERT_TRUE(compact_all.ok());
+  EXPECT_EQ(compact_all->op, Request::Op::kCompactAll);
+
+  auto dump = ParseRequest("dump cohen");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->op, Request::Op::kDump);
+
+  EXPECT_EQ(ParseRequest("stats")->op, Request::Op::kStats);
+  EXPECT_EQ(ParseRequest("ping")->op, Request::Op::kPing);
+  EXPECT_EQ(ParseRequest("quit")->op, Request::Op::kQuit);
+}
+
+TEST(ParseRequestTest, ToleratesExtraWhitespace) {
+  auto request = ParseRequest("  assign   cohen\t7  ");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->block, "cohen");
+  EXPECT_EQ(request->doc, 7);
+}
+
+TEST(ParseRequestTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("   ").ok());
+  EXPECT_FALSE(ParseRequest("frobnicate").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen 1 2").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen -1").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen x").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen 3x").ok());
+  EXPECT_FALSE(ParseRequest("ping extra").ok());
+  EXPECT_FALSE(ParseRequest("stats extra").ok());
+  EXPECT_FALSE(ParseRequest("dump").ok());
+}
+
+TEST(FormatErrorTest, SingleLineWithCodeName) {
+  const std::string formatted =
+      FormatError(Status::NotFound("no shard\nfor block"));
+  EXPECT_EQ(formatted.rfind("err NotFound ", 0), 0u);
+  EXPECT_EQ(formatted.find('\n'), std::string::npos);
+}
+
+class LineServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new corpus::SyntheticData(std::move(data).ValueOrDie());
+    auto service = ResolutionService::Create(data_->dataset,
+                                             &data_->gazetteer, {});
+    ASSERT_TRUE(service.ok()) << service.status();
+    service_ = std::move(service).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static const std::string& BlockName() {
+    return service_->block_names().front();
+  }
+
+  static corpus::SyntheticData* data_;
+  static ResolutionService* service_;
+};
+
+corpus::SyntheticData* LineServerTest::data_ = nullptr;
+ResolutionService* LineServerTest::service_ = nullptr;
+
+TEST_F(LineServerTest, HandleLineDispatches) {
+  LineServer server(service_);
+  bool quit = false;
+  EXPECT_EQ(server.HandleLine("ping", &quit), "ok");
+  EXPECT_FALSE(quit);
+
+  std::string response = server.HandleLine("assign " + BlockName() + " 0",
+                                           &quit);
+  EXPECT_EQ(response.rfind("ok ", 0), 0u);
+
+  response = server.HandleLine("query " + BlockName() + " 0", &quit);
+  EXPECT_EQ(response.rfind("ok ", 0), 0u);
+
+  response = server.HandleLine("compact " + BlockName(), &quit);
+  EXPECT_EQ(response.rfind("ok ", 0), 0u);
+
+  response = server.HandleLine("dump " + BlockName(), &quit);
+  EXPECT_EQ(response.rfind("ok ", 0), 0u);
+
+  response = server.HandleLine("stats", &quit);
+  EXPECT_EQ(response.rfind("ok {", 0), 0u);
+
+  response = server.HandleLine("bogus", &quit);
+  EXPECT_EQ(response.rfind("err ", 0), 0u);
+  EXPECT_FALSE(quit);
+
+  EXPECT_EQ(server.HandleLine("quit", &quit), "ok");
+  EXPECT_TRUE(quit);
+}
+
+TEST_F(LineServerTest, ServeStdioAnswersLineByLine) {
+  LineServer server(service_);
+  std::istringstream in("ping\n\nassign " + BlockName() +
+                        " 1\nbogus\nquit\nping\n");
+  std::ostringstream out;
+  ASSERT_TRUE(server.ServeStdio(in, out).ok());
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream reader(out.str());
+  while (std::getline(reader, line)) lines.push_back(line);
+  // Blank line skipped; loop stops at quit, so the trailing ping is unread.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "ok");
+  EXPECT_EQ(lines[1].rfind("ok ", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("err ", 0), 0u);
+  EXPECT_EQ(lines[3], "ok");
+}
+
+TEST_F(LineServerTest, TcpRoundTripOnEphemeralPort) {
+  LineServer server(service_);
+  ASSERT_TRUE(server.StartTcp(0).ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  LineConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.tcp_port()).ok());
+  auto pong = conn.Call("ping");
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_EQ(*pong, "ok");
+  auto assigned = conn.Call("assign " + BlockName() + " 2");
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_EQ(assigned->rfind("ok ", 0), 0u);
+  auto bad = conn.Call("assign " + BlockName() + " 999999");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->rfind("err InvalidArgument", 0), 0u);
+  conn.Close();
+  server.StopTcp();
+}
+
+TEST_F(LineServerTest, TcpServesConcurrentConnections) {
+  LineServer server(service_);
+  ASSERT_TRUE(server.StartTcp(0).ok());
+  const int port = server.tcp_port();
+  std::vector<std::thread> clients;
+  std::atomic<int> oks{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      LineConnection conn;
+      if (!conn.Connect("127.0.0.1", port).ok()) return;
+      for (int i = 0; i < 25; ++i) {
+        auto response = conn.Call(
+            "query " + BlockName() + " " + std::to_string((c * 25 + i) % 30));
+        if (response.ok() && response->rfind("ok ", 0) == 0) {
+          oks.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(oks.load(), 100);
+  server.StopTcp();
+}
+
+TEST_F(LineServerTest, QuitClosesTheTcpConnection) {
+  LineServer server(service_);
+  ASSERT_TRUE(server.StartTcp(0).ok());
+  LineConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.tcp_port()).ok());
+  auto bye = conn.Call("quit");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(*bye, "ok");
+  // The server hangs up after quit; the next read reports EOF.
+  EXPECT_FALSE(conn.ReadLine().ok());
+  server.StopTcp();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

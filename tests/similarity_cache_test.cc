@@ -1,0 +1,132 @@
+#include "serve/similarity_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace weber {
+namespace serve {
+namespace {
+
+CacheKey Key(uint32_t shard, uint32_t function, uint32_t a, uint32_t b) {
+  CacheKey key;
+  key.shard = shard;
+  key.function = function;
+  key.a = a;
+  key.b = b;
+  return key;
+}
+
+TEST(SimilarityCacheTest, MissThenHit) {
+  SimilarityCache cache;
+  double value = -1.0;
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, 1, 2), &value));
+  cache.Insert(Key(0, 0, 1, 2), 0.75);
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 1, 2), &value));
+  EXPECT_DOUBLE_EQ(value, 0.75);
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(SimilarityCacheTest, DistinctKeysDoNotCollide) {
+  SimilarityCache cache;
+  cache.Insert(Key(0, 0, 1, 2), 0.1);
+  cache.Insert(Key(0, 1, 1, 2), 0.2);  // different function
+  cache.Insert(Key(1, 0, 1, 2), 0.3);  // different shard
+  cache.Insert(Key(0, 0, 1, 3), 0.4);  // different pair
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 1, 2), &value));
+  EXPECT_DOUBLE_EQ(value, 0.1);
+  ASSERT_TRUE(cache.Lookup(Key(0, 1, 1, 2), &value));
+  EXPECT_DOUBLE_EQ(value, 0.2);
+  ASSERT_TRUE(cache.Lookup(Key(1, 0, 1, 2), &value));
+  EXPECT_DOUBLE_EQ(value, 0.3);
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 1, 3), &value));
+  EXPECT_DOUBLE_EQ(value, 0.4);
+}
+
+TEST(SimilarityCacheTest, InsertRefreshesValue) {
+  SimilarityCache cache;
+  cache.Insert(Key(0, 0, 1, 2), 0.1);
+  cache.Insert(Key(0, 0, 1, 2), 0.9);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 1, 2), &value));
+  EXPECT_DOUBLE_EQ(value, 0.9);
+  EXPECT_EQ(cache.Stats().entries, 1);
+}
+
+TEST(SimilarityCacheTest, EvictsLeastRecentlyUsedWithinStripe) {
+  SimilarityCache::Options options;
+  options.capacity = 4;
+  options.num_shards = 1;  // one stripe -> global LRU order
+  SimilarityCache cache(options);
+  for (uint32_t i = 0; i < 4; ++i) cache.Insert(Key(0, 0, 0, i), i);
+  double value = 0.0;
+  // Touch key 0 so key 1 becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 0, 0), &value));
+  cache.Insert(Key(0, 0, 0, 9), 9.0);
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, 0, 1), &value));
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 0, 0), &value));
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 4);
+}
+
+TEST(SimilarityCacheTest, CapacityBoundsTotalEntries) {
+  SimilarityCache::Options options;
+  options.capacity = 64;
+  options.num_shards = 4;
+  SimilarityCache cache(options);
+  for (uint32_t i = 0; i < 1000; ++i) cache.Insert(Key(0, 0, i, i + 1), 0.5);
+  EXPECT_LE(cache.Stats().entries, 64);
+  EXPECT_GT(cache.Stats().evictions, 0);
+}
+
+TEST(SimilarityCacheTest, ClearDropsEntriesKeepsCounters) {
+  SimilarityCache cache;
+  cache.Insert(Key(0, 0, 1, 2), 0.5);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, 1, 2), &value));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, 1, 2), &value));
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(SimilarityCacheTest, ConcurrentMixedTrafficStaysConsistent) {
+  SimilarityCache::Options options;
+  options.capacity = 512;
+  options.num_shards = 8;
+  SimilarityCache cache(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint32_t i = 0; i < 2000; ++i) {
+        const CacheKey key = Key(0, static_cast<uint32_t>(t % 2), i % 97,
+                                 (i % 97) + 1 + i % 3);
+        const double expected = static_cast<double>(key.a) + key.b;
+        double value = 0.0;
+        if (cache.Lookup(key, &value)) {
+          EXPECT_DOUBLE_EQ(value, expected);
+        } else {
+          cache.Insert(key, expected);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4 * 2000);
+  EXPECT_LE(stats.entries, 512);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

@@ -1,0 +1,387 @@
+// weber_loadgen: concurrent load generator + correctness check for
+// weber_serve.
+//
+//   weber_serve --dataset=D --gazetteer=G --port=0 ...   (note the port)
+//   weber_loadgen --dataset=D --gazetteer=G --port=N \
+//       --clients=4 --queries=10000 --out=BENCH_serve.json
+//
+// Three phases against a running server:
+//   1. assign storm — every (block, document) pair assigned once, the work
+//      split across --clients concurrent TCP connections;
+//   2. compact — one client compacts every shard;
+//   3. query storm — clients issue random queries until --queries total.
+// Afterwards each shard's served partition (`dump`) is compared against a
+// locally built single-threaded reference service — batch re-resolution is
+// arrival-order invariant, so a quiesced, compacted shard must match
+// exactly. Client-side latency percentiles (p50/p95/p99), per-phase QPS and
+// the server's cache hit rate land in --out as JSON.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json_writer.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "corpus/dataset_io.h"
+#include "graph/clustering.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+using namespace weber;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return ExitCodeForStatus(status.code());
+}
+
+struct PhaseStats {
+  long long count = 0;
+  long long errors = 0;
+  double wall_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double Qps() const { return wall_ms <= 0.0 ? 0.0 : count / (wall_ms / 1e3); }
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Runs `body(client_index, connection, latencies, errors)` on `clients`
+/// threads, each with its own connection, and merges the latency samples.
+Result<PhaseStats> RunPhase(
+    const std::string& host, int port, int clients,
+    const std::function<Status(int, serve::LineConnection&,
+                               std::vector<double>&, long long&)>& body) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<long long> errors(clients, 0);
+  std::vector<Status> failures(clients, Status::OK());
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int k = 0; k < clients; ++k) {
+    threads.emplace_back([&, k] {
+      serve::LineConnection conn;
+      Status st = conn.Connect(host, port);
+      if (st.ok()) st = body(k, conn, latencies[k], errors[k]);
+      failures[k] = std::move(st);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+  for (const Status& st : failures) {
+    WEBER_RETURN_NOT_OK(st);
+  }
+  std::vector<double> merged;
+  long long total_errors = 0;
+  for (int k = 0; k < clients; ++k) {
+    merged.insert(merged.end(), latencies[k].begin(), latencies[k].end());
+    total_errors += errors[k];
+  }
+  PhaseStats stats;
+  stats.count = static_cast<long long>(merged.size());
+  stats.errors = total_errors;
+  stats.wall_ms = wall_ms;
+  if (!merged.empty()) {
+    std::sort(merged.begin(), merged.end());
+    double sum = 0.0;
+    for (double v : merged) sum += v;
+    stats.mean_ms = sum / static_cast<double>(merged.size());
+    stats.p50_ms = Percentile(merged, 0.50);
+    stats.p95_ms = Percentile(merged, 0.95);
+    stats.p99_ms = Percentile(merged, 0.99);
+  }
+  return stats;
+}
+
+void WritePhaseJson(JsonWriter& json, const char* key,
+                    const PhaseStats& stats) {
+  json.Key(key).BeginObject();
+  json.Key("requests").Number(stats.count);
+  json.Key("errors").Number(stats.errors);
+  json.Key("wall_ms").Number(stats.wall_ms);
+  json.Key("qps").Number(stats.Qps());
+  json.Key("mean_ms").Number(stats.mean_ms);
+  json.Key("p50_ms").Number(stats.p50_ms);
+  json.Key("p95_ms").Number(stats.p95_ms);
+  json.Key("p99_ms").Number(stats.p99_ms);
+  json.EndObject();
+}
+
+void PrintPhase(const char* name, const PhaseStats& stats) {
+  std::cout << name << ": " << stats.count << " requests ("
+            << stats.errors << " errors), "
+            << FormatDouble(stats.Qps(), 1) << " qps, p50 "
+            << FormatDouble(stats.p50_ms, 3) << " ms, p95 "
+            << FormatDouble(stats.p95_ms, 3) << " ms, p99 "
+            << FormatDouble(stats.p99_ms, 3) << " ms\n";
+}
+
+/// Pulls a numeric field out of the server's one-line stats JSON. Good
+/// enough for flat keys emitted by our own JsonWriter.
+double ExtractNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+/// Parses a `dump` response ("ok <n> <doc>:<label> ...") into labels.
+Result<std::vector<int>> ParseDump(const std::string& response) {
+  const std::vector<std::string> tokens = SplitWhitespace(response);
+  if (tokens.size() < 2 || tokens[0] != "ok") {
+    return Status::Corruption("bad dump response '", response, "'");
+  }
+  const int n = std::atoi(tokens[1].c_str());
+  if (n < 0 || tokens.size() != static_cast<size_t>(n) + 2) {
+    return Status::Corruption("dump token count mismatch");
+  }
+  std::vector<int> labels(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const std::string& pair = tokens[static_cast<size_t>(i) + 2];
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("bad dump pair '", pair, "'");
+    }
+    const int doc = std::atoi(pair.substr(0, colon).c_str());
+    if (doc < 0 || doc >= n) {
+      return Status::Corruption("dump doc out of range in '", pair, "'");
+    }
+    labels[static_cast<size_t>(doc)] = std::atoi(pair.c_str() + colon + 1);
+  }
+  return labels;
+}
+
+/// Builds the single-threaded reference: a local service over the same
+/// corpus, documents assigned in canonical order, every shard compacted.
+Result<std::unique_ptr<serve::ResolutionService>> BuildReference(
+    const corpus::Dataset& dataset, const extract::Gazetteer& gazetteer,
+    const serve::ServiceOptions& options) {
+  WEBER_ASSIGN_OR_RETURN(
+      std::unique_ptr<serve::ResolutionService> reference,
+      serve::ResolutionService::Create(dataset, &gazetteer, options));
+  for (const corpus::Block& block : dataset.blocks) {
+    for (size_t d = 0; d < block.documents.size(); ++d) {
+      WEBER_RETURN_NOT_OK(
+          reference->Assign(block.query, static_cast<int>(d)).status());
+    }
+  }
+  WEBER_RETURN_NOT_OK(reference->CompactAll());
+  return reference;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("host", "127.0.0.1", "server address");
+  flags.AddInt("port", 0, "server TCP port (required)");
+  flags.AddInt("clients", 4, "concurrent client connections");
+  flags.AddInt("queries", 10000, "total queries in the query storm");
+  flags.AddString("dataset", "", "the dataset the server was started with");
+  flags.AddString("gazetteer", "",
+                  "the gazetteer the server was started with");
+  flags.AddBool("verify", true,
+                "compare served partitions against a local reference");
+  flags.AddDouble("train_fraction", 0.10, "must match the server");
+  flags.AddInt("seed", 0x5E21E, "must match the server's calibration seed");
+  flags.AddInt("query_seed", 1, "query storm randomization seed");
+  flags.AddString("out", "BENCH_serve.json", "benchmark report path");
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout << flags.Usage(
+          "weber_loadgen — concurrent load generator and partition "
+          "checker for weber_serve");
+      return 0;
+    }
+  }
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  if (!flags.WasSet("port") || flags.GetInt("port") <= 0) {
+    return Fail(Status::InvalidArgument("--port is required"));
+  }
+  const std::string host = flags.GetString("host");
+  const int port = flags.GetInt("port");
+  const int clients = std::max(1, flags.GetInt("clients"));
+  const long long total_queries = std::max(1, flags.GetInt("queries"));
+
+  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  // The global assignment work list: every (block, document) once.
+  std::vector<std::pair<int, int>> work;
+  for (size_t b = 0; b < dataset->blocks.size(); ++b) {
+    for (size_t d = 0; d < dataset->blocks[b].documents.size(); ++d) {
+      work.emplace_back(static_cast<int>(b), static_cast<int>(d));
+    }
+  }
+  if (work.empty()) return Fail(Status::InvalidArgument("empty dataset"));
+
+  // Phase 1: assign storm. Client k handles work items k, k+clients, ...
+  auto assign_stats = RunPhase(
+      host, port, clients,
+      [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
+          long long& errors) -> Status {
+        for (size_t i = static_cast<size_t>(k); i < work.size();
+             i += static_cast<size_t>(clients)) {
+          const std::string request =
+              "assign " + dataset->blocks[work[i].first].query + " " +
+              std::to_string(work[i].second);
+          WallTimer timer;
+          WEBER_ASSIGN_OR_RETURN(std::string response, conn.Call(request));
+          lat.push_back(timer.ElapsedMillis());
+          if (response.rfind("ok", 0) != 0) ++errors;
+        }
+        return Status::OK();
+      });
+  if (!assign_stats.ok()) return Fail(assign_stats.status());
+  PrintPhase("assign", *assign_stats);
+
+  // Phase 2: compact every shard (single client; the server may also run
+  // background compactions of its own).
+  double compact_ms = 0.0;
+  {
+    serve::LineConnection conn;
+    if (auto st = conn.Connect(host, port); !st.ok()) return Fail(st);
+    WallTimer timer;
+    auto response = conn.Call("compact");
+    if (!response.ok()) return Fail(response.status());
+    compact_ms = timer.ElapsedMillis();
+    if (response->rfind("ok", 0) != 0) {
+      return Fail(Status::Internal("compact failed: ", *response));
+    }
+    std::cout << "compact: all shards in " << FormatDouble(compact_ms, 1)
+              << " ms\n";
+  }
+
+  // Phase 3: query storm. A shared ticket counter bounds the total.
+  std::atomic<long long> tickets{0};
+  const uint64_t query_seed =
+      static_cast<uint64_t>(flags.GetInt("query_seed"));
+  auto query_stats = RunPhase(
+      host, port, clients,
+      [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
+          long long& errors) -> Status {
+        Rng rng(query_seed + static_cast<uint64_t>(k) * 0x9E37ULL);
+        while (tickets.fetch_add(1, std::memory_order_relaxed) <
+               total_queries) {
+          const auto& pick =
+              work[rng.UniformUint64(static_cast<uint64_t>(work.size()))];
+          const std::string request =
+              "query " + dataset->blocks[pick.first].query + " " +
+              std::to_string(pick.second);
+          WallTimer timer;
+          WEBER_ASSIGN_OR_RETURN(std::string response, conn.Call(request));
+          lat.push_back(timer.ElapsedMillis());
+          if (response.rfind("ok", 0) != 0) ++errors;
+        }
+        return Status::OK();
+      });
+  if (!query_stats.ok()) return Fail(query_stats.status());
+  PrintPhase("query", *query_stats);
+
+  // Server-side stats (cache hit rate etc.) as reported after the storm.
+  std::string server_stats;
+  {
+    serve::LineConnection conn;
+    if (auto st = conn.Connect(host, port); !st.ok()) return Fail(st);
+    auto response = conn.Call("stats");
+    if (!response.ok()) return Fail(response.status());
+    if (response->rfind("ok ", 0) != 0) {
+      return Fail(Status::Internal("stats failed: ", *response));
+    }
+    server_stats = response->substr(3);
+  }
+  const double hit_rate = ExtractNumber(server_stats, "hit_rate");
+  std::cout << "cache hit rate: " << FormatDouble(hit_rate, 4) << "\n";
+
+  // Verification: served partitions vs the single-threaded reference.
+  int shards_checked = 0;
+  int shards_mismatched = 0;
+  if (flags.GetBool("verify")) {
+    std::ifstream gz(flags.GetString("gazetteer"));
+    if (!gz) {
+      return Fail(Status::IOError("cannot read ",
+                                  flags.GetString("gazetteer")));
+    }
+    auto gazetteer = corpus::LoadGazetteer(gz);
+    if (!gazetteer.ok()) return Fail(gazetteer.status());
+    serve::ServiceOptions options;
+    options.train_fraction = flags.GetDouble("train_fraction");
+    options.calibration_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    auto reference = BuildReference(*dataset, *gazetteer, options);
+    if (!reference.ok()) return Fail(reference.status());
+
+    serve::LineConnection conn;
+    if (auto st = conn.Connect(host, port); !st.ok()) return Fail(st);
+    for (const corpus::Block& block : dataset->blocks) {
+      auto response = conn.Call("dump " + block.query);
+      if (!response.ok()) return Fail(response.status());
+      auto served = ParseDump(*response);
+      if (!served.ok()) return Fail(served.status());
+      auto expected = (*reference)->DumpPartition(block.query);
+      if (!expected.ok()) return Fail(expected.status());
+      ++shards_checked;
+      const bool match =
+          served->size() == expected->size() &&
+          graph::Clustering::FromLabels(*served) ==
+              graph::Clustering::FromLabels(*expected);
+      if (!match) {
+        ++shards_mismatched;
+        std::cerr << "partition mismatch on shard '" << block.query << "'\n";
+      }
+    }
+    std::cout << "verify: " << (shards_checked - shards_mismatched) << "/"
+              << shards_checked << " shards match the reference partition\n";
+  }
+
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) return Fail(Status::IOError("cannot write ", out_path));
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("benchmark").String("weber_serve");
+  json.Key("clients").Number(clients);
+  json.Key("blocks").Number(static_cast<long long>(dataset->blocks.size()));
+  json.Key("documents").Number(static_cast<long long>(work.size()));
+  WritePhaseJson(json, "assign", *assign_stats);
+  json.Key("compact_all_ms").Number(compact_ms);
+  WritePhaseJson(json, "query", *query_stats);
+  json.Key("cache_hit_rate").Number(hit_rate);
+  json.Key("verified").Bool(flags.GetBool("verify"));
+  json.Key("shards_checked").Number(shards_checked);
+  json.Key("shards_mismatched").Number(shards_mismatched);
+  json.Key("server_stats").String(server_stats);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (assign_stats->errors > 0 || query_stats->errors > 0) {
+    return Fail(Status::Internal("request errors during the storm"));
+  }
+  if (shards_mismatched > 0) {
+    return Fail(Status::Internal(shards_mismatched,
+                                 " shards diverged from the reference"));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,149 @@
+// weber_serve: the concurrent resolution service behind a line protocol.
+//
+//   weber_serve --dataset=corpus/dataset.txt --gazetteer=corpus/gazetteer.txt
+//   weber_serve --dataset=... --gazetteer=... --port=0        # + TCP
+//
+// Requests arrive newline-delimited on stdin and (with --port) on TCP
+// connections to 127.0.0.1; see src/serve/protocol.h for the grammar. With
+// --port=0 an ephemeral port is chosen and announced on stdout as
+// "listening on 127.0.0.1:<port>" before serving begins. The stdio loop
+// runs until EOF or `quit`; pass --nostdio to serve TCP only (stop with a
+// signal). Fault points serve.assign / serve.compact honor --faults and
+// WEBER_FAULTS for chaos drills.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/flags.h"
+#include "corpus/dataset_io.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+using namespace weber;
+
+namespace {
+
+void AddFlags(FlagParser* flags) {
+  flags->AddString("dataset", "", "path to a labeled WEBER dataset file");
+  flags->AddString("gazetteer", "", "path to a WEBER gazetteer file");
+  flags->AddInt("port", -1,
+                "TCP port on 127.0.0.1 (-1 = stdio only, 0 = ephemeral)");
+  flags->AddBool("stdio", true, "serve the stdin/stdout request loop");
+  flags->AddInt("compaction_threads", 1, "background compaction workers");
+  flags->AddInt("cache_capacity", 1 << 20, "similarity cache entries");
+  flags->AddInt("cache_shards", 16, "similarity cache lock stripes");
+  flags->AddInt("max_batch_size", 16, "assign micro-batch size");
+  flags->AddDouble("max_delay_ms", 2.0, "assign micro-batch flush deadline");
+  flags->AddInt("compact_every", 0,
+                "auto-compact a shard after N assigns (0 = on request only)");
+  flags->AddString("assignment", "mean",
+                   "cluster scoring: mean (avg linkage) | max (single)");
+  flags->AddDouble("train_fraction", 0.10,
+                   "labeled pair fraction for threshold calibration");
+  flags->AddInt("seed", 0x5E21E, "calibration sampling seed");
+  flags->AddBool("lenient", false,
+                 "skip corrupt dataset blocks instead of failing the file");
+  flags->AddString("faults", "",
+                   "fault spec point=kind[:prob[:param[:max]]];... "
+                   "(or WEBER_FAULTS env)");
+  flags->AddInt("fault_seed", 0, "seed for fault trigger streams");
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return ExitCodeForStatus(status.code());
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  AddFlags(&flags);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout << flags.Usage(
+          "weber_serve — concurrent entity-resolution service "
+          "(newline-delimited protocol on stdio and/or TCP)");
+      return 0;
+    }
+  }
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  faults::FaultInjector& injector = faults::FaultInjector::Instance();
+  if (flags.WasSet("fault_seed")) {
+    injector.Seed(static_cast<uint64_t>(flags.GetInt("fault_seed")));
+  }
+  std::string fault_spec = flags.GetString("faults");
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("WEBER_FAULTS")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    if (auto st = injector.ArmFromSpec(fault_spec); !st.ok()) return Fail(st);
+    std::cerr << "fault injection armed: " << fault_spec << "\n";
+  }
+
+  corpus::LoadOptions load_options;
+  load_options.lenient = flags.GetBool("lenient");
+  auto dataset =
+      corpus::LoadDatasetFromFile(flags.GetString("dataset"), load_options,
+                                  nullptr);
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::ifstream gz(flags.GetString("gazetteer"));
+  if (!gz) {
+    return Fail(Status::IOError("cannot read ", flags.GetString("gazetteer")));
+  }
+  auto gazetteer = corpus::LoadGazetteer(gz);
+  if (!gazetteer.ok()) return Fail(gazetteer.status());
+
+  serve::ServiceOptions options;
+  options.compaction_threads = flags.GetInt("compaction_threads");
+  options.cache.capacity =
+      static_cast<size_t>(std::max(1, flags.GetInt("cache_capacity")));
+  options.cache.num_shards = flags.GetInt("cache_shards");
+  options.batcher.max_batch_size = flags.GetInt("max_batch_size");
+  options.batcher.max_delay_ms = flags.GetDouble("max_delay_ms");
+  options.compact_every = flags.GetInt("compact_every");
+  options.train_fraction = flags.GetDouble("train_fraction");
+  options.calibration_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string assignment = flags.GetString("assignment");
+  if (assignment == "mean") {
+    options.incremental.assignment =
+        core::IncrementalOptions::Assignment::kBestMean;
+  } else if (assignment == "max") {
+    options.incremental.assignment =
+        core::IncrementalOptions::Assignment::kBestMax;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --assignment '", assignment,
+                                        "' (mean | max)"));
+  }
+
+  auto service =
+      serve::ResolutionService::Create(*dataset, &*gazetteer, options);
+  if (!service.ok()) return Fail(service.status());
+  std::cerr << "serving " << (*service)->block_names().size() << " shards\n";
+
+  serve::LineServer server(service->get());
+  const int port = flags.GetInt("port");
+  if (port >= 0) {
+    if (auto st = server.StartTcp(port); !st.ok()) return Fail(st);
+    std::cout << "listening on 127.0.0.1:" << server.tcp_port() << std::endl;
+  }
+  if (flags.GetBool("stdio")) {
+    if (auto st = server.ServeStdio(std::cin, std::cout); !st.ok()) {
+      return Fail(st);
+    }
+  } else if (port >= 0) {
+    server.WaitTcp();
+  } else {
+    return Fail(Status::InvalidArgument(
+        "--nostdio without --port leaves nothing to serve"));
+  }
+  server.StopTcp();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
