@@ -4,7 +4,12 @@
 # concurrency-heavy serving/executor tests under ThreadSanitizer
 # (all via WEBER_SANITIZE).
 #
-# Usage: scripts/check.sh [--normal-only|--sanitize-only|--tsan-only]
+# Usage: scripts/check.sh
+#          [--normal-only|--sanitize-only|--tsan-only|--crash-only]
+#
+# --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
+# snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
+# cycles through weber_crashtest.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +27,28 @@ run_suite() {
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$JOBS"
 }
+
+if [[ "$MODE" == "--crash-only" ]]; then
+  echo "==> crash-recovery gauntlet (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'Crc32c|Wal|SnapshotFile|ShardLog|DurableService|serve_crash_smoke|serve_sigterm_smoke'
+  scratch="build-asan/crash_cycles"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  ./build-asan/tools/weber generate --preset=tiny --out="$scratch"
+  for seed in 1 2 3; do
+    echo "==> crashtest: 20 SIGKILL/recover cycles, seed $seed"
+    rm -rf "$scratch/store"
+    ./build-asan/tools/weber_crashtest \
+      --dataset="$scratch/dataset.txt" \
+      --gazetteer="$scratch/gazetteer.txt" \
+      --serve_bin=./build-asan/tools/weber_serve \
+      --data_dir="$scratch/store" --cycles=20 --seed="$seed"
+  done
+  echo "==> crash checks passed"
+  exit 0
+fi
 
 if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   echo "==> normal build"

@@ -22,6 +22,13 @@
 //   serve.compact       background batch re-resolution; a triggered fault
 //                       aborts publication and the shard keeps serving the
 //                       previous snapshot
+//   serve.wal.append    WAL record append, before any bytes are written —
+//                       the acked write is rejected, in-memory state is
+//                       untouched
+//   serve.wal.fsync     WAL group-commit fsync (after bytes hit the page
+//                       cache)
+//   serve.snapshot.write  durable snapshot file write at compaction publish
+//   serve.wal.replay    per-record during crash-recovery WAL replay
 
 #ifndef WEBER_COMMON_FAULT_INJECTION_H_
 #define WEBER_COMMON_FAULT_INJECTION_H_

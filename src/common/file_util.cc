@@ -1,0 +1,138 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace weber {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open ", path, " for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed on ", path);
+  }
+  return std::move(buffer).str();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(", tmp, "): ", std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written,
+                        contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("write(", tmp, "): ", error);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync) {
+    if (Status st = SyncFd(fd, tmp); !st.ok()) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+  }
+  if (::close(fd) != 0) {
+    const std::string error = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::IOError("close(", tmp, "): ", error);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string error = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename(", tmp, " -> ", path, "): ", error);
+  }
+  if (sync) {
+    const fs::path parent = fs::path(path).parent_path();
+    WEBER_RETURN_NOT_OK(
+        SyncDirectory(parent.empty() ? "." : parent.string()));
+  }
+  return Status::OK();
+}
+
+Status CreateDirectories(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("mkdir -p ", path, ": ", ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("list ", dir, ": ", ec.message());
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink(", path, "): ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("stat ", path, ": ", ec.message());
+  }
+  return size;
+}
+
+Status SyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::IOError("fsync(", what, "): ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open(", dir, "): ", std::strerror(errno));
+  }
+  Status st = SyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+}  // namespace weber

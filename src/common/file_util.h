@@ -1,0 +1,49 @@
+// POSIX file helpers for the durability layer: whole-file reads, atomic
+// (temp + rename) writes with optional fsync, directory creation/listing.
+// Everything returns Status/Result in the library's usual style; no
+// exceptions escape even though std::filesystem is used internally.
+
+#ifndef WEBER_COMMON_FILE_UTIL_H_
+#define WEBER_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace weber {
+
+/// Reads the entire file into a string. IOError when unreadable.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` atomically: the data lands in
+/// `<path>.tmp` first and is renamed over `path`, so a crash mid-write can
+/// never leave a half-written file under the final name. With `sync` the
+/// temp file is fsync'd before the rename and the parent directory after
+/// it, making the rename itself durable.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync);
+
+/// mkdir -p. OK when the directory already exists.
+Status CreateDirectories(const std::string& path);
+
+/// Entry names (not paths) in `dir`, sorted ascending. Missing directory is
+/// an IOError.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+Status RemoveFileIfExists(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Size in bytes; IOError when the file cannot be stat'd.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// fsync(2) wrappers. SyncDirectory makes renames/creates in `dir` durable.
+Status SyncFd(int fd, const std::string& what);
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace weber
+
+#endif  // WEBER_COMMON_FILE_UTIL_H_

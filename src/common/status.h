@@ -123,6 +123,8 @@ class Status {
     out->append(piece);
   }
   static void AppendTo(std::string* out, const char* piece) { out->append(piece); }
+  // Mutable char* (e.g. strerror) would otherwise bind the numeric template.
+  static void AppendTo(std::string* out, char* piece) { out->append(piece); }
   static void AppendTo(std::string* out, const std::string& piece) {
     out->append(piece);
   }

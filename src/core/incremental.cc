@@ -147,6 +147,25 @@ Status IncrementalResolver::AdoptPartition(
   return Status::OK();
 }
 
+Status IncrementalResolver::Restore(
+    std::vector<extract::FeatureBundle> documents,
+    const std::vector<std::vector<int>>& clusters) {
+  if (!calibrated_) {
+    return Status::FailedPrecondition("Restore: not calibrated");
+  }
+  if (next_document_ != 0) {
+    return Status::FailedPrecondition("Restore: resolver already holds ",
+                                      next_document_, " documents");
+  }
+  documents_ = std::move(documents);
+  next_document_ = static_cast<int>(documents_.size());
+  if (Status st = AdoptPartition(clusters); !st.ok()) {
+    Reset();
+    return st;
+  }
+  return Status::OK();
+}
+
 graph::Clustering IncrementalResolver::CurrentClustering() const {
   std::vector<int> labels(next_document_, 0);
   for (size_t c = 0; c < clusters_.size(); ++c) {

@@ -83,6 +83,13 @@ class IncrementalResolver {
   /// clusters must partition exactly the arrival indices [0, num_documents).
   Status AdoptPartition(const std::vector<std::vector<int>>& clusters);
 
+  /// Rebuilds streaming state from durable storage: installs `documents` as
+  /// the arrival history and adopts `clusters` (indices into `documents`)
+  /// as their partition. Requires a calibrated resolver with no documents;
+  /// on failure the resolver is left empty.
+  Status Restore(std::vector<extract::FeatureBundle> documents,
+                 const std::vector<std::vector<int>>& clusters);
+
   /// Installs a pair-score memo consulted (and filled) by every indexed
   /// match-score computation. Not owned; pass nullptr to detach. The cache
   /// keys are arrival indices, so it must be cleared or swapped when the

@@ -39,6 +39,16 @@ struct RunHealth {
   long long retried_loads = 0;
   /// Corrupt blocks skipped by lenient dataset loading.
   long long skipped_blocks = 0;
+  /// Write-ahead logs whose tail ended mid-record (crash during append);
+  /// the torn suffix was truncated away on recovery.
+  long long torn_wal_tails = 0;
+  /// WAL records that failed their checksum; replay stopped at the last
+  /// valid prefix of that log.
+  long long corrupt_wal_records = 0;
+  /// Snapshot files that failed validation (recovery fell back to an older
+  /// snapshot or to WAL-only replay), plus published-but-missing snapshots
+  /// detected during replay.
+  long long corrupt_snapshots = 0;
 
   long long TotalViolations() const {
     return value_violations + asymmetry_violations;
@@ -47,7 +57,8 @@ struct RunHealth {
   bool AnyDegradation() const {
     return TotalViolations() + quarantined_functions + skipped_criteria +
                degraded_blocks + deadline_hits + budget_hits + skipped_pairs +
-               clustering_fallbacks + retried_loads + skipped_blocks >
+               clustering_fallbacks + retried_loads + skipped_blocks +
+               torn_wal_tails + corrupt_wal_records + corrupt_snapshots >
            0;
   }
 
@@ -63,6 +74,9 @@ struct RunHealth {
     clustering_fallbacks += other.clustering_fallbacks;
     retried_loads += other.retried_loads;
     skipped_blocks += other.skipped_blocks;
+    torn_wal_tails += other.torn_wal_tails;
+    corrupt_wal_records += other.corrupt_wal_records;
+    corrupt_snapshots += other.corrupt_snapshots;
   }
 };
 
@@ -81,6 +95,9 @@ inline void WriteRunHealthJson(JsonWriter& json, const RunHealth& health) {
   json.Key("clustering_fallbacks").Number(health.clustering_fallbacks);
   json.Key("retried_loads").Number(health.retried_loads);
   json.Key("skipped_blocks").Number(health.skipped_blocks);
+  json.Key("torn_wal_tails").Number(health.torn_wal_tails);
+  json.Key("corrupt_wal_records").Number(health.corrupt_wal_records);
+  json.Key("corrupt_snapshots").Number(health.corrupt_snapshots);
   json.EndObject();
 }
 

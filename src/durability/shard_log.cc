@@ -1,0 +1,129 @@
+#include "durability/shard_log.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+
+namespace weber {
+namespace durability {
+
+namespace {
+
+constexpr char kWalFileName[] = "wal.log";
+
+}  // namespace
+
+Result<std::unique_ptr<ShardLog>> ShardLog::Open(
+    const std::string& dir, const ShardLogOptions& options,
+    RecoveredShard* recovered) {
+  *recovered = RecoveredShard();
+  WEBER_RETURN_NOT_OK(CreateDirectories(dir));
+
+  // Newest verifiable snapshot wins; corrupt files are counted and skipped.
+  WEBER_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                         ListDirectory(dir));
+  std::vector<std::pair<uint64_t, std::string>> snapshots;
+  for (const std::string& name : names) {
+    uint64_t version = 0;
+    if (ParseSnapshotFileName(name, &version)) {
+      snapshots.emplace_back(version, name);
+    }
+  }
+  std::sort(snapshots.rbegin(), snapshots.rend());
+  for (const auto& [version, name] : snapshots) {
+    Result<ShardSnapshotData> data = ReadSnapshotFile(dir + "/" + name);
+    if (data.ok()) {
+      recovered->snapshot = std::move(data).ValueOrDie();
+      recovered->snapshot_loaded = true;
+      recovered->stats.snapshot_loaded = true;
+      recovered->stats.snapshot_version = version;
+      break;
+    }
+    ++recovered->stats.corrupt_snapshots;
+    if (recovered->stats.detail.empty()) {
+      recovered->stats.detail = data.status().message();
+    }
+  }
+
+  const std::string wal_path = dir + "/" + kWalFileName;
+  WEBER_ASSIGN_OR_RETURN(
+      const WalReplayResult replay,
+      ReplayWal(wal_path, [recovered](std::string_view payload) -> Status {
+        // A payload that passed its CRC but fails to decode is real
+        // corruption the checksum cannot explain away — fail recovery
+        // loudly rather than guess.
+        WEBER_ASSIGN_OR_RETURN(WalRecord record, WalRecord::Decode(payload));
+        recovered->records.push_back(std::move(record));
+        return Status::OK();
+      }));
+  recovered->stats.wal_records = replay.records;
+  recovered->stats.wal_torn_tail = replay.torn_tail;
+  recovered->stats.wal_corrupt = replay.corrupt;
+  if (!replay.detail.empty()) {
+    if (!recovered->stats.detail.empty()) recovered->stats.detail += "; ";
+    recovered->stats.detail += replay.detail;
+  }
+
+  WEBER_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(wal_path, options.fsync, replay.valid_bytes));
+  return std::unique_ptr<ShardLog>(
+      new ShardLog(dir, options, std::move(wal)));
+}
+
+Status ShardLog::Append(const WalRecord& record) {
+  return wal_->Append(record.Encode());
+}
+
+Status ShardLog::Sync() { return wal_->Sync(); }
+
+Status ShardLog::PublishSnapshot(const ShardSnapshotData& data,
+                                 bool covers_all) {
+  const std::string path = dir_ + "/" + SnapshotFileName(data.version);
+  const bool sync = options_.fsync != FsyncPolicy::kNever;
+  WEBER_RETURN_NOT_OK(WriteSnapshotFile(path, data, sync));
+  ++snapshots_written_;
+
+  if (covers_all && wal_->bytes() > options_.wal_truncate_bytes) {
+    // Every logged document is inside the snapshot, so the log is pure
+    // redundancy — restart it instead of letting it grow without bound.
+    WEBER_RETURN_NOT_OK(wal_->Restart());
+    ++wal_truncations_;
+  } else if (covers_all) {
+    // Cheap alternative to a truncate: replaying Assigns followed by this
+    // AdoptPartition reconstructs exactly the snapshot's partition.
+    WEBER_RETURN_NOT_OK(
+        Append(WalRecord::AdoptPartition(data.version, data.labels)));
+  }
+  // When !covers_all, documents arrived during the compaction; their Assign
+  // records (and any later partition) must survive in the log untouched.
+
+  WEBER_RETURN_NOT_OK(Append(WalRecord::SnapshotPublished(data.version)));
+  WEBER_RETURN_NOT_OK(Sync());
+  return PruneSnapshots(data.version);
+}
+
+Status ShardLog::PruneSnapshots(uint64_t newest_version) {
+  if (options_.keep_snapshots <= 0) {
+    return Status::OK();
+  }
+  WEBER_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                         ListDirectory(dir_));
+  std::vector<uint64_t> versions;
+  for (const std::string& name : names) {
+    uint64_t version = 0;
+    if (ParseSnapshotFileName(name, &version) && version <= newest_version) {
+      versions.push_back(version);
+    }
+  }
+  std::sort(versions.rbegin(), versions.rend());
+  for (size_t i = static_cast<size_t>(options_.keep_snapshots);
+       i < versions.size(); ++i) {
+    WEBER_RETURN_NOT_OK(
+        RemoveFileIfExists(dir_ + "/" + SnapshotFileName(versions[i])));
+  }
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace weber

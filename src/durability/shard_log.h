@@ -1,0 +1,113 @@
+// Durable storage for one resolution shard: a directory holding the shard's
+// write-ahead log (`wal.log`) plus its checksummed snapshot files. ShardLog
+// owns the recovery sequence on open —
+//
+//   1. load the newest snapshot that verifies (corrupt ones are counted and
+//      skipped, falling back to older versions, then to "no snapshot");
+//   2. replay the full WAL through WalRecord::Decode, classifying a torn
+//      tail (truncated silently) vs a corrupt record (replay stops at the
+//      last valid prefix);
+//   3. reopen the WAL for appending at the verified prefix.
+//
+// The WAL is never rotated at snapshot time — documents that arrive while a
+// compaction is in flight live only in the log, so rotating would lose
+// them. Instead the log is restarted (truncated to empty) only when a
+// published snapshot provably covers every logged document, and otherwise
+// an AdoptPartition record is appended so replay reconstructs the same
+// partition the snapshot holds. Replay is idempotent against the loaded
+// snapshot: the service skips Assign records for documents the snapshot
+// already covers.
+
+#ifndef WEBER_DURABILITY_SHARD_LOG_H_
+#define WEBER_DURABILITY_SHARD_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "durability/snapshot_file.h"
+#include "durability/wal.h"
+
+namespace weber {
+namespace durability {
+
+struct ShardLogOptions {
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Restart (empty) the WAL at snapshot publication only once it exceeds
+  /// this size; below it, appending an AdoptPartition record is cheaper
+  /// than an extra truncate + fsync per compaction.
+  uint64_t wal_truncate_bytes = 1ull << 20;
+  /// Newest snapshot files kept after each publication.
+  int keep_snapshots = 2;
+};
+
+struct ShardRecoveryStats {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_version = 0;
+  /// Snapshot files that failed validation and were skipped.
+  long long corrupt_snapshots = 0;
+  long long wal_records = 0;
+  bool wal_torn_tail = false;
+  bool wal_corrupt = false;
+  std::string detail;
+};
+
+/// Everything recovery salvaged from a shard directory, for the service to
+/// rebuild in-memory state from.
+struct RecoveredShard {
+  bool snapshot_loaded = false;
+  ShardSnapshotData snapshot;
+  /// Valid WAL records in log order (the full log, not just a tail — the
+  /// consumer deduplicates against the snapshot).
+  std::vector<WalRecord> records;
+  ShardRecoveryStats stats;
+};
+
+class ShardLog {
+ public:
+  /// Opens (creating if needed) the shard directory, runs recovery, and
+  /// returns a log ready for appending. `recovered` receives the salvaged
+  /// state; it is written even when absent state was found (empty result).
+  static Result<std::unique_ptr<ShardLog>> Open(const std::string& dir,
+                                                const ShardLogOptions& options,
+                                                RecoveredShard* recovered);
+
+  /// Appends one record to the WAL (durable per the fsync policy).
+  Status Append(const WalRecord& record);
+
+  /// Group-commit barrier: force appended records to disk.
+  Status Sync();
+
+  /// Makes a compaction result durable: writes the snapshot file, then
+  /// either restarts the WAL (when `covers_all` and the log has grown past
+  /// wal_truncate_bytes) or logs the adopted partition, then marks the
+  /// snapshot published and prunes old snapshot files.
+  Status PublishSnapshot(const ShardSnapshotData& data, bool covers_all);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t wal_bytes() const { return wal_->bytes(); }
+  long long wal_appends() const { return wal_->appends(); }
+  long long wal_syncs() const { return wal_->syncs(); }
+  long long snapshots_written() const { return snapshots_written_; }
+  long long wal_truncations() const { return wal_truncations_; }
+
+ private:
+  ShardLog(std::string dir, ShardLogOptions options,
+           std::unique_ptr<WalWriter> wal)
+      : dir_(std::move(dir)), options_(options), wal_(std::move(wal)) {}
+
+  Status PruneSnapshots(uint64_t newest_version);
+
+  const std::string dir_;
+  const ShardLogOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  long long snapshots_written_ = 0;
+  long long wal_truncations_ = 0;
+};
+
+}  // namespace durability
+}  // namespace weber
+
+#endif  // WEBER_DURABILITY_SHARD_LOG_H_

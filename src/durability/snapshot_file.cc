@@ -1,0 +1,140 @@
+#include "durability/snapshot_file.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+
+namespace weber {
+namespace durability {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'S', 'N', 'P'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 4;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path,
+                         const ShardSnapshotData& data, bool sync) {
+  WEBER_RETURN_NOT_OK(faults::MaybeFail("serve.snapshot.write"));
+  if (data.canonical_ids.size() != data.labels.size()) {
+    return Status::InvalidArgument("snapshot has ", data.canonical_ids.size(),
+                                   " canonical ids but ", data.labels.size(),
+                                   " labels");
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + 8 * data.canonical_ids.size() + 4);
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kFormatVersion);
+  PutU64(&out, data.version);
+  uint64_t threshold_bits = 0;
+  static_assert(sizeof(threshold_bits) == sizeof(data.threshold));
+  std::memcpy(&threshold_bits, &data.threshold, sizeof(threshold_bits));
+  PutU64(&out, threshold_bits);
+  PutU32(&out, static_cast<uint32_t>(data.canonical_ids.size()));
+  for (int32_t id : data.canonical_ids) {
+    PutU32(&out, static_cast<uint32_t>(id));
+  }
+  for (int32_t label : data.labels) {
+    PutU32(&out, static_cast<uint32_t>(label));
+  }
+  PutU32(&out, Crc32c(out.data(), out.size()));
+  return WriteFileAtomic(path, out, sync);
+}
+
+Result<ShardSnapshotData> ReadSnapshotFile(const std::string& path) {
+  WEBER_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+  if (contents.size() < kHeaderBytes + 4) {
+    return Status::Corruption("snapshot ", path, " is ", contents.size(),
+                              " bytes, below the minimum of ",
+                              kHeaderBytes + 4);
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("snapshot ", path, " has a bad magic number");
+  }
+  const uint32_t stored_crc = GetU32(contents.data() + contents.size() - 4);
+  if (Crc32c(contents.data(), contents.size() - 4) != stored_crc) {
+    return Status::Corruption("snapshot ", path, " failed its checksum");
+  }
+  const char* p = contents.data() + 4;
+  const uint32_t format = GetU32(p);
+  if (format != kFormatVersion) {
+    return Status::Corruption("snapshot ", path, " has format version ",
+                              format, ", expected ", kFormatVersion);
+  }
+  ShardSnapshotData data;
+  data.version = GetU64(p + 4);
+  const uint64_t threshold_bits = GetU64(p + 12);
+  std::memcpy(&data.threshold, &threshold_bits, sizeof(data.threshold));
+  const uint32_t n = GetU32(p + 20);
+  if (contents.size() != kHeaderBytes + 8ull * n + 4) {
+    return Status::Corruption("snapshot ", path, " declares ", n,
+                              " documents but is ", contents.size(),
+                              " bytes");
+  }
+  data.canonical_ids.reserve(n);
+  data.labels.reserve(n);
+  const char* ids = contents.data() + kHeaderBytes;
+  const char* labels = ids + 4ull * n;
+  for (uint32_t i = 0; i < n; ++i) {
+    data.canonical_ids.push_back(static_cast<int32_t>(GetU32(ids + 4 * i)));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    data.labels.push_back(static_cast<int32_t>(GetU32(labels + 4 * i)));
+  }
+  return data;
+}
+
+std::string SnapshotFileName(uint64_t version) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snapshot-%010" PRIu64 ".snap", version);
+  return buf;
+}
+
+bool ParseSnapshotFileName(const std::string& name, uint64_t* version) {
+  uint64_t v = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "snapshot-%" SCNu64 ".snap%n", &v,
+                  &consumed) != 1) {
+    return false;
+  }
+  if (static_cast<size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *version = v;
+  return true;
+}
+
+}  // namespace durability
+}  // namespace weber

@@ -1,0 +1,62 @@
+// Checksummed shard snapshot files. A snapshot is the durable form of one
+// compaction result: the batch-computed partition over the exact document
+// set the compaction saw. Files are written atomically (temp + rename via
+// WriteFileAtomic), so a crash mid-write never leaves a partial file under
+// a snapshot name; a bit flip after the fact is caught by the trailing
+// CRC32C, and recovery falls back to the next-newest snapshot.
+//
+// Layout (all integers little-endian):
+//
+//   magic   "WSNP"                    4 bytes
+//   format  u32 (currently 1)         4 bytes
+//   version u64                       8 bytes
+//   threshold f64 (IEEE-754 bits)     8 bytes
+//   n       u32                       4 bytes
+//   canonical_ids  i32 × n
+//   labels         i32 × n
+//   crc32c over all preceding bytes   4 bytes
+//
+// Fault point: `serve.snapshot.write` fails the write before any bytes
+// reach disk.
+
+#ifndef WEBER_DURABILITY_SNAPSHOT_FILE_H_
+#define WEBER_DURABILITY_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace weber {
+namespace durability {
+
+struct ShardSnapshotData {
+  /// Monotonic per-shard snapshot version; the file name embeds it.
+  uint64_t version = 0;
+  /// Calibrated match threshold the partition was computed under.
+  double threshold = 0.0;
+  /// Canonical document ids in the arrival order the compaction saw.
+  std::vector<int32_t> canonical_ids;
+  /// Cluster label per position of `canonical_ids` (same length).
+  std::vector<int32_t> labels;
+};
+
+/// Serializes and writes `data` atomically; with `sync`, durable on return.
+Status WriteSnapshotFile(const std::string& path,
+                         const ShardSnapshotData& data, bool sync);
+
+/// Reads and fully validates a snapshot file. Any structural or checksum
+/// failure is Status::Corruption — the caller treats the file as absent.
+Result<ShardSnapshotData> ReadSnapshotFile(const std::string& path);
+
+/// "snapshot-0000000042.snap" for version 42.
+std::string SnapshotFileName(uint64_t version);
+
+/// Parses a name produced by SnapshotFileName; false for anything else.
+bool ParseSnapshotFileName(const std::string& name, uint64_t* version);
+
+}  // namespace durability
+}  // namespace weber
+
+#endif  // WEBER_DURABILITY_SNAPSHOT_FILE_H_

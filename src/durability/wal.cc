@@ -1,0 +1,336 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+
+namespace weber {
+namespace durability {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 8;  // [len u32][crc u32]
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& what) {
+  size_t written = 0;
+  while (written < n) {
+    ssize_t r = ::write(fd, data + written, n - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write(", what, "): ", std::strerror(errno));
+    }
+    written += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "never") return FsyncPolicy::kNever;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "always") return FsyncPolicy::kAlways;
+  return Status::InvalidArgument("unknown fsync policy '", name,
+                                 "' (expected never|batch|always)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+std::string WalRecord::Encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  switch (type) {
+    case Type::kAssign:
+      PutU32(&out, static_cast<uint32_t>(doc));
+      break;
+    case Type::kAdoptPartition:
+      PutU64(&out, version);
+      PutU32(&out, static_cast<uint32_t>(labels.size()));
+      for (int32_t label : labels) {
+        PutU32(&out, static_cast<uint32_t>(label));
+      }
+      break;
+    case Type::kSnapshotPublished:
+      PutU64(&out, version);
+      break;
+  }
+  return out;
+}
+
+Result<WalRecord> WalRecord::Decode(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::Corruption("empty WAL record payload");
+  }
+  WalRecord record;
+  const uint8_t raw_type = static_cast<uint8_t>(payload[0]);
+  const char* p = payload.data() + 1;
+  const size_t rest = payload.size() - 1;
+  switch (raw_type) {
+    case static_cast<uint8_t>(Type::kAssign): {
+      if (rest != 4) {
+        return Status::Corruption("Assign record has ", rest,
+                                  " payload bytes, want 4");
+      }
+      record.type = Type::kAssign;
+      record.doc = static_cast<int32_t>(GetU32(p));
+      return record;
+    }
+    case static_cast<uint8_t>(Type::kAdoptPartition): {
+      if (rest < 12) {
+        return Status::Corruption("AdoptPartition record has ", rest,
+                                  " payload bytes, want >= 12");
+      }
+      record.type = Type::kAdoptPartition;
+      record.version = GetU64(p);
+      const uint32_t n = GetU32(p + 8);
+      if (rest != 12 + 4ull * n) {
+        return Status::Corruption("AdoptPartition record declares ", n,
+                                  " labels but has ", rest, " payload bytes");
+      }
+      record.labels.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        record.labels.push_back(static_cast<int32_t>(GetU32(p + 12 + 4 * i)));
+      }
+      return record;
+    }
+    case static_cast<uint8_t>(Type::kSnapshotPublished): {
+      if (rest != 8) {
+        return Status::Corruption("SnapshotPublished record has ", rest,
+                                  " payload bytes, want 8");
+      }
+      record.type = Type::kSnapshotPublished;
+      record.version = GetU64(p);
+      return record;
+    }
+    default:
+      return Status::Corruption("unknown WAL record type ",
+                                static_cast<int>(raw_type));
+  }
+}
+
+WalRecord WalRecord::Assign(int32_t doc) {
+  WalRecord r;
+  r.type = Type::kAssign;
+  r.doc = doc;
+  return r;
+}
+
+WalRecord WalRecord::AdoptPartition(uint64_t version,
+                                    std::vector<int32_t> labels) {
+  WalRecord r;
+  r.type = Type::kAdoptPartition;
+  r.version = version;
+  r.labels = std::move(labels);
+  return r;
+}
+
+WalRecord WalRecord::SnapshotPublished(uint64_t version) {
+  WalRecord r;
+  r.type = Type::kSnapshotPublished;
+  r.version = version;
+  return r;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   FsyncPolicy policy,
+                                                   uint64_t valid_length) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(", path, "): ", std::strerror(errno));
+  }
+  // Drop any torn or corrupt tail beyond the replay-verified prefix so new
+  // records append to a clean end of log.
+  if (::ftruncate(fd, static_cast<off_t>(valid_length)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("ftruncate(", path, "): ", error);
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_length), SEEK_SET) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("lseek(", path, "): ", error);
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, policy, fd, valid_length));
+}
+
+WalWriter::~WalWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  WEBER_RETURN_NOT_OK(faults::MaybeFail("serve.wal.append"));
+  std::string header;
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, Crc32c(payload.data(), payload.size()));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL writer for ", path_, " is closed");
+  }
+  // One write() for the whole record keeps the torn-tail window to a single
+  // syscall; the kernel may still split it, which replay tolerates.
+  std::string record = std::move(header);
+  record.append(payload.data(), payload.size());
+  WEBER_RETURN_NOT_OK(WriteAll(fd_, record.data(), record.size(), path_));
+  bytes_ += record.size();
+  ++appends_;
+  dirty_ = true;
+  if (policy_ == FsyncPolicy::kAlways) {
+    return SyncLocked();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status WalWriter::SyncLocked() {
+  if (policy_ == FsyncPolicy::kNever || !dirty_) {
+    return Status::OK();
+  }
+  WEBER_RETURN_NOT_OK(faults::MaybeFail("serve.wal.fsync"));
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL writer for ", path_, " is closed");
+  }
+  WEBER_RETURN_NOT_OK(SyncFd(fd_, path_));
+  dirty_ = false;
+  ++syncs_;
+  return Status::OK();
+}
+
+Status WalWriter::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("WAL writer for ", path_, " is closed");
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("ftruncate(", path_, "): ", std::strerror(errno));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IOError("lseek(", path_, "): ", std::strerror(errno));
+  }
+  bytes_ = 0;
+  if (policy_ != FsyncPolicy::kNever) {
+    WEBER_RETURN_NOT_OK(SyncFd(fd_, path_));
+    dirty_ = false;
+    ++syncs_;
+  }
+  return Status::OK();
+}
+
+uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+long long WalWriter::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+long long WalWriter::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+Result<WalReplayResult> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& fn) {
+  WalReplayResult result;
+  if (!FileExists(path)) {
+    return result;
+  }
+  WEBER_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+
+  size_t offset = 0;
+  while (offset < contents.size()) {
+    const size_t remaining = contents.size() - offset;
+    if (remaining < kRecordHeaderBytes) {
+      result.torn_tail = true;
+      result.detail = "file ends inside a record header at offset " +
+                      std::to_string(offset);
+      break;
+    }
+    const uint32_t len = GetU32(contents.data() + offset);
+    const uint32_t stored_crc = GetU32(contents.data() + offset + 4);
+    if (static_cast<uint64_t>(len) > remaining - kRecordHeaderBytes) {
+      // Either the append was torn mid-payload or the length header itself
+      // is corrupt; both leave the tail unusable. A flipped length bit that
+      // still fits in the file is caught by the CRC below.
+      result.torn_tail = true;
+      result.detail = "record at offset " + std::to_string(offset) +
+                      " declares " + std::to_string(len) +
+                      " bytes but only " +
+                      std::to_string(remaining - kRecordHeaderBytes) +
+                      " remain";
+      break;
+    }
+    const std::string_view payload(contents.data() + offset +
+                                       kRecordHeaderBytes,
+                                   len);
+    if (Crc32c(payload.data(), payload.size()) != stored_crc) {
+      result.corrupt = true;
+      result.detail = "checksum mismatch on record at offset " +
+                      std::to_string(offset);
+      break;
+    }
+    WEBER_RETURN_NOT_OK(faults::MaybeFail("serve.wal.replay"));
+    WEBER_RETURN_NOT_OK(fn(payload));
+    ++result.records;
+    offset += kRecordHeaderBytes + len;
+    result.valid_bytes = offset;
+  }
+  return result;
+}
+
+}  // namespace durability
+}  // namespace weber

@@ -1,0 +1,148 @@
+// Per-shard write-ahead log for weber::serve (see DESIGN.md, "Durability &
+// recovery").
+//
+// On-disk format: a flat sequence of length-prefixed, checksummed records
+//
+//   [payload_len u32 LE][crc32c(payload) u32 LE][payload bytes]
+//
+// with no file header, so the empty file is a valid empty log. The write
+// path appends a record *before* the in-memory mutation it describes; a
+// record is considered durable once the append (and, per FsyncPolicy, the
+// fsync) returned OK. Replay walks the file front to back and stops at the
+// first record that does not verify:
+//
+//   * torn tail — the file ends inside a header or payload (the classic
+//     crash-mid-append shape). The valid prefix is kept and the tail is
+//     truncated away before new appends.
+//   * corruption — the stored CRC32C does not match the payload (bit flip,
+//     including flips in the length header, which misdirect the CRC check).
+//     Replay stops at the last valid prefix and reports it.
+//
+// Fault points (weber::faults): `serve.wal.append` fails the append before
+// any bytes are written, `serve.wal.fsync` fails the fsync after the bytes
+// are written, `serve.wal.replay` fails recovery per record.
+//
+// WalWriter is internally synchronized (one mutex around fd operations):
+// the serving layer appends under its shard lock but calls Sync() from
+// batch-flush and shutdown paths outside it.
+
+#ifndef WEBER_DURABILITY_WAL_H_
+#define WEBER_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace weber {
+namespace durability {
+
+/// When appended records reach the disk.
+enum class FsyncPolicy : int {
+  kNever = 0,   ///< never fsync; page cache only (benchmarks, tests)
+  kBatch = 1,   ///< fsync at group boundaries (micro-batch flush, snapshot
+                ///< publication, shutdown) — the group-commit default
+  kAlways = 2,  ///< fsync after every append; an acked write is durable
+};
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// One logical operation in a shard's log.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kAssign = 1,             ///< document acknowledged into the live partition
+    kAdoptPartition = 2,     ///< live partition replaced by a compaction result
+    kSnapshotPublished = 3,  ///< snapshot file `version` became durable
+  };
+
+  Type type = Type::kAssign;
+  /// kAssign: canonical block document id.
+  int32_t doc = -1;
+  /// kAdoptPartition / kSnapshotPublished: snapshot version.
+  uint64_t version = 0;
+  /// kAdoptPartition: cluster label per arrival position.
+  std::vector<int32_t> labels;
+
+  std::string Encode() const;
+  static Result<WalRecord> Decode(std::string_view payload);
+
+  static WalRecord Assign(int32_t doc);
+  static WalRecord AdoptPartition(uint64_t version,
+                                  std::vector<int32_t> labels);
+  static WalRecord SnapshotPublished(uint64_t version);
+};
+
+/// Append-only writer over one log file. Open() positions at
+/// `valid_length` — the prefix replay verified — truncating any torn or
+/// corrupt tail beyond it.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 FsyncPolicy policy,
+                                                 uint64_t valid_length);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one checksummed record; fsyncs when the policy is kAlways.
+  Status Append(std::string_view payload);
+
+  /// Forces appended records to disk (no-op under kNever).
+  Status Sync();
+
+  /// Restarts the log as empty (after a snapshot made its contents
+  /// redundant). Durable before return when the policy is not kNever.
+  Status Restart();
+
+  uint64_t bytes() const;
+  long long appends() const;
+  long long syncs() const;
+
+ private:
+  WalWriter(std::string path, FsyncPolicy policy, int fd, uint64_t bytes)
+      : path_(std::move(path)), policy_(policy), fd_(fd), bytes_(bytes) {}
+
+  Status SyncLocked();
+
+  const std::string path_;
+  const FsyncPolicy policy_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+  bool dirty_ = false;
+  long long appends_ = 0;
+  long long syncs_ = 0;
+};
+
+struct WalReplayResult {
+  /// Records that verified and were delivered to the callback.
+  long long records = 0;
+  /// Length of the verified prefix; the writer truncates to this.
+  uint64_t valid_bytes = 0;
+  /// The file ended mid-record (crash during append).
+  bool torn_tail = false;
+  /// A record failed its checksum; replay stopped at the valid prefix.
+  bool corrupt = false;
+  std::string detail;
+};
+
+/// Replays every valid record through `fn` in log order. A missing file is
+/// an empty log. A non-OK status from `fn` (including the armed
+/// `serve.wal.replay` fault, which is checked before each delivery) aborts
+/// the replay and is returned as-is.
+Result<WalReplayResult> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& fn);
+
+}  // namespace durability
+}  // namespace weber
+
+#endif  // WEBER_DURABILITY_WAL_H_

@@ -37,6 +37,8 @@ class MicroBatcher {
   MicroBatcher(BatcherOptions options, FlushFn flush)
       : options_(options), flush_(std::move(flush)) {
     if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+    delay_ = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(options_.max_delay_ms));
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
 
@@ -78,22 +80,23 @@ class MicroBatcher {
   void FlusherLoop() {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
+      // Sleep until a batch opens (or shutdown with nothing left to do).
+      wake_.wait(lock,
+                 [this] { return shutting_down_ || !pending_.empty(); });
       if (pending_.empty()) {
         if (shutting_down_) return;
-        wake_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
-        continue;
+        continue;  // spurious wake
       }
-      // A batch is open: dispatch on size, deadline, or shutdown.
-      const auto deadline =
-          batch_started_ + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(
-                                   options_.max_delay_ms));
-      if (pending_.size() < options_.max_batch_size && !shutting_down_ &&
-          wake_.wait_until(lock, deadline, [this] {
-            return shutting_down_ || pending_.size() >= options_.max_batch_size;
-          })) {
-        if (shutting_down_ && pending_.empty()) return;
-      }
+      // A batch is open: wait until it fills, shutdown begins, or its
+      // deadline — measured from the oldest pending request's arrival —
+      // expires. The predicate form re-checks after every wake and
+      // returns false exactly on deadline expiry, so a lone straggler
+      // with no follow-up traffic still flushes on time; either return
+      // value means "flush now".
+      (void)wake_.wait_until(lock, batch_started_ + delay_, [this] {
+        return shutting_down_ ||
+               pending_.size() >= options_.max_batch_size;
+      });
       std::vector<Request> batch;
       if (pending_.size() > options_.max_batch_size) {
         batch.assign(std::make_move_iterator(pending_.begin()),
@@ -101,7 +104,9 @@ class MicroBatcher {
                                              options_.max_batch_size));
         pending_.erase(pending_.begin(),
                        pending_.begin() + options_.max_batch_size);
-        batch_started_ = Clock::now();
+        // The leftovers have already waited out a full deadline; leaving
+        // batch_started_ untouched makes the next round flush them
+        // immediately instead of restarting their delay from zero.
       } else {
         batch.swap(pending_);
       }
@@ -115,6 +120,7 @@ class MicroBatcher {
 
   BatcherOptions options_;
   FlushFn flush_;
+  Clock::duration delay_{};
 
   mutable std::mutex mu_;
   std::condition_variable wake_;

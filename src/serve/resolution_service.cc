@@ -1,6 +1,9 @@
 #include "serve/resolution_service.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -108,6 +111,11 @@ struct ResolutionService::Shard {
   uint64_t next_version = 1;  // guarded by mu
   std::atomic<int> assigns_since_compact{0};
   std::atomic<bool> compaction_inflight{false};
+
+  /// Durable storage (WAL + snapshots); null when durability is disabled.
+  /// Appends happen under `mu`; ShardLog is itself thread-safe, so Sync()
+  /// may be called without it.
+  std::unique_ptr<durability::ShardLog> log;
 };
 
 struct ResolutionService::PendingAssign {
@@ -148,8 +156,23 @@ ResolutionService::ResolutionService(ServiceOptions options)
       compact_latency_(std::make_unique<LatencyRecorder>()) {}
 
 ResolutionService::~ResolutionService() {
-  // Members tear down in reverse declaration order: the batcher flushes and
-  // stops first, then the compaction pool drains, then shards die.
+  // The batcher's destructor flushes pending assigns (which append WAL
+  // records) and the compaction pool may still publish snapshots, so both
+  // must stop before the final group-commit sync makes everything durable.
+  batcher_.reset();
+  compaction_pool_.reset();
+  (void)SyncDurable();
+}
+
+Status ResolutionService::SyncDurable() {
+  Status first = Status::OK();
+  for (const auto& shard : shards_) {
+    if (shard->log == nullptr) continue;
+    if (Status st = shard->log->Sync(); !st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  return first;
 }
 
 Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
@@ -211,6 +234,20 @@ Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
     empty->threshold = shard->resolver->threshold();
     shard->snapshot.store(std::move(empty));
 
+    if (!options.durability.data_dir.empty()) {
+      durability::ShardLogOptions log_options;
+      log_options.fsync = options.durability.fsync;
+      log_options.wal_truncate_bytes = options.durability.wal_truncate_bytes;
+      durability::RecoveredShard recovered;
+      WEBER_ASSIGN_OR_RETURN(
+          shard->log,
+          durability::ShardLog::Open(options.durability.data_dir + "/" +
+                                         ShardDirName(shard->id, shard->name),
+                                     log_options, &recovered));
+      WEBER_RETURN_NOT_OK(
+          service->RestoreShard(shard.get(), std::move(recovered)));
+    }
+
     service->shard_index_[block.query] =
         static_cast<int>(service->shards_.size());
     service->block_names_.push_back(block.query);
@@ -225,6 +262,158 @@ Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
         raw->ProcessAssignBatch(std::move(batch));
       });
   return service;
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (runs inside Create, before any concurrency exists)
+
+std::string ResolutionService::ShardDirName(uint32_t id,
+                                            const std::string& name) {
+  char prefix[24];
+  std::snprintf(prefix, sizeof(prefix), "shard-%04u-", id);
+  std::string dir = prefix;
+  for (char c : name) {
+    dir.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return dir;
+}
+
+Status ResolutionService::VerifyRecoveredPartition(
+    const Shard& shard, const durability::ShardSnapshotData& snap) const {
+  // The snapshot stores a batch-computed partition, and batch resolution is
+  // invariant to arrival order — so re-resolving the stored document set
+  // must reproduce the stored labels exactly. Any divergence means the
+  // snapshot (or the feature pipeline under it) is not to be trusted.
+  const int n = static_cast<int>(snap.canonical_ids.size());
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (ScorePairCached(shard, snap.canonical_ids[a],
+                          snap.canonical_ids[b]) >= snap.threshold) {
+        edges.push_back({a, b});
+      }
+    }
+  }
+  const graph::Clustering reference = graph::ConnectedComponents(n, edges);
+  const std::vector<int> stored(snap.labels.begin(), snap.labels.end());
+  if (!(graph::Clustering::FromLabels(stored) == reference)) {
+    return Status::Corruption(
+        "recovery: snapshot v", static_cast<long long>(snap.version),
+        " of shard '", shard.name,
+        "' does not match batch re-resolution of its document set");
+  }
+  return Status::OK();
+}
+
+Status ResolutionService::RestoreShard(Shard* shard,
+                                       durability::RecoveredShard recovered) {
+  const int block_size = static_cast<int>(shard->bundles.size());
+  auto clusters_from_labels = [](const std::vector<int32_t>& labels) {
+    const std::vector<int> as_int(labels.begin(), labels.end());
+    return graph::Clustering::FromLabels(as_int).Groups();
+  };
+
+  uint64_t max_version = 0;
+  if (recovered.snapshot_loaded) {
+    const durability::ShardSnapshotData& snap = recovered.snapshot;
+    max_version = snap.version;
+    if (std::abs(snap.threshold - shard->resolver->threshold()) > 1e-9) {
+      return Status::FailedPrecondition(
+          "recovery: shard '", shard->name, "' was persisted at threshold ",
+          snap.threshold, " but recalibrated to ",
+          shard->resolver->threshold(),
+          " — the dataset or calibration changed; refusing to mix them");
+    }
+    std::vector<extract::FeatureBundle> docs;
+    docs.reserve(snap.canonical_ids.size());
+    for (int32_t id : snap.canonical_ids) {
+      if (id < 0 || id >= block_size || shard->assigned[id]) {
+        return Status::Corruption("recovery: snapshot of shard '",
+                                  shard->name,
+                                  "' references invalid or repeated document ",
+                                  id);
+      }
+      shard->assigned[id] = 1;
+      shard->arrival_canonical.push_back(id);
+      docs.push_back(shard->bundles[id]);
+    }
+    WEBER_RETURN_NOT_OK(shard->resolver->Restore(
+        std::move(docs), clusters_from_labels(snap.labels)));
+    if (options_.durability.verify_recovery) {
+      WEBER_RETURN_NOT_OK(VerifyRecoveredPartition(*shard, snap));
+    }
+    ++recovered_snapshots_;
+  }
+
+  for (const durability::WalRecord& record : recovered.records) {
+    switch (record.type) {
+      case durability::WalRecord::Type::kAssign: {
+        const int doc = record.doc;
+        if (doc < 0 || doc >= block_size) {
+          return Status::Corruption("recovery: WAL of shard '", shard->name,
+                                    "' assigns out-of-range document ", doc);
+        }
+        if (shard->assigned[doc]) break;  // already inside the snapshot
+        shard->assigned[doc] = 1;
+        shard->arrival_canonical.push_back(doc);
+        if (shard->resolver->Add(shard->bundles[doc]) < 0) {
+          return Status::Internal("recovery: resolver rejected replayed ",
+                                  "document ", doc);
+        }
+        break;
+      }
+      case durability::WalRecord::Type::kAdoptPartition: {
+        const int n = static_cast<int>(record.labels.size());
+        if (n == shard->resolver->num_documents()) {
+          WEBER_RETURN_NOT_OK(shard->resolver->AdoptPartition(
+              clusters_from_labels(record.labels)));
+        } else if (n > shard->resolver->num_documents()) {
+          // A partition over documents we failed to rebuild: some Assign
+          // records were lost ahead of it. Keep the greedy replay result
+          // and let the next compaction re-converge, but surface it.
+          ++recovery_health_.degraded_blocks;
+        }
+        // n < num_documents: a stale partition superseded by later logged
+        // arrivals — skipping it silently is the normal case.
+        max_version = std::max(max_version, record.version);
+        break;
+      }
+      case durability::WalRecord::Type::kSnapshotPublished: {
+        if (record.version > max_version) {
+          // The log says this snapshot was durable, yet no usable file or
+          // partition record with that version survived.
+          ++recovery_health_.corrupt_snapshots;
+        }
+        max_version = std::max(max_version, record.version);
+        break;
+      }
+    }
+  }
+
+  if (recovered.stats.wal_torn_tail) ++recovery_health_.torn_wal_tails;
+  if (recovered.stats.wal_corrupt) ++recovery_health_.corrupt_wal_records;
+  recovery_health_.corrupt_snapshots += recovered.stats.corrupt_snapshots;
+  recovered_docs_ += static_cast<long long>(shard->arrival_canonical.size());
+
+  shard->next_version = max_version + 1;
+  if (!shard->arrival_canonical.empty()) {
+    // Publish the recovered live partition so recovered documents are
+    // immediately queryable; the next compaction replaces it with a fresh
+    // batch result (and makes that one durable).
+    auto snapshot = std::make_shared<ResolverSnapshot>();
+    snapshot->version = shard->next_version++;
+    snapshot->threshold = shard->resolver->threshold();
+    snapshot->clustering = shard->resolver->CurrentClustering();
+    snapshot->clusters = snapshot->clustering.Groups();
+    snapshot->canonical_ids = shard->arrival_canonical;
+    snapshot->documents.reserve(shard->arrival_canonical.size());
+    for (int id : shard->arrival_canonical) {
+      snapshot->documents.push_back(shard->bundles[id]);
+    }
+    shard->snapshot.store(std::move(snapshot), std::memory_order_release);
+  }
+  return Status::OK();
 }
 
 Result<ResolutionService::Shard*> ResolutionService::FindShard(
@@ -283,6 +472,16 @@ Result<AssignResult> ResolutionService::AssignLocked(Shard* shard, int doc) {
     }
     return Status::Internal("Assign: assigned document missing from partition");
   }
+  // Write-ahead: the assignment is logged before any in-memory mutation, so
+  // a crash after the ack can always be replayed and a failed append leaves
+  // the shard exactly as it was.
+  if (shard->log != nullptr) {
+    if (Status st = shard->log->Append(durability::WalRecord::Assign(doc));
+        !st.ok()) {
+      failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+  }
   shard->assigned[doc] = 1;
   shard->arrival_canonical.push_back(doc);
   result.cluster = shard->resolver->Add(shard->bundles[doc]);
@@ -332,19 +531,35 @@ void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
   // Group by shard, preserving submission order within each group, so one
   // lock acquisition covers a run of same-shard requests.
   std::vector<Shard*> maybe_compact;
+  std::vector<std::pair<size_t, Result<AssignResult>>> results;
   size_t i = 0;
   while (i < batch.size()) {
     Shard* shard = batch[i].shard;
-    size_t j = i;
+    results.clear();
     {
       std::lock_guard<std::mutex> lock(shard->mu);
       WallTimer timer;
-      for (j = i; j < batch.size(); ++j) {
+      for (size_t j = i; j < batch.size(); ++j) {
         if (batch[j].shard != shard) continue;
-        batch[j].promise.set_value(AssignLocked(shard, batch[j].doc));
+        results.emplace_back(j, AssignLocked(shard, batch[j].doc));
         batch[j].shard = nullptr;  // mark handled
       }
       assign_latency_->Record(timer.ElapsedMillis());
+    }
+    // Group commit: under the kBatch fsync policy the whole group becomes
+    // durable with one sync before any acknowledgement leaves the service.
+    // A failed sync downgrades the group's successes to that error — the
+    // in-memory assignment already happened, so a client retry lands on the
+    // idempotent path and re-acks once durability is restored.
+    Status synced =
+        shard->log != nullptr ? shard->log->Sync() : Status::OK();
+    for (auto& [j, result] : results) {
+      if (!synced.ok() && result.ok()) {
+        failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+        batch[j].promise.set_value(synced);
+      } else {
+        batch[j].promise.set_value(std::move(result));
+      }
     }
     if (options_.compact_every > 0 &&
         shard->assigns_since_compact.load(std::memory_order_relaxed) >=
@@ -480,7 +695,26 @@ Status ResolutionService::CompactShard(Shard* shard) {
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     snapshot->version = shard->next_version++;
-    if (shard->resolver->num_documents() == n) {
+    const bool covers_all = shard->resolver->num_documents() == n;
+    if (shard->log != nullptr) {
+      // Durable publication happens under the shard lock so the WAL's
+      // AdoptPartition record is ordered against concurrent Assign appends
+      // — replay must see the partition before any later arrival.
+      durability::ShardSnapshotData data;
+      data.version = snapshot->version;
+      data.threshold = threshold;
+      data.canonical_ids.assign(canonical.begin(), canonical.end());
+      const std::vector<int>& labels = snapshot->clustering.labels();
+      data.labels.assign(labels.begin(), labels.end());
+      if (Status st = shard->log->PublishSnapshot(data, covers_all);
+          !st.ok()) {
+        // Nothing acked is lost: every Assign is still in the WAL, so the
+        // shard serves the new partition from memory and the next
+        // compaction retries durable publication.
+        failed_publishes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (covers_all) {
       (void)shard->resolver->AdoptPartition(snapshot->clusters);
       shard->assigns_since_compact.store(0, std::memory_order_relaxed);
     }
@@ -553,7 +787,22 @@ ServiceStats ResolutionService::Stats() const {
   stats.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
   stats.batches_flushed = batcher_->batches_flushed();
   stats.batched_requests = batcher_->requests_flushed();
+  stats.durability.enabled = !options_.durability.data_dir.empty();
+  for (const auto& shard : shards_) {
+    if (shard->log == nullptr) continue;
+    stats.durability.wal_appends += shard->log->wal_appends();
+    stats.durability.wal_syncs += shard->log->wal_syncs();
+    stats.durability.wal_bytes +=
+        static_cast<long long>(shard->log->wal_bytes());
+    stats.durability.snapshots_written += shard->log->snapshots_written();
+    stats.durability.wal_truncations += shard->log->wal_truncations();
+  }
+  stats.durability.failed_publishes =
+      failed_publishes_.load(std::memory_order_relaxed);
+  stats.durability.recovered_docs = recovered_docs_;
+  stats.durability.recovered_snapshots = recovered_snapshots_;
   stats.health.degraded_blocks = stats.failed_compactions;
+  stats.health.Merge(recovery_health_);
   return stats;
 }
 
@@ -591,6 +840,20 @@ void ResolutionService::WriteStatsJson(std::ostream& os) const {
   json.Key("snapshot_swaps").Number(stats.snapshot_swaps);
   json.Key("batches_flushed").Number(stats.batches_flushed);
   json.Key("batched_requests").Number(stats.batched_requests);
+  json.EndObject();
+  json.Key("durability").BeginObject();
+  json.Key("enabled").Bool(stats.durability.enabled);
+  json.Key("fsync").String(
+      durability::FsyncPolicyName(options_.durability.fsync));
+  json.Key("wal_appends").Number(stats.durability.wal_appends);
+  json.Key("wal_syncs").Number(stats.durability.wal_syncs);
+  json.Key("wal_bytes").Number(stats.durability.wal_bytes);
+  json.Key("snapshots_written").Number(stats.durability.snapshots_written);
+  json.Key("wal_truncations").Number(stats.durability.wal_truncations);
+  json.Key("failed_publishes").Number(stats.durability.failed_publishes);
+  json.Key("recovered_docs").Number(stats.durability.recovered_docs);
+  json.Key("recovered_snapshots")
+      .Number(stats.durability.recovered_snapshots);
   json.EndObject();
   json.Key("shards").BeginArray();
   for (const auto& shard : shards_) {

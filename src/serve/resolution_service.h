@@ -22,6 +22,15 @@
 // Fault points `serve.assign` and `serve.compact` (weber::faults) let chaos
 // tests fail either path deterministically; a failed compaction never
 // swaps, so the shard keeps serving the previous snapshot.
+//
+// Durability (see DESIGN.md, "Durability & recovery"): with a data_dir
+// configured, every shard owns a durability::ShardLog. An acknowledged
+// Assign is appended to the shard's WAL before the in-memory mutation;
+// compactions publish checksummed snapshot files. Create() recovers each
+// shard on startup — newest valid snapshot + idempotent WAL replay — and
+// optionally cross-checks the recovered partition against a fresh batch
+// re-resolution. With data_dir empty the service is fully in-memory and
+// behaves exactly as before.
 
 #ifndef WEBER_SERVE_RESOLUTION_SERVICE_H_
 #define WEBER_SERVE_RESOLUTION_SERVICE_H_
@@ -40,6 +49,7 @@
 #include "core/incremental.h"
 #include "core/run_health.h"
 #include "corpus/document.h"
+#include "durability/shard_log.h"
 #include "extract/gazetteer.h"
 #include "serve/batcher.h"
 #include "serve/similarity_cache.h"
@@ -67,6 +77,21 @@ struct ServiceOptions {
 
   /// Fraction of each block's pairs labeled for calibration.
   double train_fraction = 0.10;
+
+  /// Crash durability; data_dir empty = fully in-memory (default).
+  struct Durability {
+    /// Root directory holding one subdirectory (WAL + snapshots) per
+    /// shard. Empty disables durability entirely.
+    std::string data_dir;
+    durability::FsyncPolicy fsync = durability::FsyncPolicy::kBatch;
+    /// Restart the WAL at a fully-covering snapshot once it exceeds this.
+    uint64_t wal_truncate_bytes = 1ull << 20;
+    /// Cross-check every recovered partition against a fresh batch
+    /// re-resolution of the recovered document set (cheap insurance
+    /// against undetected snapshot corruption).
+    bool verify_recovery = true;
+  };
+  Durability durability;
 };
 
 struct AssignResult {
@@ -93,11 +118,29 @@ struct EndpointLatency {
   double p99_ms = 0.0;
 };
 
+/// Aggregate write-ahead-log / snapshot counters across all shards.
+struct DurabilityStats {
+  bool enabled = false;
+  long long wal_appends = 0;
+  long long wal_syncs = 0;
+  long long wal_bytes = 0;
+  long long snapshots_written = 0;
+  long long wal_truncations = 0;
+  /// Compactions whose durable publication failed (the shard kept serving
+  /// the new partition from memory; the WAL still covers it).
+  long long failed_publishes = 0;
+  /// Documents reconstructed at startup (snapshot + WAL replay).
+  long long recovered_docs = 0;
+  /// Shards restored from a snapshot file (vs WAL-only or empty).
+  long long recovered_snapshots = 0;
+};
+
 struct ServiceStats {
   EndpointLatency assign;
   EndpointLatency query;
   EndpointLatency compact;
   CacheStats cache;
+  DurabilityStats durability;
 
   long long assigns = 0;
   long long queries = 0;
@@ -160,6 +203,11 @@ class ResolutionService {
   /// -1 for documents not in the snapshot.
   Result<std::vector<int>> DumpPartition(const std::string& block) const;
 
+  /// Forces every shard's WAL to disk (group-commit barrier); used by the
+  /// server's graceful-shutdown path. No-op when durability is disabled or
+  /// the policy is kNever. Returns the first failure but syncs all shards.
+  Status SyncDurable();
+
   ServiceStats Stats() const;
 
   /// Emits the stats as a single-line JSON object (RunHealth fields
@@ -184,6 +232,14 @@ class ResolutionService {
   void ProcessAssignBatch(std::vector<PendingAssign> batch);
   double ScorePairCached(const Shard& shard, int canon_a, int canon_b) const;
 
+  /// Rebuilds a shard's in-memory state from what recovery salvaged:
+  /// restores the snapshot partition, replays the WAL tail idempotently,
+  /// and publishes the recovered partition as the shard's read snapshot.
+  Status RestoreShard(Shard* shard, durability::RecoveredShard recovered);
+  Status VerifyRecoveredPartition(
+      const Shard& shard, const durability::ShardSnapshotData& snap) const;
+  static std::string ShardDirName(uint32_t id, const std::string& name);
+
   ServiceOptions options_;
   std::vector<std::unique_ptr<core::SimilarityFunction>> functions_;
   std::vector<std::string> block_names_;
@@ -197,6 +253,13 @@ class ResolutionService {
   std::atomic<long long> failed_compactions_{0};
   std::atomic<long long> failed_assigns_{0};
   std::atomic<long long> snapshot_swaps_{0};
+  std::atomic<long long> failed_publishes_{0};
+  long long recovered_docs_ = 0;       // written once, in Create
+  long long recovered_snapshots_ = 0;  // written once, in Create
+
+  /// Degradation observed during startup recovery (torn WAL tails, corrupt
+  /// records/snapshots). Written only by Create; merged into Stats().
+  core::RunHealth recovery_health_;
 
   std::unique_ptr<LatencyRecorder> assign_latency_;
   std::unique_ptr<LatencyRecorder> query_latency_;

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -93,6 +94,46 @@ Status LineServer::ServeStdio(std::istream& in, std::ostream& out) {
     out << HandleLine(line, &quit) << '\n';
     out.flush();
     if (quit) break;
+  }
+  return Status::OK();
+}
+
+Status LineServer::ServeFd(int in_fd, std::ostream& out, int stop_fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      // All buffered complete requests are answered; wait for more input
+      // or a stop byte. Checking stop only here means a request that has
+      // fully arrived is never dropped by shutdown.
+      pollfd fds[2];
+      fds[0] = {in_fd, POLLIN, 0};
+      fds[1] = {stop_fd, POLLIN, 0};
+      const nfds_t nfds = stop_fd >= 0 ? 2 : 1;
+      if (::poll(fds, nfds, -1) < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("poll(): ", std::strerror(errno));
+      }
+      if (stop_fd >= 0 && (fds[1].revents & (POLLIN | POLLHUP))) break;
+      if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("read(fd ", in_fd,
+                               "): ", std::strerror(errno));
+      }
+      if (n == 0) break;  // EOF
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TrimWhitespace(line).empty()) continue;
+    out << HandleLine(line, &quit) << '\n';
+    out.flush();
   }
   return Status::OK();
 }
@@ -197,7 +238,10 @@ void LineServer::StopTcp() {
   std::vector<std::thread> handlers;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    // SHUT_RD, not RDWR: recv() in the handler unblocks (drain begins) but
+    // the write side stays open, so a response in flight still reaches its
+    // client before the handler closes the socket.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
     conn_fds_.clear();
     handlers.swap(conn_threads_);
   }

@@ -40,6 +40,13 @@ class LineServer {
   /// Serves until EOF or a `quit` request. Blank lines are ignored.
   Status ServeStdio(std::istream& in, std::ostream& out);
 
+  /// As ServeStdio but reading raw file descriptor `in_fd` through poll(),
+  /// so the loop can also be interrupted by a byte (or EOF) on `stop_fd` —
+  /// the graceful-shutdown path (pass -1 for no stop descriptor). Fully
+  /// received requests already buffered are answered before the loop
+  /// returns; a partial trailing line is discarded.
+  Status ServeFd(int in_fd, std::ostream& out, int stop_fd);
+
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
   /// acceptor thread and returns. Serves until StopTcp().
   Status StartTcp(int port);

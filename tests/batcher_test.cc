@@ -125,6 +125,60 @@ TEST(MicroBatcherTest, ConcurrentSubmittersLoseNothing) {
   }
 }
 
+TEST(MicroBatcherTest, LeftoverAfterPartialDrainKeepsItsDeadline) {
+  // Regression: a size-triggered partial drain used to restart the leftover
+  // request's delay from the drain instant, so a straggler left behind by a
+  // burst could wait nearly twice max_delay_ms with no follow-up traffic.
+  // The flush deadline must stay anchored to the oldest pending arrival.
+  using ClockMs = std::chrono::duration<double, std::milli>;
+  Collector collector;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  int flushes = 0;
+  std::vector<std::chrono::steady_clock::time_point> flush_times;
+  BatcherOptions options;
+  options.max_batch_size = 2;
+  options.max_delay_ms = 1000.0;
+  MicroBatcher<int> batcher(options, [&](std::vector<int> b) {
+    {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      // Park the flusher on its first flush (a sacrificial full batch) so
+      // the test can over-fill the next batch while no drain can happen —
+      // guaranteeing a partial drain with a leftover in every interleaving.
+      if (++flushes == 1) gate_cv.wait(lock, [&] { return gate_open; });
+      flush_times.push_back(std::chrono::steady_clock::now());
+    }
+    collector.Flush(std::move(b));
+  });
+  const auto start = std::chrono::steady_clock::now();
+  batcher.Submit(100);
+  batcher.Submit(101);  // full batch: drains, then blocks on the gate
+  batcher.Submit(0);    // opens the batch under test at ~t0
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  batcher.Submit(1);
+  batcher.Submit(2);  // three pending: the drain will leave one behind
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(collector.WaitForTotal(5, 5000));
+  std::lock_guard<std::mutex> lock(gate_mu);
+  ASSERT_EQ(flush_times.size(), 3u);
+  const double leftover_ms = ClockMs(flush_times[2] - start).count();
+  const double drain_to_leftover_ms =
+      ClockMs(flush_times[2] - flush_times[1]).count();
+  // Anchored deadline: the straggler flushes max_delay_ms after the batch
+  // under test opened (~1000 ms from start), i.e. ~500 ms after the partial
+  // drain. The old behaviour waited a fresh max_delay_ms from the drain
+  // instant, so its drain-to-leftover gap was never below 1000 ms;
+  // comparing against the observed drain time keeps the bound meaningful
+  // even when a loaded scheduler delays everything.
+  EXPECT_GE(leftover_ms, options.max_delay_ms - 50.0);
+  EXPECT_LT(drain_to_leftover_ms, options.max_delay_ms - 100.0);
+}
+
 TEST(MicroBatcherTest, ZeroBatchSizeClampsToOne) {
   Collector collector;
   BatcherOptions options;

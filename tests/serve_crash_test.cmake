@@ -1,0 +1,35 @@
+# Crash-recovery smoke test: weber_crashtest forks weber_serve over a
+# durable --data-dir, SIGKILLs it at seeded random points (sometimes with a
+# request in flight), restarts it, and asserts zero acked-write loss plus
+# partition equality against a single-threaded in-process reference; the
+# final cycle ends with SIGTERM and a clean exit. Invoked by ctest with
+# -DWEBER_BIN=<weber> -DSERVE_BIN=<weber_serve> -DCRASH_BIN=<weber_crashtest>
+# -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+run(${CRASH_BIN}
+    --dataset=${WORK_DIR}/dataset.txt
+    --gazetteer=${WORK_DIR}/gazetteer.txt
+    --serve_bin=${SERVE_BIN}
+    --data_dir=${WORK_DIR}/store
+    --cycles=8 --seed=20260806)
+
+if(NOT LAST_OUTPUT MATCHES "crashtest ok:")
+  message(FATAL_ERROR "crashtest did not report success:\n${LAST_OUTPUT}")
+endif()
+if(NOT LAST_OUTPUT MATCHES "graceful SIGTERM exit 0")
+  message(FATAL_ERROR "crashtest did not verify the graceful exit:\n${LAST_OUTPUT}")
+endif()

@@ -1,0 +1,80 @@
+# Graceful-shutdown test: SIGTERM lands mid-session on a durable
+# weber_serve; the server must answer what it already received, flush the
+# micro-batcher and WAL, print "shutdown complete" and exit 0 — and a
+# restart over the same --data-dir must recover the acked writes. Invoked
+# by ctest with -DWEBER_BIN=<weber> -DSERVE_BIN=<weber_serve>
+# -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+# The server must be the direct background process (not a compound
+# command), so $! is the server's pid and the signal reaches it. A fifo
+# keeps its stdin open across the whole session.
+file(WRITE "${WORK_DIR}/sigterm.sh" "\
+set -eu
+cd \"${WORK_DIR}\"
+mkfifo in.pipe
+\"${SERVE_BIN}\" --dataset=dataset.txt --gazetteer=gazetteer.txt \\
+    --data-dir=store --fsync=always < in.pipe > out.txt 2> err.txt &
+pid=$!
+exec 3> in.pipe
+printf 'assign cohen 0\\nassign cohen 1\\n' >&3
+for i in $(seq 1 200); do
+  if [ \"$(wc -l < out.txt)\" -ge 2 ]; then break; fi
+  sleep 0.05
+done
+if [ \"$(wc -l < out.txt)\" -lt 2 ]; then
+  echo 'server never answered the assigns'; kill -9 $pid; exit 1
+fi
+kill -TERM $pid
+rc=0
+wait $pid || rc=$?
+exec 3>&-
+rm -f in.pipe
+if [ $rc -ne 0 ]; then
+  echo \"server exited $rc on SIGTERM\"; cat err.txt; exit 1
+fi
+grep -q 'shutdown complete' err.txt
+")
+execute_process(COMMAND bash "${WORK_DIR}/sigterm.sh"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "SIGTERM session failed (${rc}):\n${out}\n${err}")
+endif()
+
+# Both assigns must have been answered "ok ..." before shutdown.
+file(READ "${WORK_DIR}/out.txt" session_out)
+string(REPLACE "\n" ";" lines "${session_out}")
+list(GET lines 0 l_first)
+list(GET lines 1 l_second)
+foreach(line IN ITEMS "${l_first}" "${l_second}")
+  if(NOT line MATCHES "^ok ")
+    message(FATAL_ERROR "assign not acked before shutdown: '${line}'")
+  endif()
+endforeach()
+
+# Restart over the same store: both acked documents must be recovered.
+file(WRITE "${WORK_DIR}/session2.txt" "dump cohen\nquit\n")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt --data-dir=${WORK_DIR}/store
+  INPUT_FILE ${WORK_DIR}/session2.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "restart session failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "ok 30 0:[0-9]+ 1:[0-9]+ ")
+  message(FATAL_ERROR "acked writes missing after recovery:\n${out}")
+endif()

@@ -1,0 +1,512 @@
+// Durability-layer edge cases: WAL record encoding, torn-tail truncation at
+// every byte offset, single-bit corruption in the header vs the payload,
+// replay under an armed fault point, snapshot file validation, and ShardLog
+// recovery (newest-valid-snapshot fallback, WAL restart).
+
+#include "durability/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "durability/shard_log.h"
+#include "durability/snapshot_file.h"
+
+namespace weber {
+namespace durability {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "weber_wal_" + name + "_" +
+                           std::to_string(::getpid());
+  (void)RemoveFileIfExists(path);
+  return path;
+}
+
+std::string ReadRaw(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status();
+  return contents.ok() ? contents.ValueOrDie() : std::string();
+}
+
+void WriteRaw(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Replays `path`, decoding every payload into `out`.
+Result<WalReplayResult> ReplayInto(const std::string& path,
+                                   std::vector<WalRecord>* out) {
+  return ReplayWal(path, [out](std::string_view payload) -> Status {
+    WEBER_ASSIGN_OR_RETURN(WalRecord record, WalRecord::Decode(payload));
+    out->push_back(std::move(record));
+    return Status::OK();
+  });
+}
+
+/// Writes `docs.size()` assign records and returns the cumulative file size
+/// after each one (the record boundaries a torn tail must snap back to).
+std::vector<uint64_t> WriteAssignLog(const std::string& path,
+                                     const std::vector<int32_t>& docs) {
+  std::vector<uint64_t> boundaries;
+  auto writer = WalWriter::Open(path, FsyncPolicy::kNever, 0);
+  EXPECT_TRUE(writer.ok()) << writer.status();
+  for (int32_t doc : docs) {
+    EXPECT_TRUE(
+        writer.ValueOrDie()->Append(WalRecord::Assign(doc).Encode()).ok());
+    boundaries.push_back(writer.ValueOrDie()->bytes());
+  }
+  return boundaries;
+}
+
+TEST(FsyncPolicyTest, ParseAndNameRoundTrip) {
+  for (FsyncPolicy policy :
+       {FsyncPolicy::kNever, FsyncPolicy::kBatch, FsyncPolicy::kAlways}) {
+    auto parsed = ParseFsyncPolicy(FsyncPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.ValueOrDie(), policy);
+  }
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+  EXPECT_FALSE(ParseFsyncPolicy("").ok());
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundTripAllTypes) {
+  const WalRecord assign = WalRecord::Assign(42);
+  auto assign2 = WalRecord::Decode(assign.Encode());
+  ASSERT_TRUE(assign2.ok());
+  EXPECT_EQ(assign2.ValueOrDie().type, WalRecord::Type::kAssign);
+  EXPECT_EQ(assign2.ValueOrDie().doc, 42);
+
+  const WalRecord adopt =
+      WalRecord::AdoptPartition(7, {0, 1, 1, 0, 2});
+  auto adopt2 = WalRecord::Decode(adopt.Encode());
+  ASSERT_TRUE(adopt2.ok());
+  EXPECT_EQ(adopt2.ValueOrDie().type, WalRecord::Type::kAdoptPartition);
+  EXPECT_EQ(adopt2.ValueOrDie().version, 7u);
+  EXPECT_EQ(adopt2.ValueOrDie().labels, (std::vector<int32_t>{0, 1, 1, 0, 2}));
+
+  const WalRecord published = WalRecord::SnapshotPublished(9);
+  auto published2 = WalRecord::Decode(published.Encode());
+  ASSERT_TRUE(published2.ok());
+  EXPECT_EQ(published2.ValueOrDie().type,
+            WalRecord::Type::kSnapshotPublished);
+  EXPECT_EQ(published2.ValueOrDie().version, 9u);
+}
+
+TEST(WalRecordTest, DecodeRejectsMalformedPayloads) {
+  EXPECT_FALSE(WalRecord::Decode("").ok());
+  EXPECT_FALSE(WalRecord::Decode(std::string(1, '\x7f')).ok());  // bad type
+  // An adopt record truncated mid-labels.
+  std::string adopt = WalRecord::AdoptPartition(1, {1, 2, 3}).Encode();
+  EXPECT_FALSE(WalRecord::Decode(
+                   std::string_view(adopt.data(), adopt.size() - 2))
+                   .ok());
+}
+
+TEST(WalReplayTest, MissingFileIsAValidEmptyLog) {
+  std::vector<WalRecord> records;
+  auto replay = ReplayInto(TestPath("missing") + ".nope", &records);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay.ValueOrDie().records, 0);
+  EXPECT_EQ(replay.ValueOrDie().valid_bytes, 0u);
+  EXPECT_FALSE(replay.ValueOrDie().torn_tail);
+  EXPECT_FALSE(replay.ValueOrDie().corrupt);
+}
+
+TEST(WalReplayTest, EmptyFileIsAValidEmptyLog) {
+  const std::string path = TestPath("empty");
+  WriteRaw(path, "");
+  std::vector<WalRecord> records;
+  auto replay = ReplayInto(path, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay.ValueOrDie().records, 0);
+  EXPECT_FALSE(replay.ValueOrDie().torn_tail);
+}
+
+TEST(WalReplayTest, AppendThenReplayRoundTrip) {
+  const std::string path = TestPath("roundtrip");
+  const std::vector<int32_t> docs = {5, 0, 9, 3, 3, 12};
+  const std::vector<uint64_t> boundaries = WriteAssignLog(path, docs);
+  std::vector<WalRecord> records;
+  auto replay = ReplayInto(path, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay.ValueOrDie().records,
+            static_cast<long long>(docs.size()));
+  EXPECT_EQ(replay.ValueOrDie().valid_bytes, boundaries.back());
+  EXPECT_FALSE(replay.ValueOrDie().torn_tail);
+  EXPECT_FALSE(replay.ValueOrDie().corrupt);
+  ASSERT_EQ(records.size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(records[i].doc, docs[i]) << i;
+  }
+}
+
+TEST(WalReplayTest, TornTailSweepAtEveryByteOffset) {
+  // Truncate a three-record log at every possible length. The verified
+  // prefix must always snap back to the last whole record, silently.
+  const std::string path = TestPath("torn_sweep");
+  const std::vector<uint64_t> boundaries =
+      WriteAssignLog(path, {1, 2, 3});
+  const std::string full = ReadRaw(path);
+  ASSERT_EQ(full.size(), boundaries.back());
+  for (size_t len = 0; len <= full.size(); ++len) {
+    WriteRaw(path, full.substr(0, len));
+    std::vector<WalRecord> records;
+    auto replay = ReplayInto(path, &records);
+    ASSERT_TRUE(replay.ok()) << "len " << len << ": " << replay.status();
+    long long whole = 0;
+    uint64_t valid = 0;
+    for (uint64_t b : boundaries) {
+      if (b <= len) {
+        ++whole;
+        valid = b;
+      }
+    }
+    EXPECT_EQ(replay.ValueOrDie().records, whole) << "len " << len;
+    EXPECT_EQ(replay.ValueOrDie().valid_bytes, valid) << "len " << len;
+    EXPECT_EQ(replay.ValueOrDie().torn_tail, valid != len) << "len " << len;
+    EXPECT_FALSE(replay.ValueOrDie().corrupt) << "len " << len;
+    EXPECT_EQ(records.size(), static_cast<size_t>(whole)) << "len " << len;
+  }
+}
+
+TEST(WalReplayTest, SingleBitFlipInLengthHeaderStopsAtValidPrefix) {
+  const std::string path = TestPath("flip_len");
+  const std::vector<uint64_t> boundaries = WriteAssignLog(path, {1, 2, 3});
+  const std::string full = ReadRaw(path);
+  // Flip every bit of the second record's 4-byte length field in turn. A
+  // flip that shrinks the length makes the CRC check read the wrong bytes
+  // (corrupt); a flip that grows it past the file is a torn tail. Either
+  // way replay must stop exactly at the first record.
+  for (int bit = 0; bit < 32; ++bit) {
+    std::string damaged = full;
+    const size_t at = boundaries[0] + static_cast<size_t>(bit / 8);
+    damaged[at] = static_cast<char>(damaged[at] ^ (1 << (bit % 8)));
+    WriteRaw(path, damaged);
+    std::vector<WalRecord> records;
+    auto replay = ReplayInto(path, &records);
+    ASSERT_TRUE(replay.ok()) << "bit " << bit << ": " << replay.status();
+    EXPECT_EQ(replay.ValueOrDie().records, 1) << "bit " << bit;
+    EXPECT_EQ(replay.ValueOrDie().valid_bytes, boundaries[0])
+        << "bit " << bit;
+    EXPECT_TRUE(replay.ValueOrDie().torn_tail ||
+                replay.ValueOrDie().corrupt)
+        << "bit " << bit;
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].doc, 1);
+  }
+}
+
+TEST(WalReplayTest, SingleBitFlipInCrcOrPayloadIsCorruption) {
+  const std::string path = TestPath("flip_payload");
+  const std::vector<uint64_t> boundaries = WriteAssignLog(path, {1, 2, 3});
+  const std::string full = ReadRaw(path);
+  const size_t record_size = boundaries[0];
+  // Every bit of the second record past the length field: the stored CRC
+  // (bytes 4..7) and the payload itself. All must be flagged corrupt, with
+  // replay stopping after the first record.
+  for (size_t offset = 4; offset < record_size; ++offset) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = full;
+      const size_t at = boundaries[0] + offset;
+      damaged[at] = static_cast<char>(damaged[at] ^ (1 << bit));
+      WriteRaw(path, damaged);
+      std::vector<WalRecord> records;
+      auto replay = ReplayInto(path, &records);
+      ASSERT_TRUE(replay.ok()) << replay.status();
+      EXPECT_TRUE(replay.ValueOrDie().corrupt)
+          << "offset " << offset << " bit " << bit;
+      EXPECT_EQ(replay.ValueOrDie().records, 1)
+          << "offset " << offset << " bit " << bit;
+      EXPECT_EQ(replay.ValueOrDie().valid_bytes, boundaries[0]);
+    }
+  }
+}
+
+TEST(WalReplayTest, WriterTruncatesTheInvalidTailOnOpen) {
+  const std::string path = TestPath("truncate_on_open");
+  WriteAssignLog(path, {1, 2});
+  // Simulate a crash mid-append: garbage that parses as a partial header.
+  WriteRaw(path, ReadRaw(path) + std::string("\x30\x00", 2));
+  std::vector<WalRecord> first;
+  auto replay = ReplayInto(path, &first);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_TRUE(replay.ValueOrDie().torn_tail);
+
+  auto writer = WalWriter::Open(path, FsyncPolicy::kNever,
+                                replay.ValueOrDie().valid_bytes);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE(
+      writer.ValueOrDie()->Append(WalRecord::Assign(3).Encode()).ok());
+  writer.ValueOrDie().reset();
+
+  std::vector<WalRecord> second;
+  auto again = ReplayInto(path, &second);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.ValueOrDie().torn_tail);
+  EXPECT_FALSE(again.ValueOrDie().corrupt);
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_EQ(second[2].doc, 3);
+}
+
+TEST(WalReplayTest, RestartEmptiesTheLog) {
+  const std::string path = TestPath("restart");
+  auto writer = WalWriter::Open(path, FsyncPolicy::kNever, 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      writer.ValueOrDie()->Append(WalRecord::Assign(1).Encode()).ok());
+  ASSERT_TRUE(writer.ValueOrDie()->Restart().ok());
+  EXPECT_EQ(writer.ValueOrDie()->bytes(), 0u);
+  ASSERT_TRUE(
+      writer.ValueOrDie()->Append(WalRecord::Assign(2).Encode()).ok());
+  writer.ValueOrDie().reset();
+  std::vector<WalRecord> records;
+  auto replay = ReplayInto(path, &records);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].doc, 2);
+}
+
+TEST(WalFaultTest, AppendFaultFailsWithoutWritingBytes) {
+  faults::ScopedFaultClearance clearance;
+  const std::string path = TestPath("append_fault");
+  auto writer = WalWriter::Open(path, FsyncPolicy::kNever, 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(faults::FaultInjector::Instance()
+                  .ArmFromSpec("serve.wal.append=ioerror")
+                  .ok());
+  EXPECT_FALSE(
+      writer.ValueOrDie()->Append(WalRecord::Assign(1).Encode()).ok());
+  EXPECT_EQ(writer.ValueOrDie()->bytes(), 0u);
+  faults::FaultInjector::Instance().DisarmAll();
+  EXPECT_TRUE(
+      writer.ValueOrDie()->Append(WalRecord::Assign(1).Encode()).ok());
+}
+
+TEST(WalFaultTest, FsyncFaultSurfacesUnderAlwaysPolicy) {
+  faults::ScopedFaultClearance clearance;
+  const std::string path = TestPath("fsync_fault");
+  auto writer = WalWriter::Open(path, FsyncPolicy::kAlways, 0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(faults::FaultInjector::Instance()
+                  .ArmFromSpec("serve.wal.fsync=ioerror")
+                  .ok());
+  EXPECT_FALSE(
+      writer.ValueOrDie()->Append(WalRecord::Assign(1).Encode()).ok());
+  faults::FaultInjector::Instance().DisarmAll();
+}
+
+TEST(WalFaultTest, ReplayFaultAbortsRecovery) {
+  faults::ScopedFaultClearance clearance;
+  const std::string path = TestPath("replay_fault");
+  WriteAssignLog(path, {1, 2, 3});
+  ASSERT_TRUE(faults::FaultInjector::Instance()
+                  .ArmFromSpec("serve.wal.replay=ioerror")
+                  .ok());
+  std::vector<WalRecord> records;
+  EXPECT_FALSE(ReplayInto(path, &records).ok());
+  faults::FaultInjector::Instance().DisarmAll();
+  records.clear();
+  auto replay = ReplayInto(path, &records);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(records.size(), 3u);
+}
+
+ShardSnapshotData MakeSnapshot(uint64_t version) {
+  ShardSnapshotData data;
+  data.version = version;
+  data.threshold = 0.375;
+  data.canonical_ids = {4, 0, 2, 1};
+  data.labels = {0, 1, 0, 1};
+  return data;
+}
+
+TEST(SnapshotFileTest, RoundTrip) {
+  const std::string path = TestPath("snap_roundtrip");
+  ASSERT_TRUE(WriteSnapshotFile(path, MakeSnapshot(11), /*sync=*/false).ok());
+  auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.ValueOrDie().version, 11u);
+  EXPECT_DOUBLE_EQ(loaded.ValueOrDie().threshold, 0.375);
+  EXPECT_EQ(loaded.ValueOrDie().canonical_ids,
+            (std::vector<int32_t>{4, 0, 2, 1}));
+  EXPECT_EQ(loaded.ValueOrDie().labels, (std::vector<int32_t>{0, 1, 0, 1}));
+}
+
+TEST(SnapshotFileTest, EveryBitFlipIsRejected) {
+  const std::string path = TestPath("snap_bitflip");
+  ASSERT_TRUE(WriteSnapshotFile(path, MakeSnapshot(3), /*sync=*/false).ok());
+  const std::string clean = ReadRaw(path);
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    std::string damaged = clean;
+    damaged[byte] = static_cast<char>(damaged[byte] ^ 0x10);
+    WriteRaw(path, damaged);
+    EXPECT_FALSE(ReadSnapshotFile(path).ok()) << "byte " << byte;
+  }
+  WriteRaw(path, clean);
+  EXPECT_TRUE(ReadSnapshotFile(path).ok());
+}
+
+TEST(SnapshotFileTest, TruncationIsRejected) {
+  const std::string path = TestPath("snap_trunc");
+  ASSERT_TRUE(WriteSnapshotFile(path, MakeSnapshot(3), /*sync=*/false).ok());
+  const std::string clean = ReadRaw(path);
+  for (size_t len : {clean.size() - 1, clean.size() / 2, size_t{0}}) {
+    WriteRaw(path, clean.substr(0, len));
+    EXPECT_FALSE(ReadSnapshotFile(path).ok()) << "len " << len;
+  }
+}
+
+TEST(SnapshotFileTest, FileNameRoundTrip) {
+  uint64_t version = 0;
+  ASSERT_TRUE(ParseSnapshotFileName(SnapshotFileName(42), &version));
+  EXPECT_EQ(version, 42u);
+  ASSERT_TRUE(
+      ParseSnapshotFileName(SnapshotFileName(12345678901ull), &version));
+  EXPECT_EQ(version, 12345678901ull);
+  EXPECT_FALSE(ParseSnapshotFileName("wal.log", &version));
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-.snap", &version));
+  EXPECT_FALSE(ParseSnapshotFileName("snapshot-0000000001.snap.tmp",
+                                     &version));
+}
+
+TEST(SnapshotFileTest, WriteFaultLeavesNoFile) {
+  faults::ScopedFaultClearance clearance;
+  const std::string path = TestPath("snap_fault");
+  ASSERT_TRUE(faults::FaultInjector::Instance()
+                  .ArmFromSpec("serve.snapshot.write=ioerror")
+                  .ok());
+  EXPECT_FALSE(WriteSnapshotFile(path, MakeSnapshot(1), false).ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "weber_shardlog_" + name +
+                          "_" + std::to_string(::getpid());
+  auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& entry : entries.ValueOrDie()) {
+      (void)RemoveFileIfExists(dir + "/" + entry);
+    }
+  }
+  return dir;
+}
+
+TEST(ShardLogTest, ColdOpenIsEmpty) {
+  RecoveredShard recovered;
+  auto log = ShardLog::Open(TestDir("cold"), ShardLogOptions{}, &recovered);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_FALSE(recovered.snapshot_loaded);
+  EXPECT_TRUE(recovered.records.empty());
+  EXPECT_EQ(recovered.stats.corrupt_snapshots, 0);
+}
+
+TEST(ShardLogTest, RecoversSnapshotPlusWalTail) {
+  const std::string dir = TestDir("snap_tail");
+  {
+    RecoveredShard recovered;
+    auto log = ShardLog::Open(dir, ShardLogOptions{}, &recovered);
+    ASSERT_TRUE(log.ok()) << log.status();
+    for (int32_t doc : {0, 1, 2}) {
+      ASSERT_TRUE(log.ValueOrDie()->Append(WalRecord::Assign(doc)).ok());
+    }
+    ShardSnapshotData snap;
+    snap.version = 1;
+    snap.threshold = 0.5;
+    snap.canonical_ids = {0, 1, 2};
+    snap.labels = {0, 0, 1};
+    ASSERT_TRUE(
+        log.ValueOrDie()->PublishSnapshot(snap, /*covers_all=*/true).ok());
+    // Arrives after the snapshot: lives only in the WAL.
+    ASSERT_TRUE(log.ValueOrDie()->Append(WalRecord::Assign(3)).ok());
+  }
+  RecoveredShard recovered;
+  auto log = ShardLog::Open(dir, ShardLogOptions{}, &recovered);
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_TRUE(recovered.snapshot_loaded);
+  EXPECT_EQ(recovered.snapshot.version, 1u);
+  EXPECT_EQ(recovered.snapshot.labels, (std::vector<int32_t>{0, 0, 1}));
+  // The tail assign must be among the replayed records.
+  bool saw_tail_assign = false;
+  for (const WalRecord& record : recovered.records) {
+    if (record.type == WalRecord::Type::kAssign && record.doc == 3) {
+      saw_tail_assign = true;
+    }
+  }
+  EXPECT_TRUE(saw_tail_assign);
+  EXPECT_FALSE(recovered.stats.wal_torn_tail);
+  EXPECT_FALSE(recovered.stats.wal_corrupt);
+}
+
+TEST(ShardLogTest, FallsBackPastACorruptNewestSnapshot) {
+  const std::string dir = TestDir("fallback");
+  {
+    RecoveredShard recovered;
+    auto log = ShardLog::Open(dir, ShardLogOptions{}, &recovered);
+    ASSERT_TRUE(log.ok()) << log.status();
+    for (uint64_t version : {1, 2}) {
+      ShardSnapshotData snap;
+      snap.version = version;
+      snap.threshold = 0.5;
+      snap.canonical_ids = {0, 1};
+      snap.labels = {0, static_cast<int32_t>(version % 2)};
+      ASSERT_TRUE(log.ValueOrDie()->PublishSnapshot(snap, true).ok());
+    }
+  }
+  // Flip a byte inside the newest snapshot.
+  const std::string newest = dir + "/" + SnapshotFileName(2);
+  std::string raw = ReadRaw(newest);
+  raw[raw.size() / 2] = static_cast<char>(raw[raw.size() / 2] ^ 0x01);
+  WriteRaw(newest, raw);
+
+  RecoveredShard recovered;
+  auto log = ShardLog::Open(dir, ShardLogOptions{}, &recovered);
+  ASSERT_TRUE(log.ok()) << log.status();
+  ASSERT_TRUE(recovered.snapshot_loaded);
+  EXPECT_EQ(recovered.snapshot.version, 1u);
+  EXPECT_EQ(recovered.stats.corrupt_snapshots, 1);
+}
+
+TEST(ShardLogTest, CoveringSnapshotRestartsAnOversizedWal) {
+  const std::string dir = TestDir("truncate");
+  ShardLogOptions options;
+  options.wal_truncate_bytes = 1;  // any non-empty log is "oversized"
+  RecoveredShard recovered;
+  auto log = ShardLog::Open(dir, options, &recovered);
+  ASSERT_TRUE(log.ok()) << log.status();
+  for (int32_t doc : {0, 1, 2, 3}) {
+    ASSERT_TRUE(log.ValueOrDie()->Append(WalRecord::Assign(doc)).ok());
+  }
+  const uint64_t before = log.ValueOrDie()->wal_bytes();
+  ShardSnapshotData snap;
+  snap.version = 1;
+  snap.threshold = 0.5;
+  snap.canonical_ids = {0, 1, 2, 3};
+  snap.labels = {0, 0, 1, 1};
+  ASSERT_TRUE(log.ValueOrDie()->PublishSnapshot(snap, true).ok());
+  EXPECT_LT(log.ValueOrDie()->wal_bytes(), before);
+  EXPECT_EQ(log.ValueOrDie()->wal_truncations(), 1);
+
+  // Recovery after the restart: the snapshot alone carries the state.
+  log.ValueOrDie().reset();
+  RecoveredShard after;
+  auto reopened = ShardLog::Open(dir, options, &after);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ASSERT_TRUE(after.snapshot_loaded);
+  EXPECT_EQ(after.snapshot.version, 1u);
+  for (const WalRecord& record : after.records) {
+    EXPECT_NE(record.type, WalRecord::Type::kAssign);
+  }
+}
+
+}  // namespace
+}  // namespace durability
+}  // namespace weber

@@ -1,0 +1,434 @@
+// weber_crashtest: crash-recovery harness for weber_serve's durable shards.
+//
+//   weber_crashtest --dataset=D --gazetteer=G --serve_bin=./weber_serve \
+//       --data_dir=/tmp/weber-crash --cycles=20 --seed=7
+//
+// Each cycle forks a child `weber_serve --nostdio --port=0 --data-dir=...
+// --fsync=always`, fires assigns at it over TCP in a seeded random order,
+// and SIGKILLs it at a seeded random point — sometimes with a final request
+// in flight whose response is never read, so the kill lands while the write
+// may or may not have reached the WAL. The next cycle's startup recovers
+// from the newest snapshot plus WAL replay; before resuming the storm the
+// harness compacts every shard, dumps the recovered partitions and asserts:
+//
+//   (a) zero acked-write loss — every (block, doc) whose `assign` was
+//       answered "ok" before the kill is present in the recovered shard;
+//   (b) partition correctness — each recovered, compacted shard equals a
+//       single-threaded in-process reference that re-assigns exactly the
+//       recovered documents. Batch re-resolution is arrival-order
+//       invariant, so any crash/recovery interleaving must land on the
+//       same partition.
+//
+// The final cycle finishes all remaining work, verifies once more, then
+// stops the child with SIGTERM and asserts a graceful exit 0 (the
+// shutdown-drain path). Exit status: 0 = every cycle passed.
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "corpus/dataset_io.h"
+#include "graph/clustering.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+using namespace weber;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return ExitCodeForStatus(status.code());
+}
+
+/// A running weber_serve child: pid, its stdout pipe, and the parsed port.
+struct ServerProcess {
+  pid_t pid = -1;
+  int out_fd = -1;
+  int port = -1;
+};
+
+void CloseProcess(ServerProcess* server) {
+  if (server->out_fd >= 0) ::close(server->out_fd);
+  server->out_fd = -1;
+  server->pid = -1;
+  server->port = -1;
+}
+
+/// SIGKILLs the child and reaps it. The whole point of the harness: the
+/// process gets no chance to flush anything.
+void KillHard(ServerProcess* server) {
+  if (server->pid > 0) {
+    ::kill(server->pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(server->pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  CloseProcess(server);
+}
+
+/// SIGTERMs the child and returns its wait status (for the graceful-exit
+/// assertion).
+Result<int> StopSoft(ServerProcess* server) {
+  if (server->pid <= 0) return Status::FailedPrecondition("no child");
+  if (::kill(server->pid, SIGTERM) != 0) {
+    return Status::IOError("kill(SIGTERM): ", std::strerror(errno));
+  }
+  int status = 0;
+  while (::waitpid(server->pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  CloseProcess(server);
+  return status;
+}
+
+/// Reads the child's stdout until the "listening on 127.0.0.1:<port>"
+/// announcement (or EOF / 30 s timeout, both of which mean startup failed).
+Result<int> AwaitListeningPort(int fd) {
+  std::string buffer;
+  char chunk[512];
+  const std::string needle = "listening on 127.0.0.1:";
+  while (true) {
+    size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      const size_t at = line.find(needle);
+      if (at != std::string::npos) {
+        return std::atoi(line.c_str() + at + needle.size());
+      }
+      continue;
+    }
+    pollfd pfd = {fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, 30000);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return Status::IOError("timed out waiting for the server");
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IOError("server exited before announcing its port");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// fork/execs `serve_bin` with the durable-serving flags, stdout piped back
+/// so the ephemeral port announcement can be read.
+Result<ServerProcess> SpawnServer(const std::string& serve_bin,
+                                  const std::vector<std::string>& args) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IOError("pipe(): ", std::strerror(errno));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Status::IOError("fork(): ", std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(serve_bin.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(serve_bin.c_str(), argv.data());
+    std::fprintf(stderr, "execv(%s): %s\n", serve_bin.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  ::close(fds[1]);
+  ServerProcess server;
+  server.pid = pid;
+  server.out_fd = fds[0];
+  Result<int> port = AwaitListeningPort(fds[0]);
+  if (!port.ok()) {
+    KillHard(&server);
+    return port.status();
+  }
+  server.port = port.ValueOrDie();
+  return server;
+}
+
+/// Wipes the two-level data directory (shard dirs holding WAL + snapshots)
+/// so every run starts from a cold store.
+Status WipeDataDir(const std::string& dir) {
+  if (!FileExists(dir)) return Status::OK();
+  WEBER_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                         ListDirectory(dir));
+  for (const std::string& entry : entries) {
+    const std::string sub = dir + "/" + entry;
+    auto files = ListDirectory(sub);
+    if (files.ok()) {
+      for (const std::string& f : files.ValueOrDie()) {
+        WEBER_RETURN_NOT_OK(RemoveFileIfExists(sub + "/" + f));
+      }
+      if (::rmdir(sub.c_str()) != 0) {
+        return Status::IOError("rmdir(", sub, "): ", std::strerror(errno));
+      }
+    } else {
+      WEBER_RETURN_NOT_OK(RemoveFileIfExists(sub));
+    }
+  }
+  return Status::OK();
+}
+
+/// Parses a `dump` response ("ok <n> <doc>:<label> ...") into labels
+/// (-1 = not yet in the shard).
+Result<std::vector<int>> ParseDump(const std::string& response) {
+  const std::vector<std::string> tokens = SplitWhitespace(response);
+  if (tokens.size() < 2 || tokens[0] != "ok") {
+    return Status::Corruption("bad dump response '", response, "'");
+  }
+  const int n = std::atoi(tokens[1].c_str());
+  if (n < 0 || tokens.size() != static_cast<size_t>(n) + 2) {
+    return Status::Corruption("dump token count mismatch");
+  }
+  std::vector<int> labels(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const std::string& pair = tokens[static_cast<size_t>(i) + 2];
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("bad dump pair '", pair, "'");
+    }
+    const int doc = std::atoi(pair.substr(0, colon).c_str());
+    if (doc < 0 || doc >= n) {
+      return Status::Corruption("dump doc out of range in '", pair, "'");
+    }
+    labels[static_cast<size_t>(doc)] = std::atoi(pair.c_str() + colon + 1);
+  }
+  return labels;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("dataset", "", "path to a labeled WEBER dataset file");
+  flags.AddString("gazetteer", "", "path to a WEBER gazetteer file");
+  flags.AddString("serve_bin", "", "path to the weber_serve binary");
+  flags.AddString("data_dir", "", "durable store handed to the child server");
+  flags.AddInt("cycles", 20, "kill/recover cycles (the last one is graceful)");
+  flags.AddInt("seed", 7, "randomizes assign order and kill points");
+  flags.AddDouble("train_fraction", 0.10, "must match the server defaults");
+  flags.AddInt("cal_seed", 0x5E21E, "calibration seed for child + reference");
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout << flags.Usage(
+          "weber_crashtest — SIGKILL/recover torture harness asserting "
+          "zero acked-write loss for weber_serve --data-dir");
+      return 0;
+    }
+  }
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+  for (const char* required : {"dataset", "gazetteer", "serve_bin",
+                               "data_dir"}) {
+    if (flags.GetString(required).empty()) {
+      return Fail(Status::InvalidArgument("--", required, " is required"));
+    }
+  }
+  const std::string serve_bin = flags.GetString("serve_bin");
+  const std::string data_dir = flags.GetString("data_dir");
+  const int cycles = std::max(1, flags.GetInt("cycles"));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::ifstream gz(flags.GetString("gazetteer"));
+  if (!gz) {
+    return Fail(Status::IOError("cannot read ", flags.GetString("gazetteer")));
+  }
+  auto gazetteer = corpus::LoadGazetteer(gz);
+  if (!gazetteer.ok()) return Fail(gazetteer.status());
+
+  if (auto st = WipeDataDir(data_dir); !st.ok()) return Fail(st);
+
+  // The in-process reference. Assign() is idempotent, so after each crash
+  // the reference simply absorbs whichever documents the recovered server
+  // turns out to hold.
+  serve::ServiceOptions ref_options;
+  ref_options.train_fraction = flags.GetDouble("train_fraction");
+  ref_options.calibration_seed =
+      static_cast<uint64_t>(flags.GetInt("cal_seed"));
+  auto reference =
+      serve::ResolutionService::Create(*dataset, &*gazetteer, ref_options);
+  if (!reference.ok()) return Fail(reference.status());
+
+  // Work list: every (block, doc) once, in seeded random order.
+  std::vector<std::pair<int, int>> work;
+  for (size_t b = 0; b < dataset->blocks.size(); ++b) {
+    for (size_t d = 0; d < dataset->blocks[b].documents.size(); ++d) {
+      work.emplace_back(static_cast<int>(b), static_cast<int>(d));
+    }
+  }
+  if (work.empty()) return Fail(Status::InvalidArgument("empty dataset"));
+  for (size_t i = work.size(); i > 1; --i) {
+    std::swap(work[i - 1], work[rng.UniformUint64(i)]);
+  }
+
+  const std::vector<std::string> server_args = {
+      "--dataset=" + flags.GetString("dataset"),
+      "--gazetteer=" + flags.GetString("gazetteer"),
+      "--data-dir=" + data_dir,
+      "--fsync=always",
+      "--port=0",
+      "--nostdio",
+      "--max_delay_ms=0.5",
+      "--train_fraction=" + FormatDouble(flags.GetDouble("train_fraction"), 6),
+      "--seed=" + std::to_string(flags.GetInt("cal_seed")),
+  };
+
+  std::set<std::pair<int, int>> acked;  // answered "ok" at any point
+  size_t cursor = 0;                    // next work item to attempt
+  long long kills = 0;
+  long long inflight_kills = 0;
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const bool final_cycle = cycle == cycles - 1;
+    auto server = SpawnServer(serve_bin, server_args);
+    if (!server.ok()) return Fail(server.status());
+    serve::LineConnection conn;
+    if (auto st = conn.Connect("127.0.0.1", server->port); !st.ok()) {
+      KillHard(&*server);
+      return Fail(st);
+    }
+
+    // Verify recovery BEFORE resuming the storm: compact everything, then
+    // check the dumped partitions against acked history and the reference.
+    auto verify = [&]() -> Status {
+      WEBER_ASSIGN_OR_RETURN(std::string compacted, conn.Call("compact"));
+      if (compacted.rfind("ok", 0) != 0) {
+        return Status::Internal("compact failed: ", compacted);
+      }
+      for (size_t b = 0; b < dataset->blocks.size(); ++b) {
+        const corpus::Block& block = dataset->blocks[b];
+        WEBER_ASSIGN_OR_RETURN(std::string response,
+                               conn.Call("dump " + block.query));
+        WEBER_ASSIGN_OR_RETURN(std::vector<int> served,
+                               ParseDump(response));
+        // (a) Zero acked-write loss.
+        for (size_t d = 0; d < block.documents.size(); ++d) {
+          const auto key = std::make_pair(static_cast<int>(b),
+                                          static_cast<int>(d));
+          if (acked.count(key) != 0 && served[d] < 0) {
+            return Status::Corruption("acked write lost: block '",
+                                      block.query, "' doc ", d, " after ",
+                                      kills, " kills");
+          }
+        }
+        // (b) The recovered partition equals the reference over exactly
+        // the recovered documents.
+        for (size_t d = 0; d < served.size(); ++d) {
+          if (served[d] >= 0) {
+            WEBER_RETURN_NOT_OK(
+                (*reference)
+                    ->Assign(block.query, static_cast<int>(d))
+                    .status());
+          }
+        }
+        WEBER_RETURN_NOT_OK((*reference)->CompactAll());
+        WEBER_ASSIGN_OR_RETURN(std::vector<int> expected,
+                               (*reference)->DumpPartition(block.query));
+        for (size_t d = 0; d < served.size(); ++d) {
+          // The reference may hold docs whose ack never reached us; the
+          // comparison is over the documents the server recovered.
+          if (served[d] < 0) expected[d] = -1;
+        }
+        if (graph::Clustering::FromLabels(served) !=
+            graph::Clustering::FromLabels(expected)) {
+          return Status::Corruption("recovered partition for block '",
+                                    block.query,
+                                    "' diverges from the reference");
+        }
+      }
+      return Status::OK();
+    };
+    if (auto st = verify(); !st.ok()) {
+      KillHard(&*server);
+      return Fail(st);
+    }
+
+    // Resume the storm from the cursor. Non-final cycles stop after a
+    // seeded number of acks and SIGKILL; half the time a final request is
+    // left in flight (sent, response unread) when the kill lands.
+    const size_t remaining = work.size() - cursor;
+    const size_t quota =
+        final_cycle ? remaining
+                    : std::min(remaining,
+                               1 + rng.UniformUint64(std::max<size_t>(
+                                       1, remaining / 2)));
+    size_t done = 0;
+    while (done < quota && cursor < work.size()) {
+      const auto [b, d] = work[cursor];
+      const std::string request = "assign " + dataset->blocks[b].query +
+                                  " " + std::to_string(d);
+      auto response = conn.Call(request);
+      if (!response.ok()) {
+        KillHard(&*server);
+        return Fail(response.status());
+      }
+      if (response->rfind("ok", 0) != 0) {
+        KillHard(&*server);
+        return Fail(Status::Internal("assign rejected: ", *response));
+      }
+      acked.insert(work[cursor]);
+      ++cursor;
+      ++done;
+    }
+
+    if (final_cycle) {
+      if (auto st = verify(); !st.ok()) {
+        KillHard(&*server);
+        return Fail(st);
+      }
+      auto status = StopSoft(&*server);
+      if (!status.ok()) return Fail(status.status());
+      if (!WIFEXITED(status.ValueOrDie()) ||
+          WEXITSTATUS(status.ValueOrDie()) != 0) {
+        return Fail(Status::Internal(
+            "SIGTERM did not produce a clean exit (wait status ",
+            status.ValueOrDie(), ")"));
+      }
+    } else {
+      if (cursor < work.size() && rng.Bernoulli(0.5)) {
+        // In-flight write: sent but never acknowledged. It may or may not
+        // survive the kill; either way it stays in the work list and is
+        // retried (assign is idempotent).
+        (void)conn.SendLine("assign " +
+                            dataset->blocks[work[cursor].first].query + " " +
+                            std::to_string(work[cursor].second));
+        ++inflight_kills;
+      }
+      KillHard(&*server);
+      ++kills;
+    }
+  }
+
+  std::cout << "crashtest ok: " << kills << " SIGKILLs ("
+            << inflight_kills << " with a request in flight), "
+            << acked.size() << "/" << work.size()
+            << " documents acked and recovered, graceful SIGTERM exit 0\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

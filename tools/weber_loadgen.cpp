@@ -13,11 +13,19 @@
 // Afterwards each shard's served partition (`dump`) is compared against a
 // locally built single-threaded reference service — batch re-resolution is
 // arrival-order invariant, so a quiesced, compacted shard must match
-// exactly. Client-side latency percentiles (p50/p95/p99), per-phase QPS and
-// the server's cache hit rate land in --out as JSON.
+// exactly. Client-side latency percentiles (p50/p95/p99), per-phase QPS,
+// retry counts and the server's cache hit rate land in --out as JSON.
+//
+// Transient transport failures (connection reset, short read) are retried
+// up to --retries times with exponential backoff plus full jitter,
+// reconnecting before each attempt; only transport errors are retried —
+// a served error response is never resent, since the server may have
+// already applied the request.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -48,6 +56,7 @@ int Fail(const Status& status) {
 struct PhaseStats {
   long long count = 0;
   long long errors = 0;
+  long long retries = 0;
   double wall_ms = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
@@ -66,14 +75,49 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-/// Runs `body(client_index, connection, latencies, errors)` on `clients`
-/// threads, each with its own connection, and merges the latency samples.
+/// One request with bounded retry on transport failure. Before each retry
+/// the client reconnects and sleeps with exponential backoff plus full
+/// jitter (attempt i draws uniformly from [0, min(2^(i-1), 64)) ms) so a
+/// storm of clients hitting the same hiccup does not stampede back in
+/// lockstep. Only transport errors (IOError: reset, refused, short read)
+/// are retried; a served error response is returned as-is, because the
+/// server may already have applied the original request.
+Result<std::string> CallWithRetry(serve::LineConnection& conn,
+                                  const std::string& host, int port,
+                                  const std::string& request, int max_retries,
+                                  Rng& rng, long long& retries) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries;
+      const double cap_ms = std::min(64.0, std::ldexp(1.0, attempt - 1));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          rng.UniformDouble() * cap_ms));
+      if (Status st = conn.Connect(host, port); !st.ok()) {
+        last = std::move(st);
+        continue;
+      }
+    }
+    Result<std::string> response = conn.Call(request);
+    if (response.ok()) return response;
+    last = response.status();
+    if (last.code() != StatusCode::kIOError) return last;  // not transient
+  }
+  return Status::IOError("'", request, "' still failing after ", max_retries,
+                         " retries: ", last.ToString());
+}
+
+/// Runs `body(client_index, connection, latencies, errors, retries)` on
+/// `clients` threads, each with its own connection, and merges the latency
+/// samples and counters.
 Result<PhaseStats> RunPhase(
     const std::string& host, int port, int clients,
     const std::function<Status(int, serve::LineConnection&,
-                               std::vector<double>&, long long&)>& body) {
+                               std::vector<double>&, long long&,
+                               long long&)>& body) {
   std::vector<std::vector<double>> latencies(clients);
   std::vector<long long> errors(clients, 0);
+  std::vector<long long> retries(clients, 0);
   std::vector<Status> failures(clients, Status::OK());
   WallTimer wall;
   std::vector<std::thread> threads;
@@ -82,7 +126,7 @@ Result<PhaseStats> RunPhase(
     threads.emplace_back([&, k] {
       serve::LineConnection conn;
       Status st = conn.Connect(host, port);
-      if (st.ok()) st = body(k, conn, latencies[k], errors[k]);
+      if (st.ok()) st = body(k, conn, latencies[k], errors[k], retries[k]);
       failures[k] = std::move(st);
     });
   }
@@ -93,13 +137,16 @@ Result<PhaseStats> RunPhase(
   }
   std::vector<double> merged;
   long long total_errors = 0;
+  long long total_retries = 0;
   for (int k = 0; k < clients; ++k) {
     merged.insert(merged.end(), latencies[k].begin(), latencies[k].end());
     total_errors += errors[k];
+    total_retries += retries[k];
   }
   PhaseStats stats;
   stats.count = static_cast<long long>(merged.size());
   stats.errors = total_errors;
+  stats.retries = total_retries;
   stats.wall_ms = wall_ms;
   if (!merged.empty()) {
     std::sort(merged.begin(), merged.end());
@@ -118,6 +165,7 @@ void WritePhaseJson(JsonWriter& json, const char* key,
   json.Key(key).BeginObject();
   json.Key("requests").Number(stats.count);
   json.Key("errors").Number(stats.errors);
+  json.Key("retries").Number(stats.retries);
   json.Key("wall_ms").Number(stats.wall_ms);
   json.Key("qps").Number(stats.Qps());
   json.Key("mean_ms").Number(stats.mean_ms);
@@ -129,7 +177,7 @@ void WritePhaseJson(JsonWriter& json, const char* key,
 
 void PrintPhase(const char* name, const PhaseStats& stats) {
   std::cout << name << ": " << stats.count << " requests ("
-            << stats.errors << " errors), "
+            << stats.errors << " errors, " << stats.retries << " retries), "
             << FormatDouble(stats.Qps(), 1) << " qps, p50 "
             << FormatDouble(stats.p50_ms, 3) << " ms, p95 "
             << FormatDouble(stats.p95_ms, 3) << " ms, p99 "
@@ -203,6 +251,8 @@ int Run(int argc, char** argv) {
   flags.AddDouble("train_fraction", 0.10, "must match the server");
   flags.AddInt("seed", 0x5E21E, "must match the server's calibration seed");
   flags.AddInt("query_seed", 1, "query storm randomization seed");
+  flags.AddInt("retries", 5,
+               "max reconnect-and-resend attempts per transport failure");
   flags.AddString("out", "BENCH_serve.json", "benchmark report path");
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--help") {
@@ -220,6 +270,7 @@ int Run(int argc, char** argv) {
   const int port = flags.GetInt("port");
   const int clients = std::max(1, flags.GetInt("clients"));
   const long long total_queries = std::max(1, flags.GetInt("queries"));
+  const int max_retries = std::max(0, flags.GetInt("retries"));
 
   auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
   if (!dataset.ok()) return Fail(dataset.status());
@@ -237,14 +288,18 @@ int Run(int argc, char** argv) {
   auto assign_stats = RunPhase(
       host, port, clients,
       [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
-          long long& errors) -> Status {
+          long long& errors, long long& retries) -> Status {
+        Rng backoff_rng(0xB0FFULL + static_cast<uint64_t>(k));
         for (size_t i = static_cast<size_t>(k); i < work.size();
              i += static_cast<size_t>(clients)) {
           const std::string request =
               "assign " + dataset->blocks[work[i].first].query + " " +
               std::to_string(work[i].second);
           WallTimer timer;
-          WEBER_ASSIGN_OR_RETURN(std::string response, conn.Call(request));
+          WEBER_ASSIGN_OR_RETURN(
+              std::string response,
+              CallWithRetry(conn, host, port, request, max_retries,
+                            backoff_rng, retries));
           lat.push_back(timer.ElapsedMillis());
           if (response.rfind("ok", 0) != 0) ++errors;
         }
@@ -277,7 +332,7 @@ int Run(int argc, char** argv) {
   auto query_stats = RunPhase(
       host, port, clients,
       [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
-          long long& errors) -> Status {
+          long long& errors, long long& retries) -> Status {
         Rng rng(query_seed + static_cast<uint64_t>(k) * 0x9E37ULL);
         while (tickets.fetch_add(1, std::memory_order_relaxed) <
                total_queries) {
@@ -287,7 +342,10 @@ int Run(int argc, char** argv) {
               "query " + dataset->blocks[pick.first].query + " " +
               std::to_string(pick.second);
           WallTimer timer;
-          WEBER_ASSIGN_OR_RETURN(std::string response, conn.Call(request));
+          WEBER_ASSIGN_OR_RETURN(
+              std::string response,
+              CallWithRetry(conn, host, port, request, max_retries, rng,
+                            retries));
           lat.push_back(timer.ElapsedMillis());
           if (response.rfind("ok", 0) != 0) ++errors;
         }

@@ -8,8 +8,18 @@
 // --port=0 an ephemeral port is chosen and announced on stdout as
 // "listening on 127.0.0.1:<port>" before serving begins. The stdio loop
 // runs until EOF or `quit`; pass --nostdio to serve TCP only (stop with a
-// signal). Fault points serve.assign / serve.compact honor --faults and
-// WEBER_FAULTS for chaos drills.
+// signal). Fault points serve.assign / serve.compact / serve.wal.* /
+// serve.snapshot.write honor --faults and WEBER_FAULTS for chaos drills.
+//
+// With --data-dir every shard keeps a write-ahead log and checksummed
+// snapshots there and recovers from them on startup; --fsync picks the
+// group-commit policy (never | batch | always). SIGINT/SIGTERM shut the
+// server down gracefully: in-flight requests are answered, the micro-batch
+// and WALs are flushed, and the process exits 0.
+
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdlib>
@@ -20,12 +30,37 @@
 #include "common/fault_injection.h"
 #include "common/flags.h"
 #include "corpus/dataset_io.h"
+#include "durability/wal.h"
 #include "serve/resolution_service.h"
 #include "serve/server.h"
 
 using namespace weber;
 
 namespace {
+
+int g_stop_pipe[2] = {-1, -1};
+
+// Async-signal-safe: a byte on the self-pipe wakes whichever blocking loop
+// the main thread is in (ServeFd poll or the --nostdio wait).
+void HandleStopSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_stop_pipe[1], &byte, 1);
+}
+
+Status InstallStopHandlers() {
+  if (::pipe(g_stop_pipe) != 0) {
+    return Status::IOError("pipe(): ", std::strerror(errno));
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGINT, &sa, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &sa, nullptr) != 0) {
+    return Status::IOError("sigaction(): ", std::strerror(errno));
+  }
+  return Status::OK();
+}
 
 void AddFlags(FlagParser* flags) {
   flags->AddString("dataset", "", "path to a labeled WEBER dataset file");
@@ -51,6 +86,17 @@ void AddFlags(FlagParser* flags) {
                    "fault spec point=kind[:prob[:param[:max]]];... "
                    "(or WEBER_FAULTS env)");
   flags->AddInt("fault_seed", 0, "seed for fault trigger streams");
+  flags->AddString("data-dir", "",
+                   "directory for per-shard WALs + snapshots with crash "
+                   "recovery (empty = in-memory only)");
+  flags->AddString("fsync", "batch",
+                   "WAL fsync policy: never | batch | always");
+  flags->AddInt("wal-truncate-bytes", 1 << 20,
+                "restart a shard's WAL at a fully-covering snapshot once it "
+                "exceeds this many bytes");
+  flags->AddBool("verify-recovery", true,
+                 "cross-check recovered partitions against a fresh batch "
+                 "re-resolution on startup");
 }
 
 int Fail(const Status& status) {
@@ -118,11 +164,20 @@ int Run(int argc, char** argv) {
     return Fail(Status::InvalidArgument("unknown --assignment '", assignment,
                                         "' (mean | max)"));
   }
+  options.durability.data_dir = flags.GetString("data-dir");
+  auto fsync = durability::ParseFsyncPolicy(flags.GetString("fsync"));
+  if (!fsync.ok()) return Fail(fsync.status());
+  options.durability.fsync = fsync.ValueOrDie();
+  options.durability.wal_truncate_bytes =
+      static_cast<uint64_t>(std::max(0, flags.GetInt("wal-truncate-bytes")));
+  options.durability.verify_recovery = flags.GetBool("verify-recovery");
 
   auto service =
       serve::ResolutionService::Create(*dataset, &*gazetteer, options);
   if (!service.ok()) return Fail(service.status());
   std::cerr << "serving " << (*service)->block_names().size() << " shards\n";
+
+  if (auto st = InstallStopHandlers(); !st.ok()) return Fail(st);
 
   serve::LineServer server(service->get());
   const int port = flags.GetInt("port");
@@ -131,16 +186,26 @@ int Run(int argc, char** argv) {
     std::cout << "listening on 127.0.0.1:" << server.tcp_port() << std::endl;
   }
   if (flags.GetBool("stdio")) {
-    if (auto st = server.ServeStdio(std::cin, std::cout); !st.ok()) {
+    if (auto st = server.ServeFd(STDIN_FILENO, std::cout, g_stop_pipe[0]);
+        !st.ok()) {
       return Fail(st);
     }
   } else if (port >= 0) {
-    server.WaitTcp();
+    // Block until SIGINT/SIGTERM taps the self-pipe.
+    char byte;
+    while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
   } else {
     return Fail(Status::InvalidArgument(
         "--nostdio without --port leaves nothing to serve"));
   }
+  // Graceful drain: answer in-flight TCP requests, then flush the batcher
+  // and make everything in the WALs durable before exiting 0.
   server.StopTcp();
+  if (auto st = (*service)->SyncDurable(); !st.ok()) {
+    std::cerr << "warning: final WAL sync failed: " << st << "\n";
+  }
+  std::cerr << "shutdown complete\n";
   return 0;
 }
 
