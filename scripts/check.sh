@@ -5,11 +5,16 @@
 # (all via WEBER_SANITIZE).
 #
 # Usage: scripts/check.sh
-#          [--normal-only|--sanitize-only|--tsan-only|--crash-only]
+#          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
+#           --overload-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
 # cycles through weber_crashtest.
+#
+# --overload-only: the overload-protection suite under ASan/UBSan — the
+# deadline/breaker/admission unit tests plus the serve_overload_smoke
+# latency-chaos storm (baseline -> open-loop overload -> recovery).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,7 +25,7 @@ MODE="${1:-all}"
 # The concurrent subsystems exercised under TSan: the serving layer
 # (service, server, cache, batcher), the shared executor pool, and the
 # incremental resolver the serving hot path drives.
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental'
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload'
 
 run_suite() {
   local dir="$1"; shift
@@ -47,6 +52,15 @@ if [[ "$MODE" == "--crash-only" ]]; then
       --data_dir="$scratch/store" --cycles=20 --seed="$seed"
   done
   echo "==> crash checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--overload-only" ]]; then
+  echo "==> overload-protection suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|Overload|Deadline|TrySubmit|Jitter|Oversized|serve_overload_smoke'
+  echo "==> overload checks passed"
   exit 0
 fi
 

@@ -5,7 +5,8 @@
 
 namespace weber {
 
-Executor::Executor(int num_threads) {
+Executor::Executor(int num_threads, size_t queue_cap)
+    : queue_cap_(queue_cap) {
   const int n = std::max(1, num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -27,6 +28,22 @@ std::future<void> Executor::Submit(std::function<void()> task) {
   std::future<void> done = wrapped.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(wrapped));
+  }
+  work_available_.notify_one();
+  return done;
+}
+
+Result<std::future<void>> Executor::TrySubmit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> done = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_cap_ > 0 && queue_.size() >= queue_cap_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("executor queue full (", queue_.size(),
+                                 " of ", queue_cap_, " tasks waiting)");
+    }
     queue_.push_back(std::move(wrapped));
   }
   work_available_.notify_one();

@@ -6,13 +6,17 @@
 #ifndef WEBER_COMMON_EXECUTOR_H_
 #define WEBER_COMMON_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/result.h"
 
 namespace weber {
 
@@ -27,8 +31,10 @@ namespace weber {
 /// The destructor finishes every task already submitted, then joins.
 class Executor {
  public:
-  /// Spawns `num_threads` workers (clamped to >= 1).
-  explicit Executor(int num_threads);
+  /// Spawns `num_threads` workers (clamped to >= 1). With `queue_cap` > 0,
+  /// TrySubmit rejects once that many tasks are waiting (admission
+  /// control); Submit itself stays unbounded.
+  explicit Executor(int num_threads, size_t queue_cap = 0);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -37,6 +43,20 @@ class Executor {
   /// Enqueues a task; the future resolves when it has run. Tasks must not
   /// throw (the library communicates failure via Status, not exceptions).
   std::future<void> Submit(std::function<void()> task);
+
+  /// As Submit, but subject to the queue cap: when `queue_cap` tasks are
+  /// already waiting the task is rejected immediately with Unavailable
+  /// instead of queueing without bound — the caller sheds load (or answers
+  /// OVERLOADED) rather than hiding it in latency. With no cap configured
+  /// this is exactly Submit.
+  Result<std::future<void>> TrySubmit(std::function<void()> task);
+
+  /// Tasks rejected by TrySubmit since construction.
+  long long rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  size_t queue_cap() const { return queue_cap_; }
 
   /// Runs fn(i) for every i in [0, n) across the pool and blocks until all
   /// calls return. The calling thread also works, so this is safe to call
@@ -55,6 +75,8 @@ class Executor {
   std::condition_variable work_available_;
   std::deque<std::packaged_task<void()>> queue_;
   bool shutting_down_ = false;
+  size_t queue_cap_ = 0;
+  std::atomic<long long> rejected_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -80,7 +80,8 @@ std::vector<std::string> FaultInjector::ArmedPoints() const {
   return names;
 }
 
-bool FaultInjector::Roll(const char* point, FaultConfig* fired) {
+bool FaultInjector::Roll(const char* point, FaultConfig* fired,
+                         double* jitter_unit) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return false;
@@ -92,18 +93,29 @@ bool FaultInjector::Roll(const char* point, FaultConfig* fired) {
   if (NextDouble(&state.rng_state) >= state.config.probability) return false;
   ++state.triggers;
   *fired = state.config;
+  // The extra draw happens only for jitter faults so the trigger streams of
+  // every other kind stay bit-identical to what they were before jitter
+  // existed (seeded chaos runs must not shift).
+  if (jitter_unit != nullptr && fired->kind == FaultKind::kJitter) {
+    *jitter_unit = NextDouble(&state.rng_state);
+  }
   return true;
 }
 
 Status FaultInjector::CheckFail(const char* point) {
   FaultConfig fired;
-  if (!Roll(point, &fired)) return Status::OK();
+  double jitter_unit = 0.0;
+  if (!Roll(point, &fired, &jitter_unit)) return Status::OK();
   switch (fired.kind) {
     case FaultKind::kError:
       return Status(fired.code, std::string("injected fault at ") + point);
     case FaultKind::kLatency:
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           fired.param));
+      return Status::OK();
+    case FaultKind::kJitter:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          jitter_unit * fired.param));
       return Status::OK();
     default:
       // Value-corruption kinds do not apply to a fail-check site.
@@ -113,7 +125,8 @@ Status FaultInjector::CheckFail(const char* point) {
 
 bool FaultInjector::CheckCorrupt(const char* point, double* value) {
   FaultConfig fired;
-  if (!Roll(point, &fired)) return false;
+  double jitter_unit = 0.0;
+  if (!Roll(point, &fired, &jitter_unit)) return false;
   switch (fired.kind) {
     case FaultKind::kNaN:
       *value = std::numeric_limits<double>::quiet_NaN();
@@ -130,6 +143,10 @@ bool FaultInjector::CheckCorrupt(const char* point, double* value) {
     case FaultKind::kLatency:
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           fired.param));
+      return false;
+    case FaultKind::kJitter:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          jitter_unit * fired.param));
       return false;
     default:
       return false;
@@ -170,11 +187,14 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
     } else if (kind == "latency") {
       config.kind = FaultKind::kLatency;
       config.param = 1.0;
+    } else if (kind == "jitter") {
+      config.kind = FaultKind::kJitter;
+      config.param = 1.0;
     } else {
       return Status::InvalidArgument(
           "unknown fault kind '", kind,
           "' (error | ioerror | corruption | nan | posinf | neginf | oor |"
-          " latency)");
+          " latency | jitter)");
     }
     if (fields.size() > 1 && !TrimWhitespace(fields[1]).empty()) {
       if (!ParseDouble(fields[1], &config.probability) ||

@@ -53,6 +53,7 @@ enum class FaultKind : int {
   kNegInf = 3,      ///< corrupt a value to -infinity
   kOutOfRange = 4,  ///< corrupt a value to `param` (default 2.0, outside [0,1])
   kLatency = 5,     ///< sleep `param` milliseconds, then succeed
+  kJitter = 6,      ///< sleep uniform-random [0, `param`) ms, then succeed
 };
 
 struct FaultConfig {
@@ -60,6 +61,7 @@ struct FaultConfig {
   /// Per-check trigger probability in [0, 1].
   double probability = 1.0;
   /// kOutOfRange: the injected value. kLatency: the delay in milliseconds.
+  /// kJitter: the upper bound of the uniform delay in milliseconds.
   double param = 2.0;
   /// Status code returned by kError faults.
   StatusCode code = StatusCode::kIOError;
@@ -90,7 +92,8 @@ class FaultInjector {
   ///   point=kind[:probability[:param[:max_triggers]]](;point=...)*
   ///
   /// with kind in {error, ioerror, corruption, nan, posinf, neginf, oor,
-  /// latency} ("ioerror"/"corruption" are kError with that status code).
+  /// latency, jitter} ("ioerror"/"corruption" are kError with that status
+  /// code; "latency" sleeps param ms, "jitter" sleeps uniform [0,param) ms).
   /// Example: "similarity.compute=nan:0.05;dataset_io.read=error:1:0:2".
   Status ArmFromSpec(const std::string& spec);
 
@@ -117,7 +120,10 @@ class FaultInjector {
   };
 
   /// Rolls the point's dice under the lock; returns the config if it fired.
-  bool Roll(const char* point, FaultConfig* fired);
+  /// For kJitter faults, `jitter_unit` receives an extra uniform [0,1) draw
+  /// from the point's stream (the sleep fraction), so jittered delays are
+  /// as reproducible as the trigger sequence itself.
+  bool Roll(const char* point, FaultConfig* fired, double* jitter_unit);
 
   mutable std::mutex mu_;
   std::map<std::string, PointState> points_;
@@ -126,8 +132,8 @@ class FaultInjector {
 };
 
 /// Returns a non-OK Status when the named point is armed with kError and
-/// triggers; sleeps and returns OK for kLatency. OK (and near-free) when
-/// nothing is armed.
+/// triggers; sleeps and returns OK for kLatency/kJitter. OK (and
+/// near-free) when nothing is armed.
 inline Status MaybeFail(const char* point) {
   FaultInjector& fi = FaultInjector::Instance();
   if (!fi.AnyArmed()) return Status::OK();

@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -50,6 +54,10 @@ int ExitCodeForStatus(StatusCode code) {
       return 9;
     case StatusCode::kInternal:
       return 10;
+    case StatusCode::kDeadlineExceeded:
+      return 11;
+    case StatusCode::kUnavailable:
+      return 12;
   }
   return 1;
 }

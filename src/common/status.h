@@ -26,6 +26,8 @@ enum class StatusCode : int {
   kCorruption = 7,
   kNotImplemented = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -35,8 +37,9 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Stable process exit code for a status code, so scripted CLI callers can
 /// branch on the failure class: 0=OK, 2=InvalidArgument, 3=IOError,
 /// 4=Corruption, 5=NotFound, 6=FailedPrecondition, 7=OutOfRange,
-/// 8=AlreadyExists, 9=NotImplemented, 10=Internal. (1 is reserved for
-/// failures outside the Status taxonomy.)
+/// 8=AlreadyExists, 9=NotImplemented, 10=Internal, 11=DeadlineExceeded,
+/// 12=Unavailable. (1 is reserved for failures outside the Status
+/// taxonomy.)
 int ExitCodeForStatus(StatusCode code);
 
 /// Outcome of an operation: a code plus an explanatory message.
@@ -104,6 +107,17 @@ class Status {
   template <typename... Args>
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  /// The operation's deadline passed before (or while) it ran.
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  /// The service is overloaded or a breaker is open; retrying later is safe
+  /// because the request was rejected before any state changed.
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
   }
 
   bool operator==(const Status& other) const {

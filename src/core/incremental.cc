@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "graph/components.h"
 #include "ml/threshold.h"
 
@@ -107,13 +108,22 @@ int IncrementalResolver::Add(extract::FeatureBundle bundle) {
   return best_cluster;
 }
 
-Result<graph::Clustering> IncrementalResolver::BatchResolve() const {
+Result<graph::Clustering> IncrementalResolver::BatchResolve(
+    double deadline_ms) const {
   if (!calibrated_) {
     return Status::FailedPrecondition("BatchResolve: not calibrated");
   }
   const int n = next_document_;
+  WallTimer timer;
   std::vector<std::pair<int, int>> edges;
   for (int a = 0; a < n; ++a) {
+    // Cooperative deadline check once per row: cheap relative to the O(n)
+    // scores the row costs, and a blown budget stops before the next row.
+    if (deadline_ms > 0.0 && timer.ElapsedMillis() > deadline_ms) {
+      return Status::DeadlineExceeded("BatchResolve: deadline of ",
+                                      deadline_ms, " ms hit after ", a,
+                                      " of ", n, " rows");
+    }
     for (int b = a + 1; b < n; ++b) {
       if (MatchScoreIndexed(a, b) >= threshold_) edges.push_back({a, b});
     }

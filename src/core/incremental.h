@@ -76,7 +76,12 @@ class IncrementalResolver {
   /// greedy Add path, the result is invariant to arrival order, which is
   /// what makes it a fixed point for concurrent serving: any interleaving
   /// of the same document set batch-resolves to the same partition.
-  Result<graph::Clustering> BatchResolve() const;
+  ///
+  /// `deadline_ms` is a soft wall-clock budget with the same semantics as
+  /// ResolverOptions::deadline_ms: checked cooperatively between pair-score
+  /// rows, and on expiry the call returns DeadlineExceeded instead of a
+  /// partial partition (a batch result is only useful whole). 0 disables.
+  Result<graph::Clustering> BatchResolve(double deadline_ms = 0.0) const;
 
   /// Replaces the current partition with an externally computed one (e.g.
   /// the published result of BatchResolve) over the same documents. The

@@ -25,6 +25,10 @@ namespace serve {
 struct BatcherOptions {
   size_t max_batch_size = 16;
   double max_delay_ms = 2.0;
+  /// Admission cap: with a nonzero value, TrySubmit rejects once this many
+  /// requests are parked waiting for a flush. 0 = unbounded (Submit
+  /// semantics).
+  size_t max_pending = 0;
 };
 
 /// Single-consumer micro-batcher. The flush callback runs on the batcher's
@@ -65,6 +69,25 @@ class MicroBatcher {
     wake_.notify_all();
   }
 
+  /// As Submit, but bounded: returns false (request untouched, nothing
+  /// enqueued) when `max_pending` requests are already parked. Callers shed
+  /// the request instead of queueing without bound. Always succeeds when no
+  /// cap is configured.
+  bool TrySubmit(Request& request) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (options_.max_pending > 0 &&
+          pending_.size() >= options_.max_pending) {
+        ++rejected_;
+        return false;
+      }
+      if (pending_.empty()) batch_started_ = Clock::now();
+      pending_.push_back(std::move(request));
+    }
+    wake_.notify_all();
+    return true;
+  }
+
   long long batches_flushed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return batches_flushed_;
@@ -72,6 +95,16 @@ class MicroBatcher {
   long long requests_flushed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return requests_flushed_;
+  }
+  /// Requests rejected by TrySubmit at the cap.
+  long long rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+  /// Requests currently parked (diagnostics; racy by nature).
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
   }
 
  private:
@@ -129,6 +162,7 @@ class MicroBatcher {
   bool shutting_down_ = false;
   long long batches_flushed_ = 0;
   long long requests_flushed_ = 0;
+  long long rejected_ = 0;
 
   std::thread flusher_;  // last member: started after state is ready
 };

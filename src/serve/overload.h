@@ -1,0 +1,194 @@
+// Overload-protection primitives for the serving stack (see DESIGN.md,
+// "Overload & admission control").
+//
+//   * RequestDeadline — an absolute per-request deadline, stamped when the
+//     request is parsed and threaded through batcher, service and
+//     compaction so work that can no longer meet it is abandoned early.
+//   * CircuitBreaker — a per-shard closed / open / half-open write gate.
+//     Consecutive write failures (or deadline blowouts) trip it open; while
+//     open, writes are rejected immediately with a retry hint and reads
+//     keep serving the last published snapshot. After a cooldown one probe
+//     write is admitted: success closes the breaker, failure re-opens it.
+//
+// Both are deliberately tiny and self-contained so they can be unit-tested
+// without a service behind them.
+
+#ifndef WEBER_SERVE_OVERLOAD_H_
+#define WEBER_SERVE_OVERLOAD_H_
+
+#include <chrono>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace weber {
+namespace serve {
+
+/// Absolute deadline of one request. Default-constructed = no deadline
+/// (every check passes), so un-deadlined traffic costs two branch checks.
+class RequestDeadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RequestDeadline() = default;
+
+  /// A deadline `ms` milliseconds from now (ms <= 0 = no deadline).
+  static RequestDeadline In(double ms) {
+    RequestDeadline d;
+    if (ms > 0.0) {
+      d.has_ = true;
+      d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  bool has_deadline() const { return has_; }
+
+  bool Expired() const { return has_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry (0 when expired; a large value when no
+  /// deadline is set, so "remaining budget" comparisons stay simple).
+  double RemainingMs() const {
+    if (!has_) return 1e18;
+    const auto left = at_ - Clock::now();
+    return left.count() <= 0
+               ? 0.0
+               : std::chrono::duration<double, std::milli>(left).count();
+  }
+
+ private:
+  bool has_ = false;
+  Clock::time_point at_{};
+};
+
+/// Per-shard circuit breaker over the write path. Thread-safe; disabled
+/// (always admits) when failure_threshold == 0.
+///
+/// State machine:
+///
+///   closed --[threshold consecutive failures]--> open
+///   open   --[cooldown elapsed, next Admit]----> half-open (one probe)
+///   half-open --[probe succeeds]--> closed   (a recovery)
+///   half-open --[probe fails]----> open      (a fresh trip + cooldown)
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures that trip the breaker (0 disables it).
+    int failure_threshold = 0;
+    /// How long the breaker stays open before admitting a probe.
+    double cooldown_ms = 1000.0;
+  };
+
+  enum class State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// Replaces the options. Only safe before the breaker is shared across
+  /// threads (no synchronization against concurrent Admit/Record calls).
+  void Configure(Options options) { options_ = options; }
+
+  /// Gate for one write. OK = proceed (and report the outcome via
+  /// RecordSuccess/RecordFailure); Unavailable = shed the request. At most
+  /// one caller at a time is admitted while half-open (the probe).
+  Status Admit() {
+    if (options_.failure_threshold <= 0) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return Status::OK();
+      case State::kOpen: {
+        if (Clock::now() < reopen_at_) {
+          return Status::Unavailable("circuit breaker open");
+        }
+        state_ = State::kHalfOpen;
+        probe_inflight_ = true;
+        return Status::OK();
+      }
+      case State::kHalfOpen:
+        if (probe_inflight_) {
+          return Status::Unavailable("circuit breaker half-open (probing)");
+        }
+        probe_inflight_ = true;
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  void RecordSuccess() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    if (state_ == State::kHalfOpen) {
+      state_ = State::kClosed;
+      probe_inflight_ = false;
+      ++recoveries_;
+    }
+  }
+
+  void RecordFailure() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      // The probe failed: back to a full cooldown.
+      probe_inflight_ = false;
+      Trip();
+      return;
+    }
+    if (state_ == State::kOpen) return;  // failures while open change nothing
+    if (++consecutive_failures_ >= options_.failure_threshold) Trip();
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  long long trips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+  }
+  long long recoveries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recoveries_;
+  }
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void Trip() {  // requires mu_
+    state_ = State::kOpen;
+    consecutive_failures_ = 0;
+    ++trips_;
+    reopen_at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double, std::milli>(
+                                        options_.cooldown_ms));
+  }
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_inflight_ = false;
+  long long trips_ = 0;
+  long long recoveries_ = 0;
+  Clock::time_point reopen_at_{};
+};
+
+inline const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace serve
+}  // namespace weber
+
+#endif  // WEBER_SERVE_OVERLOAD_H_

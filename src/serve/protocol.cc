@@ -1,6 +1,9 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
+#include <cctype>
 #include <charconv>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -19,19 +22,60 @@ Result<int> ParseDoc(const std::string& token) {
   return value;
 }
 
+bool IsDeadlineToken(const std::string& token) {
+  if (token.size() != 8) return false;
+  const char* expect = "deadline";
+  for (size_t i = 0; i < 8; ++i) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(token[i])));
+    if (c != expect[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Request> ParseRequest(const std::string& line) {
-  const std::vector<std::string> tokens = SplitWhitespace(line);
+  if (line.size() > kMaxRequestLineBytes) {
+    return Status::InvalidArgument("request line of ", line.size(),
+                                   " bytes exceeds the ",
+                                   kMaxRequestLineBytes, "-byte cap");
+  }
+  if (line.find('\0') != std::string::npos) {
+    return Status::InvalidArgument("request line contains a NUL byte");
+  }
+  std::vector<std::string> tokens = SplitWhitespace(line);
   if (tokens.empty()) {
     return Status::InvalidArgument("empty request");
   }
-  const std::string& verb = tokens[0];
   Request request;
+  // Peel an optional trailing "deadline <ms>" pair off before the verb
+  // arity checks, so every deadline-capable verb gets it for free.
+  if (tokens.size() >= 2 && IsDeadlineToken(tokens[tokens.size() - 2])) {
+    double ms = 0.0;
+    if (!ParseDouble(tokens.back(), &ms) || ms <= 0.0) {
+      return Status::InvalidArgument("bad deadline '", tokens.back(),
+                                     "' (want a positive millisecond count)");
+    }
+    request.deadline_ms = ms;
+    tokens.resize(tokens.size() - 2);
+    if (tokens.empty()) {
+      return Status::InvalidArgument("deadline without a request");
+    }
+  }
+  const std::string& verb = tokens[0];
   auto need = [&](size_t n) -> Status {
     if (tokens.size() != n) {
       return Status::InvalidArgument("'", verb, "' expects ", n - 1,
                                      " argument(s), got ", tokens.size() - 1);
+    }
+    return Status::OK();
+  };
+  // Only verbs that do work accept a deadline; control verbs reject it so
+  // a typo'd request fails loudly instead of silently dropping the token.
+  auto no_deadline = [&]() -> Status {
+    if (request.deadline_ms > 0.0) {
+      return Status::InvalidArgument("'", verb, "' does not take a deadline");
     }
     return Status::OK();
   };
@@ -54,22 +98,26 @@ Result<Request> ParseRequest(const std::string& line) {
     return request;
   }
   if (verb == "dump") {
+    WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(2));
     request.op = Request::Op::kDump;
     request.block = tokens[1];
     return request;
   }
   if (verb == "stats") {
+    WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(1));
     request.op = Request::Op::kStats;
     return request;
   }
   if (verb == "ping") {
+    WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(1));
     request.op = Request::Op::kPing;
     return request;
   }
   if (verb == "quit") {
+    WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(1));
     request.op = Request::Op::kQuit;
     return request;
@@ -87,6 +135,25 @@ std::string FormatError(const Status& status) {
   out += ' ';
   out += message;
   return out;
+}
+
+std::string FormatOverloaded(double retry_after_ms) {
+  const long long ms = std::max(
+      1ll, static_cast<long long>(std::llround(retry_after_ms)));
+  return "OVERLOADED " + std::to_string(ms);
+}
+
+std::string FormatDeadlineExceeded() { return "DEADLINE_EXCEEDED"; }
+
+std::string FormatFailure(const Status& status, double retry_after_ms) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      return FormatOverloaded(retry_after_ms);
+    case StatusCode::kDeadlineExceeded:
+      return FormatDeadlineExceeded();
+    default:
+      return FormatError(status);
+  }
 }
 
 }  // namespace serve

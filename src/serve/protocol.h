@@ -12,17 +12,32 @@
 //   ping                    liveness check
 //   quit                    close the connection / stop the stdio loop
 //
+// assign/query/compact accept an optional trailing "deadline <ms>" pair
+// (the token is case-insensitive, so "DEADLINE 50" also parses): the
+// client's per-request latency budget, measured from parse time. Work
+// that cannot finish inside the budget is abandoned and answered with
+// DEADLINE_EXCEEDED.
+//
 // Responses (one line per request):
 //
 //   ok [fields...]          assign/query: "ok <cluster> <version>";
 //                           compact: "ok <version>"; dump: "ok <n>
 //                           <doc>:<label> ..."; stats: "ok <json>"
+//   OVERLOADED <ms>         the request was shed before any state changed
+//                           (queue cap, connection cap, or open breaker);
+//                           retrying after <ms> milliseconds is safe
+//   DEADLINE_EXCEEDED       the request's deadline passed; assigns are
+//                           idempotent, so a re-send with a fresh deadline
+//                           is safe
 //   err <code> <message>    <code> is the StatusCode name; message has
 //                           newlines stripped
 //
 // The grammar is line-oriented on purpose: it works identically over
 // stdin/stdout and a TCP byte stream, and a load generator can pipeline
-// requests without framing logic.
+// requests without framing logic. Request lines are capped at
+// kMaxRequestLineBytes — longer (or NUL-carrying) lines are rejected with
+// InvalidArgument instead of growing an unbounded buffer for a malicious
+// or broken client.
 
 #ifndef WEBER_SERVE_PROTOCOL_H_
 #define WEBER_SERVE_PROTOCOL_H_
@@ -33,6 +48,10 @@
 
 namespace weber {
 namespace serve {
+
+/// Hard cap on one request line. Every legal request fits in a fraction of
+/// this; anything longer is an attack or a framing bug, not traffic.
+inline constexpr size_t kMaxRequestLineBytes = 4096;
 
 struct Request {
   enum class Op {
@@ -49,14 +68,29 @@ struct Request {
   Op op = Op::kPing;
   std::string block;
   int doc = -1;
+  /// Client latency budget from the optional "deadline <ms>" suffix
+  /// (0 = none given).
+  double deadline_ms = 0.0;
 };
 
 /// Parses one request line. Returns InvalidArgument for unknown verbs,
-/// missing arguments, or a non-numeric document id.
+/// missing arguments, a non-numeric document id, an oversized line, an
+/// embedded NUL, or a malformed deadline suffix.
 Result<Request> ParseRequest(const std::string& line);
 
 /// Formats an error response ("err <code> <message>", single line).
 std::string FormatError(const Status& status);
+
+/// Shed response: "OVERLOADED <retry-after-ms>".
+std::string FormatOverloaded(double retry_after_ms);
+
+/// Expired response: "DEADLINE_EXCEEDED".
+std::string FormatDeadlineExceeded();
+
+/// Maps a failure Status to its wire line: kUnavailable becomes
+/// "OVERLOADED <retry_after_ms>", kDeadlineExceeded becomes
+/// "DEADLINE_EXCEEDED", everything else "err <code> <message>".
+std::string FormatFailure(const Status& status, double retry_after_ms);
 
 }  // namespace serve
 }  // namespace weber

@@ -112,6 +112,12 @@ struct ResolutionService::Shard {
   std::atomic<int> assigns_since_compact{0};
   std::atomic<bool> compaction_inflight{false};
 
+  /// Writes admitted but not yet finished (only maintained when a
+  /// max_pending_per_shard budget is configured).
+  std::atomic<int> pending{0};
+  /// Write-path gate; configured (or left disabled) in Create.
+  CircuitBreaker breaker;
+
   /// Durable storage (WAL + snapshots); null when durability is disabled.
   /// Appends happen under `mu`; ShardLog is itself thread-safe, so Sync()
   /// may be called without it.
@@ -121,6 +127,7 @@ struct ResolutionService::Shard {
 struct ResolutionService::PendingAssign {
   Shard* shard = nullptr;
   int doc = -1;
+  RequestDeadline deadline;
   std::promise<Result<AssignResult>> promise;
 };
 
@@ -214,6 +221,8 @@ Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
       }
     }
     shard->assigned.assign(shard->bundles.size(), 0);
+    shard->breaker.Configure({options.overload.breaker_failure_threshold,
+                              options.overload.breaker_cooldown_ms});
 
     WEBER_ASSIGN_OR_RETURN(auto resolver, core::IncrementalResolver::Create(
                                               options.incremental));
@@ -254,11 +263,15 @@ Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
     service->shards_.push_back(std::move(shard));
   }
 
-  service->compaction_pool_ =
-      std::make_unique<Executor>(options.compaction_threads);
+  service->compaction_pool_ = std::make_unique<Executor>(
+      options.compaction_threads, options.overload.executor_queue_cap);
+  BatcherOptions batcher_options = options.batcher;
+  if (options.overload.batcher_queue_cap > 0) {
+    batcher_options.max_pending = options.overload.batcher_queue_cap;
+  }
   ResolutionService* raw = service.get();
   service->batcher_ = std::make_unique<MicroBatcher<PendingAssign>>(
-      options.batcher, [raw](std::vector<PendingAssign> batch) {
+      batcher_options, [raw](std::vector<PendingAssign> batch) {
         raw->ProcessAssignBatch(std::move(batch));
       });
   return service;
@@ -437,13 +450,89 @@ Result<double> ResolutionService::ShardThreshold(
 }
 
 // ---------------------------------------------------------------------------
+// Overload admission (see DESIGN.md, "Overload & admission control")
+
+RequestDeadline ResolutionService::EffectiveDeadline(
+    RequestDeadline deadline) const {
+  if (!deadline.has_deadline() && options_.overload.default_deadline_ms > 0) {
+    return RequestDeadline::In(options_.overload.default_deadline_ms);
+  }
+  return deadline;
+}
+
+Status ResolutionService::AdmitWrite(Shard* shard,
+                                     const RequestDeadline& deadline) {
+  if (deadline.Expired()) {
+    // Answered without doing the work, but still a deadline blowout the
+    // breaker must see — that keeps breaker behavior identical whether the
+    // budget dies before admission or after fault-injected latency.
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    shard->breaker.RecordFailure();
+    return Status::DeadlineExceeded("deadline expired before admission to ",
+                                    "shard '", shard->name, "'");
+  }
+  const int cap = options_.overload.max_pending_per_shard;
+  if (cap > 0) {
+    int current = shard->pending.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= cap) {
+        budget_sheds_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("shard '", shard->name, "' already has ",
+                                   current, " pending writes (cap ", cap, ")");
+      }
+      if (shard->pending.compare_exchange_weak(current, current + 1,
+                                               std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+  if (Status st = shard->breaker.Admit(); !st.ok()) {
+    if (cap > 0) shard->pending.fetch_sub(1, std::memory_order_relaxed);
+    breaker_sheds_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  return Status::OK();
+}
+
+void ResolutionService::FinishWrite(Shard* shard, const Status& outcome) {
+  if (options_.overload.max_pending_per_shard > 0) {
+    shard->pending.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (outcome.ok()) {
+    shard->breaker.RecordSuccess();
+    return;
+  }
+  if (outcome.code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Every admitted write must resolve the breaker's bookkeeping (a
+  // half-open probe in particular), so any failure — including a shed
+  // between admission and parking — counts as a breaker failure.
+  shard->breaker.RecordFailure();
+}
+
+bool ResolutionService::OverloadConfigured() const {
+  const ServiceOptions::Overload& o = options_.overload;
+  return o.executor_queue_cap > 0 || o.batcher_queue_cap > 0 ||
+         o.max_pending_per_shard > 0 || o.default_deadline_ms > 0 ||
+         o.breaker_failure_threshold > 0;
+}
+
+// ---------------------------------------------------------------------------
 // Assignment (hot write path)
 
-Result<AssignResult> ResolutionService::AssignLocked(Shard* shard, int doc) {
+Result<AssignResult> ResolutionService::AssignLocked(
+    Shard* shard, int doc, const RequestDeadline& deadline) {
   if (doc < 0 || doc >= static_cast<int>(shard->bundles.size())) {
     return Status::InvalidArgument("Assign: document ", doc,
                                    " out of range for block '", shard->name,
                                    "'");
+  }
+  if (deadline.Expired()) {
+    // Typically a request that expired while parked in the micro-batcher
+    // or waiting on the shard lock: answer before any work or mutation.
+    return Status::DeadlineExceeded("Assign: deadline expired while queued ",
+                                    "for shard '", shard->name, "'");
   }
   if (Status st = faults::MaybeFail("serve.assign"); !st.ok()) {
     failed_assigns_.fetch_add(1, std::memory_order_relaxed);
@@ -465,6 +554,13 @@ Result<AssignResult> ResolutionService::AssignLocked(Shard* shard, int doc) {
     for (size_t c = 0; c < clusters.size(); ++c) {
       for (int member : clusters[c]) {
         if (member == arrival) {
+          if (deadline.Expired()) {
+            // Fault-injected latency (or real stall) blew the budget after
+            // the lookup; the answer is stale by the client's own measure.
+            return Status::DeadlineExceeded(
+                "Assign: completed past the deadline on shard '", shard->name,
+                "' (idempotent; retrying is safe)");
+          }
           result.cluster = static_cast<int>(c);
           return result;
         }
@@ -491,19 +587,31 @@ Result<AssignResult> ResolutionService::AssignLocked(Shard* shard, int doc) {
   }
   assigns_.fetch_add(1, std::memory_order_relaxed);
   shard->assigns_since_compact.fetch_add(1, std::memory_order_relaxed);
+  if (deadline.Expired()) {
+    // The work ran past the client's budget (e.g. fault-injected latency).
+    // The assignment stands — it is WAL-logged and idempotent — but the
+    // client is told the truth so it can retry with a fresh deadline.
+    return Status::DeadlineExceeded(
+        "Assign: completed past the deadline on shard '", shard->name,
+        "' (the assignment stands; retrying is safe)");
+  }
   return result;
 }
 
 Result<AssignResult> ResolutionService::Assign(const std::string& block,
-                                               int doc) {
+                                               int doc,
+                                               RequestDeadline deadline) {
   WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  deadline = EffectiveDeadline(deadline);
+  WEBER_RETURN_NOT_OK(AdmitWrite(shard, deadline));
   WallTimer timer;
   Result<AssignResult> result = Status::Internal("unset");
   {
     std::lock_guard<std::mutex> lock(shard->mu);
-    result = AssignLocked(shard, doc);
+    result = AssignLocked(shard, doc, deadline);
   }
   assign_latency_->Record(timer.ElapsedMillis());
+  FinishWrite(shard, result.status());
   if (result.ok() && options_.compact_every > 0 &&
       shard->assigns_since_compact.load(std::memory_order_relaxed) >=
           options_.compact_every) {
@@ -513,7 +621,7 @@ Result<AssignResult> ResolutionService::Assign(const std::string& block,
 }
 
 std::future<Result<AssignResult>> ResolutionService::AssignAsync(
-    const std::string& block, int doc) {
+    const std::string& block, int doc, RequestDeadline deadline) {
   PendingAssign pending;
   pending.doc = doc;
   std::future<Result<AssignResult>> future = pending.promise.get_future();
@@ -523,7 +631,22 @@ std::future<Result<AssignResult>> ResolutionService::AssignAsync(
     return future;
   }
   pending.shard = *shard;
-  batcher_->Submit(std::move(pending));
+  pending.deadline = EffectiveDeadline(deadline);
+  if (Status st = AdmitWrite(*shard, pending.deadline); !st.ok()) {
+    pending.promise.set_value(st);
+    return future;
+  }
+  if (options_.overload.batcher_queue_cap > 0) {
+    if (!batcher_->TrySubmit(pending)) {
+      Status shed = Status::Unavailable(
+          "assign queue full (", batcher_->pending(), " parked)");
+      FinishWrite(*shard, shed);
+      pending.promise.set_value(shed);
+      return future;
+    }
+  } else {
+    batcher_->Submit(std::move(pending));
+  }
   return future;
 }
 
@@ -541,7 +664,11 @@ void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
       WallTimer timer;
       for (size_t j = i; j < batch.size(); ++j) {
         if (batch[j].shard != shard) continue;
-        results.emplace_back(j, AssignLocked(shard, batch[j].doc));
+        // AssignLocked re-checks the deadline on entry, so a request that
+        // expired while parked in the batcher is answered without work.
+        results.emplace_back(j,
+                             AssignLocked(shard, batch[j].doc,
+                                          batch[j].deadline));
         batch[j].shard = nullptr;  // mark handled
       }
       assign_latency_->Record(timer.ElapsedMillis());
@@ -556,8 +683,10 @@ void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
     for (auto& [j, result] : results) {
       if (!synced.ok() && result.ok()) {
         failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+        FinishWrite(shard, synced);
         batch[j].promise.set_value(synced);
       } else {
+        FinishWrite(shard, result.status());
         batch[j].promise.set_value(std::move(result));
       }
     }
@@ -598,11 +727,20 @@ double ResolutionService::ScorePairCached(const Shard& shard, int canon_a,
 }
 
 Result<QueryResult> ResolutionService::Query(const std::string& block,
-                                             int doc) const {
+                                             int doc,
+                                             RequestDeadline deadline) const {
   WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
   if (doc < 0 || doc >= static_cast<int>(shard->bundles.size())) {
     return Status::InvalidArgument("Query: document ", doc,
                                    " out of range for block '", block, "'");
+  }
+  deadline = EffectiveDeadline(deadline);
+  if (deadline.Expired()) {
+    // Reads skip the breaker and the budget — they are lock-free and cheap
+    // — but an already-dead request is not worth even that much.
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("Query: deadline expired before ",
+                                    "execution on shard '", block, "'");
   }
   WallTimer timer;
   std::shared_ptr<const ResolverSnapshot> snap =
@@ -646,7 +784,8 @@ Result<QueryResult> ResolutionService::Query(const std::string& block,
 // ---------------------------------------------------------------------------
 // Compaction (background batch re-resolution + snapshot swap)
 
-Status ResolutionService::CompactShard(Shard* shard) {
+Status ResolutionService::CompactShard(Shard* shard,
+                                       const RequestDeadline& deadline) {
   WallTimer timer;
   // Phase 1 — copy the live arrival state under the lock. Bundles are
   // immutable, so only the id mapping and threshold need the lock.
@@ -665,6 +804,16 @@ Status ResolutionService::CompactShard(Shard* shard) {
   // order-invariant, so any arrival interleaving converges here.
   std::vector<std::pair<int, int>> edges;
   for (int a = 0; a < n; ++a) {
+    // Cooperative deadline check per row, mirroring BatchResolve: a
+    // compaction that cannot finish in budget is abandoned before it
+    // publishes anything, so the shard keeps its previous snapshot.
+    if (deadline.Expired()) {
+      failed_compactions_.fetch_add(1, std::memory_order_relaxed);
+      compact_latency_->Record(timer.ElapsedMillis());
+      return Status::DeadlineExceeded("Compact: deadline hit after ", a,
+                                      " of ", n, " rows on shard '",
+                                      shard->name, "'");
+    }
     for (int b = a + 1; b < n; ++b) {
       if (ScorePairCached(*shard, canonical[a], canonical[b]) >= threshold) {
         edges.push_back({a, b});
@@ -679,6 +828,17 @@ Status ResolutionService::CompactShard(Shard* shard) {
     failed_compactions_.fetch_add(1, std::memory_order_relaxed);
     compact_latency_->Record(timer.ElapsedMillis());
     return st;
+  }
+  if (deadline.Expired()) {
+    // Injected latency (or a real stall) ran the budget out after the
+    // scoring pass; publishing a result the client has given up on would
+    // still be correct, but answering the truth keeps deadline semantics
+    // uniform: nothing a DEADLINE_EXCEEDED response covers was published.
+    failed_compactions_.fetch_add(1, std::memory_order_relaxed);
+    compact_latency_->Record(timer.ElapsedMillis());
+    return Status::DeadlineExceeded(
+        "Compact: deadline passed before publication on shard '", shard->name,
+        "'");
   }
 
   auto snapshot = std::make_shared<ResolverSnapshot>();
@@ -726,9 +886,14 @@ Status ResolutionService::CompactShard(Shard* shard) {
   return Status::OK();
 }
 
-Status ResolutionService::Compact(const std::string& block) {
+Status ResolutionService::Compact(const std::string& block,
+                                  RequestDeadline deadline) {
   WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
-  return CompactShard(shard);
+  deadline = EffectiveDeadline(deadline);
+  WEBER_RETURN_NOT_OK(AdmitWrite(shard, deadline));
+  Status st = CompactShard(shard, deadline);
+  FinishWrite(shard, st);
+  return st;
 }
 
 Status ResolutionService::CompactAll() {
@@ -744,10 +909,23 @@ Status ResolutionService::CompactInBackground(const std::string& block) {
   if (!shard->compaction_inflight.compare_exchange_strong(expected, true)) {
     return Status::OK();  // already scheduled or running
   }
-  compaction_pool_->Submit([this, shard] {
+  auto task = [this, shard] {
     (void)CompactShard(shard);
     shard->compaction_inflight.store(false);
-  });
+  };
+  if (options_.overload.executor_queue_cap > 0) {
+    // Bounded scheduling: a full compaction queue sheds this round rather
+    // than queueing without bound. The inflight flag is released so the
+    // next trigger (more assigns) retries once the pool drains.
+    Result<std::future<void>> submitted = compaction_pool_->TrySubmit(task);
+    if (!submitted.ok()) {
+      shard->compaction_inflight.store(false);
+      compaction_sheds_.fetch_add(1, std::memory_order_relaxed);
+      return submitted.status();
+    }
+  } else {
+    compaction_pool_->Submit(std::move(task));
+  }
   return Status::OK();
 }
 
@@ -801,12 +979,39 @@ ServiceStats ResolutionService::Stats() const {
       failed_publishes_.load(std::memory_order_relaxed);
   stats.durability.recovered_docs = recovered_docs_;
   stats.durability.recovered_snapshots = recovered_snapshots_;
-  stats.health.degraded_blocks = stats.failed_compactions;
+  stats.overload.configured = OverloadConfigured();
+  stats.overload.batcher_sheds = batcher_->rejected();
+  stats.overload.budget_sheds = budget_sheds_.load(std::memory_order_relaxed);
+  stats.overload.compaction_sheds =
+      compaction_sheds_.load(std::memory_order_relaxed);
+  stats.overload.breaker_sheds =
+      breaker_sheds_.load(std::memory_order_relaxed);
+  stats.overload.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    stats.overload.breaker_trips += shard->breaker.trips();
+    stats.overload.breaker_recoveries += shard->breaker.recoveries();
+    if (shard->breaker.state() == CircuitBreaker::State::kOpen) {
+      ++stats.overload.breakers_open;
+    }
+  }
+  // Degradation ledger: keep the serialized RunHealth shape stable (no new
+  // fields) by folding overload events into the existing counters —
+  // deadline blowouts are deadline hits; a breaker trip means the shard
+  // serves stale snapshots, i.e. degraded, just like a failed compaction.
+  stats.health.degraded_blocks =
+      stats.failed_compactions + stats.overload.breaker_trips;
+  stats.health.deadline_hits = stats.overload.deadline_exceeded;
   stats.health.Merge(recovery_health_);
   return stats;
 }
 
 void ResolutionService::WriteStatsJson(std::ostream& os) const {
+  WriteStatsJson(os, nullptr);
+}
+
+void ResolutionService::WriteStatsJson(
+    std::ostream& os, const std::function<void(JsonWriter&)>& extra) const {
   const ServiceStats stats = Stats();
   JsonWriter json(os);
   json.BeginObject();
@@ -855,7 +1060,24 @@ void ResolutionService::WriteStatsJson(std::ostream& os) const {
   json.Key("recovered_snapshots")
       .Number(stats.durability.recovered_snapshots);
   json.EndObject();
+  // Gated so the stats line stays byte-identical to an overload-free build
+  // when no overload feature is configured and none has fired.
+  if (stats.overload.configured || stats.overload.Any()) {
+    json.Key("overload").BeginObject();
+    json.Key("batcher_sheds").Number(stats.overload.batcher_sheds);
+    json.Key("budget_sheds").Number(stats.overload.budget_sheds);
+    json.Key("compaction_sheds").Number(stats.overload.compaction_sheds);
+    json.Key("breaker_sheds").Number(stats.overload.breaker_sheds);
+    json.Key("total_sheds").Number(stats.overload.TotalSheds());
+    json.Key("deadline_exceeded").Number(stats.overload.deadline_exceeded);
+    json.Key("breaker_trips").Number(stats.overload.breaker_trips);
+    json.Key("breaker_recoveries").Number(stats.overload.breaker_recoveries);
+    json.Key("breakers_open").Number(stats.overload.breakers_open);
+    json.EndObject();
+  }
   json.Key("shards").BeginArray();
+  const bool breakers_enabled =
+      options_.overload.breaker_failure_threshold > 0;
   for (const auto& shard : shards_) {
     std::shared_ptr<const ResolverSnapshot> snap =
         shard->snapshot.load(std::memory_order_acquire);
@@ -866,9 +1088,13 @@ void ResolutionService::WriteStatsJson(std::ostream& os) const {
     json.Key("clusters").Number(snap->clustering.num_clusters());
     json.Key("snapshot_version").Number(
         static_cast<long long>(snap->version));
+    if (breakers_enabled) {
+      json.Key("breaker").String(BreakerStateName(shard->breaker.state()));
+    }
     json.EndObject();
   }
   json.EndArray();
+  if (extra) extra(json);
   json.Key("health");
   core::WriteRunHealthJson(json, stats.health);
   json.EndObject();

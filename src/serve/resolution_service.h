@@ -23,6 +23,17 @@
 // tests fail either path deterministically; a failed compaction never
 // swaps, so the shard keeps serving the previous snapshot.
 //
+// Overload protection (see DESIGN.md, "Overload & admission control"):
+// every write is admitted through a per-shard pending budget and a per-shard
+// CircuitBreaker before it may queue; async assigns additionally respect the
+// micro-batcher's cap and background compactions the pool's queue cap. Each
+// request may carry a RequestDeadline — checked at admission, while parked,
+// and after fault-injected latency — and deadline blowouts both answer
+// DEADLINE_EXCEEDED and count toward tripping the shard's breaker. An open
+// breaker keeps serving reads from the last published snapshot and rejects
+// writes with Unavailable until a cooldown admits a probe. All overload
+// features default off, in which case behavior is unchanged.
+//
 // Durability (see DESIGN.md, "Durability & recovery"): with a data_dir
 // configured, every shard owns a durability::ShardLog. An acknowledged
 // Assign is appended to the shard's WAL before the in-memory mutation;
@@ -36,6 +47,7 @@
 #define WEBER_SERVE_RESOLUTION_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -52,6 +64,7 @@
 #include "durability/shard_log.h"
 #include "extract/gazetteer.h"
 #include "serve/batcher.h"
+#include "serve/overload.h"
 #include "serve/similarity_cache.h"
 #include "serve/snapshot.h"
 
@@ -77,6 +90,29 @@ struct ServiceOptions {
 
   /// Fraction of each block's pairs labeled for calibration.
   double train_fraction = 0.10;
+
+  /// Admission control and overload shedding; everything defaults off, in
+  /// which case the service queues without bound exactly as before.
+  struct Overload {
+    /// Cap on the background compaction pool's queue; a scheduled
+    /// compaction that finds the queue full is shed (0 = unbounded).
+    size_t executor_queue_cap = 0;
+    /// Cap on assigns parked in the micro-batcher; AssignAsync sheds with
+    /// Unavailable once this many are waiting (0 = unbounded).
+    size_t batcher_queue_cap = 0;
+    /// Cap on writes admitted but not yet finished per shard; further
+    /// writes are shed with Unavailable (0 = unbounded).
+    int max_pending_per_shard = 0;
+    /// Deadline applied to requests that carry none (0 = none). Measured
+    /// from service entry.
+    double default_deadline_ms = 0.0;
+    /// Consecutive write failures (including deadline blowouts) that trip
+    /// a shard's circuit breaker (0 disables breakers).
+    int breaker_failure_threshold = 0;
+    /// How long a tripped breaker rejects writes before probing.
+    double breaker_cooldown_ms = 1000.0;
+  };
+  Overload overload;
 
   /// Crash durability; data_dir empty = fully in-memory (default).
   struct Durability {
@@ -135,12 +171,44 @@ struct DurabilityStats {
   long long recovered_snapshots = 0;
 };
 
+/// Shed/deadline/breaker counters. All-zero (and unconfigured) means no
+/// overload machinery touched any request.
+struct OverloadStats {
+  /// Whether any ServiceOptions::Overload knob is set.
+  bool configured = false;
+  /// Async assigns rejected at the micro-batcher cap.
+  long long batcher_sheds = 0;
+  /// Writes rejected by a shard's pending budget.
+  long long budget_sheds = 0;
+  /// Background compactions rejected at the pool's queue cap.
+  long long compaction_sheds = 0;
+  /// Writes rejected by an open (or probing) circuit breaker.
+  long long breaker_sheds = 0;
+  /// Requests answered DEADLINE_EXCEEDED (admission, parked, or post-work).
+  long long deadline_exceeded = 0;
+  long long breaker_trips = 0;
+  long long breaker_recoveries = 0;
+  /// Shards whose breaker is currently open.
+  int breakers_open = 0;
+
+  long long TotalSheds() const {
+    return batcher_sheds + budget_sheds + compaction_sheds + breaker_sheds;
+  }
+  bool Any() const {
+    return TotalSheds() + deadline_exceeded + breaker_trips +
+                   breaker_recoveries >
+               0 ||
+           breakers_open > 0;
+  }
+};
+
 struct ServiceStats {
   EndpointLatency assign;
   EndpointLatency query;
   EndpointLatency compact;
   CacheStats cache;
   DurabilityStats durability;
+  OverloadStats overload;
 
   long long assigns = 0;
   long long queries = 0;
@@ -152,7 +220,8 @@ struct ServiceStats {
   long long batched_requests = 0;
 
   /// Degradation ledger in the library's standard shape; failed
-  /// compactions count as degraded blocks (the shard serves stale data).
+  /// compactions and breaker trips count as degraded blocks (the shard
+  /// serves stale data) and deadline blowouts as deadline hits.
   core::RunHealth health;
 };
 
@@ -173,20 +242,30 @@ class ResolutionService {
 
   /// Adds block document `doc` to its shard's live partition (hot path).
   /// Idempotent: re-assigning a document returns its current cluster.
-  Result<AssignResult> Assign(const std::string& block, int doc);
+  /// Admission (budget + breaker) may shed with Unavailable; an expired
+  /// deadline — at entry or after fault-injected latency — answers
+  /// DeadlineExceeded (the assignment, if made, stands; a retry is safe).
+  Result<AssignResult> Assign(const std::string& block, int doc,
+                              RequestDeadline deadline = {});
 
   /// As Assign, but micro-batched: requests are grouped per shard and
-  /// processed under one lock acquisition per group.
+  /// processed under one lock acquisition per group. The deadline is also
+  /// checked when the batch flushes, so requests that expired while parked
+  /// are answered DeadlineExceeded without doing the work.
   std::future<Result<AssignResult>> AssignAsync(const std::string& block,
-                                                int doc);
+                                                int doc,
+                                                RequestDeadline deadline = {});
 
   /// Resolves the page against the shard's published snapshot. Lock-free
-  /// with respect to writers and compactions.
-  Result<QueryResult> Query(const std::string& block, int doc) const;
+  /// with respect to writers and compactions, and never gated by the
+  /// breaker — reads keep working while a shard's write path is open.
+  Result<QueryResult> Query(const std::string& block, int doc,
+                            RequestDeadline deadline = {}) const;
 
   /// Synchronously batch re-resolves the shard and publishes the result as
-  /// a new snapshot. On failure the previous snapshot remains published.
-  Status Compact(const std::string& block);
+  /// a new snapshot. On failure (including a blown deadline) the previous
+  /// snapshot remains published. Goes through write admission like Assign.
+  Status Compact(const std::string& block, RequestDeadline deadline = {});
 
   /// Compacts every shard (synchronously, on the calling thread).
   Status CompactAll();
@@ -211,8 +290,14 @@ class ResolutionService {
   ServiceStats Stats() const;
 
   /// Emits the stats as a single-line JSON object (RunHealth fields
-  /// included, same shape as the experiment JSON's "health").
+  /// included, same shape as the experiment JSON's "health"). The overload
+  /// section is emitted only when overload features are configured or have
+  /// fired, keeping the output byte-identical to an overload-free build
+  /// otherwise. `extra`, when given, is invoked at top level so a caller
+  /// (the server) can append its own keyed sections.
   void WriteStatsJson(std::ostream& os) const;
+  void WriteStatsJson(std::ostream& os,
+                      const std::function<void(JsonWriter&)>& extra) const;
 
   const std::vector<std::string>& block_names() const { return block_names_; }
   Result<int> BlockSize(const std::string& block) const;
@@ -227,9 +312,22 @@ class ResolutionService {
   ResolutionService(ServiceOptions options);
 
   Result<Shard*> FindShard(const std::string& block) const;
-  Result<AssignResult> AssignLocked(Shard* shard, int doc);
-  Status CompactShard(Shard* shard);
+  Result<AssignResult> AssignLocked(Shard* shard, int doc,
+                                    const RequestDeadline& deadline);
+  Status CompactShard(Shard* shard,
+                      const RequestDeadline& deadline = RequestDeadline());
   void ProcessAssignBatch(std::vector<PendingAssign> batch);
+
+  /// Applies the configured default deadline to requests carrying none.
+  RequestDeadline EffectiveDeadline(RequestDeadline deadline) const;
+  /// Write admission: expired deadline, then the shard's pending budget,
+  /// then its breaker. On OK the caller owns one budget slot (and possibly
+  /// the breaker's half-open probe) and must call FinishWrite exactly once.
+  Status AdmitWrite(Shard* shard, const RequestDeadline& deadline);
+  /// Releases the budget slot and reports the outcome to the breaker;
+  /// counts deadline blowouts.
+  void FinishWrite(Shard* shard, const Status& outcome);
+  bool OverloadConfigured() const;
   double ScorePairCached(const Shard& shard, int canon_a, int canon_b) const;
 
   /// Rebuilds a shard's in-memory state from what recovery salvaged:
@@ -254,6 +352,11 @@ class ResolutionService {
   std::atomic<long long> failed_assigns_{0};
   std::atomic<long long> snapshot_swaps_{0};
   std::atomic<long long> failed_publishes_{0};
+  std::atomic<long long> budget_sheds_{0};
+  std::atomic<long long> compaction_sheds_{0};
+  std::atomic<long long> breaker_sheds_{0};
+  /// Mutable: the read path counts its own deadline blowouts.
+  mutable std::atomic<long long> deadline_exceeded_{0};
   long long recovered_docs_ = 0;       // written once, in Create
   long long recovered_snapshots_ = 0;  // written once, in Create
 

@@ -6,10 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
+#include "common/json_writer.h"
 #include "common/string_util.h"
 #include "serve/protocol.h"
 
@@ -26,6 +28,10 @@ std::string FormatOk(uint64_t version, int cluster) {
   return out;
 }
 
+int PollTimeoutMs(double ms) {
+  return std::max(1, static_cast<int>(std::ceil(ms)));
+}
+
 }  // namespace
 
 LineServer::~LineServer() { StopTcp(); }
@@ -35,28 +41,34 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) return FormatError(parsed.status());
   const Request& request = parsed.ValueOrDie();
+  // The deadline clock starts at parse time; FormatFailure maps service
+  // Unavailable / DeadlineExceeded statuses to the OVERLOADED /
+  // DEADLINE_EXCEEDED wire responses.
+  const RequestDeadline deadline = RequestDeadline::In(request.deadline_ms);
+  const double retry = options_.retry_after_ms;
   switch (request.op) {
     case Request::Op::kAssign: {
-      Result<AssignResult> result = service_->Assign(request.block,
-                                                     request.doc);
-      if (!result.ok()) return FormatError(result.status());
+      Result<AssignResult> result =
+          service_->Assign(request.block, request.doc, deadline);
+      if (!result.ok()) return FormatFailure(result.status(), retry);
       return FormatOk(result.ValueOrDie().snapshot_version, result.ValueOrDie().cluster);
     }
     case Request::Op::kQuery: {
-      Result<QueryResult> result = service_->Query(request.block, request.doc);
-      if (!result.ok()) return FormatError(result.status());
+      Result<QueryResult> result =
+          service_->Query(request.block, request.doc, deadline);
+      if (!result.ok()) return FormatFailure(result.status(), retry);
       return FormatOk(result.ValueOrDie().snapshot_version, result.ValueOrDie().cluster);
     }
     case Request::Op::kCompact: {
-      Status status = service_->Compact(request.block);
-      if (!status.ok()) return FormatError(status);
+      Status status = service_->Compact(request.block, deadline);
+      if (!status.ok()) return FormatFailure(status, retry);
       auto snapshot = service_->Snapshot(request.block);
       if (!snapshot.ok()) return FormatError(snapshot.status());
       return "ok " + std::to_string(snapshot.ValueOrDie()->version);
     }
     case Request::Op::kCompactAll: {
       Status status = service_->CompactAll();
-      if (!status.ok()) return FormatError(status);
+      if (!status.ok()) return FormatFailure(status, retry);
       return "ok " + std::to_string(service_->block_names().size());
     }
     case Request::Op::kDump: {
@@ -72,11 +84,8 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
       }
       return out;
     }
-    case Request::Op::kStats: {
-      std::ostringstream os;
-      service_->WriteStatsJson(os);
-      return "ok " + os.str();
-    }
+    case Request::Op::kStats:
+      return StatsResponse();
     case Request::Op::kPing:
       return "ok";
     case Request::Op::kQuit:
@@ -84,6 +93,47 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
       return "ok";
   }
   return FormatError(Status::Internal("unhandled request op"));
+}
+
+ServerStats LineServer::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.accept_sheds = accept_sheds_.load(std::memory_order_relaxed);
+  s.read_timeouts = read_timeouts_.load(std::memory_order_relaxed);
+  s.write_timeouts = write_timeouts_.load(std::memory_order_relaxed);
+  s.oversized_lines = oversized_lines_.load(std::memory_order_relaxed);
+  s.active_connections = active_conns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string LineServer::StatsResponse() const {
+  const ServerStats s = stats();
+  const bool configured = options_.max_connections > 0 ||
+                          options_.read_timeout_ms > 0 ||
+                          options_.write_timeout_ms > 0 ||
+                          options_.listen_backlog != ServerOptions().listen_backlog;
+  const bool fired = s.accept_sheds + s.read_timeouts + s.write_timeouts +
+                         s.oversized_lines >
+                     0;
+  std::ostringstream os;
+  if (!configured && !fired) {
+    // Byte-identical to the pre-overload stats line when nothing is set.
+    service_->WriteStatsJson(os);
+  } else {
+    service_->WriteStatsJson(os, [&](JsonWriter& json) {
+      json.Key("server").BeginObject();
+      json.Key("connections_accepted").Number(s.connections_accepted);
+      json.Key("active_connections").Number(s.active_connections);
+      json.Key("accept_sheds").Number(s.accept_sheds);
+      json.Key("read_timeouts").Number(s.read_timeouts);
+      json.Key("write_timeouts").Number(s.write_timeouts);
+      json.Key("oversized_lines").Number(s.oversized_lines);
+      json.Key("max_connections").Number(options_.max_connections);
+      json.Key("listen_backlog").Number(options_.listen_backlog);
+      json.EndObject();
+    });
+  }
+  return "ok " + os.str();
 }
 
 Status LineServer::ServeStdio(std::istream& in, std::ostream& out) {
@@ -102,9 +152,24 @@ Status LineServer::ServeFd(int in_fd, std::ostream& out, int stop_fd) {
   std::string buffer;
   char chunk[4096];
   bool quit = false;
+  bool discarding = false;  // inside an oversized line, skipping to '\n'
   while (!quit) {
     size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
+      // Oversized-line containment: answer once, then drop bytes until the
+      // next newline instead of growing the buffer without bound.
+      if (buffer.size() > kMaxRequestLineBytes) {
+        if (!discarding) {
+          discarding = true;
+          oversized_lines_.fetch_add(1, std::memory_order_relaxed);
+          out << FormatError(Status::InvalidArgument(
+                     "request line exceeds the ", kMaxRequestLineBytes,
+                     "-byte cap; discarding until newline"))
+              << '\n';
+          out.flush();
+        }
+        buffer.clear();
+      }
       // All buffered complete requests are answered; wait for more input
       // or a stop byte. Checking stop only here means a request that has
       // fully arrived is never dropped by shutdown.
@@ -130,6 +195,10 @@ Status LineServer::ServeFd(int in_fd, std::ostream& out, int stop_fd) {
     }
     std::string line = buffer.substr(0, newline);
     buffer.erase(0, newline + 1);
+    if (discarding) {
+      discarding = false;  // the oversized line's tail; already answered
+      continue;
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (TrimWhitespace(line).empty()) continue;
     out << HandleLine(line, &quit) << '\n';
@@ -158,7 +227,7 @@ Status LineServer::StartTcp(int port) {
     ::close(fd);
     return Status::IOError("bind(127.0.0.1:", port, "): ", error);
   }
-  if (::listen(fd, 64) < 0) {
+  if (::listen(fd, options_.listen_backlog) < 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     return Status::IOError("listen(): ", error);
@@ -184,11 +253,27 @@ void LineServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // Listener closed or broken; nothing sensible to retry.
     }
+    // Connection-level admission control: shedding here costs one line and
+    // a close instead of a handler thread the box cannot afford. The
+    // client gets an explicit retry hint rather than a silent kernel-queue
+    // drop, so well-behaved load generators back off.
+    if (options_.max_connections > 0 &&
+        active_conns_.load(std::memory_order_acquire) >=
+            options_.max_connections) {
+      accept_sheds_.fetch_add(1, std::memory_order_relaxed);
+      std::string shed = FormatOverloaded(options_.retry_after_ms);
+      shed += '\n';
+      (void)::send(conn, shed.data(), shed.size(), MSG_NOSIGNAL);
+      ::close(conn);
+      continue;
+    }
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(conn);
       break;
     }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_conns_.fetch_add(1, std::memory_order_acq_rel);
     conn_fds_.push_back(conn);
     conn_threads_.emplace_back([this, conn] { HandleConnection(conn); });
   }
@@ -198,9 +283,59 @@ void LineServer::HandleConnection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool quit = false;
+  bool discarding = false;  // inside an oversized line, skipping to '\n'
+
+  // Bounded send: honors the write timeout (a client that stopped reading
+  // must not pin a handler thread forever) and reports success.
+  auto send_all = [&](const std::string& payload) -> bool {
+    size_t sent = 0;
+    while (sent < payload.size()) {
+      if (options_.write_timeout_ms > 0) {
+        pollfd pfd = {fd, POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, PollTimeoutMs(options_.write_timeout_ms));
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready <= 0) {
+          write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      }
+      ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  };
+
   while (!quit && !stopping_.load(std::memory_order_acquire)) {
     size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
+      if (buffer.size() > kMaxRequestLineBytes) {
+        // Same containment as ServeFd: one error response, then resync at
+        // the next newline instead of buffering an unbounded line.
+        if (!discarding) {
+          discarding = true;
+          oversized_lines_.fetch_add(1, std::memory_order_relaxed);
+          std::string err = FormatError(Status::InvalidArgument(
+              "request line exceeds the ", kMaxRequestLineBytes,
+              "-byte cap; discarding until newline"));
+          err += '\n';
+          if (!send_all(err)) break;
+        }
+        buffer.clear();
+      }
+      if (options_.read_timeout_ms > 0) {
+        pollfd pfd = {fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, PollTimeoutMs(options_.read_timeout_ms));
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready == 0) {
+          // Idle past the budget: drop the connection so a stalled or
+          // malicious client cannot hold a handler slot open.
+          read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (ready < 0) break;
+      }
       ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) break;
       buffer.append(chunk, static_cast<size_t>(n));
@@ -208,23 +343,19 @@ void LineServer::HandleConnection(int fd) {
     }
     std::string line = buffer.substr(0, newline);
     buffer.erase(0, newline + 1);
+    if (discarding) {
+      discarding = false;  // the oversized line's tail; already answered
+      continue;
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (TrimWhitespace(line).empty()) continue;
     std::string response = HandleLine(line, &quit);
     response += '\n';
-    size_t sent = 0;
-    while (sent < response.size()) {
-      ssize_t n = ::send(fd, response.data() + sent, response.size() - sent,
-                         MSG_NOSIGNAL);
-      if (n <= 0) {
-        quit = true;
-        break;
-      }
-      sent += static_cast<size_t>(n);
-    }
+    if (!send_all(response)) quit = true;
   }
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
+  active_conns_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void LineServer::StopTcp() {
@@ -313,6 +444,10 @@ Result<std::string> LineConnection::ReadLine() {
     }
     buffer_.append(chunk, static_cast<size_t>(n));
   }
+}
+
+void LineConnection::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void LineConnection::Close() {

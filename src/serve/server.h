@@ -6,6 +6,15 @@
 // point — concurrent clients exercise the service's locking, batching and
 // snapshot machinery. LineConnection is the matching buffered client used
 // by weber_loadgen and the tests.
+//
+// Overload protection (all off by default; see DESIGN.md, "Overload &
+// admission control"): a configurable listen backlog, a max-connections cap
+// (excess accepts are answered with one OVERLOADED line and closed), per-
+// connection read/write timeouts, and oversized-line containment — a line
+// that exceeds kMaxRequestLineBytes without a newline is answered with one
+// error and discarded up to the next newline instead of growing the buffer
+// without bound. Service-level Unavailable / DeadlineExceeded statuses are
+// mapped to the OVERLOADED / DEADLINE_EXCEEDED wire responses.
 
 #ifndef WEBER_SERVE_SERVER_H_
 #define WEBER_SERVE_SERVER_H_
@@ -24,10 +33,39 @@
 namespace weber {
 namespace serve {
 
+struct ServerOptions {
+  /// listen(2) backlog of the TCP listener. Connections past it are
+  /// dropped by the kernel before accept() ever sees them.
+  int listen_backlog = 64;
+  /// Concurrent TCP connections admitted; further accepts get one
+  /// "OVERLOADED <retry-after>" line and are closed (0 = unlimited).
+  int max_connections = 0;
+  /// Close a connection idle longer than this between requests (0 = never).
+  double read_timeout_ms = 0.0;
+  /// Give up on a connection that cannot absorb a response within this
+  /// (0 = block until the kernel buffer drains).
+  double write_timeout_ms = 0.0;
+  /// Retry hint carried by every OVERLOADED response.
+  double retry_after_ms = 50.0;
+};
+
+/// Connection-level counters (TCP and fd serving combined).
+struct ServerStats {
+  long long connections_accepted = 0;
+  /// Connections shed at the max_connections cap.
+  long long accept_sheds = 0;
+  long long read_timeouts = 0;
+  long long write_timeouts = 0;
+  /// Request lines rejected (and resynced past) at kMaxRequestLineBytes.
+  long long oversized_lines = 0;
+  int active_connections = 0;
+};
+
 class LineServer {
  public:
   /// The service must outlive the server.
-  explicit LineServer(ResolutionService* service) : service_(service) {}
+  explicit LineServer(ResolutionService* service, ServerOptions options = {})
+      : service_(service), options_(options) {}
   ~LineServer();
 
   LineServer(const LineServer&) = delete;
@@ -61,11 +99,24 @@ class LineServer {
   /// Blocks until StopTcp() is called from another thread.
   void WaitTcp();
 
+  ServerStats stats() const;
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// Emits the service stats JSON, appending the "server" section when the
+  /// server's overload features are configured or any counter is nonzero.
+  std::string StatsResponse() const;
 
   ResolutionService* service_;
+  ServerOptions options_;
+
+  std::atomic<long long> accepted_{0};
+  std::atomic<long long> accept_sheds_{0};
+  std::atomic<long long> read_timeouts_{0};
+  std::atomic<long long> write_timeouts_{0};
+  std::atomic<long long> oversized_lines_{0};
+  std::atomic<int> active_conns_{0};
 
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
@@ -99,6 +150,12 @@ class LineConnection {
     WEBER_RETURN_NOT_OK(SendLine(line));
     return ReadLine();
   }
+
+  /// Half-closes both directions without releasing the fd: a reader blocked
+  /// in ReadLine() on another thread wakes with EOF, which Close() from a
+  /// second thread does not guarantee. Used by the open-loop load generator
+  /// to stop its reader thread.
+  void Shutdown();
 
   void Close();
   bool connected() const { return fd_ >= 0; }

@@ -179,6 +179,53 @@ TEST(MicroBatcherTest, LeftoverAfterPartialDrainKeepsItsDeadline) {
   EXPECT_LT(drain_to_leftover_ms, options.max_delay_ms - 100.0);
 }
 
+TEST(MicroBatcherTest, TrySubmitRejectsAtCapAndAcceptsAfterDrain) {
+  Collector collector;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  BatcherOptions options;
+  options.max_batch_size = 1;  // every submit drains immediately...
+  options.max_delay_ms = 10000.0;
+  options.max_pending = 2;
+  MicroBatcher<int> batcher(options, [&](std::vector<int> b) {
+    {
+      // ...but the flusher parks here, so pending requests pile up.
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    collector.Flush(std::move(b));
+  });
+  int first = 100;
+  ASSERT_TRUE(batcher.TrySubmit(first));
+  // The flusher may or may not have claimed the first request yet, so admit
+  // until the cap reports full, then assert rejection is sticky.
+  int value = 200;
+  int admitted = 1;
+  while (batcher.TrySubmit(value)) {
+    ++value;
+    ++admitted;
+    ASSERT_LE(admitted, 4) << "cap never enforced";
+  }
+  int rejected_value = 999;
+  EXPECT_FALSE(batcher.TrySubmit(rejected_value));
+  EXPECT_EQ(rejected_value, 999);  // rejected requests are left untouched
+  EXPECT_GE(batcher.rejected(), 2);
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  ASSERT_TRUE(collector.WaitForTotal(admitted));
+  int late = 300;
+  EXPECT_TRUE(batcher.TrySubmit(late));  // drained: admission resumes
+  ASSERT_TRUE(collector.WaitForTotal(admitted + 1));
+  std::lock_guard<std::mutex> lock(collector.mu);
+  for (const auto& batch : collector.batches) {
+    for (int v : batch) EXPECT_NE(v, 999) << "rejected request was flushed";
+  }
+}
+
 TEST(MicroBatcherTest, ZeroBatchSizeClampsToOne) {
   Collector collector;
   BatcherOptions options;

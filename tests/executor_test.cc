@@ -87,5 +87,90 @@ TEST(ExecutorTest, ClampsThreadCount) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ExecutorTest, TrySubmitWithoutCapBehavesLikeSubmit) {
+  Executor pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    auto submitted = pool.TrySubmit([&] { count.fetch_add(1); });
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 16);
+  EXPECT_EQ(pool.rejected(), 0);
+}
+
+TEST(ExecutorTest, TrySubmitRejectsAtCapAndAcceptsAfterDrain) {
+  Executor pool(1, /*queue_cap=*/2);
+  // Park the single worker so queued tasks cannot drain.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> parked;
+  auto blocker = pool.Submit([&, gate] {
+    parked.set_value();
+    gate.wait();
+  });
+  parked.get_future().wait();
+
+  std::vector<std::future<void>> accepted;
+  for (int i = 0; i < 2; ++i) {
+    auto submitted = pool.TrySubmit([] {});
+    ASSERT_TRUE(submitted.ok()) << "task " << i;
+    accepted.push_back(std::move(*submitted));
+  }
+  auto rejected = pool.TrySubmit([] { FAIL() << "must never run"; });
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pool.rejected(), 1);
+  // Submit itself stays unbounded — ParallelFor depends on that.
+  auto unbounded = pool.Submit([] {});
+
+  release.set_value();
+  blocker.get();
+  for (auto& f : accepted) f.get();
+  unbounded.get();
+  auto after_drain = pool.TrySubmit([] {});
+  EXPECT_TRUE(after_drain.ok());
+  after_drain->get();
+  EXPECT_EQ(pool.rejected(), 1);
+}
+
+TEST(ExecutorTest, ConcurrentTrySubmitStormNeverLosesOrDuplicatesTasks) {
+  // Hammer TrySubmit from many threads against a tiny cap: every accepted
+  // task must run exactly once, every rejection must be counted, and the
+  // whole dance must be clean under TSan.
+  Executor pool(2, /*queue_cap=*/4);
+  std::atomic<long long> ran{0};
+  std::atomic<long long> accepted{0};
+  std::atomic<long long> rejected{0};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto submitted = pool.TrySubmit([&] { ran.fetch_add(1); });
+        if (submitted.ok()) {
+          accepted.fetch_add(1);
+          futures[t].push_back(std::move(*submitted));
+        } else {
+          ASSERT_EQ(submitted.status().code(), StatusCode::kUnavailable);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) f.get();
+  }
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            static_cast<long long>(kThreads) * kPerThread);
+  EXPECT_EQ(ran.load(), accepted.load());
+  EXPECT_EQ(pool.rejected(), rejected.load());
+}
+
 }  // namespace
 }  // namespace weber

@@ -1,0 +1,130 @@
+// Unit tests for the overload-protection primitives: RequestDeadline
+// arithmetic and the CircuitBreaker state machine, including the
+// single-probe half-open contract under concurrency.
+
+#include "serve/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace weber {
+namespace serve {
+namespace {
+
+TEST(RequestDeadlineTest, DefaultHasNoDeadline) {
+  RequestDeadline none;
+  EXPECT_FALSE(none.has_deadline());
+  EXPECT_FALSE(none.Expired());
+  EXPECT_GT(none.RemainingMs(), 1e12);  // effectively unbounded
+}
+
+TEST(RequestDeadlineTest, NonPositiveBudgetMeansNoDeadline) {
+  EXPECT_FALSE(RequestDeadline::In(0.0).has_deadline());
+  EXPECT_FALSE(RequestDeadline::In(-5.0).has_deadline());
+}
+
+TEST(RequestDeadlineTest, ExpiresAfterItsBudget) {
+  RequestDeadline deadline = RequestDeadline::In(1.0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_LE(deadline.RemainingMs(), 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMs(), 0.0);
+}
+
+TEST(RequestDeadlineTest, GenerousBudgetDoesNotExpireImmediately) {
+  RequestDeadline deadline = RequestDeadline::In(60000.0);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingMs(), 59000.0);
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerAlwaysAdmits) {
+  CircuitBreaker breaker;  // failure_threshold == 0
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  CircuitBreaker breaker({/*failure_threshold=*/3, /*cooldown_ms=*/60000.0});
+  ASSERT_TRUE(breaker.enabled());
+  // A success in between resets the consecutive count.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  Status shed = breaker.Admit();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown_ms=*/5.0});
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(breaker.Admit().ok());  // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Admit().ok());  // second caller is shed
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.recoveries(), 1);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown_ms=*/5.0});
+  breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.RecordFailure();  // the probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_EQ(breaker.recoveries(), 0);
+  EXPECT_FALSE(breaker.Admit().ok());  // cooldown restarted
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ConcurrentProbersAdmitExactlyOne) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown_ms=*/1.0});
+  breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      if (breaker.Admit().ok()) admitted.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 1);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(BreakerStateNameTest, NamesEveryState) {
+  EXPECT_STREQ(BreakerStateName(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

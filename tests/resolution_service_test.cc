@@ -372,6 +372,180 @@ TEST_F(ResolutionServiceTest, StatsJsonHasTheExpectedShape) {
   EXPECT_EQ(json.find('\n'), std::string::npos) << "stats JSON must be one line";
 }
 
+TEST_F(ResolutionServiceTest, ExpiredDeadlineRejectsWriteBeforeMutation) {
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  RequestDeadline deadline = RequestDeadline::In(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(deadline.Expired());
+  auto result = service->Assign(block, 0, deadline);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.assigns, 0);  // shed before any state changed
+  EXPECT_GE(stats.overload.deadline_exceeded, 1);
+  EXPECT_GE(stats.health.deadline_hits, 1);
+}
+
+TEST_F(ResolutionServiceTest, ExpiredDeadlineRejectsQuery) {
+  auto service = MakeService();
+  RequestDeadline deadline = RequestDeadline::In(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto result = service->Query(Block(0).query, 0, deadline);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(service->Stats().overload.deadline_exceeded, 1);
+}
+
+TEST_F(ResolutionServiceTest, DefaultDeadlineCoversUnstampedRequests) {
+  faults::ScopedFaultClearance clearance;
+  ServiceOptions options;
+  options.overload.default_deadline_ms = 1.0;
+  auto service = MakeService(options);
+  // 20 ms of injected latency blows the 1 ms default budget.
+  faults::FaultInjector::Instance().ArmFromSpec("serve.assign=latency:1:20");
+  auto result = service->Assign(Block(0).query, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(service->Stats().overload.deadline_exceeded, 1);
+}
+
+TEST_F(ResolutionServiceTest, BreakerTripsOpensShedsAndRecovers) {
+  faults::ScopedFaultClearance clearance;
+  ServiceOptions options;
+  options.overload.breaker_failure_threshold = 2;
+  options.overload.breaker_cooldown_ms = 50.0;
+  auto service = MakeService(options);
+  const std::string& block = Block(0).query;
+
+  // Two consecutive injected failures trip the shard's breaker.
+  faults::FaultInjector::Instance().ArmFromSpec("serve.assign=error:1:0:2");
+  EXPECT_FALSE(service->Assign(block, 0).ok());
+  EXPECT_FALSE(service->Assign(block, 0).ok());
+
+  // Open: writes shed instantly with Unavailable, reads still serve.
+  auto shed = service->Assign(block, 0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(service->Query(block, 0).ok());
+  ServiceStats open_stats = service->Stats();
+  EXPECT_EQ(open_stats.overload.breaker_trips, 1);
+  EXPECT_GE(open_stats.overload.breaker_sheds, 1);
+  EXPECT_EQ(open_stats.overload.breakers_open, 1);
+  EXPECT_GE(open_stats.health.degraded_blocks, 1);
+
+  // After the cooldown one probe is admitted; the fault has burnt out, so
+  // the probe succeeds and closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  auto probe = service->Assign(block, 0);
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  ServiceStats closed_stats = service->Stats();
+  EXPECT_EQ(closed_stats.overload.breaker_recoveries, 1);
+  EXPECT_EQ(closed_stats.overload.breakers_open, 0);
+  EXPECT_TRUE(service->Assign(block, 1).ok());
+}
+
+TEST_F(ResolutionServiceTest, PerShardPendingBudgetShedsExcessWrites) {
+  ServiceOptions options;
+  options.overload.max_pending_per_shard = 1;
+  options.batcher.max_batch_size = 1000;
+  options.batcher.max_delay_ms = 10000.0;  // parks admitted writes
+  std::future<Result<AssignResult>> parked;
+  {
+    auto service = MakeService(options);
+    const std::string& block = Block(0).query;
+    parked = service->AssignAsync(block, 0);
+    // The budget slot is held while the first write is parked, so the
+    // second is shed without waiting.
+    auto shed = service->AssignAsync(block, 1).get();
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+    ServiceStats stats = service->Stats();
+    EXPECT_GE(stats.overload.budget_sheds, 1);
+    EXPECT_TRUE(stats.overload.configured);
+    // Destruction flushes the batcher and completes the parked write.
+  }
+  auto first = parked.get();
+  EXPECT_TRUE(first.ok()) << first.status();
+}
+
+TEST_F(ResolutionServiceTest, BatcherQueueCapShedsAsyncWrites) {
+  ServiceOptions options;
+  options.overload.batcher_queue_cap = 1;
+  options.batcher.max_batch_size = 1000;
+  options.batcher.max_delay_ms = 10000.0;
+  std::future<Result<AssignResult>> parked;
+  {
+    auto service = MakeService(options);
+    const std::string& block = Block(0).query;
+    parked = service->AssignAsync(block, 0);
+    auto shed = service->AssignAsync(block, 1).get();
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+    EXPECT_GE(service->Stats().overload.batcher_sheds, 1);
+  }
+  auto first = parked.get();
+  EXPECT_TRUE(first.ok()) << first.status();
+}
+
+TEST_F(ResolutionServiceTest, DeadlineExpiresWhileParkedInBatcher) {
+  ServiceOptions options;
+  options.batcher.max_batch_size = 1000;
+  options.batcher.max_delay_ms = 50.0;  // flushes well after the deadline
+  auto service = MakeService(options);
+  auto result =
+      service->AssignAsync(Block(0).query, 0, RequestDeadline::In(1.0)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  ServiceStats stats = service->Stats();
+  EXPECT_GE(stats.overload.deadline_exceeded, 1);
+  EXPECT_EQ(stats.assigns, 0);
+}
+
+TEST_F(ResolutionServiceTest, CompactAbandonsResultPastDeadline) {
+  faults::ScopedFaultClearance clearance;
+  auto service = MakeService();
+  const std::string& block = Block(0).query;
+  for (int d = 0; d < 6; ++d) ASSERT_TRUE(service->Assign(block, d).ok());
+  ASSERT_TRUE(service->Compact(block).ok());
+  auto before = service->Snapshot(block);
+  ASSERT_TRUE(before.ok());
+
+  // Injected latency pushes the compaction past its budget; the rebuilt
+  // snapshot must be abandoned, never published.
+  faults::FaultInjector::Instance().ArmFromSpec("serve.compact=latency:1:20");
+  Status result = service->Compact(block, RequestDeadline::In(5.0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kDeadlineExceeded);
+  auto after = service->Snapshot(block);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->get(), before->get());
+  EXPECT_GE(service->Stats().failed_compactions, 1);
+
+  faults::FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(service->Compact(block).ok());
+}
+
+TEST_F(ResolutionServiceTest, StatsJsonOmitsOverloadSectionsWhenUnset) {
+  auto service = MakeService();
+  ASSERT_TRUE(service->Assign(Block(0).query, 0).ok());
+  std::ostringstream os;
+  service->WriteStatsJson(os);
+  // Byte-identical contract: a service with no overload features
+  // configured and none fired serializes exactly the pre-overload shape.
+  EXPECT_EQ(os.str().find("\"overload\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"breaker\""), std::string::npos);
+
+  ServiceOptions options;
+  options.overload.breaker_failure_threshold = 3;
+  auto configured = MakeService(options);
+  std::ostringstream os2;
+  configured->WriteStatsJson(os2);
+  EXPECT_NE(os2.str().find("\"overload\""), std::string::npos);
+  EXPECT_NE(os2.str().find("\"breaker\":\"closed\""), std::string::npos);
+  EXPECT_NE(os2.str().find("\"total_sheds\""), std::string::npos);
+}
+
 TEST_F(ResolutionServiceTest, CreateRejectsBadInputs) {
   corpus::Dataset empty;
   EXPECT_FALSE(ResolutionService::Create(empty, &data_->gazetteer, {}).ok());

@@ -1,0 +1,192 @@
+# Overload-protection smoke test, two legs:
+#
+#   1. Deterministic latency chaos over stdio: a 30 ms injected delay at
+#      serve.assign plus 1 ms request deadlines produces DEADLINE_EXCEEDED
+#      twice, trips the shard breaker (threshold 2), and the next write is
+#      answered OVERLOADED while reads keep serving — all asserted line by
+#      line, plus the stats counters.
+#   2. Open-loop storm over TCP: weber_loadgen --overload measures a
+#      closed-loop baseline, drives assigns at 4x that rate against a
+#      server with a per-shard pending budget and probabilistic injected
+#      latency, and self-asserts the contract: nonzero sheds, bounded
+#      answered p99, zero crashes, recovery QPS/p50 within 10% of baseline.
+#
+# Invoked by ctest with -DWEBER_BIN=<weber> -DSERVE_BIN=<weber_serve>
+# -DLOADGEN_BIN=<weber_loadgen> -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+# --help must document the overload flags.
+run(${SERVE_BIN} --help)
+foreach(flag queue-cap max-pending-per-shard default-deadline-ms
+        breaker-failures max-connections read-timeout-ms listen-backlog)
+  if(NOT LAST_OUTPUT MATCHES "--${flag}")
+    message(FATAL_ERROR "--help does not mention --${flag}:\n${LAST_OUTPUT}")
+  endif()
+endforeach()
+
+# ---------------------------------------------------------------------------
+# Leg 1 — deterministic latency chaos over stdio.
+file(WRITE "${WORK_DIR}/chaos_session.txt" "\
+assign cohen 0 deadline 1
+assign cohen 1 deadline 1
+assign cohen 2
+query cohen 0
+stats
+ping
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+          --breaker-failures=2 --breaker-cooldown-ms=60000
+          --retry-after-ms=25
+          "--faults=serve.assign=latency:1:30"
+  INPUT_FILE ${WORK_DIR}/chaos_session.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos session failed (${rc}):\n${out}\n${err}")
+endif()
+string(REGEX REPLACE "\n$" "" out "${out}")
+string(REPLACE "\n" ";" lines "${out}")
+list(GET lines 0 l_first)
+list(GET lines 1 l_second)
+list(GET lines 2 l_shed)
+list(GET lines 3 l_query)
+list(GET lines 4 l_stats)
+list(GET lines 5 l_ping)
+list(GET lines 6 l_quit)
+if(NOT l_first STREQUAL "DEADLINE_EXCEEDED")
+  message(FATAL_ERROR "first deadlined assign: ${l_first}")
+endif()
+if(NOT l_second STREQUAL "DEADLINE_EXCEEDED")
+  message(FATAL_ERROR "second deadlined assign: ${l_second}")
+endif()
+if(NOT l_shed STREQUAL "OVERLOADED 25")
+  message(FATAL_ERROR "tripped breaker did not shed the write: ${l_shed}")
+endif()
+if(NOT l_query MATCHES "^ok -?[0-9]+ [0-9]+$")
+  message(FATAL_ERROR "read was not served while the breaker is open: ${l_query}")
+endif()
+foreach(needle
+    "\"deadline_exceeded\":2" "\"breaker_trips\":1" "\"breaker_sheds\":1"
+    "\"breakers_open\":1" "\"total_sheds\":1" "\"breaker\":\"open\""
+    "\"deadline_hits\":2")
+  if(NOT l_stats MATCHES "${needle}")
+    message(FATAL_ERROR "stats missing ${needle}:\n${l_stats}")
+  endif()
+endforeach()
+if(NOT l_ping STREQUAL "ok")
+  message(FATAL_ERROR "server did not survive the chaos leg: ${l_ping}")
+endif()
+if(NOT l_quit STREQUAL "ok")
+  message(FATAL_ERROR "quit response unexpected: ${l_quit}")
+endif()
+
+# An oversized request line (no newline for > 4096 bytes) must be answered
+# with one error and contained, not crash or stall the stdio loop.
+string(REPEAT "x" 9000 long_line)
+file(WRITE "${WORK_DIR}/oversized_session.txt" "${long_line}
+ping
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+  INPUT_FILE ${WORK_DIR}/oversized_session.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "oversized session failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "err InvalidArgument")
+  message(FATAL_ERROR "oversized line was not rejected:\n${out}")
+endif()
+if(NOT out MATCHES "\nok\n")
+  message(FATAL_ERROR "server did not resync after the oversized line:\n${out}")
+endif()
+
+# ---------------------------------------------------------------------------
+# Leg 2 — open-loop overload storm over TCP.
+file(WRITE "${WORK_DIR}/storm.sh" "\
+cd '${WORK_DIR}' || exit 1
+'${SERVE_BIN}' --dataset=dataset.txt --gazetteer=gazetteer.txt \\
+  --nostdio --port=0 \\
+  --max-connections=64 --max-pending-per-shard=2 --queue-cap=64 \\
+  --retry-after-ms=5 \\
+  '--faults=serve.assign=latency:0.5:10' \\
+  > server.out 2> server.err &
+pid=\$!
+port=''
+i=0
+while [ \$i -lt 100 ]; do
+  port=\$(sed -n 's/^listening on 127.0.0.1:\\([0-9]*\\)\$/\\1/p' server.out)
+  [ -n \"\$port\" ] && break
+  i=\$((i + 1))
+  sleep 0.1
+done
+if [ -z \"\$port\" ]; then
+  echo 'server never announced its port' >&2
+  cat server.err >&2
+  kill \$pid 2>/dev/null
+  exit 1
+fi
+# The storm rate is pinned, not derived from the query baseline: the
+# baseline phase measures microsecond reads, while storm assigns cost
+# ~5 ms each under the injected latency — 2000/s is >4x the server's
+# admitted-assign capacity (real saturation). 16 connections keep the
+# instantaneous per-shard concurrency above the pending budget so the
+# server sheds early; with too few connections nearly every assign is
+# admitted and the answered p99 measures client socket queueing instead
+# of server behaviour.
+'${LOADGEN_BIN}' --port=\$port --dataset=dataset.txt --overload \\
+  --clients=16 --baseline_seconds=2.5 --storm_seconds=3 \\
+  --recovery_seconds=2.5 --storm_qps=2000 --overload_deadline_ms=50 \\
+  --require_sheds --recovery_tolerance=0.10 --max_storm_p99_ms=2000 \\
+  --out=BENCH_overload.json
+rc=\$?
+kill -TERM \$pid 2>/dev/null
+wait \$pid
+srv=\$?
+if [ \$rc -ne 0 ]; then
+  echo \"loadgen failed (\$rc)\" >&2
+  cat server.err >&2
+  exit \$rc
+fi
+if [ \$srv -ne 0 ]; then
+  echo \"server exited \$srv after SIGTERM (expected graceful 0)\" >&2
+  cat server.err >&2
+  exit 1
+fi
+exit 0
+")
+execute_process(
+  COMMAND sh ${WORK_DIR}/storm.sh
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "overload storm failed (${rc}):\n${out}\n${err}")
+endif()
+message(STATUS "storm leg output:\n${out}")
+
+# The report must carry the storm's shed accounting.
+file(READ "${WORK_DIR}/BENCH_overload.json" report)
+foreach(needle "\"benchmark\":\"weber_serve_overload\"" "\"storm\""
+        "\"sheds\"" "\"deadline_exceeded\"" "\"server_sheds_delta\""
+        "\"violations\":0")
+  if(NOT report MATCHES "${needle}")
+    message(FATAL_ERROR "BENCH_overload.json missing ${needle}:\n${report}")
+  endif()
+endforeach()
+
+message(STATUS "weber_serve overload smoke test passed")

@@ -70,11 +70,70 @@ TEST(ParseRequestTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("dump").ok());
 }
 
+TEST(ParseRequestTest, DeadlineSuffix) {
+  auto assign = ParseRequest("assign cohen 3 deadline 50");
+  ASSERT_TRUE(assign.ok());
+  EXPECT_EQ(assign->op, Request::Op::kAssign);
+  EXPECT_EQ(assign->doc, 3);
+  EXPECT_DOUBLE_EQ(assign->deadline_ms, 50.0);
+
+  auto query = ParseRequest("query cohen 1 DEADLINE 2.5");  // case-insensitive
+  ASSERT_TRUE(query.ok());
+  EXPECT_DOUBLE_EQ(query->deadline_ms, 2.5);
+
+  auto compact = ParseRequest("compact cohen deadline 100");
+  ASSERT_TRUE(compact.ok());
+  EXPECT_EQ(compact->op, Request::Op::kCompact);
+  EXPECT_DOUBLE_EQ(compact->deadline_ms, 100.0);
+
+  EXPECT_DOUBLE_EQ(ParseRequest("assign cohen 3")->deadline_ms, 0.0);
+
+  EXPECT_FALSE(ParseRequest("assign cohen 3 deadline").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen 3 deadline 0").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen 3 deadline -5").ok());
+  EXPECT_FALSE(ParseRequest("assign cohen 3 deadline soon").ok());
+  EXPECT_FALSE(ParseRequest("ping deadline 50").ok());  // ping takes no args
+}
+
+TEST(ParseRequestTest, RejectsOversizedLine) {
+  std::string line = "assign ";
+  line += std::string(kMaxRequestLineBytes, 'a');
+  line += " 0";
+  auto request = ParseRequest(line);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+  // A line exactly at the cap is still parsed (and then rejected only on
+  // its own merits — here an unknown verb is fine, overlong is not).
+  std::string at_cap(kMaxRequestLineBytes, 'a');
+  EXPECT_EQ(ParseRequest(at_cap).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, RejectsEmbeddedNul) {
+  std::string line = "assign cohen 3";
+  line[7] = '\0';
+  auto request = ParseRequest(line);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(FormatErrorTest, SingleLineWithCodeName) {
   const std::string formatted =
       FormatError(Status::NotFound("no shard\nfor block"));
   EXPECT_EQ(formatted.rfind("err NotFound ", 0), 0u);
   EXPECT_EQ(formatted.find('\n'), std::string::npos);
+}
+
+TEST(FormatFailureTest, OverloadAndDeadlineWireLines) {
+  EXPECT_EQ(FormatOverloaded(50.0), "OVERLOADED 50");
+  EXPECT_EQ(FormatOverloaded(0.0), "OVERLOADED 1");  // hint floor
+  EXPECT_EQ(FormatDeadlineExceeded(), "DEADLINE_EXCEEDED");
+  EXPECT_EQ(FormatFailure(Status::Unavailable("full"), 25.0),
+            "OVERLOADED 25");
+  EXPECT_EQ(FormatFailure(Status::DeadlineExceeded("late"), 25.0),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(FormatFailure(Status::NotFound("gone"), 25.0).rfind("err ", 0),
+            0u);
 }
 
 class LineServerTest : public ::testing::Test {

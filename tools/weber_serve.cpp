@@ -11,6 +11,15 @@
 // signal). Fault points serve.assign / serve.compact / serve.wal.* /
 // serve.snapshot.write honor --faults and WEBER_FAULTS for chaos drills.
 //
+// Overload protection (all off by default): --queue-cap bounds the assign
+// and compaction queues, --max-pending-per-shard bounds per-shard admitted
+// writes, --max-connections / --listen-backlog / --read-timeout-ms /
+// --write-timeout-ms bound the TCP layer, --default-deadline-ms applies a
+// deadline to requests that carry none, and --breaker-failures /
+// --breaker-cooldown-ms arm per-shard circuit breakers. Shed requests are
+// answered "OVERLOADED <retry-after-ms>" (see --retry-after-ms) and blown
+// deadlines "DEADLINE_EXCEEDED".
+//
 // With --data-dir every shard keeps a write-ahead log and checksummed
 // snapshots there and recovers from them on startup; --fsync picks the
 // group-commit policy (never | batch | always). SIGINT/SIGTERM shut the
@@ -97,6 +106,34 @@ void AddFlags(FlagParser* flags) {
   flags->AddBool("verify-recovery", true,
                  "cross-check recovered partitions against a fresh batch "
                  "re-resolution on startup");
+  flags->AddInt("queue-cap", 0,
+                "bound the assign micro-batch queue and the background "
+                "compaction queue; excess requests answer OVERLOADED "
+                "(0 = unbounded)");
+  flags->AddInt("max-pending-per-shard", 0,
+                "bound on writes admitted but unfinished per shard "
+                "(0 = unbounded)");
+  flags->AddDouble("default-deadline-ms", 0.0,
+                   "deadline applied to requests without a 'deadline <ms>' "
+                   "suffix (0 = none)");
+  flags->AddInt("breaker-failures", 0,
+                "consecutive write failures that trip a shard's circuit "
+                "breaker (0 = breakers off)");
+  flags->AddDouble("breaker-cooldown-ms", 1000.0,
+                   "how long a tripped breaker rejects writes before "
+                   "admitting a probe");
+  flags->AddInt("listen-backlog", 64, "listen(2) backlog for --port");
+  flags->AddInt("max-connections", 0,
+                "concurrent TCP connections; excess accepts answer "
+                "OVERLOADED and close (0 = unlimited)");
+  flags->AddDouble("read-timeout-ms", 0.0,
+                   "close a TCP connection idle longer than this "
+                   "(0 = never)");
+  flags->AddDouble("write-timeout-ms", 0.0,
+                   "give up on a TCP client that cannot absorb a response "
+                   "within this (0 = block)");
+  flags->AddDouble("retry-after-ms", 50.0,
+                   "retry hint carried by OVERLOADED responses");
 }
 
 int Fail(const Status& status) {
@@ -171,6 +208,17 @@ int Run(int argc, char** argv) {
   options.durability.wal_truncate_bytes =
       static_cast<uint64_t>(std::max(0, flags.GetInt("wal-truncate-bytes")));
   options.durability.verify_recovery = flags.GetBool("verify-recovery");
+  const int queue_cap = std::max(0, flags.GetInt("queue-cap"));
+  options.overload.executor_queue_cap = static_cast<size_t>(queue_cap);
+  options.overload.batcher_queue_cap = static_cast<size_t>(queue_cap);
+  options.overload.max_pending_per_shard =
+      std::max(0, flags.GetInt("max-pending-per-shard"));
+  options.overload.default_deadline_ms =
+      flags.GetDouble("default-deadline-ms");
+  options.overload.breaker_failure_threshold =
+      std::max(0, flags.GetInt("breaker-failures"));
+  options.overload.breaker_cooldown_ms =
+      flags.GetDouble("breaker-cooldown-ms");
 
   auto service =
       serve::ResolutionService::Create(*dataset, &*gazetteer, options);
@@ -179,7 +227,15 @@ int Run(int argc, char** argv) {
 
   if (auto st = InstallStopHandlers(); !st.ok()) return Fail(st);
 
-  serve::LineServer server(service->get());
+  serve::ServerOptions server_options;
+  server_options.listen_backlog = std::max(1, flags.GetInt("listen-backlog"));
+  server_options.max_connections =
+      std::max(0, flags.GetInt("max-connections"));
+  server_options.read_timeout_ms = flags.GetDouble("read-timeout-ms");
+  server_options.write_timeout_ms = flags.GetDouble("write-timeout-ms");
+  server_options.retry_after_ms =
+      std::max(1.0, flags.GetDouble("retry-after-ms"));
+  serve::LineServer server(service->get(), server_options);
   const int port = flags.GetInt("port");
   if (port >= 0) {
     if (auto st = server.StartTcp(port); !st.ok()) return Fail(st);
