@@ -6,7 +6,7 @@
 #
 # Usage: scripts/check.sh
 #          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
-#           --overload-only]
+#           --overload-only|--obs-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
@@ -15,6 +15,10 @@
 # --overload-only: the overload-protection suite under ASan/UBSan — the
 # deadline/breaker/admission unit tests plus the serve_overload_smoke
 # latency-chaos storm (baseline -> open-loop overload -> recovery).
+#
+# --obs-only: the observability suite under ASan/UBSan — metrics registry,
+# trace spans, the stats/metrics schema tests, and the serve CLI smoke
+# that exercises the metrics verb end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,9 +27,10 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 MODE="${1:-all}"
 
 # The concurrent subsystems exercised under TSan: the serving layer
-# (service, server, cache, batcher), the shared executor pool, and the
-# incremental resolver the serving hot path drives.
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload'
+# (service, server, cache, batcher), the shared executor pool, the
+# incremental resolver the serving hot path drives, and the observability
+# primitives (striped counters, trace ring buffer, registry export).
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema'
 
 run_suite() {
   local dir="$1"; shift
@@ -61,6 +66,15 @@ if [[ "$MODE" == "--overload-only" ]]; then
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|Overload|Deadline|TrySubmit|Jitter|Oversized|serve_overload_smoke'
   echo "==> overload checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--obs-only" ]]; then
+  echo "==> observability suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'Percentile|Summarize|LatencyReservoir|CounterTest|GaugeTest|HistogramTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|MetricsVerb|serve_cli_smoke'
+  echo "==> observability checks passed"
   exit 0
 fi
 

@@ -1,0 +1,369 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace weber {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Latency summary helpers
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+LatencySummary Summarize(const std::vector<double>& samples_ms) {
+  LatencySummary out;
+  out.count = static_cast<long long>(samples_ms.size());
+  if (samples_ms.empty()) return out;
+  std::vector<double> sorted = samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double s : sorted) total += s;
+  out.mean_ms = total / static_cast<double>(sorted.size());
+  out.p50_ms = Percentile(sorted, 0.50);
+  out.p95_ms = Percentile(sorted, 0.95);
+  out.p99_ms = Percentile(sorted, 0.99);
+  return out;
+}
+
+void LatencyReservoir::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  total_ms_ += ms;
+  if (samples_.size() < kReservoirSize) {
+    samples_.push_back(ms);
+  } else {
+    // Vitter's algorithm R: replace a random slot with probability k/n.
+    rng_state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    uint64_t slot = z % static_cast<uint64_t>(count_);
+    if (slot < kReservoirSize) samples_[slot] = ms;
+  }
+}
+
+LatencySummary LatencyReservoir::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencySummary out;
+  out.count = count_;
+  if (count_ == 0) return out;
+  out.mean_ms = total_ms_ / static_cast<double>(count_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  out.p50_ms = Percentile(sorted, 0.50);
+  out.p95_ms = Percentile(sorted, 0.95);
+  out.p99_ms = Percentile(sorted, 0.99);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+
+size_t Counter::StripeIndex() {
+  static thread_local const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return index & (kStripes - 1);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+          5000, 10000};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// Formats a sample value; non-finite values are clamped to 0 so the
+/// exposition never carries NaN/Inf.
+std::string FormatValue(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string FormatValue(long long value) { return std::to_string(value); }
+
+/// Escapes a label value per the exposition format: backslash, quote, and
+/// newline must be backslash-escaped.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelClause(const std::string& key, const std::string& value) {
+  if (key.empty()) return "";
+  return "{" + key + "=\"" + EscapeLabelValue(value) + "\"}";
+}
+
+/// As LabelClause but with an extra `le` pair appended (histograms).
+std::string BucketLabelClause(const std::string& key, const std::string& value,
+                              const std::string& le) {
+  std::string out = "{";
+  if (!key.empty()) {
+    out += key + "=\"" + EscapeLabelValue(value) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Instance {
+  std::string label_key;
+  std::string label_value;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::function<double()> callback;
+};
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<std::unique_ptr<Instance>> instances;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Family* MetricsRegistry::FindOrCreateFamily(
+    const std::string& name, const std::string& help, MetricType type) {
+  for (auto& family : families_) {
+    if (family->name == name) {
+      if (family->type != type) return nullptr;
+      return family.get();
+    }
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->type = type;
+  families_.push_back(std::move(family));
+  return families_.back().get();
+}
+
+MetricsRegistry::Instance* MetricsRegistry::FindInstance(
+    Family* family, const std::string& label_key,
+    const std::string& label_value) {
+  for (auto& instance : family->instances) {
+    if (instance->label_key == label_key &&
+        instance->label_value == label_value) {
+      return instance.get();
+    }
+  }
+  auto instance = std::make_unique<Instance>();
+  instance->label_key = label_key;
+  instance->label_value = label_value;
+  family->instances.push_back(std::move(instance));
+  return family->instances.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, MetricType::kCounter);
+  if (family == nullptr) {
+    WEBER_LOG(WARNING) << "metric '" << name
+                       << "' re-registered with a different type; returning "
+                          "a detached counter";
+    detached_counters_.push_back(std::make_unique<Counter>());
+    return detached_counters_.back().get();
+  }
+  Instance* instance = FindInstance(family, label_key, label_value);
+  if (!instance->counter) instance->counter = std::make_unique<Counter>();
+  return instance->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& label_key,
+                                 const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, MetricType::kGauge);
+  if (family == nullptr) {
+    WEBER_LOG(WARNING) << "metric '" << name
+                       << "' re-registered with a different type; returning "
+                          "a detached gauge";
+    detached_gauges_.push_back(std::make_unique<Gauge>());
+    return detached_gauges_.back().get();
+  }
+  Instance* instance = FindInstance(family, label_key, label_value);
+  if (!instance->gauge) instance->gauge = std::make_unique<Gauge>();
+  return instance->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const std::string& label_key,
+                                         const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, MetricType::kHistogram);
+  if (family == nullptr) {
+    WEBER_LOG(WARNING) << "metric '" << name
+                       << "' re-registered with a different type; returning "
+                          "a detached histogram";
+    detached_histograms_.push_back(
+        std::make_unique<Histogram>(std::move(bounds)));
+    return detached_histograms_.back().get();
+  }
+  Instance* instance = FindInstance(family, label_key, label_value);
+  if (!instance->histogram) {
+    instance->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return instance->histogram.get();
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const std::string& help,
+                                       MetricType type,
+                                       std::function<double()> fn,
+                                       const std::string& label_key,
+                                       const std::string& label_value) {
+  if (type == MetricType::kHistogram) {
+    WEBER_LOG(WARNING) << "callback metric '" << name
+                       << "' cannot be a histogram; registering as gauge";
+    type = MetricType::kGauge;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, type);
+  if (family == nullptr) {
+    WEBER_LOG(WARNING) << "metric '" << name
+                       << "' re-registered with a different type; dropping "
+                          "callback";
+    return;
+  }
+  Instance* instance = FindInstance(family, label_key, label_value);
+  instance->callback = std::move(fn);
+}
+
+void MetricsRegistry::WritePrometheusText(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& family : families_) {
+    os << "# HELP " << family->name << ' ' << family->help << '\n';
+    os << "# TYPE " << family->name << ' ' << TypeName(family->type) << '\n';
+    for (const auto& instance : family->instances) {
+      const std::string labels =
+          LabelClause(instance->label_key, instance->label_value);
+      if (instance->histogram) {
+        const Histogram::Snapshot snap = instance->histogram->Snap();
+        long long cumulative = 0;
+        for (size_t i = 0; i < snap.bounds.size(); ++i) {
+          cumulative += snap.buckets[i];
+          os << family->name << "_bucket"
+             << BucketLabelClause(instance->label_key, instance->label_value,
+                                  FormatValue(snap.bounds[i]))
+             << ' ' << FormatValue(cumulative) << '\n';
+        }
+        cumulative += snap.buckets.back();
+        os << family->name << "_bucket"
+           << BucketLabelClause(instance->label_key, instance->label_value,
+                                "+Inf")
+           << ' ' << FormatValue(cumulative) << '\n';
+        os << family->name << "_sum" << labels << ' ' << FormatValue(snap.sum)
+           << '\n';
+        os << family->name << "_count" << labels << ' '
+           << FormatValue(snap.count) << '\n';
+      } else if (instance->callback) {
+        os << family->name << labels << ' '
+           << FormatValue(instance->callback()) << '\n';
+      } else if (instance->counter) {
+        os << family->name << labels << ' '
+           << FormatValue(instance->counter->Value()) << '\n';
+      } else if (instance->gauge) {
+        os << family->name << labels << ' '
+           << FormatValue(instance->gauge->Value()) << '\n';
+      }
+    }
+  }
+}
+
+size_t MetricsRegistry::FamilyCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace weber

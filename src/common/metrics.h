@@ -1,0 +1,239 @@
+// weber::obs metrics: a process-wide registry of counters, gauges, and
+// fixed-bucket histograms with a Prometheus text exporter.
+//
+// Design (see DESIGN.md, "Observability"):
+//   * Counters stripe their increments across cache-line-padded atomics
+//     indexed by a per-thread hash, so the hot path is one relaxed
+//     fetch_add with no sharing between threads that land on different
+//     stripes. Reads sum the stripes; totals are exact, ordering is not.
+//   * Histograms use a fixed set of upper bounds chosen at registration;
+//     Observe is a binary search plus two relaxed atomic adds (bucket and
+//     count) and a CAS loop for the running sum.
+//   * Gauges are a single atomic double. Callback metrics pull their value
+//     from a std::function at export time — the bridge for subsystems that
+//     already keep their own counters (cache, batcher, durability).
+//   * The registry groups metrics into families (same name, one label pair
+//     per instance) and renders them in registration order as Prometheus
+//     text exposition: `# HELP` / `# TYPE` headers followed by samples.
+//     Non-finite callback values are exported as 0 so the payload never
+//     carries NaN/Inf.
+//
+// The latency helpers at the top (Percentile, LatencySummary,
+// LatencyReservoir) are the shared summary math used by the serving
+// layer's stats JSON and by weber_loadgen: nearest-rank percentiles with
+// linear interpolation over a Vitter algorithm-R reservoir.
+
+#ifndef WEBER_COMMON_METRICS_H_
+#define WEBER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace weber {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Latency summary helpers
+
+/// Interpolated percentile of an ascending-sorted sample vector.
+/// `q` in [0, 1]. Uses the nearest-rank position q * (n - 1) with linear
+/// interpolation between the two bracketing samples, so p99 of [1..10] is
+/// 9.91 rather than the truncated 9.0. Returns 0.0 on an empty vector.
+double Percentile(const std::vector<double>& sorted, double q);
+
+/// Summary of a latency distribution. `count` is the number of events
+/// observed (which may exceed the number of retained samples when the
+/// source is a reservoir); count == 0 means no samples at all and every
+/// other field is 0.
+struct LatencySummary {
+  long long count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  bool no_samples() const { return count == 0; }
+};
+
+/// Summarizes a full sample set (not a reservoir): sorts a copy and fills
+/// mean/p50/p95/p99 with interpolated percentiles. Empty input yields the
+/// all-zero summary with count == 0.
+LatencySummary Summarize(const std::vector<double>& samples_ms);
+
+/// Thread-safe bounded-memory latency reservoir (Vitter's algorithm R).
+/// Keeps an unbiased sample of up to 2^14 observations plus the exact
+/// count and sum, so mean is exact and percentiles are estimated from the
+/// reservoir.
+class LatencyReservoir {
+ public:
+  void Record(double ms);
+  LatencySummary Summary() const;
+
+ private:
+  static constexpr size_t kReservoirSize = 1 << 14;
+
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  long long count_ = 0;
+  double total_ms_ = 0.0;
+  uint64_t rng_state_ = 0x5A17ED1ULL;
+};
+
+// ---------------------------------------------------------------------------
+// Metric primitives
+
+/// Monotonic counter. Increment is a single relaxed fetch_add on a
+/// per-thread stripe; Value sums the stripes (exact, eventually ordered).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(long long delta = 1) {
+    stripes_[StripeIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long Value() const {
+    long long total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;  // power of two
+  struct alignas(64) Stripe {
+    std::atomic<long long> value{0};
+  };
+
+  static size_t StripeIndex();
+
+  Stripe stripes_[kStripes];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bounds are inclusive upper edges in ascending
+/// order; an implicit +Inf bucket catches the tail. Observe is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< upper edges, ascending
+    std::vector<long long> buckets;      ///< bounds.size() + 1 (+Inf last)
+    long long count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<long long>> buckets_;  // bounds_.size() + 1
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket edges in milliseconds (sub-ms to 10s).
+std::vector<double> DefaultLatencyBucketsMs();
+
+// ---------------------------------------------------------------------------
+// Registry
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Owns metrics and renders them as Prometheus text exposition. Metrics
+/// with the same name form one family (one # HELP / # TYPE header) and are
+/// distinguished by a single optional label pair per instance. Returned
+/// pointers are stable for the registry's lifetime. Registration takes a
+/// mutex; the returned primitives are the lock-free hot path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. Re-registering the same (name, label) pair returns
+  /// the existing metric. Registering a name that already exists with a
+  /// different type logs a warning and returns a detached metric that is
+  /// never exported, so call sites need no error handling.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::string& label_key = "",
+                      const std::string& label_value = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::string& label_key = "",
+                  const std::string& label_value = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const std::string& label_key = "",
+                          const std::string& label_value = "");
+
+  /// Pull-style metric: `fn` is invoked at export time. `type` must be
+  /// kCounter or kGauge and only controls the advertised # TYPE.
+  void RegisterCallback(const std::string& name, const std::string& help,
+                        MetricType type, std::function<double()> fn,
+                        const std::string& label_key = "",
+                        const std::string& label_value = "");
+
+  /// Renders every registered family in registration order as Prometheus
+  /// text exposition. Every emitted value is finite (non-finite callback
+  /// results are clamped to 0).
+  void WritePrometheusText(std::ostream& os) const;
+
+  /// Number of registered families (for tests).
+  size_t FamilyCount() const;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Instance;
+  struct Family;
+
+  Family* FindOrCreateFamily(const std::string& name, const std::string& help,
+                             MetricType type);
+  Instance* FindInstance(Family* family, const std::string& label_key,
+                         const std::string& label_value);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;
+  /// Metrics handed out on a type clash; owned but never exported.
+  std::vector<std::unique_ptr<Counter>> detached_counters_;
+  std::vector<std::unique_ptr<Gauge>> detached_gauges_;
+  std::vector<std::unique_ptr<Histogram>> detached_histograms_;
+};
+
+}  // namespace obs
+}  // namespace weber
+
+#endif  // WEBER_COMMON_METRICS_H_

@@ -1,4 +1,7 @@
-// Wall-clock timer for coarse experiment timings.
+// Elapsed-real-time timer for coarse experiment timings. Despite the
+// name, it reads std::chrono::steady_clock — a monotonic clock immune to
+// NTP steps and manual clock changes — not the system wall clock, so
+// measured durations are always non-negative.
 
 #ifndef WEBER_COMMON_TIMER_H_
 #define WEBER_COMMON_TIMER_H_

@@ -1,0 +1,61 @@
+#include "common/trace.h"
+
+#include "common/logging.h"
+
+namespace weber {
+namespace obs {
+
+namespace {
+thread_local uint64_t g_current_request_id = 0;
+}  // namespace
+
+uint64_t SetCurrentRequestId(uint64_t id) {
+  const uint64_t previous = g_current_request_id;
+  g_current_request_id = id;
+  return previous;
+}
+
+uint64_t CurrentRequestId() { return g_current_request_id; }
+
+TraceCollector::TraceCollector(TraceOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.resize(options_.capacity);
+}
+
+double TraceCollector::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceCollector::Record(const char* name, uint64_t request_id,
+                            double start_ms, double duration_ms) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.slow_ms > 0.0 && duration_ms >= options_.slow_ms) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    WEBER_LOG(WARNING) << "slow span '" << name << "' request_id="
+                       << request_id << " took " << duration_ms
+                       << " ms (threshold " << options_.slow_ms << " ms)";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[ring_next_] = TraceSpan{name, request_id, start_ms, duration_ms};
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  if (ring_next_ == 0) ring_full_ = true;
+}
+
+std::vector<TraceSpan> TraceCollector::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  if (ring_full_) {
+    out.reserve(ring_.size());
+    for (size_t i = ring_next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+    for (size_t i = 0; i < ring_next_; ++i) out.push_back(ring_[i]);
+  } else {
+    out.assign(ring_.begin(), ring_.begin() + ring_next_);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace weber

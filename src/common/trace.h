@@ -1,0 +1,145 @@
+// weber::obs tracing: scoped spans with request IDs and slow-span logging.
+//
+// A TraceCollector hands out monotonically increasing request IDs and keeps
+// the most recent spans in a bounded ring buffer. Spans are recorded by
+// RAII ScopedSpan guards; the request ID is threaded through call chains
+// (including hops across the micro-batcher's flush thread) via an explicit
+// thread-local, so deep layers never need an extra parameter.
+//
+// Everything degrades to a no-op when the collector pointer is null: a
+// ScopedSpan constructed with nullptr reads no clock and records nothing,
+// which is how instrumented code stays free when tracing is off.
+//
+// Slow-request logging: a collector configured with slow_ms > 0 emits a
+// WEBER_LOG(WARNING) line for every span at or over the threshold and
+// counts it, giving operators a zero-config way to spot outliers.
+
+#ifndef WEBER_COMMON_TRACE_H_
+#define WEBER_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace weber {
+namespace obs {
+
+/// One completed span. `name` must be a string literal (stored by pointer).
+struct TraceSpan {
+  const char* name = "";
+  uint64_t request_id = 0;
+  /// Milliseconds since the collector's epoch (its construction time).
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+struct TraceOptions {
+  /// Spans retained in the ring buffer (oldest overwritten first).
+  size_t capacity = 4096;
+  /// Spans at or over this duration are counted and logged at WARNING
+  /// severity (0 = no slow logging).
+  double slow_ms = 0.0;
+};
+
+/// Thread-safe span sink with bounded memory. Record is a mutex-guarded
+/// ring-buffer store — cheap at request granularity, not meant for
+/// per-pair-score instrumentation.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceOptions options = {});
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Next request ID (starts at 1; 0 means "no request context").
+  uint64_t NextRequestId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Milliseconds elapsed since the collector was created (steady clock).
+  double NowMs() const;
+
+  void Record(const char* name, uint64_t request_id, double start_ms,
+              double duration_ms);
+
+  /// The retained spans, oldest first.
+  std::vector<TraceSpan> Spans() const;
+
+  long long spans_recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  long long slow_spans() const {
+    return slow_.load(std::memory_order_relaxed);
+  }
+  double slow_ms() const { return options_.slow_ms; }
+
+ private:
+  TraceOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<long long> recorded_{0};
+  std::atomic<long long> slow_{0};
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;  // guarded by mu_
+  size_t ring_next_ = 0;         // guarded by mu_
+  bool ring_full_ = false;       // guarded by mu_
+};
+
+/// Sets the ambient request ID for the calling thread. Instrumented layers
+/// below read it via CurrentRequestId() so request identity survives call
+/// chains without signature changes. Returns the previous value.
+uint64_t SetCurrentRequestId(uint64_t id);
+uint64_t CurrentRequestId();
+
+/// RAII scope restoring the previous ambient request ID on exit; used when
+/// a worker thread processes items on behalf of several requests.
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(uint64_t id) : previous_(SetCurrentRequestId(id)) {}
+  ~RequestIdScope() { SetCurrentRequestId(previous_); }
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// Times a scope and records it on destruction (or at End()). A null
+/// collector makes construction and destruction free of clock reads.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* collector, const char* name)
+      : collector_(collector), name_(name) {
+    if (collector_ != nullptr) {
+      request_id_ = CurrentRequestId();
+      start_ms_ = collector_->NowMs();
+    }
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records the span now; further End() calls are no-ops.
+  void End() {
+    if (collector_ == nullptr) return;
+    collector_->Record(name_, request_id_, start_ms_,
+                       collector_->NowMs() - start_ms_);
+    collector_ = nullptr;
+  }
+
+ private:
+  TraceCollector* collector_;
+  const char* name_;
+  uint64_t request_id_ = 0;
+  double start_ms_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace weber
+
+#endif  // WEBER_COMMON_TRACE_H_

@@ -4,6 +4,8 @@
 
 #include "common/executor.h"
 #include "common/json_writer.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "ml/splitter.h"
 
 namespace weber {
@@ -11,7 +13,7 @@ namespace core {
 
 Status ExperimentRunner::Prepare(
     const extract::FeatureExtractorOptions& extractor_options,
-    double train_fraction, int min_train_pairs) {
+    double train_fraction, int min_train_pairs, obs::TraceCollector* trace) {
   if (dataset_ == nullptr || gazetteer_ == nullptr) {
     return Status::InvalidArgument("ExperimentRunner: null dataset/gazetteer");
   }
@@ -19,6 +21,8 @@ Status ExperimentRunner::Prepare(
     return Status::InvalidArgument("ExperimentRunner: num_runs must be >= 1");
   }
   extract::FeatureExtractor extractor(gazetteer_, extractor_options);
+  WallTimer blocking_timer;
+  obs::ScopedSpan blocking_span(trace, "pipeline.blocking");
   block_bundles_.clear();
   block_bundles_.reserve(dataset_->blocks.size());
   for (const corpus::Block& block : dataset_->blocks) {
@@ -31,6 +35,8 @@ Status ExperimentRunner::Prepare(
                            extractor.ExtractBlock(pages, block.query));
     block_bundles_.push_back(std::move(bundles));
   }
+  blocking_span.End();
+  blocking_ms_ = blocking_timer.ElapsedMillis();
 
   // Fix the training samples: one Rng stream per (run, block).
   Rng master(seed_);
@@ -58,6 +64,7 @@ Result<ExperimentResult> ExperimentRunner::Run(
 
   ExperimentResult result;
   result.label = config.label;
+  result.stage_ms.blocking_ms = blocking_ms_;
   result.per_block.reserve(dataset_->blocks.size());
 
   Rng master(seed_ ^ 0xABCDEF12345ULL);
@@ -72,6 +79,7 @@ Result<ExperimentResult> ExperimentRunner::Run(
           resolver.ResolveExtracted(block_bundles_[b], block.entity_labels,
                                     training_pairs_[run][b], &rng));
       result.health.Merge(resolution.health);
+      result.stage_ms.Merge(resolution.stage_ms);
       WEBER_ASSIGN_OR_RETURN(
           eval::MetricReport report,
           eval::Evaluate(block.GroundTruth(), resolution.clustering));
@@ -152,6 +160,14 @@ Status WriteExperimentJson(const corpus::Dataset& dataset, int num_runs,
     write_report(r.overall);
     json.Key("health");
     WriteRunHealthJson(json, r.health);
+    json.Key("stage_ms").BeginObject();
+    json.Key("blocking").Number(r.stage_ms.blocking_ms);
+    json.Key("similarity").Number(r.stage_ms.similarity_ms);
+    json.Key("decision").Number(r.stage_ms.decision_ms);
+    json.Key("combine").Number(r.stage_ms.combine_ms);
+    json.Key("cluster").Number(r.stage_ms.cluster_ms);
+    json.Key("total").Number(r.stage_ms.TotalMs());
+    json.EndObject();
     json.Key("per_block").BeginArray();
     for (size_t b = 0; b < r.per_block.size(); ++b) {
       json.BeginObject();

@@ -40,6 +40,10 @@ struct ExperimentResult {
   /// configuration; all-zero for a clean run. Serialized into the
   /// experiment JSON.
   RunHealth health;
+  /// Per-stage wall-clock totals summed over every (run, block) resolution.
+  /// `blocking_ms` is the shared Prepare() extraction cost (identical across
+  /// configurations, since extraction is shared). Serialized as "stage_ms".
+  StageTimings stage_ms;
 };
 
 /// Shares extraction and training splits across configurations.
@@ -55,9 +59,13 @@ class ExperimentRunner {
         seed_(seed) {}
 
   /// Extracts features for every block and fixes the per-(run, block)
-  /// training pair samples. Must be called before Run.
+  /// training pair samples. Must be called before Run. When `trace` is set,
+  /// the extraction/blocking work is recorded as one "pipeline.blocking"
+  /// span; its wall-clock cost is always kept and reported via
+  /// `ExperimentResult::stage_ms.blocking_ms`.
   Status Prepare(const extract::FeatureExtractorOptions& extractor_options = {},
-                 double train_fraction = 0.10, int min_train_pairs = 10);
+                 double train_fraction = 0.10, int min_train_pairs = 10,
+                 obs::TraceCollector* trace = nullptr);
 
   /// Evaluates one configuration. The configuration's own train_fraction /
   /// extractor settings are ignored in favour of the shared Prepare state.
@@ -83,6 +91,9 @@ class ExperimentRunner {
   uint64_t seed_;
 
   bool prepared_ = false;
+  /// Wall-clock cost of the Prepare() extraction loop, copied into every
+  /// configuration's result as stage_ms.blocking_ms.
+  double blocking_ms_ = 0.0;
   std::vector<std::vector<extract::FeatureBundle>> block_bundles_;
   /// training_pairs_[run][block] = sampled labeled training pairs.
   std::vector<std::vector<std::vector<std::pair<int, int>>>> training_pairs_;

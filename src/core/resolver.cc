@@ -218,6 +218,8 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
 
   // --- Step 1: complete weighted graph per function, under the pair budget
   // and deadline. ---
+  WallTimer stage_timer;
+  obs::ScopedSpan similarity_span(options_.trace, "pipeline.similarity");
   const long long pairs_per_matrix =
       static_cast<long long>(n) * (n - 1) / 2;
   long long pairs_spent = 0;
@@ -255,6 +257,11 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
       health.asymmetry_violations += g.violations().asymmetry;
     }
   }
+
+  similarity_span.End();
+  resolution.stage_ms.similarity_ms = stage_timer.ElapsedMillis();
+  stage_timer.Restart();
+  obs::ScopedSpan decision_span(options_.trace, "pipeline.decision");
 
   // Layout helper for pair offsets (all matrices share the same indexing).
   const graph::SimilarityMatrix* layout = nullptr;
@@ -385,6 +392,10 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
     }
   }
 
+  decision_span.End();
+  resolution.stage_ms.decision_ms = stage_timer.ElapsedMillis();
+  stage_timer.Restart();
+
   bool used_fallback = false;
   if (sources.empty()) {
     // No usable decision graph. If fitting failed on otherwise healthy
@@ -399,6 +410,9 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
     // computed (guarded, clamped) matrices; singletons when even that is
     // impossible. Never fail the block for a recoverable cause.
     used_fallback = true;
+    // The whole fallback path (mean matrix + threshold + closure) counts
+    // as clustering time: it substitutes for Steps 5-6.
+    obs::ScopedSpan fallback_span(options_.trace, "pipeline.cluster");
     resolution.clustering = graph::Clustering::Singletons(n);
     resolution.chosen_source = "fallback/singletons";
     if (layout != nullptr && !train_pairs.empty()) {
@@ -433,14 +447,21 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
         }
       }
     }
+    fallback_span.End();
+    resolution.stage_ms.cluster_ms = stage_timer.ElapsedMillis();
   } else {
     // --- Step 5: combine. ---
+    obs::ScopedSpan combine_span(options_.trace, "pipeline.combine");
     WEBER_ASSIGN_OR_RETURN(
         CombinedGraph combined,
         CombineDecisionGraphs(sources, training_offsets, options_.combination));
     resolution.chosen_source = combined.chosen_source;
+    combine_span.End();
+    resolution.stage_ms.combine_ms = stage_timer.ElapsedMillis();
+    stage_timer.Restart();
 
     // --- Step 6: cluster. ---
+    obs::ScopedSpan cluster_span(options_.trace, "pipeline.cluster");
     if (Status fault = faults::MaybeFail("clustering.run"); !fault.ok()) {
       // The robust default: transitive closure needs no parameters and
       // cannot fail, so a broken clustering backend degrades to the
@@ -465,6 +486,8 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
           break;
       }
     }
+    cluster_span.End();
+    resolution.stage_ms.cluster_ms = stage_timer.ElapsedMillis();
   }
 
   if (used_fallback || health.deadline_hits > 0 || health.budget_hits > 0 ||

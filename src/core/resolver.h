@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/combiner.h"
 #include "core/guarded_function.h"
 #include "core/run_health.h"
@@ -108,6 +109,35 @@ struct ResolverOptions {
   /// budget, remaining functions are skipped and the block is marked
   /// degraded. 0 disables.
   long long max_pair_budget = 0;
+
+  /// Optional span sink (weber::obs): when set, ResolveExtracted records
+  /// one span per pipeline stage. Stage timings in BlockResolution are
+  /// collected regardless — they cost two clock reads per stage. The
+  /// collector must outlive the resolver.
+  obs::TraceCollector* trace = nullptr;
+};
+
+/// Wall-clock milliseconds spent in each stage of Algorithm 1 for one
+/// block. `blocking_ms` (extraction/blocking) is filled by the caller that
+/// owns that work (the experiment runner); the resolver fills the rest.
+struct StageTimings {
+  double blocking_ms = 0.0;
+  double similarity_ms = 0.0;
+  double decision_ms = 0.0;
+  double combine_ms = 0.0;
+  double cluster_ms = 0.0;
+
+  void Merge(const StageTimings& other) {
+    blocking_ms += other.blocking_ms;
+    similarity_ms += other.similarity_ms;
+    decision_ms += other.decision_ms;
+    combine_ms += other.combine_ms;
+    cluster_ms += other.cluster_ms;
+  }
+  double TotalMs() const {
+    return blocking_ms + similarity_ms + decision_ms + combine_ms +
+           cluster_ms;
+  }
 };
 
 /// Diagnostics for one (function, criterion) decision graph.
@@ -130,6 +160,10 @@ struct BlockResolution {
 
   /// The labeled pairs used for training in this run.
   std::vector<std::pair<int, int>> training_pairs;
+
+  /// Wall-clock per-stage breakdown (blocking_ms left 0 here; the caller
+  /// that performed extraction fills it in).
+  StageTimings stage_ms;
 
   /// Degradation diagnostics for this block (all-zero on a clean run).
   /// `health.degraded_blocks` is 1 when the result is partial: a deadline

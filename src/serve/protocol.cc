@@ -110,6 +110,12 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kStats;
     return request;
   }
+  if (verb == "metrics") {
+    WEBER_RETURN_NOT_OK(no_deadline());
+    WEBER_RETURN_NOT_OK(need(1));
+    request.op = Request::Op::kMetrics;
+    return request;
+  }
   if (verb == "ping") {
     WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(1));

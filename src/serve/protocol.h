@@ -9,6 +9,8 @@
 //   compact                 compact every shard
 //   dump <block>            snapshot partition as doc:label pairs
 //   stats                   service stats as one-line JSON
+//   metrics                 Prometheus text exposition of the metrics
+//                           registry: "ok <n>" followed by n payload lines
 //   ping                    liveness check
 //   quit                    close the connection / stop the stdio loop
 //
@@ -22,7 +24,9 @@
 //
 //   ok [fields...]          assign/query: "ok <cluster> <version>";
 //                           compact: "ok <version>"; dump: "ok <n>
-//                           <doc>:<label> ..."; stats: "ok <json>"
+//                           <doc>:<label> ..."; stats: "ok <json>";
+//                           metrics: "ok <n>" plus n further lines (the
+//                           only multi-line response in the protocol)
 //   OVERLOADED <ms>         the request was shed before any state changed
 //                           (queue cap, connection cap, or open breaker);
 //                           retrying after <ms> milliseconds is safe
@@ -61,6 +65,7 @@ struct Request {
     kCompactAll,
     kDump,
     kStats,
+    kMetrics,
     kPing,
     kQuit,
   };

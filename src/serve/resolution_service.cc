@@ -20,55 +20,6 @@ namespace serve {
 // ---------------------------------------------------------------------------
 // Internal types
 
-/// Reservoir of latency samples; thread-safe, bounded memory.
-class ResolutionService::LatencyRecorder {
- public:
-  void Record(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++count_;
-    total_ms_ += ms;
-    if (samples_.size() < kReservoirSize) {
-      samples_.push_back(ms);
-    } else {
-      // Vitter's algorithm R: replace a random slot with probability k/n.
-      rng_state_ += 0x9E3779B97F4A7C15ULL;
-      uint64_t z = rng_state_;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      z ^= z >> 31;
-      uint64_t slot = z % static_cast<uint64_t>(count_);
-      if (slot < kReservoirSize) samples_[slot] = ms;
-    }
-  }
-
-  EndpointLatency Summary() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    EndpointLatency out;
-    out.count = count_;
-    if (count_ == 0) return out;
-    out.mean_ms = total_ms_ / static_cast<double>(count_);
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    auto pct = [&sorted](double p) {
-      size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
-      return sorted[idx];
-    };
-    out.p50_ms = pct(0.50);
-    out.p95_ms = pct(0.95);
-    out.p99_ms = pct(0.99);
-    return out;
-  }
-
- private:
-  static constexpr size_t kReservoirSize = 1 << 14;
-
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  long long count_ = 0;
-  double total_ms_ = 0.0;
-  uint64_t rng_state_ = 0x5A17ED1ULL;
-};
-
 /// PairScoreCache adapter handed to a shard's IncrementalResolver:
 /// translates arrival indices to canonical document ids and keys the shared
 /// SimilarityCache. Only called under the shard lock (the resolver is
@@ -129,6 +80,11 @@ struct ResolutionService::PendingAssign {
   int doc = -1;
   RequestDeadline deadline;
   std::promise<Result<AssignResult>> promise;
+  /// Trace context captured at submission; restored on the flush thread so
+  /// spans recorded there attribute to the originating request. Both are
+  /// only populated when a trace collector is configured.
+  uint64_t request_id = 0;
+  double submitted_at_ms = 0.0;
 };
 
 CacheKey ResolutionService::ShardScoreCache::KeyFor(int function_index, int a,
@@ -157,10 +113,124 @@ void ResolutionService::ShardScoreCache::Insert(int function_index, int a,
 // Construction
 
 ResolutionService::ResolutionService(ServiceOptions options)
-    : options_(std::move(options)),
-      assign_latency_(std::make_unique<LatencyRecorder>()),
-      query_latency_(std::make_unique<LatencyRecorder>()),
-      compact_latency_(std::make_unique<LatencyRecorder>()) {}
+    : options_(std::move(options)) {
+  assigns_ = registry_.GetCounter(
+      "weber_assigns_total", "Documents assigned to a live partition");
+  queries_ = registry_.GetCounter(
+      "weber_queries_total", "Documents resolved against a snapshot");
+  compactions_ = registry_.GetCounter(
+      "weber_compactions_total", "Shard compactions completed");
+  failed_compactions_ = registry_.GetCounter(
+      "weber_failed_compactions_total",
+      "Shard compactions abandoned before publication");
+  failed_assigns_ = registry_.GetCounter(
+      "weber_failed_assigns_total",
+      "Assignments rejected by faults or WAL append failures");
+  snapshot_swaps_ = registry_.GetCounter(
+      "weber_snapshot_swaps_total", "Snapshots atomically published");
+  failed_publishes_ = registry_.GetCounter(
+      "weber_failed_publishes_total",
+      "Compactions whose durable snapshot publication failed");
+  deadline_exceeded_ = registry_.GetCounter(
+      "weber_deadline_exceeded_total",
+      "Requests answered DEADLINE_EXCEEDED");
+  const char* sheds_help = "Requests shed by overload protection, by kind";
+  budget_sheds_ = registry_.GetCounter("weber_sheds_total", sheds_help,
+                                       "kind", "budget");
+  compaction_sheds_ = registry_.GetCounter("weber_sheds_total", sheds_help,
+                                           "kind", "compaction");
+  breaker_sheds_ = registry_.GetCounter("weber_sheds_total", sheds_help,
+                                        "kind", "breaker");
+  const char* latency_help = "Request latency by endpoint (milliseconds)";
+  assign_hist_ = registry_.GetHistogram(
+      "weber_request_latency_ms", latency_help,
+      obs::DefaultLatencyBucketsMs(), "endpoint", "assign");
+  query_hist_ = registry_.GetHistogram(
+      "weber_request_latency_ms", latency_help,
+      obs::DefaultLatencyBucketsMs(), "endpoint", "query");
+  compact_hist_ = registry_.GetHistogram(
+      "weber_request_latency_ms", latency_help,
+      obs::DefaultLatencyBucketsMs(), "endpoint", "compact");
+  batch_size_hist_ = registry_.GetHistogram(
+      "weber_batch_size", "Assignments per micro-batch flush",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256});
+}
+
+void ResolutionService::RegisterPulledMetrics() {
+  // Pull-style bridges to subsystems that keep their own counters; invoked
+  // at export time, so the hot paths stay untouched. `this` outlives the
+  // registry's callers (the registry is a member).
+  auto pull = [this](const char* name, const char* help,
+                     obs::MetricType type, std::function<double()> fn,
+                     const char* label_key = "",
+                     const char* label_value = "") {
+    registry_.RegisterCallback(name, help, type, std::move(fn), label_key,
+                               label_value);
+  };
+  pull("weber_cache_hits_total", "Similarity cache hits",
+       obs::MetricType::kCounter,
+       [this] { return static_cast<double>(cache_->Stats().hits); });
+  pull("weber_cache_misses_total", "Similarity cache misses",
+       obs::MetricType::kCounter,
+       [this] { return static_cast<double>(cache_->Stats().misses); });
+  pull("weber_cache_evictions_total", "Similarity cache evictions",
+       obs::MetricType::kCounter,
+       [this] { return static_cast<double>(cache_->Stats().evictions); });
+  pull("weber_cache_entries", "Similarity cache resident entries",
+       obs::MetricType::kGauge,
+       [this] { return static_cast<double>(cache_->Stats().entries); });
+  pull("weber_cache_hit_rate", "Similarity cache hit rate (0 when unused)",
+       obs::MetricType::kGauge, [this] { return cache_->Stats().HitRate(); });
+  pull("weber_batches_flushed_total", "Micro-batcher flushes",
+       obs::MetricType::kCounter,
+       [this] { return static_cast<double>(batcher_->batches_flushed()); });
+  pull("weber_batched_requests_total",
+       "Assignments that went through the micro-batcher",
+       obs::MetricType::kCounter,
+       [this] { return static_cast<double>(batcher_->requests_flushed()); });
+  pull("weber_batcher_pending", "Assignments currently parked in the batcher",
+       obs::MetricType::kGauge,
+       [this] { return static_cast<double>(batcher_->pending()); });
+  pull("weber_sheds_total", "Requests shed by overload protection, by kind",
+       obs::MetricType::kCounter,
+       [this] { return static_cast<double>(batcher_->rejected()); }, "kind",
+       "batcher");
+  pull("weber_breaker_trips_total", "Circuit breaker trips across shards",
+       obs::MetricType::kCounter, [this] {
+         double total = 0;
+         for (const auto& shard : shards_) total += shard->breaker.trips();
+         return total;
+       });
+  pull("weber_breakers_open", "Shards whose circuit breaker is open",
+       obs::MetricType::kGauge, [this] {
+         double open = 0;
+         for (const auto& shard : shards_) {
+           if (shard->breaker.state() == CircuitBreaker::State::kOpen) ++open;
+         }
+         return open;
+       });
+  pull("weber_shards", "Shards served", obs::MetricType::kGauge,
+       [this] { return static_cast<double>(shards_.size()); });
+  if (!options_.durability.data_dir.empty()) {
+    auto sum_logs = [this](auto member) {
+      double total = 0;
+      for (const auto& shard : shards_) {
+        if (shard->log != nullptr) total += (shard->log.get()->*member)();
+      }
+      return total;
+    };
+    pull("weber_wal_appends_total", "WAL records appended",
+         obs::MetricType::kCounter,
+         [sum_logs] { return sum_logs(&durability::ShardLog::wal_appends); });
+    pull("weber_wal_syncs_total", "WAL fsync batches",
+         obs::MetricType::kCounter,
+         [sum_logs] { return sum_logs(&durability::ShardLog::wal_syncs); });
+    pull("weber_snapshots_written_total", "Durable snapshots written",
+         obs::MetricType::kCounter, [sum_logs] {
+           return sum_logs(&durability::ShardLog::snapshots_written);
+         });
+  }
+}
 
 ResolutionService::~ResolutionService() {
   // The batcher's destructor flushes pending assigns (which append WAL
@@ -274,6 +344,7 @@ Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
       batcher_options, [raw](std::vector<PendingAssign> batch) {
         raw->ProcessAssignBatch(std::move(batch));
       });
+  service->RegisterPulledMetrics();
   return service;
 }
 
@@ -466,7 +537,7 @@ Status ResolutionService::AdmitWrite(Shard* shard,
     // Answered without doing the work, but still a deadline blowout the
     // breaker must see — that keeps breaker behavior identical whether the
     // budget dies before admission or after fault-injected latency.
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_->Increment();
     shard->breaker.RecordFailure();
     return Status::DeadlineExceeded("deadline expired before admission to ",
                                     "shard '", shard->name, "'");
@@ -476,7 +547,7 @@ Status ResolutionService::AdmitWrite(Shard* shard,
     int current = shard->pending.load(std::memory_order_relaxed);
     for (;;) {
       if (current >= cap) {
-        budget_sheds_.fetch_add(1, std::memory_order_relaxed);
+        budget_sheds_->Increment();
         return Status::Unavailable("shard '", shard->name, "' already has ",
                                    current, " pending writes (cap ", cap, ")");
       }
@@ -488,7 +559,7 @@ Status ResolutionService::AdmitWrite(Shard* shard,
   }
   if (Status st = shard->breaker.Admit(); !st.ok()) {
     if (cap > 0) shard->pending.fetch_sub(1, std::memory_order_relaxed);
-    breaker_sheds_.fetch_add(1, std::memory_order_relaxed);
+    breaker_sheds_->Increment();
     return st;
   }
   return Status::OK();
@@ -503,7 +574,7 @@ void ResolutionService::FinishWrite(Shard* shard, const Status& outcome) {
     return;
   }
   if (outcome.code() == StatusCode::kDeadlineExceeded) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_->Increment();
   }
   // Every admitted write must resolve the breaker's bookkeeping (a
   // half-open probe in particular), so any failure — including a shed
@@ -523,6 +594,9 @@ bool ResolutionService::OverloadConfigured() const {
 
 Result<AssignResult> ResolutionService::AssignLocked(
     Shard* shard, int doc, const RequestDeadline& deadline) {
+  // Covers the WAL append plus the greedy resolver step, i.e. the work done
+  // while holding the shard lock for this one document.
+  obs::ScopedSpan span(options_.trace, "serve.resolver");
   if (doc < 0 || doc >= static_cast<int>(shard->bundles.size())) {
     return Status::InvalidArgument("Assign: document ", doc,
                                    " out of range for block '", shard->name,
@@ -535,7 +609,7 @@ Result<AssignResult> ResolutionService::AssignLocked(
                                     "for shard '", shard->name, "'");
   }
   if (Status st = faults::MaybeFail("serve.assign"); !st.ok()) {
-    failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+    failed_assigns_->Increment();
     return st;
   }
   AssignResult result;
@@ -574,7 +648,7 @@ Result<AssignResult> ResolutionService::AssignLocked(
   if (shard->log != nullptr) {
     if (Status st = shard->log->Append(durability::WalRecord::Assign(doc));
         !st.ok()) {
-      failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+      failed_assigns_->Increment();
       return st;
     }
   }
@@ -585,7 +659,7 @@ Result<AssignResult> ResolutionService::AssignLocked(
     return Status::FailedPrecondition("Assign: shard '", shard->name,
                                       "' is not calibrated");
   }
-  assigns_.fetch_add(1, std::memory_order_relaxed);
+  assigns_->Increment();
   shard->assigns_since_compact.fetch_add(1, std::memory_order_relaxed);
   if (deadline.Expired()) {
     // The work ran past the client's budget (e.g. fault-injected latency).
@@ -601,16 +675,20 @@ Result<AssignResult> ResolutionService::AssignLocked(
 Result<AssignResult> ResolutionService::Assign(const std::string& block,
                                                int doc,
                                                RequestDeadline deadline) {
+  obs::ScopedSpan span(options_.trace, "serve.assign");
   WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
   deadline = EffectiveDeadline(deadline);
   WEBER_RETURN_NOT_OK(AdmitWrite(shard, deadline));
   WallTimer timer;
   Result<AssignResult> result = Status::Internal("unset");
   {
+    obs::ScopedSpan shard_span(options_.trace, "serve.shard");
     std::lock_guard<std::mutex> lock(shard->mu);
     result = AssignLocked(shard, doc, deadline);
   }
-  assign_latency_->Record(timer.ElapsedMillis());
+  const double elapsed = timer.ElapsedMillis();
+  assign_latency_.Record(elapsed);
+  assign_hist_->Observe(elapsed);
   FinishWrite(shard, result.status());
   if (result.ok() && options_.compact_every > 0 &&
       shard->assigns_since_compact.load(std::memory_order_relaxed) >=
@@ -624,6 +702,10 @@ std::future<Result<AssignResult>> ResolutionService::AssignAsync(
     const std::string& block, int doc, RequestDeadline deadline) {
   PendingAssign pending;
   pending.doc = doc;
+  if (options_.trace != nullptr) {
+    pending.request_id = obs::CurrentRequestId();
+    pending.submitted_at_ms = options_.trace->NowMs();
+  }
   std::future<Result<AssignResult>> future = pending.promise.get_future();
   auto shard = FindShard(block);
   if (!shard.ok()) {
@@ -651,6 +733,17 @@ std::future<Result<AssignResult>> ResolutionService::AssignAsync(
 }
 
 void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
+  batch_size_hist_->Observe(static_cast<double>(batch.size()));
+  if (options_.trace != nullptr) {
+    // Park spans: how long each request waited in the batcher before its
+    // flush, attributed to the submitting request's ID.
+    const double now = options_.trace->NowMs();
+    for (const PendingAssign& pending : batch) {
+      options_.trace->Record("serve.batcher.park", pending.request_id,
+                             pending.submitted_at_ms,
+                             now - pending.submitted_at_ms);
+    }
+  }
   // Group by shard, preserving submission order within each group, so one
   // lock acquisition covers a run of same-shard requests.
   std::vector<Shard*> maybe_compact;
@@ -660,10 +753,14 @@ void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
     Shard* shard = batch[i].shard;
     results.clear();
     {
+      obs::ScopedSpan flush_span(options_.trace, "serve.batch_flush");
       std::lock_guard<std::mutex> lock(shard->mu);
       WallTimer timer;
       for (size_t j = i; j < batch.size(); ++j) {
         if (batch[j].shard != shard) continue;
+        // Restore the submitter's request ID for the spans recorded under
+        // AssignLocked on this flush thread.
+        obs::RequestIdScope id_scope(batch[j].request_id);
         // AssignLocked re-checks the deadline on entry, so a request that
         // expired while parked in the batcher is answered without work.
         results.emplace_back(j,
@@ -671,7 +768,9 @@ void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
                                           batch[j].deadline));
         batch[j].shard = nullptr;  // mark handled
       }
-      assign_latency_->Record(timer.ElapsedMillis());
+      const double elapsed = timer.ElapsedMillis();
+      assign_latency_.Record(elapsed);
+      assign_hist_->Observe(elapsed);
     }
     // Group commit: under the kBatch fsync policy the whole group becomes
     // durable with one sync before any acknowledgement leaves the service.
@@ -682,7 +781,7 @@ void ResolutionService::ProcessAssignBatch(std::vector<PendingAssign> batch) {
         shard->log != nullptr ? shard->log->Sync() : Status::OK();
     for (auto& [j, result] : results) {
       if (!synced.ok() && result.ok()) {
-        failed_assigns_.fetch_add(1, std::memory_order_relaxed);
+        failed_assigns_->Increment();
         FinishWrite(shard, synced);
         batch[j].promise.set_value(synced);
       } else {
@@ -738,10 +837,11 @@ Result<QueryResult> ResolutionService::Query(const std::string& block,
   if (deadline.Expired()) {
     // Reads skip the breaker and the budget — they are lock-free and cheap
     // — but an already-dead request is not worth even that much.
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_exceeded_->Increment();
     return Status::DeadlineExceeded("Query: deadline expired before ",
                                     "execution on shard '", block, "'");
   }
+  obs::ScopedSpan span(options_.trace, "serve.query");
   WallTimer timer;
   std::shared_ptr<const ResolverSnapshot> snap =
       shard->snapshot.load(std::memory_order_acquire);
@@ -776,8 +876,10 @@ Result<QueryResult> ResolutionService::Query(const std::string& block,
       result.score = agg;
     }
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  query_latency_->Record(timer.ElapsedMillis());
+  queries_->Increment();
+  const double elapsed = timer.ElapsedMillis();
+  query_latency_.Record(elapsed);
+  query_hist_->Observe(elapsed);
   return result;
 }
 
@@ -786,7 +888,13 @@ Result<QueryResult> ResolutionService::Query(const std::string& block,
 
 Status ResolutionService::CompactShard(Shard* shard,
                                        const RequestDeadline& deadline) {
+  obs::ScopedSpan span(options_.trace, "serve.compact");
   WallTimer timer;
+  auto record_latency = [this, &timer] {
+    const double elapsed = timer.ElapsedMillis();
+    compact_latency_.Record(elapsed);
+    compact_hist_->Observe(elapsed);
+  };
   // Phase 1 — copy the live arrival state under the lock. Bundles are
   // immutable, so only the id mapping and threshold need the lock.
   std::vector<int> canonical;
@@ -808,8 +916,8 @@ Status ResolutionService::CompactShard(Shard* shard,
     // compaction that cannot finish in budget is abandoned before it
     // publishes anything, so the shard keeps its previous snapshot.
     if (deadline.Expired()) {
-      failed_compactions_.fetch_add(1, std::memory_order_relaxed);
-      compact_latency_->Record(timer.ElapsedMillis());
+      failed_compactions_->Increment();
+      record_latency();
       return Status::DeadlineExceeded("Compact: deadline hit after ", a,
                                       " of ", n, " rows on shard '",
                                       shard->name, "'");
@@ -825,8 +933,8 @@ Status ResolutionService::CompactShard(Shard* shard,
   // a failing compaction has cost time but must not have changed what the
   // shard serves.
   if (Status st = faults::MaybeFail("serve.compact"); !st.ok()) {
-    failed_compactions_.fetch_add(1, std::memory_order_relaxed);
-    compact_latency_->Record(timer.ElapsedMillis());
+    failed_compactions_->Increment();
+    record_latency();
     return st;
   }
   if (deadline.Expired()) {
@@ -834,8 +942,8 @@ Status ResolutionService::CompactShard(Shard* shard,
     // scoring pass; publishing a result the client has given up on would
     // still be correct, but answering the truth keeps deadline semantics
     // uniform: nothing a DEADLINE_EXCEEDED response covers was published.
-    failed_compactions_.fetch_add(1, std::memory_order_relaxed);
-    compact_latency_->Record(timer.ElapsedMillis());
+    failed_compactions_->Increment();
+    record_latency();
     return Status::DeadlineExceeded(
         "Compact: deadline passed before publication on shard '", shard->name,
         "'");
@@ -871,7 +979,7 @@ Status ResolutionService::CompactShard(Shard* shard,
         // Nothing acked is lost: every Assign is still in the WAL, so the
         // shard serves the new partition from memory and the next
         // compaction retries durable publication.
-        failed_publishes_.fetch_add(1, std::memory_order_relaxed);
+        failed_publishes_->Increment();
       }
     }
     if (covers_all) {
@@ -880,9 +988,9 @@ Status ResolutionService::CompactShard(Shard* shard,
     }
     shard->snapshot.store(snapshot, std::memory_order_release);
   }
-  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
-  compactions_.fetch_add(1, std::memory_order_relaxed);
-  compact_latency_->Record(timer.ElapsedMillis());
+  snapshot_swaps_->Increment();
+  compactions_->Increment();
+  record_latency();
   return Status::OK();
 }
 
@@ -920,7 +1028,7 @@ Status ResolutionService::CompactInBackground(const std::string& block) {
     Result<std::future<void>> submitted = compaction_pool_->TrySubmit(task);
     if (!submitted.ok()) {
       shard->compaction_inflight.store(false);
-      compaction_sheds_.fetch_add(1, std::memory_order_relaxed);
+      compaction_sheds_->Increment();
       return submitted.status();
     }
   } else {
@@ -952,17 +1060,16 @@ Result<std::vector<int>> ResolutionService::DumpPartition(
 
 ServiceStats ResolutionService::Stats() const {
   ServiceStats stats;
-  stats.assign = assign_latency_->Summary();
-  stats.query = query_latency_->Summary();
-  stats.compact = compact_latency_->Summary();
+  stats.assign = assign_latency_.Summary();
+  stats.query = query_latency_.Summary();
+  stats.compact = compact_latency_.Summary();
   stats.cache = cache_->Stats();
-  stats.assigns = assigns_.load(std::memory_order_relaxed);
-  stats.queries = queries_.load(std::memory_order_relaxed);
-  stats.compactions = compactions_.load(std::memory_order_relaxed);
-  stats.failed_compactions =
-      failed_compactions_.load(std::memory_order_relaxed);
-  stats.failed_assigns = failed_assigns_.load(std::memory_order_relaxed);
-  stats.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  stats.assigns = assigns_->Value();
+  stats.queries = queries_->Value();
+  stats.compactions = compactions_->Value();
+  stats.failed_compactions = failed_compactions_->Value();
+  stats.failed_assigns = failed_assigns_->Value();
+  stats.snapshot_swaps = snapshot_swaps_->Value();
   stats.batches_flushed = batcher_->batches_flushed();
   stats.batched_requests = batcher_->requests_flushed();
   stats.durability.enabled = !options_.durability.data_dir.empty();
@@ -975,19 +1082,15 @@ ServiceStats ResolutionService::Stats() const {
     stats.durability.snapshots_written += shard->log->snapshots_written();
     stats.durability.wal_truncations += shard->log->wal_truncations();
   }
-  stats.durability.failed_publishes =
-      failed_publishes_.load(std::memory_order_relaxed);
+  stats.durability.failed_publishes = failed_publishes_->Value();
   stats.durability.recovered_docs = recovered_docs_;
   stats.durability.recovered_snapshots = recovered_snapshots_;
   stats.overload.configured = OverloadConfigured();
   stats.overload.batcher_sheds = batcher_->rejected();
-  stats.overload.budget_sheds = budget_sheds_.load(std::memory_order_relaxed);
-  stats.overload.compaction_sheds =
-      compaction_sheds_.load(std::memory_order_relaxed);
-  stats.overload.breaker_sheds =
-      breaker_sheds_.load(std::memory_order_relaxed);
-  stats.overload.deadline_exceeded =
-      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.overload.budget_sheds = budget_sheds_->Value();
+  stats.overload.compaction_sheds = compaction_sheds_->Value();
+  stats.overload.breaker_sheds = breaker_sheds_->Value();
+  stats.overload.deadline_exceeded = deadline_exceeded_->Value();
   for (const auto& shard : shards_) {
     stats.overload.breaker_trips += shard->breaker.trips();
     stats.overload.breaker_recoveries += shard->breaker.recoveries();

@@ -57,7 +57,9 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/incremental.h"
 #include "core/run_health.h"
 #include "corpus/document.h"
@@ -114,6 +116,13 @@ struct ServiceOptions {
   };
   Overload overload;
 
+  /// Optional span sink (weber::obs). When set, the service records scoped
+  /// trace spans along the assign/query/compact paths (including the
+  /// batcher's flush thread, where the submitting request's ID is
+  /// restored). Null (the default) makes every span a no-op. The collector
+  /// must outlive the service.
+  obs::TraceCollector* trace = nullptr;
+
   /// Crash durability; data_dir empty = fully in-memory (default).
   struct Durability {
     /// Root directory holding one subdirectory (WAL + snapshots) per
@@ -145,14 +154,9 @@ struct QueryResult {
   uint64_t snapshot_version = 0;
 };
 
-/// Latency summary of one endpoint, computed from a reservoir of samples.
-struct EndpointLatency {
-  long long count = 0;
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
-};
+/// Latency summary of one endpoint, computed from a reservoir of samples
+/// (shared weber::obs math: exact count/mean, interpolated percentiles).
+using EndpointLatency = obs::LatencySummary;
 
 /// Aggregate write-ahead-log / snapshot counters across all shards.
 struct DurabilityStats {
@@ -289,6 +293,20 @@ class ResolutionService {
 
   ServiceStats Stats() const;
 
+  /// The service's metrics registry: every counter, histogram, and pulled
+  /// gauge backing Stats(), exportable as Prometheus text. Callers may
+  /// register additional metrics (the server adds its connection counters).
+  obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// Renders the registry as Prometheus text exposition (the `metrics`
+  /// wire verb's payload).
+  void WriteMetricsText(std::ostream& os) const {
+    registry_.WritePrometheusText(os);
+  }
+
+  /// The span sink configured at Create time (null when tracing is off).
+  obs::TraceCollector* trace_collector() const { return options_.trace; }
+
   /// Emits the stats as a single-line JSON object (RunHealth fields
   /// included, same shape as the experiment JSON's "health"). The overload
   /// section is emitted only when overload features are configured or have
@@ -307,9 +325,12 @@ class ResolutionService {
   struct Shard;
   struct PendingAssign;
   class ShardScoreCache;
-  class LatencyRecorder;
 
   ResolutionService(ServiceOptions options);
+
+  /// Registers the pull-style metrics (cache, batcher, breakers,
+  /// durability) once `cache_` and `batcher_` exist; called from Create.
+  void RegisterPulledMetrics();
 
   Result<Shard*> FindShard(const std::string& block) const;
   Result<AssignResult> AssignLocked(Shard* shard, int doc,
@@ -345,18 +366,34 @@ class ResolutionService {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<SimilarityCache> cache_;
 
-  std::atomic<long long> assigns_{0};
-  mutable std::atomic<long long> queries_{0};
-  std::atomic<long long> compactions_{0};
-  std::atomic<long long> failed_compactions_{0};
-  std::atomic<long long> failed_assigns_{0};
-  std::atomic<long long> snapshot_swaps_{0};
-  std::atomic<long long> failed_publishes_{0};
-  std::atomic<long long> budget_sheds_{0};
-  std::atomic<long long> compaction_sheds_{0};
-  std::atomic<long long> breaker_sheds_{0};
-  /// Mutable: the read path counts its own deadline blowouts.
-  mutable std::atomic<long long> deadline_exceeded_{0};
+  /// Owns every metric below; destroyed after the batcher and pool (they
+  /// are declared later), so worker threads never outlive their counters.
+  /// Mutable: the read path (Query) increments counters and the stats /
+  /// metrics exporters are const.
+  mutable obs::MetricsRegistry registry_;
+
+  /// Registry-backed counters (stable pointers; incrementing is the
+  /// lock-free striped hot path). Same totals as the former raw atomics.
+  obs::Counter* assigns_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Counter* failed_compactions_ = nullptr;
+  obs::Counter* failed_assigns_ = nullptr;
+  obs::Counter* snapshot_swaps_ = nullptr;
+  obs::Counter* failed_publishes_ = nullptr;
+  obs::Counter* budget_sheds_ = nullptr;
+  obs::Counter* compaction_sheds_ = nullptr;
+  obs::Counter* breaker_sheds_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+
+  /// Registry-backed latency histograms (Prometheus export); the
+  /// reservoirs below keep the exact mean/percentile summaries for the
+  /// stats JSON.
+  obs::Histogram* assign_hist_ = nullptr;
+  obs::Histogram* query_hist_ = nullptr;
+  obs::Histogram* compact_hist_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+
   long long recovered_docs_ = 0;       // written once, in Create
   long long recovered_snapshots_ = 0;  // written once, in Create
 
@@ -364,9 +401,9 @@ class ResolutionService {
   /// records/snapshots). Written only by Create; merged into Stats().
   core::RunHealth recovery_health_;
 
-  std::unique_ptr<LatencyRecorder> assign_latency_;
-  std::unique_ptr<LatencyRecorder> query_latency_;
-  std::unique_ptr<LatencyRecorder> compact_latency_;
+  mutable obs::LatencyReservoir assign_latency_;
+  mutable obs::LatencyReservoir query_latency_;
+  mutable obs::LatencyReservoir compact_latency_;
 
   // Declared after the state they operate on so they stop first.
   std::unique_ptr<Executor> compaction_pool_;

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -13,6 +14,7 @@
 
 #include "common/json_writer.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "serve/protocol.h"
 
 namespace weber {
@@ -37,8 +39,19 @@ int PollTimeoutMs(double ms) {
 LineServer::~LineServer() { StopTcp(); }
 
 std::string LineServer::HandleLine(const std::string& line, bool* quit) {
+  // With a trace collector configured each request line gets a fresh
+  // request ID (ambient for every span recorded below this frame) and a
+  // whole-request span — which is also the slow-request log trigger when
+  // the collector carries a slow threshold. Without one, all of this is
+  // free of clock reads.
+  obs::TraceCollector* trace = service_->trace_collector();
+  obs::RequestIdScope id_scope(trace != nullptr ? trace->NextRequestId() : 0);
+  obs::ScopedSpan request_span(trace, "serve.request");
   *quit = false;
-  Result<Request> parsed = ParseRequest(line);
+  Result<Request> parsed = [&] {
+    obs::ScopedSpan parse_span(trace, "serve.parse");
+    return ParseRequest(line);
+  }();
   if (!parsed.ok()) return FormatError(parsed.status());
   const Request& request = parsed.ValueOrDie();
   // The deadline clock starts at parse time; FormatFailure maps service
@@ -86,6 +99,8 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
     }
     case Request::Op::kStats:
       return StatsResponse();
+    case Request::Op::kMetrics:
+      return MetricsResponse();
     case Request::Op::kPing:
       return "ok";
     case Request::Op::kQuit:
@@ -134,6 +149,54 @@ std::string LineServer::StatsResponse() const {
     });
   }
   return "ok " + os.str();
+}
+
+std::string LineServer::MetricsResponse() const {
+  std::ostringstream os;
+  service_->WriteMetricsText(os);
+  // The server's counters live here, not in the service registry, because
+  // the server may be destroyed while the service (and its registry) lives
+  // on — so they are rendered locally instead of through callbacks.
+  const ServerStats s = stats();
+  auto simple = [&os](const char* name, const char* help, const char* type,
+                      long long value) {
+    os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << ' ' << type << '\n';
+    os << name << ' ' << value << '\n';
+  };
+  simple("weber_server_connections_accepted_total", "TCP connections accepted",
+         "counter", s.connections_accepted);
+  simple("weber_server_active_connections", "Currently open TCP connections",
+         "gauge", s.active_connections);
+  simple("weber_server_accept_sheds_total",
+         "Connections shed at the max-connections cap", "counter",
+         s.accept_sheds);
+  simple("weber_server_read_timeouts_total",
+         "Connections dropped for idling past the read timeout", "counter",
+         s.read_timeouts);
+  simple("weber_server_write_timeouts_total",
+         "Connections dropped for not absorbing a response in time",
+         "counter", s.write_timeouts);
+  simple("weber_server_oversized_lines_total",
+         "Request lines rejected at the byte cap", "counter",
+         s.oversized_lines);
+  if (obs::TraceCollector* trace = service_->trace_collector()) {
+    simple("weber_trace_spans_total", "Trace spans recorded", "counter",
+           trace->spans_recorded());
+    simple("weber_trace_slow_spans_total",
+           "Spans at or over the slow-request threshold", "counter",
+           trace->slow_spans());
+  }
+  std::string payload = os.str();
+  const long long lines =
+      std::count(payload.begin(), payload.end(), '\n');
+  std::string response = "ok " + std::to_string(lines);
+  if (!payload.empty()) {
+    payload.pop_back();  // the server loop appends the final newline
+    response += '\n';
+    response += payload;
+  }
+  return response;
 }
 
 Status LineServer::ServeStdio(std::istream& in, std::ostream& out) {

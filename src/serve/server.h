@@ -107,6 +107,11 @@ class LineServer {
   /// Emits the service stats JSON, appending the "server" section when the
   /// server's overload features are configured or any counter is nonzero.
   std::string StatsResponse() const;
+  /// Prometheus text exposition: the service registry's families followed
+  /// by the server's own connection counters (and the trace collector's
+  /// span counters when tracing is on). Returns "ok <n>" plus n payload
+  /// lines — the protocol's only multi-line response.
+  std::string MetricsResponse() const;
 
   ResolutionService* service_;
   ServerOptions options_;

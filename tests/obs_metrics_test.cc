@@ -1,0 +1,326 @@
+// weber::obs metrics: percentile math (the LatencyRecorder truncation
+// regression), the reservoir, counters/gauges/histograms, and the
+// registry's Prometheus text exposition.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace weber {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Percentile / Summarize
+
+TEST(PercentileTest, InterpolatesKnownQuantiles) {
+  const std::vector<double> samples = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // Regression for the truncating index bug: the old code computed
+  // samples[int(0.99 * 10)] = samples[9] only by accident of saturation,
+  // and p50 of an even-sized sample landed on the lower element (5.0)
+  // instead of the midpoint.
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.50), 5.5);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.95), 9.55);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.99), 9.91);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 1.0), 10.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 0.99), 42.0);
+}
+
+TEST(PercentileTest, EmptyAndClampedInputs) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.99), 0.0);
+  const std::vector<double> samples = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(samples, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 1.5), 3.0);
+}
+
+TEST(SummarizeTest, EmptyInputIsMarkedNoSamples) {
+  const LatencySummary summary = Summarize({});
+  EXPECT_TRUE(summary.no_samples());
+  EXPECT_EQ(summary.count, 0);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99_ms, 0.0);
+}
+
+TEST(SummarizeTest, KnownDistribution) {
+  std::vector<double> samples;
+  for (int i = 10; i >= 1; --i) samples.push_back(i);  // unsorted on purpose
+  const LatencySummary summary = Summarize(samples);
+  EXPECT_FALSE(summary.no_samples());
+  EXPECT_EQ(summary.count, 10);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 5.5);
+  EXPECT_DOUBLE_EQ(summary.p50_ms, 5.5);
+  EXPECT_DOUBLE_EQ(summary.p95_ms, 9.55);
+  EXPECT_DOUBLE_EQ(summary.p99_ms, 9.91);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyReservoir
+
+TEST(LatencyReservoirTest, SmallSampleIsExact) {
+  LatencyReservoir reservoir;
+  for (int i = 1; i <= 10; ++i) reservoir.Record(i);
+  const LatencySummary summary = reservoir.Summary();
+  EXPECT_EQ(summary.count, 10);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 5.5);
+  EXPECT_DOUBLE_EQ(summary.p99_ms, 9.91);
+}
+
+TEST(LatencyReservoirTest, EmptyReservoirReportsNoSamples) {
+  LatencyReservoir reservoir;
+  EXPECT_TRUE(reservoir.Summary().no_samples());
+}
+
+TEST(LatencyReservoirTest, LargeStreamKeepsExactCountAndMean) {
+  LatencyReservoir reservoir;
+  const int n = 100000;  // well past the 2^14 reservoir
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i % 1000);
+    reservoir.Record(v);
+    sum += v;
+  }
+  const LatencySummary summary = reservoir.Summary();
+  EXPECT_EQ(summary.count, n);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, sum / n);
+  // Percentiles are estimates from an unbiased sample of a uniform
+  // 0..999 stream; generous bounds keep this deterministic-seeded check
+  // meaningful without being brittle.
+  EXPECT_GT(summary.p50_ms, 400.0);
+  EXPECT_LT(summary.p50_ms, 600.0);
+  EXPECT_GT(summary.p99_ms, 950.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), static_cast<long long>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, DeltaIncrements) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment(7);
+  EXPECT_EQ(counter.Value(), 12);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+}
+
+TEST(HistogramTest, BucketsAndSum) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // le=1
+  histogram.Observe(1.0);    // le=1 (inclusive upper edge)
+  histogram.Observe(5.0);    // le=10
+  histogram.Observe(50.0);   // le=100
+  histogram.Observe(500.0);  // +Inf
+  const Histogram::Snapshot snap = histogram.Snap();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[2], 1);
+  EXPECT_EQ(snap.buckets[3], 1);
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 556.5);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreSortedAndPositive) {
+  const std::vector<double> bounds = DefaultLatencyBucketsMs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_GT(bounds.front(), 0.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry + Prometheus exposition
+
+// Minimal line-shape validator for Prometheus text exposition.
+bool IsCommentLine(const std::string& line) {
+  return line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0;
+}
+
+bool IsSampleLine(const std::string& line) {
+  // <name>{labels}? <value> with a finite numeric value.
+  const size_t space = line.rfind(' ');
+  if (space == std::string::npos || space == 0) return false;
+  char* end = nullptr;
+  const double value = std::strtod(line.c_str() + space + 1, &end);
+  if (end == line.c_str() + space + 1 || *end != '\0') return false;
+  return std::isfinite(value);
+}
+
+TEST(MetricsRegistryTest, WritesValidPrometheusText) {
+  MetricsRegistry registry;
+  registry.GetCounter("test_requests_total", "Requests served")->Increment(3);
+  registry.GetGauge("test_queue_depth", "Items queued")->Set(7.0);
+  Histogram* hist =
+      registry.GetHistogram("test_latency_ms", "Latency", {1.0, 10.0});
+  hist->Observe(0.5);
+  hist->Observe(5.0);
+  hist->Observe(50.0);
+  registry.GetCounter("test_sheds_total", "Sheds by kind", "kind", "budget")
+      ->Increment();
+  registry.GetCounter("test_sheds_total", "Sheds by kind", "kind", "breaker")
+      ->Increment(2);
+
+  std::ostringstream os;
+  registry.WritePrometheusText(os);
+  const std::string text = os.str();
+
+  std::istringstream lines(text);
+  std::string line;
+  int comments = 0;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (IsCommentLine(line)) {
+      ++comments;
+    } else {
+      EXPECT_TRUE(IsSampleLine(line)) << "bad sample line: " << line;
+      ++samples;
+    }
+  }
+  EXPECT_EQ(comments, 2 * 4);  // one HELP + one TYPE per family
+  EXPECT_GT(samples, 0);
+
+  EXPECT_NE(text.find("# TYPE test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_latency_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="1" holds 1, le="10" holds 2, +Inf holds all 3,
+  // and the _count sample agrees with the +Inf bucket.
+  EXPECT_NE(text.find("test_latency_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("test_sheds_total{kind=\"budget\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_sheds_total{kind=\"breaker\"} 2"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ReregistrationReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("dup_total", "help");
+  Counter* b = registry.GetCounter("dup_total", "help");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.FamilyCount(), 1u);
+}
+
+TEST(MetricsRegistryTest, TypeClashReturnsDetachedMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("clash_total", "help")->Increment(9);
+  // Same name, different type: the caller still gets a usable metric, but
+  // it is never exported and the original family is untouched.
+  Gauge* detached = registry.GetGauge("clash_total", "help");
+  ASSERT_NE(detached, nullptr);
+  detached->Set(123.0);
+  EXPECT_EQ(registry.FamilyCount(), 1u);
+  std::ostringstream os;
+  registry.WritePrometheusText(os);
+  EXPECT_NE(os.str().find("clash_total 9"), std::string::npos);
+  EXPECT_EQ(os.str().find("123"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CallbackValuesAreClampedFinite) {
+  MetricsRegistry registry;
+  registry.RegisterCallback("cb_ok", "finite", MetricType::kGauge,
+                            [] { return 4.5; });
+  registry.RegisterCallback(
+      "cb_nan", "never finite", MetricType::kGauge,
+      [] { return std::numeric_limits<double>::quiet_NaN(); });
+  registry.RegisterCallback(
+      "cb_inf", "never finite", MetricType::kCounter,
+      [] { return std::numeric_limits<double>::infinity(); });
+  std::ostringstream os;
+  registry.WritePrometheusText(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cb_ok 4.5"), std::string::npos);
+  EXPECT_NE(text.find("cb_nan 0"), std::string::npos);
+  EXPECT_NE(text.find("cb_inf 0"), std::string::npos);
+  // No sample value may render as a non-finite literal (" nan"/" inf").
+  EXPECT_EQ(text.find(" nan"), std::string::npos);
+  EXPECT_EQ(text.find(" inf"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", "help", "path", "a\"b\\c\nd")->Increment();
+  std::ostringstream os;
+  registry.WritePrometheusText(os);
+  EXPECT_NE(os.str().find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndExport) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; ++i) {
+        registry
+            .GetCounter("concurrent_total", "help", "worker",
+                        std::to_string(t))
+            ->Increment();
+        if (i % 50 == 0) {
+          std::ostringstream os;
+          registry.WritePrometheusText(os);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::ostringstream os;
+  registry.WritePrometheusText(os);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NE(os.str().find("concurrent_total{worker=\"" +
+                            std::to_string(t) + "\"} 200"),
+              std::string::npos);
+  }
+}
+
+TEST(MetricsRegistryTest, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace weber

@@ -76,6 +76,52 @@ if(NOT l_quit STREQUAL "ok")
   message(FATAL_ERROR "quit response unexpected: ${l_quit}")
 endif()
 
+# The metrics verb over stdio: "ok <n>" followed by n Prometheus text
+# lines. Run with --slow-request-ms so tracing is armed and the trace
+# counters appear in the payload.
+file(WRITE "${WORK_DIR}/metrics.txt" "\
+assign cohen 0
+query cohen 0
+metrics
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+          --slow-request-ms=10000
+  INPUT_FILE ${WORK_DIR}/metrics.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics session failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "slow-request logging armed")
+  message(FATAL_ERROR "slow-request arming not announced:\n${err}")
+endif()
+string(REPLACE "\n" ";" metrics_lines "${out}")
+list(GET metrics_lines 2 m_header)
+if(NOT m_header MATCHES "^ok ([0-9]+)$")
+  message(FATAL_ERROR "metrics header unexpected: ${m_header}")
+endif()
+set(m_count ${CMAKE_MATCH_1})
+list(LENGTH metrics_lines m_total)
+# assign + query + header + payload(n) + quit (the trailing newline's
+# empty element is dropped by CMake's list handling)
+math(EXPR m_expected "${m_count} + 4")
+if(NOT m_total EQUAL m_expected)
+  message(FATAL_ERROR
+          "metrics payload advertised ${m_count} lines but session produced "
+          "${m_total} elements (expected ${m_expected}):\n${out}")
+endif()
+if(NOT out MATCHES "# TYPE weber_assigns_total counter")
+  message(FATAL_ERROR "metrics payload lacks weber_assigns_total:\n${out}")
+endif()
+if(NOT out MATCHES "weber_assigns_total 1")
+  message(FATAL_ERROR "weber_assigns_total should read 1:\n${out}")
+endif()
+if(NOT out MATCHES "weber_trace_spans_total")
+  message(FATAL_ERROR "trace counters missing despite --slow-request-ms:\n${out}")
+endif()
+
 # A bad request must produce an err line, not kill the server.
 file(WRITE "${WORK_DIR}/bad.txt" "\
 assign nonesuch 0

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -137,6 +138,34 @@ TEST_F(ServerOverloadTest, OversizedLineAnsweredOnceThenResyncs) {
   ASSERT_TRUE(pong.ok());
   EXPECT_EQ(*pong, "ok");
   EXPECT_EQ(server.stats().oversized_lines, 1);
+  server.StopTcp();
+}
+
+TEST_F(ServerOverloadTest, MetricsVerbStreamsMultiLinePayload) {
+  LineServer server(service_, {});
+  ASSERT_TRUE(server.StartTcp(0).ok());
+
+  LineConnection conn;
+  ASSERT_TRUE(conn.Connect("127.0.0.1", server.tcp_port()).ok());
+  // The protocol's only multi-line response: "ok <n>" then n Prometheus
+  // text lines over the same connection.
+  ASSERT_TRUE(conn.SendLine("metrics").ok());
+  auto header = conn.ReadLine();
+  ASSERT_TRUE(header.ok()) << header.status();
+  ASSERT_EQ(header->rfind("ok ", 0), 0u) << *header;
+  const long long advertised = std::atoll(header->c_str() + 3);
+  ASSERT_GT(advertised, 0);
+  int help_lines = 0;
+  for (long long i = 0; i < advertised; ++i) {
+    auto line = conn.ReadLine();
+    ASSERT_TRUE(line.ok()) << "payload line " << i << ": " << line.status();
+    if (line->rfind("# HELP", 0) == 0) ++help_lines;
+  }
+  EXPECT_GT(help_lines, 0);
+  // Framing is exact: the connection is immediately usable again.
+  auto pong = conn.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, "ok");
   server.StopTcp();
 }
 

@@ -33,6 +33,16 @@ TEST(SimilarityCacheTest, MissThenHit) {
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
 }
 
+TEST(SimilarityCacheTest, HitRateIsZeroWithNoLookups) {
+  // Regression: the 0/0 hit rate must come out as a finite 0.0, never NaN,
+  // so the stats JSON stays parseable for a fresh cache.
+  SimilarityCache cache;
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.0);
+}
+
 TEST(SimilarityCacheTest, DistinctKeysDoNotCollide) {
   SimilarityCache cache;
   cache.Insert(Key(0, 0, 1, 2), 0.1);

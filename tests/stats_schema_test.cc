@@ -1,0 +1,275 @@
+// Schema/finiteness checks for the observable surfaces of weber_serve: the
+// stats JSON line and the Prometheus text behind the `metrics` verb. A
+// scripted session drives a real service through assign/compact/query,
+// then every numeric value in both payloads must be finite and every
+// expected key present — the regression net for NaN/Inf leaking into
+// operator-facing output.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+namespace weber {
+namespace serve {
+namespace {
+
+/// Scans a flat-or-nested JSON text for every `"key": <number>` pair and
+/// returns the parsed numbers. Good enough for JsonWriter output (no
+/// numbers inside strings except the quoted-and-escaped server_stats echo,
+/// which this test never feeds through).
+std::vector<std::pair<std::string, double>> NumericFields(
+    const std::string& json) {
+  std::vector<std::pair<std::string, double>> fields;
+  size_t i = 0;
+  while (i < json.size()) {
+    if (json[i] != '"') {
+      ++i;
+      continue;
+    }
+    const size_t key_start = i + 1;
+    size_t key_end = key_start;
+    while (key_end < json.size() && json[key_end] != '"') {
+      if (json[key_end] == '\\') ++key_end;  // skip escapes
+      ++key_end;
+    }
+    if (key_end >= json.size()) break;
+    const std::string key = json.substr(key_start, key_end - key_start);
+    size_t after = key_end + 1;
+    while (after < json.size() && std::isspace(json[after])) ++after;
+    if (after >= json.size() || json[after] != ':') {
+      i = key_end + 1;
+      continue;
+    }
+    ++after;
+    while (after < json.size() && std::isspace(json[after])) ++after;
+    if (after < json.size() &&
+        (json[after] == '-' || std::isdigit(json[after]))) {
+      char* end = nullptr;
+      const double value = std::strtod(json.c_str() + after, &end);
+      fields.emplace_back(key, value);
+      i = static_cast<size_t>(end - json.c_str());
+    } else {
+      i = after;
+    }
+  }
+  return fields;
+}
+
+bool HasKey(const std::vector<std::pair<std::string, double>>& fields,
+            const std::string& key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+class StatsSchemaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new corpus::SyntheticData(std::move(data).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  /// A service with tracing armed, driven through one of every request
+  /// kind so the counters, reservoirs, and histograms are all non-trivial.
+  void StartTracedService() {
+    obs::TraceOptions trace_options;
+    trace_options.slow_ms = 1e-9;  // everything is "slow": exercises logging
+    trace_ = std::make_unique<obs::TraceCollector>(trace_options);
+    ServiceOptions options;
+    options.trace = trace_.get();
+    auto service =
+        ResolutionService::Create(data_->dataset, &data_->gazetteer, options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    service_ = std::move(service).ValueOrDie();
+    server_ = std::make_unique<LineServer>(service_.get());
+
+    bool quit = false;
+    const std::string& shard = data_->dataset.blocks[0].query;
+    EXPECT_EQ(server_->HandleLine("assign " + shard + " 0", &quit)
+                  .rfind("ok ", 0),
+              0u);
+    EXPECT_EQ(server_->HandleLine("assign " + shard + " 1", &quit)
+                  .rfind("ok ", 0),
+              0u);
+    EXPECT_EQ(server_->HandleLine("compact " + shard, &quit), "ok 1");
+    EXPECT_EQ(server_->HandleLine("query " + shard + " 0", &quit)
+                  .rfind("ok ", 0),
+              0u);
+  }
+
+  static corpus::SyntheticData* data_;
+  std::unique_ptr<obs::TraceCollector> trace_;
+  std::unique_ptr<ResolutionService> service_;
+  std::unique_ptr<LineServer> server_;
+};
+
+corpus::SyntheticData* StatsSchemaTest::data_ = nullptr;
+
+TEST_F(StatsSchemaTest, StatsJsonIsFiniteAndComplete) {
+  StartTracedService();
+  bool quit = false;
+  const std::string response = server_->HandleLine("stats", &quit);
+  ASSERT_EQ(response.rfind("ok {", 0), 0u) << response;
+  const std::string json = response.substr(3);
+
+  const auto fields = NumericFields(json);
+  ASSERT_FALSE(fields.empty());
+  for (const auto& [key, value] : fields) {
+    EXPECT_TRUE(std::isfinite(value)) << key << " is not finite";
+  }
+  // The raw text must never carry a bare NaN/Infinity literal either.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  for (const char* key :
+       {"assigns", "queries", "compactions", "failed_compactions",
+        "failed_assigns", "snapshot_swaps", "batches_flushed",
+        "batched_requests", "hits", "misses", "evictions", "entries",
+        "hit_rate", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+        "wal_appends", "snapshots_written"}) {
+    EXPECT_TRUE(HasKey(fields, key)) << "stats JSON lost key " << key;
+  }
+}
+
+TEST_F(StatsSchemaTest, MetricsVerbEmitsParsableFinitePrometheusText) {
+  StartTracedService();
+  bool quit = false;
+  const std::string response = server_->HandleLine("metrics", &quit);
+  ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+
+  // "ok <n>\n" then exactly n payload lines (the final newline is added by
+  // the transport loop, so the last payload line has none here).
+  const size_t header_end = response.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const long long advertised =
+      std::atoll(response.c_str() + 3);
+  ASSERT_GT(advertised, 0);
+
+  std::vector<std::string> lines;
+  size_t start = header_end + 1;
+  while (start <= response.size()) {
+    const size_t end = response.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(response.substr(start));
+      break;
+    }
+    lines.push_back(response.substr(start, end - start));
+    start = end + 1;
+  }
+  EXPECT_EQ(static_cast<long long>(lines.size()), advertised);
+
+  int families = 0;
+  int samples = 0;
+  bool in_typed_family = false;
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty()) << "empty line in metrics payload";
+    if (line.rfind("# HELP ", 0) == 0) {
+      ++families;
+      in_typed_family = false;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      in_typed_family = true;
+      continue;
+    }
+    // Sample line: <name>[{labels}] <finite value>.
+    EXPECT_TRUE(in_typed_family) << "sample before # TYPE: " << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << "trailing junk in: " << line;
+    EXPECT_TRUE(std::isfinite(value)) << "non-finite sample: " << line;
+    ++samples;
+  }
+  EXPECT_GT(families, 10);
+  EXPECT_GT(samples, families);
+
+  const std::string text = response.substr(header_end + 1);
+  for (const char* needle :
+       {"weber_assigns_total 2", "weber_queries_total 1",
+        "weber_compactions_total 1", "weber_request_latency_ms_bucket",
+        "weber_request_latency_ms_count", "weber_batch_size",
+        "weber_cache_hits_total", "weber_shards",
+        "weber_server_connections_accepted_total",
+        "weber_trace_spans_total"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "metrics payload lost " << needle;
+  }
+
+  // Tracing was armed with a sub-nanosecond slow threshold, so every span
+  // counted as slow and the exported counters must agree with the
+  // collector.
+  EXPECT_GT(trace_->spans_recorded(), 0);
+  EXPECT_GT(trace_->slow_spans(), 0);
+  EXPECT_NE(text.find("weber_trace_slow_spans_total"), std::string::npos);
+}
+
+TEST_F(StatsSchemaTest, TraceSpansCoverTheRequestPath) {
+  StartTracedService();
+  std::vector<std::string> names;
+  for (const obs::TraceSpan& span : trace_->Spans()) {
+    names.push_back(span.name);
+  }
+  for (const char* expected :
+       {"serve.request", "serve.parse", "serve.assign", "serve.shard",
+        "serve.resolver", "serve.query", "serve.compact"}) {
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name == expected) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no span named " << expected;
+  }
+  // Spans carry the request IDs the server allocated (no zero IDs on the
+  // direct request path).
+  for (const obs::TraceSpan& span : trace_->Spans()) {
+    if (std::string(span.name).rfind("serve.", 0) == 0 &&
+        std::string(span.name) != "serve.batcher.park" &&
+        std::string(span.name) != "serve.batch_flush") {
+      EXPECT_GT(span.request_id, 0u) << span.name;
+    }
+  }
+}
+
+TEST_F(StatsSchemaTest, UntracedServiceStatsStaysByteStable) {
+  // The no-flag contract: a service without a trace collector must emit a
+  // stats line identical in shape to the seed's — no new keys, no spans.
+  ServiceOptions options;
+  auto service =
+      ResolutionService::Create(data_->dataset, &data_->gazetteer, options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  LineServer server(service->get());
+  bool quit = false;
+  const std::string response = server.HandleLine("stats", &quit);
+  ASSERT_EQ(response.rfind("ok {", 0), 0u);
+  EXPECT_EQ(response.find("trace"), std::string::npos);
+  EXPECT_EQ(response.find("span"), std::string::npos);
+  const auto fields = NumericFields(response.substr(3));
+  for (const auto& [key, value] : fields) {
+    EXPECT_TRUE(std::isfinite(value)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

@@ -1,0 +1,163 @@
+// weber::obs tracing: request-ID plumbing, the span ring buffer, slow-span
+// counting, and null-collector no-op behaviour. The concurrency cases
+// double as the TSan targets for the tracing hot path.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace weber {
+namespace obs {
+namespace {
+
+TEST(TraceCollectorTest, RequestIdsStartAtOneAndIncrease) {
+  TraceCollector collector;
+  EXPECT_EQ(collector.NextRequestId(), 1u);
+  EXPECT_EQ(collector.NextRequestId(), 2u);
+  EXPECT_EQ(collector.NextRequestId(), 3u);
+}
+
+TEST(TraceCollectorTest, RecordsSpansOldestFirst) {
+  TraceCollector collector;
+  collector.Record("a", 1, 0.0, 1.0);
+  collector.Record("b", 2, 1.0, 2.0);
+  const std::vector<TraceSpan> spans = collector.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].request_id, 1u);
+  EXPECT_DOUBLE_EQ(spans[0].duration_ms, 1.0);
+  EXPECT_STREQ(spans[1].name, "b");
+  EXPECT_EQ(collector.spans_recorded(), 2);
+}
+
+TEST(TraceCollectorTest, RingBufferKeepsOnlyTheNewest) {
+  TraceOptions options;
+  options.capacity = 4;
+  TraceCollector collector(options);
+  for (int i = 0; i < 10; ++i) {
+    collector.Record("span", static_cast<uint64_t>(i), 0.0, 0.0);
+  }
+  const std::vector<TraceSpan> spans = collector.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first of the surviving window: requests 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[static_cast<size_t>(i)].request_id,
+              static_cast<uint64_t>(6 + i));
+  }
+  EXPECT_EQ(collector.spans_recorded(), 10);
+}
+
+TEST(TraceCollectorTest, SlowSpansAreCounted) {
+  TraceOptions options;
+  options.slow_ms = 5.0;
+  TraceCollector collector(options);
+  collector.Record("fast", 1, 0.0, 1.0);
+  collector.Record("slow", 2, 0.0, 5.0);  // at the threshold counts
+  collector.Record("slower", 3, 0.0, 50.0);
+  EXPECT_EQ(collector.slow_spans(), 2);
+  EXPECT_EQ(collector.spans_recorded(), 3);
+  EXPECT_DOUBLE_EQ(collector.slow_ms(), 5.0);
+}
+
+TEST(TraceCollectorTest, ZeroThresholdNeverCountsSlow) {
+  TraceCollector collector;
+  collector.Record("span", 1, 0.0, 1e9);
+  EXPECT_EQ(collector.slow_spans(), 0);
+}
+
+TEST(RequestIdTest, ScopeRestoresPreviousId) {
+  SetCurrentRequestId(0);
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  {
+    RequestIdScope outer(7);
+    EXPECT_EQ(CurrentRequestId(), 7u);
+    {
+      RequestIdScope inner(9);
+      EXPECT_EQ(CurrentRequestId(), 9u);
+    }
+    EXPECT_EQ(CurrentRequestId(), 7u);
+  }
+  EXPECT_EQ(CurrentRequestId(), 0u);
+}
+
+TEST(RequestIdTest, IsPerThread) {
+  SetCurrentRequestId(11);
+  uint64_t seen_on_worker = 99;
+  std::thread worker([&seen_on_worker] {
+    seen_on_worker = CurrentRequestId();
+    SetCurrentRequestId(42);  // must not leak back
+  });
+  worker.join();
+  EXPECT_EQ(seen_on_worker, 0u);
+  EXPECT_EQ(CurrentRequestId(), 11u);
+  SetCurrentRequestId(0);
+}
+
+TEST(ScopedSpanTest, NullCollectorIsANoOp) {
+  // Must not crash, read clocks, or record anywhere.
+  ScopedSpan span(nullptr, "noop");
+  span.End();
+  span.End();
+}
+
+TEST(ScopedSpanTest, RecordsOnDestruction) {
+  TraceCollector collector;
+  {
+    RequestIdScope id(5);
+    ScopedSpan span(&collector, "scoped");
+  }
+  const std::vector<TraceSpan> spans = collector.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "scoped");
+  EXPECT_EQ(spans[0].request_id, 5u);
+  EXPECT_GE(spans[0].duration_ms, 0.0);
+}
+
+TEST(ScopedSpanTest, EndIsIdempotent) {
+  TraceCollector collector;
+  {
+    ScopedSpan span(&collector, "once");
+    span.End();
+    span.End();  // destructor also calls End()
+  }
+  EXPECT_EQ(collector.spans_recorded(), 1);
+}
+
+TEST(TraceCollectorTest, ConcurrentRecordAndReadIsSafe) {
+  TraceOptions options;
+  options.capacity = 64;
+  options.slow_ms = 0.5;
+  TraceCollector collector(options);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&collector, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const uint64_t id = collector.NextRequestId();
+        RequestIdScope scope(id);
+        ScopedSpan span(&collector, t % 2 == 0 ? "even" : "odd");
+        if (i % 3 == 0) span.End();
+      }
+    });
+  }
+  std::thread reader([&collector, &stop] {
+    while (!stop.load()) {
+      const std::vector<TraceSpan> spans = collector.Spans();
+      EXPECT_LE(spans.size(), 64u);
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(collector.spans_recorded(), 4 * 2000);
+  EXPECT_EQ(collector.Spans().size(), 64u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace weber

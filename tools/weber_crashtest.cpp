@@ -1,6 +1,6 @@
 // weber_crashtest: crash-recovery harness for weber_serve's durable shards.
 //
-//   weber_crashtest --dataset=D --gazetteer=G --serve_bin=./weber_serve \
+//   weber_crashtest --dataset=D --gazetteer=G --serve_bin=./weber_serve
 //       --data_dir=/tmp/weber-crash --cycles=20 --seed=7
 //
 // Each cycle forks a child `weber_serve --nostdio --port=0 --data-dir=...

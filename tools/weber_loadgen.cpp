@@ -2,7 +2,7 @@
 // weber_serve.
 //
 //   weber_serve --dataset=D --gazetteer=G --port=0 ...   (note the port)
-//   weber_loadgen --dataset=D --gazetteer=G --port=N \
+//   weber_loadgen --dataset=D --gazetteer=G --port=N
 //       --clients=4 --queries=10000 --out=BENCH_serve.json
 //
 // Three phases against a running server:
@@ -55,6 +55,7 @@
 
 #include "common/flags.h"
 #include "common/json_writer.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -111,14 +112,10 @@ void ClassifyResponse(const std::string& response, ClientCounters& counters) {
   ++counters.errors;
 }
 
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
+// Percentile math lives in weber::obs (common/metrics.h) so the load
+// generator, the server's stats JSON, and the tests all agree on the
+// interpolation; obs::Percentile guards the empty-vector case.
+using obs::Percentile;
 
 /// One request with bounded retry. Transport failures (IOError: reset,
 /// refused, short read) reconnect and sleep with exponential backoff plus
@@ -212,15 +209,11 @@ Result<PhaseStats> RunPhase(
   }
   stats.count = static_cast<long long>(merged.size());
   stats.wall_ms = wall_ms;
-  if (!merged.empty()) {
-    std::sort(merged.begin(), merged.end());
-    double sum = 0.0;
-    for (double v : merged) sum += v;
-    stats.mean_ms = sum / static_cast<double>(merged.size());
-    stats.p50_ms = Percentile(merged, 0.50);
-    stats.p95_ms = Percentile(merged, 0.95);
-    stats.p99_ms = Percentile(merged, 0.99);
-  }
+  const obs::LatencySummary summary = obs::Summarize(merged);
+  stats.mean_ms = summary.mean_ms;
+  stats.p50_ms = summary.p50_ms;
+  stats.p95_ms = summary.p95_ms;
+  stats.p99_ms = summary.p99_ms;
   return stats;
 }
 
@@ -228,6 +221,9 @@ void WritePhaseJson(JsonWriter& json, const char* key,
                     const PhaseStats& stats) {
   json.Key(key).BeginObject();
   json.Key("requests").Number(stats.count);
+  // Explicit marker so downstream consumers never mistake the all-zero
+  // latency fields of an empty phase for a measured 0 ms.
+  if (stats.count == 0) json.Key("no_samples").Bool(true);
   json.Key("errors").Number(stats.errors);
   json.Key("retries").Number(stats.retries);
   json.Key("sheds").Number(stats.sheds);
@@ -669,6 +665,7 @@ int RunOverloadMode(const FlagParser& flags, const std::string& host,
   json.Key("storm").BeginObject();
   json.Key("sent").Number(storm.sent);
   json.Key("answered").Number(storm.answered);
+  if (storm.latencies.empty()) json.Key("no_samples").Bool(true);
   json.Key("ok").Number(storm.ok);
   json.Key("sheds").Number(storm.sheds);
   json.Key("deadline_exceeded").Number(storm.deadline_exceeded);
@@ -859,6 +856,34 @@ int Run(int argc, char** argv) {
   const double hit_rate = ExtractNumber(server_stats, "hit_rate");
   std::cout << "cache hit rate: " << FormatDouble(hit_rate, 4) << "\n";
 
+  // Metrics round-trip: the `metrics` verb answers "ok <n>" followed by n
+  // Prometheus text lines. Read exactly n lines and sanity-check the
+  // payload shape so a malformed exporter fails the run loudly.
+  long long metrics_lines = 0;
+  long long metrics_families = 0;
+  {
+    serve::LineConnection conn;
+    if (auto st = conn.Connect(host, port); !st.ok()) return Fail(st);
+    if (auto st = conn.SendLine("metrics"); !st.ok()) return Fail(st);
+    auto header = conn.ReadLine();
+    if (!header.ok()) return Fail(header.status());
+    if (header->rfind("ok ", 0) != 0) {
+      return Fail(Status::Internal("metrics failed: ", *header));
+    }
+    metrics_lines = std::atoll(header->c_str() + 3);
+    for (long long i = 0; i < metrics_lines; ++i) {
+      auto line = conn.ReadLine();
+      if (!line.ok()) return Fail(line.status());
+      if (line->rfind("# HELP", 0) == 0) ++metrics_families;
+    }
+    if (metrics_lines <= 0 || metrics_families <= 0) {
+      return Fail(Status::Internal("metrics payload looks empty (", metrics_lines,
+                                   " lines, ", metrics_families, " families)"));
+    }
+    std::cout << "metrics: " << metrics_families << " families in "
+              << metrics_lines << " lines\n";
+  }
+
   // Verification: served partitions vs the single-threaded reference.
   int shards_checked = 0;
   int shards_mismatched = 0;
@@ -912,6 +937,8 @@ int Run(int argc, char** argv) {
   json.Key("compact_all_ms").Number(compact_ms);
   WritePhaseJson(json, "query", *query_stats);
   json.Key("cache_hit_rate").Number(hit_rate);
+  json.Key("metrics_lines").Number(metrics_lines);
+  json.Key("metrics_families").Number(metrics_families);
   json.Key("verified").Bool(flags.GetBool("verify"));
   json.Key("shards_checked").Number(shards_checked);
   json.Key("shards_mismatched").Number(shards_mismatched);

@@ -20,6 +20,12 @@
 // answered "OVERLOADED <retry-after-ms>" (see --retry-after-ms) and blown
 // deadlines "DEADLINE_EXCEEDED".
 //
+// Observability: the `metrics` verb answers with the service's metrics
+// registry as Prometheus text exposition ("ok <n>" plus n payload lines);
+// `stats` stays the one-line JSON summary. --trace records per-request
+// spans in a bounded ring buffer and --slow-request-ms logs a WARNING for
+// any request (or inner span) at or over the threshold.
+//
 // With --data-dir every shard keeps a write-ahead log and checksummed
 // snapshots there and recovers from them on startup; --fsync picks the
 // group-commit policy (never | batch | always). SIGINT/SIGTERM shut the
@@ -134,6 +140,14 @@ void AddFlags(FlagParser* flags) {
                    "within this (0 = block)");
   flags->AddDouble("retry-after-ms", 50.0,
                    "retry hint carried by OVERLOADED responses");
+  flags->AddBool("trace", false,
+                 "record per-request trace spans (accept -> parse -> "
+                 "batcher -> shard -> resolver) in a bounded ring buffer");
+  flags->AddDouble("slow-request-ms", 0.0,
+                   "log a WARNING line for any span at or over this many "
+                   "milliseconds (implies --trace; 0 = off)");
+  flags->AddInt("trace-capacity", 4096,
+                "trace spans retained in the ring buffer");
 }
 
 int Fail(const Status& status) {
@@ -219,6 +233,25 @@ int Run(int argc, char** argv) {
       std::max(0, flags.GetInt("breaker-failures"));
   options.overload.breaker_cooldown_ms =
       flags.GetDouble("breaker-cooldown-ms");
+
+  // The collector must outlive the service (the service holds a raw
+  // pointer); with neither --trace nor --slow-request-ms the pointer stays
+  // null and every span in the serving path is a no-op.
+  const double slow_request_ms =
+      std::max(0.0, flags.GetDouble("slow-request-ms"));
+  std::unique_ptr<obs::TraceCollector> trace;
+  if (flags.GetBool("trace") || slow_request_ms > 0.0) {
+    obs::TraceOptions trace_options;
+    trace_options.capacity =
+        static_cast<size_t>(std::max(1, flags.GetInt("trace-capacity")));
+    trace_options.slow_ms = slow_request_ms;
+    trace = std::make_unique<obs::TraceCollector>(trace_options);
+    options.trace = trace.get();
+    if (slow_request_ms > 0.0) {
+      std::cerr << "slow-request logging armed at " << slow_request_ms
+                << " ms\n";
+    }
+  }
 
   auto service =
       serve::ResolutionService::Create(*dataset, &*gazetteer, options);
