@@ -6,7 +6,7 @@
 #
 # Usage: scripts/check.sh
 #          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
-#           --overload-only|--obs-only]
+#           --overload-only|--obs-only|--router-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
@@ -19,6 +19,12 @@
 # --obs-only: the observability suite under ASan/UBSan — metrics registry,
 # trace spans, the stats/metrics schema tests, and the serve CLI smoke
 # that exercises the metrics verb end to end.
+#
+# --router-only: the fleet-routing suite under ASan/UBSan — the
+# health-machine / route-order / failover unit tests, the shared response
+# parser tests, and the 3-backend kill drill (SIGKILL a backend mid-storm
+# through weber::router, assert zero acked-write loss and reads served
+# throughout).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,7 +36,7 @@ MODE="${1:-all}"
 # (service, server, cache, batcher), the shared executor pool, the
 # incremental resolver the serving hot path drives, and the observability
 # primitives (striped counters, trace ring buffer, registry export).
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema'
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth'
 
 run_suite() {
   local dir="$1"; shift
@@ -75,6 +81,29 @@ if [[ "$MODE" == "--obs-only" ]]; then
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'Percentile|Summarize|LatencyReservoir|CounterTest|GaugeTest|HistogramTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|MetricsVerb|serve_cli_smoke'
   echo "==> observability checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--router-only" ]]; then
+  echo "==> fleet-routing suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'BackendHealth|ParseEndpoint|RouteOrder|RouterEndToEnd|ParseResponse|MetricsFraming|ParseDumpResponse|FormatRequest|serve_fleet_smoke'
+  scratch="build-asan/fleet_drill"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  ./build-asan/tools/weber generate --preset=tiny --out="$scratch"
+  for seed in 1 2 3; do
+    echo "==> fleet drill: 3 backends, SIGKILL + restart mid-storm, seed $seed"
+    rm -rf "$scratch/store"
+    ./build-asan/tools/weber_crashtest \
+      --dataset="$scratch/dataset.txt" \
+      --gazetteer="$scratch/gazetteer.txt" \
+      --serve_bin=./build-asan/tools/weber_serve \
+      --data_dir="$scratch/store" --fleet=3 --writers=4 --kill_at=0.3 \
+      --seed="$seed" --out="$scratch/BENCH_fleet.json"
+  done
+  echo "==> router checks passed"
   exit 0
 fi
 

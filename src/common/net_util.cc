@@ -1,0 +1,202 @@
+#include "common/net_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+namespace weber {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double RemainingMs(Clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline - Clock::now())
+      .count();
+}
+
+int PollBudgetMs(double ms) {
+  return std::max(1, static_cast<int>(std::ceil(ms)));
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::IOError("fcntl(F_GETFL): ", std::strerror(errno));
+  }
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return Status::IOError("fcntl(F_SETFL): ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> DialTcp(const std::string& host, int port, double timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): ", std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad IPv4 address '", host, "'");
+  }
+  if (timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("connect(", host, ":", port, "): ", error);
+    }
+    return fd;
+  }
+  // Bounded connect: non-blocking connect, poll for writability, read the
+  // outcome from SO_ERROR, restore blocking mode.
+  if (Status st = SetNonBlocking(fd, true); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect(", host, ":", port, "): ", error);
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  while (true) {
+    const double left = RemainingMs(deadline);
+    if (left <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect(", host, ":", port,
+                                      ") timed out after ", timeout_ms, " ms");
+    }
+    pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, PollBudgetMs(left));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("poll(connect): ", error);
+    }
+    if (ready == 0) continue;  // re-check the remaining budget
+    break;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 || err != 0) {
+    const std::string error = std::strerror(err != 0 ? err : errno);
+    ::close(fd);
+    return Status::IOError("connect(", host, ":", port, "): ", error);
+  }
+  if (Status st = SetNonBlocking(fd, false); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send(): ", std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status LineSocket::Connect(const std::string& host, int port,
+                           double timeout_ms) {
+  Close();
+  WEBER_ASSIGN_OR_RETURN(int fd, DialTcp(host, port, timeout_ms));
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+void LineSocket::Adopt(int fd) {
+  Close();
+  fd_ = fd;
+  buffer_.clear();
+}
+
+Status LineSocket::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string payload = line;
+  payload += '\n';
+  return SendAll(fd_, payload.data(), payload.size());
+}
+
+Result<std::string> LineSocket::ReadLine(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char chunk[4096];
+  const bool bounded = timeout_ms > 0;
+  const Clock::time_point deadline =
+      bounded ? Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(timeout_ms))
+              : Clock::time_point();
+  while (true) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (bounded) {
+      const double left = RemainingMs(deadline);
+      if (left <= 0) {
+        return Status::DeadlineExceeded("read timed out after ", timeout_ms,
+                                        " ms");
+      }
+      pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, PollBudgetMs(left));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("poll(read): ", std::strerror(errno));
+      }
+      if (ready == 0) continue;  // loop re-checks the budget
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IOError("connection closed");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void LineSocket::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace net
+}  // namespace weber

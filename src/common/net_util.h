@@ -1,0 +1,94 @@
+// POSIX TCP client plumbing shared by the serving and routing layers.
+//
+//   * DialTcp — connect to an IPv4 literal with an optional connect
+//     timeout (non-blocking connect + poll), returning the connected fd.
+//   * LineSocket — a buffered, newline-delimited client over a connected
+//     socket with an optional poll-based per-read timeout. This is the
+//     transport under serve::LineConnection and every router→backend hop,
+//     so a dead or wedged peer turns into a Status instead of a stuck
+//     thread.
+//
+// Timeouts are soft per-call budgets, not socket options: each blocking
+// wait polls with the remaining budget, so a slow trickle of bytes cannot
+// stretch one read forever. A timed-out read returns DeadlineExceeded;
+// every other transport failure (reset, refused, EOF) returns IOError.
+// Callers that treat both as "the peer is unhealthy" can branch on
+// Status::ok() alone.
+
+#ifndef WEBER_COMMON_NET_UTIL_H_
+#define WEBER_COMMON_NET_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace weber {
+namespace net {
+
+/// Connects to `host`:`port` where `host` is an IPv4 literal (the fleet is
+/// loopback/LAN addressed; no resolver dependency). `timeout_ms` > 0 bounds
+/// the connect itself via a non-blocking connect + poll; 0 blocks. The
+/// returned fd is in blocking mode and owned by the caller.
+Result<int> DialTcp(const std::string& host, int port, double timeout_ms = 0);
+
+/// Writes all of `data`; partial sends are continued. IOError on failure.
+Status SendAll(int fd, const char* data, size_t size);
+
+/// Buffered line-oriented TCP client. Not thread-safe; one owner at a time.
+class LineSocket {
+ public:
+  LineSocket() = default;
+  ~LineSocket() { Close(); }
+
+  LineSocket(const LineSocket&) = delete;
+  LineSocket& operator=(const LineSocket&) = delete;
+  LineSocket(LineSocket&& other) noexcept { *this = std::move(other); }
+  LineSocket& operator=(LineSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+      other.buffer_.clear();
+    }
+    return *this;
+  }
+
+  /// Dials and adopts the connection (closing any previous one).
+  Status Connect(const std::string& host, int port, double timeout_ms = 0);
+
+  /// Adopts an already-connected fd (takes ownership).
+  void Adopt(int fd);
+
+  /// Writes `line` plus a newline.
+  Status SendLine(const std::string& line);
+
+  /// Reads up to the next newline (stripped, trailing '\r' removed).
+  /// `timeout_ms` > 0 bounds the whole read; expiry returns
+  /// DeadlineExceeded. EOF or a reset returns IOError. Either failure
+  /// leaves the connection unusable for framing purposes — Close() it.
+  Result<std::string> ReadLine(double timeout_ms = 0);
+
+  /// SendLine + ReadLine round trip under one budget.
+  Result<std::string> Call(const std::string& line, double timeout_ms = 0) {
+    WEBER_RETURN_NOT_OK(SendLine(line));
+    return ReadLine(timeout_ms);
+  }
+
+  /// Half-closes both directions without releasing the fd, so a reader
+  /// blocked in ReadLine() on another thread wakes with EOF.
+  void Shutdown();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace net
+}  // namespace weber
+
+#endif  // WEBER_COMMON_NET_UTIL_H_

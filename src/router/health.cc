@@ -1,0 +1,103 @@
+#include "router/health.h"
+
+#include <algorithm>
+
+namespace weber {
+namespace router {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kDown:
+      return "down";
+    case HealthState::kProbation:
+      return "probation";
+  }
+  return "unknown";
+}
+
+BackendHealth::BackendHealth(HealthOptions options) : options_(options) {
+  options_.suspect_after = std::max(1, options_.suspect_after);
+  options_.down_after = std::max(options_.suspect_after, options_.down_after);
+  options_.probation_successes = std::max(1, options_.probation_successes);
+}
+
+void BackendHealth::OnSuccess(double now_ms) {
+  consecutive_failures_ = 0;
+  switch (state_) {
+    case HealthState::kHealthy:
+      break;
+    case HealthState::kSuspect:
+      Transition(HealthState::kHealthy, now_ms);
+      break;
+    case HealthState::kDown:
+      // The backend answered a probe: it earns probation, not health.
+      probation_successes_ = 1;
+      if (probation_successes_ >= options_.probation_successes) {
+        Transition(HealthState::kHealthy, now_ms);
+      } else {
+        Transition(HealthState::kProbation, now_ms);
+      }
+      break;
+    case HealthState::kProbation:
+      if (++probation_successes_ >= options_.probation_successes) {
+        Transition(HealthState::kHealthy, now_ms);
+      }
+      break;
+  }
+}
+
+void BackendHealth::OnFailure(double now_ms) {
+  ++consecutive_failures_;
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (consecutive_failures_ >= options_.down_after) {
+        Transition(HealthState::kDown, now_ms);
+      } else if (consecutive_failures_ >= options_.suspect_after) {
+        Transition(HealthState::kSuspect, now_ms);
+      }
+      break;
+    case HealthState::kSuspect:
+      if (consecutive_failures_ >= options_.down_after) {
+        Transition(HealthState::kDown, now_ms);
+      }
+      break;
+    case HealthState::kDown:
+      break;  // still down; nothing new to learn
+    case HealthState::kProbation:
+      // Trust not yet earned: one failure ends probation immediately.
+      Transition(HealthState::kDown, now_ms);
+      break;
+  }
+}
+
+bool BackendHealth::ShouldProbe(double now_ms) const {
+  if (state_ != HealthState::kDown) return true;
+  return now_ms - last_probe_ms_ >= options_.down_probe_interval_ms;
+}
+
+void BackendHealth::Transition(HealthState next, double now_ms) {
+  if (next == state_) return;
+  if (state_ == HealthState::kDown) {
+    down_ms_total_ += std::max(0.0, now_ms - state_since_ms_);
+  }
+  if (next == HealthState::kDown) {
+    ++times_down_;
+    probation_successes_ = 0;
+  }
+  if (next == HealthState::kHealthy || next == HealthState::kSuspect) {
+    probation_successes_ = 0;
+  }
+  // consecutive_failures_ is managed by OnSuccess/OnFailure: it must carry
+  // across healthy -> suspect so the suspect -> down threshold counts total
+  // consecutive failures, not failures since the demotion.
+  state_ = next;
+  state_since_ms_ = now_ms;
+  ++transitions_;
+}
+
+}  // namespace router
+}  // namespace weber

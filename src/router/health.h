@@ -1,0 +1,105 @@
+// Per-backend health state machine for weber::router.
+//
+// Four states, driven by probe results and request transport outcomes:
+//
+//   healthy ---[suspect_after consecutive failures]---> suspect
+//   suspect ---[down_after total consecutive failures]-> down
+//   suspect ---[any success]--------------------------> healthy
+//   down ------[successful probe]---------------------> probation
+//   down ------[failure]------------------------------> down (stays)
+//   probation -[probation_successes consecutive]------> healthy
+//   probation -[any failure]--------------------------> down
+//
+// healthy / suspect / probation are routable; down is not. Suspect exists
+// so one dropped packet does not unroute a backend (it keeps serving while
+// the prober watches it more closely), and probation exists so a backend
+// that just came back earns trust before it is considered fully healthy —
+// a single failure during probation sends it straight back to down instead
+// of costing another `down_after` failures.
+//
+// The machine is deliberately clock-free: callers pass `now_ms` (any
+// monotonic millisecond scale) into every transition, so tests drive it
+// with a manual clock and the router drives it with steady_clock. Not
+// thread-safe; the router guards each backend's instance with the
+// backend's mutex.
+
+#ifndef WEBER_ROUTER_HEALTH_H_
+#define WEBER_ROUTER_HEALTH_H_
+
+namespace weber {
+namespace router {
+
+struct HealthOptions {
+  /// Consecutive failures that demote healthy to suspect (>= 1).
+  int suspect_after = 1;
+  /// Total consecutive failures that demote suspect to down. Must be
+  /// >= suspect_after; equal values skip the suspect grace period.
+  int down_after = 3;
+  /// Consecutive probe successes that promote probation to healthy (>= 1).
+  int probation_successes = 2;
+  /// Minimum gap between probes while down, so a dead backend is not
+  /// dialed at the full probe cadence forever.
+  double down_probe_interval_ms = 500.0;
+};
+
+enum class HealthState : int {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDown = 2,
+  kProbation = 3,
+};
+
+const char* HealthStateName(HealthState state);
+
+class BackendHealth {
+ public:
+  BackendHealth() = default;
+  explicit BackendHealth(HealthOptions options);
+
+  /// A successful probe or request round-trip at time `now_ms`.
+  void OnSuccess(double now_ms);
+
+  /// A transport failure (dial refused, timeout, reset, EOF) at `now_ms`.
+  void OnFailure(double now_ms);
+
+  /// Whether requests may be routed here (anything but down).
+  bool Routable() const { return state_ != HealthState::kDown; }
+
+  /// Whether the prober should dial this backend now. Routable backends
+  /// are always probed on cadence; a down backend is probed at most every
+  /// down_probe_interval_ms (measured from the last probe attempt).
+  bool ShouldProbe(double now_ms) const;
+
+  /// Records that a probe attempt was made (rate-limits down probes).
+  void NoteProbe(double now_ms) { last_probe_ms_ = now_ms; }
+
+  HealthState state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+  /// Lifetime transition counters, for the router's stats/metrics.
+  long long transitions() const { return transitions_; }
+  long long times_down() const { return times_down_; }
+  /// Milliseconds spent in down, summed over every down episode that has
+  /// ended (a backend currently down contributes on its next recovery).
+  double down_ms_total() const { return down_ms_total_; }
+  /// When the current state was entered (the caller's now_ms scale).
+  double state_since_ms() const { return state_since_ms_; }
+
+ private:
+  void Transition(HealthState next, double now_ms);
+
+  HealthOptions options_;
+  HealthState state_ = HealthState::kHealthy;
+  int consecutive_failures_ = 0;
+  int probation_successes_ = 0;
+  double state_since_ms_ = 0.0;
+  double last_probe_ms_ = -1e18;
+  long long transitions_ = 0;
+  long long times_down_ = 0;
+  double down_ms_total_ = 0.0;
+};
+
+}  // namespace router
+}  // namespace weber
+
+#endif  // WEBER_ROUTER_HEALTH_H_

@@ -1,0 +1,517 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+
+namespace weber {
+namespace router {
+
+namespace {
+
+uint64_t HashBlock(const std::string& block) {
+  // FNV-1a, then one SplitMix64 round to spread short names.
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : block) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(h).Next();
+}
+
+}  // namespace
+
+Result<std::pair<std::string, int>> ParseEndpoint(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("bad endpoint '", endpoint,
+                                   "' (want host:port)");
+  }
+  int port = 0;
+  if (!ParseInt(endpoint.substr(colon + 1), &port) || port <= 0 ||
+      port > 65535) {
+    return Status::InvalidArgument("bad port in endpoint '", endpoint, "'");
+  }
+  return std::make_pair(endpoint.substr(0, colon), port);
+}
+
+std::vector<size_t> Router::RouteOrder(const std::string& block, size_t n) {
+  const uint64_t h = HashBlock(block);
+  std::vector<std::pair<uint64_t, size_t>> scored;
+  scored.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Rendezvous hashing: each (block, backend) pair gets an independent
+    // score; the preference order is scores descending. Mixing by index
+    // keeps the order a pure function of (block, n).
+    scored.emplace_back(
+        SplitMix64(h ^ (0x9E3779B97F4A7C15ULL * (i + 1))).Next(), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (const auto& [score, index] : scored) order.push_back(index);
+  return order;
+}
+
+Router::Router(std::vector<std::string> endpoints, RouterOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()),
+      rng_(options.seed) {
+  requests_total_ = registry_.GetCounter(
+      "weber_router_requests_total", "Requests handled by the router");
+  retries_total_ = registry_.GetCounter(
+      "weber_router_retries_total", "Forwarded calls retried after a transport failure");
+  failovers_total_ = registry_.GetCounter(
+      "weber_router_failovers_total", "Reads served by a non-owner backend");
+  shed_overloaded_ = registry_.GetCounter(
+      "weber_router_shed_total", "Requests shed by the router", "reason",
+      "overloaded");
+  shed_deadline_ = registry_.GetCounter(
+      "weber_router_shed_total", "Requests shed by the router", "reason",
+      "deadline");
+  shed_unavailable_ = registry_.GetCounter(
+      "weber_router_shed_total", "Requests shed by the router", "reason",
+      "unavailable");
+  probes_total_ = registry_.GetCounter("weber_router_probes_total",
+                                       "Health probes attempted");
+  probe_failures_ = registry_.GetCounter("weber_router_probe_failures_total",
+                                         "Health probes failed");
+  backends_.reserve(endpoints.size());
+  for (const std::string& endpoint : endpoints) {
+    auto backend = std::make_unique<Backend>();
+    backend->endpoint = endpoint;
+    Result<std::pair<std::string, int>> parsed = ParseEndpoint(endpoint);
+    if (parsed.ok()) {
+      backend->host = parsed.ValueOrDie().first;
+      backend->port = parsed.ValueOrDie().second;
+    } else {
+      // A malformed endpoint is kept (indices must match the caller's
+      // list) but never dials successfully, so health marks it down.
+      backend->host = endpoint;
+      backend->port = 0;
+    }
+    backend->health = BackendHealth(options_.health);
+    backend->breaker.Configure(options_.breaker);
+    backend->requests = registry_.GetCounter(
+        "weber_router_backend_requests_total",
+        "Calls forwarded to a backend", "backend", endpoint);
+    backend->transport_failures = registry_.GetCounter(
+        "weber_router_backend_failures_total",
+        "Transport failures talking to a backend", "backend", endpoint);
+    backend->state_gauge = registry_.GetGauge(
+        "weber_router_backend_state",
+        "Backend health (0 healthy, 1 suspect, 2 down, 3 probation)",
+        "backend", endpoint);
+    backends_.push_back(std::move(backend));
+  }
+}
+
+Router::~Router() { Stop(); }
+
+void Router::Start() {
+  if (started_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(prober_mu_);
+    prober_stop_ = false;
+  }
+  prober_ = std::thread([this] { ProberLoop(); });
+}
+
+void Router::Stop() {
+  if (started_.exchange(false)) {
+    {
+      std::lock_guard<std::mutex> lock(prober_mu_);
+      prober_stop_ = true;
+    }
+    prober_cv_.notify_all();
+    if (prober_.joinable()) prober_.join();
+  }
+  for (auto& backend : backends_) {
+    std::lock_guard<std::mutex> lock(backend->mu);
+    backend->pool.clear();
+  }
+}
+
+double Router::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Result<std::string> Router::CallBackend(Backend& backend,
+                                        const std::string& line,
+                                        double timeout_ms, bool* sent) {
+  *sent = false;
+  backend.requests->Increment();
+  net::LineSocket socket;
+  {
+    std::lock_guard<std::mutex> lock(backend.mu);
+    if (!backend.pool.empty()) {
+      socket = std::move(backend.pool.back());
+      backend.pool.pop_back();
+    }
+  }
+  if (!socket.connected()) {
+    Status dialed =
+        socket.Connect(backend.host, backend.port, options_.dial_timeout_ms);
+    if (!dialed.ok()) {
+      backend.transport_failures->Increment();
+      std::lock_guard<std::mutex> lock(backend.mu);
+      backend.health.OnFailure(NowMs());
+      backend.breaker.RecordFailure();
+      backend.state_gauge->Set(static_cast<int>(backend.health.state()));
+      return dialed;
+    }
+  }
+  // Past this point the request may reach the backend even if the call
+  // fails — the caller must not claim "no state changed".
+  *sent = true;
+  Result<std::string> response = socket.Call(line, timeout_ms);
+  if (!response.ok()) {
+    backend.transport_failures->Increment();
+    std::lock_guard<std::mutex> lock(backend.mu);
+    backend.health.OnFailure(NowMs());
+    backend.breaker.RecordFailure();
+    backend.state_gauge->Set(static_cast<int>(backend.health.state()));
+    return response.status();
+  }
+  std::lock_guard<std::mutex> lock(backend.mu);
+  backend.health.OnSuccess(NowMs());
+  backend.breaker.RecordSuccess();
+  backend.state_gauge->Set(static_cast<int>(backend.health.state()));
+  if (static_cast<int>(backend.pool.size()) < options_.pool_size) {
+    backend.pool.push_back(std::move(socket));
+  }
+  return response;
+}
+
+bool Router::BackoffSleep(int attempt, double remaining_ms) {
+  double cap = options_.retry_backoff_ms * std::pow(2.0, attempt);
+  double sleep_ms;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    sleep_ms = rng_.UniformDouble(0.0, std::max(cap, 0.001));
+  }
+  if (sleep_ms >= remaining_ms) return false;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(sleep_ms));
+  return true;
+}
+
+std::string Router::ForwardWrite(const serve::Request& request) {
+  const serve::RequestDeadline deadline =
+      serve::RequestDeadline::In(request.deadline_ms);
+  Backend& owner =
+      *backends_[RouteOrder(request.block, backends_.size())[0]];
+  {
+    std::lock_guard<std::mutex> lock(owner.mu);
+    if (!owner.health.Routable()) {
+      // Never sent: the fleet state did not change, so OVERLOADED's
+      // promise holds and the client may retry blindly.
+      shed_overloaded_->Increment();
+      return serve::FormatOverloaded(options_.retry_after_ms);
+    }
+  }
+  if (!owner.breaker.Admit().ok()) {
+    shed_overloaded_->Increment();
+    return serve::FormatOverloaded(options_.retry_after_ms);
+  }
+  bool any_sent = false;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (deadline.Expired()) break;
+    const double budget =
+        std::min(options_.call_timeout_ms, deadline.RemainingMs());
+    serve::Request hop = request;
+    if (request.deadline_ms > 0.0) hop.deadline_ms = deadline.RemainingMs();
+    bool sent = false;
+    Result<std::string> response =
+        CallBackend(owner, serve::FormatRequest(hop), budget, &sent);
+    any_sent = any_sent || sent;
+    if (response.ok()) return std::move(response).ValueOrDie();
+    if (attempt < options_.max_retries) {
+      retries_total_->Increment();
+      if (!BackoffSleep(attempt, deadline.RemainingMs())) break;
+    }
+  }
+  if (deadline.Expired()) {
+    shed_deadline_->Increment();
+    return serve::FormatDeadlineExceeded();
+  }
+  if (!any_sent) {
+    shed_overloaded_->Increment();
+    return serve::FormatOverloaded(options_.retry_after_ms);
+  }
+  // The request may have been applied even though no response arrived, so
+  // OVERLOADED ("changed no state") would be dishonest here.
+  shed_unavailable_->Increment();
+  return serve::FormatError(Status::Unavailable(
+      "backend ", owner.endpoint,
+      " unreachable; the write may have applied (assign is idempotent — "
+      "retry is safe)"));
+}
+
+std::string Router::ForwardRead(const serve::Request& request) {
+  const serve::RequestDeadline deadline =
+      serve::RequestDeadline::In(request.deadline_ms);
+  const std::vector<size_t> order =
+      RouteOrder(request.block, backends_.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    Backend& backend = *backends_[order[rank]];
+    {
+      std::lock_guard<std::mutex> lock(backend.mu);
+      if (!backend.health.Routable()) continue;
+    }
+    if (deadline.Expired()) {
+      shed_deadline_->Increment();
+      return serve::FormatDeadlineExceeded();
+    }
+    const double budget =
+        std::min(options_.call_timeout_ms, deadline.RemainingMs());
+    serve::Request hop = request;
+    if (request.deadline_ms > 0.0) hop.deadline_ms = deadline.RemainingMs();
+    bool sent = false;
+    Result<std::string> response =
+        CallBackend(backend, serve::FormatRequest(hop), budget, &sent);
+    if (response.ok()) {
+      if (rank > 0) failovers_total_->Increment();
+      return std::move(response).ValueOrDie();
+    }
+    // Transport failure: the next candidate in the preference order is
+    // the failover. Reads are idempotent, so trying again is always safe.
+  }
+  if (deadline.Expired()) {
+    shed_deadline_->Increment();
+    return serve::FormatDeadlineExceeded();
+  }
+  shed_overloaded_->Increment();
+  return serve::FormatOverloaded(options_.retry_after_ms);
+}
+
+std::string Router::ForwardDump(const serve::Request& request) {
+  // Dumps are verification reads of the authoritative store, so they never
+  // fail over — a non-owner's answer would silently verify the wrong data.
+  Backend& owner =
+      *backends_[RouteOrder(request.block, backends_.size())[0]];
+  {
+    std::lock_guard<std::mutex> lock(owner.mu);
+    if (!owner.health.Routable()) {
+      shed_overloaded_->Increment();
+      return serve::FormatOverloaded(options_.retry_after_ms);
+    }
+  }
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    bool sent = false;
+    Result<std::string> response = CallBackend(
+        owner, serve::FormatRequest(request), options_.call_timeout_ms, &sent);
+    if (response.ok()) return std::move(response).ValueOrDie();
+    if (attempt < options_.max_retries) {
+      retries_total_->Increment();
+      if (!BackoffSleep(attempt, options_.call_timeout_ms)) break;
+    }
+  }
+  shed_overloaded_->Increment();
+  return serve::FormatOverloaded(options_.retry_after_ms);
+}
+
+std::string Router::ForwardCompactAll(const serve::Request& request) {
+  // Fans out to every routable backend. Partial success is reported as an
+  // error naming the failed backends, so a drill script knows compaction
+  // is incomplete instead of trusting a hollow "ok".
+  long long reached = 0;
+  std::vector<std::string> failed;
+  for (auto& backend : backends_) {
+    {
+      std::lock_guard<std::mutex> lock(backend->mu);
+      if (!backend->health.Routable()) {
+        failed.push_back(backend->endpoint + " (down)");
+        continue;
+      }
+    }
+    bool sent = false;
+    Result<std::string> response = CallBackend(
+        *backend, serve::FormatRequest(request), options_.call_timeout_ms,
+        &sent);
+    if (!response.ok()) {
+      failed.push_back(backend->endpoint + " (" +
+                       response.status().message() + ")");
+      continue;
+    }
+    Result<serve::Response> parsed =
+        serve::ParseResponse(response.ValueOrDie());
+    if (!parsed.ok() || !parsed.ValueOrDie().ok()) {
+      failed.push_back(backend->endpoint + " (" + response.ValueOrDie() +
+                       ")");
+      continue;
+    }
+    ++reached;
+  }
+  if (!failed.empty()) {
+    std::string joined;
+    for (const std::string& f : failed) {
+      if (!joined.empty()) joined += ", ";
+      joined += f;
+    }
+    shed_unavailable_->Increment();
+    return serve::FormatError(
+        Status::Unavailable("compact incomplete: ", joined));
+  }
+  return "ok " + std::to_string(reached);
+}
+
+BackendSnapshot Router::backend(size_t index) const {
+  const Backend& b = *backends_[index];
+  BackendSnapshot snap;
+  snap.endpoint = b.endpoint;
+  snap.breaker = b.breaker.state();
+  snap.requests = b.requests->Value();
+  snap.transport_failures = b.transport_failures->Value();
+  std::lock_guard<std::mutex> lock(b.mu);
+  snap.state = b.health.state();
+  snap.consecutive_failures = b.health.consecutive_failures();
+  snap.transitions = b.health.transitions();
+  snap.times_down = b.health.times_down();
+  snap.down_ms_total = b.health.down_ms_total();
+  return snap;
+}
+
+std::string Router::StatsResponse() const {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("router").BeginObject();
+  json.Key("backends").Number(static_cast<long long>(backends_.size()));
+  json.Key("requests").Number(requests_total_->Value());
+  json.Key("retries").Number(retries_total_->Value());
+  json.Key("failovers").Number(failovers_total_->Value());
+  json.Key("probes").Number(probes_total_->Value());
+  json.Key("probe_failures").Number(probe_failures_->Value());
+  json.EndObject();
+  json.Key("backends").BeginArray();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const BackendSnapshot snap = backend(i);
+    json.BeginObject();
+    json.Key("endpoint").String(snap.endpoint);
+    json.Key("state").String(HealthStateName(snap.state));
+    json.Key("breaker").String(serve::BreakerStateName(snap.breaker));
+    json.Key("requests").Number(snap.requests);
+    json.Key("transport_failures").Number(snap.transport_failures);
+    json.Key("transitions").Number(snap.transitions);
+    json.Key("times_down").Number(snap.times_down);
+    json.Key("down_ms_total").Number(snap.down_ms_total);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return "ok " + os.str();
+}
+
+std::string Router::MetricsResponse() const {
+  std::ostringstream os;
+  registry_.WritePrometheusText(os);
+  std::string payload = os.str();
+  const long long lines = std::count(payload.begin(), payload.end(), '\n');
+  std::string response = "ok " + std::to_string(lines);
+  if (!payload.empty()) {
+    payload.pop_back();  // the serving loop appends the final newline
+    response += '\n';
+    response += payload;
+  }
+  return response;
+}
+
+std::string Router::HandleLine(const std::string& line, bool* quit) {
+  *quit = false;
+  requests_total_->Increment();
+  Result<serve::Request> parsed = serve::ParseRequest(line);
+  if (!parsed.ok()) return serve::FormatError(parsed.status());
+  const serve::Request& request = parsed.ValueOrDie();
+  switch (request.op) {
+    case serve::Request::Op::kAssign:
+    case serve::Request::Op::kCompact:
+      return ForwardWrite(request);
+    case serve::Request::Op::kQuery:
+      return ForwardRead(request);
+    case serve::Request::Op::kDump:
+      return ForwardDump(request);
+    case serve::Request::Op::kCompactAll:
+      return ForwardCompactAll(request);
+    case serve::Request::Op::kStats:
+      return StatsResponse();
+    case serve::Request::Op::kMetrics:
+      return MetricsResponse();
+    case serve::Request::Op::kPing:
+      return "ok";
+    case serve::Request::Op::kQuit:
+      *quit = true;
+      return "ok";
+  }
+  return serve::FormatError(Status::Internal("unhandled request op"));
+}
+
+void Router::ProbeBackend(Backend& backend, bool deep, double now_ms) {
+  {
+    std::lock_guard<std::mutex> lock(backend.mu);
+    if (!backend.health.ShouldProbe(now_ms)) return;
+    backend.health.NoteProbe(now_ms);
+  }
+  probes_total_->Increment();
+  // Probes use their own connection (not the pool) so a wedged pooled
+  // socket cannot make a healthy backend look dead, and vice versa.
+  net::LineSocket socket;
+  Status status =
+      socket.Connect(backend.host, backend.port, options_.probe_timeout_ms);
+  bool healthy = false;
+  if (status.ok()) {
+    // A deep probe asks for stats — it exercises the whole service
+    // dispatch, catching a process that accepts but cannot serve.
+    Result<std::string> response =
+        socket.Call(deep ? "stats" : "ping", options_.probe_timeout_ms);
+    if (response.ok()) {
+      Result<serve::Response> parsed =
+          serve::ParseResponse(response.ValueOrDie());
+      healthy = parsed.ok() && parsed.ValueOrDie().ok();
+    }
+  }
+  if (!healthy) probe_failures_->Increment();
+  std::lock_guard<std::mutex> lock(backend.mu);
+  if (healthy) {
+    backend.health.OnSuccess(now_ms);
+    backend.breaker.RecordSuccess();
+  } else {
+    backend.health.OnFailure(now_ms);
+  }
+  backend.state_gauge->Set(static_cast<int>(backend.health.state()));
+}
+
+void Router::ProbeOnce() {
+  const long long cycle =
+      probe_cycle_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool deep =
+      options_.deep_probe_every > 0 && cycle % options_.deep_probe_every == 0;
+  const double now_ms = NowMs();
+  for (auto& backend : backends_) ProbeBackend(*backend, deep, now_ms);
+}
+
+void Router::ProberLoop() {
+  std::unique_lock<std::mutex> lock(prober_mu_);
+  while (!prober_stop_) {
+    lock.unlock();
+    ProbeOnce();
+    lock.lock();
+    prober_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(options_.probe_interval_ms),
+        [this] { return prober_stop_; });
+  }
+}
+
+}  // namespace router
+}  // namespace weber

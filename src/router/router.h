@@ -1,0 +1,220 @@
+// weber::router — a fault-tolerant front-end for a fleet of weber_serve
+// backends (see DESIGN.md, "Routing & fleet failover").
+//
+// The router speaks the same newline-delimited protocol as weber_serve on
+// both sides: clients talk to it exactly as they would to a single server,
+// and it forwards each request over TCP to the backend that owns the
+// request's block. Ownership is rendezvous (highest-random-weight) hashing
+// of the block name across the configured backends — stable under fleet
+// membership the way modulo hashing is not, and it yields a full preference
+// order per block for free, which is the read-failover order.
+//
+// Fault tolerance, in layers:
+//   * A prober thread pings every backend on a fixed cadence and feeds the
+//     per-backend health state machine (router/health.h). Down backends
+//     are unrouted; recovered ones pass through probation first.
+//   * Writes (assign/compact) go to the block's owner only — the owner's
+//     store is the authority — behind a per-backend circuit breaker
+//     (serve/overload.h) and a bounded retry loop with exponential backoff
+//     and full jitter. A write that was never sent (owner down, breaker
+//     open, dial refused) is answered `OVERLOADED <retry-ms>`, which
+//     promises the fleet state did not change; a write that may have been
+//     delivered but whose response was lost is answered `err Unavailable`
+//     instead, because the promise would be a lie (assign is idempotent,
+//     so clients retry safely either way).
+//   * Reads (query) try the owner first and fail over down the block's
+//     preference order to any live backend; a non-owner answer may be
+//     stale by design (the paper's resolution state is convergent).
+//   * Client deadlines propagate: each forwarded hop carries the remaining
+//     budget, re-encoded as the protocol's `deadline <ms>` suffix.
+//
+// The router keeps its own obs::MetricsRegistry (per-backend counters and
+// state gauges plus router totals) and answers `stats` / `metrics` itself
+// rather than forwarding them — those verbs describe the router.
+//
+// Thread-safety: HandleLine is called concurrently (one thread per client
+// connection under serve::LineServer's handler mode). Each backend's
+// health, connection pool and probe bookkeeping are guarded by that
+// backend's mutex; the breaker locks itself; counters are lock-free.
+
+#ifndef WEBER_ROUTER_ROUTER_H_
+#define WEBER_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/net_util.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "router/health.h"
+#include "serve/overload.h"
+#include "serve/protocol.h"
+
+namespace weber {
+namespace router {
+
+struct RouterOptions {
+  /// Per-backend health thresholds (router/health.h).
+  HealthOptions health;
+  /// Per-backend write breaker; failure_threshold 0 disables breakers.
+  serve::CircuitBreaker::Options breaker{3, 500.0};
+  /// Prober cadence. Down backends are additionally rate-limited by
+  /// health.down_probe_interval_ms.
+  double probe_interval_ms = 250.0;
+  /// Every Nth probe cycle sends `stats` instead of `ping`, so a backend
+  /// that accepts connections but cannot serve is still caught (0 = ping
+  /// only).
+  int deep_probe_every = 8;
+  /// Budget for one probe round trip (dial + call).
+  double probe_timeout_ms = 250.0;
+  /// Budget for dialing a backend on the request path.
+  double dial_timeout_ms = 250.0;
+  /// Per-hop budget for a forwarded call when the client's remaining
+  /// deadline does not impose a tighter one.
+  double call_timeout_ms = 2000.0;
+  /// Transport retries after the first attempt (writes and owner dumps).
+  int max_retries = 2;
+  /// Base of the exponential backoff between retries; the actual sleep is
+  /// uniform in [0, base * 2^attempt] (full jitter).
+  double retry_backoff_ms = 10.0;
+  /// Retry hint carried by every OVERLOADED the router originates.
+  double retry_after_ms = 50.0;
+  /// Seed for the backoff jitter (deterministic drills).
+  uint64_t seed = 0x5EED;
+  /// Idle connections kept per backend (excess are closed on release).
+  int pool_size = 4;
+};
+
+/// Point-in-time view of one backend, for stats and tests.
+struct BackendSnapshot {
+  std::string endpoint;
+  HealthState state = HealthState::kHealthy;
+  serve::CircuitBreaker::State breaker = serve::CircuitBreaker::State::kClosed;
+  int consecutive_failures = 0;
+  long long requests = 0;
+  long long transport_failures = 0;
+  long long transitions = 0;
+  long long times_down = 0;
+  double down_ms_total = 0.0;
+};
+
+class Router {
+ public:
+  /// `endpoints` are "host:port" strings (IPv4 literals). At least one.
+  Router(std::vector<std::string> endpoints, RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Starts the prober thread (idempotent). The router answers requests
+  /// before Start(), but health then only learns from request traffic.
+  void Start();
+
+  /// Stops the prober and closes every pooled connection.
+  void Stop();
+
+  /// Answers one request line; plugs into serve::LineServer handler mode
+  /// and ServeStdio alike. Thread-safe.
+  std::string HandleLine(const std::string& line, bool* quit);
+
+  /// The block's backend preference order: owner first, then failover
+  /// candidates. Pure function of (block, backend count) — deterministic
+  /// across routers, which is what makes a restarted router agree with its
+  /// predecessor about ownership.
+  static std::vector<size_t> RouteOrder(const std::string& block, size_t n);
+
+  /// Runs one probe cycle synchronously (the prober thread's body); public
+  /// so tests and drills can drive health deterministically without
+  /// waiting out the cadence.
+  void ProbeOnce();
+
+  size_t backend_count() const { return backends_.size(); }
+  BackendSnapshot backend(size_t index) const;
+
+  /// The router's own registry (per-backend and router-total metrics).
+  obs::MetricsRegistry& registry() { return registry_; }
+
+ private:
+  struct Backend {
+    std::string endpoint;  // "host:port"
+    std::string host;
+    int port = 0;
+
+    mutable std::mutex mu;
+    BackendHealth health;               // guarded by mu
+    std::vector<net::LineSocket> pool;  // guarded by mu
+    serve::CircuitBreaker breaker;      // self-locking
+
+    obs::Counter* requests = nullptr;
+    obs::Counter* transport_failures = nullptr;
+    obs::Gauge* state_gauge = nullptr;
+  };
+
+  /// Milliseconds since router construction (the health machine's clock).
+  double NowMs() const;
+
+  /// One round trip to `backend`. Acquires a pooled connection (or dials),
+  /// sends `line`, reads one response line within `timeout_ms`, and on
+  /// success returns the connection to the pool. `*sent` is set once the
+  /// request may have reached the backend — false only for dial failures.
+  /// Failure closes the connection and records health + counters.
+  Result<std::string> CallBackend(Backend& backend, const std::string& line,
+                                  double timeout_ms, bool* sent);
+
+  std::string ForwardWrite(const serve::Request& request);
+  std::string ForwardRead(const serve::Request& request);
+  std::string ForwardDump(const serve::Request& request);
+  std::string ForwardCompactAll(const serve::Request& request);
+  std::string StatsResponse() const;
+  std::string MetricsResponse() const;
+
+  void ProbeBackend(Backend& backend, bool deep, double now_ms);
+  void ProberLoop();
+
+  /// Jittered exponential backoff sleep before retry `attempt` (0-based),
+  /// capped so it never sleeps past `remaining_ms`. Returns false when the
+  /// remaining budget is already gone.
+  bool BackoffSleep(int attempt, double remaining_ms);
+
+  const RouterOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  obs::MetricsRegistry registry_;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* failovers_total_ = nullptr;
+  obs::Counter* shed_overloaded_ = nullptr;
+  obs::Counter* shed_deadline_ = nullptr;
+  obs::Counter* shed_unavailable_ = nullptr;
+  obs::Counter* probes_total_ = nullptr;
+  obs::Counter* probe_failures_ = nullptr;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+  std::atomic<bool> started_{false};
+  std::atomic<long long> probe_cycle_{0};
+};
+
+/// Splits "host:port". InvalidArgument on a malformed endpoint.
+Result<std::pair<std::string, int>> ParseEndpoint(const std::string& endpoint);
+
+}  // namespace router
+}  // namespace weber
+
+#endif  // WEBER_ROUTER_ROUTER_H_

@@ -131,6 +131,174 @@ Result<Request> ParseRequest(const std::string& line) {
   return Status::InvalidArgument("unknown request '", verb, "'");
 }
 
+std::string FormatRequest(const Request& request) {
+  std::string line;
+  switch (request.op) {
+    case Request::Op::kAssign:
+      line = "assign " + request.block + ' ' + std::to_string(request.doc);
+      break;
+    case Request::Op::kQuery:
+      line = "query " + request.block + ' ' + std::to_string(request.doc);
+      break;
+    case Request::Op::kCompact:
+      line = "compact " + request.block;
+      break;
+    case Request::Op::kCompactAll:
+      line = "compact";
+      break;
+    case Request::Op::kDump:
+      line = "dump " + request.block;
+      break;
+    case Request::Op::kStats:
+      line = "stats";
+      break;
+    case Request::Op::kMetrics:
+      line = "metrics";
+      break;
+    case Request::Op::kPing:
+      line = "ping";
+      break;
+    case Request::Op::kQuit:
+      line = "quit";
+      break;
+  }
+  if (request.deadline_ms > 0.0) {
+    line += " deadline ";
+    line += FormatDouble(request.deadline_ms, 3);
+  }
+  return line;
+}
+
+Result<Response> ParseResponse(const std::string& line) {
+  if (line.empty()) {
+    return Status::Corruption("empty response line");
+  }
+  if (line.size() > kMaxResponseLineBytes) {
+    return Status::Corruption("response line of ", line.size(),
+                              " bytes exceeds the ", kMaxResponseLineBytes,
+                              "-byte cap");
+  }
+  Response response;
+  if (line == "ok") {
+    response.kind = Response::Kind::kOk;
+    return response;
+  }
+  if (line.rfind("ok ", 0) == 0) {
+    response.kind = Response::Kind::kOk;
+    response.body = line.substr(3);
+    return response;
+  }
+  if (line == "DEADLINE_EXCEEDED") {
+    response.kind = Response::Kind::kDeadlineExceeded;
+    response.code = StatusCode::kDeadlineExceeded;
+    return response;
+  }
+  if (line.rfind("OVERLOADED", 0) == 0) {
+    double hint = 0.0;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.size() != 2 || !ParseDouble(tokens[1], &hint) || hint <= 0.0) {
+      return Status::Corruption("malformed OVERLOADED response '", line, "'");
+    }
+    response.kind = Response::Kind::kOverloaded;
+    response.code = StatusCode::kUnavailable;
+    response.retry_after_ms = std::max(1.0, hint);
+    return response;
+  }
+  if (line.rfind("err ", 0) == 0) {
+    const std::string rest = line.substr(4);
+    const size_t space = rest.find(' ');
+    const std::string code_word =
+        space == std::string::npos ? rest : rest.substr(0, space);
+    if (code_word.empty()) {
+      return Status::Corruption("err response without a status code: '", line,
+                                "'");
+    }
+    response.kind = Response::Kind::kError;
+    // Map the code word back through the StatusCode names; an unknown word
+    // still parses (the server may be newer) but lands on kInternal.
+    response.code = StatusCode::kInternal;
+    for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+      if (StatusCodeToString(static_cast<StatusCode>(c)) == code_word) {
+        response.code = static_cast<StatusCode>(c);
+        break;
+      }
+    }
+    response.message =
+        space == std::string::npos ? std::string() : rest.substr(space + 1);
+    return response;
+  }
+  return Status::Corruption("unknown response status word in '",
+                            line.substr(0, 64), "'");
+}
+
+Result<long long> ParseMetricsHeader(const std::string& header) {
+  WEBER_ASSIGN_OR_RETURN(Response response, ParseResponse(header));
+  if (!response.ok()) {
+    return Status::Corruption("metrics request failed: ", header);
+  }
+  long long n = 0;
+  auto [ptr, ec] = std::from_chars(
+      response.body.data(), response.body.data() + response.body.size(), n);
+  if (ec != std::errc() || ptr != response.body.data() + response.body.size() ||
+      n < 0) {
+    return Status::Corruption("bad metrics line count '", response.body, "'");
+  }
+  if (n > kMaxMetricsPayloadLines) {
+    return Status::Corruption("metrics header announces ", n,
+                              " lines, over the ", kMaxMetricsPayloadLines,
+                              "-line cap");
+  }
+  return n;
+}
+
+Result<std::vector<std::string>> ReadMetricsPayload(
+    long long n, const std::function<Result<std::string>()>& read_line) {
+  if (n < 0 || n > kMaxMetricsPayloadLines) {
+    return Status::Corruption("metrics payload of ", n,
+                              " lines out of range");
+  }
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(n));
+  for (long long i = 0; i < n; ++i) {
+    Result<std::string> line = read_line();
+    if (!line.ok()) {
+      return Status::Corruption("truncated metrics payload: got ", i, " of ",
+                                n, " lines (", line.status().message(), ")");
+    }
+    lines.push_back(std::move(line).ValueOrDie());
+  }
+  return lines;
+}
+
+Result<std::vector<int>> ParseDumpResponse(const std::string& response) {
+  const std::vector<std::string> tokens = SplitWhitespace(response);
+  if (tokens.size() < 2 || tokens[0] != "ok") {
+    return Status::Corruption("bad dump response '",
+                              response.substr(0, 128), "'");
+  }
+  int n = 0;
+  if (!ParseInt(tokens[1], &n) || n < 0 ||
+      tokens.size() != static_cast<size_t>(n) + 2) {
+    return Status::Corruption("dump token count mismatch");
+  }
+  std::vector<int> labels(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const std::string& pair = tokens[static_cast<size_t>(i) + 2];
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("bad dump pair '", pair, "'");
+    }
+    int doc = -1;
+    int label = 0;
+    if (!ParseInt(pair.substr(0, colon), &doc) ||
+        !ParseInt(pair.substr(colon + 1), &label) || doc < 0 || doc >= n) {
+      return Status::Corruption("bad dump pair '", pair, "'");
+    }
+    labels[static_cast<size_t>(doc)] = label;
+  }
+  return labels;
+}
+
 std::string FormatError(const Status& status) {
   std::string message = status.message();
   for (char& c : message) {

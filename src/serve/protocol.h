@@ -46,7 +46,9 @@
 #ifndef WEBER_SERVE_PROTOCOL_H_
 #define WEBER_SERVE_PROTOCOL_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 
@@ -82,6 +84,69 @@ struct Request {
 /// missing arguments, a non-numeric document id, an oversized line, an
 /// embedded NUL, or a malformed deadline suffix.
 Result<Request> ParseRequest(const std::string& line);
+
+/// Re-serializes a request to its canonical wire line (the inverse of
+/// ParseRequest; a positive deadline_ms is appended as "deadline <ms>").
+/// The router uses this to forward a request with its remaining budget.
+std::string FormatRequest(const Request& request);
+
+/// Cap on one response line accepted by clients. dump/stats on realistic
+/// shards stay far below this; anything longer means a framing bug or a
+/// corrupted stream, not data.
+inline constexpr size_t kMaxResponseLineBytes = 1 << 20;
+
+/// Cap on the payload lines a `metrics` response may announce. The real
+/// registry emits a few hundred; a header claiming more than this is a
+/// corrupt or hostile stream, and honoring it would make the client loop
+/// (and buffer) on the peer's say-so.
+inline constexpr long long kMaxMetricsPayloadLines = 1 << 18;
+
+/// One parsed response line. The four status words of the protocol map to
+/// the four kinds; everything after "ok" (if anything) lands in `body`.
+struct Response {
+  enum class Kind {
+    kOk,
+    kOverloaded,
+    kDeadlineExceeded,
+    kError,
+  };
+
+  Kind kind = Kind::kError;
+  /// For kOk: the rest of the line after "ok " ("" for a bare "ok").
+  std::string body;
+  /// For kOverloaded: the server's retry hint (always >= 1).
+  double retry_after_ms = 0.0;
+  /// For kError: the parsed StatusCode (kInternal when the code word is
+  /// not a known StatusCode name) and the remainder of the line.
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return kind == Kind::kOk; }
+};
+
+/// Parses one response line shared by every protocol client (router,
+/// loadgen, crashtest), so their notions of ok/shed/deadline/error cannot
+/// drift. Returns Corruption for an empty line, an oversized line
+/// (kMaxResponseLineBytes), an unknown status word, a malformed OVERLOADED
+/// hint, or an "err" line without a code.
+Result<Response> ParseResponse(const std::string& line);
+
+/// Parses the "ok <n>" header of a `metrics` response into n. Corruption
+/// when the header is not ok, n is missing/non-numeric/negative, or n
+/// exceeds kMaxMetricsPayloadLines.
+Result<long long> ParseMetricsHeader(const std::string& header);
+
+/// Reads the n payload lines of a `metrics` response through `read_line`
+/// (one call per line). A reader failure mid-payload is reported as
+/// Corruption("truncated metrics payload ...") so callers can tell a torn
+/// multi-line response from an ordinary transport error.
+Result<std::vector<std::string>> ReadMetricsPayload(
+    long long n, const std::function<Result<std::string>()>& read_line);
+
+/// Parses a `dump` response ("ok <n> <doc>:<label> ...") into one label per
+/// canonical document (-1 = not in the shard). Corruption on any malformed
+/// token, count mismatch, or out-of-range document id.
+Result<std::vector<int>> ParseDumpResponse(const std::string& response);
 
 /// Formats an error response ("err <code> <message>", single line).
 std::string FormatError(const Status& status);

@@ -39,6 +39,9 @@ int PollTimeoutMs(double ms) {
 LineServer::~LineServer() { StopTcp(); }
 
 std::string LineServer::HandleLine(const std::string& line, bool* quit) {
+  // Generic front-end mode: the handler owns the whole protocol surface
+  // (the router answers stats/metrics itself, with its own registry).
+  if (handler_) return handler_(line, quit);
   // With a trace collector configured each request line gets a fresh
   // request ID (ambient for every span recorded below this frame) and a
   // whole-request span — which is also the slow-request log trigger when
@@ -448,78 +451,6 @@ void LineServer::StopTcp() {
 
 void LineServer::WaitTcp() {
   if (acceptor_.joinable()) acceptor_.join();
-}
-
-Status LineConnection::Connect(const std::string& host, int port) {
-  Close();
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError("socket(): ", std::string(std::strerror(errno)));
-  }
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad IPv4 address '", host, "'");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::IOError("connect(", host, ":", port, "): ", error);
-  }
-  fd_ = fd;
-  buffer_.clear();
-  return Status::OK();
-}
-
-Status LineConnection::SendLine(const std::string& line) {
-  if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  std::string payload = line;
-  payload += '\n';
-  size_t sent = 0;
-  while (sent < payload.size()) {
-    ssize_t n = ::send(fd_, payload.data() + sent, payload.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      return Status::IOError("send(): ", std::string(std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Result<std::string> LineConnection::ReadLine() {
-  if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  char chunk[4096];
-  while (true) {
-    size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string line = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
-    }
-    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      return Status::IOError("connection closed");
-    }
-    buffer_.append(chunk, static_cast<size_t>(n));
-  }
-}
-
-void LineConnection::Shutdown() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
-}
-
-void LineConnection::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
-  buffer_.clear();
 }
 
 }  // namespace serve

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/net_util.h"
 #include "common/result.h"
 #include "serve/resolution_service.h"
 
@@ -61,11 +62,26 @@ struct ServerStats {
   int active_connections = 0;
 };
 
+/// A request-line handler: answers one line (no trailing newline) and sets
+/// `*quit` to close the connection. Must be thread-safe — the TCP path
+/// invokes it from one thread per connection.
+using LineHandlerFn = std::function<std::string(const std::string& line,
+                                                bool* quit)>;
+
 class LineServer {
  public:
   /// The service must outlive the server.
   explicit LineServer(ResolutionService* service, ServerOptions options = {})
       : service_(service), options_(options) {}
+
+  /// Generic front-end mode: every request line is answered by `handler`
+  /// instead of the built-in service dispatch. This is how weber_router
+  /// reuses the whole TCP layer (accept sheds, read/write timeouts,
+  /// oversized-line containment, graceful drain) without a
+  /// ResolutionService behind it.
+  explicit LineServer(LineHandlerFn handler, ServerOptions options = {})
+      : service_(nullptr), handler_(std::move(handler)), options_(options) {}
+
   ~LineServer();
 
   LineServer(const LineServer&) = delete;
@@ -114,6 +130,7 @@ class LineServer {
   std::string MetricsResponse() const;
 
   ResolutionService* service_;
+  LineHandlerFn handler_;
   ServerOptions options_;
 
   std::atomic<long long> accepted_{0};
@@ -133,41 +150,41 @@ class LineServer {
   std::vector<std::thread> conn_threads_;
 };
 
-/// Buffered line-oriented TCP client for the protocol.
+/// Buffered line-oriented TCP client for the protocol. A thin veneer over
+/// net::LineSocket (common/net_util.h), kept for its established API.
 class LineConnection {
  public:
   LineConnection() = default;
-  ~LineConnection() { Close(); }
 
   LineConnection(const LineConnection&) = delete;
   LineConnection& operator=(const LineConnection&) = delete;
 
-  Status Connect(const std::string& host, int port);
+  Status Connect(const std::string& host, int port) {
+    return socket_.Connect(host, port);
+  }
 
   /// Writes `line` plus a newline.
-  Status SendLine(const std::string& line);
+  Status SendLine(const std::string& line) { return socket_.SendLine(line); }
 
   /// Reads up to the next newline (stripped). IOError on EOF.
-  Result<std::string> ReadLine();
+  Result<std::string> ReadLine() { return socket_.ReadLine(); }
 
   /// Round-trip helper.
   Result<std::string> Call(const std::string& line) {
-    WEBER_RETURN_NOT_OK(SendLine(line));
-    return ReadLine();
+    return socket_.Call(line);
   }
 
   /// Half-closes both directions without releasing the fd: a reader blocked
   /// in ReadLine() on another thread wakes with EOF, which Close() from a
   /// second thread does not guarantee. Used by the open-loop load generator
   /// to stop its reader thread.
-  void Shutdown();
+  void Shutdown() { socket_.Shutdown(); }
 
-  void Close();
-  bool connected() const { return fd_ >= 0; }
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.connected(); }
 
  private:
-  int fd_ = -1;
-  std::string buffer_;
+  net::LineSocket socket_;
 };
 
 }  // namespace serve

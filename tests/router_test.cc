@@ -1,0 +1,491 @@
+// weber::router tests: the health state machine under a manual clock,
+// rendezvous route orders, and end-to-end forwarding/failover against
+// in-process fake backends (serve::LineServer in handler mode).
+
+#include "router/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/health.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace weber {
+namespace router {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BackendHealth
+// ---------------------------------------------------------------------------
+
+TEST(BackendHealthTest, SuspectThenRecovery) {
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 3;
+  BackendHealth health(options);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+  EXPECT_TRUE(health.Routable());
+
+  health.OnFailure(10.0);
+  EXPECT_EQ(health.state(), HealthState::kSuspect);
+  EXPECT_TRUE(health.Routable()) << "suspect still serves";
+
+  health.OnSuccess(20.0);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+  EXPECT_EQ(health.consecutive_failures(), 0);
+}
+
+TEST(BackendHealthTest, FailuresCarryAcrossTheSuspectDemotion) {
+  // down_after counts TOTAL consecutive failures, not failures since the
+  // suspect demotion: with suspect_after=1 / down_after=3 the third
+  // consecutive failure downs the backend, not the fourth.
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 3;
+  BackendHealth health(options);
+  health.OnFailure(1.0);
+  EXPECT_EQ(health.state(), HealthState::kSuspect);
+  health.OnFailure(2.0);
+  EXPECT_EQ(health.state(), HealthState::kSuspect);
+  health.OnFailure(3.0);
+  EXPECT_EQ(health.state(), HealthState::kDown);
+  EXPECT_FALSE(health.Routable());
+  EXPECT_EQ(health.times_down(), 1);
+}
+
+TEST(BackendHealthTest, EqualThresholdsSkipTheSuspectGracePeriod) {
+  HealthOptions options;
+  options.suspect_after = 2;
+  options.down_after = 2;
+  BackendHealth health(options);
+  health.OnFailure(1.0);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+  health.OnFailure(2.0);
+  EXPECT_EQ(health.state(), HealthState::kDown);
+}
+
+TEST(BackendHealthTest, RecoveryEarnsTrustThroughProbation) {
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 2;
+  options.probation_successes = 2;
+  BackendHealth health(options);
+  health.OnFailure(1.0);
+  health.OnFailure(2.0);
+  ASSERT_EQ(health.state(), HealthState::kDown);
+
+  // First success after down: probation, still routable, not yet healthy.
+  health.OnSuccess(100.0);
+  EXPECT_EQ(health.state(), HealthState::kProbation);
+  EXPECT_TRUE(health.Routable());
+
+  health.OnSuccess(110.0);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+  // The down episode's duration is credited on recovery.
+  EXPECT_DOUBLE_EQ(health.down_ms_total(), 98.0);
+}
+
+TEST(BackendHealthTest, ProbationFailureGoesStraightBackDown) {
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 2;
+  options.probation_successes = 3;
+  BackendHealth health(options);
+  health.OnFailure(1.0);
+  health.OnFailure(2.0);
+  health.OnSuccess(10.0);
+  ASSERT_EQ(health.state(), HealthState::kProbation);
+
+  // One failure during probation: back to down immediately, not another
+  // down_after failures.
+  health.OnFailure(11.0);
+  EXPECT_EQ(health.state(), HealthState::kDown);
+  EXPECT_EQ(health.times_down(), 2);
+}
+
+TEST(BackendHealthTest, SingleProbationSuccessOptionGoesStraightHealthy) {
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 1;
+  options.probation_successes = 1;
+  BackendHealth health(options);
+  health.OnFailure(1.0);
+  ASSERT_EQ(health.state(), HealthState::kDown);
+  health.OnSuccess(2.0);
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+}
+
+TEST(BackendHealthTest, DownProbesAreRateLimited) {
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 1;
+  options.down_probe_interval_ms = 100.0;
+  BackendHealth health(options);
+
+  // Routable states probe on every cadence tick.
+  EXPECT_TRUE(health.ShouldProbe(0.0));
+  health.NoteProbe(0.0);
+  EXPECT_TRUE(health.ShouldProbe(1.0));
+
+  health.OnFailure(10.0);
+  ASSERT_EQ(health.state(), HealthState::kDown);
+  health.NoteProbe(10.0);
+  EXPECT_FALSE(health.ShouldProbe(50.0)) << "down probes wait out the gap";
+  EXPECT_TRUE(health.ShouldProbe(111.0));
+}
+
+TEST(BackendHealthTest, CountsTransitions) {
+  HealthOptions options;
+  options.suspect_after = 1;
+  options.down_after = 2;
+  options.probation_successes = 1;
+  BackendHealth health(options);
+  health.OnFailure(1.0);  // healthy -> suspect
+  health.OnFailure(2.0);  // suspect -> down
+  health.OnSuccess(3.0);  // down -> probation -> healthy (counts as one
+                          // success; probation_successes == 1)
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+  EXPECT_GE(health.transitions(), 3);
+  EXPECT_EQ(health.times_down(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ParseEndpoint and RouteOrder
+// ---------------------------------------------------------------------------
+
+TEST(ParseEndpointTest, SplitsHostAndPort) {
+  auto parsed = ParseEndpoint("127.0.0.1:7001");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, "127.0.0.1");
+  EXPECT_EQ(parsed->second, 7001);
+
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1").ok());
+  EXPECT_FALSE(ParseEndpoint(":7001").ok());
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:").ok());
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:seventy").ok());
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:0").ok());
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:65536").ok());
+  EXPECT_FALSE(ParseEndpoint("").ok());
+}
+
+TEST(RouteOrderTest, DeterministicPermutation) {
+  const auto order = Router::RouteOrder("cohen", 5);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(std::set<size_t>(order.begin(), order.end()).size(), 5u)
+      << "route order must be a permutation of the backends";
+  EXPECT_EQ(Router::RouteOrder("cohen", 5), order)
+      << "same block, same fleet size, same order";
+  EXPECT_NE(Router::RouteOrder("baker", 5), order)
+      << "distinct blocks should (overwhelmingly) disagree";
+}
+
+TEST(RouteOrderTest, SpreadsOwnershipAcrossTheFleet) {
+  constexpr size_t kBackends = 4;
+  std::vector<int> owned(kBackends, 0);
+  for (int b = 0; b < 200; ++b) {
+    ++owned[Router::RouteOrder("block" + std::to_string(b), kBackends)[0]];
+  }
+  for (size_t i = 0; i < kBackends; ++i) {
+    // Perfectly even would be 50 each; rendezvous over 200 blocks should
+    // not starve or overload any backend by more than ~2x.
+    EXPECT_GT(owned[i], 20) << "backend " << i << " starved";
+    EXPECT_LT(owned[i], 100) << "backend " << i << " overloaded";
+  }
+}
+
+TEST(RouteOrderTest, GrowingTheFleetPreservesRelativeOrder) {
+  // The rendezvous property: adding a backend never reorders the existing
+  // ones relative to each other — each block either keeps its owner or
+  // moves to the new backend, which is what bounds reshuffling.
+  for (int b = 0; b < 50; ++b) {
+    const std::string block = "block" + std::to_string(b);
+    const auto small = Router::RouteOrder(block, 4);
+    auto grown = Router::RouteOrder(block, 5);
+    grown.erase(std::find(grown.begin(), grown.end(), size_t{4}));
+    EXPECT_EQ(grown, small) << block;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end against fake backends
+// ---------------------------------------------------------------------------
+
+/// A fake weber_serve: answers every line "ok backend<id>" (probes parse
+/// that as success) and records what it was asked.
+class FakeBackend {
+ public:
+  explicit FakeBackend(int id) : id_(id) { Start(0); }
+
+  void Start(int port) {
+    server_ = std::make_unique<serve::LineServer>(
+        [this](const std::string& line, bool* quit) {
+          if (line == "quit") {
+            *quit = true;
+            return std::string("ok");
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            lines_.push_back(line);
+          }
+          return "ok backend" + std::to_string(id_);
+        });
+    ASSERT_TRUE(server_->StartTcp(port).ok());
+    port_ = server_->tcp_port();
+  }
+
+  void Kill() { server_->StopTcp(); }
+  void Restart() { Start(port_); }
+
+  int port() const { return port_; }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  int id_;
+  int port_ = 0;
+  std::unique_ptr<serve::LineServer> server_;
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// Tight timeouts so failure paths resolve in milliseconds; the prober is
+/// never started — tests drive health with ProbeOnce() or request traffic.
+RouterOptions FastOptions() {
+  RouterOptions options;
+  options.dial_timeout_ms = 200.0;
+  options.call_timeout_ms = 500.0;
+  options.probe_timeout_ms = 200.0;
+  options.max_retries = 1;
+  options.retry_backoff_ms = 1.0;
+  options.health.down_probe_interval_ms = 0.0;
+  options.breaker.failure_threshold = 100;  // out of the way by default
+  return options;
+}
+
+class RouterEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) {
+      backends_.push_back(std::make_unique<FakeBackend>(i));
+      endpoints_.push_back(backends_.back()->endpoint());
+    }
+  }
+
+  std::string Tag(size_t index) const {
+    return "ok backend" + std::to_string(index);
+  }
+
+  std::vector<std::unique_ptr<FakeBackend>> backends_;
+  std::vector<std::string> endpoints_;
+};
+
+TEST_F(RouterEndToEndTest, WritesGoToTheOwnerOnly) {
+  Router router(endpoints_, FastOptions());
+  const std::string block = "cohen";
+  const size_t owner = Router::RouteOrder(block, 3)[0];
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("assign " + block + " 0", &quit), Tag(owner));
+  EXPECT_EQ(router.HandleLine("compact " + block, &quit), Tag(owner));
+  EXPECT_EQ(router.HandleLine("dump " + block, &quit), Tag(owner));
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    EXPECT_EQ(backends_[i]->lines().empty(), i != owner);
+  }
+}
+
+TEST_F(RouterEndToEndTest, ReadsFailOverToALiveBackend) {
+  Router router(endpoints_, FastOptions());
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+  backends_[order[0]]->Kill();
+
+  bool quit = false;
+  const std::string response =
+      router.HandleLine("query " + block + " 0", &quit);
+  EXPECT_EQ(response, Tag(order[1]))
+      << "the read must fail over to the next preference";
+
+  // The failed dial taught health about the dead owner.
+  EXPECT_GT(router.backend(order[0]).transport_failures, 0);
+  EXPECT_NE(router.backend(order[0]).state, HealthState::kHealthy);
+}
+
+TEST_F(RouterEndToEndTest, WriteToADeadOwnerDegradesHonestly) {
+  auto options = FastOptions();
+  options.health.suspect_after = 1;
+  options.health.down_after = 2;
+  Router router(endpoints_, options);
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+  backends_[order[0]]->Kill();
+
+  // The write was never sent (every dial failed), so the router may promise
+  // OVERLOADED: fleet state did not change.
+  bool quit = false;
+  const std::string response =
+      router.HandleLine("assign " + block + " 0", &quit);
+  EXPECT_EQ(response.rfind("OVERLOADED ", 0), 0u) << response;
+
+  // Enough dial failures accumulated to down the owner; a second write is
+  // now shed before dialing, and reads still answer from the fleet.
+  EXPECT_EQ(router.backend(order[0]).state, HealthState::kDown);
+  EXPECT_EQ(router.HandleLine("assign " + block + " 1", &quit)
+                .rfind("OVERLOADED ", 0),
+            0u);
+  EXPECT_EQ(router.HandleLine("query " + block + " 0", &quit), Tag(order[1]));
+}
+
+TEST_F(RouterEndToEndTest, ProbeOnceDrivesDetectionAndRecovery) {
+  auto options = FastOptions();
+  options.health.suspect_after = 1;
+  options.health.down_after = 2;
+  options.health.probation_successes = 2;
+  Router router(endpoints_, options);
+
+  backends_[1]->Kill();
+  router.ProbeOnce();
+  EXPECT_EQ(router.backend(1).state, HealthState::kSuspect);
+  router.ProbeOnce();
+  EXPECT_EQ(router.backend(1).state, HealthState::kDown);
+
+  backends_[1]->Restart();
+  router.ProbeOnce();
+  EXPECT_EQ(router.backend(1).state, HealthState::kProbation);
+  router.ProbeOnce();
+  EXPECT_EQ(router.backend(1).state, HealthState::kHealthy);
+  EXPECT_EQ(router.backend(1).times_down, 1);
+
+  // The healthy backends never wavered.
+  EXPECT_EQ(router.backend(0).state, HealthState::kHealthy);
+  EXPECT_EQ(router.backend(2).state, HealthState::kHealthy);
+}
+
+TEST_F(RouterEndToEndTest, BreakerOpensAfterRepeatedWriteFailures) {
+  auto options = FastOptions();
+  options.health.suspect_after = 10;  // keep health out of the way
+  options.health.down_after = 100;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_ms = 60'000.0;
+  options.max_retries = 0;
+  Router router(endpoints_, options);
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+  backends_[order[0]]->Kill();
+
+  bool quit = false;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(router.HandleLine("assign " + block + " 0", &quit)
+                  .rfind("OVERLOADED ", 0),
+              0u);
+  }
+  EXPECT_EQ(router.backend(order[0]).breaker,
+            serve::CircuitBreaker::State::kOpen);
+  // With the breaker open the shed happens before any dial: the response is
+  // still OVERLOADED and no transport failure is added.
+  const long long failures_before =
+      router.backend(order[0]).transport_failures;
+  EXPECT_EQ(router.HandleLine("assign " + block + " 0", &quit)
+                .rfind("OVERLOADED ", 0),
+            0u);
+  EXPECT_EQ(router.backend(order[0]).transport_failures, failures_before);
+}
+
+TEST_F(RouterEndToEndTest, DeadlinePropagatesToTheBackendHop) {
+  Router router(endpoints_, FastOptions());
+  const std::string block = "cohen";
+  const size_t owner = Router::RouteOrder(block, 3)[0];
+  bool quit = false;
+  ASSERT_EQ(router.HandleLine("assign " + block + " 0 deadline 500", &quit),
+            Tag(owner));
+  const auto lines = backends_[owner]->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  auto hop = serve::ParseRequest(lines[0]);
+  ASSERT_TRUE(hop.ok()) << lines[0];
+  EXPECT_GT(hop->deadline_ms, 0.0) << "the hop must carry a deadline";
+  EXPECT_LE(hop->deadline_ms, 500.0)
+      << "the hop budget is the REMAINING client budget";
+}
+
+TEST_F(RouterEndToEndTest, CompactAllFansOutToEveryRoutableBackend) {
+  Router router(endpoints_, FastOptions());
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("compact", &quit), "ok 3");
+  for (const auto& backend : backends_) {
+    EXPECT_EQ(backend->lines(), std::vector<std::string>{"compact"});
+  }
+
+  backends_[2]->Kill();
+  const std::string partial = router.HandleLine("compact", &quit);
+  EXPECT_EQ(partial.rfind("err Unavailable", 0), 0u)
+      << "a partial compact must not claim success: " << partial;
+}
+
+TEST_F(RouterEndToEndTest, AnswersStatsAndMetricsItself) {
+  Router router(endpoints_, FastOptions());
+  bool quit = false;
+  router.ProbeOnce();
+
+  const std::string stats = router.HandleLine("stats", &quit);
+  ASSERT_EQ(stats.rfind("ok {", 0), 0u) << stats;
+  EXPECT_NE(stats.find("\"backends\""), std::string::npos);
+  EXPECT_NE(stats.find(endpoints_[0]), std::string::npos);
+  EXPECT_NE(stats.find("\"healthy\""), std::string::npos);
+
+  const std::string metrics = router.HandleLine("metrics", &quit);
+  const size_t newline = metrics.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  auto n = serve::ParseMetricsHeader(metrics.substr(0, newline));
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_GT(*n, 0);
+  EXPECT_NE(metrics.find("weber_router_probes_total"), std::string::npos);
+
+  // Neither verb was forwarded: the backends saw only the probe's ping.
+  for (const auto& backend : backends_) {
+    EXPECT_EQ(backend->lines(), std::vector<std::string>{"ping"});
+  }
+}
+
+TEST_F(RouterEndToEndTest, PingAndQuitAreLocal) {
+  Router router(endpoints_, FastOptions());
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("ping", &quit), "ok");
+  EXPECT_FALSE(quit);
+  EXPECT_EQ(router.HandleLine("quit", &quit), "ok");
+  EXPECT_TRUE(quit);
+  EXPECT_EQ(router.HandleLine("bogus verb", &quit).rfind("err ", 0), 0u);
+  for (const auto& backend : backends_) {
+    EXPECT_TRUE(backend->lines().empty());
+  }
+}
+
+TEST_F(RouterEndToEndTest, StartAndStopTheProberIsClean) {
+  auto options = FastOptions();
+  options.probe_interval_ms = 5.0;
+  Router router(endpoints_, options);
+  backends_[1]->Kill();
+  router.Start();
+  router.Start();  // idempotent
+  // The prober notices the dead backend on its own cadence.
+  while (router.backend(1).state == HealthState::kHealthy) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  router.Stop();
+  router.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace router
+}  // namespace weber

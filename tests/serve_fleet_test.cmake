@@ -1,0 +1,44 @@
+# Fleet kill drill smoke test: weber_crashtest --fleet forks three durable
+# weber_serve backends behind an in-process weber::router, storms assigns
+# through the router, SIGKILLs the backend that owns the first block
+# mid-storm, restarts it on the same port, and asserts zero acked-write
+# loss, reads served throughout the outage, and a clean SIGTERM exit for
+# every backend. Invoked by ctest with -DWEBER_BIN=<weber>
+# -DSERVE_BIN=<weber_serve> -DCRASH_BIN=<weber_crashtest>
+# -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+run(${CRASH_BIN}
+    --dataset=${WORK_DIR}/dataset.txt
+    --gazetteer=${WORK_DIR}/gazetteer.txt
+    --serve_bin=${SERVE_BIN}
+    --data_dir=${WORK_DIR}/store
+    --fleet=3 --writers=4 --kill_at=0.3 --seed=20260809
+    --out=${WORK_DIR}/BENCH_fleet.json)
+
+if(NOT LAST_OUTPUT MATCHES "fleet drill ok:")
+  message(FATAL_ERROR "fleet drill did not report success:\n${LAST_OUTPUT}")
+endif()
+if(NOT LAST_OUTPUT MATCHES "graceful SIGTERM exit 0 x3")
+  message(FATAL_ERROR "fleet drill did not verify the graceful exits:\n${LAST_OUTPUT}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/BENCH_fleet.json")
+  message(FATAL_ERROR "fleet drill did not write BENCH_fleet.json")
+endif()
+file(READ "${WORK_DIR}/BENCH_fleet.json" BENCH)
+if(NOT BENCH MATCHES "\"lost\":0,")
+  message(FATAL_ERROR "BENCH_fleet.json does not record zero loss:\n${BENCH}")
+endif()

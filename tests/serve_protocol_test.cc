@@ -136,6 +136,143 @@ TEST(FormatFailureTest, OverloadAndDeadlineWireLines) {
             0u);
 }
 
+TEST(FormatRequestTest, RoundTripsThroughParseRequest) {
+  for (const char* line :
+       {"assign cohen 3", "query baker 0", "compact cohen", "compact",
+        "dump cohen", "stats", "metrics", "ping", "quit"}) {
+    auto request = ParseRequest(line);
+    ASSERT_TRUE(request.ok()) << line;
+    EXPECT_EQ(FormatRequest(*request), line);
+  }
+}
+
+TEST(FormatRequestTest, CarriesTheDeadlineSuffix) {
+  auto request = ParseRequest("assign cohen 3 deadline 50");
+  ASSERT_TRUE(request.ok());
+  const std::string wire = FormatRequest(*request);
+  EXPECT_EQ(wire.rfind("assign cohen 3 deadline ", 0), 0u);
+  auto reparsed = ParseRequest(wire);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->deadline_ms, 50.0);
+
+  // The router rewrites the budget per hop: shrinking the deadline must
+  // survive the format/parse cycle too.
+  request->deadline_ms = 12.5;
+  reparsed = ParseRequest(FormatRequest(*request));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->deadline_ms, 12.5);
+}
+
+TEST(ParseResponseTest, ParsesEveryStatusWord) {
+  auto bare_ok = ParseResponse("ok");
+  ASSERT_TRUE(bare_ok.ok());
+  EXPECT_EQ(bare_ok->kind, Response::Kind::kOk);
+  EXPECT_TRUE(bare_ok->body.empty());
+
+  auto ok = ParseResponse("ok 4 17");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->ok());
+  EXPECT_EQ(ok->body, "4 17");
+
+  auto shed = ParseResponse("OVERLOADED 50");
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->kind, Response::Kind::kOverloaded);
+  EXPECT_DOUBLE_EQ(shed->retry_after_ms, 50.0);
+
+  auto expired = ParseResponse("DEADLINE_EXCEEDED");
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired->kind, Response::Kind::kDeadlineExceeded);
+
+  auto error = ParseResponse("err NotFound no shard for block 'zzz'");
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->kind, Response::Kind::kError);
+  EXPECT_EQ(error->code, StatusCode::kNotFound);
+  EXPECT_EQ(error->message, "no shard for block 'zzz'");
+}
+
+TEST(ParseResponseTest, UnknownErrorCodeWordBecomesInternal) {
+  auto error = ParseResponse("err Frobnicated something odd");
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->kind, Response::Kind::kError);
+  EXPECT_EQ(error->code, StatusCode::kInternal);
+}
+
+TEST(ParseResponseTest, RejectsUnknownStatusWord) {
+  for (const char* line : {"", "   ", "OK 3", "yes", "overloaded 50",
+                           "503 Service Unavailable"}) {
+    auto response = ParseResponse(line);
+    ASSERT_FALSE(response.ok()) << "'" << line << "'";
+    EXPECT_EQ(response.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ParseResponseTest, RejectsMalformedOverloadedHint) {
+  EXPECT_FALSE(ParseResponse("OVERLOADED").ok());
+  EXPECT_FALSE(ParseResponse("OVERLOADED soon").ok());
+  EXPECT_FALSE(ParseResponse("OVERLOADED -5").ok());
+  EXPECT_FALSE(ParseResponse("err").ok());  // error without a code word
+}
+
+TEST(ParseResponseTest, RejectsOversizedLine) {
+  std::string line = "ok ";
+  line += std::string(kMaxResponseLineBytes, 'x');
+  auto response = ParseResponse(line);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kCorruption);
+}
+
+TEST(MetricsFramingTest, HeaderAndPayloadRoundTrip) {
+  auto n = ParseMetricsHeader("ok 3");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3);
+
+  std::vector<std::string> wire = {"# TYPE a counter", "a 1", "b 2"};
+  size_t cursor = 0;
+  auto payload = ReadMetricsPayload(*n, [&]() -> Result<std::string> {
+    return wire.at(cursor++);
+  });
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, wire);
+}
+
+TEST(MetricsFramingTest, RejectsBadHeaders) {
+  EXPECT_FALSE(ParseMetricsHeader("ok").ok());
+  EXPECT_FALSE(ParseMetricsHeader("ok x").ok());
+  EXPECT_FALSE(ParseMetricsHeader("ok -1").ok());
+  EXPECT_FALSE(ParseMetricsHeader("err Internal boom").ok());
+  // A header announcing an absurd payload is refused outright instead of
+  // looping on the peer's say-so.
+  EXPECT_FALSE(
+      ParseMetricsHeader("ok " + std::to_string(kMaxMetricsPayloadLines + 1))
+          .ok());
+  EXPECT_TRUE(ParseMetricsHeader("ok 0").ok());
+}
+
+TEST(MetricsFramingTest, TruncatedPayloadIsCorruptionNotIOError) {
+  int calls = 0;
+  auto payload = ReadMetricsPayload(5, [&]() -> Result<std::string> {
+    if (++calls <= 2) return std::string("line");
+    return Status::IOError("connection reset");
+  });
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(payload.status().ToString().find("2 of 5"), std::string::npos)
+      << payload.status();
+}
+
+TEST(ParseDumpResponseTest, ParsesAndRejects) {
+  auto labels = ParseDumpResponse("ok 3 0:1 1:-1 2:7");
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(*labels, (std::vector<int>{1, -1, 7}));
+
+  EXPECT_FALSE(ParseDumpResponse("ok").ok());
+  EXPECT_FALSE(ParseDumpResponse("ok x").ok());
+  EXPECT_FALSE(ParseDumpResponse("ok 2 0:1").ok());        // missing a pair
+  EXPECT_FALSE(ParseDumpResponse("ok 2 5:1 0:0").ok());    // doc out of range
+  EXPECT_FALSE(ParseDumpResponse("ok 2 0:1 1").ok());      // missing colon
+  EXPECT_FALSE(ParseDumpResponse("err Internal boom").ok());
+}
+
 class LineServerTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {

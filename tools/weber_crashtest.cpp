@@ -22,6 +22,18 @@
 // The final cycle finishes all remaining work, verifies once more, then
 // stops the child with SIGTERM and asserts a graceful exit 0 (the
 // shutdown-drain path). Exit status: 0 = every cycle passed.
+//
+// --fleet=N switches to the fleet kill drill instead: N durable backends
+// are forked, an in-process weber::router fronts them over TCP, writer
+// threads storm assigns through the router (retrying OVERLOADED and
+// Unavailable answers — both retry-safe, assign is idempotent) while a
+// reader thread queries continuously. At --kill_at of the work acked, the
+// backend owning the first block is SIGKILLed mid-storm, left dead while
+// the storm keeps running, then restarted on the same port; the drill then
+// asserts (a) every acked write is present in the owners' dumps after
+// WAL/snapshot recovery — zero acked-write loss through a backend kill —
+// (b) reads kept succeeding during the outage (failover), and (c) every
+// backend exits 0 on SIGTERM. Results land in --out (BENCH_fleet.json).
 
 #include <poll.h>
 #include <signal.h>
@@ -30,6 +42,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -37,15 +50,19 @@
 #include <iostream>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/file_util.h"
 #include "common/flags.h"
+#include "common/json_writer.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "corpus/dataset_io.h"
 #include "graph/clustering.h"
+#include "router/router.h"
+#include "serve/protocol.h"
 #include "serve/resolution_service.h"
 #include "serve/server.h"
 
@@ -193,31 +210,409 @@ Status WipeDataDir(const std::string& dir) {
   return Status::OK();
 }
 
-/// Parses a `dump` response ("ok <n> <doc>:<label> ...") into labels
-/// (-1 = not yet in the shard).
-Result<std::vector<int>> ParseDump(const std::string& response) {
-  const std::vector<std::string> tokens = SplitWhitespace(response);
-  if (tokens.size() < 2 || tokens[0] != "ok") {
-    return Status::Corruption("bad dump response '", response, "'");
-  }
-  const int n = std::atoi(tokens[1].c_str());
-  if (n < 0 || tokens.size() != static_cast<size_t>(n) + 2) {
-    return Status::Corruption("dump token count mismatch");
-  }
-  std::vector<int> labels(static_cast<size_t>(n), -1);
-  for (int i = 0; i < n; ++i) {
-    const std::string& pair = tokens[static_cast<size_t>(i) + 2];
-    const size_t colon = pair.find(':');
-    if (colon == std::string::npos) {
-      return Status::Corruption("bad dump pair '", pair, "'");
+// ---------------------------------------------------------------------------
+// Fleet kill drill (--fleet=N)
+// ---------------------------------------------------------------------------
+
+/// Per-writer counters for the fleet storm.
+struct WriterCounters {
+  long long acked = 0;
+  long long sheds = 0;        // OVERLOADED answers (retried)
+  long long unavailable = 0;  // err Unavailable answers (retried)
+  long long transport = 0;    // failures talking to the router itself
+};
+
+int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
+  const int n_backends = flags.GetInt("fleet");
+  const int n_writers = std::max(1, flags.GetInt("writers"));
+  const double kill_at =
+      std::min(0.9, std::max(0.05, flags.GetDouble("kill_at")));
+  const std::string serve_bin = flags.GetString("serve_bin");
+  const std::string data_dir = flags.GetString("data_dir");
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  // Work list: every (block, doc) once, seeded random order.
+  std::vector<std::pair<int, int>> work;
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    for (size_t d = 0; d < dataset.blocks[b].documents.size(); ++d) {
+      work.emplace_back(static_cast<int>(b), static_cast<int>(d));
     }
-    const int doc = std::atoi(pair.substr(0, colon).c_str());
-    if (doc < 0 || doc >= n) {
-      return Status::Corruption("dump doc out of range in '", pair, "'");
-    }
-    labels[static_cast<size_t>(doc)] = std::atoi(pair.c_str() + colon + 1);
   }
-  return labels;
+  if (work.empty()) return Fail(Status::InvalidArgument("empty dataset"));
+  rng.Shuffle(&work);
+
+  auto backend_args = [&](int i, int port) {
+    return std::vector<std::string>{
+        "--dataset=" + flags.GetString("dataset"),
+        "--gazetteer=" + flags.GetString("gazetteer"),
+        "--data-dir=" + data_dir + "/backend" + std::to_string(i),
+        "--fsync=always",
+        "--port=" + std::to_string(port),
+        "--nostdio",
+        "--max_delay_ms=0.5",
+        "--train_fraction=" +
+            FormatDouble(flags.GetDouble("train_fraction"), 6),
+        "--seed=" + std::to_string(flags.GetInt("cal_seed")),
+    };
+  };
+
+  std::vector<ServerProcess> servers(static_cast<size_t>(n_backends));
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < n_backends; ++i) {
+    if (auto st = WipeDataDir(data_dir + "/backend" + std::to_string(i));
+        !st.ok()) {
+      return Fail(st);
+    }
+    auto server = SpawnServer(serve_bin, backend_args(i, 0));
+    if (!server.ok()) return Fail(server.status());
+    servers[static_cast<size_t>(i)] = *server;
+    endpoints.push_back("127.0.0.1:" + std::to_string(server->port));
+  }
+  auto kill_fleet = [&] {
+    for (ServerProcess& s : servers) KillHard(&s);
+  };
+
+  // The router, fronted over TCP exactly as weber_router would run it, but
+  // in-process so the drill can watch backend health directly. Fast probe
+  // cadence keeps detection and recovery inside the drill's time budget.
+  router::RouterOptions ropts;
+  ropts.probe_interval_ms = 50.0;
+  ropts.probe_timeout_ms = 250.0;
+  ropts.health.down_probe_interval_ms = 100.0;
+  ropts.retry_backoff_ms = 5.0;
+  ropts.retry_after_ms = 25.0;
+  ropts.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  router::Router router(endpoints, ropts);
+  router.Start();
+  serve::LineServer front(
+      [&router](const std::string& line, bool* quit) {
+        return router.HandleLine(line, quit);
+      });
+  if (auto st = front.StartTcp(0); !st.ok()) {
+    kill_fleet();
+    return Fail(st);
+  }
+  const int router_port = front.tcp_port();
+
+  // The victim owns the first block, so the kill is guaranteed to land on
+  // a backend with write traffic.
+  const size_t victim = router::Router::RouteOrder(
+      dataset.blocks[0].query, static_cast<size_t>(n_backends))[0];
+
+  std::atomic<size_t> acked_count{0};
+  std::atomic<bool> outage{false};
+  std::atomic<bool> stop_reader{false};
+  std::atomic<long long> reads_ok{0};
+  std::atomic<long long> reads_ok_during_outage{0};
+  std::atomic<long long> reads_shed{0};
+  std::atomic<long long> read_failures{0};
+
+  // Reader: queries random documents through the router for the whole
+  // drill. During the outage these must keep succeeding — reads fail over
+  // to a live backend inside one request, so even a shed is tolerated but
+  // a transport failure or error response is not.
+  std::thread reader([&] {
+    Rng reader_rng(static_cast<uint64_t>(flags.GetInt("seed")) ^ 0x4EADULL);
+    serve::LineConnection conn;
+    if (!conn.Connect("127.0.0.1", router_port).ok()) {
+      read_failures.fetch_add(1);
+      return;
+    }
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const auto& pick =
+          work[reader_rng.UniformUint64(static_cast<uint64_t>(work.size()))];
+      const std::string request =
+          "query " + dataset.blocks[pick.first].query + " " +
+          std::to_string(pick.second);
+      const bool during_outage = outage.load(std::memory_order_relaxed);
+      Result<std::string> response = conn.Call(request);
+      if (!response.ok()) {
+        read_failures.fetch_add(1);
+        if (!conn.Connect("127.0.0.1", router_port).ok()) return;
+        continue;
+      }
+      Result<serve::Response> parsed = serve::ParseResponse(*response);
+      if (!parsed.ok()) {
+        read_failures.fetch_add(1);
+      } else if (parsed->ok()) {
+        reads_ok.fetch_add(1);
+        if (during_outage) reads_ok_during_outage.fetch_add(1);
+      } else if (parsed->kind == serve::Response::Kind::kOverloaded) {
+        reads_shed.fetch_add(1);
+      } else {
+        read_failures.fetch_add(1);
+      }
+    }
+  });
+
+  // Writers: stride the work list, each retrying every item until acked.
+  // OVERLOADED honors the hint; err Unavailable (the write may have
+  // applied) retries too — assign is idempotent, which is exactly the
+  // client contract the router documents.
+  std::vector<WriterCounters> writer_counters(
+      static_cast<size_t>(n_writers));
+  std::vector<Status> writer_failures(static_cast<size_t>(n_writers),
+                                      Status::OK());
+  std::vector<std::thread> writers;
+  for (int w = 0; w < n_writers; ++w) {
+    writers.emplace_back([&, w] {
+      WriterCounters& counters = writer_counters[static_cast<size_t>(w)];
+      Rng writer_rng(static_cast<uint64_t>(flags.GetInt("seed")) +
+                     0xA5A5ULL * static_cast<uint64_t>(w + 1));
+      serve::LineConnection conn;
+      if (auto st = conn.Connect("127.0.0.1", router_port); !st.ok()) {
+        writer_failures[static_cast<size_t>(w)] = st;
+        return;
+      }
+      for (size_t i = static_cast<size_t>(w); i < work.size();
+           i += static_cast<size_t>(n_writers)) {
+        const std::string request =
+            "assign " + dataset.blocks[work[i].first].query + " " +
+            std::to_string(work[i].second);
+        bool done = false;
+        for (int attempt = 0; attempt < 2000 && !done; ++attempt) {
+          Result<std::string> response = conn.Call(request);
+          if (!response.ok()) {
+            ++counters.transport;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            (void)conn.Connect("127.0.0.1", router_port);
+            continue;
+          }
+          Result<serve::Response> parsed = serve::ParseResponse(*response);
+          if (!parsed.ok()) {
+            writer_failures[static_cast<size_t>(w)] = parsed.status();
+            return;
+          }
+          switch (parsed->kind) {
+            case serve::Response::Kind::kOk:
+              ++counters.acked;
+              acked_count.fetch_add(1, std::memory_order_relaxed);
+              done = true;
+              break;
+            case serve::Response::Kind::kOverloaded:
+              ++counters.sheds;
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double, std::milli>(
+                      parsed->retry_after_ms *
+                      (1.0 + writer_rng.UniformDouble())));
+              break;
+            case serve::Response::Kind::kError:
+              if (parsed->code == StatusCode::kUnavailable) {
+                ++counters.unavailable;
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                break;
+              }
+              writer_failures[static_cast<size_t>(w)] = Status::Internal(
+                  "assign rejected through the router: ", *response);
+              return;
+            case serve::Response::Kind::kDeadlineExceeded:
+              writer_failures[static_cast<size_t>(w)] = Status::Internal(
+                  "unexpected DEADLINE_EXCEEDED (no deadline sent)");
+              return;
+          }
+        }
+        if (!done) {
+          writer_failures[static_cast<size_t>(w)] = Status::Internal(
+              "'", request, "' never acked after 2000 attempts");
+          return;
+        }
+      }
+    });
+  }
+
+  // Mid-storm SIGKILL: wait for the threshold, kill the victim, leave it
+  // dead long enough for the router to notice and shed onto it, then
+  // restart it on the same port (SO_REUSEADDR) and wait for recovery.
+  const size_t kill_threshold =
+      std::max<size_t>(1, static_cast<size_t>(kill_at * work.size()));
+  while (acked_count.load() < kill_threshold) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const int victim_port = servers[victim].port;
+  std::cout << "fleet: SIGKILL backend " << victim << " (" << endpoints[victim]
+            << ") at " << acked_count.load() << "/" << work.size()
+            << " acked\n";
+  outage.store(true);
+  const auto outage_start = std::chrono::steady_clock::now();
+  KillHard(&servers[victim]);
+
+  // Hold the outage until the router has demoted the victim (state down),
+  // so the drill provably exercises detection, not just a lucky miss.
+  {
+    const auto deadline = outage_start + std::chrono::seconds(10);
+    while (router.backend(victim).state != router::HealthState::kDown) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        kill_fleet();
+        return Fail(Status::Internal(
+            "router never marked the killed backend down"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  // Restart on the same port; the kernel may briefly hold the address even
+  // with SO_REUSEADDR, so spawning retries.
+  Result<ServerProcess> revived = Status::Internal("unspawned");
+  for (int tries = 0; tries < 50; ++tries) {
+    revived = SpawnServer(serve_bin, backend_args(static_cast<int>(victim),
+                                                  victim_port));
+    if (revived.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!revived.ok()) {
+    kill_fleet();
+    return Fail(revived.status());
+  }
+  servers[victim] = *revived;
+
+  // Recovery: the router must probe the backend back to routable.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!(router.backend(victim).state == router::HealthState::kHealthy ||
+             router.backend(victim).state ==
+                 router::HealthState::kProbation)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        kill_fleet();
+        return Fail(Status::Internal(
+            "router never routed the restarted backend again"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  outage.store(false);
+  const double outage_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - outage_start)
+          .count();
+  std::cout << "fleet: backend " << victim << " recovered after "
+            << FormatDouble(outage_ms, 1) << " ms ("
+            << router::HealthStateName(router.backend(victim).state)
+            << ")\n";
+
+  for (std::thread& t : writers) t.join();
+  stop_reader.store(true);
+  reader.join();
+  for (const Status& st : writer_failures) {
+    if (!st.ok()) {
+      kill_fleet();
+      return Fail(st);
+    }
+  }
+
+  // Verify through the router: compact the whole fleet, then dump every
+  // block from its owner and assert zero acked-write loss.
+  serve::LineConnection conn;
+  if (auto st = conn.Connect("127.0.0.1", router_port); !st.ok()) {
+    kill_fleet();
+    return Fail(st);
+  }
+  auto compacted = conn.Call("compact");
+  if (!compacted.ok() || compacted->rfind("ok", 0) != 0) {
+    kill_fleet();
+    return Fail(Status::Internal(
+        "fleet compact failed: ",
+        compacted.ok() ? *compacted : compacted.status().ToString()));
+  }
+  long long lost = 0;
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    const corpus::Block& block = dataset.blocks[b];
+    auto response = conn.Call("dump " + block.query);
+    if (!response.ok()) {
+      kill_fleet();
+      return Fail(response.status());
+    }
+    auto served = serve::ParseDumpResponse(*response);
+    if (!served.ok()) {
+      kill_fleet();
+      return Fail(served.status());
+    }
+    for (size_t d = 0; d < block.documents.size(); ++d) {
+      if ((*served)[d] < 0) {
+        ++lost;
+        std::cerr << "acked write lost: block '" << block.query << "' doc "
+                  << d << "\n";
+      }
+    }
+  }
+
+  WriterCounters totals;
+  for (const WriterCounters& c : writer_counters) {
+    totals.acked += c.acked;
+    totals.sheds += c.sheds;
+    totals.unavailable += c.unavailable;
+    totals.transport += c.transport;
+  }
+  std::string router_stats;
+  if (auto stats = conn.Call("stats");
+      stats.ok() && stats->rfind("ok ", 0) == 0) {
+    router_stats = stats->substr(3);
+  }
+
+  // Graceful SIGTERM sweep: every backend (including the revived victim)
+  // must drain and exit 0.
+  front.StopTcp();
+  router.Stop();
+  int unclean_exits = 0;
+  for (ServerProcess& s : servers) {
+    auto status = StopSoft(&s);
+    if (!status.ok() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      ++unclean_exits;
+    }
+  }
+
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) return Fail(Status::IOError("cannot write ", out_path));
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("benchmark").String("weber_fleet_drill");
+  json.Key("backends").Number(n_backends);
+  json.Key("writers").Number(n_writers);
+  json.Key("seed").Number(flags.GetInt("seed"));
+  json.Key("documents").Number(static_cast<long long>(work.size()));
+  json.Key("acked").Number(totals.acked);
+  json.Key("lost").Number(lost);
+  json.Key("victim").String(endpoints[victim]);
+  json.Key("outage_ms").Number(outage_ms);
+  json.Key("writer_sheds").Number(totals.sheds);
+  json.Key("writer_unavailable").Number(totals.unavailable);
+  json.Key("writer_transport_failures").Number(totals.transport);
+  json.Key("reads_ok").Number(reads_ok.load());
+  json.Key("reads_ok_during_outage").Number(reads_ok_during_outage.load());
+  json.Key("reads_shed").Number(reads_shed.load());
+  json.Key("read_failures").Number(read_failures.load());
+  json.Key("unclean_exits").Number(unclean_exits);
+  json.Key("router_stats").String(router_stats);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (lost > 0) {
+    return Fail(Status::Corruption(lost, " acked writes lost in the drill"));
+  }
+  if (read_failures.load() > 0) {
+    return Fail(Status::Internal(read_failures.load(),
+                                 " reader failures during the drill"));
+  }
+  if (reads_ok_during_outage.load() == 0) {
+    return Fail(Status::Internal(
+        "no successful reads during the outage window — failover did not "
+        "carry the read path"));
+  }
+  if (unclean_exits > 0) {
+    return Fail(Status::Internal(unclean_exits,
+                                 " backends exited uncleanly on SIGTERM"));
+  }
+  std::cout << "fleet drill ok: " << totals.acked << "/" << work.size()
+            << " acked and recovered across a SIGKILL ("
+            << FormatDouble(outage_ms, 1) << " ms outage, "
+            << reads_ok_during_outage.load()
+            << " reads served during it, " << totals.sheds << " sheds, "
+            << totals.unavailable
+            << " unavailable answers retried), graceful SIGTERM exit 0 x"
+            << n_backends << "\n";
+  return 0;
 }
 
 int Run(int argc, char** argv) {
@@ -230,6 +625,15 @@ int Run(int argc, char** argv) {
   flags.AddInt("seed", 7, "randomizes assign order and kill points");
   flags.AddDouble("train_fraction", 0.10, "must match the server defaults");
   flags.AddInt("cal_seed", 0x5E21E, "calibration seed for child + reference");
+  flags.AddInt("fleet", 0,
+               "run the fleet kill drill against this many backends "
+               "instead of the single-server torture loop (0 = classic)");
+  flags.AddInt("writers", 4, "storm writer threads (fleet mode)");
+  flags.AddDouble("kill_at", 0.3,
+                  "acked fraction at which the victim backend is "
+                  "SIGKILLed (fleet mode)");
+  flags.AddString("out", "BENCH_fleet.json",
+                  "where the fleet drill writes its results (fleet mode)");
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--help") {
       std::cout << flags.Usage(
@@ -252,6 +656,7 @@ int Run(int argc, char** argv) {
 
   auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
   if (!dataset.ok()) return Fail(dataset.status());
+  if (flags.GetInt("fleet") > 0) return RunFleetMode(flags, *dataset);
   std::ifstream gz(flags.GetString("gazetteer"));
   if (!gz) {
     return Fail(Status::IOError("cannot read ", flags.GetString("gazetteer")));
@@ -323,7 +728,7 @@ int Run(int argc, char** argv) {
         WEBER_ASSIGN_OR_RETURN(std::string response,
                                conn.Call("dump " + block.query));
         WEBER_ASSIGN_OR_RETURN(std::vector<int> served,
-                               ParseDump(response));
+                               serve::ParseDumpResponse(response));
         // (a) Zero acked-write loss.
         for (size_t d = 0; d < block.documents.size(); ++d) {
           const auto key = std::make_pair(static_cast<int>(b),

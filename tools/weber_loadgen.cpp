@@ -61,6 +61,7 @@
 #include "common/timer.h"
 #include "corpus/dataset_io.h"
 #include "graph/clustering.h"
+#include "serve/protocol.h"
 #include "serve/resolution_service.h"
 #include "serve/server.h"
 
@@ -99,17 +100,35 @@ struct ClientCounters {
   long long deadline_exceeded = 0;
 };
 
-/// Buckets a served response line: sheds are already counted inside
-/// CallWithRetry (every OVERLOADED seen, retried or not), deadline
-/// rejections and protocol errors here.
+/// Buckets a served response line via the shared serve::ParseResponse:
+/// sheds are already counted inside CallWithRetry (every OVERLOADED seen,
+/// retried or not), deadline rejections and protocol errors here. A line
+/// ParseResponse itself rejects (unknown status word, oversized) is an
+/// error — the server is speaking a different protocol.
 void ClassifyResponse(const std::string& response, ClientCounters& counters) {
-  if (response.rfind("ok", 0) == 0) return;
-  if (response.rfind("OVERLOADED", 0) == 0) return;
-  if (response.rfind("DEADLINE_EXCEEDED", 0) == 0) {
-    ++counters.deadline_exceeded;
+  Result<serve::Response> parsed = serve::ParseResponse(response);
+  if (!parsed.ok()) {
+    ++counters.errors;
     return;
   }
-  ++counters.errors;
+  switch (parsed->kind) {
+    case serve::Response::Kind::kOk:
+    case serve::Response::Kind::kOverloaded:
+      return;
+    case serve::Response::Kind::kDeadlineExceeded:
+      ++counters.deadline_exceeded;
+      return;
+    case serve::Response::Kind::kError:
+      ++counters.errors;
+      return;
+  }
+}
+
+/// Derives the per-client jitter stream for one phase from the --jitter_seed
+/// base: phases keep their historical tags, clients get distinct streams,
+/// and the whole schedule moves reproducibly with the base seed.
+uint64_t PhaseSeed(uint64_t base, uint64_t tag, int client) {
+  return SplitMix64(base ^ tag).Next() + static_cast<uint64_t>(client);
 }
 
 // Percentile math lives in weber::obs (common/metrics.h) so the load
@@ -154,14 +173,12 @@ Result<std::string> CallWithRetry(serve::LineConnection& conn,
       ++counters.retries;
       continue;
     }
-    if (response->rfind("OVERLOADED", 0) == 0) {
+    Result<serve::Response> parsed = serve::ParseResponse(*response);
+    if (parsed.ok() && parsed->kind == serve::Response::Kind::kOverloaded) {
       ++counters.sheds;
       if (attempt == max_retries) return response;  // budget spent: surface it
-      double hint_ms =
-          std::strtod(response->c_str() + sizeof("OVERLOADED") - 1, nullptr);
-      if (!(hint_ms > 0.0)) hint_ms = 1.0;
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          hint_ms * (1.0 + rng.UniformDouble())));
+          parsed->retry_after_ms * (1.0 + rng.UniformDouble())));
       ++counters.retries;
       continue;
     }
@@ -254,32 +271,6 @@ double ExtractNumber(const std::string& json, const std::string& key) {
   const size_t at = json.find(needle);
   if (at == std::string::npos) return 0.0;
   return std::strtod(json.c_str() + at + needle.size(), nullptr);
-}
-
-/// Parses a `dump` response ("ok <n> <doc>:<label> ...") into labels.
-Result<std::vector<int>> ParseDump(const std::string& response) {
-  const std::vector<std::string> tokens = SplitWhitespace(response);
-  if (tokens.size() < 2 || tokens[0] != "ok") {
-    return Status::Corruption("bad dump response '", response, "'");
-  }
-  const int n = std::atoi(tokens[1].c_str());
-  if (n < 0 || tokens.size() != static_cast<size_t>(n) + 2) {
-    return Status::Corruption("dump token count mismatch");
-  }
-  std::vector<int> labels(static_cast<size_t>(n), -1);
-  for (int i = 0; i < n; ++i) {
-    const std::string& pair = tokens[static_cast<size_t>(i) + 2];
-    const size_t colon = pair.find(':');
-    if (colon == std::string::npos) {
-      return Status::Corruption("bad dump pair '", pair, "'");
-    }
-    const int doc = std::atoi(pair.substr(0, colon).c_str());
-    if (doc < 0 || doc >= n) {
-      return Status::Corruption("dump doc out of range in '", pair, "'");
-    }
-    labels[static_cast<size_t>(doc)] = std::atoi(pair.c_str() + colon + 1);
-  }
-  return labels;
 }
 
 /// Builds the single-threaded reference: a local service over the same
@@ -388,14 +379,24 @@ StormResult RunOpenLoopStorm(
               std::chrono::duration<double, std::milli>(Clock::now() -
                                                         sent_at)
                   .count());
-          if (line->rfind("ok", 0) == 0) {
-            ++local.ok;
-          } else if (line->rfind("OVERLOADED", 0) == 0) {
-            ++local.sheds;
-          } else if (line->rfind("DEADLINE_EXCEEDED", 0) == 0) {
-            ++local.deadline_exceeded;
-          } else {
+          Result<serve::Response> parsed = serve::ParseResponse(*line);
+          if (!parsed.ok()) {
             ++local.errors;
+          } else {
+            switch (parsed->kind) {
+              case serve::Response::Kind::kOk:
+                ++local.ok;
+                break;
+              case serve::Response::Kind::kOverloaded:
+                ++local.sheds;
+                break;
+              case serve::Response::Kind::kDeadlineExceeded:
+                ++local.deadline_exceeded;
+                break;
+              case serve::Response::Kind::kError:
+                ++local.errors;
+                break;
+            }
           }
           {
             std::lock_guard<std::mutex> lock(mu);
@@ -481,14 +482,16 @@ int RunOverloadMode(const FlagParser& flags, const std::string& host,
   const double tolerance = std::max(0.0, flags.GetDouble("recovery_tolerance"));
   const double deadline_ms = flags.GetDouble("overload_deadline_ms");
   const double max_storm_p99 = flags.GetDouble("max_storm_p99_ms");
+  const uint64_t jitter_seed =
+      static_cast<uint64_t>(flags.GetInt("jitter_seed"));
 
-  auto timed_queries = [&](double seconds, uint64_t seed) {
+  auto timed_queries = [&](double seconds, uint64_t tag) {
     return RunPhase(
         host, port, clients,
-        [&, seconds, seed](int k, serve::LineConnection& conn,
-                           std::vector<double>& lat,
-                           ClientCounters& counters) -> Status {
-          Rng rng(seed + static_cast<uint64_t>(k) * 0x9E37ULL);
+        [&, seconds, tag](int k, serve::LineConnection& conn,
+                          std::vector<double>& lat,
+                          ClientCounters& counters) -> Status {
+          Rng rng(PhaseSeed(jitter_seed, tag, k));
           WallTimer t;
           while (t.ElapsedMillis() < seconds * 1e3) {
             const auto& pick =
@@ -523,7 +526,7 @@ int RunOverloadMode(const FlagParser& flags, const std::string& host,
       host, port, clients,
       [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
           ClientCounters& counters) -> Status {
-        Rng rng(0xF111ULL + static_cast<uint64_t>(k));
+        Rng rng(PhaseSeed(jitter_seed, 0xF111ULL, k));
         for (size_t i = static_cast<size_t>(k); i < work.size();
              i += static_cast<size_t>(clients)) {
           const std::string request =
@@ -660,6 +663,7 @@ int RunOverloadMode(const FlagParser& flags, const std::string& host,
   json.BeginObject();
   json.Key("benchmark").String("weber_serve_overload");
   json.Key("clients").Number(clients);
+  json.Key("jitter_seed").Number(static_cast<long long>(jitter_seed));
   json.Key("storm_qps_target").Number(storm_qps);
   WritePhaseJson(json, "baseline", *baseline);
   json.Key("storm").BeginObject();
@@ -711,6 +715,9 @@ int Run(int argc, char** argv) {
   flags.AddDouble("train_fraction", 0.10, "must match the server");
   flags.AddInt("seed", 0x5E21E, "must match the server's calibration seed");
   flags.AddInt("query_seed", 1, "query storm randomization seed");
+  flags.AddInt("jitter_seed", 0xB0FF,
+               "base seed for the retry/backoff jitter streams (recorded "
+               "in --out so a run can be replayed exactly)");
   flags.AddInt("retries", 5,
                "max reconnect-and-resend attempts per transport failure");
   flags.AddString("out", "BENCH_serve.json", "benchmark report path");
@@ -753,6 +760,8 @@ int Run(int argc, char** argv) {
   const int clients = std::max(1, flags.GetInt("clients"));
   const long long total_queries = std::max(1, flags.GetInt("queries"));
   const int max_retries = std::max(0, flags.GetInt("retries"));
+  const uint64_t jitter_seed =
+      static_cast<uint64_t>(flags.GetInt("jitter_seed"));
 
   auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
   if (!dataset.ok()) return Fail(dataset.status());
@@ -776,7 +785,7 @@ int Run(int argc, char** argv) {
       host, port, clients,
       [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
           ClientCounters& counters) -> Status {
-        Rng backoff_rng(0xB0FFULL + static_cast<uint64_t>(k));
+        Rng backoff_rng(PhaseSeed(jitter_seed, 0xB0FFULL, k));
         for (size_t i = static_cast<size_t>(k); i < work.size();
              i += static_cast<size_t>(clients)) {
           const std::string request =
@@ -867,14 +876,14 @@ int Run(int argc, char** argv) {
     if (auto st = conn.SendLine("metrics"); !st.ok()) return Fail(st);
     auto header = conn.ReadLine();
     if (!header.ok()) return Fail(header.status());
-    if (header->rfind("ok ", 0) != 0) {
-      return Fail(Status::Internal("metrics failed: ", *header));
-    }
-    metrics_lines = std::atoll(header->c_str() + 3);
-    for (long long i = 0; i < metrics_lines; ++i) {
-      auto line = conn.ReadLine();
-      if (!line.ok()) return Fail(line.status());
-      if (line->rfind("# HELP", 0) == 0) ++metrics_families;
+    auto count = serve::ParseMetricsHeader(*header);
+    if (!count.ok()) return Fail(count.status());
+    metrics_lines = *count;
+    auto payload = serve::ReadMetricsPayload(
+        metrics_lines, [&conn] { return conn.ReadLine(); });
+    if (!payload.ok()) return Fail(payload.status());
+    for (const std::string& line : *payload) {
+      if (line.rfind("# HELP", 0) == 0) ++metrics_families;
     }
     if (metrics_lines <= 0 || metrics_families <= 0) {
       return Fail(Status::Internal("metrics payload looks empty (", metrics_lines,
@@ -906,7 +915,7 @@ int Run(int argc, char** argv) {
     for (const corpus::Block& block : dataset->blocks) {
       auto response = conn.Call("dump " + block.query);
       if (!response.ok()) return Fail(response.status());
-      auto served = ParseDump(*response);
+      auto served = serve::ParseDumpResponse(*response);
       if (!served.ok()) return Fail(served.status());
       auto expected = (*reference)->DumpPartition(block.query);
       if (!expected.ok()) return Fail(expected.status());
@@ -931,6 +940,7 @@ int Run(int argc, char** argv) {
   json.BeginObject();
   json.Key("benchmark").String("weber_serve");
   json.Key("clients").Number(clients);
+  json.Key("jitter_seed").Number(flags.GetInt("jitter_seed"));
   json.Key("blocks").Number(static_cast<long long>(dataset->blocks.size()));
   json.Key("documents").Number(static_cast<long long>(work.size()));
   WritePhaseJson(json, "assign", *assign_stats);

@@ -1,0 +1,223 @@
+// weber_router: a fault-tolerant routing front-end for a weber_serve fleet.
+//
+//   weber_router --port=0
+//       --backends=127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// Clients speak the same newline-delimited protocol as weber_serve (on
+// stdio and/or TCP); the router forwards each request to the backend that
+// owns the request's block under rendezvous hashing. A prober thread
+// drives per-backend health (healthy / suspect / down / probation); writes
+// go to the owner only behind a per-backend circuit breaker with bounded
+// jittered retries, reads fail over down the block's preference order, and
+// client deadlines propagate through the hop. See DESIGN.md, "Routing &
+// fleet failover".
+//
+// The router answers `stats` (one-line JSON: per-backend health, breaker
+// state, counters) and `metrics` (Prometheus text, "ok <n>" framed) from
+// its own registry; every other verb is forwarded. With --port=0 the
+// chosen port is announced as "listening on 127.0.0.1:<port>" and also
+// written to --port-file when set. SIGINT/SIGTERM drain gracefully.
+
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "router/router.h"
+#include "serve/server.h"
+
+using namespace weber;
+
+namespace {
+
+int g_stop_pipe[2] = {-1, -1};
+
+void HandleStopSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_stop_pipe[1], &byte, 1);
+}
+
+Status InstallStopHandlers() {
+  if (::pipe(g_stop_pipe) != 0) {
+    return Status::IOError("pipe(): ", std::strerror(errno));
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGINT, &sa, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &sa, nullptr) != 0) {
+    return Status::IOError("sigaction(): ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void AddFlags(FlagParser* flags) {
+  flags->AddString("backends", "",
+                   "comma-separated backend endpoints (host:port,...)");
+  flags->AddInt("port", 0,
+                "TCP port on 127.0.0.1 (-1 = stdio only, 0 = ephemeral)");
+  flags->AddBool("stdio", false, "also serve the stdin/stdout request loop");
+  flags->AddString("port-file", "",
+                   "also write the bound TCP port to this file once "
+                   "listening");
+  flags->AddDouble("probe-interval-ms", 250.0, "health probe cadence");
+  flags->AddDouble("probe-timeout-ms", 250.0,
+                   "budget for one probe round trip");
+  flags->AddInt("deep-probe-every", 8,
+                "every Nth probe cycle sends `stats` instead of `ping` "
+                "(0 = ping only)");
+  flags->AddInt("suspect-after", 1,
+                "consecutive transport failures that demote a backend to "
+                "suspect");
+  flags->AddInt("down-after", 3,
+                "total consecutive failures that demote a backend to down "
+                "(unrouted)");
+  flags->AddInt("probation-successes", 2,
+                "probe successes a recovered backend needs before it is "
+                "healthy again");
+  flags->AddDouble("down-probe-interval-ms", 500.0,
+                   "minimum gap between probes of a down backend");
+  flags->AddInt("breaker-failures", 3,
+                "consecutive failures that trip a backend's write breaker "
+                "(0 = breakers off)");
+  flags->AddDouble("breaker-cooldown-ms", 500.0,
+                   "how long a tripped breaker rejects writes before "
+                   "admitting a probe");
+  flags->AddDouble("dial-timeout-ms", 250.0,
+                   "budget for dialing a backend on the request path");
+  flags->AddDouble("call-timeout-ms", 2000.0,
+                   "per-hop budget for a forwarded call (tightened by the "
+                   "client's remaining deadline)");
+  flags->AddInt("max-retries", 2,
+                "transport retries after the first attempt (writes)");
+  flags->AddDouble("retry-backoff-ms", 10.0,
+                   "base of the exponential full-jitter backoff between "
+                   "retries");
+  flags->AddDouble("retry-after-ms", 50.0,
+                   "retry hint carried by OVERLOADED responses");
+  flags->AddInt("seed", 0x5EED, "backoff jitter seed (deterministic drills)");
+  flags->AddInt("pool-size", 4, "idle connections kept per backend");
+  flags->AddInt("listen-backlog", 64, "listen(2) backlog for --port");
+  flags->AddInt("max-connections", 0,
+                "concurrent TCP connections; excess accepts answer "
+                "OVERLOADED and close (0 = unlimited)");
+  flags->AddDouble("read-timeout-ms", 0.0,
+                   "close a TCP connection idle longer than this "
+                   "(0 = never)");
+  flags->AddDouble("write-timeout-ms", 0.0,
+                   "give up on a TCP client that cannot absorb a response "
+                   "within this (0 = block)");
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return ExitCodeForStatus(status.code());
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  AddFlags(&flags);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout << flags.Usage(
+          "weber_router — fault-tolerant shard router for a weber_serve "
+          "fleet (same newline-delimited protocol on both sides)");
+      return 0;
+    }
+  }
+  if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  std::vector<std::string> endpoints;
+  for (const std::string& piece : Split(flags.GetString("backends"), ',')) {
+    const std::string trimmed{TrimWhitespace(piece)};
+    if (trimmed.empty()) continue;
+    if (auto parsed = router::ParseEndpoint(trimmed); !parsed.ok()) {
+      return Fail(parsed.status());
+    }
+    endpoints.push_back(trimmed);
+  }
+  if (endpoints.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--backends must list at least one host:port endpoint"));
+  }
+
+  router::RouterOptions options;
+  options.health.suspect_after = flags.GetInt("suspect-after");
+  options.health.down_after = flags.GetInt("down-after");
+  options.health.probation_successes = flags.GetInt("probation-successes");
+  options.health.down_probe_interval_ms =
+      flags.GetDouble("down-probe-interval-ms");
+  options.breaker.failure_threshold = flags.GetInt("breaker-failures");
+  options.breaker.cooldown_ms = flags.GetDouble("breaker-cooldown-ms");
+  options.probe_interval_ms = flags.GetDouble("probe-interval-ms");
+  options.probe_timeout_ms = flags.GetDouble("probe-timeout-ms");
+  options.deep_probe_every = flags.GetInt("deep-probe-every");
+  options.dial_timeout_ms = flags.GetDouble("dial-timeout-ms");
+  options.call_timeout_ms = flags.GetDouble("call-timeout-ms");
+  options.max_retries = flags.GetInt("max-retries");
+  options.retry_backoff_ms = flags.GetDouble("retry-backoff-ms");
+  options.retry_after_ms = flags.GetDouble("retry-after-ms");
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.pool_size = flags.GetInt("pool-size");
+
+  router::Router router(endpoints, options);
+  router.Start();
+  std::cerr << "routing " << endpoints.size() << " backends\n";
+
+  if (auto st = InstallStopHandlers(); !st.ok()) return Fail(st);
+
+  serve::ServerOptions server_options;
+  server_options.listen_backlog = std::max(1, flags.GetInt("listen-backlog"));
+  server_options.max_connections =
+      std::max(0, flags.GetInt("max-connections"));
+  server_options.read_timeout_ms = flags.GetDouble("read-timeout-ms");
+  server_options.write_timeout_ms = flags.GetDouble("write-timeout-ms");
+  server_options.retry_after_ms =
+      std::max(1.0, flags.GetDouble("retry-after-ms"));
+  serve::LineServer server(
+      [&router](const std::string& line, bool* quit) {
+        return router.HandleLine(line, quit);
+      },
+      server_options);
+  const int port = flags.GetInt("port");
+  if (port >= 0) {
+    if (auto st = server.StartTcp(port); !st.ok()) return Fail(st);
+    std::cout << "listening on 127.0.0.1:" << server.tcp_port() << std::endl;
+    const std::string port_file = flags.GetString("port-file");
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file, std::ios::trunc);
+      pf << server.tcp_port() << "\n";
+      if (!pf) {
+        return Fail(Status::IOError("cannot write --port-file ", port_file));
+      }
+    }
+  }
+  if (flags.GetBool("stdio")) {
+    if (auto st = server.ServeFd(STDIN_FILENO, std::cout, g_stop_pipe[0]);
+        !st.ok()) {
+      return Fail(st);
+    }
+  } else if (port >= 0) {
+    char byte;
+    while (::read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+  } else {
+    return Fail(Status::InvalidArgument(
+        "--nostdio without --port leaves nothing to serve"));
+  }
+  server.StopTcp();
+  router.Stop();
+  std::cerr << "shutdown complete\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

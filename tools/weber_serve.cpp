@@ -82,6 +82,10 @@ void AddFlags(FlagParser* flags) {
   flags->AddString("gazetteer", "", "path to a WEBER gazetteer file");
   flags->AddInt("port", -1,
                 "TCP port on 127.0.0.1 (-1 = stdio only, 0 = ephemeral)");
+  flags->AddString("port-file", "",
+                   "also write the bound TCP port to this file once "
+                   "listening (fleet scripts read it instead of scraping "
+                   "stdout)");
   flags->AddBool("stdio", true, "serve the stdin/stdout request loop");
   flags->AddInt("compaction_threads", 1, "background compaction workers");
   flags->AddInt("cache_capacity", 1 << 20, "similarity cache entries");
@@ -273,6 +277,14 @@ int Run(int argc, char** argv) {
   if (port >= 0) {
     if (auto st = server.StartTcp(port); !st.ok()) return Fail(st);
     std::cout << "listening on 127.0.0.1:" << server.tcp_port() << std::endl;
+    const std::string port_file = flags.GetString("port-file");
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file, std::ios::trunc);
+      pf << server.tcp_port() << "\n";
+      if (!pf) {
+        return Fail(Status::IOError("cannot write --port-file ", port_file));
+      }
+    }
   }
   if (flags.GetBool("stdio")) {
     if (auto st = server.ServeFd(STDIN_FILENO, std::cout, g_stop_pipe[0]);
