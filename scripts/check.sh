@@ -6,7 +6,7 @@
 #
 # Usage: scripts/check.sh
 #          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
-#           --overload-only|--obs-only|--router-only]
+#           --overload-only|--obs-only|--router-only|--match-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
@@ -19,6 +19,11 @@
 # --obs-only: the observability suite under ASan/UBSan — metrics registry,
 # trace spans, the stats/metrics schema tests, and the serve CLI smoke
 # that exercises the metrics verb end to end.
+#
+# --match-only: the clean-clean matching suite under ASan/UBSan — the
+# bipartite matchers, two-collection generator, matching metrics, the
+# `match` serve-verb tests, the stdio smoke, and a matcher-race run
+# through the shipped binary.
 #
 # --router-only: the fleet-routing suite under ASan/UBSan — the
 # health-machine / route-order / failover unit tests, the shared response
@@ -36,7 +41,7 @@ MODE="${1:-all}"
 # (service, server, cache, batcher), the shared executor pool, the
 # incremental resolver the serving hot path drives, and the observability
 # primitives (striped counters, trace ring buffer, registry export).
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth'
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch'
 
 run_suite() {
   local dir="$1"; shift
@@ -81,6 +86,22 @@ if [[ "$MODE" == "--obs-only" ]]; then
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'Percentile|Summarize|LatencyReservoir|CounterTest|GaugeTest|HistogramTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|MetricsVerb|serve_cli_smoke'
   echo "==> observability checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--match-only" ]]; then
+  echo "==> clean-clean matching suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'ThresholdMatcher|GreedyMatcher|OptimalMatcher|SymmetricBest|Matching|MakeMatcherByName|MatchingMetrics|CleanCleanGenerator|MatchRace|MatchProtocol|ResolutionServiceMatch|LineServerMatch|Generator|Metric|serve_match_smoke'
+  echo "==> matcher race smoke (shipped binary)"
+  scratch="build-asan/match_race"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  ./build-asan/tools/weber matchrace --preset=tiny --seed=41 \
+    --json="$scratch/BENCH_matchrace.json"
+  grep -q '"matchers"' "$scratch/BENCH_matchrace.json"
+  echo "==> match checks passed"
   exit 0
 fi
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/string_util.h"
 #include "corpus/word_factory.h"
@@ -67,6 +68,302 @@ class TextBuilder {
   int sentences_on_line_ = 0;
 };
 
+/// The deterministic hidden universe shared by every block: topics own
+/// disjoint ranges of concept/word indices; organizations, locations,
+/// celebrities and generic Web concepts are global.
+struct Universe {
+  int total_concepts = 0;
+  std::vector<std::string> concepts;
+  std::vector<double> concept_weights;
+  std::vector<std::string> topic_words;
+  std::vector<std::string> background_words;
+  std::vector<std::string> organizations;
+  std::vector<std::string> locations;
+  std::vector<std::string> celebrities;
+  std::vector<std::string> generic_concepts;
+};
+
+/// Builds the universe and registers its entities with the gazetteer.
+/// Consumes master->Fork(1) for the concept weights, nothing else.
+Universe BuildUniverse(const GeneratorConfig& cfg, Rng* master,
+                       extract::Gazetteer* gazetteer) {
+  Universe u;
+  u.total_concepts = cfg.num_topics * cfg.concepts_per_topic;
+  u.concepts.resize(u.total_concepts);
+  u.concept_weights.resize(u.total_concepts);
+  {
+    Rng rng = master->Fork(1);
+    for (int i = 0; i < u.total_concepts; ++i) {
+      u.concepts[i] = WordFactory::ConceptPhrase(i);
+      u.concept_weights[i] = rng.UniformDouble(0.5, 2.0);
+    }
+  }
+  u.topic_words.resize(cfg.num_topics * cfg.words_per_topic);
+  for (size_t i = 0; i < u.topic_words.size(); ++i) {
+    u.topic_words[i] = WordFactory::Word(static_cast<int>(i));
+  }
+  u.background_words.resize(cfg.num_background_words);
+  for (int i = 0; i < cfg.num_background_words; ++i) {
+    u.background_words[i] =
+        WordFactory::Word(1000000 + i);  // disjoint from topic words
+  }
+  u.organizations.resize(cfg.num_organizations);
+  for (int i = 0; i < cfg.num_organizations; ++i) {
+    u.organizations[i] = WordFactory::Organization(i);
+  }
+  u.locations.resize(cfg.num_locations);
+  for (int i = 0; i < cfg.num_locations; ++i) {
+    u.locations[i] = WordFactory::Location(i);
+  }
+  u.celebrities.resize(cfg.num_celebrities);
+  for (int i = 0; i < cfg.num_celebrities; ++i) {
+    u.celebrities[i] = WordFactory::FirstName(20000 + i * 7) + " " +
+                       WordFactory::LastName(20000 + i * 7);
+  }
+  u.generic_concepts.resize(cfg.num_generic_concepts);
+  for (int i = 0; i < cfg.num_generic_concepts; ++i) {
+    u.generic_concepts[i] = WordFactory::ConceptPhrase(900000 + i);
+  }
+
+  for (int i = 0; i < u.total_concepts; ++i) {
+    gazetteer->Add(u.concepts[i], extract::EntityType::kConcept,
+                   u.concept_weights[i]);
+  }
+  for (const std::string& org : u.organizations) {
+    gazetteer->Add(org, extract::EntityType::kOrganization);
+  }
+  for (const std::string& loc : u.locations) {
+    gazetteer->Add(loc, extract::EntityType::kLocation);
+  }
+  for (const std::string& celeb : u.celebrities) {
+    gazetteer->Add(celeb, extract::EntityType::kPerson);
+  }
+  for (const std::string& generic : u.generic_concepts) {
+    // Low weight: a real concept weighting service ranks "photo gallery"
+    // far below topical concepts.
+    gazetteer->Add(generic, extract::EntityType::kConcept, 0.15);
+  }
+  return u;
+}
+
+/// Creates `count` personas carrying `last_lower`, with distinct first
+/// names, topic/affiliation/associate/location profiles, and gazetteer
+/// registrations. `next_domain` / `next_associate` are the corpus-global
+/// id counters.
+std::vector<Persona> BuildPersonas(const GeneratorConfig& cfg,
+                                   const NameSpec& spec,
+                                   const std::string& last_lower, int count,
+                                   Rng* rng, extract::Gazetteer* gazetteer,
+                                   int* next_domain, int* next_associate) {
+  std::vector<Persona> personas(count);
+  // Distinct first names within the block.
+  std::vector<int> first_ids = rng->SampleWithoutReplacement(10000, count);
+  int shared_topic = rng->UniformInt(0, cfg.num_topics - 1);
+  for (int e = 0; e < count; ++e) {
+    Persona& p = personas[e];
+    p.first_name = WordFactory::FirstName(first_ids[e]);
+    p.full_name = p.first_name + " " + last_lower;
+    p.initial_name = p.first_name.substr(0, 1) + " " + last_lower;
+    // Topics: either a block-shared topic (confusable personas) or an
+    // own primary topic, plus an optional secondary.
+    int primary = rng->Bernoulli(spec.topic_collision_prob)
+                      ? shared_topic
+                      : rng->UniformInt(0, cfg.num_topics - 1);
+    p.topics.push_back(primary);
+    if (rng->Bernoulli(0.5)) {
+      p.topics.push_back(rng->UniformInt(0, cfg.num_topics - 1));
+    }
+    // Affiliations drawn from a popularity-skewed distribution, so
+    // unrelated personas share popular organizations.
+    int n_orgs =
+        rng->UniformInt(cfg.min_orgs_per_persona, cfg.max_orgs_per_persona);
+    while (static_cast<int>(p.organizations.size()) <
+           std::min(n_orgs, cfg.num_organizations)) {
+      int id = rng->Zipf(cfg.num_organizations, cfg.org_popularity_skew);
+      if (std::find(p.organizations.begin(), p.organizations.end(), id) ==
+          p.organizations.end()) {
+        p.organizations.push_back(id);
+      }
+    }
+    int n_assoc = rng->UniformInt(cfg.min_associates_per_persona,
+                                  cfg.max_associates_per_persona);
+    for (int a = 0; a < n_assoc; ++a) {
+      std::string assoc = WordFactory::FirstName(*next_associate) + " " +
+                          WordFactory::LastName(*next_associate);
+      ++*next_associate;
+      p.associates.push_back(assoc);
+      gazetteer->Add(assoc, extract::EntityType::kPerson);
+    }
+    int n_locs = rng->UniformInt(1, 2);
+    for (int id : rng->SampleWithoutReplacement(cfg.num_locations, n_locs)) {
+      p.locations.push_back(id);
+    }
+    p.home_domain = (*next_domain)++;
+    gazetteer->Add(p.full_name, extract::EntityType::kPerson);
+    gazetteer->Add(p.initial_name, extract::EntityType::kPerson);
+  }
+  return personas;
+}
+
+/// Renders one page about `p`: body text mixing function words, topic words
+/// and background noise, entity mentions subject to the spec's dropout
+/// probabilities, and a URL on the persona's home domain or a shared
+/// hosting domain. `d` is the page's index within its collection (used for
+/// the URL path and document id).
+Document RenderPage(const GeneratorConfig& cfg, const NameSpec& spec,
+                    const Universe& universe, const Persona& p,
+                    const std::string& last_lower, int d, Rng* rng) {
+  Rng& r = *rng;
+  const bool sparse = r.Bernoulli(spec.sparse_page_prob);
+  const double feature_scale = sparse ? 0.25 : 1.0;
+
+  TextBuilder tb;
+
+  // --- Name mentions ---
+  int full_mentions = 1 + r.Poisson(sparse ? 0.3 : 1.2);
+  int last_only_mentions = r.Poisson(sparse ? 0.3 : 0.8);
+
+  // --- Concept mentions ---
+  std::vector<std::string> mention_phrases;
+  if (!r.Bernoulli(spec.concept_drop_prob) && !sparse) {
+    int n_concepts = 2 + r.Poisson(2.0);
+    for (int c = 0; c < n_concepts; ++c) {
+      int concept_id;
+      if (r.Bernoulli(spec.topic_noise)) {
+        concept_id = r.UniformInt(0, universe.total_concepts - 1);
+      } else {
+        int topic = p.topics[r.UniformUint64(p.topics.size())];
+        concept_id = topic * cfg.concepts_per_topic +
+                     r.Zipf(cfg.concepts_per_topic, cfg.zipf_exponent);
+      }
+      mention_phrases.push_back(universe.concepts[concept_id]);
+    }
+  } else if (sparse && r.Bernoulli(0.3)) {
+    int topic = p.topics[r.UniformUint64(p.topics.size())];
+    mention_phrases.push_back(
+        universe.concepts[topic * cfg.concepts_per_topic +
+                          r.Zipf(cfg.concepts_per_topic, cfg.zipf_exponent)]);
+  }
+
+  // --- Organization / associate / location mentions ---
+  for (int org : p.organizations) {
+    if (r.Bernoulli(spec.org_mention_prob * feature_scale)) {
+      mention_phrases.push_back(universe.organizations[org]);
+    }
+  }
+  for (const std::string& assoc : p.associates) {
+    if (r.Bernoulli(spec.associate_mention_prob * feature_scale)) {
+      mention_phrases.push_back(assoc);
+    }
+  }
+  for (int loc : p.locations) {
+    if (r.Bernoulli(0.5 * feature_scale)) {
+      mention_phrases.push_back(universe.locations[loc]);
+    }
+  }
+  // Cross-entity noise: occasionally mention an unrelated organization
+  // or a globally famous person (the Web is messy).
+  if (r.Bernoulli(0.15)) {
+    mention_phrases.push_back(
+        universe.organizations[r.Zipf(cfg.num_organizations,
+                                      cfg.org_popularity_skew)]);
+  }
+  while (r.Bernoulli(spec.celebrity_mention_prob * feature_scale)) {
+    mention_phrases.push_back(
+        universe.celebrities[r.Zipf(cfg.num_celebrities, 1.0)]);
+  }
+  // Boilerplate concepts: bursts of generic phrases, independent of the
+  // persona.
+  if (r.Bernoulli(spec.boilerplate_prob)) {
+    int n_generic = r.UniformInt(2, 5);
+    for (int id : r.SampleWithoutReplacement(
+             cfg.num_generic_concepts,
+             std::min(n_generic, cfg.num_generic_concepts))) {
+      mention_phrases.push_back(universe.generic_concepts[id]);
+    }
+  }
+
+  // --- Body text ---
+  int n_words = r.UniformInt(cfg.min_words_per_page, cfg.max_words_per_page);
+  if (sparse) n_words /= 4;
+
+  // Interleave: spread mention phrases across the body.
+  int next_mention = 0;
+  int mention_every =
+      mention_phrases.empty()
+          ? n_words + 1
+          : std::max(1, n_words / static_cast<int>(mention_phrases.size() + 1));
+  int full_every = std::max(1, n_words / (full_mentions + 1));
+
+  // The page's dominant rendering of the person's name: some pages use
+  // the initial form throughout (citation lists, directories).
+  const bool page_uses_initials = r.Bernoulli(spec.name_variant_prob);
+
+  for (int w = 0; w < n_words; ++w) {
+    if (w % full_every == full_every - 1 && full_mentions > 0) {
+      tb.AddPhrase(page_uses_initials ? p.initial_name : p.full_name);
+      --full_mentions;
+    } else if (last_only_mentions > 0 && r.Bernoulli(0.02)) {
+      tb.AddToken(last_lower);
+      --last_only_mentions;
+    }
+    if (w % mention_every == mention_every - 1 &&
+        next_mention < static_cast<int>(mention_phrases.size())) {
+      tb.AddPhrase(mention_phrases[next_mention++]);
+    }
+    // Regular token.
+    if (r.Bernoulli(cfg.function_word_rate)) {
+      const auto& fw = WordFactory::FunctionWords();
+      tb.AddToken(fw[r.UniformUint64(fw.size())]);
+    } else if (r.Bernoulli(spec.topic_noise)) {
+      tb.AddToken(universe.background_words[r.UniformInt(
+          0, cfg.num_background_words - 1)]);
+    } else {
+      int topic = p.topics[r.UniformUint64(p.topics.size())];
+      int word_id = topic * cfg.words_per_topic +
+                    r.Zipf(cfg.words_per_topic, cfg.zipf_exponent);
+      tb.AddToken(universe.topic_words[word_id]);
+    }
+  }
+  // Flush any remaining required mentions.
+  while (full_mentions-- > 0) {
+    tb.AddPhrase(page_uses_initials ? p.initial_name : p.full_name);
+  }
+  while (next_mention < static_cast<int>(mention_phrases.size())) {
+    tb.AddPhrase(mention_phrases[next_mention++]);
+  }
+
+  // --- URL ---
+  // Home pages live under the persona's registrable domain behind one of
+  // several hosts ("www.X", "people.X", ...), in the persona's own
+  // directory: two home pages of the same persona score 0.9 (same host)
+  // or 0.6 (same domain, different host). Hosting pages share a small
+  // pool of hosting domains with per-page directories, so *unrelated*
+  // pages on the same host score 0.8 — a cross-person band sitting
+  // between the two same-person bands. This is the non-monotone URL
+  // structure that a threshold on F2 cannot represent.
+  std::string url;
+  if (r.Bernoulli(spec.url_home_prob)) {
+    static constexpr const char* kHostPrefixes[] = {"www", "people", "web"};
+    const char* prefix = kHostPrefixes[r.UniformInt(0, 2)];
+    url = std::string("http://") + prefix + "." +
+          WordFactory::Domain(p.home_domain) + "/" + last_lower +
+          "/page" + std::to_string(d) + ".html";
+  } else {
+    url = "http://" +
+          WordFactory::HostingDomain(
+              r.UniformInt(0, cfg.num_hosting_domains - 1)) +
+          "/" + WordFactory::Word(2000000 + r.UniformInt(0, 5000)) +
+          "/page" + std::to_string(d) + ".html";
+  }
+
+  Document doc;
+  doc.id = last_lower + "/" + std::to_string(d);
+  doc.url = std::move(url);
+  doc.text = tb.Finish();
+  return doc;
+}
+
 }  // namespace
 
 std::vector<int> SyntheticWebGenerator::SkewedPartition(int total, int parts,
@@ -116,65 +413,8 @@ Result<SyntheticData> SyntheticWebGenerator::Generate() const {
   SyntheticData out;
   out.dataset.name = cfg.dataset_name;
 
-  // ---- Universe: topics own disjoint ranges of concept/word indices. ----
-  const int total_concepts = cfg.num_topics * cfg.concepts_per_topic;
-  std::vector<std::string> concepts(total_concepts);
-  std::vector<double> concept_weights(total_concepts);
-  {
-    Rng rng = master.Fork(1);
-    for (int i = 0; i < total_concepts; ++i) {
-      concepts[i] = WordFactory::ConceptPhrase(i);
-      concept_weights[i] = rng.UniformDouble(0.5, 2.0);
-    }
-  }
-  std::vector<std::string> topic_words(cfg.num_topics * cfg.words_per_topic);
-  for (size_t i = 0; i < topic_words.size(); ++i) {
-    topic_words[i] = WordFactory::Word(static_cast<int>(i));
-  }
-  std::vector<std::string> background_words(cfg.num_background_words);
-  for (int i = 0; i < cfg.num_background_words; ++i) {
-    background_words[i] =
-        WordFactory::Word(1000000 + i);  // disjoint from topic words
-  }
-  std::vector<std::string> organizations(cfg.num_organizations);
-  for (int i = 0; i < cfg.num_organizations; ++i) {
-    organizations[i] = WordFactory::Organization(i);
-  }
-  std::vector<std::string> locations(cfg.num_locations);
-  for (int i = 0; i < cfg.num_locations; ++i) {
-    locations[i] = WordFactory::Location(i);
-  }
-  std::vector<std::string> celebrities(cfg.num_celebrities);
-  for (int i = 0; i < cfg.num_celebrities; ++i) {
-    celebrities[i] = WordFactory::FirstName(20000 + i * 7) + " " +
-                     WordFactory::LastName(20000 + i * 7);
-  }
-  std::vector<std::string> generic_concepts(cfg.num_generic_concepts);
-  for (int i = 0; i < cfg.num_generic_concepts; ++i) {
-    generic_concepts[i] = WordFactory::ConceptPhrase(900000 + i);
-  }
-
-  // ---- Gazetteer: concepts, organizations, locations now; persons as
-  // personas are created. ----
   extract::Gazetteer gazetteer;
-  for (int i = 0; i < total_concepts; ++i) {
-    gazetteer.Add(concepts[i], extract::EntityType::kConcept,
-                  concept_weights[i]);
-  }
-  for (const std::string& org : organizations) {
-    gazetteer.Add(org, extract::EntityType::kOrganization);
-  }
-  for (const std::string& loc : locations) {
-    gazetteer.Add(loc, extract::EntityType::kLocation);
-  }
-  for (const std::string& celeb : celebrities) {
-    gazetteer.Add(celeb, extract::EntityType::kPerson);
-  }
-  for (const std::string& generic : generic_concepts) {
-    // Low weight: a real concept weighting service ranks "photo gallery"
-    // far below topical concepts.
-    gazetteer.Add(generic, extract::EntityType::kConcept, 0.15);
-  }
+  const Universe universe = BuildUniverse(cfg, &master, &gazetteer);
 
   int next_domain = 0;
   int next_associate = 0;
@@ -187,59 +427,11 @@ Result<SyntheticData> SyntheticWebGenerator::Generate() const {
 
     gazetteer.Add(last_lower, extract::EntityType::kPerson);
 
-    // Personas.
-    std::vector<Persona> personas(spec.num_entities);
+    std::vector<Persona> personas =
+        BuildPersonas(cfg, spec, last_lower, spec.num_entities, &rng,
+                      &gazetteer, &next_domain, &next_associate);
     std::vector<std::string> persona_full_names;
-    {
-      // Distinct first names within the block.
-      std::vector<int> first_ids =
-          rng.SampleWithoutReplacement(10000, spec.num_entities);
-      int shared_topic = rng.UniformInt(0, cfg.num_topics - 1);
-      for (int e = 0; e < spec.num_entities; ++e) {
-        Persona& p = personas[e];
-        p.first_name = WordFactory::FirstName(first_ids[e]);
-        p.full_name = p.first_name + " " + last_lower;
-        p.initial_name = p.first_name.substr(0, 1) + " " + last_lower;
-        // Topics: either a block-shared topic (confusable personas) or an
-        // own primary topic, plus an optional secondary.
-        int primary = rng.Bernoulli(spec.topic_collision_prob)
-                          ? shared_topic
-                          : rng.UniformInt(0, cfg.num_topics - 1);
-        p.topics.push_back(primary);
-        if (rng.Bernoulli(0.5)) {
-          p.topics.push_back(rng.UniformInt(0, cfg.num_topics - 1));
-        }
-        // Affiliations drawn from a popularity-skewed distribution, so
-        // unrelated personas share popular organizations.
-        int n_orgs =
-            rng.UniformInt(cfg.min_orgs_per_persona, cfg.max_orgs_per_persona);
-        while (static_cast<int>(p.organizations.size()) <
-               std::min(n_orgs, cfg.num_organizations)) {
-          int id = rng.Zipf(cfg.num_organizations, cfg.org_popularity_skew);
-          if (std::find(p.organizations.begin(), p.organizations.end(), id) ==
-              p.organizations.end()) {
-            p.organizations.push_back(id);
-          }
-        }
-        int n_assoc = rng.UniformInt(cfg.min_associates_per_persona,
-                                     cfg.max_associates_per_persona);
-        for (int a = 0; a < n_assoc; ++a) {
-          std::string assoc = WordFactory::FirstName(next_associate) + " " +
-                              WordFactory::LastName(next_associate);
-          ++next_associate;
-          p.associates.push_back(assoc);
-          gazetteer.Add(assoc, extract::EntityType::kPerson);
-        }
-        int n_locs = rng.UniformInt(1, 2);
-        for (int id : rng.SampleWithoutReplacement(cfg.num_locations, n_locs)) {
-          p.locations.push_back(id);
-        }
-        p.home_domain = next_domain++;
-        gazetteer.Add(p.full_name, extract::EntityType::kPerson);
-        gazetteer.Add(p.initial_name, extract::EntityType::kPerson);
-        persona_full_names.push_back(p.full_name);
-      }
-    }
+    for (const Persona& p : personas) persona_full_names.push_back(p.full_name);
     out.persona_names.push_back(persona_full_names);
 
     // Entity sizes and page assignment.
@@ -258,159 +450,124 @@ Result<SyntheticData> SyntheticWebGenerator::Generate() const {
 
     for (int d = 0; d < spec.num_documents; ++d) {
       const int entity = page_entity[d];
-      const Persona& p = personas[entity];
-      const bool sparse = rng.Bernoulli(spec.sparse_page_prob);
-      const double feature_scale = sparse ? 0.25 : 1.0;
-
-      TextBuilder tb;
-
-      // --- Name mentions ---
-      int full_mentions = 1 + rng.Poisson(sparse ? 0.3 : 1.2);
-      int last_only_mentions = rng.Poisson(sparse ? 0.3 : 0.8);
-
-      // --- Concept mentions ---
-      std::vector<std::string> mention_phrases;
-      if (!rng.Bernoulli(spec.concept_drop_prob) && !sparse) {
-        int n_concepts = 2 + rng.Poisson(2.0);
-        for (int c = 0; c < n_concepts; ++c) {
-          int concept_id;
-          if (rng.Bernoulli(spec.topic_noise)) {
-            concept_id = rng.UniformInt(0, total_concepts - 1);
-          } else {
-            int topic = p.topics[rng.UniformUint64(p.topics.size())];
-            concept_id = topic * cfg.concepts_per_topic +
-                         rng.Zipf(cfg.concepts_per_topic, cfg.zipf_exponent);
-          }
-          mention_phrases.push_back(concepts[concept_id]);
-        }
-      } else if (sparse && rng.Bernoulli(0.3)) {
-        int topic = p.topics[rng.UniformUint64(p.topics.size())];
-        mention_phrases.push_back(
-            concepts[topic * cfg.concepts_per_topic +
-                     rng.Zipf(cfg.concepts_per_topic, cfg.zipf_exponent)]);
-      }
-
-      // --- Organization / associate / location mentions ---
-      for (int org : p.organizations) {
-        if (rng.Bernoulli(spec.org_mention_prob * feature_scale)) {
-          mention_phrases.push_back(organizations[org]);
-        }
-      }
-      for (const std::string& assoc : p.associates) {
-        if (rng.Bernoulli(spec.associate_mention_prob * feature_scale)) {
-          mention_phrases.push_back(assoc);
-        }
-      }
-      for (int loc : p.locations) {
-        if (rng.Bernoulli(0.5 * feature_scale)) {
-          mention_phrases.push_back(locations[loc]);
-        }
-      }
-      // Cross-entity noise: occasionally mention an unrelated organization
-      // or a globally famous person (the Web is messy).
-      if (rng.Bernoulli(0.15)) {
-        mention_phrases.push_back(
-            organizations[rng.Zipf(cfg.num_organizations,
-                                   cfg.org_popularity_skew)]);
-      }
-      while (rng.Bernoulli(spec.celebrity_mention_prob * feature_scale)) {
-        mention_phrases.push_back(
-            celebrities[rng.Zipf(cfg.num_celebrities, 1.0)]);
-      }
-      // Boilerplate concepts: bursts of generic phrases, independent of the
-      // persona.
-      if (rng.Bernoulli(spec.boilerplate_prob)) {
-        int n_generic = rng.UniformInt(2, 5);
-        for (int id : rng.SampleWithoutReplacement(
-                 cfg.num_generic_concepts,
-                 std::min(n_generic, cfg.num_generic_concepts))) {
-          mention_phrases.push_back(generic_concepts[id]);
-        }
-      }
-
-      // --- Body text ---
-      int n_words = rng.UniformInt(cfg.min_words_per_page,
-                                   cfg.max_words_per_page);
-      if (sparse) n_words /= 4;
-
-      // Interleave: spread mention phrases across the body.
-      int next_mention = 0;
-      int mention_every =
-          mention_phrases.empty()
-              ? n_words + 1
-              : std::max(1, n_words / static_cast<int>(mention_phrases.size() + 1));
-      int full_every = std::max(1, n_words / (full_mentions + 1));
-
-      // The page's dominant rendering of the person's name: some pages use
-      // the initial form throughout (citation lists, directories).
-      const bool page_uses_initials = rng.Bernoulli(spec.name_variant_prob);
-
-      for (int w = 0; w < n_words; ++w) {
-        if (w % full_every == full_every - 1 && full_mentions > 0) {
-          tb.AddPhrase(page_uses_initials ? p.initial_name : p.full_name);
-          --full_mentions;
-        } else if (last_only_mentions > 0 && rng.Bernoulli(0.02)) {
-          tb.AddToken(last_lower);
-          --last_only_mentions;
-        }
-        if (w % mention_every == mention_every - 1 &&
-            next_mention < static_cast<int>(mention_phrases.size())) {
-          tb.AddPhrase(mention_phrases[next_mention++]);
-        }
-        // Regular token.
-        if (rng.Bernoulli(cfg.function_word_rate)) {
-          const auto& fw = WordFactory::FunctionWords();
-          tb.AddToken(fw[rng.UniformUint64(fw.size())]);
-        } else if (rng.Bernoulli(spec.topic_noise)) {
-          tb.AddToken(background_words[rng.UniformInt(
-              0, cfg.num_background_words - 1)]);
-        } else {
-          int topic = p.topics[rng.UniformUint64(p.topics.size())];
-          int word_id = topic * cfg.words_per_topic +
-                        rng.Zipf(cfg.words_per_topic, cfg.zipf_exponent);
-          tb.AddToken(topic_words[word_id]);
-        }
-      }
-      // Flush any remaining required mentions.
-      while (full_mentions-- > 0) {
-        tb.AddPhrase(page_uses_initials ? p.initial_name : p.full_name);
-      }
-      while (next_mention < static_cast<int>(mention_phrases.size())) {
-        tb.AddPhrase(mention_phrases[next_mention++]);
-      }
-
-      // --- URL ---
-      // Home pages live under the persona's registrable domain behind one of
-      // several hosts ("www.X", "people.X", ...), in the persona's own
-      // directory: two home pages of the same persona score 0.9 (same host)
-      // or 0.6 (same domain, different host). Hosting pages share a small
-      // pool of hosting domains with per-page directories, so *unrelated*
-      // pages on the same host score 0.8 — a cross-person band sitting
-      // between the two same-person bands. This is the non-monotone URL
-      // structure that a threshold on F2 cannot represent.
-      std::string url;
-      if (rng.Bernoulli(spec.url_home_prob)) {
-        static constexpr const char* kHostPrefixes[] = {"www", "people", "web"};
-        const char* prefix = kHostPrefixes[rng.UniformInt(0, 2)];
-        url = std::string("http://") + prefix + "." +
-              WordFactory::Domain(p.home_domain) + "/" + last_lower +
-              "/page" + std::to_string(d) + ".html";
-      } else {
-        url = "http://" +
-              WordFactory::HostingDomain(
-                  rng.UniformInt(0, cfg.num_hosting_domains - 1)) +
-              "/" + WordFactory::Word(2000000 + rng.UniformInt(0, 5000)) +
-              "/page" + std::to_string(d) + ".html";
-      }
-
-      Document doc;
-      doc.id = last_lower + "/" + std::to_string(d);
-      doc.url = std::move(url);
-      doc.text = tb.Finish();
-      block.documents.push_back(std::move(doc));
+      block.documents.push_back(RenderPage(cfg, spec, universe,
+                                           personas[entity], last_lower, d,
+                                           &rng));
       block.entity_labels.push_back(entity);
     }
     out.dataset.blocks.push_back(std::move(block));
+  }
+
+  gazetteer.Build();
+  out.gazetteer = std::move(gazetteer);
+  return out;
+}
+
+Result<CleanCleanData> SyntheticWebGenerator::GenerateCleanClean(
+    double overlap_fraction) const {
+  const GeneratorConfig& cfg = config_;
+  if (cfg.names.empty()) {
+    return Status::InvalidArgument("generator: no names configured");
+  }
+  if (!(overlap_fraction > 0.0) || overlap_fraction > 1.0) {
+    return Status::InvalidArgument("generator: overlap fraction ",
+                                   overlap_fraction, " outside (0, 1]");
+  }
+  for (const NameSpec& spec : cfg.names) {
+    if (spec.num_entities < 1) {
+      return Status::InvalidArgument("generator: name '", spec.last_name,
+                                     "' needs num_entities >= 1");
+    }
+  }
+
+  Rng master(cfg.seed);
+  CleanCleanData out;
+  out.left.name = cfg.dataset_name + "-left";
+  out.right.name = cfg.dataset_name + "-right";
+
+  extract::Gazetteer gazetteer;
+  const Universe universe = BuildUniverse(cfg, &master, &gazetteer);
+
+  int next_domain = 0;
+  int next_associate = 0;
+
+  for (size_t block_idx = 0; block_idx < cfg.names.size(); ++block_idx) {
+    const NameSpec& spec = cfg.names[block_idx];
+    Rng rng = master.Fork(100 + block_idx);
+    const std::string last_lower = ToLowerAscii(spec.last_name);
+
+    gazetteer.Add(last_lower, extract::EntityType::kPerson);
+
+    // Both collections carry num_entities pages each, one page per persona
+    // — internally duplicate-free by construction. An `overlap` subset of
+    // the left personas also appears on the right; the rest of the right
+    // collection is fresh right-only personas, so both sides contain
+    // distractors the matchers must leave unmatched.
+    const int entities = spec.num_entities;
+    const int overlap = std::max(
+        1, std::min(entities, static_cast<int>(std::lround(
+                                  overlap_fraction * entities))));
+    std::vector<Persona> personas =
+        BuildPersonas(cfg, spec, last_lower, entities + (entities - overlap),
+                      &rng, &gazetteer, &next_domain, &next_associate);
+
+    // Left personas are [0, entities); the shared subset appears on the
+    // right together with the right-only personas [entities, ...).
+    std::vector<int> shared = rng.SampleWithoutReplacement(entities, overlap);
+    std::sort(shared.begin(), shared.end());
+    std::vector<int> right_personas = shared;
+    for (int e = entities; e < static_cast<int>(personas.size()); ++e) {
+      right_personas.push_back(e);
+    }
+
+    // Independent page orders per collection, so document position carries
+    // no cross-collection signal.
+    std::vector<int> left_order(entities);
+    std::iota(left_order.begin(), left_order.end(), 0);
+    rng.Shuffle(&left_order);
+    rng.Shuffle(&right_personas);
+
+    Block left_block;
+    left_block.query = last_lower;
+    Rng left_rng = rng.Fork(501);
+    for (int d = 0; d < static_cast<int>(left_order.size()); ++d) {
+      left_block.documents.push_back(
+          RenderPage(cfg, spec, universe, personas[left_order[d]], last_lower,
+                     d, &left_rng));
+      left_block.entity_labels.push_back(left_order[d]);
+    }
+
+    Block right_block;
+    right_block.query = last_lower;
+    Rng right_rng = rng.Fork(502);
+    for (int d = 0; d < static_cast<int>(right_personas.size()); ++d) {
+      right_block.documents.push_back(
+          RenderPage(cfg, spec, universe, personas[right_personas[d]],
+                     last_lower, d, &right_rng));
+      right_block.entity_labels.push_back(right_personas[d]);
+    }
+
+    // Ground truth: one (left position, right position) pair per shared
+    // persona — a partial bijection between the collections.
+    std::vector<std::pair<int, int>> truth;
+    for (int persona : shared) {
+      int left_pos = -1;
+      int right_pos = -1;
+      for (int d = 0; d < static_cast<int>(left_block.entity_labels.size());
+           ++d) {
+        if (left_block.entity_labels[d] == persona) left_pos = d;
+      }
+      for (int d = 0; d < static_cast<int>(right_block.entity_labels.size());
+           ++d) {
+        if (right_block.entity_labels[d] == persona) right_pos = d;
+      }
+      truth.push_back({left_pos, right_pos});
+    }
+    std::sort(truth.begin(), truth.end());
+
+    out.left.blocks.push_back(std::move(left_block));
+    out.right.blocks.push_back(std::move(right_block));
+    out.truth.push_back(std::move(truth));
   }
 
   gazetteer.Build();

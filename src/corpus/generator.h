@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -147,6 +148,21 @@ struct SyntheticData {
   std::vector<std::vector<std::string>> persona_names;
 };
 
+/// Two duplicate-free collections over the same hidden personas, for
+/// clean-clean ER. Blocks are parallel: left.blocks[b] and right.blocks[b]
+/// cover the same ambiguous name, and truth[b] is the ground-truth partial
+/// bijection between their document positions.
+struct CleanCleanData {
+  Dataset left;
+  Dataset right;
+  extract::Gazetteer gazetteer;
+
+  /// Per block, the (left document, right document) pairs that are the
+  /// same real-world person, sorted by left document. Documents not in any
+  /// pair have no counterpart in the other collection.
+  std::vector<std::vector<std::pair<int, int>>> truth;
+};
+
 /// Deterministic corpus generator; one Generate() call per corpus.
 class SyntheticWebGenerator {
  public:
@@ -156,6 +172,15 @@ class SyntheticWebGenerator {
   /// Builds the corpus. Returns InvalidArgument for inconsistent
   /// configurations (no names, more entities than documents, ...).
   Result<SyntheticData> Generate() const;
+
+  /// Builds two duplicate-free collections for clean-clean matching: per
+  /// block, every persona gets exactly one page in the left collection; a
+  /// round(overlap_fraction * num_entities) subset of those personas (at
+  /// least one) also gets one page in the right collection, padded with
+  /// fresh right-only personas so both sides have num_entities pages and
+  /// both sides contain unmatchable distractors. NameSpec::num_documents
+  /// is ignored in this mode. overlap_fraction must be in (0, 1].
+  Result<CleanCleanData> GenerateCleanClean(double overlap_fraction) const;
 
   const GeneratorConfig& config() const { return config_; }
 

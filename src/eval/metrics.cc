@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 
 namespace weber {
@@ -143,6 +144,52 @@ double MetricByName(const MetricReport& report, const std::string& name) {
   if (name == "inverse_purity") return report.inverse_purity;
   if (name == "B3F" || name == "bcubed_f") return report.bcubed_f;
   return 0.0;
+}
+
+namespace {
+
+void FinishMatchingRates(MatchingReport* r) {
+  const long long predicted = r->true_positives + r->false_positives;
+  const long long truth = r->true_positives + r->false_negatives;
+  r->precision = predicted > 0
+                     ? static_cast<double>(r->true_positives) / predicted
+                     : 1.0;
+  r->recall =
+      truth > 0 ? static_cast<double>(r->true_positives) / truth : 1.0;
+  r->f1 = Harmonic(r->precision, r->recall);
+}
+
+}  // namespace
+
+MatchingReport EvaluateMatching(
+    const std::vector<std::pair<int, int>>& truth,
+    const std::vector<std::pair<int, int>>& predicted) {
+  const std::set<std::pair<int, int>> truth_set(truth.begin(), truth.end());
+  const std::set<std::pair<int, int>> pred_set(predicted.begin(),
+                                               predicted.end());
+  MatchingReport r;
+  for (const auto& pair : pred_set) {
+    if (truth_set.count(pair)) {
+      ++r.true_positives;
+    } else {
+      ++r.false_positives;
+    }
+  }
+  r.false_negatives =
+      static_cast<long long>(truth_set.size()) - r.true_positives;
+  FinishMatchingRates(&r);
+  return r;
+}
+
+MatchingReport SumMatchingReports(const std::vector<MatchingReport>& reports) {
+  MatchingReport sum;
+  for (const MatchingReport& r : reports) {
+    sum.true_positives += r.true_positives;
+    sum.false_positives += r.false_positives;
+    sum.false_negatives += r.false_negatives;
+  }
+  FinishMatchingRates(&sum);
+  return sum;
 }
 
 }  // namespace eval

@@ -7,6 +7,7 @@
 #define WEBER_EVAL_METRICS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -50,6 +51,34 @@ Result<MetricReport> MeanReport(const std::vector<MetricReport>& reports);
 /// Convenience accessors for the three headline metrics by name
 /// ("Fp", "F", "Rand"); used by the benchmark tables.
 double MetricByName(const MetricReport& report, const std::string& name);
+
+/// Pairwise quality of a clean-clean matching against a ground-truth
+/// partial bijection. Unlike MetricReport this scores *links*, not
+/// co-clustering: a predicted (left, right) pair is a true positive iff it
+/// is in the truth, and every truth pair the matcher failed to produce is
+/// a false negative — an unmatched ground-truth pair is a miss, not a
+/// neutral.
+struct MatchingReport {
+  long long true_positives = 0;   ///< predicted pairs present in truth
+  long long false_positives = 0;  ///< predicted pairs absent from truth
+  long long false_negatives = 0;  ///< truth pairs the prediction missed
+
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores `predicted` (left, right) document pairs against the `truth`
+/// partial bijection. Duplicate pairs on either side are collapsed; the
+/// degenerate empty-side conventions match Evaluate (no predictions =>
+/// precision 1, no truth => recall 1).
+MatchingReport EvaluateMatching(
+    const std::vector<std::pair<int, int>>& truth,
+    const std::vector<std::pair<int, int>>& predicted);
+
+/// Micro-average: sums the pair counts of `reports` and recomputes the
+/// rates, so large blocks weigh proportionally to their pair counts.
+MatchingReport SumMatchingReports(const std::vector<MatchingReport>& reports);
 
 }  // namespace eval
 }  // namespace weber

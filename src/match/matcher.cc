@@ -1,0 +1,270 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace weber {
+namespace match {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void SortPairs(Matching* matching) {
+  std::sort(matching->pairs.begin(), matching->pairs.end(),
+            [](const MatchedPair& a, const MatchedPair& b) {
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+}
+
+double SumScores(const std::vector<MatchedPair>& pairs) {
+  double total = 0.0;
+  for (const MatchedPair& p : pairs) total += p.score;
+  return total;
+}
+
+Matching Finish(std::vector<MatchedPair> pairs) {
+  Matching matching;
+  matching.pairs = std::move(pairs);
+  matching.total_score = SumScores(matching.pairs);
+  SortPairs(&matching);
+  return matching;
+}
+
+/// All edges at or above the threshold, as a reusable edge list.
+std::vector<MatchedPair> EdgesAtThreshold(const ScoreMatrix& scores,
+                                          double threshold) {
+  std::vector<MatchedPair> edges;
+  for (int l = 0; l < scores.rows(); ++l) {
+    for (int r = 0; r < scores.cols(); ++r) {
+      const double s = scores.at(l, r);
+      if (s >= threshold) edges.push_back({l, r, s});
+    }
+  }
+  return edges;
+}
+
+Matching GreedyMatch(const ScoreMatrix& scores, double threshold) {
+  std::vector<MatchedPair> edges = EdgesAtThreshold(scores, threshold);
+  // Best first; score ties broken by index so the result is deterministic
+  // across platforms and std::sort implementations.
+  std::sort(edges.begin(), edges.end(),
+            [](const MatchedPair& a, const MatchedPair& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  std::vector<char> left_used(scores.rows(), 0);
+  std::vector<char> right_used(scores.cols(), 0);
+  std::vector<MatchedPair> taken;
+  for (const MatchedPair& edge : edges) {
+    if (left_used[edge.left] || right_used[edge.right]) continue;
+    left_used[edge.left] = 1;
+    right_used[edge.right] = 1;
+    taken.push_back(edge);
+  }
+  return Finish(std::move(taken));
+}
+
+class ThresholdMatcher : public Matcher {
+ public:
+  explicit ThresholdMatcher(MatcherOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "threshold"; }
+
+  Matching Match(const ScoreMatrix& scores) const override {
+    Matching matching = Finish(EdgesAtThreshold(scores, options_.threshold));
+    if (options_.symmetric_best) {
+      matching = FilterSymmetricBest(scores, matching);
+    }
+    return matching;
+  }
+
+ private:
+  MatcherOptions options_;
+};
+
+class GreedyMatcher : public Matcher {
+ public:
+  explicit GreedyMatcher(MatcherOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "greedy"; }
+
+  Matching Match(const ScoreMatrix& scores) const override {
+    Matching matching = GreedyMatch(scores, options_.threshold);
+    if (options_.symmetric_best) {
+      matching = FilterSymmetricBest(scores, matching);
+    }
+    return matching;
+  }
+
+ private:
+  MatcherOptions options_;
+};
+
+class OptimalMatcher : public Matcher {
+ public:
+  explicit OptimalMatcher(MatcherOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "optimal"; }
+
+  Matching Match(const ScoreMatrix& scores) const override {
+    const int dim = std::max(scores.rows(), scores.cols());
+    Matching matching =
+        dim > options_.optimal_size_cutoff
+            ? GreedyMatch(scores, options_.threshold)
+            : SolveOptimalAssignment(scores, options_.threshold);
+    if (options_.symmetric_best) {
+      matching = FilterSymmetricBest(scores, matching);
+    }
+    return matching;
+  }
+
+ private:
+  MatcherOptions options_;
+};
+
+}  // namespace
+
+std::vector<int> Matching::LeftAssignment(int rows) const {
+  std::vector<int> assignment(rows, -1);
+  for (const MatchedPair& p : pairs) {
+    if (p.left >= 0 && p.left < rows) assignment[p.left] = p.right;
+  }
+  return assignment;
+}
+
+std::unique_ptr<Matcher> MakeThresholdMatcher(MatcherOptions options) {
+  return std::make_unique<ThresholdMatcher>(options);
+}
+
+std::unique_ptr<Matcher> MakeGreedyMatcher(MatcherOptions options) {
+  return std::make_unique<GreedyMatcher>(options);
+}
+
+std::unique_ptr<Matcher> MakeOptimalMatcher(MatcherOptions options) {
+  return std::make_unique<OptimalMatcher>(options);
+}
+
+Result<std::unique_ptr<Matcher>> MakeMatcher(const std::string& kind,
+                                             MatcherOptions options) {
+  if (kind == "threshold") return MakeThresholdMatcher(options);
+  if (kind == "greedy") return MakeGreedyMatcher(options);
+  if (kind == "optimal") return MakeOptimalMatcher(options);
+  return Status::InvalidArgument("unknown matcher kind '", kind,
+                                 "' (threshold | greedy | optimal)");
+}
+
+Matching FilterSymmetricBest(const ScoreMatrix& scores,
+                             const Matching& input) {
+  // Best column per row and best row per column, ties toward the lowest
+  // index (strict > keeps the first maximum).
+  std::vector<int> row_best(scores.rows(), -1);
+  for (int l = 0; l < scores.rows(); ++l) {
+    double best = -kInf;
+    for (int r = 0; r < scores.cols(); ++r) {
+      if (scores.at(l, r) > best) {
+        best = scores.at(l, r);
+        row_best[l] = r;
+      }
+    }
+  }
+  std::vector<int> col_best(scores.cols(), -1);
+  for (int r = 0; r < scores.cols(); ++r) {
+    double best = -kInf;
+    for (int l = 0; l < scores.rows(); ++l) {
+      if (scores.at(l, r) > best) {
+        best = scores.at(l, r);
+        col_best[r] = l;
+      }
+    }
+  }
+  std::vector<MatchedPair> kept;
+  for (const MatchedPair& p : input.pairs) {
+    if (row_best[p.left] == p.right && col_best[p.right] == p.left) {
+      kept.push_back(p);
+    }
+  }
+  return Finish(std::move(kept));
+}
+
+Matching SolveOptimalAssignment(const ScoreMatrix& scores, double threshold) {
+  // Reduced weights w = max(0, score - threshold): maximizing their sum is
+  // exactly "pick the one-to-one pairing with the best total margin over
+  // the operating point", and a zero-weight assignment slot is equivalent
+  // to leaving both documents unmatched — so the partial-matching problem
+  // becomes a complete assignment on a square matrix padded with zeros.
+  const int rows = scores.rows();
+  const int cols = scores.cols();
+  const int n = std::max(rows, cols);
+  if (n == 0) return Matching();
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (int l = 0; l < rows; ++l) {
+    for (int r = 0; r < cols; ++r) {
+      // Minimization form: cost = -weight.
+      cost[l][r] = -std::max(0.0, scores.at(l, r) - threshold);
+    }
+  }
+
+  // Hungarian algorithm with row/column potentials: for each row, grow an
+  // alternating tree of tight edges (Dijkstra over reduced costs) until a
+  // free column is reached, then augment along it. O(n^3) overall.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      int j1 = 0;
+      double delta = kInf;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<MatchedPair> taken;
+  for (int j = 1; j <= n; ++j) {
+    const int i = p[j];
+    if (i == 0) continue;
+    const int l = i - 1;
+    const int r = j - 1;
+    // Padding slots and below-threshold assignments carry zero weight:
+    // their documents are unmatched, not linked.
+    if (l >= rows || r >= cols) continue;
+    if (scores.at(l, r) < threshold) continue;
+    taken.push_back({l, r, scores.at(l, r)});
+  }
+  return Finish(std::move(taken));
+}
+
+}  // namespace match
+}  // namespace weber

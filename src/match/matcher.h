@@ -1,0 +1,133 @@
+// weber::match — bipartite matching for clean-clean entity resolution.
+//
+// The paper's workload is dirty ER: one collection, partitioned into
+// entities. Clean-clean ER links two collections that are each internally
+// duplicate-free (e.g. two directories crawled from different sites), so
+// the output is not a clustering but a partial one-to-one mapping between
+// the collections. This module consumes a dense left-by-right score matrix
+// (the rectangular sibling of graph::SimilarityMatrix) and produces that
+// mapping under a selectable constraint regime:
+//
+//   * threshold  — every edge at or above the threshold; many-to-many.
+//     The baseline every pairwise classifier gives for free, and the
+//     precision floor the one-to-one matchers improve on.
+//   * greedy     — best-first: edges sorted by score descending, taken
+//     while both endpoints are free. One-to-one, O(E log E).
+//   * optimal    — maximum-weight one-to-one assignment (Hungarian
+//     algorithm on the reduced weights max(0, score - threshold), so
+//     leaving a pair unmatched is always an option). Above a configurable
+//     size cutoff it falls back to greedy rather than paying O(n^3).
+//
+// Independent of the matcher, symmetric-best-match filtering (Gemmell et
+// al., arXiv 1108.6016) can be applied as an extra constraint: keep only
+// pairs where each side is the other's single best candidate. It trades
+// recall for precision and composes with any matcher above.
+
+#ifndef WEBER_MATCH_MATCHER_H_
+#define WEBER_MATCH_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace weber {
+namespace match {
+
+/// Dense rectangular score matrix: rows are the left collection's
+/// documents, columns the right collection's. Scores are similarities in
+/// [0, 1] (not distances).
+class ScoreMatrix {
+ public:
+  ScoreMatrix() = default;
+  ScoreMatrix(int rows, int cols, double initial = 0.0)
+      : rows_(rows), cols_(cols),
+        values_(static_cast<size_t>(rows) * static_cast<size_t>(cols),
+                initial) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double at(int row, int col) const {
+    return values_[static_cast<size_t>(row) * cols_ + col];
+  }
+  void set(int row, int col, double value) {
+    values_[static_cast<size_t>(row) * cols_ + col] = value;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// One matched edge.
+struct MatchedPair {
+  int left = -1;
+  int right = -1;
+  double score = 0.0;
+};
+
+/// A matcher's output. Pairs are sorted by (left, right) so equal matchings
+/// compare equal and test output is stable.
+struct Matching {
+  std::vector<MatchedPair> pairs;
+  /// Sum of the matched pairs' scores.
+  double total_score = 0.0;
+
+  /// Right index assigned to each left document, -1 for unmatched. Only
+  /// meaningful for one-to-one matchings (the last pair wins otherwise).
+  std::vector<int> LeftAssignment(int rows) const;
+};
+
+struct MatcherOptions {
+  /// Edges below this score do not exist for any matcher.
+  double threshold = 0.5;
+  /// Largest max(rows, cols) the optimal matcher solves exactly; bigger
+  /// problems fall back to greedy (the Hungarian algorithm is O(n^3)).
+  int optimal_size_cutoff = 512;
+  /// Apply symmetric-best-match filtering to the matcher's output: keep
+  /// only pairs where the right document is the left's best candidate AND
+  /// the left is the right's best (ties broken toward the lowest index).
+  bool symmetric_best = false;
+};
+
+/// Interface every bipartite matcher implements. Implementations are
+/// stateless after construction and thread-compatible.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Identifier used in tables and JSON, e.g. "greedy".
+  virtual std::string_view name() const = 0;
+
+  virtual Matching Match(const ScoreMatrix& scores) const = 0;
+};
+
+std::unique_ptr<Matcher> MakeThresholdMatcher(MatcherOptions options = {});
+std::unique_ptr<Matcher> MakeGreedyMatcher(MatcherOptions options = {});
+std::unique_ptr<Matcher> MakeOptimalMatcher(MatcherOptions options = {});
+
+/// Matcher by kind name: "threshold" | "greedy" | "optimal". Returns
+/// InvalidArgument for an unknown kind.
+Result<std::unique_ptr<Matcher>> MakeMatcher(const std::string& kind,
+                                             MatcherOptions options = {});
+
+/// Keeps only the reciprocal-best pairs of `input`: pairs (l, r) where r is
+/// the highest-scoring column of row l and l the highest-scoring row of
+/// column r (ties toward the lowest index). Exposed for direct use and
+/// tests; matchers apply it via MatcherOptions::symmetric_best.
+Matching FilterSymmetricBest(const ScoreMatrix& scores, const Matching& input);
+
+/// Maximum-weight one-to-one assignment on weights max(0, score -
+/// threshold) via the Hungarian algorithm (potentials formulation,
+/// O(n^3)). Pairs whose reduced weight is zero are left unmatched. Exposed
+/// for tests; MakeOptimalMatcher wraps it with the size-cutoff fallback.
+Matching SolveOptimalAssignment(const ScoreMatrix& scores, double threshold);
+
+}  // namespace match
+}  // namespace weber
+
+#endif  // WEBER_MATCH_MATCHER_H_

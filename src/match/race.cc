@@ -1,0 +1,186 @@
+#include "match/race.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/similarity_function.h"
+#include "extract/feature_extractor.h"
+#include "ml/threshold.h"
+
+namespace weber {
+namespace match {
+
+namespace {
+
+/// Scores every (left, right) document pair of one block as the mean of the
+/// standard similarity functions — the same aggregate the serving path uses
+/// for uncalibrated pair scoring.
+ScoreMatrix ScoreBlock(
+    const std::vector<std::unique_ptr<core::SimilarityFunction>>& functions,
+    const std::vector<extract::FeatureBundle>& left,
+    const std::vector<extract::FeatureBundle>& right) {
+  ScoreMatrix scores(static_cast<int>(left.size()),
+                     static_cast<int>(right.size()));
+  for (int l = 0; l < scores.rows(); ++l) {
+    for (int r = 0; r < scores.cols(); ++r) {
+      double sum = 0.0;
+      for (const auto& fn : functions) {
+        sum += fn->Compute(left[l], right[r]);
+      }
+      scores.set(l, r, sum / static_cast<double>(functions.size()));
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+Result<RaceResult> RaceMatchers(const RaceConfig& config) {
+  if (config.negatives_per_positive < 1) {
+    return Status::InvalidArgument("race: negatives_per_positive must be >= 1");
+  }
+
+  corpus::SyntheticWebGenerator generator(config.corpus);
+  WEBER_ASSIGN_OR_RETURN(corpus::CleanCleanData data,
+                         generator.GenerateCleanClean(config.overlap_fraction));
+
+  extract::FeatureExtractor extractor(&data.gazetteer);
+  const auto functions = core::MakeStandardFunctions();
+
+  RaceResult result;
+  result.blocks = static_cast<int>(data.left.blocks.size());
+
+  // ---- Score every block. Left and right pages are extracted as ONE
+  // block so TF-IDF statistics and boilerplate suppression are shared —
+  // cross-collection similarities would otherwise compare incompatible
+  // vector spaces. ----
+  std::vector<ScoreMatrix> block_scores;
+  for (size_t b = 0; b < data.left.blocks.size(); ++b) {
+    const corpus::Block& left = data.left.blocks[b];
+    const corpus::Block& right = data.right.blocks[b];
+    std::vector<extract::PageInput> pages;
+    for (const corpus::Document& doc : left.documents) {
+      pages.push_back({doc.url, doc.text});
+    }
+    for (const corpus::Document& doc : right.documents) {
+      pages.push_back({doc.url, doc.text});
+    }
+    WEBER_ASSIGN_OR_RETURN(std::vector<extract::FeatureBundle> bundles,
+                           extractor.ExtractBlock(pages, left.query));
+    std::vector<extract::FeatureBundle> left_bundles(
+        std::make_move_iterator(bundles.begin()),
+        std::make_move_iterator(bundles.begin() + left.documents.size()));
+    std::vector<extract::FeatureBundle> right_bundles(
+        std::make_move_iterator(bundles.begin() + left.documents.size()),
+        std::make_move_iterator(bundles.end()));
+    result.left_documents += static_cast<int>(left_bundles.size());
+    result.right_documents += static_cast<int>(right_bundles.size());
+    result.truth_pairs += static_cast<long long>(data.truth[b].size());
+    block_scores.push_back(
+        ScoreBlock(functions, left_bundles, right_bundles));
+  }
+
+  // ---- Calibrate the shared operating point: every ground-truth pair is
+  // a positive; a seeded sample of non-truth pairs provides the
+  // negatives. ----
+  std::vector<ml::LabeledSimilarity> training;
+  Rng sample_rng(config.corpus.seed ^ 0x9E3779B97F4A7C15ULL);
+  for (size_t b = 0; b < block_scores.size(); ++b) {
+    const ScoreMatrix& scores = block_scores[b];
+    std::set<std::pair<int, int>> truth_set(data.truth[b].begin(),
+                                            data.truth[b].end());
+    for (const auto& [l, r] : data.truth[b]) {
+      training.push_back({scores.at(l, r), true});
+    }
+    const long long want =
+        static_cast<long long>(truth_set.size()) * config.negatives_per_positive;
+    const long long candidates =
+        static_cast<long long>(scores.rows()) * scores.cols() -
+        static_cast<long long>(truth_set.size());
+    long long sampled = 0;
+    // Rejection sampling; the truth set is a vanishing fraction of the
+    // rectangle, so this terminates quickly.
+    while (sampled < std::min(want, candidates)) {
+      int l = sample_rng.UniformInt(0, scores.rows() - 1);
+      int r = sample_rng.UniformInt(0, scores.cols() - 1);
+      if (truth_set.count({l, r})) continue;
+      training.push_back({scores.at(l, r), false});
+      ++sampled;
+    }
+  }
+  WEBER_ASSIGN_OR_RETURN(ml::ThresholdFit fit,
+                         ml::FitOptimalThreshold(training));
+  result.threshold = fit.threshold;
+  result.train_accuracy = fit.train_accuracy;
+
+  // ---- Race. Every entrant sees the same matrices and threshold. ----
+  MatcherOptions options;
+  options.threshold = fit.threshold;
+  options.optimal_size_cutoff = config.optimal_size_cutoff;
+  MatcherOptions sbm_options = options;
+  sbm_options.symmetric_best = true;
+
+  struct Entrant {
+    std::string label;
+    std::unique_ptr<Matcher> matcher;
+  };
+  std::vector<Entrant> entrants;
+  entrants.push_back({"threshold", MakeThresholdMatcher(options)});
+  entrants.push_back({"greedy", MakeGreedyMatcher(options)});
+  entrants.push_back({"greedy+sbm", MakeGreedyMatcher(sbm_options)});
+  entrants.push_back({"optimal", MakeOptimalMatcher(options)});
+
+  for (Entrant& entrant : entrants) {
+    RaceEntry entry;
+    entry.matcher = entrant.label;
+    std::vector<eval::MatchingReport> reports;
+    WallTimer timer;
+    for (size_t b = 0; b < block_scores.size(); ++b) {
+      Matching matching = entrant.matcher->Match(block_scores[b]);
+      std::vector<std::pair<int, int>> predicted;
+      for (const MatchedPair& p : matching.pairs) {
+        predicted.push_back({p.left, p.right});
+      }
+      reports.push_back(eval::EvaluateMatching(data.truth[b], predicted));
+    }
+    entry.match_ms = timer.ElapsedMillis();
+    entry.report = eval::SumMatchingReports(reports);
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+void WriteRaceJson(const RaceResult& result, std::ostream& os) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("threshold").Number(result.threshold);
+  json.Key("train_accuracy").Number(result.train_accuracy);
+  json.Key("blocks").Number(result.blocks);
+  json.Key("left_documents").Number(result.left_documents);
+  json.Key("right_documents").Number(result.right_documents);
+  json.Key("truth_pairs").Number(result.truth_pairs);
+  json.Key("matchers").BeginArray();
+  for (const RaceEntry& entry : result.entries) {
+    json.BeginObject();
+    json.Key("matcher").String(entry.matcher);
+    json.Key("tp").Number(entry.report.true_positives);
+    json.Key("fp").Number(entry.report.false_positives);
+    json.Key("fn").Number(entry.report.false_negatives);
+    json.Key("precision").Number(entry.report.precision);
+    json.Key("recall").Number(entry.report.recall);
+    json.Key("f1").Number(entry.report.f1);
+    json.Key("match_ms").Number(entry.match_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << '\n';
+}
+
+}  // namespace match
+}  // namespace weber

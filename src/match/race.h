@@ -1,0 +1,73 @@
+// Matcher race: generates a clean-clean corpus, scores every cross-
+// collection pair with the standard similarity functions, calibrates one
+// paper-style operating threshold, and runs every matcher on the same
+// score matrices — the clean-clean analogue of the experiment runner's
+// Table II sweep. Produces the comparison table behind EXPERIMENTS.md and
+// the `weber matchrace` subcommand.
+
+#ifndef WEBER_MATCH_RACE_H_
+#define WEBER_MATCH_RACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/generator.h"
+#include "eval/metrics.h"
+#include "match/matcher.h"
+
+namespace weber {
+namespace match {
+
+struct RaceConfig {
+  /// Corpus to generate; NameSpec::num_documents is ignored (clean-clean
+  /// collections carry one page per persona).
+  corpus::GeneratorConfig corpus;
+
+  /// Fraction of each block's left personas that also appear on the right.
+  double overlap_fraction = 0.6;
+
+  /// Negative training pairs sampled per ground-truth (positive) pair when
+  /// calibrating the operating threshold.
+  int negatives_per_positive = 3;
+
+  /// Passed through to MatcherOptions.
+  int optimal_size_cutoff = 512;
+};
+
+/// One matcher's line in the comparison table.
+struct RaceEntry {
+  std::string matcher;
+  /// Micro-averaged over all blocks.
+  eval::MatchingReport report;
+  /// Total matching time across blocks, milliseconds (excludes corpus
+  /// generation and scoring, which are shared by all entrants).
+  double match_ms = 0.0;
+};
+
+struct RaceResult {
+  /// Operating point shared by every matcher, fitted on the labeled sample.
+  double threshold = 0.0;
+  double train_accuracy = 0.0;
+
+  int blocks = 0;
+  int left_documents = 0;
+  int right_documents = 0;
+  long long truth_pairs = 0;
+
+  /// threshold, greedy, greedy+sbm, optimal — in that order.
+  std::vector<RaceEntry> entries;
+};
+
+/// Runs the race. Deterministic for a fixed config (generation, scoring,
+/// threshold calibration and every matcher are seed-driven).
+Result<RaceResult> RaceMatchers(const RaceConfig& config);
+
+/// Writes the result as a JSON document (for BENCH-style artifacts).
+void WriteRaceJson(const RaceResult& result, std::ostream& os);
+
+}  // namespace match
+}  // namespace weber
+
+#endif  // WEBER_MATCH_RACE_H_

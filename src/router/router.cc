@@ -438,6 +438,9 @@ std::string Router::HandleLine(const std::string& line, bool* quit) {
     case serve::Request::Op::kCompact:
       return ForwardWrite(request);
     case serve::Request::Op::kQuery:
+    // Match is an idempotent snapshot read, so it shares the owner-first
+    // failover path with query.
+    case serve::Request::Op::kMatch:
       return ForwardRead(request);
     case serve::Request::Op::kDump:
       return ForwardDump(request);

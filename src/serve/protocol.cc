@@ -87,6 +87,19 @@ Result<Request> ParseRequest(const std::string& line) {
     WEBER_ASSIGN_OR_RETURN(request.doc, ParseDoc(tokens[2]));
     return request;
   }
+  if (verb == "match") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument(
+          "'match' expects a block and at least one document id");
+    }
+    request.op = Request::Op::kMatch;
+    request.block = tokens[1];
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      WEBER_ASSIGN_OR_RETURN(int doc, ParseDoc(tokens[i]));
+      request.docs.push_back(doc);
+    }
+    return request;
+  }
   if (verb == "compact") {
     if (tokens.size() == 1) {
       request.op = Request::Op::kCompactAll;
@@ -139,6 +152,13 @@ std::string FormatRequest(const Request& request) {
       break;
     case Request::Op::kQuery:
       line = "query " + request.block + ' ' + std::to_string(request.doc);
+      break;
+    case Request::Op::kMatch:
+      line = "match " + request.block;
+      for (int doc : request.docs) {
+        line += ' ';
+        line += std::to_string(doc);
+      }
       break;
     case Request::Op::kCompact:
       line = "compact " + request.block;
@@ -297,6 +317,38 @@ Result<std::vector<int>> ParseDumpResponse(const std::string& response) {
     labels[static_cast<size_t>(doc)] = label;
   }
   return labels;
+}
+
+Result<std::vector<std::pair<int, int>>> ParseMatchResponse(
+    const std::string& response) {
+  const std::vector<std::string> tokens = SplitWhitespace(response);
+  if (tokens.size() < 2 || tokens[0] != "ok") {
+    return Status::Corruption("bad match response '",
+                              response.substr(0, 128), "'");
+  }
+  int n = 0;
+  if (!ParseInt(tokens[1], &n) || n < 0 ||
+      tokens.size() != static_cast<size_t>(n) + 2) {
+    return Status::Corruption("match token count mismatch");
+  }
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string& pair = tokens[static_cast<size_t>(i) + 2];
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("bad match pair '", pair, "'");
+    }
+    int doc = -1;
+    int cluster = 0;
+    if (!ParseInt(pair.substr(0, colon), &doc) ||
+        !ParseInt(pair.substr(colon + 1), &cluster) || doc < 0 ||
+        cluster < -1) {
+      return Status::Corruption("bad match pair '", pair, "'");
+    }
+    pairs.push_back({doc, cluster});
+  }
+  return pairs;
 }
 
 std::string FormatError(const Status& status) {

@@ -5,6 +5,10 @@
 //
 //   assign <block> <doc>    add block document <doc> to the live partition
 //   query <block> <doc>     resolve the document against the snapshot
+//   match <block> <doc...>  one-to-one match the listed documents against
+//                           the snapshot's clusters (clean-clean linkage):
+//                           no two documents of one request land on the
+//                           same cluster
 //   compact <block>         batch re-resolve the shard, swap the snapshot
 //   compact                 compact every shard
 //   dump <block>            snapshot partition as doc:label pairs
@@ -14,7 +18,8 @@
 //   ping                    liveness check
 //   quit                    close the connection / stop the stdio loop
 //
-// assign/query/compact accept an optional trailing "deadline <ms>" pair
+// assign/query/match/compact accept an optional trailing "deadline <ms>"
+// pair
 // (the token is case-insensitive, so "DEADLINE 50" also parses): the
 // client's per-request latency budget, measured from parse time. Work
 // that cannot finish inside the budget is abandoned and answered with
@@ -24,7 +29,9 @@
 //
 //   ok [fields...]          assign/query: "ok <cluster> <version>";
 //                           compact: "ok <version>"; dump: "ok <n>
-//                           <doc>:<label> ..."; stats: "ok <json>";
+//                           <doc>:<label> ..."; match: "ok <n>
+//                           <doc>:<cluster> ..." in request order, -1 for
+//                           unmatched; stats: "ok <json>";
 //                           metrics: "ok <n>" plus n further lines (the
 //                           only multi-line response in the protocol)
 //   OVERLOADED <ms>         the request was shed before any state changed
@@ -48,6 +55,7 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -63,6 +71,7 @@ struct Request {
   enum class Op {
     kAssign,
     kQuery,
+    kMatch,
     kCompact,
     kCompactAll,
     kDump,
@@ -75,6 +84,8 @@ struct Request {
   Op op = Op::kPing;
   std::string block;
   int doc = -1;
+  /// The documents of a `match` request, in wire order (unused otherwise).
+  std::vector<int> docs;
   /// Client latency budget from the optional "deadline <ms>" suffix
   /// (0 = none given).
   double deadline_ms = 0.0;
@@ -147,6 +158,13 @@ Result<std::vector<std::string>> ReadMetricsPayload(
 /// canonical document (-1 = not in the shard). Corruption on any malformed
 /// token, count mismatch, or out-of-range document id.
 Result<std::vector<int>> ParseDumpResponse(const std::string& response);
+
+/// Parses a `match` response ("ok <n> <doc>:<cluster> ...") into
+/// (document, cluster) pairs in response order; cluster -1 means the
+/// document was left unmatched. Corruption on any malformed token or a
+/// count mismatch.
+Result<std::vector<std::pair<int, int>>> ParseMatchResponse(
+    const std::string& response);
 
 /// Formats an error response ("err <code> <message>", single line).
 std::string FormatError(const Status& status);

@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "extract/feature_extractor.h"
 #include "graph/components.h"
+#include "match/matcher.h"
 #include "ml/splitter.h"
 
 namespace weber {
@@ -883,6 +884,86 @@ Result<QueryResult> ResolutionService::Query(const std::string& block,
   return result;
 }
 
+Result<MatchResult> ResolutionService::Match(const std::string& block,
+                                             const std::vector<int>& docs,
+                                             RequestDeadline deadline) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  if (docs.empty()) {
+    return Status::InvalidArgument("Match: no documents given for block '",
+                                   block, "'");
+  }
+  std::vector<char> seen(shard->bundles.size(), 0);
+  for (int doc : docs) {
+    if (doc < 0 || doc >= static_cast<int>(shard->bundles.size())) {
+      return Status::InvalidArgument("Match: document ", doc,
+                                     " out of range for block '", block, "'");
+    }
+    if (seen[doc]) {
+      return Status::InvalidArgument("Match: duplicate document ", doc,
+                                     " (the mapping is one-to-one)");
+    }
+    seen[doc] = 1;
+  }
+  deadline = EffectiveDeadline(deadline);
+  if (deadline.Expired()) {
+    deadline_exceeded_->Increment();
+    return Status::DeadlineExceeded("Match: deadline expired before ",
+                                    "execution on shard '", block, "'");
+  }
+  // Lazy registration keeps the metrics exposition byte-identical for
+  // deployments that never issue a match.
+  std::call_once(match_metrics_once_, [this] {
+    matches_.store(
+        registry_.GetCounter("weber_matches_total",
+                             "Match requests answered (one-to-one linkage)"),
+        std::memory_order_release);
+    match_hist_.store(
+        registry_.GetHistogram("weber_request_latency_ms",
+                               "Request latency by endpoint (milliseconds)",
+                               obs::DefaultLatencyBucketsMs(), "endpoint",
+                               "match"),
+        std::memory_order_release);
+  });
+  obs::ScopedSpan span(options_.trace, "serve.match");
+  WallTimer timer;
+  std::shared_ptr<const ResolverSnapshot> snap =
+      shard->snapshot.load(std::memory_order_acquire);
+  MatchResult result;
+  result.snapshot_version = snap->version;
+  const bool best_max = options_.incremental.assignment ==
+                        core::IncrementalOptions::Assignment::kBestMax;
+  // Score every requested document against every snapshot cluster with the
+  // same aggregate Query uses, then solve the bipartite matching at the
+  // shard threshold: greedy best-first is one-to-one and cheap enough for
+  // the read path.
+  match::ScoreMatrix scores(static_cast<int>(docs.size()),
+                            static_cast<int>(snap->clusters.size()));
+  for (size_t i = 0; i < docs.size(); ++i) {
+    for (size_t c = 0; c < snap->clusters.size(); ++c) {
+      const std::vector<int>& members = snap->clusters[c];
+      if (members.empty()) continue;
+      double agg = 0.0;
+      for (int member : members) {
+        double s =
+            ScorePairCached(*shard, docs[i], snap->canonical_ids[member]);
+        agg = best_max ? std::max(agg, s) : agg + s;
+      }
+      if (!best_max) agg /= static_cast<double>(members.size());
+      scores.set(static_cast<int>(i), static_cast<int>(c), agg);
+    }
+  }
+  match::MatcherOptions match_options;
+  match_options.threshold = snap->threshold;
+  const match::Matching matching =
+      match::MakeGreedyMatcher(match_options)->Match(scores);
+  result.clusters = matching.LeftAssignment(scores.rows());
+  matches_.load(std::memory_order_acquire)->Increment();
+  const double elapsed = timer.ElapsedMillis();
+  match_latency_.Record(elapsed);
+  match_hist_.load(std::memory_order_acquire)->Observe(elapsed);
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // Compaction (background batch re-resolution + snapshot swap)
 
@@ -1063,9 +1144,13 @@ ServiceStats ResolutionService::Stats() const {
   stats.assign = assign_latency_.Summary();
   stats.query = query_latency_.Summary();
   stats.compact = compact_latency_.Summary();
+  stats.match = match_latency_.Summary();
   stats.cache = cache_->Stats();
   stats.assigns = assigns_->Value();
   stats.queries = queries_->Value();
+  if (obs::Counter* matches = matches_.load(std::memory_order_acquire)) {
+    stats.matches = matches->Value();
+  }
   stats.compactions = compactions_->Value();
   stats.failed_compactions = failed_compactions_->Value();
   stats.failed_assigns = failed_assigns_->Value();
@@ -1131,6 +1216,9 @@ void ResolutionService::WriteStatsJson(
   endpoint("assign", stats.assign);
   endpoint("query", stats.query);
   endpoint("compact", stats.compact);
+  // Gated on use so the stats line is byte-identical for deployments that
+  // never issue a match (mirrors the overload section below).
+  if (stats.matches > 0) endpoint("match", stats.match);
   json.EndObject();
   json.Key("cache").BeginObject();
   json.Key("hits").Number(stats.cache.hits);
@@ -1142,6 +1230,7 @@ void ResolutionService::WriteStatsJson(
   json.Key("counters").BeginObject();
   json.Key("assigns").Number(stats.assigns);
   json.Key("queries").Number(stats.queries);
+  if (stats.matches > 0) json.Key("matches").Number(stats.matches);
   json.Key("compactions").Number(stats.compactions);
   json.Key("failed_compactions").Number(stats.failed_compactions);
   json.Key("failed_assigns").Number(stats.failed_assigns);

@@ -154,6 +154,13 @@ struct QueryResult {
   uint64_t snapshot_version = 0;
 };
 
+struct MatchResult {
+  /// One snapshot cluster per requested document (request order), -1 for
+  /// unmatched. One-to-one: no cluster appears twice.
+  std::vector<int> clusters;
+  uint64_t snapshot_version = 0;
+};
+
 /// Latency summary of one endpoint, computed from a reservoir of samples
 /// (shared weber::obs math: exact count/mean, interpolated percentiles).
 using EndpointLatency = obs::LatencySummary;
@@ -210,12 +217,16 @@ struct ServiceStats {
   EndpointLatency assign;
   EndpointLatency query;
   EndpointLatency compact;
+  /// Populated (and serialized) only once a `match` request has been
+  /// served; all-zero otherwise.
+  EndpointLatency match;
   CacheStats cache;
   DurabilityStats durability;
   OverloadStats overload;
 
   long long assigns = 0;
   long long queries = 0;
+  long long matches = 0;
   long long compactions = 0;
   long long failed_compactions = 0;
   long long failed_assigns = 0;
@@ -264,6 +275,16 @@ class ResolutionService {
   /// with respect to writers and compactions, and never gated by the
   /// breaker — reads keep working while a shard's write path is open.
   Result<QueryResult> Query(const std::string& block, int doc,
+                            RequestDeadline deadline = {}) const;
+
+  /// Resolves a batch of documents against the shard's snapshot under a
+  /// one-to-one constraint (clean-clean linkage): each document gets its
+  /// best cluster at or above the shard threshold, but no two documents of
+  /// one request may land on the same cluster (greedy best-first
+  /// tie-breaking). Like Query this is a lock-free snapshot read; it is
+  /// never gated by the breaker. Documents must be distinct and in range.
+  Result<MatchResult> Match(const std::string& block,
+                            const std::vector<int>& docs,
                             RequestDeadline deadline = {}) const;
 
   /// Synchronously batch re-resolves the shard and publishes the result as
@@ -376,6 +397,12 @@ class ResolutionService {
   /// lock-free striped hot path). Same totals as the former raw atomics.
   obs::Counter* assigns_ = nullptr;
   obs::Counter* queries_ = nullptr;
+  /// Match metrics are registered lazily on the first Match call so the
+  /// `metrics` exposition (and stats JSON) stay byte-identical for
+  /// deployments that never use the verb. Atomic: Stats()/Match() race.
+  mutable std::once_flag match_metrics_once_;
+  mutable std::atomic<obs::Counter*> matches_{nullptr};
+  mutable std::atomic<obs::Histogram*> match_hist_{nullptr};
   obs::Counter* compactions_ = nullptr;
   obs::Counter* failed_compactions_ = nullptr;
   obs::Counter* failed_assigns_ = nullptr;
@@ -404,6 +431,7 @@ class ResolutionService {
   mutable obs::LatencyReservoir assign_latency_;
   mutable obs::LatencyReservoir query_latency_;
   mutable obs::LatencyReservoir compact_latency_;
+  mutable obs::LatencyReservoir match_latency_;
 
   // Declared after the state they operate on so they stop first.
   std::unique_ptr<Executor> compaction_pool_;

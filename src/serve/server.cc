@@ -75,6 +75,21 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
       if (!result.ok()) return FormatFailure(result.status(), retry);
       return FormatOk(result.ValueOrDie().snapshot_version, result.ValueOrDie().cluster);
     }
+    case Request::Op::kMatch: {
+      Result<MatchResult> result =
+          service_->Match(request.block, request.docs, deadline);
+      if (!result.ok()) return FormatFailure(result.status(), retry);
+      const MatchResult& match = result.ValueOrDie();
+      std::string out = "ok ";
+      out += std::to_string(match.clusters.size());
+      for (size_t i = 0; i < match.clusters.size(); ++i) {
+        out += ' ';
+        out += std::to_string(request.docs[i]);
+        out += ':';
+        out += std::to_string(match.clusters[i]);
+      }
+      return out;
+    }
     case Request::Op::kCompact: {
       Status status = service_->Compact(request.block, deadline);
       if (!status.ok()) return FormatFailure(status, retry);

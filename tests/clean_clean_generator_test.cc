@@ -1,0 +1,165 @@
+// GenerateCleanClean tests: seed determinism (byte-identical corpora and
+// ground truth), per-collection duplicate-freedom, overlap-fraction
+// honoring, truth-bijection well-formedness, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+
+namespace weber {
+namespace corpus {
+namespace {
+
+CleanCleanData Generate(double overlap, uint64_t seed = 0) {
+  GeneratorConfig config = TinyConfig();
+  if (seed != 0) config.seed = seed;
+  auto data = SyntheticWebGenerator(config).GenerateCleanClean(overlap);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return std::move(data).ValueOrDie();
+}
+
+bool DatasetsIdentical(const Dataset& a, const Dataset& b) {
+  if (a.name != b.name || a.blocks.size() != b.blocks.size()) return false;
+  for (size_t i = 0; i < a.blocks.size(); ++i) {
+    const Block& x = a.blocks[i];
+    const Block& y = b.blocks[i];
+    if (x.query != y.query || x.entity_labels != y.entity_labels ||
+        x.documents.size() != y.documents.size()) {
+      return false;
+    }
+    for (size_t d = 0; d < x.documents.size(); ++d) {
+      if (x.documents[d].id != y.documents[d].id ||
+          x.documents[d].url != y.documents[d].url ||
+          x.documents[d].text != y.documents[d].text) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(CleanCleanGenerator, SameSeedIsByteIdentical) {
+  CleanCleanData a = Generate(0.6);
+  CleanCleanData b = Generate(0.6);
+  EXPECT_TRUE(DatasetsIdentical(a.left, b.left));
+  EXPECT_TRUE(DatasetsIdentical(a.right, b.right));
+  EXPECT_EQ(a.truth, b.truth);
+}
+
+TEST(CleanCleanGenerator, DifferentSeedsDiffer) {
+  CleanCleanData a = Generate(0.6, 11);
+  CleanCleanData b = Generate(0.6, 12);
+  EXPECT_FALSE(DatasetsIdentical(a.left, b.left));
+}
+
+TEST(CleanCleanGenerator, CollectionsAreParallelAndNamed) {
+  CleanCleanData data = Generate(0.6);
+  ASSERT_EQ(data.left.blocks.size(), data.right.blocks.size());
+  ASSERT_EQ(data.truth.size(), data.left.blocks.size());
+  EXPECT_NE(data.left.name.find("-left"), std::string::npos);
+  EXPECT_NE(data.right.name.find("-right"), std::string::npos);
+  for (size_t b = 0; b < data.left.blocks.size(); ++b) {
+    EXPECT_EQ(data.left.blocks[b].query, data.right.blocks[b].query);
+    // One page per persona on each side, same page count on both.
+    EXPECT_EQ(data.left.blocks[b].num_documents(),
+              data.right.blocks[b].num_documents());
+  }
+}
+
+TEST(CleanCleanGenerator, EachCollectionIsDuplicateFree) {
+  CleanCleanData data = Generate(0.6);
+  for (const Dataset* side : {&data.left, &data.right}) {
+    for (const Block& block : side->blocks) {
+      std::set<int> labels(block.entity_labels.begin(),
+                           block.entity_labels.end());
+      EXPECT_EQ(static_cast<int>(labels.size()), block.num_documents())
+          << side->name << " block " << block.query
+          << " has two pages for one persona";
+    }
+  }
+}
+
+TEST(CleanCleanGenerator, OverlapFractionIsHonored) {
+  for (double overlap : {0.25, 0.5, 1.0}) {
+    CleanCleanData data = Generate(overlap);
+    for (size_t b = 0; b < data.truth.size(); ++b) {
+      const int entities = data.left.blocks[b].num_documents();
+      const long long expected = std::max(
+          1LL, std::llround(overlap * entities));
+      EXPECT_EQ(static_cast<long long>(data.truth[b].size()), expected)
+          << "overlap " << overlap << " block " << b;
+    }
+  }
+}
+
+TEST(CleanCleanGenerator, FullOverlapIsAPerfectBijection) {
+  CleanCleanData data = Generate(1.0);
+  for (size_t b = 0; b < data.truth.size(); ++b) {
+    EXPECT_EQ(data.truth[b].size(),
+              static_cast<size_t>(data.left.blocks[b].num_documents()));
+  }
+}
+
+TEST(CleanCleanGenerator, TruthIsASortedPartialBijection) {
+  CleanCleanData data = Generate(0.5);
+  for (size_t b = 0; b < data.truth.size(); ++b) {
+    const Block& left = data.left.blocks[b];
+    const Block& right = data.right.blocks[b];
+    std::set<int> lefts, rights;
+    int prev_left = -1;
+    for (const auto& [l, r] : data.truth[b]) {
+      ASSERT_GE(l, 0);
+      ASSERT_LT(l, left.num_documents());
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, right.num_documents());
+      EXPECT_GT(l, prev_left) << "truth not sorted by left document";
+      prev_left = l;
+      EXPECT_TRUE(lefts.insert(l).second) << "left document matched twice";
+      EXPECT_TRUE(rights.insert(r).second) << "right document matched twice";
+    }
+  }
+}
+
+TEST(CleanCleanGenerator, TruthPairsShareAPersonaAndOthersDoNot) {
+  CleanCleanData data = Generate(0.5);
+  for (size_t b = 0; b < data.truth.size(); ++b) {
+    const Block& left = data.left.blocks[b];
+    const Block& right = data.right.blocks[b];
+    std::set<std::pair<int, int>> truth(data.truth[b].begin(),
+                                        data.truth[b].end());
+    for (int l = 0; l < left.num_documents(); ++l) {
+      for (int r = 0; r < right.num_documents(); ++r) {
+        const bool same_persona =
+            left.entity_labels[l] == right.entity_labels[r];
+        EXPECT_EQ(same_persona, truth.count({l, r}) > 0)
+            << "block " << b << " pair (" << l << "," << r << ")";
+      }
+    }
+  }
+}
+
+TEST(CleanCleanGenerator, RejectsBadOverlapFractions) {
+  GeneratorConfig config = TinyConfig();
+  SyntheticWebGenerator gen(config);
+  for (double overlap : {0.0, -0.5, 1.5}) {
+    auto data = gen.GenerateCleanClean(overlap);
+    ASSERT_FALSE(data.ok()) << "overlap " << overlap;
+    EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CleanCleanGenerator, RejectsEmptyConfigs) {
+  GeneratorConfig config = TinyConfig();
+  config.names.clear();
+  auto data = SyntheticWebGenerator(config).GenerateCleanClean(0.5);
+  EXPECT_FALSE(data.ok());
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace weber

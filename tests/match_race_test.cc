@@ -1,0 +1,123 @@
+// Matcher race tests: fixed-seed determinism and the headline ordering —
+// at the paper-style operating point the optimal assignment is at least as
+// good as greedy, which beats the many-to-many threshold baseline on F1.
+
+#include "match/race.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/presets.h"
+
+namespace weber {
+namespace match {
+namespace {
+
+RaceConfig FixedConfig() {
+  RaceConfig config;
+  config.corpus = corpus::TinyConfig();
+  config.corpus.seed = 41;
+  config.overlap_fraction = 0.6;
+  return config;
+}
+
+TEST(MatchRace, RunsEveryEntrantInTableOrder) {
+  auto result = RaceMatchers(FixedConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->entries.size(), 4u);
+  EXPECT_EQ(result->entries[0].matcher, "threshold");
+  EXPECT_EQ(result->entries[1].matcher, "greedy");
+  EXPECT_EQ(result->entries[2].matcher, "greedy+sbm");
+  EXPECT_EQ(result->entries[3].matcher, "optimal");
+  EXPECT_GT(result->blocks, 0);
+  EXPECT_GT(result->left_documents, 0);
+  EXPECT_GT(result->right_documents, 0);
+  EXPECT_GT(result->truth_pairs, 0);
+  EXPECT_GT(result->threshold, 0.0);
+  EXPECT_LT(result->threshold, 1.0);
+}
+
+TEST(MatchRace, OptimalBeatsGreedyBeatsThresholdOnF1) {
+  // The acceptance ordering of the subsystem, pinned by seed: one-to-one
+  // constraints buy precision over the threshold baseline, and the exact
+  // assignment never loses to best-first.
+  auto result = RaceMatchers(FixedConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const double threshold_f1 = result->entries[0].report.f1;
+  const double greedy_f1 = result->entries[1].report.f1;
+  const double optimal_f1 = result->entries[3].report.f1;
+  EXPECT_GE(optimal_f1, greedy_f1);
+  EXPECT_GE(greedy_f1, threshold_f1);
+  // The one-to-one win is strict at this operating point, not a tie.
+  EXPECT_GT(greedy_f1, threshold_f1);
+  // Precision ordering behind it: threshold is the many-to-many floor.
+  EXPECT_GE(result->entries[1].report.precision,
+            result->entries[0].report.precision);
+}
+
+TEST(MatchRace, Www05OperatingPointMatchesExperimentsTable) {
+  // The paper-scale operating point recorded in EXPERIMENTS.md (www05
+  // preset, seed 5): the exact counts are pinned so a similarity or
+  // generator regression that silently shifts the table fails here first.
+  RaceConfig config;
+  config.corpus = corpus::Www05Config();
+  config.corpus.seed = 5;
+  auto result = RaceMatchers(config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->entries.size(), 4u);
+  EXPECT_EQ(result->blocks, 12);
+  EXPECT_EQ(result->truth_pairs, 131);
+  const auto& threshold = result->entries[0].report;
+  const auto& greedy = result->entries[1].report;
+  const auto& optimal = result->entries[3].report;
+  EXPECT_EQ(threshold.true_positives, 96);
+  EXPECT_EQ(greedy.true_positives, 79);
+  EXPECT_EQ(optimal.true_positives, 83);
+  EXPECT_GE(optimal.f1, greedy.f1);
+  EXPECT_GE(greedy.f1, threshold.f1);
+}
+
+TEST(MatchRace, IsDeterministicForAFixedConfig) {
+  auto a = RaceMatchers(FixedConfig());
+  auto b = RaceMatchers(FixedConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Timing fields differ run to run; everything derived from the seed must
+  // not. Compare through the JSON writer minus the match_ms fields.
+  ASSERT_EQ(a->entries.size(), b->entries.size());
+  EXPECT_EQ(a->threshold, b->threshold);
+  EXPECT_EQ(a->train_accuracy, b->train_accuracy);
+  EXPECT_EQ(a->truth_pairs, b->truth_pairs);
+  for (size_t i = 0; i < a->entries.size(); ++i) {
+    EXPECT_EQ(a->entries[i].report.true_positives,
+              b->entries[i].report.true_positives);
+    EXPECT_EQ(a->entries[i].report.false_positives,
+              b->entries[i].report.false_positives);
+    EXPECT_EQ(a->entries[i].report.false_negatives,
+              b->entries[i].report.false_negatives);
+  }
+}
+
+TEST(MatchRace, WritesWellFormedJson) {
+  auto result = RaceMatchers(FixedConfig());
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  WriteRaceJson(*result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"threshold\""), std::string::npos);
+  EXPECT_NE(json.find("\"matchers\""), std::string::npos);
+  EXPECT_NE(json.find("\"greedy+sbm\""), std::string::npos);
+  EXPECT_NE(json.find("\"f1\""), std::string::npos);
+  EXPECT_EQ(json.find("\n\n"), std::string::npos);
+}
+
+TEST(MatchRace, RejectsBadOverlap) {
+  RaceConfig config = FixedConfig();
+  config.overlap_fraction = 0.0;
+  EXPECT_FALSE(RaceMatchers(config).ok());
+}
+
+}  // namespace
+}  // namespace match
+}  // namespace weber

@@ -1,0 +1,232 @@
+// weber::match matcher tests: threshold/greedy/optimal semantics, the
+// Hungarian solver against brute-force enumeration on small random
+// matrices, the size-cutoff fallback, and symmetric-best-match filtering.
+
+#include "match/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace weber {
+namespace match {
+namespace {
+
+ScoreMatrix Matrix(int rows, int cols, std::vector<double> values) {
+  ScoreMatrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.set(r, c, values[r * cols + c]);
+  }
+  return m;
+}
+
+std::set<std::pair<int, int>> PairSet(const Matching& matching) {
+  std::set<std::pair<int, int>> out;
+  for (const MatchedPair& p : matching.pairs) out.emplace(p.left, p.right);
+  return out;
+}
+
+/// True iff no left or right index appears twice.
+bool IsOneToOne(const Matching& matching) {
+  std::set<int> lefts, rights;
+  for (const MatchedPair& p : matching.pairs) {
+    if (!lefts.insert(p.left).second) return false;
+    if (!rights.insert(p.right).second) return false;
+  }
+  return true;
+}
+
+/// Sum of reduced weights (score - threshold) over the matched pairs — the
+/// objective SolveOptimalAssignment maximizes.
+double Gain(const Matching& matching, const ScoreMatrix& scores,
+            double threshold) {
+  double gain = 0.0;
+  for (const MatchedPair& p : matching.pairs) {
+    gain += scores.at(p.left, p.right) - threshold;
+  }
+  return gain;
+}
+
+/// Brute-force maximum assignment gain: every row picks a distinct free
+/// column (or none); only pairs strictly above the threshold contribute.
+double BruteForceGain(const ScoreMatrix& scores, double threshold, int row,
+                      std::vector<char>* used) {
+  if (row == scores.rows()) return 0.0;
+  double best = BruteForceGain(scores, threshold, row + 1, used);  // skip row
+  for (int c = 0; c < scores.cols(); ++c) {
+    if ((*used)[c] || scores.at(row, c) <= threshold) continue;
+    (*used)[c] = 1;
+    best = std::max(best, scores.at(row, c) - threshold +
+                              BruteForceGain(scores, threshold, row + 1, used));
+    (*used)[c] = 0;
+  }
+  return best;
+}
+
+double BruteForceGain(const ScoreMatrix& scores, double threshold) {
+  std::vector<char> used(scores.cols(), 0);
+  return BruteForceGain(scores, threshold, 0, &used);
+}
+
+TEST(ThresholdMatcher, KeepsEveryEdgeAtOrAboveThreshold) {
+  ScoreMatrix scores = Matrix(2, 2, {0.9, 0.5, 0.4, 0.6});
+  MatcherOptions options;
+  options.threshold = 0.5;
+  Matching matching = MakeThresholdMatcher(options)->Match(scores);
+  EXPECT_EQ(PairSet(matching),
+            (std::set<std::pair<int, int>>{{0, 0}, {0, 1}, {1, 1}}));
+  EXPECT_NEAR(matching.total_score, 0.9 + 0.5 + 0.6, 1e-12);
+}
+
+TEST(ThresholdMatcher, IsManyToMany) {
+  // One left document similar to every right document: the threshold
+  // matcher keeps all of them (it is the many-to-many baseline).
+  ScoreMatrix scores = Matrix(1, 3, {0.8, 0.9, 0.7});
+  Matching matching = MakeThresholdMatcher()->Match(scores);
+  EXPECT_EQ(matching.pairs.size(), 3u);
+  EXPECT_FALSE(IsOneToOne(matching));
+}
+
+TEST(ThresholdMatcher, EmptyMatrixYieldsEmptyMatching) {
+  Matching matching = MakeThresholdMatcher()->Match(ScoreMatrix());
+  EXPECT_TRUE(matching.pairs.empty());
+  EXPECT_EQ(matching.total_score, 0.0);
+}
+
+TEST(GreedyMatcher, TakesEdgesBestFirstWhileEndpointsFree) {
+  // Best edge (0,0)=0.9 blocks both cheaper completions; greedy ends with
+  // one pair where the optimal assignment would find two.
+  ScoreMatrix scores = Matrix(2, 2, {0.9, 0.8, 0.85, 0.2});
+  MatcherOptions options;
+  options.threshold = 0.5;
+  Matching greedy = MakeGreedyMatcher(options)->Match(scores);
+  EXPECT_EQ(PairSet(greedy), (std::set<std::pair<int, int>>{{0, 0}}));
+
+  Matching optimal = MakeOptimalMatcher(options)->Match(scores);
+  EXPECT_EQ(PairSet(optimal), (std::set<std::pair<int, int>>{{0, 1}, {1, 0}}));
+  EXPECT_GT(optimal.total_score, greedy.total_score);
+}
+
+TEST(GreedyMatcher, OutputIsOneToOneAndSorted) {
+  Rng rng(7);
+  ScoreMatrix scores(6, 5);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 5; ++c) scores.set(r, c, rng.UniformDouble());
+  }
+  Matching matching = MakeGreedyMatcher()->Match(scores);
+  EXPECT_TRUE(IsOneToOne(matching));
+  EXPECT_TRUE(std::is_sorted(
+      matching.pairs.begin(), matching.pairs.end(),
+      [](const MatchedPair& a, const MatchedPair& b) {
+        return a.left != b.left ? a.left < b.left : a.right < b.right;
+      }));
+  for (const MatchedPair& p : matching.pairs) {
+    EXPECT_GE(scores.at(p.left, p.right), 0.5);
+  }
+}
+
+TEST(OptimalMatcher, MatchesBruteForceOnSmallRandomMatrices) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const int rows = 1 + static_cast<int>(rng.UniformUint64(4));
+    const int cols = 1 + static_cast<int>(rng.UniformUint64(4));
+    ScoreMatrix scores(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) scores.set(r, c, rng.UniformDouble());
+    }
+    const double threshold = 0.3;
+    Matching matching = SolveOptimalAssignment(scores, threshold);
+    EXPECT_TRUE(IsOneToOne(matching)) << "seed " << seed;
+    for (const MatchedPair& p : matching.pairs) {
+      EXPECT_GE(scores.at(p.left, p.right), threshold) << "seed " << seed;
+    }
+    EXPECT_NEAR(Gain(matching, scores, threshold),
+                BruteForceGain(scores, threshold), 1e-9)
+        << "seed " << seed << " rows " << rows << " cols " << cols;
+  }
+}
+
+TEST(OptimalMatcher, HandlesBothRectangularOrientations) {
+  // Wide: 1 row, 3 cols — picks the single best column.
+  ScoreMatrix wide = Matrix(1, 3, {0.6, 0.9, 0.7});
+  Matching m = SolveOptimalAssignment(wide, 0.5);
+  EXPECT_EQ(PairSet(m), (std::set<std::pair<int, int>>{{0, 1}}));
+
+  // Tall: 3 rows, 1 col — same matrix transposed.
+  ScoreMatrix tall = Matrix(3, 1, {0.6, 0.9, 0.7});
+  m = SolveOptimalAssignment(tall, 0.5);
+  EXPECT_EQ(PairSet(m), (std::set<std::pair<int, int>>{{1, 0}}));
+}
+
+TEST(OptimalMatcher, LeavesBelowThresholdPairsUnmatched) {
+  ScoreMatrix scores = Matrix(2, 2, {0.2, 0.1, 0.3, 0.4});
+  Matching matching = SolveOptimalAssignment(scores, 0.5);
+  EXPECT_TRUE(matching.pairs.empty());
+}
+
+TEST(OptimalMatcher, FallsBackToGreedyAboveSizeCutoff) {
+  // The 2x2 trap above: optimal and greedy disagree, so the fallback is
+  // observable through the output.
+  ScoreMatrix scores = Matrix(2, 2, {0.9, 0.8, 0.85, 0.2});
+  MatcherOptions options;
+  options.threshold = 0.5;
+  options.optimal_size_cutoff = 1;
+  Matching fallback = MakeOptimalMatcher(options)->Match(scores);
+  Matching greedy = MakeGreedyMatcher(options)->Match(scores);
+  EXPECT_EQ(PairSet(fallback), PairSet(greedy));
+}
+
+TEST(SymmetricBest, KeepsOnlyReciprocalBestPairs) {
+  // Row 0's best is col 0 and col 0's best is row 0 — kept. Row 1's best
+  // is col 0 (taken from its perspective), so its threshold edge to col 1
+  // is not reciprocal-best and gets dropped.
+  ScoreMatrix scores = Matrix(2, 2, {0.9, 0.6, 0.8, 0.55});
+  Matching all = MakeThresholdMatcher()->Match(scores);
+  ASSERT_EQ(all.pairs.size(), 4u);
+  Matching filtered = FilterSymmetricBest(scores, all);
+  EXPECT_EQ(PairSet(filtered), (std::set<std::pair<int, int>>{{0, 0}}));
+}
+
+TEST(SymmetricBest, ComposesWithAnyMatcherViaOptions) {
+  ScoreMatrix scores = Matrix(2, 2, {0.9, 0.6, 0.8, 0.55});
+  MatcherOptions options;
+  options.symmetric_best = true;
+  Matching matching = MakeThresholdMatcher(options)->Match(scores);
+  EXPECT_EQ(PairSet(matching), (std::set<std::pair<int, int>>{{0, 0}}));
+}
+
+TEST(SymmetricBest, TiesBreakTowardLowestIndex) {
+  // Both columns score 0.8 against row 0: the row's best is col 0, so only
+  // (0,0) can be reciprocal-best.
+  ScoreMatrix scores = Matrix(1, 2, {0.8, 0.8});
+  Matching filtered =
+      FilterSymmetricBest(scores, MakeThresholdMatcher()->Match(scores));
+  EXPECT_EQ(PairSet(filtered), (std::set<std::pair<int, int>>{{0, 0}}));
+}
+
+TEST(Matching, LeftAssignmentMapsUnmatchedToMinusOne) {
+  Matching matching;
+  matching.pairs = {{0, 2, 0.9}, {2, 0, 0.8}};
+  EXPECT_EQ(matching.LeftAssignment(4), (std::vector<int>{2, -1, 0, -1}));
+}
+
+TEST(MakeMatcherByName, ResolvesKnownKindsAndRejectsUnknown) {
+  for (const char* kind : {"threshold", "greedy", "optimal"}) {
+    auto matcher = MakeMatcher(kind);
+    ASSERT_TRUE(matcher.ok()) << kind;
+    EXPECT_EQ((*matcher)->name(), kind);
+  }
+  auto bad = MakeMatcher("hungarian-ish");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace match
+}  // namespace weber

@@ -1,0 +1,119 @@
+// Pairwise matching metrics: precision/recall/F1 over a ground-truth
+// partial bijection, the degenerate-denominator conventions, and
+// micro-averaged aggregation across blocks.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace weber {
+namespace eval {
+namespace {
+
+using Pairs = std::vector<std::pair<int, int>>;
+
+TEST(MatchingMetrics, PerfectPredictionScoresOne) {
+  Pairs truth = {{0, 0}, {1, 2}, {2, 1}};
+  MatchingReport report = EvaluateMatching(truth, truth);
+  EXPECT_EQ(report.true_positives, 3);
+  EXPECT_EQ(report.false_positives, 0);
+  EXPECT_EQ(report.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.f1, 1.0);
+}
+
+TEST(MatchingMetrics, CountsHitsMissesAndSpurious) {
+  Pairs truth = {{0, 0}, {1, 1}};
+  Pairs predicted = {{0, 0}, {2, 2}};
+  MatchingReport report = EvaluateMatching(truth, predicted);
+  EXPECT_EQ(report.true_positives, 1);
+  EXPECT_EQ(report.false_positives, 1);
+  EXPECT_EQ(report.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(report.precision, 0.5);
+  EXPECT_DOUBLE_EQ(report.recall, 0.5);
+  EXPECT_DOUBLE_EQ(report.f1, 0.5);
+}
+
+TEST(MatchingMetrics, OrderOfPairsDoesNotMatter) {
+  Pairs truth = {{1, 1}, {0, 0}};
+  Pairs predicted = {{0, 0}, {1, 1}};
+  MatchingReport report = EvaluateMatching(truth, predicted);
+  EXPECT_EQ(report.true_positives, 2);
+  EXPECT_DOUBLE_EQ(report.f1, 1.0);
+}
+
+TEST(MatchingMetrics, DuplicatePredictionsCollapse) {
+  Pairs truth = {{0, 0}};
+  Pairs predicted = {{0, 0}, {0, 0}, {0, 0}};
+  MatchingReport report = EvaluateMatching(truth, predicted);
+  EXPECT_EQ(report.true_positives, 1);
+  EXPECT_EQ(report.false_positives, 0);
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+}
+
+TEST(MatchingMetrics, NoPredictionsMeansVacuousPrecision) {
+  // Empty prediction sets make no mistakes: precision 1, recall 0.
+  Pairs truth = {{0, 0}, {1, 1}};
+  MatchingReport report = EvaluateMatching(truth, {});
+  EXPECT_EQ(report.true_positives, 0);
+  EXPECT_EQ(report.false_negatives, 2);
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.recall, 0.0);
+  EXPECT_DOUBLE_EQ(report.f1, 0.0);
+}
+
+TEST(MatchingMetrics, NoTruthMeansVacuousRecall) {
+  Pairs predicted = {{0, 0}};
+  MatchingReport report = EvaluateMatching({}, predicted);
+  EXPECT_EQ(report.false_positives, 1);
+  EXPECT_DOUBLE_EQ(report.precision, 0.0);
+  EXPECT_DOUBLE_EQ(report.recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.f1, 0.0);
+}
+
+TEST(MatchingMetrics, EmptyTruthAndPredictionIsPerfect) {
+  MatchingReport report = EvaluateMatching({}, {});
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.f1, 1.0);
+}
+
+TEST(MatchingMetrics, UnmatchedTruthPairsCountAsMisses) {
+  // A matcher that leaves everything unmatched must not score well just
+  // because it produced nothing wrong.
+  Pairs truth = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  Pairs predicted = {{0, 0}};
+  MatchingReport report = EvaluateMatching(truth, predicted);
+  EXPECT_EQ(report.false_negatives, 3);
+  EXPECT_DOUBLE_EQ(report.recall, 0.25);
+}
+
+TEST(MatchingMetrics, SumIsMicroAveraged) {
+  // Block 1: 1 tp, 1 fp, 0 fn. Block 2: 1 tp, 0 fp, 3 fn. Micro-average
+  // sums the counts first: P = 2/3, R = 2/5 — not the mean of the
+  // per-block rates.
+  MatchingReport a = EvaluateMatching({{0, 0}}, {{0, 0}, {1, 1}});
+  MatchingReport b =
+      EvaluateMatching({{0, 0}, {1, 1}, {2, 2}, {3, 3}}, {{0, 0}});
+  MatchingReport sum = SumMatchingReports({a, b});
+  EXPECT_EQ(sum.true_positives, 2);
+  EXPECT_EQ(sum.false_positives, 1);
+  EXPECT_EQ(sum.false_negatives, 3);
+  EXPECT_DOUBLE_EQ(sum.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(sum.recall, 2.0 / 5.0);
+}
+
+TEST(MatchingMetrics, SumOfNothingIsPerfect) {
+  MatchingReport sum = SumMatchingReports({});
+  EXPECT_EQ(sum.true_positives, 0);
+  EXPECT_DOUBLE_EQ(sum.precision, 1.0);
+  EXPECT_DOUBLE_EQ(sum.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace weber

@@ -323,6 +323,25 @@ TEST_F(RouterEndToEndTest, ReadsFailOverToALiveBackend) {
   EXPECT_NE(router.backend(order[0]).state, HealthState::kHealthy);
 }
 
+TEST_F(RouterEndToEndTest, MatchRoutesToTheOwnerAndFailsOver) {
+  Router router(endpoints_, FastOptions());
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("match " + block + " 0 1 2", &quit),
+            Tag(order[0]));
+  // The owner saw the verb with its document list intact.
+  auto lines = backends_[order[0]]->lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "match " + block + " 0 1 2");
+
+  // match is an idempotent snapshot read: a dead owner must not take the
+  // verb down with it.
+  backends_[order[0]]->Kill();
+  EXPECT_EQ(router.HandleLine("match " + block + " 0 1", &quit),
+            Tag(order[1]));
+}
+
 TEST_F(RouterEndToEndTest, WriteToADeadOwnerDegradesHonestly) {
   auto options = FastOptions();
   options.health.suspect_after = 1;

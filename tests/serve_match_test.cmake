@@ -1,0 +1,94 @@
+# `match` verb smoke over the real weber_serve binary: a scripted stdio
+# session that assigns, compacts, matches, and checks the stats gating
+# (no match counters before the verb is used, counters after). Invoked by
+# ctest with -DWEBER_BIN=<weber> -DSERVE_BIN=<weber_serve>
+# -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+# Session A never uses the verb: its stats line must not mention matches
+# (byte-compatibility with match-free deployments).
+file(WRITE "${WORK_DIR}/no_match.txt" "\
+assign cohen 0
+compact cohen
+stats
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+  INPUT_FILE ${WORK_DIR}/no_match.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "match-free session failed (${rc}):\n${out}\n${err}")
+endif()
+if(out MATCHES "match")
+  message(FATAL_ERROR "match-free stats mention the match subsystem:\n${out}")
+endif()
+
+# Session B: match against the compacted snapshot, then with a deadline,
+# then malformed requests that must err without killing the server.
+file(WRITE "${WORK_DIR}/match.txt" "\
+assign cohen 0
+assign cohen 1
+assign cohen 2
+compact cohen
+match cohen 0 1 2
+match cohen 2 deadline 10000
+match cohen
+match cohen 99999
+match nonesuch 0
+stats
+quit
+")
+execute_process(
+  COMMAND ${SERVE_BIN} --dataset=${WORK_DIR}/dataset.txt
+          --gazetteer=${WORK_DIR}/gazetteer.txt
+  INPUT_FILE ${WORK_DIR}/match.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "match session failed (${rc}):\n${out}\n${err}")
+endif()
+
+string(REPLACE "\n" ";" lines "${out}")
+list(GET lines 4 l_match)
+list(GET lines 5 l_deadline)
+list(GET lines 6 l_noargs)
+list(GET lines 7 l_range)
+list(GET lines 8 l_block)
+list(GET lines 9 l_stats)
+if(NOT l_match MATCHES "^ok 3 0:-?[0-9]+ 1:-?[0-9]+ 2:-?[0-9]+$")
+  message(FATAL_ERROR "match response unexpected: ${l_match}")
+endif()
+if(NOT l_deadline MATCHES "^ok 1 2:-?[0-9]+$")
+  message(FATAL_ERROR "deadline match response unexpected: ${l_deadline}")
+endif()
+if(NOT l_noargs MATCHES "^err InvalidArgument")
+  message(FATAL_ERROR "argless match should err InvalidArgument: ${l_noargs}")
+endif()
+if(NOT l_range MATCHES "^err InvalidArgument")
+  message(FATAL_ERROR "out-of-range match should err: ${l_range}")
+endif()
+if(NOT l_block MATCHES "^err NotFound")
+  message(FATAL_ERROR "unknown-block match should err NotFound: ${l_block}")
+endif()
+if(NOT l_stats MATCHES "\"matches\":2")
+  message(FATAL_ERROR "stats should count 2 matches: ${l_stats}")
+endif()
+if(NOT l_stats MATCHES "\"match\"")
+  message(FATAL_ERROR "stats lacks the match endpoint section: ${l_stats}")
+endif()
+
+message(STATUS "weber_serve match smoke test passed")

@@ -720,6 +720,11 @@ int Run(int argc, char** argv) {
                "in --out so a run can be replayed exactly)");
   flags.AddInt("retries", 5,
                "max reconnect-and-resend attempts per transport failure");
+  flags.AddInt("match_docs", 0,
+               "documents per `match` request in the match storm "
+               "(0 disables the phase)");
+  flags.AddInt("matches", 1000,
+               "total match requests when --match_docs > 0");
   flags.AddString("out", "BENCH_serve.json", "benchmark report path");
   flags.AddBool("overload", false,
                 "run the open-loop overload experiment instead of the "
@@ -850,6 +855,58 @@ int Run(int argc, char** argv) {
   if (!query_stats.ok()) return Fail(query_stats.status());
   PrintPhase("query", *query_stats);
 
+  // Phase 3b (opt-in): match storm. Each request asks the server to
+  // one-to-one match a random distinct-document batch against its shard's
+  // snapshot, built through the shared protocol formatter so the request
+  // shape cannot drift from the server's parser. A served "ok" whose pair
+  // count disagrees with the request is an error — the server broke the
+  // match contract, not the transport.
+  const int match_docs = std::max(0, flags.GetInt("match_docs"));
+  const long long total_matches = std::max(1, flags.GetInt("matches"));
+  const bool match_run = match_docs > 0;
+  PhaseStats match_phase;
+  if (match_run) {
+    std::atomic<long long> match_tickets{0};
+    auto match_stats = RunPhase(
+        host, port, clients,
+        [&](int k, serve::LineConnection& conn, std::vector<double>& lat,
+            ClientCounters& counters) -> Status {
+          Rng rng(query_seed + 0xA7C4ULL +
+                  static_cast<uint64_t>(k) * 0x9E37ULL);
+          while (match_tickets.fetch_add(1, std::memory_order_relaxed) <
+                 total_matches) {
+            const size_t b = static_cast<size_t>(
+                rng.UniformUint64(static_cast<uint64_t>(
+                    dataset->blocks.size())));
+            const corpus::Block& block = dataset->blocks[b];
+            const int block_size = static_cast<int>(block.documents.size());
+            serve::Request request;
+            request.op = serve::Request::Op::kMatch;
+            request.block = block.query;
+            request.docs = rng.SampleWithoutReplacement(
+                block_size, std::min(match_docs, block_size));
+            const std::string line = serve::FormatRequest(request);
+            WallTimer timer;
+            WEBER_ASSIGN_OR_RETURN(
+                std::string response,
+                CallWithRetry(conn, host, port, line, max_retries, rng,
+                              counters));
+            lat.push_back(timer.ElapsedMillis());
+            ClassifyResponse(response, counters);
+            if (response.rfind("ok", 0) == 0) {
+              auto pairs = serve::ParseMatchResponse(response);
+              if (!pairs.ok() || pairs->size() != request.docs.size()) {
+                ++counters.errors;
+              }
+            }
+          }
+          return Status::OK();
+        });
+    if (!match_stats.ok()) return Fail(match_stats.status());
+    match_phase = *match_stats;
+    PrintPhase("match", match_phase);
+  }
+
   // Server-side stats (cache hit rate etc.) as reported after the storm.
   std::string server_stats;
   {
@@ -946,6 +1003,8 @@ int Run(int argc, char** argv) {
   WritePhaseJson(json, "assign", *assign_stats);
   json.Key("compact_all_ms").Number(compact_ms);
   WritePhaseJson(json, "query", *query_stats);
+  // Only when exercised, so default runs stay byte-compatible.
+  if (match_run) WritePhaseJson(json, "match", match_phase);
   json.Key("cache_hit_rate").Number(hit_rate);
   json.Key("metrics_lines").Number(metrics_lines);
   json.Key("metrics_families").Number(metrics_families);
@@ -957,7 +1016,8 @@ int Run(int argc, char** argv) {
   out << "\n";
   std::cout << "wrote " << out_path << "\n";
 
-  if (assign_stats->errors > 0 || query_stats->errors > 0) {
+  if (assign_stats->errors > 0 || query_stats->errors > 0 ||
+      match_phase.errors > 0) {
     return Fail(Status::Internal("request errors during the storm"));
   }
   if (shards_mismatched > 0) {
