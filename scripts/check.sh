@@ -6,7 +6,8 @@
 #
 # Usage: scripts/check.sh
 #          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
-#           --overload-only|--obs-only|--router-only|--match-only]
+#           --overload-only|--obs-only|--router-only|--match-only|
+#           --migrate-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
@@ -25,6 +26,12 @@
 # `match` serve-verb tests, the stdio smoke, and a matcher-race run
 # through the shipped binary.
 #
+# --migrate-only: the live-migration suite under ASan/UBSan — the
+# export/import framing and service tests, the route-override router
+# tests, and 3 seeded runs of the migration drill (SIGKILL the source
+# mid-copy and mid-flip, assert rollback/completion, zero acked-write
+# loss, and dump byte-identity through the router).
+#
 # --router-only: the fleet-routing suite under ASan/UBSan — the
 # health-machine / route-order / failover unit tests, the shared response
 # parser tests, and the 3-backend kill drill (SIGKILL a backend mid-storm
@@ -41,7 +48,7 @@ MODE="${1:-all}"
 # (service, server, cache, batcher), the shared executor pool, the
 # incremental resolver the serving hot path drives, and the observability
 # primitives (striped counters, trace ring buffer, registry export).
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch'
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch|MigrateService|MigrateWire'
 
 run_suite() {
   local dir="$1"; shift
@@ -125,6 +132,29 @@ if [[ "$MODE" == "--router-only" ]]; then
       --seed="$seed" --out="$scratch/BENCH_fleet.json"
   done
   echo "==> router checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--migrate-only" ]]; then
+  echo "==> live-migration suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'ExportFrame|ExportHeader|ImportBlob|HexCodec|MigrateService|MigrateWire|RouterEndToEnd|DialTcp|LineSocket|serve_migrate_smoke'
+  scratch="build-asan/migrate_drill"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  ./build-asan/tools/weber generate --preset=tiny --out="$scratch"
+  for seed in 1 2 3; do
+    echo "==> migrate drill: SIGKILL mid-copy + mid-flip, seed $seed"
+    rm -rf "$scratch/store"
+    ./build-asan/tools/weber_crashtest \
+      --dataset="$scratch/dataset.txt" \
+      --gazetteer="$scratch/gazetteer.txt" \
+      --serve_bin=./build-asan/tools/weber_serve \
+      --data_dir="$scratch/store" --migrate --writers=4 \
+      --seed="$seed" --out="$scratch/BENCH_migrate.json"
+  done
+  echo "==> migrate checks passed"
   exit 0
 fi
 

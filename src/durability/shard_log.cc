@@ -103,6 +103,35 @@ Status ShardLog::PublishSnapshot(const ShardSnapshotData& data,
   return PruneSnapshots(data.version);
 }
 
+Status ShardLog::ResetToImport(const ShardSnapshotData& data,
+                               const std::vector<WalRecord>& tail) {
+  const bool sync = options_.fsync != FsyncPolicy::kNever;
+  WEBER_RETURN_NOT_OK(WriteSnapshotFile(
+      dir_ + "/" + SnapshotFileName(data.version), data, sync));
+  ++snapshots_written_;
+  // The old WAL describes the replaced state; restart before the tail so
+  // replay sees only records that belong to the imported snapshot.
+  WEBER_RETURN_NOT_OK(wal_->Restart());
+  ++wal_truncations_;
+  for (const WalRecord& record : tail) {
+    WEBER_RETURN_NOT_OK(Append(record));
+  }
+  WEBER_RETURN_NOT_OK(Append(WalRecord::SnapshotPublished(data.version)));
+  WEBER_RETURN_NOT_OK(Sync());
+  // PruneSnapshots only removes versions <= newest; an import may carry a
+  // *lower* version than what this directory held before, so sweep every
+  // other snapshot file explicitly or recovery would resurrect stale state.
+  WEBER_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                         ListDirectory(dir_));
+  for (const std::string& name : names) {
+    uint64_t version = 0;
+    if (ParseSnapshotFileName(name, &version) && version != data.version) {
+      WEBER_RETURN_NOT_OK(RemoveFileIfExists(dir_ + "/" + name));
+    }
+  }
+  return Status::OK();
+}
+
 Status ShardLog::PruneSnapshots(uint64_t newest_version) {
   if (options_.keep_snapshots <= 0) {
     return Status::OK();

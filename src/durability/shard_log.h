@@ -86,6 +86,17 @@ class ShardLog {
   /// snapshot published and prunes old snapshot files.
   Status PublishSnapshot(const ShardSnapshotData& data, bool covers_all);
 
+  /// Replaces the shard's entire durable state with an imported snapshot
+  /// plus its WAL tail (shard migration): writes the snapshot file,
+  /// restarts the WAL, re-appends the tail records durably, then removes
+  /// every other snapshot file — including *newer*-versioned leftovers a
+  /// previous incarnation may have written, which recovery would otherwise
+  /// prefer over the imported state. A crash mid-sequence leaves the
+  /// directory recoverable (stale but structurally valid), which is safe
+  /// because the router only flips ownership after the import acks.
+  Status ResetToImport(const ShardSnapshotData& data,
+                       const std::vector<WalRecord>& tail);
+
   const std::string& dir() const { return dir_; }
   uint64_t wal_bytes() const { return wal_->bytes(); }
   long long wal_appends() const { return wal_->appends(); }

@@ -45,9 +45,7 @@ uint64_t GetU64(const char* p) {
 
 }  // namespace
 
-Status WriteSnapshotFile(const std::string& path,
-                         const ShardSnapshotData& data, bool sync) {
-  WEBER_RETURN_NOT_OK(faults::MaybeFail("serve.snapshot.write"));
+Result<std::string> EncodeSnapshotPayload(const ShardSnapshotData& data) {
   if (data.canonical_ids.size() != data.labels.size()) {
     return Status::InvalidArgument("snapshot has ", data.canonical_ids.size(),
                                    " canonical ids but ", data.labels.size(),
@@ -70,27 +68,27 @@ Status WriteSnapshotFile(const std::string& path,
     PutU32(&out, static_cast<uint32_t>(label));
   }
   PutU32(&out, Crc32c(out.data(), out.size()));
-  return WriteFileAtomic(path, out, sync);
+  return out;
 }
 
-Result<ShardSnapshotData> ReadSnapshotFile(const std::string& path) {
-  WEBER_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
-  if (contents.size() < kHeaderBytes + 4) {
-    return Status::Corruption("snapshot ", path, " is ", contents.size(),
+Result<ShardSnapshotData> DecodeSnapshotPayload(const std::string& payload,
+                                                const std::string& origin) {
+  if (payload.size() < kHeaderBytes + 4) {
+    return Status::Corruption("snapshot ", origin, " is ", payload.size(),
                               " bytes, below the minimum of ",
                               kHeaderBytes + 4);
   }
-  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("snapshot ", path, " has a bad magic number");
+  if (std::memcmp(payload.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("snapshot ", origin, " has a bad magic number");
   }
-  const uint32_t stored_crc = GetU32(contents.data() + contents.size() - 4);
-  if (Crc32c(contents.data(), contents.size() - 4) != stored_crc) {
-    return Status::Corruption("snapshot ", path, " failed its checksum");
+  const uint32_t stored_crc = GetU32(payload.data() + payload.size() - 4);
+  if (Crc32c(payload.data(), payload.size() - 4) != stored_crc) {
+    return Status::Corruption("snapshot ", origin, " failed its checksum");
   }
-  const char* p = contents.data() + 4;
+  const char* p = payload.data() + 4;
   const uint32_t format = GetU32(p);
   if (format != kFormatVersion) {
-    return Status::Corruption("snapshot ", path, " has format version ",
+    return Status::Corruption("snapshot ", origin, " has format version ",
                               format, ", expected ", kFormatVersion);
   }
   ShardSnapshotData data;
@@ -98,14 +96,14 @@ Result<ShardSnapshotData> ReadSnapshotFile(const std::string& path) {
   const uint64_t threshold_bits = GetU64(p + 12);
   std::memcpy(&data.threshold, &threshold_bits, sizeof(data.threshold));
   const uint32_t n = GetU32(p + 20);
-  if (contents.size() != kHeaderBytes + 8ull * n + 4) {
-    return Status::Corruption("snapshot ", path, " declares ", n,
-                              " documents but is ", contents.size(),
+  if (payload.size() != kHeaderBytes + 8ull * n + 4) {
+    return Status::Corruption("snapshot ", origin, " declares ", n,
+                              " documents but is ", payload.size(),
                               " bytes");
   }
   data.canonical_ids.reserve(n);
   data.labels.reserve(n);
-  const char* ids = contents.data() + kHeaderBytes;
+  const char* ids = payload.data() + kHeaderBytes;
   const char* labels = ids + 4ull * n;
   for (uint32_t i = 0; i < n; ++i) {
     data.canonical_ids.push_back(static_cast<int32_t>(GetU32(ids + 4 * i)));
@@ -114,6 +112,18 @@ Result<ShardSnapshotData> ReadSnapshotFile(const std::string& path) {
     data.labels.push_back(static_cast<int32_t>(GetU32(labels + 4 * i)));
   }
   return data;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const ShardSnapshotData& data, bool sync) {
+  WEBER_RETURN_NOT_OK(faults::MaybeFail("serve.snapshot.write"));
+  WEBER_ASSIGN_OR_RETURN(const std::string out, EncodeSnapshotPayload(data));
+  return WriteFileAtomic(path, out, sync);
+}
+
+Result<ShardSnapshotData> ReadSnapshotFile(const std::string& path) {
+  WEBER_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+  return DecodeSnapshotPayload(contents, path);
 }
 
 std::string SnapshotFileName(uint64_t version) {

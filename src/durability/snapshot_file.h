@@ -42,6 +42,18 @@ struct ShardSnapshotData {
   std::vector<int32_t> labels;
 };
 
+/// Serializes `data` to the exact on-disk byte layout (magic through the
+/// trailing CRC32C). Shard migration streams these bytes over the wire so
+/// a migrated snapshot is bit-for-bit what a local compaction would have
+/// written. InvalidArgument when ids and labels disagree in length.
+Result<std::string> EncodeSnapshotPayload(const ShardSnapshotData& data);
+
+/// Inverse of EncodeSnapshotPayload with full structural and checksum
+/// validation; `origin` names the source in error messages (a file path
+/// or a peer endpoint). Any failure is Status::Corruption.
+Result<ShardSnapshotData> DecodeSnapshotPayload(const std::string& payload,
+                                                const std::string& origin);
+
 /// Serializes and writes `data` atomically; with `sync`, durable on return.
 Status WriteSnapshotFile(const std::string& path,
                          const ShardSnapshotData& data, bool sync);

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/json_writer.h"
 #include "common/string_util.h"
 
@@ -62,6 +63,30 @@ std::vector<size_t> Router::RouteOrder(const std::string& block, size_t n) {
   return order;
 }
 
+std::vector<size_t> Router::EffectiveOrder(const std::string& block) const {
+  std::vector<size_t> order = RouteOrder(block, backends_.size());
+  std::lock_guard<std::mutex> lock(route_mu_);
+  auto it = route_override_.find(block);
+  if (it == route_override_.end()) return order;
+  // The override target moves to the front; everything else keeps its
+  // rendezvous rank as the failover order (the old owner becomes an
+  // ordinary candidate — "source drop" is just losing first place).
+  auto pos = std::find(order.begin(), order.end(), it->second);
+  if (pos != order.end()) order.erase(pos);
+  order.insert(order.begin(), it->second);
+  return order;
+}
+
+void Router::SetRouteOverride(const std::string& block,
+                              size_t backend_index) {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (backend_index >= backends_.size()) {
+    route_override_.erase(block);
+  } else {
+    route_override_[block] = backend_index;
+  }
+}
+
 Router::Router(std::vector<std::string> endpoints, RouterOptions options)
     : options_(options), epoch_(std::chrono::steady_clock::now()),
       rng_(options.seed) {
@@ -84,6 +109,20 @@ Router::Router(std::vector<std::string> endpoints, RouterOptions options)
                                        "Health probes attempted");
   probe_failures_ = registry_.GetCounter("weber_router_probe_failures_total",
                                          "Health probes failed");
+  if (options_.replicas > 1) {
+    // Registered only when replication is on, so a default fleet's metrics
+    // exposition stays byte-identical to a replication-free build.
+    replicated_writes_ = registry_.GetCounter(
+        "weber_router_replicated_writes_total",
+        "Acked writes forwarded to standby backends");
+    replication_failures_ = registry_.GetCounter(
+        "weber_router_replication_failures_total",
+        "Standby forwards that failed (the standby catches up at the next "
+        "migration or restart)");
+    replication_drops_ = registry_.GetCounter(
+        "weber_router_replication_drops_total",
+        "Acked writes dropped at the replication queue cap");
+  }
   backends_.reserve(endpoints.size());
   for (const std::string& endpoint : endpoints) {
     auto backend = std::make_unique<Backend>();
@@ -123,6 +162,13 @@ void Router::Start() {
     prober_stop_ = false;
   }
   prober_ = std::thread([this] { ProberLoop(); });
+  if (options_.replicas > 1 && !replicator_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      repl_stop_ = false;
+    }
+    replicator_ = std::thread([this] { ReplicatorLoop(); });
+  }
 }
 
 void Router::Stop() {
@@ -133,6 +179,14 @@ void Router::Stop() {
     }
     prober_cv_.notify_all();
     if (prober_.joinable()) prober_.join();
+  }
+  if (replicator_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      repl_stop_ = true;
+    }
+    repl_cv_.notify_all();
+    replicator_.join();
   }
   for (auto& backend : backends_) {
     std::lock_guard<std::mutex> lock(backend->mu);
@@ -209,8 +263,31 @@ bool Router::BackoffSleep(int attempt, double remaining_ms) {
 std::string Router::ForwardWrite(const serve::Request& request) {
   const serve::RequestDeadline deadline =
       serve::RequestDeadline::In(request.deadline_ms);
-  Backend& owner =
-      *backends_[RouteOrder(request.block, backends_.size())[0]];
+  // The in-flight count is raised BEFORE the pause check: a migration
+  // pauses the block and then waits for this count to drain, so any write
+  // that slipped past the pause is provably forwarded (and re-exported)
+  // before the final catch-up copy. Writes that see the pause shed with
+  // the remaining pause as the retry hint — honest degradation.
+  inflight_writes_.fetch_add(1, std::memory_order_acq_rel);
+  struct InflightGuard {
+    std::atomic<int>* count;
+    ~InflightGuard() { count->fetch_sub(1, std::memory_order_acq_rel); }
+  } inflight_guard{&inflight_writes_};
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    auto paused = write_pause_until_.find(request.block);
+    if (paused != write_pause_until_.end()) {
+      const double remaining = paused->second - NowMs();
+      if (remaining > 0.0) {
+        shed_overloaded_->Increment();
+        return serve::FormatOverloaded(std::max(1.0, remaining));
+      }
+      // The migration abandoned the pause (or crashed mid-flight); writes
+      // resume against whatever the override table says.
+      write_pause_until_.erase(paused);
+    }
+  }
+  Backend& owner = *backends_[EffectiveOrder(request.block)[0]];
   {
     std::lock_guard<std::mutex> lock(owner.mu);
     if (!owner.health.Routable()) {
@@ -235,7 +312,20 @@ std::string Router::ForwardWrite(const serve::Request& request) {
     Result<std::string> response =
         CallBackend(owner, serve::FormatRequest(hop), budget, &sent);
     any_sent = any_sent || sent;
-    if (response.ok()) return std::move(response).ValueOrDie();
+    if (response.ok()) {
+      if (options_.replicas > 1) {
+        Result<serve::Response> parsed =
+            serve::ParseResponse(response.ValueOrDie());
+        if (parsed.ok() && parsed.ValueOrDie().ok()) {
+          // Replicate what the owner acked, without the (already mostly
+          // spent) deadline — the standby applies it on its own time.
+          serve::Request copy = request;
+          copy.deadline_ms = 0.0;
+          EnqueueReplication(request.block, serve::FormatRequest(copy));
+        }
+      }
+      return std::move(response).ValueOrDie();
+    }
     if (attempt < options_.max_retries) {
       retries_total_->Increment();
       if (!BackoffSleep(attempt, deadline.RemainingMs())) break;
@@ -261,8 +351,7 @@ std::string Router::ForwardWrite(const serve::Request& request) {
 std::string Router::ForwardRead(const serve::Request& request) {
   const serve::RequestDeadline deadline =
       serve::RequestDeadline::In(request.deadline_ms);
-  const std::vector<size_t> order =
-      RouteOrder(request.block, backends_.size());
+  const std::vector<size_t> order = EffectiveOrder(request.block);
   for (size_t rank = 0; rank < order.size(); ++rank) {
     Backend& backend = *backends_[order[rank]];
     {
@@ -298,8 +387,7 @@ std::string Router::ForwardRead(const serve::Request& request) {
 std::string Router::ForwardDump(const serve::Request& request) {
   // Dumps are verification reads of the authoritative store, so they never
   // fail over — a non-owner's answer would silently verify the wrong data.
-  Backend& owner =
-      *backends_[RouteOrder(request.block, backends_.size())[0]];
+  Backend& owner = *backends_[EffectiveOrder(request.block)[0]];
   {
     std::lock_guard<std::mutex> lock(owner.mu);
     if (!owner.health.Routable()) {
@@ -366,6 +454,233 @@ std::string Router::ForwardCompactAll(const serve::Request& request) {
   return "ok " + std::to_string(reached);
 }
 
+// ---------------------------------------------------------------------------
+// Live shard migration
+
+void Router::RegisterMigrateMetrics() const {
+  std::call_once(migrate_metrics_once_, [this] {
+    migrations_.store(
+        registry_.GetCounter("weber_router_migrations_total",
+                             "Blocks re-homed by a completed migration"),
+        std::memory_order_release);
+    migration_failures_.store(
+        registry_.GetCounter(
+            "weber_router_migration_failures_total",
+            "Migrations rolled back to the source before the flip"),
+        std::memory_order_release);
+  });
+}
+
+Result<std::string> Router::FetchExport(Backend& source,
+                                        const std::string& block) {
+  // A dedicated connection, not the pool: the multi-line export response
+  // would desynchronize a pooled socket if it were returned mid-stream.
+  net::LineSocket socket;
+  WEBER_RETURN_NOT_OK(
+      socket.Connect(source.host, source.port, options_.dial_timeout_ms));
+  WEBER_RETURN_NOT_OK(socket.SendLine("export " + block));
+  WEBER_ASSIGN_OR_RETURN(const std::string header,
+                         socket.ReadLine(options_.call_timeout_ms));
+  WEBER_ASSIGN_OR_RETURN(const long long frames,
+                         serve::ParseExportHeader(header));
+  std::string blob;
+  for (long long i = 0; i < frames; ++i) {
+    WEBER_ASSIGN_OR_RETURN(const std::string line,
+                           socket.ReadLine(options_.call_timeout_ms));
+    WEBER_ASSIGN_OR_RETURN(const std::string payload,
+                           serve::ParseExportFrame(line));
+    serve::AppendImportFrame(blob, payload);
+  }
+  return blob;
+}
+
+Result<std::string> Router::ImportTo(Backend& target,
+                                     const std::string& block,
+                                     const std::string& blob) {
+  serve::Request import_request;
+  import_request.op = serve::Request::Op::kImport;
+  import_request.block = block;
+  import_request.blob = blob;
+  bool sent = false;
+  WEBER_ASSIGN_OR_RETURN(
+      const std::string response,
+      CallBackend(target, serve::FormatRequest(import_request),
+                  options_.call_timeout_ms, &sent));
+  WEBER_ASSIGN_OR_RETURN(const serve::Response parsed,
+                         serve::ParseResponse(response));
+  if (!parsed.ok()) {
+    return Status::Unavailable("import of '", block, "' into ",
+                               target.endpoint, " refused: ", response);
+  }
+  return parsed.body;
+}
+
+std::string Router::Migrate(const serve::Request& request) {
+  RegisterMigrateMetrics();
+  auto fail = [this](Status st) {
+    // Rollback before any pause was set: no override was installed, so
+    // the source simply keeps serving — the target may hold a stale copy,
+    // which the next migration attempt overwrites wholesale.
+    migration_failures_.load(std::memory_order_acquire)->Increment();
+    return serve::FormatError(st);
+  };
+  size_t target_index = backends_.size();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->endpoint == request.endpoint) {
+      target_index = i;
+      break;
+    }
+  }
+  if (target_index == backends_.size()) {
+    migration_failures_.load(std::memory_order_acquire)->Increment();
+    return serve::FormatError(Status::NotFound(
+        "migrate: '", request.endpoint, "' is not a configured backend"));
+  }
+  const size_t source_index = EffectiveOrder(request.block)[0];
+  if (source_index == target_index) {
+    migration_failures_.load(std::memory_order_acquire)->Increment();
+    return serve::FormatError(Status::FailedPrecondition(
+        "migrate: ", request.endpoint, " already owns '", request.block,
+        "'"));
+  }
+  Backend& source = *backends_[source_index];
+  Backend& target = *backends_[target_index];
+
+  // Phase 1 — bulk copy while the source keeps serving reads AND writes.
+  // The copy is wholesale, so staleness is harmless: the catch-up pass
+  // below replaces it.
+  Result<std::string> bulk = FetchExport(source, request.block);
+  if (!bulk.ok()) return fail(bulk.status());
+  if (Result<std::string> ack = ImportTo(target, request.block,
+                                         bulk.ValueOrDie());
+      !ack.ok()) {
+    return fail(ack.status());
+  }
+
+  // Phase 2 — pause the block's writes (bounded), wait out in-flight
+  // ones, then catch up the tail with a second (cheap, mostly-identical)
+  // copy. Reads keep serving from the source throughout.
+  const double pause_until = NowMs() + options_.migrate_pause_ms;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    write_pause_until_[request.block] = pause_until;
+  }
+  auto fail_paused = [&](Status st) {
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      write_pause_until_.erase(request.block);
+    }
+    migration_failures_.load(std::memory_order_acquire)->Increment();
+    return serve::FormatError(st);
+  };
+  while (inflight_writes_.load(std::memory_order_acquire) > 0) {
+    if (NowMs() >= pause_until) {
+      return fail_paused(Status::Unavailable(
+          "migrate: in-flight writes did not drain within the ",
+          options_.migrate_pause_ms, "ms pause; rolled back to ",
+          source.endpoint));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Result<std::string> final_copy = FetchExport(source, request.block);
+  if (!final_copy.ok()) return fail_paused(final_copy.status());
+  Result<std::string> ack = ImportTo(target, request.block,
+                                     final_copy.ValueOrDie());
+  if (!ack.ok()) return fail_paused(ack.status());
+  if (Status st = faults::MaybeFail("migrate.flip"); !st.ok()) {
+    return fail_paused(st);
+  }
+
+  // Phase 3 — atomic flip: one map insert under route_mu_. Every later
+  // write/read/dump resolves ownership through the override; the source
+  // drops to an ordinary failover candidate. The pause is re-validated
+  // under the same lock ForwardWrite checks it with: if it lapsed (and a
+  // write may have slipped onto the source after the final copy, erasing
+  // the expired entry on its way through), flipping would lose that write
+  // — roll back instead and let the operator retry.
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    auto paused = write_pause_until_.find(request.block);
+    if (paused == write_pause_until_.end() || NowMs() >= paused->second) {
+      if (paused != write_pause_until_.end()) {
+        write_pause_until_.erase(paused);
+      }
+      migration_failures_.load(std::memory_order_acquire)->Increment();
+      return serve::FormatError(Status::Unavailable(
+          "migrate: catch-up outlived the ", options_.migrate_pause_ms,
+          "ms pause; rolled back to ", source.endpoint));
+    }
+    route_override_[request.block] = target_index;
+    write_pause_until_.erase(request.block);
+  }
+  migrations_.load(std::memory_order_acquire)->Increment();
+  return "ok " + ack.ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Standby replication
+
+void Router::EnqueueReplication(const std::string& block,
+                                const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    if (repl_queue_.size() >= options_.replication_queue_cap) {
+      // Bounded on purpose: replication is a warm standby, not a
+      // durability guarantee. Dropping (and counting) beats unbounded
+      // memory growth when a standby is slow or down.
+      if (replication_drops_ != nullptr) replication_drops_->Increment();
+      return;
+    }
+    repl_queue_.emplace_back(block, line);
+  }
+  repl_cv_.notify_one();
+}
+
+void Router::ReplicatorLoop() {
+  for (;;) {
+    std::pair<std::string, std::string> item;
+    {
+      std::unique_lock<std::mutex> lock(repl_mu_);
+      repl_cv_.wait(lock,
+                    [this] { return repl_stop_ || !repl_queue_.empty(); });
+      if (repl_queue_.empty()) {
+        if (repl_stop_) return;
+        continue;
+      }
+      item = std::move(repl_queue_.front());
+      repl_queue_.pop_front();
+    }
+    const std::vector<size_t> order = EffectiveOrder(item.first);
+    const size_t standbys = static_cast<size_t>(options_.replicas) - 1;
+    size_t forwarded = 0;
+    for (size_t rank = 1; rank < order.size() && forwarded < standbys;
+         ++rank) {
+      Backend& standby = *backends_[order[rank]];
+      {
+        std::lock_guard<std::mutex> lock(standby.mu);
+        if (!standby.health.Routable()) continue;
+      }
+      ++forwarded;
+      bool sent = false;
+      Result<std::string> response =
+          CallBackend(standby, item.second, options_.call_timeout_ms, &sent);
+      bool applied = false;
+      if (response.ok()) {
+        Result<serve::Response> parsed =
+            serve::ParseResponse(response.ValueOrDie());
+        applied = parsed.ok() && parsed.ValueOrDie().ok();
+      }
+      if (applied) {
+        if (replicated_writes_ != nullptr) replicated_writes_->Increment();
+      } else {
+        if (replication_failures_ != nullptr) {
+          replication_failures_->Increment();
+        }
+      }
+    }
+  }
+}
+
 BackendSnapshot Router::backend(size_t index) const {
   const Backend& b = *backends_[index];
   BackendSnapshot snap;
@@ -394,6 +709,36 @@ std::string Router::StatsResponse() const {
   json.Key("probes").Number(probes_total_->Value());
   json.Key("probe_failures").Number(probe_failures_->Value());
   json.EndObject();
+  // Both sections are gated so that a router run without migrations or
+  // replication emits byte-identical stats to earlier releases.
+  if (obs::Counter* migrations =
+          migrations_.load(std::memory_order_acquire)) {
+    size_t overrides = 0;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      overrides = route_override_.size();
+    }
+    json.Key("migration").BeginObject();
+    json.Key("completed").Number(migrations->Value());
+    json.Key("failed").Number(
+        migration_failures_.load(std::memory_order_acquire)->Value());
+    json.Key("route_overrides").Number(static_cast<long long>(overrides));
+    json.EndObject();
+  }
+  if (options_.replicas > 1) {
+    size_t queued = 0;
+    {
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      queued = repl_queue_.size();
+    }
+    json.Key("replication").BeginObject();
+    json.Key("replicas").Number(static_cast<long long>(options_.replicas));
+    json.Key("replicated_writes").Number(replicated_writes_->Value());
+    json.Key("failures").Number(replication_failures_->Value());
+    json.Key("drops").Number(replication_drops_->Value());
+    json.Key("queued").Number(static_cast<long long>(queued));
+    json.EndObject();
+  }
   json.Key("backends").BeginArray();
   for (size_t i = 0; i < backends_.size(); ++i) {
     const BackendSnapshot snap = backend(i);
@@ -450,6 +795,13 @@ std::string Router::HandleLine(const std::string& line, bool* quit) {
       return StatsResponse();
     case serve::Request::Op::kMetrics:
       return MetricsResponse();
+    case serve::Request::Op::kMigrate:
+      return Migrate(request);
+    case serve::Request::Op::kExport:
+    case serve::Request::Op::kImport:
+      return serve::FormatError(Status::InvalidArgument(
+          "'export'/'import' are backend verbs; ask the router to "
+          "'migrate <block> <endpoint>' instead"));
     case serve::Request::Op::kPing:
       return "ok";
     case serve::Request::Op::kQuit:

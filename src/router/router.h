@@ -27,6 +27,16 @@
 //     stale by design (the paper's resolution state is convergent).
 //   * Client deadlines propagate: each forwarded hop carries the remaining
 //     budget, re-encoded as the protocol's `deadline <ms>` suffix.
+//   * The `migrate <block> <endpoint>` admin verb re-homes one block
+//     live: copy the shard (export/import) while the source keeps
+//     serving, pause the block's writes (bounded by migrate_pause_ms) to
+//     catch up the tail, then flip a per-block route override that every
+//     forwarding path consults before the rendezvous order. Any failure
+//     before the flip rolls back to the source; writes during the pause
+//     get `OVERLOADED <remaining-ms>`, never silent loss.
+//   * With --replicas=N (N > 1), acked writes are forwarded
+//     asynchronously to the next N-1 backends in the block's route order
+//     through a bounded queue, so a failover lands on a warm standby.
 //
 // The router keeps its own obs::MetricsRegistry (per-backend counters and
 // state gauges plus router totals) and answers `stats` / `metrics` itself
@@ -44,10 +54,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -92,6 +104,19 @@ struct RouterOptions {
   uint64_t seed = 0x5EED;
   /// Idle connections kept per backend (excess are closed on release).
   int pool_size = 4;
+  /// Upper bound on the write pause a live migration may impose on the
+  /// moving block while it catches up the source's tail. Writes arriving
+  /// during the pause are answered `OVERLOADED <remaining-ms>` — honest
+  /// degradation, never silent loss.
+  double migrate_pause_ms = 500.0;
+  /// Copies of each block's acked writes (1 = owner only, the default).
+  /// With 2+, the router asynchronously forwards every acked write to the
+  /// next replicas-1 backends in the block's route order, so a failover
+  /// promotes a warm standby instead of an empty one.
+  int replicas = 1;
+  /// Bound on writes parked in the async replication queue; overflow drops
+  /// the write (counted) rather than stalling the ack path.
+  size_t replication_queue_cap = 1024;
 };
 
 /// Point-in-time view of one backend, for stats and tests.
@@ -132,6 +157,23 @@ class Router {
   /// across routers, which is what makes a restarted router agree with its
   /// predecessor about ownership.
   static std::vector<size_t> RouteOrder(const std::string& block, size_t n);
+
+  /// RouteOrder with the per-block override table applied: a migrated
+  /// block's target moves to the front, everything else keeps its
+  /// rendezvous rank as failover. This — not RouteOrder — is what every
+  /// forwarding path consults.
+  std::vector<size_t> EffectiveOrder(const std::string& block) const;
+
+  /// Installs (or, with `backends_.size()` or larger, clears) a route
+  /// override for `block`. The migration driver flips ownership through
+  /// this; exposed so tests can exercise override precedence directly.
+  void SetRouteOverride(const std::string& block, size_t backend_index);
+
+  /// Completed probe cycles (drills use this to bound health-convergence
+  /// waits instead of sleeping a guessed duration).
+  long long probe_cycles() const {
+    return probe_cycle_.load(std::memory_order_relaxed);
+  }
 
   /// Runs one probe cycle synchronously (the prober thread's body); public
   /// so tests and drills can drive health deterministically without
@@ -178,6 +220,25 @@ class Router {
   std::string StatsResponse() const;
   std::string MetricsResponse() const;
 
+  /// The `migrate <block> <endpoint>` admin verb: the router-driven
+  /// migration state machine (copy → pause + tail catch-up → flip), with
+  /// rollback to the source on any failure before the flip.
+  std::string Migrate(const serve::Request& request);
+  /// Streams `export <block>` from `source` over a dedicated connection
+  /// and repacks the frames into an import blob.
+  Result<std::string> FetchExport(Backend& source, const std::string& block);
+  /// Sends `import <block> ...` to `target`; returns the ack body
+  /// ("<version> <documents>").
+  Result<std::string> ImportTo(Backend& target, const std::string& block,
+                               const std::string& blob);
+  /// Lazily registers the migration counters (byte-identical metrics for
+  /// fleets that never migrate).
+  void RegisterMigrateMetrics() const;
+
+  /// Hands an acked write to the async replication queue (replicas > 1).
+  void EnqueueReplication(const std::string& block, const std::string& line);
+  void ReplicatorLoop();
+
   void ProbeBackend(Backend& backend, bool deep, double now_ms);
   void ProberLoop();
 
@@ -190,7 +251,9 @@ class Router {
   std::vector<std::unique_ptr<Backend>> backends_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  obs::MetricsRegistry registry_;
+  // Mutable so lazily-registered migration counters (first `migrate` on a
+  // const stats path) can be created without shedding const.
+  mutable obs::MetricsRegistry registry_;
   obs::Counter* requests_total_ = nullptr;
   obs::Counter* retries_total_ = nullptr;
   obs::Counter* failovers_total_ = nullptr;
@@ -199,6 +262,34 @@ class Router {
   obs::Counter* shed_unavailable_ = nullptr;
   obs::Counter* probes_total_ = nullptr;
   obs::Counter* probe_failures_ = nullptr;
+
+  /// Per-block route overrides and migration write pauses, consulted by
+  /// every forwarding path before the rendezvous order. Guarded by
+  /// route_mu_; the flip is one map insert under the lock, so concurrent
+  /// readers see either the old owner or the new one, never a tear.
+  mutable std::mutex route_mu_;
+  std::unordered_map<std::string, size_t> route_override_;
+  std::unordered_map<std::string, double> write_pause_until_;
+  /// Writes past the pause check but not yet forwarded; the migration
+  /// driver waits for this to drain after pausing so no acked write can
+  /// race the final catch-up copy.
+  std::atomic<int> inflight_writes_{0};
+
+  /// Migration counters, registered lazily on the first `migrate` verb.
+  mutable std::once_flag migrate_metrics_once_;
+  mutable std::atomic<obs::Counter*> migrations_{nullptr};
+  mutable std::atomic<obs::Counter*> migration_failures_{nullptr};
+
+  /// Async standby replication (only wired up when options_.replicas > 1;
+  /// with the default of 1 none of this exists at runtime).
+  obs::Counter* replicated_writes_ = nullptr;
+  obs::Counter* replication_failures_ = nullptr;
+  obs::Counter* replication_drops_ = nullptr;
+  mutable std::mutex repl_mu_;
+  std::condition_variable repl_cv_;
+  std::deque<std::pair<std::string, std::string>> repl_queue_;
+  bool repl_stop_ = false;
+  std::thread replicator_;
 
   std::mutex rng_mu_;
   Rng rng_;

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cmath>
 
+#include "common/crc32c.h"
 #include "common/string_util.h"
 
 namespace weber {
@@ -36,10 +37,14 @@ bool IsDeadlineToken(const std::string& token) {
 }  // namespace
 
 Result<Request> ParseRequest(const std::string& line) {
-  if (line.size() > kMaxRequestLineBytes) {
+  // `import` is the one verb that legitimately carries bulk data (a
+  // hex-encoded shard) and gets a larger budget; everything else keeps
+  // the tight cap.
+  const size_t cap = line.rfind("import ", 0) == 0 ? kMaxImportLineBytes
+                                                   : kMaxRequestLineBytes;
+  if (line.size() > cap) {
     return Status::InvalidArgument("request line of ", line.size(),
-                                   " bytes exceeds the ",
-                                   kMaxRequestLineBytes, "-byte cap");
+                                   " bytes exceeds the ", cap, "-byte cap");
   }
   if (line.find('\0') != std::string::npos) {
     return Status::InvalidArgument("request line contains a NUL byte");
@@ -129,6 +134,42 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kMetrics;
     return request;
   }
+  if (verb == "export") {
+    WEBER_RETURN_NOT_OK(no_deadline());
+    WEBER_RETURN_NOT_OK(need(2));
+    request.op = Request::Op::kExport;
+    request.block = tokens[1];
+    return request;
+  }
+  if (verb == "import") {
+    WEBER_RETURN_NOT_OK(no_deadline());
+    WEBER_RETURN_NOT_OK(need(4));
+    request.op = Request::Op::kImport;
+    request.block = tokens[1];
+    long long bytes = 0;
+    auto [ptr, ec] = std::from_chars(
+        tokens[2].data(), tokens[2].data() + tokens[2].size(), bytes);
+    if (ec != std::errc() || ptr != tokens[2].data() + tokens[2].size() ||
+        bytes <= 0) {
+      return Status::InvalidArgument("bad import byte count '", tokens[2],
+                                     "'");
+    }
+    WEBER_ASSIGN_OR_RETURN(request.blob, HexDecode(tokens[3]));
+    if (request.blob.size() != static_cast<size_t>(bytes)) {
+      return Status::InvalidArgument(
+          "import declares ", bytes, " bytes but the blob decodes to ",
+          request.blob.size());
+    }
+    return request;
+  }
+  if (verb == "migrate") {
+    WEBER_RETURN_NOT_OK(no_deadline());
+    WEBER_RETURN_NOT_OK(need(3));
+    request.op = Request::Op::kMigrate;
+    request.block = tokens[1];
+    request.endpoint = tokens[2];
+    return request;
+  }
   if (verb == "ping") {
     WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(1));
@@ -174,6 +215,17 @@ std::string FormatRequest(const Request& request) {
       break;
     case Request::Op::kMetrics:
       line = "metrics";
+      break;
+    case Request::Op::kExport:
+      line = "export " + request.block;
+      break;
+    case Request::Op::kImport:
+      line = "import " + request.block + ' ' +
+             std::to_string(request.blob.size()) + ' ' +
+             HexEncode(request.blob);
+      break;
+    case Request::Op::kMigrate:
+      line = "migrate " + request.block + ' ' + request.endpoint;
       break;
     case Request::Op::kPing:
       line = "ping";
@@ -288,6 +340,169 @@ Result<std::vector<std::string>> ReadMetricsPayload(
     lines.push_back(std::move(line).ValueOrDie());
   }
   return lines;
+}
+
+Result<long long> ParseExportHeader(const std::string& header) {
+  WEBER_ASSIGN_OR_RETURN(Response response, ParseResponse(header));
+  if (!response.ok()) {
+    return Status::Corruption("export request failed: ", header);
+  }
+  long long n = 0;
+  auto [ptr, ec] = std::from_chars(
+      response.body.data(), response.body.data() + response.body.size(), n);
+  if (ec != std::errc() || ptr != response.body.data() + response.body.size() ||
+      n < 0) {
+    return Status::Corruption("bad export frame count '", response.body, "'");
+  }
+  if (n > kMaxExportFrames) {
+    return Status::Corruption("export header announces ", n,
+                              " frames, over the ", kMaxExportFrames,
+                              "-frame cap");
+  }
+  return n;
+}
+
+std::string HexEncode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out += kDigits[c >> 4];
+    out += kDigits[c & 0xF];
+  }
+  return out;
+}
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Result<std::string> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex blob has odd length ", hex.size());
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexNibble(hex[i]);
+    const int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex digit at offset ", i);
+    }
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string FormatExportFrame(const std::string& payload) {
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  std::string line = std::to_string(payload.size());
+  line += ' ';
+  line += std::to_string(crc);
+  line += ' ';
+  line += HexEncode(payload);
+  return line;
+}
+
+Result<std::string> ParseExportFrame(const std::string& line) {
+  std::vector<std::string> tokens = SplitWhitespace(line);
+  // An empty payload hex-encodes to nothing, so its frame carries only the
+  // two numeric tokens; re-append the empty hex token explicitly.
+  if (tokens.size() == 2 && tokens[0] == "0") tokens.emplace_back();
+  if (tokens.size() != 3) {
+    return Status::Corruption("export frame wants 3 tokens, got ",
+                              tokens.size());
+  }
+  unsigned long long len = 0;
+  auto [lp, lec] = std::from_chars(
+      tokens[0].data(), tokens[0].data() + tokens[0].size(), len);
+  if (lec != std::errc() || lp != tokens[0].data() + tokens[0].size() ||
+      len > kMaxExportFrameBytes) {
+    return Status::Corruption("bad export frame length '", tokens[0], "'");
+  }
+  unsigned long long declared_crc = 0;
+  auto [cp, cec] = std::from_chars(
+      tokens[1].data(), tokens[1].data() + tokens[1].size(), declared_crc);
+  if (cec != std::errc() || cp != tokens[1].data() + tokens[1].size() ||
+      declared_crc > 0xFFFFFFFFull) {
+    return Status::Corruption("bad export frame checksum '", tokens[1], "'");
+  }
+  WEBER_ASSIGN_OR_RETURN(std::string payload, HexDecode(tokens[2]));
+  if (payload.size() != len) {
+    return Status::Corruption("export frame declares ", len,
+                              " bytes but carries ", payload.size());
+  }
+  const uint32_t crc = Crc32c(payload.data(), payload.size());
+  if (crc != static_cast<uint32_t>(declared_crc)) {
+    return Status::Corruption("export frame checksum mismatch (declared ",
+                              declared_crc, ", computed ", crc, ")");
+  }
+  return payload;
+}
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void AppendImportFrame(std::string& blob, const std::string& payload) {
+  PutU32(blob, static_cast<uint32_t>(payload.size()));
+  PutU32(blob, Crc32c(payload.data(), payload.size()));
+  blob += payload;
+}
+
+Result<std::vector<std::string>> SplitImportBlob(const std::string& blob) {
+  std::vector<std::string> frames;
+  size_t pos = 0;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(blob.data());
+  while (pos < blob.size()) {
+    if (blob.size() - pos < 8) {
+      return Status::Corruption("torn import frame header at offset ", pos);
+    }
+    const uint32_t len = GetU32(bytes + pos);
+    const uint32_t declared_crc = GetU32(bytes + pos + 4);
+    pos += 8;
+    if (len > kMaxExportFrameBytes) {
+      return Status::Corruption("import frame of ", len, " bytes exceeds the ",
+                                kMaxExportFrameBytes, "-byte cap");
+    }
+    if (blob.size() - pos < len) {
+      return Status::Corruption("torn import frame payload at offset ", pos,
+                                " (want ", len, " bytes, have ",
+                                blob.size() - pos, ")");
+    }
+    const uint32_t crc = Crc32c(blob.data() + pos, len);
+    if (crc != declared_crc) {
+      return Status::Corruption("import frame checksum mismatch at offset ",
+                                pos, " (declared ", declared_crc,
+                                ", computed ", crc, ")");
+    }
+    frames.emplace_back(blob, pos, len);
+    pos += len;
+  }
+  if (frames.empty()) {
+    return Status::Corruption("import blob carries no frames");
+  }
+  return frames;
 }
 
 Result<std::vector<int>> ParseDumpResponse(const std::string& response) {

@@ -15,6 +15,24 @@
 //   stats                   service stats as one-line JSON
 //   metrics                 Prometheus text exposition of the metrics
 //                           registry: "ok <n>" followed by n payload lines
+//   export <block>          stream the shard's state for migration: the
+//                           published snapshot plus the WAL tail since it,
+//                           as "ok <n>" followed by n length-prefixed,
+//                           CRC32C-framed payload lines (the protocol's
+//                           second multi-line response, after metrics)
+//   import <block> <bytes> <hex>
+//                           replace the shard's state wholesale with an
+//                           exported snapshot + tail. The single-line blob
+//                           is hex of concatenated binary frames
+//                           ([len u32 LE][crc32c u32 LE][payload]); <bytes>
+//                           is the decoded blob length. Checksums are
+//                           validated before any state changes; corruption
+//                           refuses the import with the shard untouched
+//   migrate <block> <endpoint>
+//                           admin verb handled by weber_router only: move
+//                           the block's ownership to <endpoint> (copy,
+//                           tail catch-up under a brief write pause, then
+//                           an atomic route-override flip)
 //   ping                    liveness check
 //   quit                    close the connection / stop the stdio loop
 //
@@ -32,8 +50,8 @@
 //                           <doc>:<label> ..."; match: "ok <n>
 //                           <doc>:<cluster> ..." in request order, -1 for
 //                           unmatched; stats: "ok <json>";
-//                           metrics: "ok <n>" plus n further lines (the
-//                           only multi-line response in the protocol)
+//                           metrics/export: "ok <n>" plus n further lines
+//                           (the protocol's only multi-line responses)
 //   OVERLOADED <ms>         the request was shed before any state changed
 //                           (queue cap, connection cap, or open breaker);
 //                           retrying after <ms> milliseconds is safe
@@ -67,6 +85,18 @@ namespace serve {
 /// this; anything longer is an attack or a framing bug, not traffic.
 inline constexpr size_t kMaxRequestLineBytes = 4096;
 
+/// Cap on one `import` request line — the only request that legitimately
+/// carries bulk data (a hex-encoded snapshot + WAL tail). 4 MiB of line is
+/// ~2 MiB of state, far above any realistic per-name block.
+inline constexpr size_t kMaxImportLineBytes = 1 << 22;
+
+/// Cap on one decoded export frame (snapshot payload or WAL tail record).
+inline constexpr size_t kMaxExportFrameBytes = 1 << 20;
+
+/// Cap on the payload lines an `export` response may announce (one
+/// snapshot frame plus at most this many tail records).
+inline constexpr long long kMaxExportFrames = 1 << 16;
+
 struct Request {
   enum class Op {
     kAssign,
@@ -77,6 +107,9 @@ struct Request {
     kDump,
     kStats,
     kMetrics,
+    kExport,
+    kImport,
+    kMigrate,
     kPing,
     kQuit,
   };
@@ -86,6 +119,10 @@ struct Request {
   int doc = -1;
   /// The documents of a `match` request, in wire order (unused otherwise).
   std::vector<int> docs;
+  /// The decoded binary blob of an `import` request (concatenated frames).
+  std::string blob;
+  /// The target backend of a `migrate` request ("host:port").
+  std::string endpoint;
   /// Client latency budget from the optional "deadline <ms>" suffix
   /// (0 = none given).
   double deadline_ms = 0.0;
@@ -165,6 +202,36 @@ Result<std::vector<int>> ParseDumpResponse(const std::string& response);
 /// count mismatch.
 Result<std::vector<std::pair<int, int>>> ParseMatchResponse(
     const std::string& response);
+
+/// Parses the "ok <n>" header of an `export` response into the frame
+/// count n. Corruption when the header is not ok, n is missing,
+/// non-numeric, negative, or exceeds kMaxExportFrames.
+Result<long long> ParseExportHeader(const std::string& header);
+
+/// Formats one export payload line: "<len> <crc32c> <hex-payload>". The
+/// CRC covers the raw payload bytes, the length is the decoded byte count.
+std::string FormatExportFrame(const std::string& payload);
+
+/// Parses one export payload line back into its raw bytes, verifying the
+/// declared length and CRC32C against the decoded hex. Corruption on any
+/// mismatch, malformed token, or a frame above kMaxExportFrameBytes.
+Result<std::string> ParseExportFrame(const std::string& line);
+
+/// Appends one frame to an import blob as [len u32 LE][crc32c u32 LE]
+/// [payload] — the binary twin of FormatExportFrame, used to repack
+/// exported frames into a single `import` line.
+void AppendImportFrame(std::string& blob, const std::string& payload);
+
+/// Splits an import blob back into its frames, verifying each length
+/// prefix and CRC32C. Corruption on a torn frame, trailing garbage, a
+/// checksum mismatch, or a frame above kMaxExportFrameBytes.
+Result<std::vector<std::string>> SplitImportBlob(const std::string& blob);
+
+/// Lowercase hex of arbitrary bytes (two characters per byte).
+std::string HexEncode(const std::string& bytes);
+
+/// Inverse of HexEncode. InvalidArgument on odd length or a non-hex digit.
+Result<std::string> HexDecode(const std::string& hex);
 
 /// Formats an error response ("err <code> <message>", single line).
 std::string FormatError(const Status& status);

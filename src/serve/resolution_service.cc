@@ -1139,6 +1139,167 @@ Result<std::vector<int>> ResolutionService::DumpPartition(
   return labels;
 }
 
+// ---------------------------------------------------------------------------
+// Shard migration (export / import)
+
+void ResolutionService::RegisterMigrateMetrics() const {
+  // Lazy registration keeps the metrics exposition byte-identical for
+  // deployments that never migrate a shard (same pattern as `match`).
+  std::call_once(migrate_metrics_once_, [this] {
+    exports_.store(
+        registry_.GetCounter("weber_shard_exports_total",
+                             "Shard states streamed out for migration"),
+        std::memory_order_release);
+    imports_.store(
+        registry_.GetCounter("weber_shard_imports_total",
+                             "Shard states installed from a migration"),
+        std::memory_order_release);
+    rejected_imports_.store(
+        registry_.GetCounter(
+            "weber_rejected_shard_imports_total",
+            "Imports refused by validation (shard state unchanged)"),
+        std::memory_order_release);
+  });
+}
+
+Result<ShardExport> ResolutionService::ExportShard(
+    const std::string& block) const {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  WEBER_RETURN_NOT_OK(faults::MaybeFail("migrate.export"));
+  RegisterMigrateMetrics();
+  ShardExport out;
+  // The shard lock makes (published snapshot, arrival tail) a consistent
+  // cut: no assign can slip between reading the two.
+  std::lock_guard<std::mutex> lock(shard->mu);
+  std::shared_ptr<const ResolverSnapshot> snap =
+      shard->snapshot.load(std::memory_order_acquire);
+  out.snapshot.version = snap->version;
+  out.snapshot.threshold = snap->threshold;
+  out.snapshot.canonical_ids.assign(snap->canonical_ids.begin(),
+                                    snap->canonical_ids.end());
+  const std::vector<int>& labels = snap->clustering.labels();
+  out.snapshot.labels.assign(labels.begin(), labels.end());
+  std::vector<char> in_snapshot(shard->bundles.size(), 0);
+  for (int id : snap->canonical_ids) in_snapshot[id] = 1;
+  for (int id : shard->arrival_canonical) {
+    if (!in_snapshot[id]) out.tail.push_back(id);
+  }
+  exports_.load(std::memory_order_acquire)->Increment();
+  return out;
+}
+
+Result<ImportOutcome> ResolutionService::ImportShard(
+    const std::string& block, const ShardExport& exported) {
+  WEBER_ASSIGN_OR_RETURN(Shard * shard, FindShard(block));
+  RegisterMigrateMetrics();
+  auto reject = [this](Status st) -> Status {
+    rejected_imports_.load(std::memory_order_acquire)->Increment();
+    return st;
+  };
+  if (Status st = faults::MaybeFail("migrate.import"); !st.ok()) {
+    return reject(st);
+  }
+  const durability::ShardSnapshotData& snap = exported.snapshot;
+  const int block_size = static_cast<int>(shard->bundles.size());
+  // Validate everything before touching any state: a refused import must
+  // leave the shard exactly as it was.
+  if (snap.canonical_ids.size() != snap.labels.size()) {
+    return reject(Status::Corruption(
+        "import: snapshot has ", snap.canonical_ids.size(),
+        " canonical ids but ", snap.labels.size(), " labels"));
+  }
+  if (std::abs(snap.threshold - shard->resolver->threshold()) > 1e-9) {
+    return reject(Status::FailedPrecondition(
+        "import: shard '", shard->name, "' is calibrated at threshold ",
+        shard->resolver->threshold(), " but the exported state carries ",
+        snap.threshold, " — refusing to mix calibrations"));
+  }
+  std::vector<char> seen(static_cast<size_t>(block_size), 0);
+  for (int32_t id : snap.canonical_ids) {
+    if (id < 0 || id >= block_size || seen[id]) {
+      return reject(Status::Corruption(
+          "import: snapshot of shard '", shard->name,
+          "' references invalid or repeated document ", id));
+    }
+    seen[id] = 1;
+  }
+  for (int32_t doc : exported.tail) {
+    if (doc < 0 || doc >= block_size || seen[doc]) {
+      return reject(Status::Corruption(
+          "import: tail of shard '", shard->name,
+          "' references invalid or repeated document ", doc));
+    }
+    seen[doc] = 1;
+  }
+  const std::vector<int> label_ints(snap.labels.begin(), snap.labels.end());
+  const graph::Clustering clustering =
+      graph::Clustering::FromLabels(label_ints);
+
+  std::lock_guard<std::mutex> lock(shard->mu);
+  // Mutation starts here. Reset keeps the calibrated threshold, so the
+  // rebuilt resolver scores exactly as before.
+  shard->resolver->Reset();
+  shard->assigned.assign(static_cast<size_t>(block_size), 0);
+  shard->arrival_canonical.clear();
+  std::vector<extract::FeatureBundle> docs;
+  docs.reserve(snap.canonical_ids.size());
+  for (int32_t id : snap.canonical_ids) {
+    shard->assigned[id] = 1;
+    shard->arrival_canonical.push_back(id);
+    docs.push_back(shard->bundles[id]);
+  }
+  WEBER_RETURN_NOT_OK(
+      shard->resolver->Restore(std::move(docs), clustering.Groups()));
+  for (int32_t doc : exported.tail) {
+    shard->assigned[doc] = 1;
+    shard->arrival_canonical.push_back(doc);
+    if (shard->resolver->Add(shard->bundles[doc]) < 0) {
+      return Status::Internal("import: resolver rejected tail document ",
+                              doc, " on shard '", shard->name, "'");
+    }
+  }
+
+  // Publish the imported snapshot at its ORIGINAL version (unlike crash
+  // recovery, which mints a new one): assigns never touch a published
+  // snapshot, so the destination's dump is byte-identical to the dump the
+  // source would have produced before the migration.
+  auto published = std::make_shared<ResolverSnapshot>();
+  published->version = snap.version;
+  published->threshold = snap.threshold;
+  published->clustering = clustering;
+  published->clusters = clustering.Groups();
+  published->canonical_ids.assign(snap.canonical_ids.begin(),
+                                  snap.canonical_ids.end());
+  published->documents.reserve(snap.canonical_ids.size());
+  for (int32_t id : snap.canonical_ids) {
+    published->documents.push_back(shard->bundles[id]);
+  }
+  shard->snapshot.store(std::move(published), std::memory_order_release);
+  shard->next_version = std::max(shard->next_version, snap.version + 1);
+  shard->assigns_since_compact.store(0, std::memory_order_relaxed);
+
+  if (shard->log != nullptr) {
+    std::vector<durability::WalRecord> tail_records;
+    tail_records.reserve(exported.tail.size());
+    for (int32_t doc : exported.tail) {
+      tail_records.push_back(durability::WalRecord::Assign(doc));
+    }
+    if (Status st = shard->log->ResetToImport(snap, tail_records); !st.ok()) {
+      // The in-memory import stands (it is what the router will flip to);
+      // surface the durability failure so the caller can decide whether a
+      // non-durable destination is acceptable.
+      return Status::IOError("import: shard '", shard->name,
+                             "' installed in memory but durable reset ",
+                             "failed: ", st.message());
+    }
+  }
+  imports_.load(std::memory_order_acquire)->Increment();
+  ImportOutcome outcome;
+  outcome.version = snap.version;
+  outcome.documents = static_cast<int>(shard->arrival_canonical.size());
+  return outcome;
+}
+
 ServiceStats ResolutionService::Stats() const {
   ServiceStats stats;
   stats.assign = assign_latency_.Summary();

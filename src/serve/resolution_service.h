@@ -146,6 +146,23 @@ struct AssignResult {
   uint64_t snapshot_version = 0;
 };
 
+/// Full transferable state of one shard (wire form of the `export` verb):
+/// the published snapshot plus the documents assigned since it was taken.
+struct ShardExport {
+  durability::ShardSnapshotData snapshot;
+  /// Canonical ids assigned after the snapshot, in arrival order; the
+  /// importer replays them through the live resolver exactly like a WAL
+  /// tail.
+  std::vector<int32_t> tail;
+};
+
+/// What an `import` acked with: the installed snapshot version and the
+/// total documents now in the shard (snapshot + tail).
+struct ImportOutcome {
+  uint64_t version = 0;
+  int documents = 0;
+};
+
 struct QueryResult {
   /// Snapshot cluster label the page resolves to, or -1 when no cluster
   /// reaches the threshold (unknown person / empty snapshot).
@@ -307,6 +324,21 @@ class ResolutionService {
   /// -1 for documents not in the snapshot.
   Result<std::vector<int>> DumpPartition(const std::string& block) const;
 
+  /// Captures the shard's full state for migration: the published snapshot
+  /// plus the tail of documents assigned since it. Taken under the shard
+  /// mutex, so the pair is a consistent cut. Fault point: migrate.export.
+  Result<ShardExport> ExportShard(const std::string& block) const;
+
+  /// Replaces the shard's state wholesale with an exported snapshot +
+  /// tail. Everything is validated (threshold, ranges, duplicates) before
+  /// any mutation — a refused import leaves the shard untouched. The
+  /// imported snapshot is published at its original version so a dump of
+  /// the destination is byte-identical to the source's. With durability
+  /// on, the shard's directory is reset to the imported state. Fault
+  /// point: migrate.import.
+  Result<ImportOutcome> ImportShard(const std::string& block,
+                                    const ShardExport& exported);
+
   /// Forces every shard's WAL to disk (group-commit barrier); used by the
   /// server's graceful-shutdown path. No-op when durability is disabled or
   /// the policy is kNever. Returns the first failure but syncs all shards.
@@ -352,6 +384,9 @@ class ResolutionService {
   /// Registers the pull-style metrics (cache, batcher, breakers,
   /// durability) once `cache_` and `batcher_` exist; called from Create.
   void RegisterPulledMetrics();
+
+  /// Lazily registers the migration counters (see migrate_metrics_once_).
+  void RegisterMigrateMetrics() const;
 
   Result<Shard*> FindShard(const std::string& block) const;
   Result<AssignResult> AssignLocked(Shard* shard, int doc,
@@ -403,6 +438,12 @@ class ResolutionService {
   mutable std::once_flag match_metrics_once_;
   mutable std::atomic<obs::Counter*> matches_{nullptr};
   mutable std::atomic<obs::Histogram*> match_hist_{nullptr};
+  /// Migration metrics follow the same lazy pattern: deployments that
+  /// never export/import a shard keep a byte-identical exposition.
+  mutable std::once_flag migrate_metrics_once_;
+  mutable std::atomic<obs::Counter*> exports_{nullptr};
+  mutable std::atomic<obs::Counter*> imports_{nullptr};
+  mutable std::atomic<obs::Counter*> rejected_imports_{nullptr};
   obs::Counter* compactions_ = nullptr;
   obs::Counter* failed_compactions_ = nullptr;
   obs::Counter* failed_assigns_ = nullptr;

@@ -15,6 +15,8 @@
 #include "common/json_writer.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "durability/snapshot_file.h"
+#include "durability/wal.h"
 #include "serve/protocol.h"
 
 namespace weber {
@@ -32,6 +34,14 @@ std::string FormatOk(uint64_t version, int cluster) {
 
 int PollTimeoutMs(double ms) {
   return std::max(1, static_cast<int>(std::ceil(ms)));
+}
+
+/// The byte budget of the partial line in `buffer`: `import` lines carry a
+/// hex-encoded shard and get the larger cap, everything else the tight one.
+/// By the time either cap can trip, the verb prefix has long since arrived.
+size_t LineCapFor(const std::string& buffer) {
+  return buffer.rfind("import ", 0) == 0 ? kMaxImportLineBytes
+                                         : kMaxRequestLineBytes;
 }
 
 }  // namespace
@@ -119,6 +129,61 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
       return StatsResponse();
     case Request::Op::kMetrics:
       return MetricsResponse();
+    case Request::Op::kExport: {
+      Result<ShardExport> result = service_->ExportShard(request.block);
+      if (!result.ok()) return FormatFailure(result.status(), retry);
+      const ShardExport& exported = result.ValueOrDie();
+      Result<std::string> payload =
+          durability::EncodeSnapshotPayload(exported.snapshot);
+      if (!payload.ok()) return FormatError(payload.status());
+      const long long frames = 1 + static_cast<long long>(exported.tail.size());
+      if (frames > kMaxExportFrames) {
+        return FormatError(Status::OutOfRange(
+            "export of '", request.block, "' needs ", frames,
+            " frames, over the ", kMaxExportFrames, "-frame cap"));
+      }
+      // Multi-line response, same framing as `metrics`: one string with
+      // embedded newlines; the serving loop appends the final one.
+      std::string response = "ok " + std::to_string(frames);
+      response += '\n';
+      response += FormatExportFrame(payload.ValueOrDie());
+      for (int32_t doc : exported.tail) {
+        response += '\n';
+        response += FormatExportFrame(
+            durability::WalRecord::Assign(doc).Encode());
+      }
+      return response;
+    }
+    case Request::Op::kImport: {
+      Result<std::vector<std::string>> frames =
+          SplitImportBlob(request.blob);
+      if (!frames.ok()) return FormatError(frames.status());
+      ShardExport exported;
+      Result<durability::ShardSnapshotData> snap =
+          durability::DecodeSnapshotPayload(
+              frames.ValueOrDie()[0], "imported for '" + request.block + "'");
+      if (!snap.ok()) return FormatError(snap.status());
+      exported.snapshot = std::move(snap).ValueOrDie();
+      for (size_t i = 1; i < frames.ValueOrDie().size(); ++i) {
+        Result<durability::WalRecord> record =
+            durability::WalRecord::Decode(frames.ValueOrDie()[i]);
+        if (!record.ok()) return FormatError(record.status());
+        if (record.ValueOrDie().type !=
+            durability::WalRecord::Type::kAssign) {
+          return FormatError(Status::Corruption(
+              "import tail frame ", i, " is not an Assign record"));
+        }
+        exported.tail.push_back(record.ValueOrDie().doc);
+      }
+      Result<ImportOutcome> outcome =
+          service_->ImportShard(request.block, exported);
+      if (!outcome.ok()) return FormatFailure(outcome.status(), retry);
+      return "ok " + std::to_string(outcome.ValueOrDie().version) + ' ' +
+             std::to_string(outcome.ValueOrDie().documents);
+    }
+    case Request::Op::kMigrate:
+      return FormatError(Status::InvalidArgument(
+          "'migrate' is a router admin verb; backends serve export/import"));
     case Request::Op::kPing:
       return "ok";
     case Request::Op::kQuit:
@@ -239,12 +304,12 @@ Status LineServer::ServeFd(int in_fd, std::ostream& out, int stop_fd) {
     if (newline == std::string::npos) {
       // Oversized-line containment: answer once, then drop bytes until the
       // next newline instead of growing the buffer without bound.
-      if (buffer.size() > kMaxRequestLineBytes) {
+      if (const size_t cap = LineCapFor(buffer); buffer.size() > cap) {
         if (!discarding) {
           discarding = true;
           oversized_lines_.fetch_add(1, std::memory_order_relaxed);
           out << FormatError(Status::InvalidArgument(
-                     "request line exceeds the ", kMaxRequestLineBytes,
+                     "request line exceeds the ", cap,
                      "-byte cap; discarding until newline"))
               << '\n';
           out.flush();
@@ -391,14 +456,14 @@ void LineServer::HandleConnection(int fd) {
   while (!quit && !stopping_.load(std::memory_order_acquire)) {
     size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
-      if (buffer.size() > kMaxRequestLineBytes) {
+      if (const size_t cap = LineCapFor(buffer); buffer.size() > cap) {
         // Same containment as ServeFd: one error response, then resync at
         // the next newline instead of buffering an unbounded line.
         if (!discarding) {
           discarding = true;
           oversized_lines_.fetch_add(1, std::memory_order_relaxed);
           std::string err = FormatError(Status::InvalidArgument(
-              "request line exceeds the ", kMaxRequestLineBytes,
+              "request line exceeds the ", cap,
               "-byte cap; discarding until newline"));
           err += '\n';
           if (!send_all(err)) break;

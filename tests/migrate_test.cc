@@ -1,0 +1,380 @@
+// Shard migration unit tests: the CRC32C export/import wire framing, the
+// service-level ExportShard/ImportShard contract (consistent snapshot+tail
+// cut, corruption refused with shard state unchanged, dump byte-identity
+// across a round trip), and one TCP end-to-end pass of the `export` /
+// `import` verbs between two live servers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/net_util.h"
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "durability/snapshot_file.h"
+#include "durability/wal.h"
+#include "serve/protocol.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+namespace weber {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire framing: FormatExportFrame / ParseExportFrame and the binary import
+// blob (AppendImportFrame / SplitImportBlob).
+
+TEST(ExportFrameTest, RoundTripsArbitraryBytes) {
+  std::string payload = "snapshot";
+  payload.push_back('\0');
+  payload.push_back('\n');
+  payload += std::string("\xff\x01 tail", 7);
+  const std::string line = FormatExportFrame(payload);
+  Result<std::string> back = ParseExportFrame(line);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(ExportFrameTest, RoundTripsTheEmptyPayload) {
+  Result<std::string> back = ParseExportFrame(FormatExportFrame(""));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ExportFrameTest, FlippedPayloadBitIsCorruption) {
+  std::string line = FormatExportFrame("the payload under the checksum");
+  // Corrupt one hex digit of the payload (the last token), keeping the
+  // announced length and CRC intact.
+  char& digit = line[line.size() - 1];
+  digit = (digit == '0') ? '1' : '0';
+  Result<std::string> back = ParseExportFrame(line);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption) << back.status();
+}
+
+TEST(ExportFrameTest, LengthMismatchIsCorruption) {
+  const std::string good = FormatExportFrame("abcdef");
+  // Rewrite the length token ("6 ...") to lie about the decoded size.
+  std::string lying = "7" + good.substr(1);
+  EXPECT_FALSE(ParseExportFrame(lying).ok());
+}
+
+TEST(ExportFrameTest, MalformedLinesAreRejected) {
+  EXPECT_FALSE(ParseExportFrame("").ok());
+  EXPECT_FALSE(ParseExportFrame("nonsense").ok());
+  EXPECT_FALSE(ParseExportFrame("4 12 zz!!").ok());
+  EXPECT_FALSE(ParseExportFrame("-1 0 ").ok());
+}
+
+TEST(ExportHeaderTest, ParsesAndBoundsTheFrameCount) {
+  Result<long long> n = ParseExportHeader("ok 17");
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 17);
+  EXPECT_FALSE(ParseExportHeader("err NotFound nope").ok());
+  EXPECT_FALSE(ParseExportHeader("ok -3").ok());
+  EXPECT_FALSE(ParseExportHeader("ok many").ok());
+  EXPECT_FALSE(
+      ParseExportHeader("ok " + std::to_string(kMaxExportFrames + 1)).ok());
+}
+
+TEST(ImportBlobTest, RoundTripsConcatenatedFrames) {
+  std::vector<std::string> payloads = {"first", "", "third\nwith\nnewlines"};
+  std::string blob;
+  for (const std::string& p : payloads) AppendImportFrame(blob, p);
+  Result<std::vector<std::string>> back = SplitImportBlob(blob);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, payloads);
+}
+
+TEST(ImportBlobTest, TornTailIsCorruptionNotASilentDrop) {
+  std::string blob;
+  AppendImportFrame(blob, "whole frame");
+  AppendImportFrame(blob, "torn frame");
+  blob.resize(blob.size() - 3);
+  Result<std::vector<std::string>> back = SplitImportBlob(blob);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption) << back.status();
+}
+
+TEST(ImportBlobTest, FlippedByteIsCorruption) {
+  std::string blob;
+  AppendImportFrame(blob, "payload bytes under the per-frame checksum");
+  blob[blob.size() - 1] ^= 0x40;
+  EXPECT_FALSE(SplitImportBlob(blob).ok());
+}
+
+TEST(HexCodecTest, RoundTripsAndRejects) {
+  const std::string bytes("\x00\x01\xfe\xff ab", 6);
+  Result<std::string> back = HexDecode(HexEncode(bytes));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, bytes);
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // non-hex digit
+  EXPECT_TRUE(HexDecode("").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Service-level contract: ExportShard / ImportShard between two services
+// built from the same corpus (and therefore the same per-shard
+// calibration, which import insists on).
+
+class MigrateServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new corpus::SyntheticData(std::move(data).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static std::unique_ptr<ResolutionService> MakeService() {
+    auto service =
+        ResolutionService::Create(data_->dataset, &data_->gazetteer, {});
+    EXPECT_TRUE(service.ok()) << service.status();
+    return std::move(service).ValueOrDie();
+  }
+
+  static const corpus::Block& Block(int i) { return data_->dataset.blocks[i]; }
+
+  static std::vector<int> Dump(ResolutionService* service,
+                               const std::string& block) {
+    auto dump = service->DumpPartition(block);
+    EXPECT_TRUE(dump.ok()) << dump.status();
+    return std::move(dump).ValueOrDie();
+  }
+
+  static corpus::SyntheticData* data_;
+};
+
+corpus::SyntheticData* MigrateServiceTest::data_ = nullptr;
+
+TEST_F(MigrateServiceTest, ExportImportRoundTripPreservesTheDump) {
+  const std::string block = Block(0).query;
+  auto source = MakeService();
+  // A compacted prefix plus an uncompacted tail: the export must carry
+  // both, and the import must replay the tail through the live resolver.
+  const int total = Block(0).num_documents();
+  const int compacted = total / 2;
+  for (int d = 0; d < compacted; ++d) {
+    ASSERT_TRUE(source->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(source->CompactAll().ok());
+  for (int d = compacted; d < total; ++d) {
+    ASSERT_TRUE(source->Assign(block, d).ok());
+  }
+
+  auto exported = source->ExportShard(block);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  EXPECT_EQ(static_cast<int>(exported->snapshot.canonical_ids.size()),
+            compacted);
+  EXPECT_EQ(static_cast<int>(exported->tail.size()), total - compacted);
+
+  auto target = MakeService();
+  auto outcome = target->ImportShard(block, *exported);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->version, exported->snapshot.version);
+  EXPECT_EQ(outcome->documents, total);
+  EXPECT_EQ(Dump(target.get(), block), Dump(source.get(), block));
+  // Unrelated shards on the target are untouched.
+  EXPECT_TRUE(Dump(target.get(), Block(1).query).empty() ||
+              Dump(target.get(), Block(1).query) ==
+                  std::vector<int>(Block(1).num_documents(), -1));
+}
+
+TEST_F(MigrateServiceTest, ImportIsIdempotent) {
+  const std::string block = Block(0).query;
+  auto source = MakeService();
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    ASSERT_TRUE(source->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(source->CompactAll().ok());
+  auto exported = source->ExportShard(block);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+
+  auto target = MakeService();
+  ASSERT_TRUE(target->ImportShard(block, *exported).ok());
+  const std::vector<int> once = Dump(target.get(), block);
+  // Replaying the same export (a retried migration) lands on the same
+  // state and the same published version.
+  auto again = target->ImportShard(block, *exported);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->version, exported->snapshot.version);
+  EXPECT_EQ(Dump(target.get(), block), once);
+}
+
+TEST_F(MigrateServiceTest, EmptyShardExportsAndImportsCleanly) {
+  const std::string block = Block(0).query;
+  auto source = MakeService();
+  auto exported = source->ExportShard(block);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  EXPECT_TRUE(exported->snapshot.canonical_ids.empty());
+  EXPECT_TRUE(exported->tail.empty());
+  auto target = MakeService();
+  auto outcome = target->ImportShard(block, *exported);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->documents, 0);
+}
+
+TEST_F(MigrateServiceTest, CorruptImportsAreRefusedWithStateUnchanged) {
+  const std::string block = Block(0).query;
+  auto source = MakeService();
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    ASSERT_TRUE(source->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(source->CompactAll().ok());
+  auto exported = source->ExportShard(block);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+
+  // Seed the target with its own state so "unchanged" is observable.
+  auto target = MakeService();
+  ASSERT_TRUE(target->Assign(block, 0).ok());
+  ASSERT_TRUE(target->Assign(block, 1).ok());
+  ASSERT_TRUE(target->CompactAll().ok());
+  const std::vector<int> before = Dump(target.get(), block);
+
+  {  // Mismatched label count.
+    ShardExport bad = *exported;
+    bad.snapshot.labels.pop_back();
+    auto refused = target->ImportShard(block, bad);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kCorruption);
+  }
+  {  // Foreign calibration.
+    ShardExport bad = *exported;
+    bad.snapshot.threshold += 0.125;
+    auto refused = target->ImportShard(block, bad);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {  // Out-of-range document id in the snapshot.
+    ShardExport bad = *exported;
+    bad.snapshot.canonical_ids.back() = Block(0).num_documents() + 5;
+    EXPECT_FALSE(target->ImportShard(block, bad).ok());
+  }
+  {  // Document repeated between snapshot and tail.
+    ShardExport bad = *exported;
+    bad.tail.push_back(bad.snapshot.canonical_ids.front());
+    EXPECT_FALSE(target->ImportShard(block, bad).ok());
+  }
+  {  // Unknown shard.
+    EXPECT_EQ(target->ImportShard("nonesuch", *exported).status().code(),
+              StatusCode::kNotFound);
+  }
+
+  EXPECT_EQ(Dump(target.get(), block), before);
+  // The shard still serves writes after all those refusals.
+  EXPECT_TRUE(target->Assign(block, 2).ok());
+}
+
+TEST_F(MigrateServiceTest, FaultPointsCoverExportAndImport) {
+  const std::string block = Block(0).query;
+  auto source = MakeService();
+  ASSERT_TRUE(source->Assign(block, 0).ok());
+  auto exported = source->ExportShard(block);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+
+  faults::FaultInjector& injector = faults::FaultInjector::Instance();
+  injector.DisarmAll();
+  ASSERT_TRUE(injector.ArmFromSpec("migrate.export=error:1:0:1").ok());
+  EXPECT_FALSE(source->ExportShard(block).ok());
+  // The single-shot trigger is spent: the next export works again.
+  EXPECT_TRUE(source->ExportShard(block).ok());
+
+  auto target = MakeService();
+  const std::vector<int> before = Dump(target.get(), block);
+  ASSERT_TRUE(injector.ArmFromSpec("migrate.import=error:1:0:1").ok());
+  EXPECT_FALSE(target->ImportShard(block, *exported).ok());
+  EXPECT_EQ(Dump(target.get(), block), before);
+  EXPECT_TRUE(target->ImportShard(block, *exported).ok());
+  injector.DisarmAll();
+}
+
+// ---------------------------------------------------------------------------
+// TCP end-to-end: `export` from one live server, repack the frames into an
+// import blob, `import` into a second server, compare `dump` wire lines.
+
+class MigrateWireTest : public MigrateServiceTest {};
+
+TEST_F(MigrateWireTest, ExportImportAcrossTwoServersKeepsDumpsByteIdentical) {
+  const std::string block = Block(0).query;
+  auto source_service = MakeService();
+  for (int d = 0; d < Block(0).num_documents(); ++d) {
+    ASSERT_TRUE(source_service->Assign(block, d).ok());
+  }
+  ASSERT_TRUE(source_service->CompactAll().ok());
+  // Leave an uncompacted straggler so the export carries a tail frame.
+  ASSERT_TRUE(source_service->Assign(Block(1).query, 0).ok());
+
+  auto target_service = MakeService();
+  LineServer source(source_service.get());
+  LineServer target(target_service.get());
+  ASSERT_TRUE(source.StartTcp(0).ok());
+  ASSERT_TRUE(target.StartTcp(0).ok());
+
+  net::LineSocket from_source;
+  ASSERT_TRUE(
+      from_source.Connect("127.0.0.1", source.tcp_port(), 2000.0).ok());
+  ASSERT_TRUE(from_source.SendLine("export " + block).ok());
+  Result<std::string> header = from_source.ReadLine(5000.0);
+  ASSERT_TRUE(header.ok()) << header.status();
+  Result<long long> frames = ParseExportHeader(*header);
+  ASSERT_TRUE(frames.ok()) << frames.status();
+  ASSERT_GE(*frames, 1);
+  std::string blob;
+  for (long long i = 0; i < *frames; ++i) {
+    Result<std::string> line = from_source.ReadLine(5000.0);
+    ASSERT_TRUE(line.ok()) << line.status();
+    Result<std::string> payload = ParseExportFrame(*line);
+    ASSERT_TRUE(payload.ok()) << payload.status();
+    AppendImportFrame(blob, *payload);
+  }
+
+  Request import;
+  import.op = Request::Op::kImport;
+  import.block = block;
+  import.blob = blob;
+  net::LineSocket to_target;
+  ASSERT_TRUE(
+      to_target.Connect("127.0.0.1", target.tcp_port(), 2000.0).ok());
+  ASSERT_TRUE(to_target.SendLine(FormatRequest(import)).ok());
+  Result<std::string> ack = to_target.ReadLine(5000.0);
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->rfind("ok ", 0), 0u) << *ack;
+
+  // Compare the dumps as raw wire lines — byte identity, not just equal
+  // partitions.
+  auto dump_over = [&block](net::LineSocket& socket) {
+    EXPECT_TRUE(socket.SendLine("dump " + block).ok());
+    Result<std::string> line = socket.ReadLine(5000.0);
+    EXPECT_TRUE(line.ok()) << line.status();
+    return line.ok() ? *line : std::string();
+  };
+  const std::string source_dump = dump_over(from_source);
+  const std::string target_dump = dump_over(to_target);
+  EXPECT_EQ(source_dump, target_dump);
+  EXPECT_EQ(source_dump.rfind("ok ", 0), 0u) << source_dump;
+
+  // A corrupted blob is refused on the wire and leaves the target's dump
+  // untouched.
+  Request bad = import;
+  bad.blob[bad.blob.size() / 2] ^= 0x20;
+  ASSERT_TRUE(to_target.SendLine(FormatRequest(bad)).ok());
+  Result<std::string> refused = to_target.ReadLine(5000.0);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_EQ(refused->rfind("err ", 0), 0u) << *refused;
+  EXPECT_EQ(dump_over(to_target), target_dump);
+
+  source.StopTcp();
+  target.StopTcp();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace weber

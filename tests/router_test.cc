@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -488,6 +489,124 @@ TEST_F(RouterEndToEndTest, PingAndQuitAreLocal) {
   for (const auto& backend : backends_) {
     EXPECT_TRUE(backend->lines().empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Route overrides (migration flips)
+// ---------------------------------------------------------------------------
+
+TEST_F(RouterEndToEndTest, RouteOverrideBeatsRendezvousOrder) {
+  Router router(endpoints_, FastOptions());
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+  const size_t new_owner = order[2];  // the least-preferred backend
+
+  router.SetRouteOverride(block, new_owner);
+  const auto effective = router.EffectiveOrder(block);
+  ASSERT_EQ(effective.size(), 3u);
+  EXPECT_EQ(effective[0], new_owner);
+  // The displaced rendezvous owner stays in the order as a failover
+  // candidate — "source drop" demotes, it does not evict.
+  EXPECT_EQ(effective[1], order[0]);
+  EXPECT_EQ(effective[2], order[1]);
+
+  // Every verb class follows the override.
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("assign " + block + " 0", &quit),
+            Tag(new_owner));
+  EXPECT_EQ(router.HandleLine("query " + block + " 0", &quit),
+            Tag(new_owner));
+  EXPECT_EQ(router.HandleLine("dump " + block, &quit), Tag(new_owner));
+  EXPECT_TRUE(backends_[order[0]]->lines().empty());
+
+  // Other blocks are untouched.
+  const std::string other = "smith";
+  EXPECT_EQ(router.EffectiveOrder(other),
+            Router::RouteOrder(other, 3));
+
+  // An out-of-range index clears the override.
+  router.SetRouteOverride(block, 99);
+  EXPECT_EQ(router.EffectiveOrder(block), order);
+}
+
+TEST_F(RouterEndToEndTest, OverrideFlipIsAtomicUnderConcurrentReads) {
+  Router router(endpoints_, FastOptions());
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+
+  // Readers hammer the block while the owner flips back and forth. Every
+  // response must come from a real backend — never a transport error or a
+  // half-installed route — and TSan must see no race between the flip's
+  // map mutation and EffectiveOrder's read.
+  std::atomic<bool> stop{false};
+  std::atomic<long long> bad_responses{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      bool quit = false;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string response =
+            router.HandleLine("query " + block + " 0", &quit);
+        if (response.rfind("ok backend", 0) != 0) {
+          bad_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int flip = 0; flip < 200; ++flip) {
+    router.SetRouteOverride(block, order[flip % 2 == 0 ? 2 : 0]);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(bad_responses.load(), 0);
+}
+
+TEST_F(RouterEndToEndTest, OverrideSurvivesProberTransitions) {
+  auto options = FastOptions();
+  Router router(endpoints_, options);
+  const std::string block = "cohen";
+  const auto order = Router::RouteOrder(block, 3);
+  const size_t new_owner = order[1];
+  router.SetRouteOverride(block, new_owner);
+
+  // Drive the displaced owner through down → probation → healthy; the
+  // override must hold through every health transition, because a flip is
+  // a routing fact, not a health fact.
+  backends_[order[0]]->Kill();
+  for (int i = 0; i < 10 && router.backend(order[0]).state !=
+                                HealthState::kDown;
+       ++i) {
+    router.ProbeOnce();
+  }
+  EXPECT_EQ(router.backend(order[0]).state, HealthState::kDown);
+  EXPECT_EQ(router.EffectiveOrder(block)[0], new_owner);
+
+  backends_[order[0]]->Restart();
+  for (int i = 0; i < 10 && router.backend(order[0]).state !=
+                                HealthState::kHealthy;
+       ++i) {
+    router.ProbeOnce();
+  }
+  EXPECT_EQ(router.backend(order[0]).state, HealthState::kHealthy);
+  EXPECT_EQ(router.EffectiveOrder(block)[0], new_owner);
+
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("assign " + block + " 1", &quit),
+            Tag(new_owner));
+}
+
+TEST_F(RouterEndToEndTest, BackendVerbsAreRejectedAtTheRouter) {
+  Router router(endpoints_, FastOptions());
+  bool quit = false;
+  EXPECT_EQ(router.HandleLine("export cohen", &quit)
+                .rfind("err InvalidArgument", 0),
+            0u);
+  // A migrate naming an unknown endpoint fails without touching routing.
+  EXPECT_EQ(router.HandleLine("migrate cohen 127.0.0.1:1", &quit)
+                .rfind("err NotFound", 0),
+            0u);
+  EXPECT_EQ(router.EffectiveOrder("cohen"), Router::RouteOrder("cohen", 3));
 }
 
 TEST_F(RouterEndToEndTest, StartAndStopTheProberIsClean) {

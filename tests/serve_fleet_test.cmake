@@ -42,3 +42,21 @@ file(READ "${WORK_DIR}/BENCH_fleet.json" BENCH)
 if(NOT BENCH MATCHES "\"lost\":0,")
   message(FATAL_ERROR "BENCH_fleet.json does not record zero loss:\n${BENCH}")
 endif()
+# The drill must record how long the victim took to come back and how many
+# probe cycles the router spent noticing + re-admitting it (both nonzero:
+# a zero would mean the outage was never actually detected).
+if(NOT BENCH MATCHES "\"recovery_ms\":[0-9]+")
+  message(FATAL_ERROR "BENCH_fleet.json does not record recovery_ms:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"detection_ms\":[0-9]+")
+  message(FATAL_ERROR "BENCH_fleet.json does not record detection_ms:\n${BENCH}")
+endif()
+if(BENCH MATCHES "\"probe_cycles_during_outage\":0[,}]")
+  message(FATAL_ERROR "fleet drill detected the outage without a single probe cycle:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"probe_cycles_during_outage\":[0-9]+")
+  message(FATAL_ERROR "BENCH_fleet.json does not record probe cycles:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"probe_cycles_total\":[0-9]+")
+  message(FATAL_ERROR "BENCH_fleet.json does not record probe_cycles_total:\n${BENCH}")
+endif()

@@ -1,0 +1,54 @@
+# Live-migration drill smoke test: weber_crashtest --migrate forks three
+# weber_serve backends behind an in-process weber::router, storms writes,
+# SIGKILLs the source backend mid-copy (migration must roll back) and
+# mid-flip (migration must complete from the copied state), then runs one
+# clean migration and asserts the moved block's dump is byte-identical
+# through the router, with zero acked-write loss and reads served through
+# both outages. Invoked by ctest with -DWEBER_BIN=<weber>
+# -DSERVE_BIN=<weber_serve> -DCRASH_BIN=<weber_crashtest>
+# -DWORK_DIR=<scratch dir>.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+run(${WEBER_BIN} generate --preset=tiny --out=${WORK_DIR})
+
+run(${CRASH_BIN}
+    --dataset=${WORK_DIR}/dataset.txt
+    --gazetteer=${WORK_DIR}/gazetteer.txt
+    --serve_bin=${SERVE_BIN}
+    --data_dir=${WORK_DIR}/store
+    --migrate --writers=4 --seed=20260809
+    --out=${WORK_DIR}/BENCH_migrate.json)
+
+if(NOT LAST_OUTPUT MATCHES "migrate drill ok:")
+  message(FATAL_ERROR "migrate drill did not report success:\n${LAST_OUTPUT}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/BENCH_migrate.json")
+  message(FATAL_ERROR "migrate drill did not write BENCH_migrate.json")
+endif()
+file(READ "${WORK_DIR}/BENCH_migrate.json" BENCH)
+if(NOT BENCH MATCHES "\"lost\":0,")
+  message(FATAL_ERROR "BENCH_migrate.json does not record zero loss:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"midcopy_rolled_back\":true")
+  message(FATAL_ERROR "mid-copy kill did not roll the migration back:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"midflip_completed\":true")
+  message(FATAL_ERROR "mid-flip kill did not complete the migration:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"clean_dump_identical\":true")
+  message(FATAL_ERROR "clean migration broke dump byte-identity:\n${BENCH}")
+endif()
+if(NOT BENCH MATCHES "\"read_failures\":0[,}]")
+  message(FATAL_ERROR "reads failed during the migration drill:\n${BENCH}")
+endif()

@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/flags.h"
 #include "common/json_writer.h"
@@ -434,6 +435,7 @@ int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
             << " acked\n";
   outage.store(true);
   const auto outage_start = std::chrono::steady_clock::now();
+  const long long probe_cycles_at_kill = router.probe_cycles();
   KillHard(&servers[victim]);
 
   // Hold the outage until the router has demoted the victim (state down),
@@ -449,6 +451,10 @@ int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
   }
+  const double detection_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - outage_start)
+          .count();
 
   // Restart on the same port; the kernel may briefly hold the address even
   // with SO_REUSEADDR, so spawning retries.
@@ -466,6 +472,7 @@ int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
   servers[victim] = *revived;
 
   // Recovery: the router must probe the backend back to routable.
+  const auto recovery_start = std::chrono::steady_clock::now();
   {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(10);
@@ -481,14 +488,23 @@ int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
     }
   }
   outage.store(false);
+  const auto outage_end = std::chrono::steady_clock::now();
   const double outage_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - outage_start)
+      std::chrono::duration<double, std::milli>(outage_end - outage_start)
           .count();
+  // Recovery duration: restarted process back to routable — the part an
+  // operator can tune with probe cadence and probation length.
+  const double recovery_ms =
+      std::chrono::duration<double, std::milli>(outage_end - recovery_start)
+          .count();
+  const long long probe_cycles_during_outage =
+      router.probe_cycles() - probe_cycles_at_kill;
   std::cout << "fleet: backend " << victim << " recovered after "
             << FormatDouble(outage_ms, 1) << " ms ("
             << router::HealthStateName(router.backend(victim).state)
-            << ")\n";
+            << ", detection " << FormatDouble(detection_ms, 1)
+            << " ms, recovery " << FormatDouble(recovery_ms, 1) << " ms, "
+            << probe_cycles_during_outage << " probe cycles)\n";
 
   for (std::thread& t : writers) t.join();
   stop_reader.store(true);
@@ -575,6 +591,10 @@ int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
   json.Key("lost").Number(lost);
   json.Key("victim").String(endpoints[victim]);
   json.Key("outage_ms").Number(outage_ms);
+  json.Key("detection_ms").Number(detection_ms);
+  json.Key("recovery_ms").Number(recovery_ms);
+  json.Key("probe_cycles_during_outage").Number(probe_cycles_during_outage);
+  json.Key("probe_cycles_total").Number(router.probe_cycles());
   json.Key("writer_sheds").Number(totals.sheds);
   json.Key("writer_unavailable").Number(totals.unavailable);
   json.Key("writer_transport_failures").Number(totals.transport);
@@ -615,6 +635,535 @@ int RunFleetMode(const FlagParser& flags, const corpus::Dataset& dataset) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Migration kill drill (--migrate)
+// ---------------------------------------------------------------------------
+//
+// Three durable backends behind the in-process router; the drill storms
+// assigns/queries while migrating the first block and SIGKILLing its source
+// backend at the two nastiest moments:
+//
+//   1. mid-copy  — the source's export stalls (migrate.export latency fault
+//      armed in the child) and the kill lands inside the stall. The
+//      migration must roll back (no flip, no loss) and the fleet rides out
+//      the outage like any backend death.
+//   2. mid-flip  — the router's own flip stalls (migrate.flip latency fault
+//      armed in-process) and the kill lands inside the stall. The target
+//      already holds the full copy, so the flip must complete and every
+//      acked write must survive the source's death.
+//
+// After the storm a clean migration moves the block once more and asserts
+// the dump through the router is byte-identical before and after. Results
+// land in --out (BENCH_migrate.json).
+int RunMigrateMode(const FlagParser& flags, const corpus::Dataset& dataset) {
+  constexpr int kBackends = 3;
+  const int n_writers = std::max(1, flags.GetInt("writers"));
+  const double kill_at =
+      std::min(0.9, std::max(0.05, flags.GetDouble("kill_at")));
+  const std::string serve_bin = flags.GetString("serve_bin");
+  const std::string data_dir = flags.GetString("data_dir");
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  std::vector<std::pair<int, int>> work;
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    for (size_t d = 0; d < dataset.blocks[b].documents.size(); ++d) {
+      work.emplace_back(static_cast<int>(b), static_cast<int>(d));
+    }
+  }
+  if (work.empty()) return Fail(Status::InvalidArgument("empty dataset"));
+  rng.Shuffle(&work);
+
+  const std::string moved_block = dataset.blocks[0].query;
+  const std::vector<size_t> block0_order =
+      router::Router::RouteOrder(moved_block, kBackends);
+  const size_t victim = block0_order[0];  // source of every migration
+  const size_t target = block0_order[1];  // destination of both kill drills
+  const size_t spare = block0_order[2];   // destination of the clean pass
+
+  auto backend_args = [&](int i, int port, const std::string& faults) {
+    std::vector<std::string> args{
+        "--dataset=" + flags.GetString("dataset"),
+        "--gazetteer=" + flags.GetString("gazetteer"),
+        "--data-dir=" + data_dir + "/backend" + std::to_string(i),
+        "--fsync=always",
+        "--port=" + std::to_string(port),
+        "--nostdio",
+        "--max_delay_ms=0.5",
+        "--train_fraction=" +
+            FormatDouble(flags.GetDouble("train_fraction"), 6),
+        "--seed=" + std::to_string(flags.GetInt("cal_seed")),
+    };
+    if (!faults.empty()) args.push_back("--faults=" + faults);
+    return args;
+  };
+
+  std::vector<ServerProcess> servers(kBackends);
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < kBackends; ++i) {
+    if (auto st = WipeDataDir(data_dir + "/backend" + std::to_string(i));
+        !st.ok()) {
+      return Fail(st);
+    }
+    // The victim's first export stalls 1500 ms so the mid-copy SIGKILL
+    // deterministically lands while the bulk copy is in flight.
+    const std::string faults =
+        static_cast<size_t>(i) == victim ? "migrate.export=latency:1:1500:1"
+                                         : "";
+    auto server = SpawnServer(serve_bin, backend_args(i, 0, faults));
+    if (!server.ok()) return Fail(server.status());
+    servers[static_cast<size_t>(i)] = *server;
+    endpoints.push_back("127.0.0.1:" + std::to_string(server->port));
+  }
+  auto kill_fleet = [&] {
+    for (ServerProcess& s : servers) KillHard(&s);
+  };
+
+  router::RouterOptions ropts;
+  ropts.probe_interval_ms = 50.0;
+  ropts.probe_timeout_ms = 250.0;
+  ropts.health.down_probe_interval_ms = 100.0;
+  ropts.retry_backoff_ms = 5.0;
+  ropts.retry_after_ms = 25.0;
+  ropts.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  // Generous pause: the mid-flip drill spends ~1 s stalled inside it and
+  // the flip must still beat the expiry to complete.
+  ropts.migrate_pause_ms = 3000.0;
+  router::Router router(endpoints, ropts);
+  router.Start();
+  serve::LineServer front(
+      [&router](const std::string& line, bool* quit) {
+        return router.HandleLine(line, quit);
+      });
+  if (auto st = front.StartTcp(0); !st.ok()) {
+    kill_fleet();
+    return Fail(st);
+  }
+  const int router_port = front.tcp_port();
+
+  std::atomic<size_t> acked_count{0};
+  std::atomic<bool> outage{false};
+  std::atomic<bool> stop_reader{false};
+  std::atomic<bool> stop_writers{false};
+  std::atomic<int> first_passes{0};
+  std::atomic<long long> reads_ok{0};
+  std::atomic<long long> reads_ok_during_outage{0};
+  std::atomic<long long> reads_shed{0};
+  std::atomic<long long> read_failures{0};
+
+  std::thread reader([&] {
+    Rng reader_rng(static_cast<uint64_t>(flags.GetInt("seed")) ^ 0x4EADULL);
+    serve::LineConnection conn;
+    if (!conn.Connect("127.0.0.1", router_port).ok()) {
+      read_failures.fetch_add(1);
+      return;
+    }
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const auto& pick =
+          work[reader_rng.UniformUint64(static_cast<uint64_t>(work.size()))];
+      const std::string request =
+          "query " + dataset.blocks[pick.first].query + " " +
+          std::to_string(pick.second);
+      const bool during_outage = outage.load(std::memory_order_relaxed);
+      Result<std::string> response = conn.Call(request);
+      if (!response.ok()) {
+        read_failures.fetch_add(1);
+        if (!conn.Connect("127.0.0.1", router_port).ok()) return;
+        continue;
+      }
+      Result<serve::Response> parsed = serve::ParseResponse(*response);
+      if (!parsed.ok()) {
+        read_failures.fetch_add(1);
+      } else if (parsed->ok()) {
+        reads_ok.fetch_add(1);
+        if (during_outage) reads_ok_during_outage.fetch_add(1);
+      } else if (parsed->kind == serve::Response::Kind::kOverloaded) {
+        reads_shed.fetch_add(1);
+      } else {
+        read_failures.fetch_add(1);
+      }
+    }
+  });
+
+  // Writers cycle the work list (assign is idempotent) so the storm keeps
+  // running through both kill windows, however small the dataset. The
+  // first full pass acks every document; later passes just keep the
+  // pressure on, including OVERLOADED sheds against the migration pause.
+  std::vector<WriterCounters> writer_counters(
+      static_cast<size_t>(n_writers));
+  std::vector<Status> writer_failures(static_cast<size_t>(n_writers),
+                                      Status::OK());
+  std::vector<std::thread> writers;
+  for (int w = 0; w < n_writers; ++w) {
+    writers.emplace_back([&, w] {
+      WriterCounters& counters = writer_counters[static_cast<size_t>(w)];
+      Rng writer_rng(static_cast<uint64_t>(flags.GetInt("seed")) +
+                     0xA5A5ULL * static_cast<uint64_t>(w + 1));
+      serve::LineConnection conn;
+      if (auto st = conn.Connect("127.0.0.1", router_port); !st.ok()) {
+        writer_failures[static_cast<size_t>(w)] = st;
+        return;
+      }
+      bool first_pass = true;
+      for (size_t i = static_cast<size_t>(w);;) {
+        if (i >= work.size()) {
+          if (first_pass) {
+            first_pass = false;
+            first_passes.fetch_add(1);
+          }
+          if (stop_writers.load(std::memory_order_relaxed)) return;
+          i = static_cast<size_t>(w);
+          continue;
+        }
+        const std::string request =
+            "assign " + dataset.blocks[work[i].first].query + " " +
+            std::to_string(work[i].second);
+        bool done = false;
+        for (int attempt = 0; attempt < 2000 && !done; ++attempt) {
+          Result<std::string> response = conn.Call(request);
+          if (!response.ok()) {
+            ++counters.transport;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            (void)conn.Connect("127.0.0.1", router_port);
+            continue;
+          }
+          Result<serve::Response> parsed = serve::ParseResponse(*response);
+          if (!parsed.ok()) {
+            writer_failures[static_cast<size_t>(w)] = parsed.status();
+            return;
+          }
+          switch (parsed->kind) {
+            case serve::Response::Kind::kOk:
+              ++counters.acked;
+              acked_count.fetch_add(1, std::memory_order_relaxed);
+              done = true;
+              break;
+            case serve::Response::Kind::kOverloaded:
+              ++counters.sheds;
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double, std::milli>(
+                      parsed->retry_after_ms *
+                      (1.0 + writer_rng.UniformDouble())));
+              break;
+            case serve::Response::Kind::kError:
+              if (parsed->code == StatusCode::kUnavailable) {
+                ++counters.unavailable;
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                break;
+              }
+              writer_failures[static_cast<size_t>(w)] = Status::Internal(
+                  "assign rejected through the router: ", *response);
+              return;
+            case serve::Response::Kind::kDeadlineExceeded:
+              writer_failures[static_cast<size_t>(w)] = Status::Internal(
+                  "unexpected DEADLINE_EXCEEDED (no deadline sent)");
+              return;
+          }
+        }
+        if (!done) {
+          writer_failures[static_cast<size_t>(w)] = Status::Internal(
+              "'", request, "' never acked after 2000 attempts");
+          return;
+        }
+        i += static_cast<size_t>(n_writers);
+      }
+    });
+  }
+
+  // Issues `migrate` through the router on its own connection and hands
+  // back the raw response; runs in a thread so the drill can SIGKILL the
+  // source while the migration is in flight.
+  auto call_migrate = [&](size_t to) -> Result<std::string> {
+    serve::LineConnection conn;
+    WEBER_RETURN_NOT_OK(conn.Connect("127.0.0.1", router_port));
+    return conn.Call("migrate " + moved_block + " " + endpoints[to]);
+  };
+
+  // Rides out a source kill: waits for the router to demote the victim,
+  // restarts it on the same port (no faults), waits until routable again.
+  auto recover_victim = [&](int victim_port) -> Result<double> {
+    const auto outage_start = std::chrono::steady_clock::now();
+    {
+      const auto deadline = outage_start + std::chrono::seconds(10);
+      while (router.backend(victim).state != router::HealthState::kDown) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          return Status::Internal(
+              "router never marked the killed source down");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    Result<ServerProcess> revived = Status::Internal("unspawned");
+    for (int tries = 0; tries < 50; ++tries) {
+      revived = SpawnServer(
+          serve_bin,
+          backend_args(static_cast<int>(victim), victim_port, ""));
+      if (revived.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    WEBER_RETURN_NOT_OK(revived.status());
+    servers[victim] = *revived;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!(router.backend(victim).state == router::HealthState::kHealthy ||
+             router.backend(victim).state ==
+                 router::HealthState::kProbation)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        return Status::Internal(
+            "router never routed the restarted source again");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - outage_start)
+        .count();
+  };
+
+  const size_t kill_threshold =
+      std::max<size_t>(1, static_cast<size_t>(kill_at * work.size()));
+  while (acked_count.load() < kill_threshold) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // --- Drill 1: SIGKILL the source mid-copy -------------------------------
+  std::cout << "migrate: moving '" << moved_block << "' "
+            << endpoints[victim] << " -> " << endpoints[target]
+            << ", SIGKILL source mid-copy\n";
+  Result<std::string> midcopy_response = Status::Internal("unset");
+  std::thread midcopy([&] { midcopy_response = call_migrate(target); });
+  // The victim's armed export fault stalls the bulk copy 1500 ms; landing
+  // the kill 400 ms in guarantees the copy is in flight when it dies.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  outage.store(true);
+  const int victim_port1 = servers[victim].port;
+  KillHard(&servers[victim]);
+  midcopy.join();
+  if (midcopy_response.ok() &&
+      midcopy_response.ValueOrDie().rfind("ok", 0) == 0) {
+    kill_fleet();
+    return Fail(Status::Internal(
+        "migration reported success with its source killed mid-copy: ",
+        midcopy_response.ValueOrDie()));
+  }
+  Result<double> outage1_ms = recover_victim(victim_port1);
+  if (!outage1_ms.ok()) {
+    kill_fleet();
+    return Fail(outage1_ms.status());
+  }
+  outage.store(false);
+  const long long reads_during_outage1 = reads_ok_during_outage.load();
+  std::cout << "migrate: mid-copy kill rolled back cleanly, source back in "
+            << FormatDouble(*outage1_ms, 1) << " ms\n";
+
+  // --- Drill 2: SIGKILL the source mid-flip -------------------------------
+  // The stall runs in the router (this process), after the catch-up copy:
+  // the target holds everything, so the flip must complete without the
+  // source.
+  faults::FaultInjector::Instance().Seed(
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  if (auto st = faults::FaultInjector::Instance().ArmFromSpec(
+          "migrate.flip=latency:1:1000:1");
+      !st.ok()) {
+    kill_fleet();
+    return Fail(st);
+  }
+  std::cout << "migrate: moving '" << moved_block << "' again, SIGKILL "
+            << "source mid-flip\n";
+  Result<std::string> midflip_response = Status::Internal("unset");
+  std::thread midflip([&] { midflip_response = call_migrate(target); });
+  // Copy + catch-up of one block take a few ms; 300 ms in, the migration
+  // is parked inside the 1000 ms flip stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  outage.store(true);
+  const int victim_port2 = servers[victim].port;
+  KillHard(&servers[victim]);
+  midflip.join();
+  if (!midflip_response.ok() ||
+      midflip_response.ValueOrDie().rfind("ok", 0) != 0) {
+    kill_fleet();
+    return Fail(Status::Internal(
+        "mid-flip migration did not complete from the copied data: ",
+        midflip_response.ok() ? midflip_response.ValueOrDie()
+                              : midflip_response.status().ToString()));
+  }
+  Result<double> outage2_ms = recover_victim(victim_port2);
+  if (!outage2_ms.ok()) {
+    kill_fleet();
+    return Fail(outage2_ms.status());
+  }
+  outage.store(false);
+  const long long reads_during_outage2 =
+      reads_ok_during_outage.load() - reads_during_outage1;
+  std::cout << "migrate: mid-flip kill completed the flip, source back in "
+            << FormatDouble(*outage2_ms, 1) << " ms\n";
+
+  // Let the storm finish a full pass everywhere, then stop it.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (first_passes.load() < n_writers) {
+      if (std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  stop_writers.store(true);
+  for (std::thread& t : writers) t.join();
+  stop_reader.store(true);
+  reader.join();
+  for (const Status& st : writer_failures) {
+    if (!st.ok()) {
+      kill_fleet();
+      return Fail(st);
+    }
+  }
+
+  serve::LineConnection conn;
+  if (auto st = conn.Connect("127.0.0.1", router_port); !st.ok()) {
+    kill_fleet();
+    return Fail(st);
+  }
+  auto compacted = conn.Call("compact");
+  if (!compacted.ok() || compacted->rfind("ok", 0) != 0) {
+    kill_fleet();
+    return Fail(Status::Internal(
+        "fleet compact failed: ",
+        compacted.ok() ? *compacted : compacted.status().ToString()));
+  }
+
+  // --- Drill 3: clean migration, dump byte-identity -----------------------
+  auto dump_moved = [&]() -> Result<std::string> {
+    return conn.Call("dump " + moved_block);
+  };
+  Result<std::string> pre_dump = dump_moved();
+  if (!pre_dump.ok()) {
+    kill_fleet();
+    return Fail(pre_dump.status());
+  }
+  auto clean = conn.Call("migrate " + moved_block + " " + endpoints[spare]);
+  if (!clean.ok() || clean->rfind("ok", 0) != 0) {
+    kill_fleet();
+    return Fail(Status::Internal(
+        "clean migration failed: ",
+        clean.ok() ? *clean : clean.status().ToString()));
+  }
+  Result<std::string> post_dump = dump_moved();
+  if (!post_dump.ok()) {
+    kill_fleet();
+    return Fail(post_dump.status());
+  }
+  const bool dump_identical = *pre_dump == *post_dump;
+
+  // Zero acked-write loss: the storm acked every document at least once,
+  // so every label in every owner's dump must be assigned.
+  long long lost = 0;
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    const corpus::Block& block = dataset.blocks[b];
+    auto response = conn.Call("dump " + block.query);
+    if (!response.ok()) {
+      kill_fleet();
+      return Fail(response.status());
+    }
+    auto served = serve::ParseDumpResponse(*response);
+    if (!served.ok()) {
+      kill_fleet();
+      return Fail(served.status());
+    }
+    for (size_t d = 0; d < block.documents.size(); ++d) {
+      if ((*served)[d] < 0) {
+        ++lost;
+        std::cerr << "acked write lost: block '" << block.query << "' doc "
+                  << d << "\n";
+      }
+    }
+  }
+
+  WriterCounters totals;
+  for (const WriterCounters& c : writer_counters) {
+    totals.acked += c.acked;
+    totals.sheds += c.sheds;
+    totals.unavailable += c.unavailable;
+    totals.transport += c.transport;
+  }
+  std::string router_stats;
+  if (auto stats = conn.Call("stats");
+      stats.ok() && stats->rfind("ok ", 0) == 0) {
+    router_stats = stats->substr(3);
+  }
+
+  front.StopTcp();
+  router.Stop();
+  faults::FaultInjector::Instance().DisarmAll();
+  int unclean_exits = 0;
+  for (ServerProcess& s : servers) {
+    auto status = StopSoft(&s);
+    if (!status.ok() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      ++unclean_exits;
+    }
+  }
+
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) return Fail(Status::IOError("cannot write ", out_path));
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("benchmark").String("weber_migrate_drill");
+  json.Key("backends").Number(kBackends);
+  json.Key("writers").Number(n_writers);
+  json.Key("seed").Number(flags.GetInt("seed"));
+  json.Key("documents").Number(static_cast<long long>(work.size()));
+  json.Key("acked").Number(totals.acked);
+  json.Key("lost").Number(lost);
+  json.Key("moved_block").String(moved_block);
+  json.Key("source").String(endpoints[victim]);
+  json.Key("midcopy_rolled_back").Bool(true);
+  json.Key("midcopy_outage_ms").Number(*outage1_ms);
+  json.Key("midflip_completed").Bool(true);
+  json.Key("midflip_outage_ms").Number(*outage2_ms);
+  json.Key("clean_dump_identical").Bool(dump_identical);
+  json.Key("writer_sheds").Number(totals.sheds);
+  json.Key("writer_unavailable").Number(totals.unavailable);
+  json.Key("writer_transport_failures").Number(totals.transport);
+  json.Key("reads_ok").Number(reads_ok.load());
+  json.Key("reads_ok_during_midcopy_outage").Number(reads_during_outage1);
+  json.Key("reads_ok_during_midflip_outage").Number(reads_during_outage2);
+  json.Key("reads_shed").Number(reads_shed.load());
+  json.Key("read_failures").Number(read_failures.load());
+  json.Key("unclean_exits").Number(unclean_exits);
+  json.Key("router_stats").String(router_stats);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (lost > 0) {
+    return Fail(Status::Corruption(lost, " acked writes lost in the drill"));
+  }
+  if (!dump_identical) {
+    return Fail(Status::Corruption(
+        "the clean migration changed the moved block's dump:\n  pre:  ",
+        *pre_dump, "\n  post: ", *post_dump));
+  }
+  if (read_failures.load() > 0) {
+    return Fail(Status::Internal(read_failures.load(),
+                                 " reader failures during the drill"));
+  }
+  if (reads_during_outage1 == 0 || reads_during_outage2 == 0) {
+    return Fail(Status::Internal(
+        "no successful reads during an outage window — failover did not "
+        "carry the read path"));
+  }
+  if (unclean_exits > 0) {
+    return Fail(Status::Internal(unclean_exits,
+                                 " backends exited uncleanly on SIGTERM"));
+  }
+  std::cout << "migrate drill ok: '" << moved_block
+            << "' survived SIGKILL mid-copy (rolled back, "
+            << FormatDouble(*outage1_ms, 1) << " ms outage) and mid-flip "
+            << "(completed, " << FormatDouble(*outage2_ms, 1)
+            << " ms outage), clean pass byte-identical, " << totals.acked
+            << " acks with zero loss, " << totals.sheds << " sheds, "
+            << "graceful SIGTERM exit 0 x" << kBackends << "\n";
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("dataset", "", "path to a labeled WEBER dataset file");
@@ -628,6 +1177,10 @@ int Run(int argc, char** argv) {
   flags.AddInt("fleet", 0,
                "run the fleet kill drill against this many backends "
                "instead of the single-server torture loop (0 = classic)");
+  flags.AddBool("migrate", false,
+                "run the live-migration kill drill (3 backends, SIGKILL "
+                "the source mid-copy and mid-flip) instead of the classic "
+                "loop");
   flags.AddInt("writers", 4, "storm writer threads (fleet mode)");
   flags.AddDouble("kill_at", 0.3,
                   "acked fraction at which the victim backend is "
@@ -657,6 +1210,7 @@ int Run(int argc, char** argv) {
   auto dataset = corpus::LoadDatasetFromFile(flags.GetString("dataset"));
   if (!dataset.ok()) return Fail(dataset.status());
   if (flags.GetInt("fleet") > 0) return RunFleetMode(flags, *dataset);
+  if (flags.GetBool("migrate")) return RunMigrateMode(flags, *dataset);
   std::ifstream gz(flags.GetString("gazetteer"));
   if (!gz) {
     return Fail(Status::IOError("cannot read ", flags.GetString("gazetteer")));

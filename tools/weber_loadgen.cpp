@@ -1005,6 +1005,15 @@ int Run(int argc, char** argv) {
   WritePhaseJson(json, "query", *query_stats);
   // Only when exercised, so default runs stay byte-compatible.
   if (match_run) WritePhaseJson(json, "match", match_phase);
+  // Per-verb shed rollup: every verb goes through the same CallWithRetry,
+  // so `match` honors the OVERLOADED retry-after hint exactly like
+  // `assign` — this records which verbs actually got shed, which the
+  // per-phase objects bury.
+  json.Key("sheds_by_verb").BeginObject();
+  json.Key("assign").Number(assign_stats->sheds);
+  json.Key("query").Number(query_stats->sheds);
+  if (match_run) json.Key("match").Number(match_phase.sheds);
+  json.EndObject();
   json.Key("cache_hit_rate").Number(hit_rate);
   json.Key("metrics_lines").Number(metrics_lines);
   json.Key("metrics_families").Number(metrics_families);

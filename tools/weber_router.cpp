@@ -114,6 +114,16 @@ void AddFlags(FlagParser* flags) {
   flags->AddDouble("write-timeout-ms", 0.0,
                    "give up on a TCP client that cannot absorb a response "
                    "within this (0 = block)");
+  flags->AddDouble("migrate-pause-ms", 500.0,
+                   "write-pause budget for the tail catch-up phase of a "
+                   "`migrate <block> <endpoint>` admin request");
+  flags->AddInt("replicas", 1,
+                "copies per block: 1 = owner only; N>1 forwards acked "
+                "writes asynchronously to the next N-1 backends in route "
+                "order as warm standbys");
+  flags->AddInt("replication-queue-cap", 1024,
+                "acked writes queued for standby forwarding before new "
+                "ones are dropped (and counted)");
 }
 
 int Fail(const Status& status) {
@@ -166,6 +176,16 @@ int Run(int argc, char** argv) {
   options.retry_after_ms = flags.GetDouble("retry-after-ms");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.pool_size = flags.GetInt("pool-size");
+  options.migrate_pause_ms =
+      std::max(1.0, flags.GetDouble("migrate-pause-ms"));
+  options.replicas = std::max(1, flags.GetInt("replicas"));
+  options.replication_queue_cap = static_cast<size_t>(
+      std::max(1, flags.GetInt("replication-queue-cap")));
+  if (options.replicas > static_cast<int>(endpoints.size())) {
+    return Fail(Status::InvalidArgument(
+        "--replicas=", options.replicas, " exceeds the ", endpoints.size(),
+        "-backend fleet"));
+  }
 
   router::Router router(endpoints, options);
   router.Start();
