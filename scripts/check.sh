@@ -7,7 +7,7 @@
 # Usage: scripts/check.sh
 #          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
 #           --overload-only|--obs-only|--router-only|--match-only|
-#           --migrate-only]
+#           --migrate-only|--rebalance-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
@@ -32,6 +32,13 @@
 # mid-copy and mid-flip, assert rollback/completion, zero acked-write
 # loss, and dump byte-identity through the router).
 #
+# --rebalance-only: the fleet self-healing suite under ASan/UBSan — the
+# rebalance/drain/state-file/promotion router tests, the admin-verb race
+# test, and 3 seeded runs of the self-healing drill (SIGKILL a rebalance
+# source mid-export, the router mid-plan, and a block's owner for good;
+# assert rollback, state-file recovery, standby promotion, and zero
+# acked-write loss).
+#
 # --router-only: the fleet-routing suite under ASan/UBSan — the
 # health-machine / route-order / failover unit tests, the shared response
 # parser tests, and the 3-backend kill drill (SIGKILL a backend mid-storm
@@ -48,7 +55,7 @@ MODE="${1:-all}"
 # (service, server, cache, batcher), the shared executor pool, the
 # incremental resolver the serving hot path drives, and the observability
 # primitives (striped counters, trace ring buffer, registry export).
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch|MigrateService|MigrateWire'
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch|MigrateService|MigrateWire|RebalanceService|ConcurrentAdmin'
 
 run_suite() {
   local dir="$1"; shift
@@ -155,6 +162,30 @@ if [[ "$MODE" == "--migrate-only" ]]; then
       --seed="$seed" --out="$scratch/BENCH_migrate.json"
   done
   echo "==> migrate checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--rebalance-only" ]]; then
+  echo "==> fleet self-healing suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'RebalanceService|ConcurrentAdmin|RouterEndToEnd|ParseRequest|StatsSchema'
+  scratch="build-asan/rebalance_drill"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  ./build-asan/tools/weber generate --preset=tiny --out="$scratch"
+  for seed in 1 2 3; do
+    echo "==> self-healing drill: source, router, and owner kills, seed $seed"
+    rm -rf "$scratch/store"
+    ./build-asan/tools/weber_crashtest \
+      --dataset="$scratch/dataset.txt" \
+      --gazetteer="$scratch/gazetteer.txt" \
+      --serve_bin=./build-asan/tools/weber_serve \
+      --router_bin=./build-asan/tools/weber_router \
+      --data_dir="$scratch/store" --rebalance --writers=4 \
+      --seed="$seed" --out="$scratch/BENCH_rebalance.json"
+  done
+  echo "==> rebalance checks passed"
   exit 0
 fi
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <sstream>
 
+#include "common/crc32c.h"
 #include "common/fault_injection.h"
+#include "common/file_util.h"
 #include "common/json_writer.h"
 #include "common/string_util.h"
 
@@ -79,12 +82,42 @@ std::vector<size_t> Router::EffectiveOrder(const std::string& block) const {
 
 void Router::SetRouteOverride(const std::string& block,
                               size_t backend_index) {
-  std::lock_guard<std::mutex> lock(route_mu_);
-  if (backend_index >= backends_.size()) {
-    route_override_.erase(block);
-  } else {
-    route_override_[block] = backend_index;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (backend_index >= backends_.size()) {
+      route_override_.erase(block);
+    } else {
+      route_override_[block] = backend_index;
+    }
   }
+  PersistState();
+}
+
+std::unordered_map<std::string, size_t> Router::RouteOverrides() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return route_override_;
+}
+
+void Router::SetWritePause(const std::string& block, double ms) {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (ms <= 0.0) {
+    write_pause_until_.erase(block);
+  } else {
+    write_pause_until_[block] = NowMs() + ms;
+  }
+}
+
+std::vector<std::string> Router::DrainedEndpoints() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  std::vector<std::string> endpoints;
+  endpoints.reserve(drained_.size());
+  for (size_t index : drained_) endpoints.push_back(backends_[index]->endpoint);
+  return endpoints;
+}
+
+Router::PlanProgress Router::plan_progress() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plan_;
 }
 
 Router::Router(std::vector<std::string> endpoints, RouterOptions options)
@@ -123,6 +156,30 @@ Router::Router(std::vector<std::string> endpoints, RouterOptions options)
         "weber_router_replication_drops_total",
         "Acked writes dropped at the replication queue cap");
   }
+  // Both self-healing features gate their counters the same way: a router
+  // run without --state-file / --promote-after-ms exposes byte-identical
+  // metrics to earlier releases.
+  if (!options_.state_file.empty()) {
+    state_saves_ = registry_.GetCounter(
+        "weber_router_state_saves_total",
+        "Route-override state file writes (atomic replace)");
+    state_save_failures_ = registry_.GetCounter(
+        "weber_router_state_save_failures_total",
+        "Route-override state file writes that failed");
+    override_divergence_ = registry_.GetCounter(
+        "weber_router_override_divergence_total",
+        "Restored route overrides contradicted by backend shard stats");
+  }
+  if (options_.promote_after_ms > 0.0) {
+    promotions_ = registry_.GetCounter(
+        "weber_router_promotions_total",
+        "Blocks promoted to a standby after hard backend loss");
+    possibly_lost_writes_ = registry_.GetCounter(
+        "weber_router_possibly_lost_writes_total",
+        "Acked writes not confirmed replicated when their block was "
+        "promoted (an honest upper bound on loss, not a measurement of "
+        "it)");
+  }
   backends_.reserve(endpoints.size());
   for (const std::string& endpoint : endpoints) {
     auto backend = std::make_unique<Backend>();
@@ -151,6 +208,8 @@ Router::Router(std::vector<std::string> endpoints, RouterOptions options)
         "backend", endpoint);
     backends_.push_back(std::move(backend));
   }
+  promoted_at_down_.assign(backends_.size(), 0);
+  LoadState();
 }
 
 Router::~Router() { Stop(); }
@@ -263,16 +322,14 @@ bool Router::BackoffSleep(int attempt, double remaining_ms) {
 std::string Router::ForwardWrite(const serve::Request& request) {
   const serve::RequestDeadline deadline =
       serve::RequestDeadline::In(request.deadline_ms);
-  // The in-flight count is raised BEFORE the pause check: a migration
-  // pauses the block and then waits for this count to drain, so any write
-  // that slipped past the pause is provably forwarded (and re-exported)
-  // before the final catch-up copy. Writes that see the pause shed with
-  // the remaining pause as the retry hint — honest degradation.
-  inflight_writes_.fetch_add(1, std::memory_order_acq_rel);
-  struct InflightGuard {
-    std::atomic<int>* count;
-    ~InflightGuard() { count->fetch_sub(1, std::memory_order_acq_rel); }
-  } inflight_guard{&inflight_writes_};
+  NoteBlock(request.block);
+  // The block's in-flight count is raised in the same critical section as
+  // the pause check: a move pauses the block and then waits for that
+  // count to drain, so any write that slipped past the pause is provably
+  // forwarded (and re-exported) before the final catch-up copy. Writes
+  // that see the pause shed with the remaining pause as the retry hint —
+  // honest degradation. Per-block counts (not one global) let a plan move
+  // several blocks in parallel without cross-block stalls.
   {
     std::lock_guard<std::mutex> lock(route_mu_);
     auto paused = write_pause_until_.find(request.block);
@@ -286,20 +343,47 @@ std::string Router::ForwardWrite(const serve::Request& request) {
       // resume against whatever the override table says.
       write_pause_until_.erase(paused);
     }
+    ++inflight_by_block_[request.block];
   }
-  Backend& owner = *backends_[EffectiveOrder(request.block)[0]];
+  struct InflightGuard {
+    Router* router;
+    const std::string& block;
+    ~InflightGuard() {
+      {
+        std::lock_guard<std::mutex> lock(router->route_mu_);
+        auto it = router->inflight_by_block_.find(block);
+        if (it != router->inflight_by_block_.end() && --it->second <= 0) {
+          router->inflight_by_block_.erase(it);
+        }
+      }
+      router->route_cv_.notify_all();
+    }
+  } inflight_guard{this, request.block};
+  const size_t owner_index = EffectiveOrder(request.block)[0];
+  Backend& owner = *backends_[owner_index];
+  bool owner_drained = false;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    owner_drained = drained_.count(owner_index) > 0;
+  }
+  if (owner_drained) {
+    // A drained backend is awaiting decommission; accepting the write
+    // would strand it on a node about to disappear.
+    shed_overloaded_->Increment();
+    return serve::FormatOverloaded(RetryHintMs(request.block));
+  }
   {
     std::lock_guard<std::mutex> lock(owner.mu);
     if (!owner.health.Routable()) {
       // Never sent: the fleet state did not change, so OVERLOADED's
       // promise holds and the client may retry blindly.
       shed_overloaded_->Increment();
-      return serve::FormatOverloaded(options_.retry_after_ms);
+      return serve::FormatOverloaded(RetryHintMs(request.block));
     }
   }
   if (!owner.breaker.Admit().ok()) {
     shed_overloaded_->Increment();
-    return serve::FormatOverloaded(options_.retry_after_ms);
+    return serve::FormatOverloaded(RetryHintMs(request.block));
   }
   bool any_sent = false;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
@@ -313,16 +397,16 @@ std::string Router::ForwardWrite(const serve::Request& request) {
         CallBackend(owner, serve::FormatRequest(hop), budget, &sent);
     any_sent = any_sent || sent;
     if (response.ok()) {
-      if (options_.replicas > 1) {
-        Result<serve::Response> parsed =
-            serve::ParseResponse(response.ValueOrDie());
-        if (parsed.ok() && parsed.ValueOrDie().ok()) {
-          // Replicate what the owner acked, without the (already mostly
-          // spent) deadline — the standby applies it on its own time.
-          serve::Request copy = request;
-          copy.deadline_ms = 0.0;
-          EnqueueReplication(request.block, serve::FormatRequest(copy));
-        }
+      Result<serve::Response> parsed =
+          serve::ParseResponse(response.ValueOrDie());
+      const bool acked = parsed.ok() && parsed.ValueOrDie().ok();
+      if (acked) NoteAcked(request.block);
+      if (acked && options_.replicas > 1) {
+        // Replicate what the owner acked, without the (already mostly
+        // spent) deadline — the standby applies it on its own time.
+        serve::Request copy = request;
+        copy.deadline_ms = 0.0;
+        EnqueueReplication(request.block, serve::FormatRequest(copy));
       }
       return std::move(response).ValueOrDie();
     }
@@ -337,7 +421,7 @@ std::string Router::ForwardWrite(const serve::Request& request) {
   }
   if (!any_sent) {
     shed_overloaded_->Increment();
-    return serve::FormatOverloaded(options_.retry_after_ms);
+    return serve::FormatOverloaded(RetryHintMs(request.block));
   }
   // The request may have been applied even though no response arrived, so
   // OVERLOADED ("changed no state") would be dishonest here.
@@ -351,6 +435,7 @@ std::string Router::ForwardWrite(const serve::Request& request) {
 std::string Router::ForwardRead(const serve::Request& request) {
   const serve::RequestDeadline deadline =
       serve::RequestDeadline::In(request.deadline_ms);
+  NoteBlock(request.block);
   const std::vector<size_t> order = EffectiveOrder(request.block);
   for (size_t rank = 0; rank < order.size(); ++rank) {
     Backend& backend = *backends_[order[rank]];
@@ -392,7 +477,7 @@ std::string Router::ForwardDump(const serve::Request& request) {
     std::lock_guard<std::mutex> lock(owner.mu);
     if (!owner.health.Routable()) {
       shed_overloaded_->Increment();
-      return serve::FormatOverloaded(options_.retry_after_ms);
+      return serve::FormatOverloaded(RetryHintMs(request.block));
     }
   }
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
@@ -406,7 +491,7 @@ std::string Router::ForwardDump(const serve::Request& request) {
     }
   }
   shed_overloaded_->Increment();
-  return serve::FormatOverloaded(options_.retry_after_ms);
+  return serve::FormatOverloaded(RetryHintMs(request.block));
 }
 
 std::string Router::ForwardCompactAll(const serve::Request& request) {
@@ -515,33 +600,21 @@ Result<std::string> Router::ImportTo(Backend& target,
   return parsed.body;
 }
 
-std::string Router::Migrate(const serve::Request& request) {
+Result<std::string> Router::MoveBlock(const std::string& block,
+                                      size_t target_index) {
   RegisterMigrateMetrics();
-  auto fail = [this](Status st) {
+  auto fail = [this](Status st) -> Result<std::string> {
     // Rollback before any pause was set: no override was installed, so
     // the source simply keeps serving — the target may hold a stale copy,
-    // which the next migration attempt overwrites wholesale.
+    // which the next move attempt overwrites wholesale.
     migration_failures_.load(std::memory_order_acquire)->Increment();
-    return serve::FormatError(st);
+    return st;
   };
-  size_t target_index = backends_.size();
-  for (size_t i = 0; i < backends_.size(); ++i) {
-    if (backends_[i]->endpoint == request.endpoint) {
-      target_index = i;
-      break;
-    }
-  }
-  if (target_index == backends_.size()) {
-    migration_failures_.load(std::memory_order_acquire)->Increment();
-    return serve::FormatError(Status::NotFound(
-        "migrate: '", request.endpoint, "' is not a configured backend"));
-  }
-  const size_t source_index = EffectiveOrder(request.block)[0];
+  const size_t source_index = EffectiveOrder(block)[0];
   if (source_index == target_index) {
-    migration_failures_.load(std::memory_order_acquire)->Increment();
-    return serve::FormatError(Status::FailedPrecondition(
-        "migrate: ", request.endpoint, " already owns '", request.block,
-        "'"));
+    return fail(Status::FailedPrecondition(
+        "migrate: ", backends_[target_index]->endpoint, " already owns '",
+        block, "'"));
   }
   Backend& source = *backends_[source_index];
   Backend& target = *backends_[target_index];
@@ -549,43 +622,50 @@ std::string Router::Migrate(const serve::Request& request) {
   // Phase 1 — bulk copy while the source keeps serving reads AND writes.
   // The copy is wholesale, so staleness is harmless: the catch-up pass
   // below replaces it.
-  Result<std::string> bulk = FetchExport(source, request.block);
+  Result<std::string> bulk = FetchExport(source, block);
   if (!bulk.ok()) return fail(bulk.status());
-  if (Result<std::string> ack = ImportTo(target, request.block,
-                                         bulk.ValueOrDie());
+  if (Result<std::string> ack = ImportTo(target, block, bulk.ValueOrDie());
       !ack.ok()) {
     return fail(ack.status());
   }
 
-  // Phase 2 — pause the block's writes (bounded), wait out in-flight
-  // ones, then catch up the tail with a second (cheap, mostly-identical)
-  // copy. Reads keep serving from the source throughout.
+  // Phase 2 — pause the block's writes (bounded), wait out this block's
+  // in-flight ones, then catch up the tail with a second (cheap,
+  // mostly-identical) copy. Reads keep serving from the source
+  // throughout; other blocks' writes are untouched, so a plan can run
+  // several MoveBlocks in parallel.
   const double pause_until = NowMs() + options_.migrate_pause_ms;
-  {
-    std::lock_guard<std::mutex> lock(route_mu_);
-    write_pause_until_[request.block] = pause_until;
-  }
-  auto fail_paused = [&](Status st) {
+  auto fail_paused = [&](Status st) -> Result<std::string> {
     {
       std::lock_guard<std::mutex> lock(route_mu_);
-      write_pause_until_.erase(request.block);
+      write_pause_until_.erase(block);
     }
     migration_failures_.load(std::memory_order_acquire)->Increment();
-    return serve::FormatError(st);
+    return st;
   };
-  while (inflight_writes_.load(std::memory_order_acquire) > 0) {
-    if (NowMs() >= pause_until) {
-      return fail_paused(Status::Unavailable(
-          "migrate: in-flight writes did not drain within the ",
-          options_.migrate_pause_ms, "ms pause; rolled back to ",
-          source.endpoint));
+  bool drained_inflight = true;
+  {
+    std::unique_lock<std::mutex> lock(route_mu_);
+    write_pause_until_[block] = pause_until;
+    for (;;) {
+      auto it = inflight_by_block_.find(block);
+      if (it == inflight_by_block_.end() || it->second <= 0) break;
+      if (NowMs() >= pause_until) {
+        drained_inflight = false;
+        break;
+      }
+      route_cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  Result<std::string> final_copy = FetchExport(source, request.block);
+  if (!drained_inflight) {
+    return fail_paused(Status::Unavailable(
+        "migrate: in-flight writes did not drain within the ",
+        options_.migrate_pause_ms, "ms pause; rolled back to ",
+        source.endpoint));
+  }
+  Result<std::string> final_copy = FetchExport(source, block);
   if (!final_copy.ok()) return fail_paused(final_copy.status());
-  Result<std::string> ack = ImportTo(target, request.block,
-                                     final_copy.ValueOrDie());
+  Result<std::string> ack = ImportTo(target, block, final_copy.ValueOrDie());
   if (!ack.ok()) return fail_paused(ack.status());
   if (Status st = faults::MaybeFail("migrate.flip"); !st.ok()) {
     return fail_paused(st);
@@ -600,21 +680,706 @@ std::string Router::Migrate(const serve::Request& request) {
   // — roll back instead and let the operator retry.
   {
     std::lock_guard<std::mutex> lock(route_mu_);
-    auto paused = write_pause_until_.find(request.block);
+    auto paused = write_pause_until_.find(block);
     if (paused == write_pause_until_.end() || NowMs() >= paused->second) {
       if (paused != write_pause_until_.end()) {
         write_pause_until_.erase(paused);
       }
       migration_failures_.load(std::memory_order_acquire)->Increment();
-      return serve::FormatError(Status::Unavailable(
+      return Status::Unavailable(
           "migrate: catch-up outlived the ", options_.migrate_pause_ms,
-          "ms pause; rolled back to ", source.endpoint));
+          "ms pause; rolled back to ", source.endpoint);
     }
-    route_override_[request.block] = target_index;
-    write_pause_until_.erase(request.block);
+    // When the target is the block's rendezvous owner anyway, the
+    // override is redundant — erase instead of insert, so the table (and
+    // the state file) stays the minimal diff from pure rendezvous.
+    const std::vector<size_t> pure = RouteOrder(block, backends_.size());
+    if (!pure.empty() && pure[0] == target_index) {
+      route_override_.erase(block);
+    } else {
+      route_override_[block] = target_index;
+    }
+    write_pause_until_.erase(block);
   }
+  // Persisting after each flip (not once per plan) is what lets a router
+  // SIGKILLed mid-rebalance recover every completed move on restart.
+  PersistState();
   migrations_.load(std::memory_order_acquire)->Increment();
+  return ack;
+}
+
+std::string Router::Migrate(const serve::Request& request) {
+  RegisterMigrateMetrics();
+  std::string busy;
+  if (!BeginAdmin("migrate", &busy)) {
+    return serve::FormatError(Status::FailedPrecondition(
+        "router busy with ", busy, "; retry after it completes"));
+  }
+  struct AdminGuard {
+    Router* router;
+    ~AdminGuard() { router->EndAdmin(); }
+  } admin_guard{this};
+  size_t target_index = backends_.size();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->endpoint == request.endpoint) {
+      target_index = i;
+      break;
+    }
+  }
+  if (target_index == backends_.size()) {
+    migration_failures_.load(std::memory_order_acquire)->Increment();
+    return serve::FormatError(Status::NotFound(
+        "migrate: '", request.endpoint, "' is not a configured backend"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (drained_.count(target_index) > 0) {
+      migration_failures_.load(std::memory_order_acquire)->Increment();
+      return serve::FormatError(Status::FailedPrecondition(
+          "migrate: ", request.endpoint,
+          " is drained and awaiting decommission"));
+    }
+  }
+  const size_t source_index = EffectiveOrder(request.block)[0];
+  if (source_index == target_index) {
+    migration_failures_.load(std::memory_order_acquire)->Increment();
+    return serve::FormatError(Status::FailedPrecondition(
+        "migrate: ", request.endpoint, " already owns '", request.block,
+        "'"));
+  }
+  Result<std::string> ack = MoveBlock(request.block, target_index);
+  if (!ack.ok()) return serve::FormatError(ack.status());
   return "ok " + ack.ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet self-healing: rebalance planner, drain, state file, promotion
+
+namespace {
+
+/// Pulls block -> (documents, wal_bytes) out of a backend's `stats shards`
+/// JSON by scanning the "shards" array — the shard objects are flat, so the
+/// first ']' after the array opens terminates it. Tolerant by design: a
+/// missing key just yields 0, and an unparsable body yields an empty map
+/// (the planner then orders that backend's moves arbitrarily, which is a
+/// quality loss, not a correctness one).
+long long ScanJsonNumber(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0;
+  long long value = 0;
+  bool negative = false;
+  size_t i = pos + needle.size();
+  if (i < text.size() && text[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    value = value * 10 + (text[i] - '0');
+  }
+  return negative ? -value : value;
+}
+
+std::unordered_map<std::string, std::pair<long long, long long>>
+ParseShardStats(const std::string& json) {
+  std::unordered_map<std::string, std::pair<long long, long long>> stats;
+  const size_t array_begin = json.find("\"shards\":[");
+  if (array_begin == std::string::npos) return stats;
+  const size_t array_end = json.find(']', array_begin);
+  if (array_end == std::string::npos) return stats;
+  size_t pos = array_begin;
+  while (true) {
+    const size_t obj_begin = json.find('{', pos);
+    if (obj_begin == std::string::npos || obj_begin > array_end) break;
+    const size_t obj_end = json.find('}', obj_begin);
+    if (obj_end == std::string::npos || obj_end > array_end) break;
+    const std::string entry = json.substr(obj_begin, obj_end - obj_begin + 1);
+    const size_t name_key = entry.find("\"name\":\"");
+    if (name_key != std::string::npos) {
+      const size_t name_begin = name_key + 8;
+      const size_t name_end = entry.find('"', name_begin);
+      if (name_end != std::string::npos) {
+        const std::string name = entry.substr(name_begin,
+                                              name_end - name_begin);
+        stats[name] = {ScanJsonNumber(entry, "documents"),
+                       ScanJsonNumber(entry, "wal_bytes")};
+      }
+    }
+    pos = obj_end + 1;
+  }
+  return stats;
+}
+
+}  // namespace
+
+bool Router::BeginAdmin(const std::string& op, std::string* current) {
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  if (!admin_op_.empty()) {
+    *current = admin_op_;
+    return false;
+  }
+  admin_op_ = op;
+  return true;
+}
+
+void Router::EndAdmin() {
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  admin_op_.clear();
+}
+
+double Router::RetryHintMs(const std::string& block) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  auto it = write_pause_until_.find(block);
+  if (it != write_pause_until_.end()) {
+    const double remaining = it->second - NowMs();
+    if (remaining > options_.retry_after_ms) return remaining;
+  }
+  return options_.retry_after_ms;
+}
+
+void Router::ApplyOverride(const std::string& block, size_t target) {
+  const std::vector<size_t> pure = RouteOrder(block, backends_.size());
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (!pure.empty() && pure[0] == target) {
+    route_override_.erase(block);
+  } else {
+    route_override_[block] = target;
+  }
+}
+
+Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+Router::FetchShardStats(Backend& backend) {
+  bool sent = false;
+  WEBER_ASSIGN_OR_RETURN(
+      const std::string response,
+      CallBackend(backend, "stats shards", options_.call_timeout_ms, &sent));
+  WEBER_ASSIGN_OR_RETURN(const serve::Response parsed,
+                         serve::ParseResponse(response));
+  if (!parsed.ok()) {
+    return Status::Unavailable("stats from ", backend.endpoint,
+                               " refused: ", response);
+  }
+  return ParseShardStats(parsed.body);
+}
+
+Router::PlanProgress Router::ExecutePlan(const std::string& kind,
+                                         const std::vector<size_t>& targets) {
+  // Scrape per-shard stats from every routable backend. The union of shard
+  // names is the block universe (a backend that cannot answer contributes
+  // nothing — its blocks cannot be exported anyway), and the current
+  // owner's (documents, wal_bytes) orders the moves largest-first so the
+  // long copies start while cheap ones fill the remaining parallelism.
+  std::vector<std::unordered_map<std::string, std::pair<long long, long long>>>
+      scraped(backends_.size());
+  std::set<std::string> blocks;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    Backend& candidate = *backends_[i];
+    {
+      std::lock_guard<std::mutex> lock(candidate.mu);
+      if (!candidate.health.Routable()) continue;
+    }
+    Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+        stats = FetchShardStats(candidate);
+    if (!stats.ok()) continue;
+    scraped[i] = std::move(stats).ValueOrDie();
+    for (const auto& [name, sizes] : scraped[i]) blocks.insert(name);
+  }
+  std::vector<PlannedMove> moves;
+  long long stayed = 0;
+  for (const std::string& block : blocks) {
+    const size_t current = EffectiveOrder(block)[0];
+    // Rendezvous makes the diff pure: the desired owner under the proposed
+    // list is simply the first preference-order entry that is in it.
+    size_t desired = current;
+    for (const size_t index : RouteOrder(block, backends_.size())) {
+      if (std::find(targets.begin(), targets.end(), index) != targets.end()) {
+        desired = index;
+        break;
+      }
+    }
+    if (desired == current) {
+      ++stayed;
+      continue;
+    }
+    PlannedMove move;
+    move.block = block;
+    move.target = desired;
+    auto it = scraped[current].find(block);
+    if (it != scraped[current].end()) {
+      move.documents = it->second.first;
+      move.wal_bytes = it->second.second;
+    }
+    moves.push_back(std::move(move));
+  }
+  std::sort(moves.begin(), moves.end(),
+            [](const PlannedMove& a, const PlannedMove& b) {
+              if (a.documents != b.documents) return a.documents > b.documents;
+              if (a.wal_bytes != b.wal_bytes) return a.wal_bytes > b.wal_bytes;
+              return a.block < b.block;
+            });
+  plan_abort_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plan_ = PlanProgress{};
+    plan_.started = true;
+    plan_.active = true;
+    plan_.kind = kind;
+    plan_.total = static_cast<long long>(moves.size());
+    plan_.stayed = stayed;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      if (plan_abort_.load(std::memory_order_acquire)) return;
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= moves.size()) return;
+      const PlannedMove& move = moves[i];
+      // The fault point sits between claiming a move and executing it, so
+      // drills can stall or fail individual moves deterministically.
+      Status faulted = faults::MaybeFail("rebalance.move");
+      Result<std::string> ack =
+          faulted.ok() ? MoveBlock(move.block, move.target)
+                       : Result<std::string>(faulted);
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      if (ack.ok()) {
+        ++plan_.completed;
+      } else {
+        // MoveBlock already rolled this move back to its source; the rest
+        // of the plan keeps going — partial progress is durable (each flip
+        // persisted) and the failed move is retried by the next rebalance.
+        ++plan_.failed;
+        plan_.last_error = ack.status().message();
+      }
+    }
+  };
+  const int workers =
+      std::max(1, std::min(options_.rebalance_parallelism,
+                           static_cast<int>(moves.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(workers > 0 ? workers - 1 : 0);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& thread : pool) thread.join();
+  PlanProgress done;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plan_.active = false;
+    plan_.aborted = plan_abort_.load(std::memory_order_acquire);
+    done = plan_;
+  }
+  return done;
+}
+
+std::string Router::Rebalance(const serve::Request& request) {
+  if (request.subcommand == "status") return RebalanceStatus();
+  if (request.subcommand == "abort") {
+    // Takes effect between moves: the in-flight ones finish (or roll
+    // back), nothing new starts. Idempotent, safe with no plan running.
+    plan_abort_.store(true, std::memory_order_release);
+    return "ok";
+  }
+  std::vector<size_t> targets;
+  for (const std::string& endpoint : request.endpoints) {
+    size_t index = backends_.size();
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (backends_[i]->endpoint == endpoint) {
+        index = i;
+        break;
+      }
+    }
+    if (index == backends_.size()) {
+      return serve::FormatError(Status::NotFound(
+          "rebalance: '", endpoint, "' is not a configured backend"));
+    }
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      if (drained_.count(index) > 0) {
+        return serve::FormatError(Status::FailedPrecondition(
+            "rebalance: ", endpoint,
+            " is drained and awaiting decommission"));
+      }
+    }
+    if (std::find(targets.begin(), targets.end(), index) == targets.end()) {
+      targets.push_back(index);
+    }
+  }
+  std::string busy;
+  if (!BeginAdmin("rebalance", &busy)) {
+    return serve::FormatError(Status::FailedPrecondition(
+        "router busy with ", busy, "; retry after it completes"));
+  }
+  struct AdminGuard {
+    Router* router;
+    ~AdminGuard() { router->EndAdmin(); }
+  } admin_guard{this};
+  const PlanProgress done = ExecutePlan("rebalance", targets);
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("planned").Number(done.total);
+  json.Key("moved").Number(done.completed);
+  json.Key("failed").Number(done.failed);
+  json.Key("stayed").Number(done.stayed);
+  json.Key("aborted").Bool(done.aborted);
+  json.EndObject();
+  return "ok " + os.str();
+}
+
+std::string Router::Drain(const serve::Request& request) {
+  size_t victim = backends_.size();
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->endpoint == request.endpoint) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim == backends_.size()) {
+    return serve::FormatError(Status::NotFound(
+        "drain: '", request.endpoint, "' is not a configured backend"));
+  }
+  std::vector<size_t> targets;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (drained_.count(victim) > 0) {
+      return serve::FormatError(Status::FailedPrecondition(
+          "drain: ", request.endpoint, " is already drained"));
+    }
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (i != victim && drained_.count(i) == 0) targets.push_back(i);
+    }
+  }
+  if (targets.empty()) {
+    return serve::FormatError(Status::FailedPrecondition(
+        "drain: no backend left to receive ", request.endpoint,
+        "'s blocks"));
+  }
+  std::string busy;
+  if (!BeginAdmin("drain", &busy)) {
+    return serve::FormatError(Status::FailedPrecondition(
+        "router busy with ", busy, "; retry after it completes"));
+  }
+  struct AdminGuard {
+    Router* router;
+    ~AdminGuard() { router->EndAdmin(); }
+  } admin_guard{this};
+  const PlanProgress done = ExecutePlan("drain", targets);
+  if (done.failed > 0 || done.aborted) {
+    // The drained mark is withheld: some blocks still live on the victim,
+    // and refusing writes to them now would strand updates on a backend
+    // the operator believes is empty. The drain is retried wholesale —
+    // already-moved blocks plan as "stayed".
+    return serve::FormatError(Status::Unavailable(
+        "drain incomplete: ", done.completed, "/", done.total,
+        " moves done, ", done.failed, " failed",
+        done.aborted ? ", aborted" : "", "; ", request.endpoint,
+        " still accepts writes — retry"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    drained_.insert(victim);
+  }
+  PersistState();
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("endpoint").String(request.endpoint);
+  json.Key("moved").Number(done.completed);
+  json.Key("stayed").Number(done.stayed);
+  json.EndObject();
+  return "ok " + os.str();
+}
+
+std::string Router::RebalanceStatus() const {
+  const PlanProgress progress = plan_progress();
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Key("started").Bool(progress.started);
+  json.Key("active").Bool(progress.active);
+  json.Key("aborted").Bool(progress.aborted);
+  json.Key("kind").String(progress.kind);
+  json.Key("total").Number(progress.total);
+  json.Key("completed").Number(progress.completed);
+  json.Key("failed").Number(progress.failed);
+  json.Key("stayed").Number(progress.stayed);
+  json.Key("last_error").String(progress.last_error);
+  json.EndObject();
+  return "ok " + os.str();
+}
+
+void Router::PersistState() {
+  if (options_.state_file.empty()) return;
+  std::string body = "weber-router-state v1\n";
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    // Endpoint strings, not indices: the file survives a backend-list
+    // reorder across restarts. Sorted for a deterministic byte stream.
+    std::map<std::string, size_t> overrides(route_override_.begin(),
+                                            route_override_.end());
+    for (const auto& [block, index] : overrides) {
+      body += "override " + block + " " + backends_[index]->endpoint + "\n";
+    }
+    for (const size_t index : drained_) {
+      body += "drained " + backends_[index]->endpoint + "\n";
+    }
+  }
+  body += "crc " + std::to_string(Crc32c(body.data(), body.size())) + "\n";
+  Status written;
+  {
+    // WriteFileAtomic stages through a fixed `<path>.tmp`; the lock keeps
+    // two concurrent flips (parallel plan moves) from trampling it.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    written = WriteFileAtomic(options_.state_file, body, /*sync=*/true);
+  }
+  if (written.ok()) {
+    if (state_saves_ != nullptr) state_saves_->Increment();
+  } else {
+    if (state_save_failures_ != nullptr) state_save_failures_->Increment();
+  }
+}
+
+void Router::LoadState() {
+  if (options_.state_file.empty()) return;
+  if (!FileExists(options_.state_file)) return;  // first boot: fresh start
+  Result<std::string> read = ReadFileToString(options_.state_file);
+  auto corrupt = [this](std::string why) {
+    // Starting clean is the only honest recovery — applying half a file
+    // would route on a table no previous router ever held. The error is
+    // kept for the stats surface, never silently swallowed.
+    state_load_ok_ = false;
+    state_load_error_ = std::move(why);
+    restored_overrides_ = 0;
+    restored_drained_ = 0;
+    state_skipped_ = 0;
+    restored_unchecked_.clear();
+  };
+  if (!read.ok()) {
+    corrupt(read.status().message());
+    return;
+  }
+  const std::string& contents = read.ValueOrDie();
+  std::vector<std::pair<std::string, size_t>> overrides;
+  std::vector<size_t> drained;
+  std::string checksummed;
+  bool saw_header = false;
+  bool saw_crc = false;
+  size_t line_begin = 0;
+  while (line_begin < contents.size()) {
+    const size_t line_end = contents.find('\n', line_begin);
+    if (line_end == std::string::npos) {
+      return corrupt("truncated line (no trailing newline)");
+    }
+    const std::string line =
+        contents.substr(line_begin, line_end - line_begin);
+    line_begin = line_end + 1;
+    if (!saw_header) {
+      if (line != "weber-router-state v1") {
+        return corrupt("bad header '" + line + "'");
+      }
+      saw_header = true;
+      checksummed = line + "\n";
+      continue;
+    }
+    if (line.rfind("crc ", 0) == 0) {
+      const std::string digits = line.substr(4);
+      unsigned long long stored = 0;
+      bool parsed_crc = !digits.empty();
+      for (const char c : digits) {
+        if (c < '0' || c > '9') {
+          parsed_crc = false;
+          break;
+        }
+        stored = stored * 10 + static_cast<unsigned long long>(c - '0');
+      }
+      if (!parsed_crc || stored > 0xFFFFFFFFULL) {
+        return corrupt("unparsable crc line");
+      }
+      const uint32_t actual =
+          Crc32c(checksummed.data(), checksummed.size());
+      if (static_cast<uint32_t>(stored) != actual) {
+        return corrupt("crc mismatch (file " + line.substr(4) +
+                       ", computed " + std::to_string(actual) + ")");
+      }
+      saw_crc = true;
+      break;  // the crc line is the trailer; nothing may follow
+    }
+    checksummed += line + "\n";
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    auto find_backend = [this](const std::string& endpoint) {
+      for (size_t i = 0; i < backends_.size(); ++i) {
+        if (backends_[i]->endpoint == endpoint) return i;
+      }
+      return backends_.size();
+    };
+    if (kind == "override") {
+      std::string block, endpoint;
+      fields >> block >> endpoint;
+      if (block.empty() || endpoint.empty()) {
+        return corrupt("malformed override line '" + line + "'");
+      }
+      const size_t index = find_backend(endpoint);
+      if (index == backends_.size()) {
+        // The fleet shrank (or the flag list changed) since the save; a
+        // missing endpoint is survivable — rendezvous still routes the
+        // block — so skip and count rather than refuse to boot.
+        ++state_skipped_;
+        continue;
+      }
+      overrides.emplace_back(block, index);
+    } else if (kind == "drained") {
+      std::string endpoint;
+      fields >> endpoint;
+      if (endpoint.empty()) {
+        return corrupt("malformed drained line '" + line + "'");
+      }
+      const size_t index = find_backend(endpoint);
+      if (index == backends_.size()) {
+        ++state_skipped_;
+        continue;
+      }
+      drained.push_back(index);
+    } else {
+      return corrupt("unknown record kind '" + kind + "'");
+    }
+  }
+  if (!saw_crc) return corrupt("missing crc trailer");
+  // Constructor context: no concurrent readers yet, but the locks are
+  // cheap and keep the invariants uniform.
+  std::lock_guard<std::mutex> lock(route_mu_);
+  for (const auto& [block, index] : overrides) {
+    route_override_[block] = index;
+    ++restored_overrides_;
+    restored_unchecked_.emplace_back(block, index);
+  }
+  for (const size_t index : drained) {
+    drained_.insert(index);
+    ++restored_drained_;
+  }
+}
+
+void Router::CrossCheckOverrides() {
+  std::lock_guard<std::mutex> check_lock(check_mu_);
+  if (restored_unchecked_.empty()) return;
+  std::vector<std::pair<std::string, size_t>> still_pending;
+  for (const auto& [block, target] : restored_unchecked_) {
+    const std::vector<size_t> pure = RouteOrder(block, backends_.size());
+    const size_t rendezvous_owner = pure.empty() ? target : pure[0];
+    if (rendezvous_owner == target) continue;  // nothing to contradict
+    Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+        target_stats = FetchShardStats(*backends_[target]);
+    Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+        owner_stats = FetchShardStats(*backends_[rendezvous_owner]);
+    if (!target_stats.ok() || !owner_stats.ok()) {
+      // One side unreachable: retry at the next deep probe cycle instead
+      // of guessing.
+      still_pending.emplace_back(block, target);
+      continue;
+    }
+    long long target_docs = 0;
+    long long owner_docs = 0;
+    if (auto it = target_stats.ValueOrDie().find(block);
+        it != target_stats.ValueOrDie().end()) {
+      target_docs = it->second.first;
+    }
+    if (auto it = owner_stats.ValueOrDie().find(block);
+        it != owner_stats.ValueOrDie().end()) {
+      owner_docs = it->second.first;
+    }
+    if (owner_docs > target_docs && override_divergence_ != nullptr) {
+      // The rendezvous owner holds more documents than the restored
+      // override's target — the file likely outlived a migration the
+      // other way, or the fleet changed under us. Routing still follows
+      // the override (it may be the fresher truth); the divergence is
+      // surfaced, not papered over.
+      override_divergence_->Increment();
+    }
+  }
+  restored_unchecked_ = std::move(still_pending);
+}
+
+void Router::NoteBlock(const std::string& block) {
+  if (options_.promote_after_ms <= 0.0) return;
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  known_blocks_.insert(block);
+}
+
+void Router::NoteAcked(const std::string& block) {
+  if (options_.promote_after_ms <= 0.0) return;
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  ++acked_by_block_[block];
+}
+
+void Router::NoteReplicated(const std::string& block) {
+  if (options_.promote_after_ms <= 0.0) return;
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  ++replicated_by_block_[block];
+}
+
+void Router::MaybePromote(double now_ms) {
+  if (options_.promote_after_ms <= 0.0) return;
+  bool flipped = false;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    Backend& lost = *backends_[i];
+    long long episode = 0;
+    {
+      std::lock_guard<std::mutex> lock(lost.mu);
+      if (lost.health.state() != HealthState::kDown) continue;
+      if (now_ms - lost.health.state_since_ms() <
+          options_.promote_after_ms) {
+        continue;
+      }
+      episode = lost.health.times_down();
+    }
+    // One promotion per down episode: if the backend comes back and dies
+    // again, times_down moves and a fresh promotion is allowed.
+    if (promoted_at_down_[i] == episode) continue;
+    promoted_at_down_[i] = episode;
+    std::vector<std::string> blocks;
+    {
+      std::lock_guard<std::mutex> lock(blocks_mu_);
+      blocks.assign(known_blocks_.begin(), known_blocks_.end());
+    }
+    for (const std::string& block : blocks) {
+      if (EffectiveOrder(block)[0] != i) continue;
+      // The first routable, non-drained backend down the preference order
+      // is the promotion target — with --replicas=2 that is exactly the
+      // standby the replicator has been warming.
+      size_t standby = backends_.size();
+      for (const size_t index : EffectiveOrder(block)) {
+        if (index == i) continue;
+        {
+          std::lock_guard<std::mutex> lock(route_mu_);
+          if (drained_.count(index) > 0) continue;
+        }
+        Backend& candidate = *backends_[index];
+        std::lock_guard<std::mutex> lock(candidate.mu);
+        if (!candidate.health.Routable()) continue;
+        standby = index;
+        break;
+      }
+      if (standby == backends_.size()) continue;  // nobody left to promote
+      ApplyOverride(block, standby);
+      flipped = true;
+      if (promotions_ != nullptr) promotions_->Increment();
+      long long possibly_lost = 0;
+      {
+        std::lock_guard<std::mutex> lock(blocks_mu_);
+        // Acked-but-unconfirmed-replicated is an honest UPPER BOUND on
+        // loss — a write whose standby forward raced the crash may well
+        // have landed. Claiming zero would be the dishonest direction.
+        possibly_lost =
+            std::max(0LL, acked_by_block_[block] - replicated_by_block_[block]);
+        acked_by_block_[block] = 0;
+        replicated_by_block_[block] = 0;
+      }
+      if (possibly_lost > 0 && possibly_lost_writes_ != nullptr) {
+        possibly_lost_writes_->Increment(possibly_lost);
+      }
+    }
+  }
+  if (flipped) PersistState();
 }
 
 // ---------------------------------------------------------------------------
@@ -653,8 +1418,15 @@ void Router::ReplicatorLoop() {
     const std::vector<size_t> order = EffectiveOrder(item.first);
     const size_t standbys = static_cast<size_t>(options_.replicas) - 1;
     size_t forwarded = 0;
+    size_t applied_count = 0;
     for (size_t rank = 1; rank < order.size() && forwarded < standbys;
          ++rank) {
+      {
+        // A drained backend is leaving the fleet; warming it would strand
+        // the copies. The next candidate down the order takes its place.
+        std::lock_guard<std::mutex> lock(route_mu_);
+        if (drained_.count(order[rank]) > 0) continue;
+      }
       Backend& standby = *backends_[order[rank]];
       {
         std::lock_guard<std::mutex> lock(standby.mu);
@@ -671,12 +1443,18 @@ void Router::ReplicatorLoop() {
         applied = parsed.ok() && parsed.ValueOrDie().ok();
       }
       if (applied) {
+        ++applied_count;
         if (replicated_writes_ != nullptr) replicated_writes_->Increment();
       } else {
         if (replication_failures_ != nullptr) {
           replication_failures_->Increment();
         }
       }
+    }
+    if (forwarded > 0 && applied_count == forwarded) {
+      // Confirmed on every standby it was offered to — this write cannot
+      // be lost by promoting one of them.
+      NoteReplicated(item.first);
     }
   }
 }
@@ -739,6 +1517,47 @@ std::string Router::StatsResponse() const {
     json.Key("queued").Number(static_cast<long long>(queued));
     json.EndObject();
   }
+  // The self-healing sections are likewise gated: a router that never ran
+  // a plan, has no state file and no promotion deadline emits stats
+  // byte-identical to the previous release.
+  {
+    const PlanProgress progress = plan_progress();
+    const std::vector<std::string> drained = DrainedEndpoints();
+    if (progress.started || !drained.empty()) {
+      json.Key("rebalance").BeginObject();
+      json.Key("active").Bool(progress.active);
+      json.Key("aborted").Bool(progress.aborted);
+      json.Key("kind").String(progress.kind);
+      json.Key("total").Number(progress.total);
+      json.Key("completed").Number(progress.completed);
+      json.Key("failed").Number(progress.failed);
+      json.Key("stayed").Number(progress.stayed);
+      json.Key("last_error").String(progress.last_error);
+      json.Key("drained").BeginArray();
+      for (const std::string& endpoint : drained) json.String(endpoint);
+      json.EndArray();
+      json.EndObject();
+    }
+  }
+  if (!options_.state_file.empty()) {
+    json.Key("state").BeginObject();
+    json.Key("load_ok").Bool(state_load_ok_);
+    json.Key("load_error").String(state_load_error_);
+    json.Key("restored_overrides").Number(restored_overrides_);
+    json.Key("restored_drained").Number(restored_drained_);
+    json.Key("skipped").Number(state_skipped_);
+    json.Key("saves").Number(state_saves_->Value());
+    json.Key("save_failures").Number(state_save_failures_->Value());
+    json.Key("divergence").Number(override_divergence_->Value());
+    json.EndObject();
+  }
+  if (options_.promote_after_ms > 0.0) {
+    json.Key("promotion").BeginObject();
+    json.Key("promote_after_ms").Number(options_.promote_after_ms);
+    json.Key("promotions").Number(promotions_->Value());
+    json.Key("possibly_lost_writes").Number(possibly_lost_writes_->Value());
+    json.EndObject();
+  }
   json.Key("backends").BeginArray();
   for (size_t i = 0; i < backends_.size(); ++i) {
     const BackendSnapshot snap = backend(i);
@@ -797,6 +1616,10 @@ std::string Router::HandleLine(const std::string& line, bool* quit) {
       return MetricsResponse();
     case serve::Request::Op::kMigrate:
       return Migrate(request);
+    case serve::Request::Op::kRebalance:
+      return Rebalance(request);
+    case serve::Request::Op::kDrain:
+      return Drain(request);
     case serve::Request::Op::kExport:
     case serve::Request::Op::kImport:
       return serve::FormatError(Status::InvalidArgument(
@@ -853,6 +1676,11 @@ void Router::ProbeOnce() {
       options_.deep_probe_every > 0 && cycle % options_.deep_probe_every == 0;
   const double now_ms = NowMs();
   for (auto& backend : backends_) ProbeBackend(*backend, deep, now_ms);
+  // Piggybacked on the probe cadence: promotion watches the same health
+  // states the probes just refreshed, and the override cross-check reuses
+  // the deep cycle's "backends can serve stats" signal.
+  MaybePromote(NowMs());
+  if (deep) CrossCheckOverrides();
 }
 
 void Router::ProberLoop() {

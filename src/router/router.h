@@ -37,6 +37,27 @@
 //   * With --replicas=N (N > 1), acked writes are forwarded
 //     asynchronously to the next N-1 backends in the block's route order
 //     through a bounded queue, so a failover lands on a warm standby.
+//   * The `rebalance <endpoint...>` admin verb turns fleet growth/shrink
+//     into one supervised operation: it diffs current ownership against
+//     the proposed backend list (rendezvous makes the diff pure — each
+//     block stays or moves to one named new owner), orders the moves by
+//     shard size / WAL bytes scraped from backend `stats shards`, and
+//     executes them with bounded parallelism, per-move rollback, and a
+//     `rebalance status` / `rebalance abort` progress surface.
+//     `drain <endpoint>` migrates everything off one backend and then
+//     refuses new writes to it, so it can be decommissioned safely.
+//     Admin verbs (migrate/rebalance/drain) serialize: a second one
+//     arriving mid-plan is refused with FailedPrecondition, never
+//     interleaved — the override table cannot tear.
+//   * With --state-file, route overrides and drained marks are persisted
+//     (CRC32C-trailed, atomic replace) on every flip and replayed on
+//     restart, so a router crash cannot silently forget who owns what;
+//     restored overrides are cross-checked against backend `stats shards`
+//     and divergence is surfaced in stats rather than papered over.
+//   * With --promote-after-ms, a backend that stays `down` past the
+//     hard-loss deadline has its blocks promoted to the first routable
+//     standby via an override flip (once per down episode), with the
+//     possibly-lost unreplicated write count reported honestly.
 //
 // The router keeps its own obs::MetricsRegistry (per-backend counters and
 // state gauges plus router totals) and answers `stats` / `metrics` itself
@@ -57,6 +78,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -117,6 +139,16 @@ struct RouterOptions {
   /// Bound on writes parked in the async replication queue; overflow drops
   /// the write (counted) rather than stalling the ack path.
   size_t replication_queue_cap = 1024;
+  /// Concurrent moves a rebalance/drain plan executes at once. Distinct
+  /// blocks pause independently, so parallel moves never stall each other.
+  int rebalance_parallelism = 2;
+  /// Hard-loss deadline: a backend continuously `down` for longer than
+  /// this has its blocks promoted to the first routable standby via an
+  /// override flip (0 = never promote, the default).
+  double promote_after_ms = 0.0;
+  /// When non-empty, route overrides and drained marks are persisted here
+  /// (CRC32C-trailed, written via atomic replace) and replayed on restart.
+  std::string state_file;
 };
 
 /// Point-in-time view of one backend, for stats and tests.
@@ -167,7 +199,35 @@ class Router {
   /// Installs (or, with `backends_.size()` or larger, clears) a route
   /// override for `block`. The migration driver flips ownership through
   /// this; exposed so tests can exercise override precedence directly.
+  /// Persisted to the state file when one is configured.
   void SetRouteOverride(const std::string& block, size_t backend_index);
+
+  /// Snapshot of the override table (block -> backend index), for tests
+  /// and drills.
+  std::unordered_map<std::string, size_t> RouteOverrides() const;
+
+  /// Arms (or with ms <= 0 clears) a write pause on `block`, exactly as a
+  /// migration's catch-up phase would. Test hook for the pause-aware
+  /// OVERLOADED retry hints.
+  void SetWritePause(const std::string& block, double ms);
+
+  /// Endpoints currently marked drained (writes refused), for tests.
+  std::vector<std::string> DrainedEndpoints() const;
+
+  /// Progress of the running (or most recent) rebalance/drain plan.
+  struct PlanProgress {
+    bool started = false;
+    bool active = false;
+    bool aborted = false;
+    std::string kind;  // "rebalance" or "drain"
+    long long total = 0;
+    long long completed = 0;
+    long long failed = 0;
+    /// Blocks already owned by a backend in the proposed list (no move).
+    long long stayed = 0;
+    std::string last_error;
+  };
+  PlanProgress plan_progress() const;
 
   /// Completed probe cycles (drills use this to bound health-convergence
   /// waits instead of sleeping a guessed duration).
@@ -224,6 +284,12 @@ class Router {
   /// migration state machine (copy → pause + tail catch-up → flip), with
   /// rollback to the source on any failure before the flip.
   std::string Migrate(const serve::Request& request);
+  /// The core per-block move shared by migrate, rebalance, and drain:
+  /// copy → pause + drain in-flight writes → catch-up → atomic flip, with
+  /// rollback to the current owner on any failure before the flip. Safe to
+  /// run concurrently for distinct blocks. Returns the import ack body.
+  Result<std::string> MoveBlock(const std::string& block,
+                                size_t target_index);
   /// Streams `export <block>` from `source` over a dedicated connection
   /// and repacks the frames into an import blob.
   Result<std::string> FetchExport(Backend& source, const std::string& block);
@@ -238,6 +304,68 @@ class Router {
   /// Hands an acked write to the async replication queue (replicas > 1).
   void EnqueueReplication(const std::string& block, const std::string& line);
   void ReplicatorLoop();
+
+  // --- Fleet self-healing (rebalance / drain / promotion / state file) ---
+
+  /// The `rebalance` admin verb (start a plan, `status`, or `abort`).
+  std::string Rebalance(const serve::Request& request);
+  /// The `drain <endpoint>` admin verb.
+  std::string Drain(const serve::Request& request);
+  std::string RebalanceStatus() const;
+
+  /// One planned move, ordered largest-first so the long copies start
+  /// while the cheap ones fill the remaining parallelism.
+  struct PlannedMove {
+    std::string block;
+    size_t target = 0;
+    long long documents = 0;
+    long long wal_bytes = 0;
+  };
+  /// Diffs current ownership against `targets` (indices into backends_)
+  /// and executes the moves with bounded parallelism and per-move
+  /// rollback. Fills plan_ as it goes; returns the finished progress.
+  PlanProgress ExecutePlan(const std::string& kind,
+                           const std::vector<size_t>& targets);
+
+  /// Serializes admin verbs (migrate/rebalance/drain). Returns false and
+  /// names the verb in flight when another admin operation is running.
+  bool BeginAdmin(const std::string& op, std::string* current);
+  void EndAdmin();
+
+  /// Scrapes `stats shards` from one backend into block -> (documents,
+  /// wal_bytes) — the planner's move-ordering input.
+  Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+  FetchShardStats(Backend& backend);
+
+  /// The retry hint for an OVERLOADED shed of `block`: the configured
+  /// floor, or the remaining write pause when a migration has the block
+  /// paused — so loadgen retries land after the flip, not inside the
+  /// pause.
+  double RetryHintMs(const std::string& block) const;
+
+  /// Sets (or, when `target` is the block's rendezvous owner, erases) the
+  /// block's override under route_mu_. Callers persist afterwards.
+  void ApplyOverride(const std::string& block, size_t target);
+
+  /// Persists overrides + drained marks to options_.state_file (CRC32C
+  /// trailer, atomic replace). No-op without a state file.
+  void PersistState();
+  /// Constructor-time replay of the state file. Corruption or a bad CRC
+  /// starts clean and records the error for stats; entries naming unknown
+  /// endpoints are skipped (counted).
+  void LoadState();
+  /// Cross-checks restored overrides against backend `stats shards` (who
+  /// actually holds the documents); divergence is counted, never hidden.
+  void CrossCheckOverrides();
+
+  /// Hard-loss replica promotion: flips every known block owned by a
+  /// backend that has been down past promote_after_ms onto its first
+  /// routable standby (once per down episode).
+  void MaybePromote(double now_ms);
+  /// Tracks blocks seen in forwarded traffic (promotion's universe).
+  void NoteBlock(const std::string& block);
+  void NoteAcked(const std::string& block);
+  void NoteReplicated(const std::string& block);
 
   void ProbeBackend(Backend& backend, bool deep, double now_ms);
   void ProberLoop();
@@ -263,17 +391,24 @@ class Router {
   obs::Counter* probes_total_ = nullptr;
   obs::Counter* probe_failures_ = nullptr;
 
-  /// Per-block route overrides and migration write pauses, consulted by
-  /// every forwarding path before the rendezvous order. Guarded by
-  /// route_mu_; the flip is one map insert under the lock, so concurrent
-  /// readers see either the old owner or the new one, never a tear.
+  /// Per-block route overrides, migration write pauses, drained marks,
+  /// and in-flight write counts, consulted by every forwarding path
+  /// before the rendezvous order. Guarded by route_mu_; the flip is one
+  /// map insert under the lock, so concurrent readers see either the old
+  /// owner or the new one, never a tear.
   mutable std::mutex route_mu_;
   std::unordered_map<std::string, size_t> route_override_;
   std::unordered_map<std::string, double> write_pause_until_;
-  /// Writes past the pause check but not yet forwarded; the migration
-  /// driver waits for this to drain after pausing so no acked write can
-  /// race the final catch-up copy.
-  std::atomic<int> inflight_writes_{0};
+  /// Backends drained by `drain <endpoint>`: writes to blocks they own
+  /// are refused (reads may still fail over to them).
+  std::set<size_t> drained_;
+  /// Writes past the pause check but not yet forwarded, per block; a move
+  /// pauses its block and then waits for that block's count to drain, so
+  /// no acked write can race the final catch-up copy. Distinct blocks
+  /// drain independently, which is what lets a plan move them in
+  /// parallel. Signaled through route_cv_ on every decrement.
+  std::unordered_map<std::string, int> inflight_by_block_;
+  std::condition_variable route_cv_;
 
   /// Migration counters, registered lazily on the first `migrate` verb.
   mutable std::once_flag migrate_metrics_once_;
@@ -290,6 +425,46 @@ class Router {
   std::deque<std::pair<std::string, std::string>> repl_queue_;
   bool repl_stop_ = false;
   std::thread replicator_;
+
+  /// Admin-verb serialization: the name of the verb in flight, or empty.
+  std::mutex admin_mu_;
+  std::string admin_op_;
+
+  /// Rebalance/drain plan progress (served by `rebalance status`) and the
+  /// between-moves abort flag.
+  mutable std::mutex plan_mu_;
+  PlanProgress plan_;
+  std::atomic<bool> plan_abort_{false};
+
+  /// State-file bookkeeping (only populated when options_.state_file is
+  /// set; the counters are registered conditionally for byte-identical
+  /// metrics otherwise).
+  obs::Counter* state_saves_ = nullptr;
+  obs::Counter* state_save_failures_ = nullptr;
+  obs::Counter* override_divergence_ = nullptr;
+  /// Serializes state-file writes: WriteFileAtomic stages through a fixed
+  /// `<path>.tmp`, so two concurrent persists would trample each other.
+  std::mutex state_mu_;
+  long long restored_overrides_ = 0;
+  long long restored_drained_ = 0;
+  long long state_skipped_ = 0;
+  bool state_load_ok_ = true;
+  std::string state_load_error_;
+  /// Restored overrides not yet cross-checked against backend shard
+  /// stats; drained by CrossCheckOverrides on deep probe cycles.
+  std::mutex check_mu_;
+  std::vector<std::pair<std::string, size_t>> restored_unchecked_;
+
+  /// Replica promotion (only active when options_.promote_after_ms > 0).
+  obs::Counter* promotions_ = nullptr;
+  obs::Counter* possibly_lost_writes_ = nullptr;
+  std::mutex blocks_mu_;
+  std::set<std::string> known_blocks_;
+  std::unordered_map<std::string, long long> acked_by_block_;
+  std::unordered_map<std::string, long long> replicated_by_block_;
+  /// health.times_down() value at each backend's last promotion, so a
+  /// down episode promotes at most once.
+  std::vector<long long> promoted_at_down_;
 
   std::mutex rng_mu_;
   Rng rng_;

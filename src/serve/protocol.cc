@@ -124,7 +124,11 @@ Result<Request> ParseRequest(const std::string& line) {
   }
   if (verb == "stats") {
     WEBER_RETURN_NOT_OK(no_deadline());
-    WEBER_RETURN_NOT_OK(need(1));
+    if (tokens.size() == 2 && tokens[1] == "shards") {
+      request.shard_detail = true;
+    } else {
+      WEBER_RETURN_NOT_OK(need(1));
+    }
     request.op = Request::Op::kStats;
     return request;
   }
@@ -170,6 +174,36 @@ Result<Request> ParseRequest(const std::string& line) {
     request.endpoint = tokens[2];
     return request;
   }
+  if (verb == "rebalance") {
+    WEBER_RETURN_NOT_OK(no_deadline());
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument(
+          "'rebalance' expects a backend list, 'status', or 'abort'");
+    }
+    request.op = Request::Op::kRebalance;
+    if (tokens.size() == 2 &&
+        (tokens[1] == "status" || tokens[1] == "abort")) {
+      request.subcommand = tokens[1];
+      return request;
+    }
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      // Real endpoints always carry a port; a colon-free token here is a
+      // typo'd subcommand, not a backend.
+      if (tokens[i].find(':') == std::string::npos) {
+        return Status::InvalidArgument("'", tokens[i],
+                                       "' is not a host:port endpoint");
+      }
+      request.endpoints.push_back(tokens[i]);
+    }
+    return request;
+  }
+  if (verb == "drain") {
+    WEBER_RETURN_NOT_OK(no_deadline());
+    WEBER_RETURN_NOT_OK(need(2));
+    request.op = Request::Op::kDrain;
+    request.endpoint = tokens[1];
+    return request;
+  }
   if (verb == "ping") {
     WEBER_RETURN_NOT_OK(no_deadline());
     WEBER_RETURN_NOT_OK(need(1));
@@ -211,7 +245,7 @@ std::string FormatRequest(const Request& request) {
       line = "dump " + request.block;
       break;
     case Request::Op::kStats:
-      line = "stats";
+      line = request.shard_detail ? "stats shards" : "stats";
       break;
     case Request::Op::kMetrics:
       line = "metrics";
@@ -226,6 +260,20 @@ std::string FormatRequest(const Request& request) {
       break;
     case Request::Op::kMigrate:
       line = "migrate " + request.block + ' ' + request.endpoint;
+      break;
+    case Request::Op::kRebalance:
+      line = "rebalance";
+      if (!request.subcommand.empty()) {
+        line += ' ';
+        line += request.subcommand;
+      }
+      for (const std::string& endpoint : request.endpoints) {
+        line += ' ';
+        line += endpoint;
+      }
+      break;
+    case Request::Op::kDrain:
+      line = "drain " + request.endpoint;
       break;
     case Request::Op::kPing:
       line = "ping";

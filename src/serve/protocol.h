@@ -12,7 +12,10 @@
 //   compact <block>         batch re-resolve the shard, swap the snapshot
 //   compact                 compact every shard
 //   dump <block>            snapshot partition as doc:label pairs
-//   stats                   service stats as one-line JSON
+//   stats [shards]          service stats as one-line JSON; the optional
+//                           "shards" token adds per-shard planner inputs
+//                           (WAL byte size) to each shard entry — plain
+//                           "stats" output is byte-identical either way
 //   metrics                 Prometheus text exposition of the metrics
 //                           registry: "ok <n>" followed by n payload lines
 //   export <block>          stream the shard's state for migration: the
@@ -33,6 +36,19 @@
 //                           the block's ownership to <endpoint> (copy,
 //                           tail catch-up under a brief write pause, then
 //                           an atomic route-override flip)
+//   rebalance <endpoint...> admin verb handled by weber_router only: diff
+//                           current block ownership against the proposed
+//                           backend list (each endpoint must be a
+//                           configured backend) and migrate every block
+//                           whose owner changes, largest shards first
+//   rebalance status        one-line JSON progress of the running (or most
+//                           recent) rebalance/drain plan
+//   rebalance abort         stop a running plan between moves (the move in
+//                           flight completes or rolls back on its own)
+//   drain <endpoint>        admin verb handled by weber_router only:
+//                           migrate every block off <endpoint>, then mark
+//                           it drained — new writes to it are refused —
+//                           so it can be decommissioned safely
 //   ping                    liveness check
 //   quit                    close the connection / stop the stdio loop
 //
@@ -110,6 +126,8 @@ struct Request {
     kExport,
     kImport,
     kMigrate,
+    kRebalance,
+    kDrain,
     kPing,
     kQuit,
   };
@@ -121,8 +139,15 @@ struct Request {
   std::vector<int> docs;
   /// The decoded binary blob of an `import` request (concatenated frames).
   std::string blob;
-  /// The target backend of a `migrate` request ("host:port").
+  /// The target backend of a `migrate` or `drain` request ("host:port").
   std::string endpoint;
+  /// The proposed backend list of a `rebalance` request, in wire order.
+  std::vector<std::string> endpoints;
+  /// The control word of a `rebalance status` / `rebalance abort` request
+  /// ("" when the request starts a plan).
+  std::string subcommand;
+  /// True for `stats shards`: emit per-shard planner inputs (WAL bytes).
+  bool shard_detail = false;
   /// Client latency budget from the optional "deadline <ms>" suffix
   /// (0 = none given).
   double deadline_ms = 0.0;

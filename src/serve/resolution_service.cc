@@ -1361,6 +1361,12 @@ void ResolutionService::WriteStatsJson(std::ostream& os) const {
 
 void ResolutionService::WriteStatsJson(
     std::ostream& os, const std::function<void(JsonWriter&)>& extra) const {
+  WriteStatsJson(os, extra, /*shard_detail=*/false);
+}
+
+void ResolutionService::WriteStatsJson(
+    std::ostream& os, const std::function<void(JsonWriter&)>& extra,
+    bool shard_detail) const {
   const ServiceStats stats = Stats();
   JsonWriter json(os);
   json.BeginObject();
@@ -1441,6 +1447,12 @@ void ResolutionService::WriteStatsJson(
     json.Key("clusters").Number(snap->clustering.num_clusters());
     json.Key("snapshot_version").Number(
         static_cast<long long>(snap->version));
+    // Planner input, emitted only on request (`stats shards`) so the plain
+    // stats line stays byte-identical.
+    if (shard_detail) {
+      json.Key("wal_bytes").Number(static_cast<long long>(
+          shard->log ? shard->log->wal_bytes() : 0));
+    }
     if (breakers_enabled) {
       json.Key("breaker").String(BreakerStateName(shard->breaker.state()));
     }

@@ -366,9 +366,15 @@ class ResolutionService {
   /// fired, keeping the output byte-identical to an overload-free build
   /// otherwise. `extra`, when given, is invoked at top level so a caller
   /// (the server) can append its own keyed sections.
+  /// `shard_detail` adds the rebalance planner's per-shard inputs (WAL
+  /// byte size) to each shard entry; it defaults off so plain `stats`
+  /// output stays byte-identical for clients that never ask.
   void WriteStatsJson(std::ostream& os) const;
   void WriteStatsJson(std::ostream& os,
                       const std::function<void(JsonWriter&)>& extra) const;
+  void WriteStatsJson(std::ostream& os,
+                      const std::function<void(JsonWriter&)>& extra,
+                      bool shard_detail) const;
 
   const std::vector<std::string>& block_names() const { return block_names_; }
   Result<int> BlockSize(const std::string& block) const;

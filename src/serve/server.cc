@@ -126,7 +126,7 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
       return out;
     }
     case Request::Op::kStats:
-      return StatsResponse();
+      return StatsResponse(request.shard_detail);
     case Request::Op::kMetrics:
       return MetricsResponse();
     case Request::Op::kExport: {
@@ -184,6 +184,12 @@ std::string LineServer::HandleLine(const std::string& line, bool* quit) {
     case Request::Op::kMigrate:
       return FormatError(Status::InvalidArgument(
           "'migrate' is a router admin verb; backends serve export/import"));
+    case Request::Op::kRebalance:
+      return FormatError(Status::InvalidArgument(
+          "'rebalance' is a router admin verb; backends serve export/import"));
+    case Request::Op::kDrain:
+      return FormatError(Status::InvalidArgument(
+          "'drain' is a router admin verb; backends serve export/import"));
     case Request::Op::kPing:
       return "ok";
     case Request::Op::kQuit:
@@ -204,7 +210,7 @@ ServerStats LineServer::stats() const {
   return s;
 }
 
-std::string LineServer::StatsResponse() const {
+std::string LineServer::StatsResponse(bool shard_detail) const {
   const ServerStats s = stats();
   const bool configured = options_.max_connections > 0 ||
                           options_.read_timeout_ms > 0 ||
@@ -216,20 +222,23 @@ std::string LineServer::StatsResponse() const {
   std::ostringstream os;
   if (!configured && !fired) {
     // Byte-identical to the pre-overload stats line when nothing is set.
-    service_->WriteStatsJson(os);
+    service_->WriteStatsJson(os, nullptr, shard_detail);
   } else {
-    service_->WriteStatsJson(os, [&](JsonWriter& json) {
-      json.Key("server").BeginObject();
-      json.Key("connections_accepted").Number(s.connections_accepted);
-      json.Key("active_connections").Number(s.active_connections);
-      json.Key("accept_sheds").Number(s.accept_sheds);
-      json.Key("read_timeouts").Number(s.read_timeouts);
-      json.Key("write_timeouts").Number(s.write_timeouts);
-      json.Key("oversized_lines").Number(s.oversized_lines);
-      json.Key("max_connections").Number(options_.max_connections);
-      json.Key("listen_backlog").Number(options_.listen_backlog);
-      json.EndObject();
-    });
+    service_->WriteStatsJson(
+        os,
+        [&](JsonWriter& json) {
+          json.Key("server").BeginObject();
+          json.Key("connections_accepted").Number(s.connections_accepted);
+          json.Key("active_connections").Number(s.active_connections);
+          json.Key("accept_sheds").Number(s.accept_sheds);
+          json.Key("read_timeouts").Number(s.read_timeouts);
+          json.Key("write_timeouts").Number(s.write_timeouts);
+          json.Key("oversized_lines").Number(s.oversized_lines);
+          json.Key("max_connections").Number(options_.max_connections);
+          json.Key("listen_backlog").Number(options_.listen_backlog);
+          json.EndObject();
+        },
+        shard_detail);
   }
   return "ok " + os.str();
 }

@@ -122,7 +122,9 @@ class LineServer {
   void HandleConnection(int fd);
   /// Emits the service stats JSON, appending the "server" section when the
   /// server's overload features are configured or any counter is nonzero.
-  std::string StatsResponse() const;
+  /// `shard_detail` forwards the `stats shards` request for per-shard
+  /// planner inputs.
+  std::string StatsResponse(bool shard_detail) const;
   /// Prometheus text exposition: the service registry's families followed
   /// by the server's own connection counters (and the trace collector's
   /// span counters when tracing is on). Returns "ok <n>" plus n payload

@@ -1,0 +1,472 @@
+// Fleet self-healing tests: the rebalance planner end-to-end against real
+// resolution-service backends (shrink, grow, status/abort, refusals),
+// drain/decommission semantics, route-override persistence across router
+// restarts (CRC-checked state file, corruption starts clean), hard-loss
+// replica promotion, and admin-verb serialization under concurrency (the
+// TSan suite ConcurrentAdminTest).
+
+#include "router/router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/file_util.h"
+#include "corpus/generator.h"
+#include "corpus/presets.h"
+#include "serve/protocol.h"
+#include "serve/resolution_service.h"
+#include "serve/server.h"
+
+namespace weber {
+namespace router {
+namespace {
+
+/// A real weber_serve backend: a ResolutionService behind a LineServer on
+/// an ephemeral TCP port, so export/import/stats all answer for real.
+class ServiceBackend {
+ public:
+  explicit ServiceBackend(const corpus::SyntheticData& data) {
+    auto service =
+        serve::ResolutionService::Create(data.dataset, &data.gazetteer, {});
+    EXPECT_TRUE(service.ok()) << service.status();
+    service_ = std::move(service).ValueOrDie();
+    server_ = std::make_unique<serve::LineServer>(service_.get());
+    EXPECT_TRUE(server_->StartTcp(0).ok());
+    port_ = server_->tcp_port();
+  }
+
+  void Kill() { server_->StopTcp(); }
+
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+  serve::ResolutionService* service() { return service_.get(); }
+
+ private:
+  int port_ = 0;
+  std::unique_ptr<serve::ResolutionService> service_;
+  std::unique_ptr<serve::LineServer> server_;
+};
+
+RouterOptions FastOptions() {
+  RouterOptions options;
+  options.dial_timeout_ms = 200.0;
+  options.call_timeout_ms = 2000.0;
+  options.probe_timeout_ms = 200.0;
+  options.max_retries = 1;
+  options.retry_backoff_ms = 1.0;
+  options.health.down_probe_interval_ms = 0.0;
+  options.breaker.failure_threshold = 100;  // out of the way by default
+  options.migrate_pause_ms = 2000.0;
+  return options;
+}
+
+class RebalanceServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto data = corpus::SyntheticWebGenerator(corpus::TinyConfig()).Generate();
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = new corpus::SyntheticData(std::move(data).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) {
+      backends_.push_back(std::make_unique<ServiceBackend>(*data_));
+      endpoints_.push_back(backends_.back()->endpoint());
+    }
+  }
+
+  static std::vector<std::string> Blocks() {
+    std::vector<std::string> blocks;
+    for (const corpus::Block& block : data_->dataset.blocks) {
+      blocks.push_back(block.query);
+    }
+    return blocks;
+  }
+
+  /// One request line through the router, asserting nothing.
+  static std::string Call(Router* router, const std::string& line) {
+    bool quit = false;
+    return router->HandleLine(line, &quit);
+  }
+
+  /// Seeds a few documents into every block through the router, so shards
+  /// are non-empty and dumps are comparable.
+  static void SeedWrites(Router* router, int docs_per_block) {
+    for (const std::string& block : Blocks()) {
+      for (int d = 0; d < docs_per_block; ++d) {
+        const std::string response =
+            Call(router, "assign " + block + " " + std::to_string(d));
+        ASSERT_EQ(response.rfind("ok", 0), 0u) << response;
+      }
+    }
+  }
+
+  static std::vector<std::string> Dumps(Router* router) {
+    std::vector<std::string> dumps;
+    for (const std::string& block : Blocks()) {
+      dumps.push_back(Call(router, "dump " + block));
+    }
+    return dumps;
+  }
+
+  size_t IndexOf(const std::string& endpoint) const {
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      if (endpoints_[i] == endpoint) return i;
+    }
+    return endpoints_.size();
+  }
+
+  static corpus::SyntheticData* data_;
+  std::vector<std::unique_ptr<ServiceBackend>> backends_;
+  std::vector<std::string> endpoints_;
+};
+
+corpus::SyntheticData* RebalanceServiceTest::data_ = nullptr;
+
+TEST_F(RebalanceServiceTest, ShrinkMovesEveryBlockOffTheRemovedBackend) {
+  Router router(endpoints_, FastOptions());
+  SeedWrites(&router, 4);
+  const std::vector<std::string> before = Dumps(&router);
+
+  // Propose a fleet without backend 2: every block it owned must move.
+  const std::string response =
+      Call(&router, "rebalance " + endpoints_[0] + " " + endpoints_[1]);
+  ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+  EXPECT_NE(response.find("\"failed\":0"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"aborted\":false"), std::string::npos) << response;
+
+  for (const std::string& block : Blocks()) {
+    EXPECT_NE(router.EffectiveOrder(block)[0], 2u)
+        << block << " still routes to the removed backend";
+  }
+  // Moved or stayed, every dump still answers identically — zero loss.
+  EXPECT_EQ(Dumps(&router), before);
+}
+
+TEST_F(RebalanceServiceTest, GrowRestoresRendezvousAndClearsOverrides) {
+  Router router(endpoints_, FastOptions());
+  SeedWrites(&router, 3);
+  ASSERT_EQ(Call(&router,
+                 "rebalance " + endpoints_[0] + " " + endpoints_[1])
+                .rfind("ok ", 0),
+            0u);
+  const std::vector<std::string> before = Dumps(&router);
+
+  // Growing back to the full fleet puts every block on its pure rendezvous
+  // owner, which erases (not merely rewrites) the override table.
+  const std::string response =
+      Call(&router, "rebalance " + endpoints_[0] + " " + endpoints_[1] +
+                        " " + endpoints_[2]);
+  ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+  EXPECT_TRUE(router.RouteOverrides().empty())
+      << "full-fleet rebalance should leave pure rendezvous routing";
+  for (const std::string& block : Blocks()) {
+    EXPECT_EQ(router.EffectiveOrder(block)[0],
+              Router::RouteOrder(block, endpoints_.size())[0]);
+  }
+  EXPECT_EQ(Dumps(&router), before);
+}
+
+TEST_F(RebalanceServiceTest, StatusAndAbortSurface) {
+  Router router(endpoints_, FastOptions());
+  // Before any plan: a status you can poll without tripping anything.
+  const std::string idle = Call(&router, "rebalance status");
+  ASSERT_EQ(idle.rfind("ok ", 0), 0u) << idle;
+  EXPECT_NE(idle.find("\"started\":false"), std::string::npos) << idle;
+  // Abort with no plan running is an idempotent no-op...
+  EXPECT_EQ(Call(&router, "rebalance abort"), "ok");
+  // ...but the armed flag must not poison the NEXT plan.
+  SeedWrites(&router, 2);
+  const std::string response =
+      Call(&router, "rebalance " + endpoints_[0] + " " + endpoints_[1]);
+  ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+  EXPECT_NE(response.find("\"aborted\":false"), std::string::npos) << response;
+  const std::string after = Call(&router, "rebalance status");
+  EXPECT_NE(after.find("\"started\":true"), std::string::npos) << after;
+  EXPECT_NE(after.find("\"active\":false"), std::string::npos) << after;
+  EXPECT_NE(after.find("\"kind\":\"rebalance\""), std::string::npos) << after;
+  EXPECT_NE(after.find("\"failed\":0"), std::string::npos) << after;
+}
+
+TEST_F(RebalanceServiceTest, UnknownEndpointsAreRefused) {
+  Router router(endpoints_, FastOptions());
+  const std::string response =
+      Call(&router, "rebalance " + endpoints_[0] + " 127.0.0.1:1");
+  EXPECT_EQ(response.rfind("err NotFound", 0), 0u) << response;
+  // A refused plan never starts, so status still reports none.
+  EXPECT_NE(Call(&router, "rebalance status").find("\"started\":false"),
+            std::string::npos);
+}
+
+TEST_F(RebalanceServiceTest, DrainEmptiesABackendAndRefusesItsWrites) {
+  Router router(endpoints_, FastOptions());
+  SeedWrites(&router, 3);
+  const std::vector<std::string> before = Dumps(&router);
+
+  const std::string response = Call(&router, "drain " + endpoints_[2]);
+  ASSERT_EQ(response.rfind("ok ", 0), 0u) << response;
+  EXPECT_EQ(router.DrainedEndpoints(),
+            std::vector<std::string>{endpoints_[2]});
+  for (const std::string& block : Blocks()) {
+    EXPECT_NE(router.EffectiveOrder(block)[0], 2u) << block;
+  }
+  EXPECT_EQ(Dumps(&router), before);
+
+  // Writes routed at a drained backend are refused honestly (never sent).
+  const std::string block = Blocks()[0];
+  router.SetRouteOverride(block, 2);
+  const std::string refused = Call(&router, "assign " + block + " 9");
+  EXPECT_EQ(refused.rfind("OVERLOADED", 0), 0u) << refused;
+  router.SetRouteOverride(block, endpoints_.size());  // clear
+
+  // Admin verbs refuse to aim at a drained backend.
+  EXPECT_EQ(Call(&router, "migrate " + block + " " + endpoints_[2])
+                .rfind("err FailedPrecondition", 0),
+            0u);
+  EXPECT_EQ(Call(&router, "rebalance " + endpoints_[0] + " " + endpoints_[2])
+                .rfind("err FailedPrecondition", 0),
+            0u);
+  EXPECT_EQ(Call(&router, "drain " + endpoints_[2])
+                .rfind("err FailedPrecondition", 0),
+            0u)
+      << "double drain";
+  // Stats surface the drained endpoint.
+  EXPECT_NE(Call(&router, "stats").find("\"drained\":[\"" + endpoints_[2] +
+                                        "\"]"),
+            std::string::npos);
+}
+
+TEST_F(RebalanceServiceTest, DrainingTheWholeFleetIsRefused) {
+  Router router(endpoints_, FastOptions());
+  ASSERT_EQ(Call(&router, "drain " + endpoints_[0]).rfind("ok ", 0), 0u);
+  ASSERT_EQ(Call(&router, "drain " + endpoints_[1]).rfind("ok ", 0), 0u);
+  EXPECT_EQ(Call(&router, "drain " + endpoints_[2])
+                .rfind("err FailedPrecondition", 0),
+            0u)
+      << "the last backend has nowhere to send its blocks";
+}
+
+TEST_F(RebalanceServiceTest, StateFileRoundTripsOverridesAndDrains) {
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_state_roundtrip";
+  RemoveFileIfExists(state_file);
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+
+  // Drain the backend that owns block 0, so the drain provably installs
+  // at least one override (a backend owning nothing would persist none).
+  const std::string victim =
+      endpoints_[Router::RouteOrder(Blocks()[0], endpoints_.size())[0]];
+  std::unordered_map<std::string, size_t> saved_overrides;
+  {
+    Router router(endpoints_, options);
+    SeedWrites(&router, 2);
+    ASSERT_EQ(Call(&router, "drain " + victim).rfind("ok ", 0), 0u);
+    saved_overrides = router.RouteOverrides();
+    ASSERT_FALSE(saved_overrides.empty())
+        << "the drain should have installed at least one override";
+  }
+
+  // A fresh router (the restart) replays the file: same overrides, same
+  // drained set, and the stats surface says so.
+  Router restarted(endpoints_, options);
+  EXPECT_EQ(restarted.RouteOverrides(), saved_overrides);
+  EXPECT_EQ(restarted.DrainedEndpoints(), std::vector<std::string>{victim});
+  const std::string stats = Call(&restarted, "stats");
+  EXPECT_NE(stats.find("\"load_ok\":true"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"restored_drained\":1"), std::string::npos) << stats;
+  EXPECT_EQ(stats.find("\"restored_overrides\":0"), std::string::npos)
+      << stats;
+  RemoveFileIfExists(state_file);
+}
+
+TEST_F(RebalanceServiceTest, CorruptStateFileStartsCleanAndIsSurfaced) {
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_state_corrupt";
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+  {
+    Router router(endpoints_, options);
+    router.SetRouteOverride(Blocks()[0], 1);
+  }
+  Result<std::string> contents = ReadFileToString(state_file);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  std::string corrupted = contents.ValueOrDie();
+  ASSERT_FALSE(corrupted.empty());
+  corrupted[corrupted.size() / 2] ^= 0x20;  // flip a bit under the CRC
+  ASSERT_TRUE(WriteFileAtomic(state_file, corrupted, false).ok());
+
+  Router router(endpoints_, options);
+  EXPECT_TRUE(router.RouteOverrides().empty())
+      << "half-trusted state is worse than none";
+  const std::string stats = Call(&router, "stats");
+  EXPECT_NE(stats.find("\"load_ok\":false"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"restored_overrides\":0"), std::string::npos)
+      << stats;
+  // The router still works (and the next flip rewrites a good file).
+  router.SetRouteOverride(Blocks()[0], 1);
+  Router recovered(endpoints_, options);
+  EXPECT_EQ(recovered.RouteOverrides().size(), 1u);
+  RemoveFileIfExists(state_file);
+}
+
+TEST_F(RebalanceServiceTest, StateEntriesForUnknownEndpointsAreSkipped) {
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_state_skip";
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+  {
+    Router router(endpoints_, options);
+    router.SetRouteOverride(Blocks()[0], 1);
+  }
+  // Restart with a fleet that no longer contains backend 1: the file's
+  // override names an unknown endpoint and must be skipped, not fatal.
+  std::vector<std::string> shrunk = {endpoints_[0], endpoints_[2]};
+  Router router(shrunk, options);
+  EXPECT_TRUE(router.RouteOverrides().empty());
+  const std::string stats = Call(&router, "stats");
+  EXPECT_NE(stats.find("\"load_ok\":true"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"skipped\":1"), std::string::npos) << stats;
+  RemoveFileIfExists(state_file);
+}
+
+// ---------------------------------------------------------------------------
+// Hard-loss replica promotion
+// ---------------------------------------------------------------------------
+
+TEST_F(RebalanceServiceTest, PromotionFlipsOwnershipOnHardLoss) {
+  RouterOptions options = FastOptions();
+  options.health.suspect_after = 1;
+  options.health.down_after = 1;
+  options.promote_after_ms = 1.0;
+  options.replicas = 2;
+  Router router(endpoints_, options);
+  SeedWrites(&router, 3);
+
+  const std::string block = Blocks()[0];
+  const size_t owner = router.EffectiveOrder(block)[0];
+  backends_[owner]->Kill();
+
+  // One probe cycle marks the dead backend down; after the (1ms) hard-loss
+  // deadline the next cycle promotes its blocks to the first routable
+  // standby. Bounded wait: promotion must land within a few cycles.
+  bool promoted = false;
+  for (int i = 0; i < 50 && !promoted; ++i) {
+    router.ProbeOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    promoted = router.EffectiveOrder(block)[0] != owner;
+  }
+  ASSERT_TRUE(promoted) << "hard loss never promoted the standby";
+  const size_t standby = router.EffectiveOrder(block)[0];
+  EXPECT_NE(standby, owner);
+
+  // The promoted standby serves reads and writes for the block.
+  EXPECT_EQ(Call(&router, "assign " + block + " 7").rfind("ok", 0), 0u);
+  EXPECT_EQ(Call(&router, "query " + block + " 0").rfind("ok", 0), 0u);
+  const std::string stats = Call(&router, "stats");
+  EXPECT_NE(stats.find("\"promotions\":"), std::string::npos) << stats;
+  EXPECT_EQ(stats.find("\"promotions\":0"), std::string::npos)
+      << "at least one block must have been promoted: " << stats;
+}
+
+TEST_F(RebalanceServiceTest, PromotionCountsPossiblyLostWritesHonestly) {
+  // replicas=1: nothing is ever confirmed replicated, so every acked write
+  // to the lost owner's blocks is possibly lost — the counter must say so.
+  RouterOptions options = FastOptions();
+  options.health.suspect_after = 1;
+  options.health.down_after = 1;
+  options.promote_after_ms = 1.0;
+  Router router(endpoints_, options);
+
+  const std::string block = Blocks()[0];
+  const size_t owner = router.EffectiveOrder(block)[0];
+  for (int d = 0; d < 5; ++d) {
+    ASSERT_EQ(Call(&router, "assign " + block + " " + std::to_string(d))
+                  .rfind("ok", 0),
+              0u);
+  }
+  backends_[owner]->Kill();
+  for (int i = 0; i < 50; ++i) {
+    router.ProbeOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (router.EffectiveOrder(block)[0] != owner) break;
+  }
+  ASSERT_NE(router.EffectiveOrder(block)[0], owner);
+  const std::string stats = Call(&router, "stats");
+  EXPECT_NE(stats.find("\"possibly_lost_writes\":5"), std::string::npos)
+      << stats;
+}
+
+// ---------------------------------------------------------------------------
+// Admin-verb serialization under concurrency (runs under TSan via
+// scripts/check.sh --tsan; the filter matches ConcurrentAdminTest).
+// ---------------------------------------------------------------------------
+
+class ConcurrentAdminTest : public RebalanceServiceTest {};
+
+TEST_F(ConcurrentAdminTest, AdminVerbsSerializeOrRefuseCleanly) {
+  Router router(endpoints_, FastOptions());
+  SeedWrites(&router, 2);
+  const std::vector<std::string> before = Dumps(&router);
+  const std::string block = Blocks()[0];
+
+  // Three admin verbs race: whichever wins runs; the others either run
+  // after it or are refused with "router busy" — never interleaved, never
+  // a torn override table.
+  std::vector<std::string> verbs = {
+      "rebalance " + endpoints_[0] + " " + endpoints_[1],
+      "migrate " + block + " " + endpoints_[2],
+      "rebalance " + endpoints_[0] + " " + endpoints_[1] + " " +
+          endpoints_[2],
+  };
+  std::vector<std::string> responses(verbs.size());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < verbs.size(); ++i) {
+    threads.emplace_back([&router, &verbs, &responses, i] {
+      bool quit = false;
+      responses[i] = router.HandleLine(verbs[i], &quit);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const bool ok = responses[i].rfind("ok", 0) == 0;
+    const bool refused = responses[i].rfind("err ", 0) == 0;
+    EXPECT_TRUE(ok || refused) << verbs[i] << " -> " << responses[i];
+    if (refused) {
+      // The only legitimate refusals: the serialization one ("router
+      // busy"), or a migrate that lost the race and found its target
+      // already the owner. Anything else means the verbs interleaved.
+      EXPECT_TRUE(responses[i].find("busy") != std::string::npos ||
+                  responses[i].find("already owns") != std::string::npos)
+          << verbs[i] << " -> " << responses[i];
+    }
+  }
+  // Whatever interleaving happened, the table is consistent: every
+  // override names a real backend and every block routes somewhere that
+  // still answers its dump identically.
+  for (const auto& [name, target] : router.RouteOverrides()) {
+    EXPECT_LT(target, endpoints_.size()) << name;
+  }
+  EXPECT_EQ(Dumps(&router), before);
+  // And the fleet converges: a final full rebalance always succeeds.
+  EXPECT_EQ(Call(&router, "rebalance " + endpoints_[0] + " " +
+                              endpoints_[1] + " " + endpoints_[2])
+                .rfind("ok ", 0),
+            0u);
+}
+
+}  // namespace
+}  // namespace router
+}  // namespace weber

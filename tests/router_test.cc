@@ -609,6 +609,36 @@ TEST_F(RouterEndToEndTest, BackendVerbsAreRejectedAtTheRouter) {
   EXPECT_EQ(router.EffectiveOrder("cohen"), Router::RouteOrder("cohen", 3));
 }
 
+TEST_F(RouterEndToEndTest, OverloadedHintsReportTheRemainingPause) {
+  // During a migration write pause, every OVERLOADED the router sheds for
+  // the paused block must carry the actual remaining pause, not the
+  // generic retry floor — otherwise clients retry straight back into the
+  // pause. The dump path exercises the shared RetryHint: pause the block,
+  // kill its owner, and the dump's hint must be pause-sized.
+  auto options = FastOptions();
+  options.retry_after_ms = 50.0;
+  Router router(endpoints_, options);
+  const std::string block = "cohen";
+  const size_t owner = Router::RouteOrder(block, 3)[0];
+  router.SetWritePause(block, 5000.0);
+  backends_[owner]->Kill();
+
+  bool quit = false;
+  auto hint_of = [](const std::string& response) {
+    EXPECT_EQ(response.rfind("OVERLOADED ", 0), 0u) << response;
+    return std::stod(response.substr(std::string("OVERLOADED ").size()));
+  };
+  // Writes shed at the pause check itself.
+  EXPECT_GT(hint_of(router.HandleLine("assign " + block + " 0", &quit)),
+            1000.0);
+  // Dumps shed on the dead owner, but the hint still sees the pause.
+  EXPECT_GT(hint_of(router.HandleLine("dump " + block, &quit)), 1000.0);
+
+  // With the pause cleared, hints fall back to the configured floor.
+  router.SetWritePause(block, 0.0);
+  EXPECT_LE(hint_of(router.HandleLine("dump " + block, &quit)), 50.0);
+}
+
 TEST_F(RouterEndToEndTest, StartAndStopTheProberIsClean) {
   auto options = FastOptions();
   options.probe_interval_ms = 5.0;

@@ -70,6 +70,49 @@ TEST(ParseRequestTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("dump").ok());
 }
 
+TEST(ParseRequestTest, RebalanceDrainAndShardStatsVerbs) {
+  // `stats shards` is the planner's deep-probe form; anything else after
+  // `stats` is still malformed.
+  auto shards = ParseRequest("stats shards");
+  ASSERT_TRUE(shards.ok()) << shards.status();
+  EXPECT_EQ(shards->op, Request::Op::kStats);
+  EXPECT_TRUE(shards->shard_detail);
+  EXPECT_FALSE(ParseRequest("stats")->shard_detail);
+  EXPECT_FALSE(ParseRequest("stats shards extra").ok());
+
+  auto start = ParseRequest("rebalance 127.0.0.1:7001 127.0.0.1:7002");
+  ASSERT_TRUE(start.ok()) << start.status();
+  EXPECT_EQ(start->op, Request::Op::kRebalance);
+  EXPECT_TRUE(start->subcommand.empty());
+  EXPECT_EQ(start->endpoints,
+            (std::vector<std::string>{"127.0.0.1:7001", "127.0.0.1:7002"}));
+
+  auto status = ParseRequest("rebalance status");
+  ASSERT_TRUE(status.ok()) << status.status();
+  EXPECT_EQ(status->subcommand, "status");
+  EXPECT_TRUE(status->endpoints.empty());
+  EXPECT_EQ(ParseRequest("rebalance abort")->subcommand, "abort");
+
+  EXPECT_FALSE(ParseRequest("rebalance").ok());
+  EXPECT_FALSE(ParseRequest("rebalance notanendpoint").ok())
+      << "a bare word is neither a subcommand nor a host:port";
+  EXPECT_FALSE(ParseRequest("rebalance 127.0.0.1:7001 nonsense").ok());
+
+  auto drain = ParseRequest("drain 127.0.0.1:7003");
+  ASSERT_TRUE(drain.ok()) << drain.status();
+  EXPECT_EQ(drain->op, Request::Op::kDrain);
+  EXPECT_EQ(drain->endpoint, "127.0.0.1:7003");
+  EXPECT_FALSE(ParseRequest("drain").ok());
+  EXPECT_FALSE(ParseRequest("drain a b").ok());
+
+  // Round trips through FormatRequest.
+  EXPECT_EQ(FormatRequest(*shards), "stats shards");
+  EXPECT_EQ(FormatRequest(*start),
+            "rebalance 127.0.0.1:7001 127.0.0.1:7002");
+  EXPECT_EQ(FormatRequest(*status), "rebalance status");
+  EXPECT_EQ(FormatRequest(*drain), "drain 127.0.0.1:7003");
+}
+
 TEST(ParseRequestTest, DeadlineSuffix) {
   auto assign = ParseRequest("assign cohen 3 deadline 50");
   ASSERT_TRUE(assign.ok());

@@ -270,6 +270,74 @@ TEST_F(StatsSchemaTest, UntracedServiceStatsStaysByteStable) {
   }
 }
 
+TEST_F(StatsSchemaTest, ShardDetailIsLazyAndPlainStatsStaysByteIdentical) {
+  // `stats shards` feeds the router's rebalance planner: every shard entry
+  // grows a wal_bytes field. Plain `stats` must not pay for that — its
+  // payload stays byte-for-byte what an unscraped service emits.
+  ServiceOptions options;
+  auto service =
+      ResolutionService::Create(data_->dataset, &data_->gazetteer, options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  LineServer server(service->get());
+  bool quit = false;
+
+  const auto count = [](const std::string& text, const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+
+  // The durability section has always carried one aggregate wal_bytes; the
+  // per-shard copies only appear on request.
+  const std::string before = server.HandleLine("stats", &quit);
+  ASSERT_EQ(before.rfind("ok {", 0), 0u);
+  EXPECT_EQ(count(before, "\"wal_bytes\":"), 1u) << before;
+
+  const std::string detailed = server.HandleLine("stats shards", &quit);
+  ASSERT_EQ(detailed.rfind("ok {", 0), 0u);
+  // Every shard entry carries the field, not just the first.
+  const size_t shard_entries = count(detailed, "\"documents\":");
+  EXPECT_GT(shard_entries, 0u);
+  EXPECT_EQ(count(detailed, "\"wal_bytes\":"), shard_entries + 1) << detailed;
+  for (const auto& [key, value] : NumericFields(detailed.substr(3))) {
+    EXPECT_TRUE(std::isfinite(value)) << key;
+    if (key == "wal_bytes") {
+      EXPECT_GE(value, 0.0);
+    }
+  }
+
+  // Asking for detail must not leak state into the plain form afterwards.
+  const std::string after = server.HandleLine("stats", &quit);
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(StatsSchemaTest, BackendsRefuseRouterAdminVerbs) {
+  // Rebalance and drain are fleet-level decisions; a backend asked to run
+  // one answers with a pointer to the router rather than guessing.
+  ServiceOptions options;
+  auto service =
+      ResolutionService::Create(data_->dataset, &data_->gazetteer, options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  LineServer server(service->get());
+  bool quit = false;
+
+  const std::string rebalance =
+      server.HandleLine("rebalance host1:1 host2:2", &quit);
+  EXPECT_EQ(rebalance.rfind("err ", 0), 0u) << rebalance;
+  EXPECT_NE(rebalance.find("'rebalance' is a router admin verb"),
+            std::string::npos)
+      << rebalance;
+
+  const std::string drain = server.HandleLine("drain host1:1", &quit);
+  EXPECT_EQ(drain.rfind("err ", 0), 0u) << drain;
+  EXPECT_NE(drain.find("'drain' is a router admin verb"), std::string::npos)
+      << drain;
+  EXPECT_FALSE(quit);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace weber

@@ -34,6 +34,14 @@
 // WAL/snapshot recovery — zero acked-write loss through a backend kill —
 // (b) reads kept succeeding during the outage (failover), and (c) every
 // backend exits 0 on SIGTERM. Results land in --out (BENCH_fleet.json).
+//
+// --rebalance (with --router_bin) is the fleet self-healing drill: the
+// router runs as a forked weber_router child with a state file and warm
+// standbys, and the harness SIGKILLs in turn a rebalance move's source
+// mid-export (plan reports the failure, a re-run completes), the router
+// itself mid-plan (the respawn recovers its override table from the state
+// file), and finally a block's owner for good (the standby is promoted and
+// writes recover). Zero acked-write loss end to end; BENCH_rebalance.json.
 
 #include <poll.h>
 #include <signal.h>
@@ -1164,6 +1172,779 @@ int RunMigrateMode(const FlagParser& flags, const corpus::Dataset& dataset) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet self-healing drill (--rebalance)
+// ---------------------------------------------------------------------------
+
+/// Scans a one-line JSON payload for `"key":<number>` and returns the
+/// value, or `fallback` when the key is absent.
+long long ScanCount(const std::string& json, const std::string& key,
+                    long long fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::atoll(json.c_str() + at + needle.size());
+}
+
+bool ScanTrue(const std::string& json, const std::string& key) {
+  return json.find("\"" + key + "\":true") != std::string::npos;
+}
+
+/// The self-healing drill: unlike --migrate (in-process router), the router
+/// here is a forked weber_router child so the harness can SIGKILL it.
+///
+///   A. `rebalance` off the busiest backend, SIGKILL that source mid-export
+///      -> the plan reports the move failed (rolled back), a re-run after
+///      the source restarts completes with zero failures.
+///   B. single-target `rebalance`, SIGKILL the *router* after the first
+///      flip persists -> a respawn on the same port + state file restores
+///      the override table and the re-run finishes the plan.
+///   C. after a catch-all write pass drains the replication queue, SIGKILL
+///      the rendezvous owner of block 0 for good -> the standby is
+///      promoted within the deadline and writes to the block ack again,
+///      with possibly_lost_writes == 0 (everything was replicated).
+///
+/// Throughout: writer threads retry OVERLOADED/Unavailable, the reader
+/// must keep succeeding except while the router itself is down, and the
+/// final dumps must hold every acked write. Results land in --out.
+int RunRebalanceMode(const FlagParser& flags, const corpus::Dataset& dataset) {
+  constexpr int kBackends = 3;
+  const int n_writers = std::max(1, flags.GetInt("writers"));
+  const double kill_at =
+      std::min(0.9, std::max(0.05, flags.GetDouble("kill_at")));
+  const std::string serve_bin = flags.GetString("serve_bin");
+  const std::string router_bin = flags.GetString("router_bin");
+  if (router_bin.empty()) {
+    return Fail(Status::InvalidArgument("--rebalance needs --router_bin"));
+  }
+  const std::string data_dir = flags.GetString("data_dir");
+  const std::string state_file = data_dir + "/router.state";
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  Rng rng(seed);
+
+  std::vector<std::pair<int, int>> work;
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    for (size_t d = 0; d < dataset.blocks[b].documents.size(); ++d) {
+      work.emplace_back(static_cast<int>(b), static_cast<int>(d));
+    }
+  }
+  if (work.empty()) return Fail(Status::InvalidArgument("empty dataset"));
+  rng.Shuffle(&work);
+
+  // The rendezvous owner of block 0: drill A's SIGKILL victim and drill
+  // C's permanent casualty. Excluding it from drill A's target list
+  // guarantees the plan has >= 1 move, all sourced from it (the subset
+  // property keeps every other block where it is).
+  const std::string probe_block = dataset.blocks[0].query;
+  const std::vector<size_t> order0 =
+      router::Router::RouteOrder(probe_block, kBackends);
+  const size_t owner0 = order0[0];
+
+  auto backend_args = [&](int i, int port, const std::string& faults) {
+    std::vector<std::string> args{
+        "--dataset=" + flags.GetString("dataset"),
+        "--gazetteer=" + flags.GetString("gazetteer"),
+        "--data-dir=" + data_dir + "/backend" + std::to_string(i),
+        "--fsync=always",
+        "--port=" + std::to_string(port),
+        "--nostdio",
+        "--max_delay_ms=0.5",
+        "--train_fraction=" +
+            FormatDouble(flags.GetDouble("train_fraction"), 6),
+        "--seed=" + std::to_string(flags.GetInt("cal_seed")),
+    };
+    if (!faults.empty()) args.push_back("--faults=" + faults);
+    return args;
+  };
+
+  std::vector<ServerProcess> servers(kBackends);
+  std::vector<std::string> endpoints;
+  if (auto st = RemoveFileIfExists(state_file); !st.ok()) return Fail(st);
+  for (int i = 0; i < kBackends; ++i) {
+    if (auto st = WipeDataDir(data_dir + "/backend" + std::to_string(i));
+        !st.ok()) {
+      return Fail(st);
+    }
+    // The victim's first export stalls 1500 ms so drill A's SIGKILL
+    // deterministically lands while its bulk copy is in flight.
+    const std::string faults = static_cast<size_t>(i) == owner0
+                                   ? "migrate.export=latency:1:1500:1"
+                                   : "";
+    auto server = SpawnServer(serve_bin, backend_args(i, 0, faults));
+    if (!server.ok()) return Fail(server.status());
+    servers[static_cast<size_t>(i)] = *server;
+    endpoints.push_back("127.0.0.1:" + std::to_string(server->port));
+  }
+
+  std::string backends_csv;
+  for (const std::string& ep : endpoints) {
+    if (!backends_csv.empty()) backends_csv += ",";
+    backends_csv += ep;
+  }
+  // Sequential moves (parallelism 1) give drill B a wide window between
+  // the first persisted flip and the plan's end; the router-side move
+  // latency fault widens it further and paces drill A's plan.
+  auto router_args = [&](int port, int promote_after_ms,
+                         const std::string& faults) {
+    std::vector<std::string> args{
+        "--backends=" + backends_csv,
+        "--port=" + std::to_string(port),
+        "--state-file=" + state_file,
+        "--replicas=2",
+        "--rebalance-parallelism=1",
+        "--probe-interval-ms=50",
+        "--probe-timeout-ms=250",
+        "--suspect-after=1",
+        "--down-after=2",
+        "--down-probe-interval-ms=100",
+        "--retry-backoff-ms=5",
+        "--retry-after-ms=25",
+        "--migrate-pause-ms=3000",
+        "--seed=" + std::to_string(flags.GetInt("seed")),
+    };
+    if (promote_after_ms > 0) {
+      args.push_back("--promote-after-ms=" + std::to_string(promote_after_ms));
+    }
+    if (!faults.empty()) {
+      args.push_back("--faults=" + faults);
+      args.push_back("--fault_seed=" + std::to_string(flags.GetInt("seed")));
+    }
+    return args;
+  };
+
+  // Promotion stays off for drills A and B: both kill a process that comes
+  // right back, and a promotion racing the restart would tangle the
+  // rollback/recovery assertions. Drill C respawns the router with the
+  // deadline armed (and proves the state file survives a graceful cycle).
+  auto router_child_result = SpawnServer(
+      router_bin, router_args(0, 0, "rebalance.move=latency:1:300:1000"));
+  auto kill_all = [&](ServerProcess* router_process) {
+    for (ServerProcess& s : servers) KillHard(&s);
+    if (router_process != nullptr) KillHard(router_process);
+  };
+  if (!router_child_result.ok()) {
+    kill_all(nullptr);
+    return Fail(router_child_result.status());
+  }
+  ServerProcess router_child = *router_child_result;
+  const int router_port = router_child.port;
+
+  std::atomic<size_t> acked_count{0};
+  std::atomic<bool> outage{false};       // a backend is down: reads failover
+  std::atomic<bool> router_down{false};  // the router itself is absent
+  std::atomic<bool> stop_reader{false};
+  std::atomic<bool> stop_writers{false};
+  std::atomic<int> first_passes{0};
+  std::atomic<long long> reads_ok{0};
+  std::atomic<long long> reads_ok_during_outage{0};
+  std::atomic<long long> reads_shed{0};
+  std::atomic<long long> read_failures{0};
+  std::atomic<long long> reader_blips{0};  // transport errors, router down
+
+  std::thread reader([&] {
+    Rng reader_rng(seed ^ 0x4EADULL);
+    serve::LineConnection conn;
+    bool connected = conn.Connect("127.0.0.1", router_port).ok();
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      if (!connected) {
+        if (router_down.load(std::memory_order_relaxed)) {
+          reader_blips.fetch_add(1);
+        } else {
+          read_failures.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        connected = conn.Connect("127.0.0.1", router_port).ok();
+        continue;
+      }
+      const auto& pick =
+          work[reader_rng.UniformUint64(static_cast<uint64_t>(work.size()))];
+      const std::string request =
+          "query " + dataset.blocks[pick.first].query + " " +
+          std::to_string(pick.second);
+      const bool during_outage = outage.load(std::memory_order_relaxed);
+      const bool tolerant = router_down.load(std::memory_order_relaxed);
+      Result<std::string> response = conn.Call(request);
+      if (!response.ok()) {
+        // The flag is sampled before and after the call: a SIGKILL landing
+        // mid-request fails the response either way.
+        if (tolerant || router_down.load(std::memory_order_relaxed)) {
+          reader_blips.fetch_add(1);
+        } else {
+          read_failures.fetch_add(1);
+        }
+        connected = conn.Connect("127.0.0.1", router_port).ok();
+        continue;
+      }
+      Result<serve::Response> parsed = serve::ParseResponse(*response);
+      if (!parsed.ok()) {
+        read_failures.fetch_add(1);
+      } else if (parsed->ok()) {
+        reads_ok.fetch_add(1);
+        if (during_outage) reads_ok_during_outage.fetch_add(1);
+      } else if (parsed->kind == serve::Response::Kind::kOverloaded) {
+        reads_shed.fetch_add(1);
+      } else {
+        read_failures.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<WriterCounters> writer_counters(
+      static_cast<size_t>(n_writers));
+  std::vector<Status> writer_failures(static_cast<size_t>(n_writers),
+                                      Status::OK());
+  std::vector<std::thread> writers;
+  for (int w = 0; w < n_writers; ++w) {
+    writers.emplace_back([&, w] {
+      WriterCounters& counters = writer_counters[static_cast<size_t>(w)];
+      Rng writer_rng(seed + 0xA5A5ULL * static_cast<uint64_t>(w + 1));
+      serve::LineConnection conn;
+      if (auto st = conn.Connect("127.0.0.1", router_port); !st.ok()) {
+        writer_failures[static_cast<size_t>(w)] = st;
+        return;
+      }
+      bool first_pass = true;
+      for (size_t i = static_cast<size_t>(w);;) {
+        if (i >= work.size()) {
+          if (first_pass) {
+            first_pass = false;
+            first_passes.fetch_add(1);
+          }
+          if (stop_writers.load(std::memory_order_relaxed)) return;
+          i = static_cast<size_t>(w);
+          continue;
+        }
+        const std::string request =
+            "assign " + dataset.blocks[work[i].first].query + " " +
+            std::to_string(work[i].second);
+        bool done = false;
+        for (int attempt = 0; attempt < 4000 && !done; ++attempt) {
+          Result<std::string> response = conn.Call(request);
+          if (!response.ok()) {
+            ++counters.transport;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            (void)conn.Connect("127.0.0.1", router_port);
+            continue;
+          }
+          Result<serve::Response> parsed = serve::ParseResponse(*response);
+          if (!parsed.ok()) {
+            writer_failures[static_cast<size_t>(w)] = parsed.status();
+            return;
+          }
+          switch (parsed->kind) {
+            case serve::Response::Kind::kOk:
+              ++counters.acked;
+              acked_count.fetch_add(1, std::memory_order_relaxed);
+              done = true;
+              break;
+            case serve::Response::Kind::kOverloaded:
+              ++counters.sheds;
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double, std::milli>(
+                      parsed->retry_after_ms *
+                      (1.0 + writer_rng.UniformDouble())));
+              break;
+            case serve::Response::Kind::kError:
+              if (parsed->code == StatusCode::kUnavailable) {
+                ++counters.unavailable;
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                break;
+              }
+              writer_failures[static_cast<size_t>(w)] = Status::Internal(
+                  "assign rejected through the router: ", *response);
+              return;
+            case serve::Response::Kind::kDeadlineExceeded:
+              writer_failures[static_cast<size_t>(w)] = Status::Internal(
+                  "unexpected DEADLINE_EXCEEDED (no deadline sent)");
+              return;
+          }
+        }
+        if (!done) {
+          writer_failures[static_cast<size_t>(w)] = Status::Internal(
+              "'", request, "' never acked after 4000 attempts");
+          return;
+        }
+        i += static_cast<size_t>(n_writers);
+      }
+    });
+  }
+
+  auto admin_call = [&](const std::string& line) -> Result<std::string> {
+    serve::LineConnection conn;
+    WEBER_RETURN_NOT_OK(conn.Connect("127.0.0.1", router_port));
+    return conn.Call(line);
+  };
+
+  // Polls the router's stats until `endpoint` reports one of `states`.
+  auto wait_backend_state =
+      [&](const std::string& endpoint, std::vector<std::string> states,
+          int timeout_s) -> Status {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto stats = admin_call("stats");
+      if (stats.ok() && stats->rfind("ok ", 0) == 0) {
+        for (const std::string& state : states) {
+          if (stats->find("\"endpoint\":\"" + endpoint + "\",\"state\":\"" +
+                          state + "\"") != std::string::npos) {
+            return Status::OK();
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return Status::Internal("router never saw ", endpoint,
+                            " reach the awaited health state");
+  };
+
+  const size_t kill_threshold =
+      std::max<size_t>(1, static_cast<size_t>(kill_at * work.size()));
+  while (acked_count.load() < kill_threshold) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // --- Drill A: SIGKILL a move's source mid-export ------------------------
+  std::vector<size_t> pair;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    if (i != owner0) pair.push_back(i);
+  }
+  const std::string shrink_cmd =
+      "rebalance " + endpoints[pair[0]] + " " + endpoints[pair[1]];
+  std::cout << "rebalance: shrinking off " << endpoints[owner0]
+            << ", SIGKILL source mid-export\n";
+  Result<std::string> shrink_killed = Status::Internal("unset");
+  std::thread shrink_thread([&] { shrink_killed = admin_call(shrink_cmd); });
+  // The first move starts ~300 ms in (router-side latency fault) and its
+  // export stalls 1500 ms inside the victim; 700 ms lands mid-copy. If a
+  // slow sanitizer build pushes the export past the kill instead, the move
+  // fails against a dead source — either way the plan must report it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  outage.store(true);
+  const int owner0_port = servers[owner0].port;
+  KillHard(&servers[owner0]);
+  shrink_thread.join();
+  if (!shrink_killed.ok() || shrink_killed->rfind("ok", 0) != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "rebalance with its source killed did not answer: ",
+        shrink_killed.ok() ? *shrink_killed
+                           : shrink_killed.status().ToString()));
+  }
+  const long long planned_killed = ScanCount(*shrink_killed, "planned", -1);
+  const long long failed_killed = ScanCount(*shrink_killed, "failed", -1);
+  if (planned_killed < 1 || failed_killed < 1) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "the mid-export kill should fail >=1 of >=1 planned moves: ",
+        *shrink_killed));
+  }
+
+  Result<ServerProcess> revived = Status::Internal("unspawned");
+  for (int tries = 0; tries < 50; ++tries) {
+    revived = SpawnServer(
+        serve_bin,
+        backend_args(static_cast<int>(owner0), owner0_port, ""));
+    if (revived.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!revived.ok()) {
+    kill_all(&router_child);
+    return Fail(revived.status());
+  }
+  servers[owner0] = *revived;
+  if (auto st = wait_backend_state(endpoints[owner0],
+                                   {"healthy", "probation"}, 10);
+      !st.ok()) {
+    kill_all(&router_child);
+    return Fail(st);
+  }
+  outage.store(false);
+
+  auto shrink_retry = admin_call(shrink_cmd);
+  if (!shrink_retry.ok() || shrink_retry->rfind("ok", 0) != 0 ||
+      ScanCount(*shrink_retry, "failed", -1) != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "re-run after the source restart should complete cleanly: ",
+        shrink_retry.ok() ? *shrink_retry
+                          : shrink_retry.status().ToString()));
+  }
+  std::cout << "rebalance: re-run moved the rolled-back blocks, source "
+            << "restored\n";
+
+  // --- Drill B: SIGKILL the router mid-plan -------------------------------
+  // Ownership after the pair shrink follows rendezvous restricted to the
+  // pair (subset property), so the harness can compute which single-target
+  // shrink moves the most blocks without asking the fleet.
+  size_t on_pair0 = 0, on_pair1 = 0;
+  for (const corpus::Block& block : dataset.blocks) {
+    for (size_t idx : router::Router::RouteOrder(block.query, kBackends)) {
+      if (idx == owner0) continue;
+      if (idx == pair[0]) {
+        ++on_pair0;
+      } else {
+        ++on_pair1;
+      }
+      break;
+    }
+  }
+  const size_t single = on_pair0 <= on_pair1 ? pair[0] : pair[1];
+  const std::string single_cmd = "rebalance " + endpoints[single];
+  std::cout << "rebalance: shrinking to " << endpoints[single]
+            << ", SIGKILL router after the first flip persists\n";
+  Result<std::string> single_killed = Status::Internal("unset");
+  std::thread single_thread([&] { single_killed = admin_call(single_cmd); });
+  bool saw_active = false;
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto status = admin_call("rebalance status");
+      if (status.ok() && status->rfind("ok ", 0) == 0) {
+        // `active` only ever refers to the in-flight plan (finished plans
+        // finalize it false before their response is sent), so the first
+        // `active:true` is drill B's plan, not a stale predecessor.
+        if (!saw_active) {
+          saw_active = ScanTrue(*status, "active");
+          if (!saw_active) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+          }
+        }
+        if (ScanCount(*status, "completed", 0) >= 1) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  if (!saw_active) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "drill B's rebalance never reported an active plan"));
+  }
+  router_down.store(true);
+  KillHard(&router_child);
+  single_thread.join();  // transport failure expected; the plan died
+
+  Result<ServerProcess> router_revived = Status::Internal("unspawned");
+  for (int tries = 0; tries < 50; ++tries) {
+    router_revived =
+        SpawnServer(router_bin, router_args(router_port, 600, ""));
+    if (router_revived.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!router_revived.ok()) {
+    kill_all(nullptr);
+    return Fail(router_revived.status());
+  }
+  router_child = *router_revived;
+  router_down.store(false);
+
+  auto restored_stats = admin_call("stats");
+  if (!restored_stats.ok() || restored_stats->rfind("ok ", 0) != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal("restarted router has no stats"));
+  }
+  const long long restored_overrides =
+      ScanCount(*restored_stats, "restored_overrides", -1);
+  if (!ScanTrue(*restored_stats, "load_ok") || restored_overrides < 1) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "restarted router did not recover its overrides from ", state_file,
+        ": ", *restored_stats));
+  }
+  std::cout << "rebalance: restarted router restored " << restored_overrides
+            << " overrides from the state file\n";
+
+  auto single_retry = admin_call(single_cmd);
+  if (!single_retry.ok() || single_retry->rfind("ok", 0) != 0 ||
+      ScanCount(*single_retry, "failed", -1) != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "resumed single-target rebalance should complete cleanly: ",
+        single_retry.ok() ? *single_retry
+                          : single_retry.status().ToString()));
+  }
+
+  // Grow back to the full fleet: rendezvous is restored and every
+  // override is erased (the table is the diff from rendezvous).
+  auto grow = admin_call("rebalance " + endpoints[0] + " " + endpoints[1] +
+                         " " + endpoints[2]);
+  if (!grow.ok() || grow->rfind("ok", 0) != 0 ||
+      ScanCount(*grow, "failed", -1) != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "full-fleet grow rebalance failed: ",
+        grow.ok() ? *grow : grow.status().ToString()));
+  }
+  auto grown_stats = admin_call("stats");
+  const long long overrides_after_grow =
+      grown_stats.ok() ? ScanCount(*grown_stats, "route_overrides", -1) : -1;
+  if (overrides_after_grow != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "growing back to the full fleet should erase every override, "
+        "route_overrides=",
+        overrides_after_grow));
+  }
+
+  // Let the storm finish a full pass everywhere, then stop it.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (first_passes.load() < n_writers) {
+      if (std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  stop_writers.store(true);
+  for (std::thread& t : writers) t.join();
+  for (const Status& st : writer_failures) {
+    if (!st.ok()) {
+      kill_all(&router_child);
+      return Fail(st);
+    }
+  }
+
+  // --- Drill C: hard loss of a block's owner, standby promotion -----------
+  // Catch-all pass: every document acked through the restarted router so
+  // its replication ledger covers the whole corpus, then wait for the
+  // standby queue to drain — after that, promotion must lose nothing.
+  serve::LineConnection conn;
+  if (auto st = conn.Connect("127.0.0.1", router_port); !st.ok()) {
+    kill_all(&router_child);
+    return Fail(st);
+  }
+  for (const auto& [b, d] : work) {
+    const std::string request = "assign " + dataset.blocks[b].query + " " +
+                                std::to_string(d);
+    bool done = false;
+    for (int attempt = 0; attempt < 2000 && !done; ++attempt) {
+      Result<std::string> response = conn.Call(request);
+      if (!response.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        (void)conn.Connect("127.0.0.1", router_port);
+        continue;
+      }
+      Result<serve::Response> parsed = serve::ParseResponse(*response);
+      if (parsed.ok() && parsed->ok()) {
+        done = true;
+      } else if (parsed.ok() &&
+                 parsed->kind == serve::Response::Kind::kOverloaded) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            parsed->retry_after_ms));
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (!done) {
+      kill_all(&router_child);
+      return Fail(Status::Internal("catch-all pass could not ack '", request,
+                                   "'"));
+    }
+  }
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    bool drained = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto stats = admin_call("stats");
+      if (stats.ok() && ScanCount(*stats, "queued", -1) == 0) {
+        drained = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!drained) {
+      kill_all(&router_child);
+      return Fail(
+          Status::Internal("replication queue never drained before drill C"));
+    }
+  }
+
+  std::cout << "rebalance: SIGKILL " << endpoints[owner0]
+            << " for good — waiting for standby promotion\n";
+  outage.store(true);
+  const auto loss_time = std::chrono::steady_clock::now();
+  KillHard(&servers[owner0]);
+  double promote_ms = -1.0;
+  {
+    const auto deadline = loss_time + std::chrono::seconds(20);
+    const std::string request = "assign " + probe_block + " 0";
+    while (std::chrono::steady_clock::now() < deadline) {
+      Result<std::string> response = conn.Call(request);
+      if (!response.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        (void)conn.Connect("127.0.0.1", router_port);
+        continue;
+      }
+      Result<serve::Response> parsed = serve::ParseResponse(*response);
+      if (parsed.ok() && parsed->ok()) {
+        promote_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - loss_time)
+                         .count();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          parsed.ok() && parsed->kind == serve::Response::Kind::kOverloaded
+              ? parsed->retry_after_ms
+              : 10.0));
+    }
+  }
+  if (promote_ms < 0.0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "writes to '", probe_block,
+        "' never recovered after its owner's hard loss — no promotion"));
+  }
+  outage.store(false);
+
+  auto promo_stats = admin_call("stats");
+  if (!promo_stats.ok() || ScanCount(*promo_stats, "promotions", 0) < 1) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "stats claim no promotion happened: ",
+        promo_stats.ok() ? *promo_stats : promo_stats.status().ToString()));
+  }
+  const long long possibly_lost =
+      ScanCount(*promo_stats, "possibly_lost_writes", -1);
+  if (possibly_lost != 0) {
+    kill_all(&router_child);
+    return Fail(Status::Internal(
+        "the replication queue was drained before the kill, yet promotion "
+        "reports ",
+        possibly_lost, " possibly-lost writes"));
+  }
+
+  // Dumps read the compacted clustering, so compact the fleet first. The
+  // hard-lost owner makes the fan-out report partial success — expected,
+  // and fine: every block's effective owner is a live backend by now.
+  if (auto compacted = conn.Call("compact");
+      !compacted.ok() || compacted->rfind("ok", 0) != 0) {
+    std::cout << "rebalance: fleet compact partial (the dead owner): "
+              << (compacted.ok() ? *compacted
+                                 : compacted.status().ToString())
+              << "\n";
+  }
+
+  // Zero acked-write loss: every document was acked in the catch-all pass,
+  // so every owner's dump — including the promoted standbys' — must hold
+  // an assignment for it.
+  long long lost = 0;
+  for (size_t b = 0; b < dataset.blocks.size(); ++b) {
+    const corpus::Block& block = dataset.blocks[b];
+    Result<std::string> response = Status::Internal("unset");
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      response = conn.Call("dump " + block.query);
+      if (response.ok() && response->rfind("ok", 0) == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (!response.ok()) (void)conn.Connect("127.0.0.1", router_port);
+    }
+    if (!response.ok()) {
+      kill_all(&router_child);
+      return Fail(response.status());
+    }
+    auto served = serve::ParseDumpResponse(*response);
+    if (!served.ok()) {
+      kill_all(&router_child);
+      return Fail(served.status());
+    }
+    for (size_t d = 0; d < block.documents.size(); ++d) {
+      if ((*served)[d] < 0) {
+        ++lost;
+        std::cerr << "acked write lost: block '" << block.query << "' doc "
+                  << d << "\n";
+      }
+    }
+  }
+
+  stop_reader.store(true);
+  reader.join();
+  WriterCounters totals;
+  for (const WriterCounters& c : writer_counters) {
+    totals.acked += c.acked;
+    totals.sheds += c.sheds;
+    totals.unavailable += c.unavailable;
+    totals.transport += c.transport;
+  }
+  std::string router_stats;
+  if (auto stats = admin_call("stats");
+      stats.ok() && stats->rfind("ok ", 0) == 0) {
+    router_stats = stats->substr(3);
+  }
+
+  int unclean_exits = 0;
+  {
+    auto status = StopSoft(&router_child);
+    if (!status.ok() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      ++unclean_exits;
+    }
+  }
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (i == owner0) continue;  // drill C's permanent casualty
+    auto status = StopSoft(&servers[i]);
+    if (!status.ok() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      ++unclean_exits;
+    }
+  }
+
+  const std::string out_path = flags.GetString("out");
+  std::ofstream out(out_path);
+  if (!out) return Fail(Status::IOError("cannot write ", out_path));
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("benchmark").String("weber_rebalance_drill");
+  json.Key("backends").Number(kBackends);
+  json.Key("writers").Number(n_writers);
+  json.Key("seed").Number(flags.GetInt("seed"));
+  json.Key("documents").Number(static_cast<long long>(work.size()));
+  json.Key("acked").Number(totals.acked);
+  json.Key("lost").Number(lost);
+  json.Key("drill_a_planned").Number(planned_killed);
+  json.Key("drill_a_failed_moves").Number(failed_killed);
+  json.Key("drill_b_restored_overrides").Number(restored_overrides);
+  json.Key("route_overrides_after_grow").Number(overrides_after_grow);
+  json.Key("promotion_ms").Number(promote_ms);
+  json.Key("possibly_lost_writes").Number(possibly_lost);
+  json.Key("writer_sheds").Number(totals.sheds);
+  json.Key("writer_unavailable").Number(totals.unavailable);
+  json.Key("writer_transport_failures").Number(totals.transport);
+  json.Key("reads_ok").Number(reads_ok.load());
+  json.Key("reads_ok_during_outages").Number(reads_ok_during_outage.load());
+  json.Key("reads_shed").Number(reads_shed.load());
+  json.Key("read_failures").Number(read_failures.load());
+  json.Key("reader_blips_router_down").Number(reader_blips.load());
+  json.Key("unclean_exits").Number(unclean_exits);
+  json.Key("router_stats").String(router_stats);
+  json.EndObject();
+  out << "\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (lost > 0) {
+    return Fail(Status::Corruption(lost, " acked writes lost in the drill"));
+  }
+  if (read_failures.load() > 0) {
+    return Fail(Status::Internal(
+        read_failures.load(),
+        " reader failures while the router was up — failover did not carry "
+        "the read path"));
+  }
+  if (reads_ok_during_outage.load() == 0) {
+    return Fail(Status::Internal(
+        "no successful reads during a backend outage window"));
+  }
+  if (unclean_exits > 0) {
+    return Fail(Status::Internal(unclean_exits,
+                                 " processes exited uncleanly on SIGTERM"));
+  }
+  std::cout << "rebalance drill ok: mid-export kill failed " << failed_killed
+            << "/" << planned_killed << " moves then re-ran clean, router "
+            << "SIGKILL restored " << restored_overrides
+            << " overrides from its state file, hard owner loss promoted "
+            << "the standby in " << FormatDouble(promote_ms, 1) << " ms, "
+            << totals.acked << " acks with zero loss\n";
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("dataset", "", "path to a labeled WEBER dataset file");
@@ -1181,6 +1962,13 @@ int Run(int argc, char** argv) {
                 "run the live-migration kill drill (3 backends, SIGKILL "
                 "the source mid-copy and mid-flip) instead of the classic "
                 "loop");
+  flags.AddBool("rebalance", false,
+                "run the fleet self-healing drill (3 backends + a forked "
+                "weber_router: SIGKILL a rebalance source mid-export, the "
+                "router mid-plan, and a block's owner for good) instead of "
+                "the classic loop");
+  flags.AddString("router_bin", "",
+                  "path to the weber_router binary (--rebalance)");
   flags.AddInt("writers", 4, "storm writer threads (fleet mode)");
   flags.AddDouble("kill_at", 0.3,
                   "acked fraction at which the victim backend is "
@@ -1211,6 +1999,7 @@ int Run(int argc, char** argv) {
   if (!dataset.ok()) return Fail(dataset.status());
   if (flags.GetInt("fleet") > 0) return RunFleetMode(flags, *dataset);
   if (flags.GetBool("migrate")) return RunMigrateMode(flags, *dataset);
+  if (flags.GetBool("rebalance")) return RunRebalanceMode(flags, *dataset);
   std::ifstream gz(flags.GetString("gazetteer"));
   if (!gz) {
     return Fail(Status::IOError("cannot read ", flags.GetString("gazetteer")));

@@ -14,19 +14,28 @@
 //
 // The router answers `stats` (one-line JSON: per-backend health, breaker
 // state, counters) and `metrics` (Prometheus text, "ok <n>" framed) from
-// its own registry; every other verb is forwarded. With --port=0 the
-// chosen port is announced as "listening on 127.0.0.1:<port>" and also
-// written to --port-file when set. SIGINT/SIGTERM drain gracefully.
+// its own registry; every other verb is forwarded. Admin verbs:
+// `migrate <block> <endpoint>` re-homes one block live, `rebalance
+// <endpoint...>` re-homes every block onto the proposed backend list with
+// bounded parallelism (`rebalance status` / `rebalance abort` to watch or
+// stop it), and `drain <endpoint>` empties a backend for decommission.
+// With --state-file route overrides survive router restarts; with
+// --promote-after-ms a hard-lost backend's blocks are promoted to their
+// warm standby (pair with --replicas=2). With --port=0 the chosen port is
+// announced as "listening on 127.0.0.1:<port>" and also written to
+// --port-file when set. SIGINT/SIGTERM drain gracefully.
 
 #include <csignal>
 #include <cstring>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "router/router.h"
@@ -124,6 +133,21 @@ void AddFlags(FlagParser* flags) {
   flags->AddInt("replication-queue-cap", 1024,
                 "acked writes queued for standby forwarding before new "
                 "ones are dropped (and counted)");
+  flags->AddInt("rebalance-parallelism", 2,
+                "concurrent block moves a `rebalance`/`drain` plan runs at "
+                "once");
+  flags->AddDouble("promote-after-ms", 0.0,
+                   "promote a down backend's blocks to their first routable "
+                   "standby after it has been down this long (0 = never)");
+  flags->AddString("state-file", "",
+                   "persist route overrides and drained marks here "
+                   "(CRC32C-trailed, atomic replace) and replay them on "
+                   "restart");
+  flags->AddString("faults", "",
+                   "fault spec point=kind[:prob[:param[:max]]];... "
+                   "(or WEBER_FAULTS env); points: migrate.flip, "
+                   "rebalance.move");
+  flags->AddInt("fault_seed", 0, "seed for fault trigger streams");
 }
 
 int Fail(const Status& status) {
@@ -143,6 +167,19 @@ int Run(int argc, char** argv) {
     }
   }
   if (auto st = flags.Parse(argc, argv); !st.ok()) return Fail(st);
+
+  faults::FaultInjector& injector = faults::FaultInjector::Instance();
+  if (flags.WasSet("fault_seed")) {
+    injector.Seed(static_cast<uint64_t>(flags.GetInt("fault_seed")));
+  }
+  std::string fault_spec = flags.GetString("faults");
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("WEBER_FAULTS")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    if (auto st = injector.ArmFromSpec(fault_spec); !st.ok()) return Fail(st);
+    std::cerr << "fault injection armed: " << fault_spec << "\n";
+  }
 
   std::vector<std::string> endpoints;
   for (const std::string& piece : Split(flags.GetString("backends"), ',')) {
@@ -181,6 +218,11 @@ int Run(int argc, char** argv) {
   options.replicas = std::max(1, flags.GetInt("replicas"));
   options.replication_queue_cap = static_cast<size_t>(
       std::max(1, flags.GetInt("replication-queue-cap")));
+  options.rebalance_parallelism =
+      std::max(1, flags.GetInt("rebalance-parallelism"));
+  options.promote_after_ms =
+      std::max(0.0, flags.GetDouble("promote-after-ms"));
+  options.state_file = flags.GetString("state-file");
   if (options.replicas > static_cast<int>(endpoints.size())) {
     return Fail(Status::InvalidArgument(
         "--replicas=", options.replicas, " exceeds the ", endpoints.size(),
