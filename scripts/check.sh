@@ -204,7 +204,9 @@ fi
 if [[ "$MODE" != "--normal-only" && "$MODE" != "--sanitize-only" ]]; then
   echo "==> thread-sanitized build (serve + executor tests)"
   run_suite build-tsan -DWEBER_SANITIZE=thread
-  TSAN_OPTIONS="halt_on_error=1" \
+  # scripts/tsan.supp silences the documented libstdc++ _Sp_atomic false
+  # positive (atomic<shared_ptr> uses a lock bit TSan cannot see).
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/scripts/tsan.supp" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
       -R "$TSAN_FILTER"
 fi

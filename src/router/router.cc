@@ -359,19 +359,43 @@ std::string Router::ForwardWrite(const serve::Request& request) {
       router->route_cv_.notify_all();
     }
   } inflight_guard{this, request.block};
-  const size_t owner_index = EffectiveOrder(request.block)[0];
-  Backend& owner = *backends_[owner_index];
-  bool owner_drained = false;
+  const std::vector<size_t> order = EffectiveOrder(request.block);
+  size_t owner_index = order[0];
+  bool rerouted = false;
   {
     std::lock_guard<std::mutex> lock(route_mu_);
-    owner_drained = drained_.count(owner_index) > 0;
+    if (drained_.count(owner_index) > 0) {
+      // A drained backend is awaiting decommission; accepting the write
+      // would strand it on a node about to disappear. Drained is a
+      // permanent condition (it survives restarts), so shedding with a
+      // retry hint would have an honest client retrying forever — instead
+      // the block is re-homed for good onto the first non-drained backend
+      // in its preference order.
+      owner_index = backends_.size();
+      for (const size_t index : order) {
+        if (drained_.count(index) == 0) {
+          owner_index = index;
+          break;
+        }
+      }
+      rerouted = owner_index != backends_.size();
+    }
   }
-  if (owner_drained) {
-    // A drained backend is awaiting decommission; accepting the write
-    // would strand it on a node about to disappear.
-    shed_overloaded_->Increment();
-    return serve::FormatOverloaded(RetryHintMs(request.block));
+  if (owner_index == backends_.size()) {
+    // Every backend is drained (only reachable through a restored state
+    // file — the drain verb refuses to empty the fleet). Nothing will
+    // change on its own, so the refusal must be non-retryable.
+    return serve::FormatError(Status::FailedPrecondition(
+        "write to '", request.block,
+        "': every backend is drained; undrain one before writing"));
   }
+  if (rerouted) {
+    // A durable flip, like a promotion: later writes, reads, and dumps
+    // all follow the override instead of re-deriving the reroute.
+    ApplyOverride(request.block, owner_index);
+    PersistState();
+  }
+  Backend& owner = *backends_[owner_index];
   {
     std::lock_guard<std::mutex> lock(owner.mu);
     if (!owner.health.Routable()) {
@@ -1062,6 +1086,30 @@ std::string Router::Drain(const serve::Request& request) {
     Router* router;
     ~AdminGuard() { router->EndAdmin(); }
   } admin_guard{this};
+  // The victim's own shard scrape is load-bearing: the plan's block
+  // universe is the union of whatever backends answer `stats shards`, so a
+  // victim that is down or cannot enumerate its shards would contribute
+  // nothing, the plan would move nothing, and the drained mark would tell
+  // the operator a backend still holding the only copy of its blocks is
+  // safe to decommission. Refuse instead — a backend that never comes
+  // back is --promote-after-ms territory, not drain's.
+  Backend& victim_backend = *backends_[victim];
+  {
+    std::lock_guard<std::mutex> lock(victim_backend.mu);
+    if (!victim_backend.health.Routable()) {
+      return serve::FormatError(Status::Unavailable(
+          "drain: ", request.endpoint,
+          " is not routable, so its blocks cannot be copied off; refusing "
+          "to mark it drained"));
+    }
+  }
+  if (Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+          pre = FetchShardStats(victim_backend);
+      !pre.ok()) {
+    return serve::FormatError(Status::Unavailable(
+        "drain: cannot enumerate shards on ", request.endpoint, " (",
+        pre.status().message(), "); refusing to mark it drained"));
+  }
   const PlanProgress done = ExecutePlan("drain", targets);
   if (done.failed > 0 || done.aborted) {
     // The drained mark is withheld: some blocks still live on the victim,
@@ -1073,6 +1121,35 @@ std::string Router::Drain(const serve::Request& request) {
         " moves done, ", done.failed, " failed",
         done.aborted ? ", aborted" : "", "; ", request.endpoint,
         " still accepts writes — retry"));
+  }
+  // Post-verify against the victim itself: the plan's scrape may have
+  // missed it (a transient failure between the pre-check and the plan), in
+  // which case its solely-held blocks were never planned. The drained mark
+  // is only set once the victim provably owns nothing it still reports.
+  Result<std::unordered_map<std::string, std::pair<long long, long long>>>
+      post = FetchShardStats(victim_backend);
+  if (!post.ok()) {
+    return serve::FormatError(Status::Unavailable(
+        "drain: moves completed but ", request.endpoint,
+        " cannot confirm it owns nothing (", post.status().message(),
+        "); not marked drained — retry"));
+  }
+  std::vector<std::string> still_owned;
+  for (const auto& [block, sizes] : post.ValueOrDie()) {
+    if (EffectiveOrder(block)[0] == victim) still_owned.push_back(block);
+  }
+  if (!still_owned.empty()) {
+    std::sort(still_owned.begin(), still_owned.end());
+    std::string joined;
+    for (size_t i = 0; i < still_owned.size() && i < 4; ++i) {
+      if (!joined.empty()) joined += ", ";
+      joined += still_owned[i];
+    }
+    if (still_owned.size() > 4) joined += ", ...";
+    return serve::FormatError(Status::Unavailable(
+        "drain incomplete: ", request.endpoint, " still owns ",
+        still_owned.size(), " block(s) (", joined,
+        ") the plan never saw; not marked drained — retry"));
   }
   {
     std::lock_guard<std::mutex> lock(route_mu_);
@@ -1245,33 +1322,69 @@ void Router::LoadState() {
     }
   }
   if (!saw_crc) return corrupt("missing crc trailer");
-  // Constructor context: no concurrent readers yet, but the locks are
-  // cheap and keep the invariants uniform.
-  std::lock_guard<std::mutex> lock(route_mu_);
-  for (const auto& [block, index] : overrides) {
-    route_override_[block] = index;
-    ++restored_overrides_;
-    restored_unchecked_.emplace_back(block, index);
+  if (line_begin != contents.size()) {
+    // Anything after the crc trailer escapes the checksum entirely, so
+    // accepting it would hollow out the corruption detection the CRC
+    // exists to provide.
+    return corrupt("trailing bytes after crc trailer");
   }
-  for (const size_t index : drained) {
-    drained_.insert(index);
-    ++restored_drained_;
+  {
+    // Constructor context: no concurrent readers yet, but the locks are
+    // cheap and keep the invariants uniform.
+    std::lock_guard<std::mutex> lock(route_mu_);
+    for (const auto& [block, index] : overrides) {
+      route_override_[block] = index;
+      ++restored_overrides_;
+      restored_unchecked_.emplace_back(block, index);
+    }
+    for (const size_t index : drained) {
+      drained_.insert(index);
+      ++restored_drained_;
+    }
   }
+  // Seed promotion's block universe from the restored overrides, so a
+  // router restarted just before a hard loss can promote blocks it has
+  // never routed traffic for (deep probes seed the rest).
+  for (const auto& [block, index] : overrides) NoteBlock(block);
 }
 
 void Router::CrossCheckOverrides() {
   std::lock_guard<std::mutex> check_lock(check_mu_);
   if (restored_unchecked_.empty()) return;
+  // This runs inline on the prober thread, and every scrape of an
+  // unreachable backend burns a full dial/call timeout. Two bounds keep
+  // one deep cycle from stalling health transitions and promotion behind
+  // seconds of blocking round-trips: a per-cycle scrape budget (leftovers
+  // wait for the next deep cycle), and a per-cycle cache (a restored table
+  // usually names the same two backends over and over, so most entries
+  // check for free).
+  constexpr int kMaxScrapesPerCycle = 4;
+  using ShardSizes =
+      std::unordered_map<std::string, std::pair<long long, long long>>;
+  std::unordered_map<size_t, bool> scrape_ok;
+  std::unordered_map<size_t, ShardSizes> scraped;
+  int scrapes = 0;
+  auto scrape = [&](size_t index) {
+    auto it = scrape_ok.find(index);
+    if (it != scrape_ok.end()) return it->second;
+    ++scrapes;
+    Result<ShardSizes> stats = FetchShardStats(*backends_[index]);
+    scrape_ok[index] = stats.ok();
+    if (stats.ok()) scraped[index] = std::move(stats).ValueOrDie();
+    return scrape_ok[index];
+  };
   std::vector<std::pair<std::string, size_t>> still_pending;
   for (const auto& [block, target] : restored_unchecked_) {
     const std::vector<size_t> pure = RouteOrder(block, backends_.size());
     const size_t rendezvous_owner = pure.empty() ? target : pure[0];
     if (rendezvous_owner == target) continue;  // nothing to contradict
-    Result<std::unordered_map<std::string, std::pair<long long, long long>>>
-        target_stats = FetchShardStats(*backends_[target]);
-    Result<std::unordered_map<std::string, std::pair<long long, long long>>>
-        owner_stats = FetchShardStats(*backends_[rendezvous_owner]);
-    if (!target_stats.ok() || !owner_stats.ok()) {
+    const int needed = (scrape_ok.count(target) == 0 ? 1 : 0) +
+                       (scrape_ok.count(rendezvous_owner) == 0 ? 1 : 0);
+    if (scrapes + needed > kMaxScrapesPerCycle) {
+      still_pending.emplace_back(block, target);
+      continue;
+    }
+    if (!scrape(target) || !scrape(rendezvous_owner)) {
       // One side unreachable: retry at the next deep probe cycle instead
       // of guessing.
       still_pending.emplace_back(block, target);
@@ -1279,12 +1392,11 @@ void Router::CrossCheckOverrides() {
     }
     long long target_docs = 0;
     long long owner_docs = 0;
-    if (auto it = target_stats.ValueOrDie().find(block);
-        it != target_stats.ValueOrDie().end()) {
+    if (auto it = scraped[target].find(block); it != scraped[target].end()) {
       target_docs = it->second.first;
     }
-    if (auto it = owner_stats.ValueOrDie().find(block);
-        it != owner_stats.ValueOrDie().end()) {
+    if (auto it = scraped[rendezvous_owner].find(block);
+        it != scraped[rendezvous_owner].end()) {
       owner_docs = it->second.first;
     }
     if (owner_docs > target_docs && override_divergence_ != nullptr) {
@@ -1647,15 +1759,29 @@ void Router::ProbeBackend(Backend& backend, bool deep, double now_ms) {
   Status status =
       socket.Connect(backend.host, backend.port, options_.probe_timeout_ms);
   bool healthy = false;
+  // With promotion armed, deep probes ask for the per-shard detail and
+  // feed the shard names into promotion's block universe — otherwise a
+  // restarted router could only promote blocks it had already routed
+  // traffic for. Gated on promote_after_ms so a promotion-free router's
+  // probe traffic stays byte-identical.
+  const bool scrape_blocks = deep && options_.promote_after_ms > 0.0;
   if (status.ok()) {
     // A deep probe asks for stats — it exercises the whole service
     // dispatch, catching a process that accepts but cannot serve.
     Result<std::string> response =
-        socket.Call(deep ? "stats" : "ping", options_.probe_timeout_ms);
+        socket.Call(deep ? (scrape_blocks ? "stats shards" : "stats")
+                         : "ping",
+                    options_.probe_timeout_ms);
     if (response.ok()) {
       Result<serve::Response> parsed =
           serve::ParseResponse(response.ValueOrDie());
       healthy = parsed.ok() && parsed.ValueOrDie().ok();
+      if (healthy && scrape_blocks) {
+        for (const auto& [name, sizes] :
+             ParseShardStats(parsed.ValueOrDie().body)) {
+          NoteBlock(name);
+        }
+      }
     }
   }
   if (!healthy) probe_failures_->Increment();

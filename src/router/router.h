@@ -45,7 +45,12 @@
 //     executes them with bounded parallelism, per-move rollback, and a
 //     `rebalance status` / `rebalance abort` progress surface.
 //     `drain <endpoint>` migrates everything off one backend and then
-//     refuses new writes to it, so it can be decommissioned safely.
+//     marks it drained, so it can be decommissioned safely: new writes
+//     that would land on it are durably re-homed to the next non-drained
+//     backend in the block's preference order. The drained mark is only
+//     set once the victim itself confirms (via `stats shards`) that it no
+//     longer owns anything — an unreachable victim refuses the drain
+//     rather than reporting a hollow success.
 //     Admin verbs (migrate/rebalance/drain) serialize: a second one
 //     arriving mid-plan is refused with FailedPrecondition, never
 //     interleaved — the override table cannot tear.
@@ -356,13 +361,15 @@ class Router {
   void LoadState();
   /// Cross-checks restored overrides against backend `stats shards` (who
   /// actually holds the documents); divergence is counted, never hidden.
+  /// Bounded per deep-probe cycle so it cannot stall the prober thread.
   void CrossCheckOverrides();
 
   /// Hard-loss replica promotion: flips every known block owned by a
   /// backend that has been down past promote_after_ms onto its first
   /// routable standby (once per down episode).
   void MaybePromote(double now_ms);
-  /// Tracks blocks seen in forwarded traffic (promotion's universe).
+  /// Tracks blocks in promotion's universe: forwarded traffic, restored
+  /// state-file overrides, and deep-probe shard scrapes.
   void NoteBlock(const std::string& block);
   void NoteAcked(const std::string& block);
   void NoteReplicated(const std::string& block);
@@ -400,7 +407,8 @@ class Router {
   std::unordered_map<std::string, size_t> route_override_;
   std::unordered_map<std::string, double> write_pause_until_;
   /// Backends drained by `drain <endpoint>`: writes to blocks they own
-  /// are refused (reads may still fail over to them).
+  /// are durably re-homed to the next non-drained backend (reads may
+  /// still fail over to them while they hold data).
   std::set<size_t> drained_;
   /// Writes past the pause check but not yet forwarded, per block; a move
   /// pauses its block and then waits for that block's count to drain, so

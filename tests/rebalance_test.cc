@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "common/file_util.h"
 #include "corpus/generator.h"
 #include "corpus/presets.h"
@@ -223,11 +224,15 @@ TEST_F(RebalanceServiceTest, DrainEmptiesABackendAndRefusesItsWrites) {
   }
   EXPECT_EQ(Dumps(&router), before);
 
-  // Writes routed at a drained backend are refused honestly (never sent).
+  // Writes routed at a drained backend are durably re-homed onto the
+  // first non-drained backend instead of shed forever — OVERLOADED's
+  // retry hint would promise progress a permanent drain can never make.
   const std::string block = Blocks()[0];
   router.SetRouteOverride(block, 2);
-  const std::string refused = Call(&router, "assign " + block + " 9");
-  EXPECT_EQ(refused.rfind("OVERLOADED", 0), 0u) << refused;
+  const std::string rerouted = Call(&router, "assign " + block + " 9");
+  EXPECT_EQ(rerouted.rfind("ok", 0), 0u) << rerouted;
+  EXPECT_NE(router.EffectiveOrder(block)[0], 2u)
+      << "the write should have flipped the block off the drained backend";
   router.SetRouteOverride(block, endpoints_.size());  // clear
 
   // Admin verbs refuse to aim at a drained backend.
@@ -255,6 +260,71 @@ TEST_F(RebalanceServiceTest, DrainingTheWholeFleetIsRefused) {
                 .rfind("err FailedPrecondition", 0),
             0u)
       << "the last backend has nowhere to send its blocks";
+}
+
+TEST_F(RebalanceServiceTest, DrainRefusesAnUnreachableVictim) {
+  // A dead victim contributes nothing to the plan's block universe, so a
+  // drain "completing" against it would mark a backend that still holds
+  // the only copy of its blocks as safe to decommission. It must refuse.
+  Router router(endpoints_, FastOptions());
+  SeedWrites(&router, 2);
+  backends_[2]->Kill();
+  const std::string response = Call(&router, "drain " + endpoints_[2]);
+  EXPECT_EQ(response.rfind("err Unavailable", 0), 0u) << response;
+  EXPECT_TRUE(router.DrainedEndpoints().empty())
+      << "an unverifiable drain must not set the drained mark";
+}
+
+TEST_F(RebalanceServiceTest, WritesRerouteOffADrainedOwnerDurably) {
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_reroute";
+  RemoveFileIfExists(state_file);
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+  Router router(endpoints_, options);
+  SeedWrites(&router, 2);
+  // Drain the rendezvous owner of block 0, then force the block back onto
+  // it (a stale operator override): the next write must re-home the block
+  // durably instead of shedding forever.
+  const std::string block = Blocks()[0];
+  const size_t victim = Router::RouteOrder(block, endpoints_.size())[0];
+  ASSERT_EQ(Call(&router, "drain " + endpoints_[victim]).rfind("ok ", 0),
+            0u);
+  router.SetRouteOverride(block, victim);
+
+  const std::string response = Call(&router, "assign " + block + " 9");
+  EXPECT_EQ(response.rfind("ok", 0), 0u) << response;
+  EXPECT_NE(router.EffectiveOrder(block)[0], victim);
+  // The victim is the block's pure rendezvous owner, so the reroute must
+  // be a real override entry (not an erase back to rendezvous).
+  EXPECT_EQ(router.RouteOverrides().count(block), 1u)
+      << "the reroute should be an override, not a per-request decision";
+
+  // Durable: a restarted router routes the block off the victim too.
+  Router restarted(endpoints_, options);
+  EXPECT_NE(restarted.EffectiveOrder(block)[0], victim);
+  RemoveFileIfExists(state_file);
+}
+
+TEST_F(RebalanceServiceTest, WritesWithEveryBackendDrainedAreNonRetryable) {
+  // Unreachable through the drain verb (the last drain is refused), but a
+  // restored state file can say so; the answer must be a non-retryable
+  // error, not an OVERLOADED hint a client would honor forever.
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_all_drained";
+  std::string body = "weber-router-state v1\n";
+  for (const std::string& endpoint : endpoints_) {
+    body += "drained " + endpoint + "\n";
+  }
+  body += "crc " + std::to_string(Crc32c(body.data(), body.size())) + "\n";
+  ASSERT_TRUE(WriteFileAtomic(state_file, body, false).ok());
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+  Router router(endpoints_, options);
+  ASSERT_EQ(router.DrainedEndpoints().size(), endpoints_.size());
+  const std::string response = Call(&router, "assign " + Blocks()[0] + " 1");
+  EXPECT_EQ(response.rfind("err FailedPrecondition", 0), 0u) << response;
+  RemoveFileIfExists(state_file);
 }
 
 TEST_F(RebalanceServiceTest, StateFileRoundTripsOverridesAndDrains) {
@@ -341,6 +411,34 @@ TEST_F(RebalanceServiceTest, StateEntriesForUnknownEndpointsAreSkipped) {
   RemoveFileIfExists(state_file);
 }
 
+TEST_F(RebalanceServiceTest, TrailingBytesAfterTheCrcTrailerAreCorruption) {
+  // Bytes appended after the crc line escape the checksum entirely;
+  // accepting them would hollow out the corruption detection, so the
+  // whole file is discarded like any other corruption.
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_state_trailing";
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+  {
+    Router router(endpoints_, options);
+    router.SetRouteOverride(Blocks()[0], 1);
+  }
+  Result<std::string> contents = ReadFileToString(state_file);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  ASSERT_TRUE(WriteFileAtomic(
+                  state_file,
+                  contents.ValueOrDie() + "override evil " + endpoints_[2] +
+                      "\n",
+                  false)
+                  .ok());
+  Router router(endpoints_, options);
+  EXPECT_TRUE(router.RouteOverrides().empty());
+  const std::string stats = Call(&router, "stats");
+  EXPECT_NE(stats.find("\"load_ok\":false"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("trailing bytes"), std::string::npos) << stats;
+  RemoveFileIfExists(state_file);
+}
+
 // ---------------------------------------------------------------------------
 // Hard-loss replica promotion
 // ---------------------------------------------------------------------------
@@ -406,6 +504,66 @@ TEST_F(RebalanceServiceTest, PromotionCountsPossiblyLostWritesHonestly) {
   const std::string stats = Call(&router, "stats");
   EXPECT_NE(stats.find("\"possibly_lost_writes\":5"), std::string::npos)
       << stats;
+}
+
+TEST_F(RebalanceServiceTest, PromotionCoversIdleBlocksSeededByDeepProbes) {
+  // A freshly restarted router has seen no traffic; its promotion universe
+  // must come from the deep-probe shard scrape, or idle blocks would never
+  // fail over when their owner hard-fails.
+  RouterOptions options = FastOptions();
+  options.health.suspect_after = 1;
+  options.health.down_after = 1;
+  options.promote_after_ms = 1.0;
+  options.deep_probe_every = 1;  // every cycle is deep
+  Router router(endpoints_, options);
+
+  const std::string block = Blocks()[0];
+  const size_t owner = router.EffectiveOrder(block)[0];
+  router.ProbeOnce();  // scrapes every backend's shards into the universe
+  backends_[owner]->Kill();
+  bool promoted = false;
+  for (int i = 0; i < 50 && !promoted; ++i) {
+    router.ProbeOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    promoted = router.EffectiveOrder(block)[0] != owner;
+  }
+  ASSERT_TRUE(promoted)
+      << "an idle (never-routed) block was not promoted on hard loss";
+}
+
+TEST_F(RebalanceServiceTest, PromotionCoversBlocksRestoredFromTheStateFile) {
+  // The state file's override keys seed the universe too, so a router
+  // restarted just before a hard loss promotes them without needing
+  // traffic or a deep probe first.
+  const std::string state_file =
+      ::testing::TempDir() + "/weber_rebalance_promo_seed";
+  RemoveFileIfExists(state_file);
+  RouterOptions options = FastOptions();
+  options.state_file = state_file;
+  options.health.suspect_after = 1;
+  options.health.down_after = 1;
+  options.promote_after_ms = 1.0;
+  options.deep_probe_every = 0;  // ping-only: isolate the state-file seed
+
+  const std::string block = Blocks()[0];
+  const size_t pure = Router::RouteOrder(block, endpoints_.size())[0];
+  const size_t target = (pure + 1) % endpoints_.size();
+  {
+    Router router(endpoints_, options);
+    router.SetRouteOverride(block, target);
+  }
+  Router restarted(endpoints_, options);
+  ASSERT_EQ(restarted.EffectiveOrder(block)[0], target);
+  backends_[target]->Kill();
+  bool promoted = false;
+  for (int i = 0; i < 50 && !promoted; ++i) {
+    restarted.ProbeOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    promoted = restarted.EffectiveOrder(block)[0] != target;
+  }
+  ASSERT_TRUE(promoted)
+      << "a block known only from the state file was not promoted";
+  RemoveFileIfExists(state_file);
 }
 
 // ---------------------------------------------------------------------------
