@@ -7,7 +7,7 @@
 # Usage: scripts/check.sh
 #          [--normal-only|--sanitize-only|--tsan-only|--crash-only|
 #           --overload-only|--obs-only|--router-only|--match-only|
-#           --migrate-only|--rebalance-only]
+#           --migrate-only|--rebalance-only|--hotpath-only]
 #
 # --crash-only: the durability gauntlet under ASan/UBSan — the WAL /
 # snapshot / recovery unit tests plus repeated seeded SIGKILL-and-recover
@@ -32,6 +32,13 @@
 # mid-copy and mid-flip, assert rollback/completion, zero acked-write
 # loss, and dump byte-identity through the router).
 #
+# --hotpath-only: the compiled hot path under ASan/UBSan — the kernel
+# bit-equality / decision-fuzz / end-to-end equivalence tests (which force
+# both the scalar and, when available, the AVX2 kernels internally), the
+# vector-similarity regression tests for the numeric edge cases the batch
+# audit flushed out, the compiled serve-match test, and a smoke run of the
+# hotpath benchmark asserting it emits well-formed JSON.
+#
 # --rebalance-only: the fleet self-healing suite under ASan/UBSan — the
 # rebalance/drain/state-file/promotion router tests, the admin-verb race
 # test, and 3 seeded runs of the self-healing drill (SIGKILL a rebalance
@@ -55,7 +62,7 @@ MODE="${1:-all}"
 # (service, server, cache, batcher), the shared executor pool, the
 # incremental resolver the serving hot path drives, and the observability
 # primitives (striped counters, trace ring buffer, registry export).
-TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch|MigrateService|MigrateWire|RebalanceService|ConcurrentAdmin'
+TSAN_FILTER='ResolutionService|LineServer|SimilarityCache|Batcher|Collector|Executor|ParallelFor|Incremental|RequestDeadline|CircuitBreaker|BreakerStateName|ServerOverload|CounterTest|MetricsRegistry|TraceCollector|ScopedSpan|RequestId|StatsSchema|RouterEndToEnd|BackendHealth|ResolutionServiceMatch|LineServerMatch|MigrateService|MigrateWire|RebalanceService|ConcurrentAdmin|CompiledPath'
 
 run_suite() {
   local dir="$1"; shift
@@ -162,6 +169,22 @@ if [[ "$MODE" == "--migrate-only" ]]; then
       --seed="$seed" --out="$scratch/BENCH_migrate.json"
   done
   echo "==> migrate checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--hotpath-only" ]]; then
+  echo "==> compiled hot-path suite (address;undefined)"
+  run_suite build-asan -DWEBER_SANITIZE="address;undefined"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'CompiledPath|VectorSimilarity|SparseVector|SimilarityFunctions|ResolutionServiceMatch|Decision'
+  echo "==> hotpath bench smoke (quick mode)"
+  scratch="build-asan/hotpath_smoke"
+  rm -rf "$scratch"
+  mkdir -p "$scratch"
+  ./build-asan/bench/hotpath --quick "$scratch/BENCH_hotpath.json"
+  grep -q '"compiled_scalar_pairs_per_sec"' "$scratch/BENCH_hotpath.json"
+  grep -q '"avx2_speedup"' "$scratch/BENCH_hotpath.json"
+  echo "==> hotpath checks passed"
   exit 0
 fi
 

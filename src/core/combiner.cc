@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/compiled_path.h"
 #include "ml/threshold.h"
 
 namespace weber {
@@ -75,22 +76,19 @@ Result<CombinedGraph> CombineDecisionGraphs(
       // weight (the per-region link probability); sources enter the average
       // weighted by their estimated graph quality relative to the best
       // source, so a long tail of weak graphs cannot drown the informative
-      // ones.
-      double best_score = 0.0;
+      // ones. The weights are baked once and each pair is combined as one
+      // fused dot product over the sources (compiled_path.h); the result is
+      // bit-identical to the former source-major two-pass loop.
+      std::vector<double> accuracies;
+      std::vector<const double*> source_probs;
+      accuracies.reserve(sources.size());
+      source_probs.reserve(sources.size());
       for (const DecisionSource& s : sources) {
-        best_score = std::max(best_score, s.train_accuracy);
+        accuracies.push_back(s.train_accuracy);
+        source_probs.push_back(s.link_probs.data().data());
       }
-      double total_weight = 0.0;
-      for (const DecisionSource& s : sources) {
-        const double rel =
-            best_score > 0.0 ? s.train_accuracy / best_score : 1.0;
-        const double w = rel * rel * rel * rel + 0.01;
-        total_weight += w;
-        const auto& sp = s.link_probs.data();
-        for (size_t k = 0; k < num_pairs; ++k) probs[k] += w * sp[k];
-      }
-      const double inv = 1.0 / total_weight;
-      for (size_t k = 0; k < num_pairs; ++k) probs[k] *= inv;
+      const CompiledCombineWeights baked = BakeCombineWeights(accuracies);
+      FusedWeightedAverage(source_probs, baked, num_pairs, probs.data());
 
       // Optimal threshold on the combined values, learned from the training
       // pairs (Section IV-B). Among thresholds whose training accuracy is

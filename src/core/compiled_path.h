@@ -1,0 +1,173 @@
+// The compiled decision hot path (ROADMAP item 1).
+//
+// The interpreted pipeline evaluates every pair through a virtual
+// DecisionCriterion::Decide / LinkProbability call (binary search plus
+// per-region branching inside the model), a virtual
+// SimilarityFunction::Compute per function (merge-join + per-pair norm
+// recomputation), and a per-source pass in the combiner. This header bakes
+// each of those walks into flat tables evaluated branchlessly:
+//
+//   * CompiledDecision — a trained criterion (threshold / region-accuracy /
+//     isotonic) flattened into one sorted boundary array plus a per-region
+//     link-probability array. Region lookup is a branch-free comparison
+//     count over the contiguous boundaries; Decide and LinkProbability are
+//     table lookups off that index. EvalBlock processes a whole pair array
+//     per call.
+//   * BlockScorer — a block's FeatureBundles frozen into the text layer's
+//     CSR/SoA arenas (text::FrozenVectors, one per feature family), scoring
+//     each function's full similarity matrix with one-against-strip batch
+//     kernels (AVX2 or scalar, CPUID-dispatched) instead of per-pair
+//     Compute calls.
+//   * BakeCombineWeights / FusedWeightedAverage — the weighted-average
+//     combiner's accuracy weights baked once, each pair combined as a fused
+//     dot product over the sources.
+//
+// Equivalence guarantee: every compiled evaluation is BIT-IDENTICAL to its
+// interpreted counterpart (see batch_similarity.h for how the kernels
+// achieve this; CompiledDecision reproduces the exact comparison semantics
+// of each criterion, including NaN ordering and the region models' input
+// clamp). fig2_www_results output is byte-identical with the compiled path
+// on or off; compiled_path_test fuzzes the equivalence per criterion and
+// kernel.
+
+#ifndef WEBER_CORE_COMPILED_PATH_H_
+#define WEBER_CORE_COMPILED_PATH_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/similarity_function.h"
+#include "extract/feature_bundle.h"
+#include "graph/pair_matrix.h"
+#include "text/batch_similarity.h"
+
+namespace weber {
+namespace core {
+
+/// A fitted decision criterion flattened into a sorted-boundary table.
+/// Region lookup is a linear comparison count over the contiguous
+/// boundaries — branch-free (each comparison becomes a flag-to-int add) and
+/// comparison-equivalent to the interpreted std::upper_bound for every
+/// input, NaN included.
+struct CompiledDecision {
+  /// Ascending region boundaries; region r spans [boundaries[r-1],
+  /// boundaries[r]) under the upper_bound convention.
+  std::vector<double> boundaries;
+
+  /// Per-region link probability; size boundaries.size() + 1.
+  std::vector<double> probs;
+
+  /// Region models clamp the value into [0, 1] before lookup; threshold and
+  /// isotonic rules compare the raw value.
+  bool clamp_input = false;
+
+  /// Comparison semantics for NaN values, replicating the interpreted rule:
+  /// true  — upper_bound-style (NaN lands in the top region; region and
+  ///         isotonic criteria),
+  /// false — `value >= boundary`-style (NaN lands in region 0; the
+  ///         threshold criterion).
+  bool nan_in_top_region = false;
+
+  /// When >= 0, Decide is `region >= decide_region` (the threshold rule,
+  /// whose upper link rate may itself be below 0.5); when -1, Decide is
+  /// `probs[region] >= 0.5` (region and isotonic rules).
+  int decide_region = -1;
+
+  int RegionOf(double value) const {
+    if (clamp_input) value = std::clamp(value, 0.0, 1.0);
+    const double* b = boundaries.data();
+    const size_t nb = boundaries.size();
+    int r = 0;
+    if (nan_in_top_region) {
+      for (size_t i = 0; i < nb; ++i) r += value < b[i] ? 0 : 1;
+    } else {
+      for (size_t i = 0; i < nb; ++i) r += b[i] <= value ? 1 : 0;
+    }
+    return r;
+  }
+
+  bool Decide(double value) const {
+    const int r = RegionOf(value);
+    return decide_region >= 0 ? r >= decide_region : probs[r] >= 0.5;
+  }
+
+  double LinkProbability(double value) const { return probs[RegionOf(value)]; }
+
+  /// Evaluates a whole pair array: decisions[k] = Decide(values[k]) (0/1),
+  /// link_probs[k] = LinkProbability(values[k]). Either output may be null.
+  void EvalBlock(const double* values, size_t count, char* decisions,
+                 double* link_probs) const;
+};
+
+/// Pre-baked accuracy weights for the weighted-average combiner: one weight
+/// per source (rel^4 + 0.01 against the best score) plus the normalizing
+/// inverse. The inverse is applied AFTER each pair's fused dot — folding it
+/// into the weights would change the rounding sequence and break
+/// bit-identity with the interpreted two-pass loop.
+struct CompiledCombineWeights {
+  std::vector<double> weights;
+  double inv_total = 0.0;
+};
+
+CompiledCombineWeights BakeCombineWeights(
+    const std::vector<double>& train_accuracies);
+
+/// out[k] = (Σ_s weights[s] * source_probs[s][k]) * inv_total, accumulated
+/// in source order per pair (bit-identical to the source-major loop).
+void FusedWeightedAverage(const std::vector<const double*>& source_probs,
+                          const CompiledCombineWeights& baked,
+                          size_t num_pairs, double* out);
+
+/// Batched pair scoring for one block: freezes each required FeatureBundle
+/// field family into text::FrozenVectors (lazily, on first use) and scores
+/// whole similarity matrices / strips through the batch kernels. Not
+/// thread-safe; use one scorer per resolve call (freezing is per block).
+class BlockScorer {
+ public:
+  /// The bundles must outlive the scorer and not change while it is used.
+  explicit BlockScorer(const std::vector<extract::FeatureBundle>* bundles);
+
+  /// True when `spec` can be scored by the batch kernels for THIS block.
+  /// Always true for cosine / saturating-overlap / extended-Jaccard specs;
+  /// Pearson additionally requires a block-constant ambient dimension
+  /// (every bundle shares one tfidf_dimension ≥ 2 that bounds every term
+  /// id), because the interpreted per-pair dimension max(dim, union) must
+  /// collapse to that constant. Non-batchable specs always return false.
+  bool CanBatch(const BatchSpec& spec);
+
+  /// The full similarity matrix for `spec`, values clamped into [0, 1] —
+  /// bit-identical to ComputeSimilarityMatrix over the declaring function.
+  /// Requires CanBatch(spec).
+  graph::SimilarityMatrix ScoreMatrix(const BatchSpec& spec);
+
+  /// Scores bundle `anchor` against bundles [begin, end) under `spec`,
+  /// writing raw (unclamped) measure values — bit-identical to
+  /// fn.Compute(bundles[anchor], bundles[j]). Requires CanBatch(spec).
+  void ScoreStrip(const BatchSpec& spec, int anchor, int begin, int end,
+                  double* out);
+
+  int size() const { return static_cast<int>(bundles_->size()); }
+
+ private:
+  struct Field {
+    bool ready = false;
+    text::FrozenVectors frozen;
+    std::unique_ptr<text::BatchScorer> scorer;
+  };
+
+  Field& GetField(BatchSpec::Field field);
+
+  const std::vector<extract::FeatureBundle>* bundles_;
+  std::array<Field, 5> fields_;
+
+  int pearson_state_ = 0;  // 0 = unknown, 1 = eligible, -1 = ineligible
+  int pearson_dim_ = 0;    // the shared ambient dimension when eligible
+};
+
+}  // namespace core
+}  // namespace weber
+
+#endif  // WEBER_CORE_COMPILED_PATH_H_

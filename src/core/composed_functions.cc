@@ -90,8 +90,9 @@ ComposedFunction::Body VectorBody(PageFeature feature, PairMeasure measure) {
       case PairMeasure::kCosine:
         return text::CosineSimilarity(va, vb);
       case PairMeasure::kPearson: {
-        int dim = std::max(a.tfidf_dimension, b.tfidf_dimension);
-        dim = std::max(dim, va.UnionCount(vb));
+        // Stale dimensions are clamped (and counted) inside
+        // PearsonSimilarity itself.
+        const int dim = std::max(a.tfidf_dimension, b.tfidf_dimension);
         return text::PearsonSimilarity(va, vb, dim);
       }
       case PairMeasure::kExtendedJaccard:

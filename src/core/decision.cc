@@ -21,7 +21,20 @@ Status ThresholdCriterion::Fit(
   }
   link_rate_above_ = above > 0 ? static_cast<double>(above_links) / above : 1.0;
   link_rate_below_ = below > 0 ? static_cast<double>(below_links) / below : 0.0;
+  fitted_ = true;
   return Status::OK();
+}
+
+bool ThresholdCriterion::Compile(CompiledDecision* out) const {
+  if (!fitted_) return false;
+  out->boundaries = {fit_.threshold};
+  out->probs = {link_rate_below_, link_rate_above_};
+  out->clamp_input = false;
+  // Decide is `value >= threshold` (NaN compares below), independent of the
+  // link rates — the upper rate may itself sit below 0.5.
+  out->nan_in_top_region = false;
+  out->decide_region = 1;
+  return true;
 }
 
 std::unique_ptr<RegionCriterion> RegionCriterion::EqualWidth(int bins) {
@@ -54,6 +67,18 @@ Status RegionCriterion::Fit(const std::vector<ml::LabeledSimilarity>& training,
   return Status::OK();
 }
 
+bool RegionCriterion::Compile(CompiledDecision* out) const {
+  if (model_ == nullptr) return false;
+  out->boundaries = model_->regions().boundaries();
+  out->probs = model_->region_accuracies();
+  // RegionModel::RegionOf clamps into [0, 1] and then upper_bounds the
+  // boundaries (NaN survives the clamp and lands in the top region).
+  out->clamp_input = true;
+  out->nan_in_top_region = true;
+  out->decide_region = -1;
+  return true;
+}
+
 Status IsotonicCriterion::Fit(
     const std::vector<ml::LabeledSimilarity>& training, Rng* /*rng*/) {
   WEBER_ASSIGN_OR_RETURN(ml::IsotonicModel fitted,
@@ -67,6 +92,21 @@ Status IsotonicCriterion::Fit(
                         ? 0.0
                         : static_cast<double>(correct) / training.size();
   return Status::OK();
+}
+
+bool IsotonicCriterion::Compile(CompiledDecision* out) const {
+  if (model_ == nullptr) return false;
+  // IsotonicModel::LinkProbability upper_bounds the knots and takes the
+  // preceding level (values below the first knot get the first level), so
+  // the compiled regions are delimited by knots[1:]: region 0 covers both
+  // "below knots[0]" and segment 0, which share levels[0].
+  const std::vector<double>& knots = model_->knots();
+  out->boundaries.assign(knots.begin() + (knots.empty() ? 0 : 1), knots.end());
+  out->probs = model_->levels();
+  out->clamp_input = false;
+  out->nan_in_top_region = true;
+  out->decide_region = -1;
+  return true;
 }
 
 std::vector<std::unique_ptr<DecisionCriterion>> MakeStandardCriteria(

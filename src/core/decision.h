@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/compiled_path.h"
 #include "ml/isotonic.h"
 #include "ml/region_model.h"
 #include "ml/threshold.h"
@@ -44,6 +45,15 @@ class DecisionCriterion {
   /// Accuracy of this rule's decisions on the training set it was fitted
   /// on; the graph-ranking score used for best-graph selection.
   virtual double train_accuracy() const = 0;
+
+  /// Flattens the fitted rule into a CompiledDecision whose Decide /
+  /// LinkProbability are bit-identical to the virtual walk. Returns false
+  /// when the rule has no compiled form (or is not fitted yet); callers
+  /// then stay on the virtual path.
+  virtual bool Compile(CompiledDecision* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 /// Plain optimal-threshold rule: link iff value >= t*, with t* maximizing
@@ -60,11 +70,13 @@ class ThresholdCriterion final : public DecisionCriterion {
     return value >= fit_.threshold ? link_rate_above_ : link_rate_below_;
   }
   double train_accuracy() const override { return fit_.train_accuracy; }
+  bool Compile(CompiledDecision* out) const override;
 
   double threshold() const { return fit_.threshold; }
 
  private:
   ml::ThresholdFit fit_;
+  bool fitted_ = false;
   double link_rate_above_ = 1.0;
   double link_rate_below_ = 0.0;
 };
@@ -86,6 +98,7 @@ class RegionCriterion final : public DecisionCriterion {
     return model_->LinkProbability(value);
   }
   double train_accuracy() const override { return train_accuracy_; }
+  bool Compile(CompiledDecision* out) const override;
 
   /// The fitted model (valid after Fit); exposed for diagnostics and the
   /// Figure 1 benchmark.
@@ -120,6 +133,7 @@ class IsotonicCriterion final : public DecisionCriterion {
     return model_->LinkProbability(value);
   }
   double train_accuracy() const override { return train_accuracy_; }
+  bool Compile(CompiledDecision* out) const override;
 
  private:
   std::unique_ptr<ml::IsotonicModel> model_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "core/compiled_path.h"
 #include "graph/components.h"
 #include "ml/threshold.h"
 
@@ -116,6 +117,50 @@ Result<graph::Clustering> IncrementalResolver::BatchResolve(
   const int n = next_document_;
   WallTimer timer;
   std::vector<std::pair<int, int>> edges;
+
+  // Compiled hot path: with no cache to consult every pair is scored fresh,
+  // so whole rows of the upper triangle can go through the batched kernels.
+  // Accumulating the functions in declaration order per pair and dividing
+  // once reproduces MatchScore's sum bit for bit (see compiled_path.h).
+  if (options_.compiled_path && score_cache_ == nullptr && n >= 2) {
+    BlockScorer scorer(&documents_);
+    std::vector<BatchSpec> specs(functions_.size());
+    std::vector<char> batchable(functions_.size(), 0);
+    for (size_t f = 0; f < functions_.size(); ++f) {
+      specs[f] = functions_[f]->batch_spec();
+      batchable[f] = specs[f].batchable() && scorer.CanBatch(specs[f]) ? 1 : 0;
+    }
+    const double num_functions = static_cast<double>(functions_.size());
+    std::vector<double> row(n), strip(n);
+    for (int a = 0; a < n; ++a) {
+      if (deadline_ms > 0.0 && timer.ElapsedMillis() > deadline_ms) {
+        return Status::DeadlineExceeded("BatchResolve: deadline of ",
+                                        deadline_ms, " ms hit after ", a,
+                                        " of ", n, " rows");
+      }
+      const int width = n - a - 1;
+      if (width <= 0) continue;
+      std::fill(row.begin(), row.begin() + width, 0.0);
+      for (size_t f = 0; f < functions_.size(); ++f) {
+        if (batchable[f]) {
+          scorer.ScoreStrip(specs[f], a, a + 1, n, strip.data());
+          for (int k = 0; k < width; ++k) row[k] += strip[k];
+        } else {
+          for (int k = 0; k < width; ++k) {
+            row[k] +=
+                functions_[f]->Compute(documents_[a], documents_[a + 1 + k]);
+          }
+        }
+      }
+      for (int k = 0; k < width; ++k) {
+        if (row[k] / num_functions >= threshold_) {
+          edges.push_back({a, a + 1 + k});
+        }
+      }
+    }
+    return graph::ConnectedComponents(n, edges);
+  }
+
   for (int a = 0; a < n; ++a) {
     // Cooperative deadline check once per row: cheap relative to the O(n)
     // scores the row costs, and a blown budget stops before the next row.

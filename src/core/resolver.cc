@@ -6,8 +6,10 @@
 
 #include "common/fault_injection.h"
 #include "common/timer.h"
+#include "core/compiled_path.h"
 #include "core/decision.h"
 #include "ml/splitter.h"
+#include "text/vector_similarity.h"
 
 namespace weber {
 namespace core {
@@ -32,7 +34,7 @@ struct LabeledPair {
 Result<double> CvGraphScore(const CriterionFactory& factory,
                             const graph::SimilarityMatrix& sims,
                             const std::vector<LabeledPair>& training,
-                            int folds, Rng* rng) {
+                            int folds, Rng* rng, bool compiled) {
   if (training.empty()) {
     return Status::InvalidArgument("CvGraphScore: empty training sample");
   }
@@ -69,8 +71,13 @@ Result<double> CvGraphScore(const CriterionFactory& factory,
     graph::DecisionGraph decisions(n, 0, 1);
     auto& dec = decisions.data();
     const auto& values = sims.data();
-    for (size_t k = 0; k < values.size(); ++k) {
-      dec[k] = criterion->Decide(values[k]) ? 1 : 0;
+    CompiledDecision table;
+    if (compiled && criterion->Compile(&table)) {
+      table.EvalBlock(values.data(), values.size(), dec.data(), nullptr);
+    } else {
+      for (size_t k = 0; k < values.size(); ++k) {
+        dec[k] = criterion->Decide(values[k]) ? 1 : 0;
+      }
     }
     graph::Clustering closed = graph::TransitiveClosure(decisions);
     for (const LabeledPair* p : held_out) {
@@ -226,6 +233,17 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
   std::vector<graph::SimilarityMatrix> matrices(functions_.size());
   std::vector<char> computed(functions_.size(), 0);
   std::vector<char> quarantined(functions_.size(), 0);
+  // Compiled hot path: score whole matrices through the frozen CSR/SoA
+  // kernels when the function declares a batchable form. Bit-identical to
+  // the per-pair walk (see compiled_path.h), so the guard wrapper — which
+  // is value-transparent for these contract-abiding standard functions —
+  // can be skipped. Armed fault injection forces the interpreted path so
+  // the `similarity.compute` fault point keeps seeing every pair.
+  BlockScorer block_scorer(&bundles);
+  const bool use_batch =
+      options_.compiled_path && !faults::FaultInjector::Instance().AnyArmed();
+  const long long pearson_corrections_before =
+      text::PearsonDimensionCorrections();
   for (size_t f = 0; f < functions_.size(); ++f) {
     if (options_.max_pair_budget > 0 &&
         pairs_spent + pairs_per_matrix > options_.max_pair_budget) {
@@ -238,11 +256,16 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
       health.skipped_pairs += pairs_per_matrix;
       continue;
     }
-    const SimilarityFunction& fn =
-        options_.guard_functions ? static_cast<const SimilarityFunction&>(
-                                       guards[f])
-                                 : *functions_[f];
-    matrices[f] = ComputeSimilarityMatrix(fn, bundles);
+    const BatchSpec spec = functions_[f]->batch_spec();
+    if (use_batch && spec.batchable() && block_scorer.CanBatch(spec)) {
+      matrices[f] = block_scorer.ScoreMatrix(spec);
+    } else {
+      const SimilarityFunction& fn =
+          options_.guard_functions ? static_cast<const SimilarityFunction&>(
+                                         guards[f])
+                                   : *functions_[f];
+      matrices[f] = ComputeSimilarityMatrix(fn, bundles);
+    }
     computed[f] = 1;
     pairs_spent += pairs_per_matrix;
     if (options_.guard_functions && guards[f].quarantined()) {
@@ -250,6 +273,8 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
       ++health.quarantined_functions;
     }
   }
+  health.dimension_corrections +=
+      text::PearsonDimensionCorrections() - pearson_corrections_before;
   if (options_.guard_functions) {
     for (const GuardedSimilarityFunction& g : guards) {
       health.value_violations +=
@@ -361,7 +386,8 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
       // ranking suffers a strong winner's curse, and raw pair accuracy is
       // swamped by the negative class.
       Result<double> graph_score =
-          CvGraphScore(factory, sims, labeled_pairs, /*folds=*/3, rng);
+          CvGraphScore(factory, sims, labeled_pairs, /*folds=*/3, rng,
+                       options_.compiled_path);
       if (!graph_score.ok()) {
         if (first_fit_error.ok()) first_fit_error = graph_score.status();
         ++health.skipped_criteria;
@@ -376,10 +402,19 @@ Result<BlockResolution> EntityResolver::ResolveExtracted(
       const auto& values = sims.data();
       auto& dec = source.decisions.data();
       auto& probs = source.link_probs.data();
-      for (size_t k = 0; k < values.size(); ++k) {
-        dec[k] = criterion->Decide(values[k]) ? 1 : 0;
-        probs[k] = criterion->LinkProbability(values[k]);
-        if (!pair_gated.empty() && pair_gated[k]) {
+      CompiledDecision table;
+      if (options_.compiled_path && criterion->Compile(&table)) {
+        table.EvalBlock(values.data(), values.size(), dec.data(),
+                        probs.data());
+      } else {
+        for (size_t k = 0; k < values.size(); ++k) {
+          dec[k] = criterion->Decide(values[k]) ? 1 : 0;
+          probs[k] = criterion->LinkProbability(values[k]);
+        }
+      }
+      if (!pair_gated.empty()) {
+        for (size_t k = 0; k < values.size(); ++k) {
+          if (!pair_gated[k]) continue;
           dec[k] = 0;
           probs[k] = std::min(probs[k], 0.49);
         }

@@ -49,6 +49,10 @@ struct RunHealth {
   /// snapshot or to WAL-only replay), plus published-but-missing snapshots
   /// detected during replay.
   long long corrupt_snapshots = 0;
+  /// Pearson similarity calls whose ambient dimension was smaller than the
+  /// pair's union size; the dimension was corrected up to the union so the
+  /// mean/variance stay well-defined (vector_similarity.h).
+  long long dimension_corrections = 0;
 
   long long TotalViolations() const {
     return value_violations + asymmetry_violations;
@@ -58,7 +62,8 @@ struct RunHealth {
     return TotalViolations() + quarantined_functions + skipped_criteria +
                degraded_blocks + deadline_hits + budget_hits + skipped_pairs +
                clustering_fallbacks + retried_loads + skipped_blocks +
-               torn_wal_tails + corrupt_wal_records + corrupt_snapshots >
+               torn_wal_tails + corrupt_wal_records + corrupt_snapshots +
+               dimension_corrections >
            0;
   }
 
@@ -77,6 +82,7 @@ struct RunHealth {
     torn_wal_tails += other.torn_wal_tails;
     corrupt_wal_records += other.corrupt_wal_records;
     corrupt_snapshots += other.corrupt_snapshots;
+    dimension_corrections += other.dimension_corrections;
   }
 };
 
@@ -98,6 +104,7 @@ inline void WriteRunHealthJson(JsonWriter& json, const RunHealth& health) {
   json.Key("torn_wal_tails").Number(health.torn_wal_tails);
   json.Key("corrupt_wal_records").Number(health.corrupt_wal_records);
   json.Key("corrupt_snapshots").Number(health.corrupt_snapshots);
+  json.Key("dimension_corrections").Number(health.dimension_corrections);
   json.EndObject();
 }
 

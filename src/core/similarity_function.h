@@ -17,6 +17,34 @@
 namespace weber {
 namespace core {
 
+/// Declares that a similarity function is a standard sparse-vector measure
+/// over one FeatureBundle field, so the compiled hot path (compiled_path.h)
+/// may score it with the batched text kernels instead of per-pair Compute
+/// calls. kNone means "no batch form; always call Compute".
+struct BatchSpec {
+  enum class Measure : int {
+    kNone = 0,
+    kCosine = 1,
+    kSaturatingOverlap = 2,
+    kPearson = 3,
+    kExtendedJaccard = 4,
+  };
+  enum class Field : int {
+    kWeightedConcepts = 0,
+    kConcepts = 1,
+    kOrganizations = 2,
+    kOtherPersons = 3,
+    kTfidf = 4,
+  };
+
+  Measure measure = Measure::kNone;
+  Field field = Field::kTfidf;
+  /// kSaturatingOverlap only: the damping constant.
+  double damping = 0.0;
+
+  bool batchable() const { return measure != Measure::kNone; }
+};
+
 /// Interface for pairwise similarity functions. Implementations must be
 /// symmetric (Compute(a,b) == Compute(b,a)), return values in [0,1], and be
 /// stateless/thread-compatible. They need NOT be transitive — the framework
@@ -34,6 +62,13 @@ class SimilarityFunction {
   /// The similarity of two pages, in [0, 1].
   virtual double Compute(const extract::FeatureBundle& a,
                          const extract::FeatureBundle& b) const = 0;
+
+  /// Batch form of this function, if any. A non-kNone spec promises that
+  /// Compute(a, b) is EXACTLY the declared text-kernel measure applied to
+  /// the declared field (the compiled path asserts bit-identical results in
+  /// its equivalence tests). The default is "not batchable", which is
+  /// always safe: the compiled path falls back to per-pair Compute.
+  virtual BatchSpec batch_spec() const { return BatchSpec{}; }
 };
 
 /// Computes the complete weighted graph G_w^{f} of one block (Section IV-C):

@@ -25,6 +25,10 @@ class F1WeightedConceptCosine final : public SimilarityFunction {
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
     return text::CosineSimilarity(a.weighted_concepts, b.weighted_concepts);
   }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kCosine, BatchSpec::Field::kWeightedConcepts,
+            0.0};
+  }
 };
 
 /// F2: string similarity of the page URLs (domain-aware).
@@ -65,6 +69,10 @@ class F4ConceptOverlap final : public SimilarityFunction {
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
     return text::SaturatingOverlap(a.concepts, b.concepts);
   }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kSaturatingOverlap, BatchSpec::Field::kConcepts,
+            2.0};
+  }
 };
 
 /// F5: number of overlapping organization entities.
@@ -78,6 +86,10 @@ class F5OrganizationOverlap final : public SimilarityFunction {
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
     return text::SaturatingOverlap(a.organizations, b.organizations, 1.5);
   }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kSaturatingOverlap,
+            BatchSpec::Field::kOrganizations, 1.5};
+  }
 };
 
 /// F6: number of overlapping other person names.
@@ -89,6 +101,10 @@ class F6PersonOverlap final : public SimilarityFunction {
   }
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
     return text::SaturatingOverlap(a.other_persons, b.other_persons, 1.5);
+  }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kSaturatingOverlap,
+            BatchSpec::Field::kOtherPersons, 1.5};
   }
 };
 
@@ -115,6 +131,9 @@ class F8TfIdfCosine final : public SimilarityFunction {
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
     return text::CosineSimilarity(a.tfidf, b.tfidf);
   }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kCosine, BatchSpec::Field::kTfidf, 0.0};
+  }
 };
 
 /// F9: Pearson correlation of the TF-IDF word vectors.
@@ -125,9 +144,14 @@ class F9TfIdfPearson final : public SimilarityFunction {
     return "TF-IDF words vector / Pearson correlation similarity";
   }
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
-    int dim = std::max(a.tfidf_dimension, b.tfidf_dimension);
-    dim = std::max(dim, a.tfidf.UnionCount(b.tfidf));
+    // A stale (too small) dimension is clamped to the union size inside
+    // PearsonSimilarity, where the correction is counted — the resolver
+    // surfaces that count as RunHealth::dimension_corrections.
+    const int dim = std::max(a.tfidf_dimension, b.tfidf_dimension);
     return text::PearsonSimilarity(a.tfidf, b.tfidf, dim);
+  }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kPearson, BatchSpec::Field::kTfidf, 0.0};
   }
 };
 
@@ -140,6 +164,10 @@ class F10TfIdfExtendedJaccard final : public SimilarityFunction {
   }
   double Compute(const FeatureBundle& a, const FeatureBundle& b) const override {
     return text::ExtendedJaccardSimilarity(a.tfidf, b.tfidf);
+  }
+  BatchSpec batch_spec() const override {
+    return {BatchSpec::Measure::kExtendedJaccard, BatchSpec::Field::kTfidf,
+            0.0};
   }
 };
 

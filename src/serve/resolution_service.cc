@@ -10,6 +10,7 @@
 #include "common/json_writer.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "core/compiled_path.h"
 #include "extract/feature_extractor.h"
 #include "graph/components.h"
 #include "match/matcher.h"
@@ -936,16 +937,81 @@ Result<MatchResult> ResolutionService::Match(const std::string& block,
   // same aggregate Query uses, then solve the bipartite matching at the
   // shard threshold: greedy best-first is one-to-one and cheap enough for
   // the read path.
+  //
+  // Compiled hot path: the batchable functions are scored as one strip per
+  // (document, function) over the shard's bundles and looked up per member;
+  // the remaining functions stay on the per-pair cache path with
+  // ScorePairCached's exact key order, so every aggregate is bit-identical
+  // to the interpreted walk (see core/compiled_path.h). Armed fault
+  // injection forces the fully interpreted path so the `similarity.compute`
+  // chaos point keeps observing every pair.
+  const size_t num_functions = functions_.size();
+  core::BlockScorer strip_scorer(&shard->bundles);
+  std::vector<core::BatchSpec> specs(num_functions);
+  std::vector<char> batchable(num_functions, 0);
+  bool any_batchable = false;
+  if (options_.incremental.compiled_path &&
+      !faults::FaultInjector::Instance().AnyArmed()) {
+    for (size_t f = 0; f < num_functions; ++f) {
+      specs[f] = functions_[f]->batch_spec();
+      // Pearson is excluded here (unlike the resolver paths, which always
+      // score the lower index first): its covariance expression is not
+      // bitwise-commutative, and the cache keys pairs lowest-id-first while
+      // a strip fixes the requested document as the anchor.
+      batchable[f] = specs[f].batchable() &&
+                             specs[f].measure !=
+                                 core::BatchSpec::Measure::kPearson &&
+                             strip_scorer.CanBatch(specs[f])
+                         ? 1
+                         : 0;
+      any_batchable = any_batchable || batchable[f];
+    }
+  }
+  const int num_bundles = static_cast<int>(shard->bundles.size());
+  std::vector<std::vector<double>> strips(num_functions);
+  auto score_pair_stripped = [&](int doc, int canon) {
+    CacheKey key;
+    key.shard = shard->id;
+    key.a = static_cast<uint32_t>(std::min(doc, canon));
+    key.b = static_cast<uint32_t>(std::max(doc, canon));
+    const extract::FeatureBundle& a = shard->bundles[key.a];
+    const extract::FeatureBundle& b = shard->bundles[key.b];
+    double sum = 0.0;
+    for (size_t f = 0; f < num_functions; ++f) {
+      if (batchable[f]) {
+        sum += strips[f][canon];
+        continue;
+      }
+      key.function = static_cast<uint32_t>(f);
+      double value;
+      if (!cache_->Lookup(key, &value)) {
+        value = functions_[f]->Compute(a, b);
+        cache_->Insert(key, value);
+      }
+      sum += value;
+    }
+    return sum / static_cast<double>(num_functions);
+  };
   match::ScoreMatrix scores(static_cast<int>(docs.size()),
                             static_cast<int>(snap->clusters.size()));
   for (size_t i = 0; i < docs.size(); ++i) {
+    if (any_batchable) {
+      for (size_t f = 0; f < num_functions; ++f) {
+        if (!batchable[f]) continue;
+        strips[f].resize(num_bundles);
+        strip_scorer.ScoreStrip(specs[f], docs[i], 0, num_bundles,
+                                strips[f].data());
+      }
+    }
     for (size_t c = 0; c < snap->clusters.size(); ++c) {
       const std::vector<int>& members = snap->clusters[c];
       if (members.empty()) continue;
       double agg = 0.0;
       for (int member : members) {
-        double s =
-            ScorePairCached(*shard, docs[i], snap->canonical_ids[member]);
+        const int canon = snap->canonical_ids[member];
+        const double s = any_batchable
+                             ? score_pair_stripped(docs[i], canon)
+                             : ScorePairCached(*shard, docs[i], canon);
         agg = best_max ? std::max(agg, s) : agg + s;
       }
       if (!best_max) agg /= static_cast<double>(members.size());

@@ -1,0 +1,47 @@
+// Internal SIMD entry points shared between batch_similarity.cc (dispatch)
+// and batch_similarity_avx2.cc (the only translation unit built with
+// -mavx2). Not part of the public text API.
+//
+// Both kernels consume the transposed quad layout of FrozenVectors: `ranks`
+// entry ranks, each rank holding four lanes' term ids (ids[4k .. 4k+3]) and
+// weights (weights[4k .. 4k+3]); lane L accumulates candidate 4g + L. Padded
+// lanes carry the sentinel id, which indexes a guaranteed-zero slot of the
+// dense scatter, so their contribution is an exact IEEE zero add.
+
+#ifndef WEBER_TEXT_BATCH_SIMD_INTERNAL_H_
+#define WEBER_TEXT_BATCH_SIMD_INTERNAL_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define WEBER_HAVE_AVX2_KERNELS 1
+#endif
+
+namespace weber {
+namespace text {
+namespace internal {
+
+#ifdef WEBER_HAVE_AVX2_KERNELS
+/// For each group g in [g_begin, g_end):
+///   out[4*(g - g_begin) + L] = Σ_k dense[ids[4k + L]] * weights[4k + L]
+/// over that group's ranks (quad_offsets[g] .. quad_offsets[g+1]),
+/// accumulated in rank order per lane (mul then add; never fused). Pairs of
+/// groups run on two independent accumulator chains — different lanes, so
+/// per-lane addition order (and thus bit-exactness) is untouched while the
+/// 4-cycle vector-add dependency no longer bounds throughput.
+void DotQuadRangeAvx2(const double* dense, const int32_t* quad_ids,
+                      const double* quad_weights, const int64_t* quad_offsets,
+                      int g_begin, int g_end, double* out);
+
+/// Same shape for presence counts: out[4*(g - g_begin) + L] =
+/// Σ_k present[ids[4k + L]] (0/1 counts; integer, exact).
+void OverlapQuadRangeAvx2(const int32_t* present, const int32_t* quad_ids,
+                          const int64_t* quad_offsets, int g_begin, int g_end,
+                          int32_t* out);
+#endif
+
+}  // namespace internal
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_TEXT_BATCH_SIMD_INTERNAL_H_

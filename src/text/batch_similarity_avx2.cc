@@ -1,0 +1,107 @@
+// AVX2 strip kernels. This is the only translation unit compiled with
+// -mavx2, and it is compiled with -ffp-contract=off: a fused multiply-add
+// would round once where the scalar path rounds twice, breaking the
+// bit-exactness guarantee of batch_similarity.h. The explicit mul/add
+// intrinsic pair below can never be contracted.
+
+#include "text/batch_simd_internal.h"
+
+#ifdef WEBER_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace weber {
+namespace text {
+namespace internal {
+
+namespace {
+
+inline __m256d DotRank(const double* dense, const int32_t* ids,
+                       const double* weights, int64_t k, __m256d acc) {
+  const __m128i idx =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + 4 * k));
+  const __m256d w = _mm256_loadu_pd(weights + 4 * k);
+  const __m256d d = _mm256_i32gather_pd(dense, idx, 8);
+  return _mm256_add_pd(acc, _mm256_mul_pd(d, w));
+}
+
+inline __m128i OverlapRank(const int32_t* present, const int32_t* ids,
+                           int64_t k, __m128i acc) {
+  const __m128i idx =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + 4 * k));
+  return _mm_add_epi32(acc, _mm_i32gather_epi32(present, idx, 4));
+}
+
+}  // namespace
+
+void DotQuadRangeAvx2(const double* dense, const int32_t* quad_ids,
+                      const double* quad_weights, const int64_t* quad_offsets,
+                      int g_begin, int g_end, double* out) {
+  int g = g_begin;
+  // Two groups at a time on independent accumulators: each chain still adds
+  // its lanes' entries strictly in rank order, so every lane's rounding
+  // sequence is identical to the one-group loop below.
+  for (; g + 1 < g_end; g += 2) {
+    const int64_t b0 = quad_offsets[g], e0 = quad_offsets[g + 1];
+    const int64_t b1 = e0, e1 = quad_offsets[g + 2];
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    int64_t k0 = b0, k1 = b1;
+    const int64_t both = std::min(e0 - b0, e1 - b1);
+    for (int64_t i = 0; i < both; ++i, ++k0, ++k1) {
+      acc0 = DotRank(dense, quad_ids, quad_weights, k0, acc0);
+      acc1 = DotRank(dense, quad_ids, quad_weights, k1, acc1);
+    }
+    for (; k0 < e0; ++k0) acc0 = DotRank(dense, quad_ids, quad_weights, k0, acc0);
+    for (; k1 < e1; ++k1) acc1 = DotRank(dense, quad_ids, quad_weights, k1, acc1);
+    _mm256_storeu_pd(out + 4 * (g - g_begin), acc0);
+    _mm256_storeu_pd(out + 4 * (g - g_begin) + 4, acc1);
+  }
+  if (g < g_end) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int64_t k = quad_offsets[g]; k < quad_offsets[g + 1]; ++k) {
+      acc = DotRank(dense, quad_ids, quad_weights, k, acc);
+    }
+    _mm256_storeu_pd(out + 4 * (g - g_begin), acc);
+  }
+}
+
+void OverlapQuadRangeAvx2(const int32_t* present, const int32_t* quad_ids,
+                          const int64_t* quad_offsets, int g_begin, int g_end,
+                          int32_t* out) {
+  int g = g_begin;
+  for (; g + 1 < g_end; g += 2) {
+    const int64_t b0 = quad_offsets[g], e0 = quad_offsets[g + 1];
+    const int64_t b1 = e0, e1 = quad_offsets[g + 2];
+    __m128i acc0 = _mm_setzero_si128();
+    __m128i acc1 = _mm_setzero_si128();
+    int64_t k0 = b0, k1 = b1;
+    const int64_t both = std::min(e0 - b0, e1 - b1);
+    for (int64_t i = 0; i < both; ++i, ++k0, ++k1) {
+      acc0 = OverlapRank(present, quad_ids, k0, acc0);
+      acc1 = OverlapRank(present, quad_ids, k1, acc1);
+    }
+    for (; k0 < e0; ++k0) acc0 = OverlapRank(present, quad_ids, k0, acc0);
+    for (; k1 < e1; ++k1) acc1 = OverlapRank(present, quad_ids, k1, acc1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * (g - g_begin)),
+                     acc0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * (g - g_begin) + 4),
+                     acc1);
+  }
+  if (g < g_end) {
+    __m128i acc = _mm_setzero_si128();
+    for (int64_t k = quad_offsets[g]; k < quad_offsets[g + 1]; ++k) {
+      acc = OverlapRank(present, quad_ids, k, acc);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * (g - g_begin)),
+                     acc);
+  }
+}
+
+}  // namespace internal
+}  // namespace text
+}  // namespace weber
+
+#endif  // WEBER_HAVE_AVX2_KERNELS

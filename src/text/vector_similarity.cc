@@ -1,7 +1,6 @@
 #include "text/vector_similarity.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace weber {
@@ -15,9 +14,25 @@ double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
   return std::clamp(cos, 0.0, 1.0);
 }
 
+namespace {
+thread_local long long g_pearson_dimension_corrections = 0;
+}  // namespace
+
+long long PearsonDimensionCorrections() {
+  return g_pearson_dimension_corrections;
+}
+
 double PearsonSimilarity(const SparseVector& a, const SparseVector& b,
                          int dimension) {
-  assert(dimension >= a.UnionCount(b));
+  // A dimension below the union size (a stale vocabulary passed by the
+  // caller) would silently produce a covariance around the wrong mean;
+  // clamp up to the union size and count the correction so RunHealth can
+  // surface it.
+  const int union_count = a.UnionCount(b);
+  if (dimension < union_count) {
+    dimension = union_count;
+    ++g_pearson_dimension_corrections;
+  }
   if (dimension <= 1) return 0.5;
   const double n = static_cast<double>(dimension);
   const double mean_a = a.Sum() / n;
@@ -65,7 +80,11 @@ double OverlapCoefficient(const SparseVector& a, const SparseVector& b) {
 double SaturatingOverlap(const SparseVector& a, const SparseVector& b,
                          double damping) {
   double n = a.OverlapCount(b);
-  return n / (n + damping);
+  const double denom = n + damping;
+  // With no overlap and zero damping the ratio is 0/0; no shared items
+  // means no similarity, not NaN.
+  if (denom <= 0.0) return 0.0;
+  return n / denom;
 }
 
 }  // namespace text

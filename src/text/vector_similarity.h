@@ -16,11 +16,19 @@ namespace text {
 double CosineSimilarity(const SparseVector& a, const SparseVector& b);
 
 /// Pearson correlation across `dimension` coordinates (absent ids count as
-/// zeros), rescaled to [0, 1] via (r + 1) / 2. `dimension` must be at least
-/// the union size of the two vectors; typically the vocabulary size.
+/// zeros), rescaled to [0, 1] via (r + 1) / 2. `dimension` should be at
+/// least the union size of the two vectors (typically the vocabulary size);
+/// a smaller value — e.g. a stale vocabulary dimension — is clamped up to
+/// the union size at runtime and counted in PearsonDimensionCorrections().
 /// Returns 0.5 (i.e. r = 0) for degenerate inputs (constant vectors).
 double PearsonSimilarity(const SparseVector& a, const SparseVector& b,
                          int dimension);
+
+/// Number of PearsonSimilarity calls on this thread whose `dimension` was
+/// below the union size and had to be corrected. Thread-local so callers
+/// can attribute corrections to one resolution run; read a delta around the
+/// work being attributed.
+long long PearsonDimensionCorrections();
 
 /// Extended Jaccard (Tanimoto) coefficient:
 /// dot(a,b) / (|a|^2 + |b|^2 - dot(a,b)). 0 if both vectors are empty.

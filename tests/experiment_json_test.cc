@@ -106,7 +106,8 @@ TEST_F(ExperimentJsonTest, JsonExportContainsEveryBlockAndConfig) {
         "\"quarantined_functions\":", "\"skipped_criteria\":",
         "\"degraded_blocks\":", "\"deadline_hits\":", "\"budget_hits\":",
         "\"skipped_pairs\":", "\"clustering_fallbacks\":",
-        "\"retried_loads\":", "\"skipped_blocks\":"}) {
+        "\"retried_loads\":", "\"skipped_blocks\":",
+        "\"dimension_corrections\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   EXPECT_NE(json.find("\"value_violations\":0"), std::string::npos);

@@ -221,6 +221,28 @@ TEST_F(ResolutionServiceMatchTest, StatsAreGatedUntilFirstMatch) {
   EXPECT_NE(after.str().find("\"match\""), std::string::npos);
 }
 
+TEST_F(ResolutionServiceMatchTest, CompiledPathMatchIsBitIdenticalToInterpreted) {
+  // The default service scores Match through the compiled strip kernels;
+  // the same fill with compiled_path off must produce identical pairings
+  // (the kernels are bit-identical, so this is equality, not tolerance).
+  auto compiled = MakeService();
+  ServiceOptions options;
+  options.incremental.compiled_path = false;
+  auto created =
+      ResolutionService::Create(data_->dataset, &data_->gazetteer, options);
+  ASSERT_TRUE(created.ok()) << created.status();
+  auto interpreted = std::move(created).ValueOrDie();
+  Fill(compiled.get());
+  Fill(interpreted.get());
+  for (const corpus::Block& block : data_->dataset.blocks) {
+    auto a = compiled->Match(block.query, AllDocs(block));
+    auto b = interpreted->Match(block.query, AllDocs(block));
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->clusters, b->clusters) << "block " << block.query;
+  }
+}
+
 TEST_F(ResolutionServiceMatchTest, ConcurrentMatchesAndCompactionsAreSafe) {
   auto service = MakeService();
   Fill(service.get());

@@ -126,6 +126,39 @@ TEST(SaturatingOverlapTest, GrowsWithOverlapAndSaturates) {
   EXPECT_NEAR(one, 1.0 / 3.0, 1e-12);  // damping 2: 1/(1+2)
 }
 
+TEST(SaturatingOverlapTest, ZeroDampingDisjointVectorsScoreZeroNotNaN) {
+  // Regression: with damping 0 a disjoint pair evaluated 0/0 and returned
+  // NaN, which then poisoned every decision graph the matrix fed. The
+  // empty-overlap case must short-circuit to 0 before the division.
+  EXPECT_EQ(SaturatingOverlap(V({{0, 1.0}}), V({{5, 1.0}}), 0.0), 0.0);
+  EXPECT_EQ(SaturatingOverlap(SparseVector(), SparseVector(), 0.0), 0.0);
+  EXPECT_EQ(SaturatingOverlap(SparseVector(), V({{1, 1.0}}), 0.0), 0.0);
+  // Non-empty overlap with damping 0 is n/n = 1, exactly.
+  SparseVector a = V({{0, 1.0}, {1, 1.0}});
+  EXPECT_EQ(SaturatingOverlap(a, a, 0.0), 1.0);
+  EXPECT_EQ(SaturatingOverlap(a, V({{1, 2.0}}), 0.0), 1.0);
+}
+
+TEST(PearsonTest, StaleDimensionIsClampedToUnionAndCounted) {
+  // Regression: a dimension smaller than the union size (a stale
+  // vocabulary count) produced a negative variance in release builds. The
+  // dimension is now clamped up to the union size, the result equals the
+  // exact-union computation, and each correction is counted so RunHealth
+  // can surface it.
+  SparseVector a = V({{0, 1.0}, {1, 2.0}, {7, 1.5}});
+  SparseVector b = V({{1, 0.5}, {3, 1.0}});
+  const int union_count = a.UnionCount(b);
+  const long long before = PearsonDimensionCorrections();
+  const double clamped = PearsonSimilarity(a, b, 2);
+  EXPECT_EQ(PearsonDimensionCorrections(), before + 1);
+  const double exact = PearsonSimilarity(a, b, union_count);
+  EXPECT_EQ(PearsonDimensionCorrections(), before + 1);  // healthy: no count
+  EXPECT_EQ(clamped, exact);
+  EXPECT_TRUE(std::isfinite(clamped));
+  EXPECT_GE(clamped, 0.0);
+  EXPECT_LE(clamped, 1.0);
+}
+
 // Property: every measure stays in [0, 1] and is symmetric, for random
 // non-negative vectors.
 class VectorSimilarityProperty : public ::testing::TestWithParam<uint64_t> {};
